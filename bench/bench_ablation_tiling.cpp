@@ -1,0 +1,94 @@
+// §VI "Within a Node: Tiling, Concurrency, Balancing" — the tuning study
+// behind the paper's design-exploration claims:
+//
+//   "The best degree of tiling and number of streams depends on the
+//    matrix size and algorithm. Users want to be able to tune these
+//    easily, by changing just a few parameters."
+//
+// Sweeps tile count x stream count for the offloaded matmul and Cholesky
+// on one KNC, and reproduces the two DGETRF claims: the untiled host
+// scheme wins below ~4K, and the hybrid needs large matrices to pay off.
+
+#include <vector>
+
+#include "apps/cholesky.hpp"
+#include "apps/lu.hpp"
+#include "apps/matmul.hpp"
+#include "bench_util.hpp"
+
+namespace hs::bench {
+namespace {
+
+double matmul_gflops(std::size_t n, std::size_t tiles, std::size_t streams) {
+  auto rt = sim_runtime(sim::hsw_plus_knc(1));
+  const std::size_t tile = n / tiles;
+  apps::TiledMatrix a = apps::TiledMatrix::phantom(n, tile);
+  apps::TiledMatrix b = apps::TiledMatrix::phantom(n, tile);
+  apps::TiledMatrix c = apps::TiledMatrix::phantom(n, tile);
+  apps::MatmulConfig config;
+  config.streams_per_device = streams;
+  config.host_streams = 0;
+  return run_matmul(*rt, config, a, b, c).gflops;
+}
+
+double cholesky_gflops(std::size_t n, std::size_t tiles,
+                       std::size_t streams) {
+  auto rt = sim_runtime(sim::hsw_plus_knc(1));
+  apps::TiledMatrix a = apps::TiledMatrix::phantom(n, n / tiles);
+  apps::CholeskyConfig config;
+  config.streams_per_device = streams;
+  config.host_streams = 0;
+  return run_cholesky(*rt, config, a).gflops;
+}
+
+void sweep(const char* title, double (*fn)(std::size_t, std::size_t,
+                                           std::size_t),
+           std::size_t n) {
+  Table table(std::string(title) + " — GF/s vs (tiles per side, streams), N=" +
+              std::to_string(n) + ", 1 KNC offload");
+  table.header({"tiles \\ streams", "1", "2", "4", "8"});
+  for (const std::size_t tiles : {4u, 8u, 16u, 32u}) {
+    std::vector<std::string> row = {std::to_string(tiles)};
+    for (const std::size_t streams : {1u, 2u, 4u, 8u}) {
+      row.push_back(fmt(fn(n, tiles, streams), 0));
+    }
+    table.row(std::move(row));
+  }
+  table.print();
+}
+
+}  // namespace
+}  // namespace hs::bench
+
+int main() {
+  using namespace hs;
+  using namespace hs::bench;
+
+  sweep("Matmul", matmul_gflops, 8192);
+  sweep("Matmul", matmul_gflops, 24000);
+  sweep("Cholesky", cholesky_gflops, 24000);
+
+  // DGETRF: untiled host vs hybrid offload crossover (§VI: "DGETRF runs
+  // better on the host ... an untiled scheme works best for sizes
+  // smaller than 4K").
+  Table lu("LU — native host vs hybrid host+2KNC (GF/s)");
+  lu.header({"N", "native host", "hybrid offload", "winner"});
+  for (const std::size_t n : {2000u, 4000u, 8000u, 16000u, 24000u}) {
+    double native = 0.0;
+    double hybrid = 0.0;
+    for (const bool offload : {false, true}) {
+      auto rt = sim_runtime(sim::hsw_plus_knc(2));
+      blas::Matrix a = blas::Matrix::phantom(n, n);
+      std::vector<std::size_t> pivots;
+      apps::LuConfig config;
+      config.nb = std::max<std::size_t>(512, n / 12);
+      config.offload = offload;
+      (offload ? hybrid : native) =
+          apps::run_lu(*rt, config, a, pivots).gflops;
+    }
+    lu.row({std::to_string(n), fmt(native, 0), fmt(hybrid, 0),
+            native > hybrid ? "host" : "hybrid"});
+  }
+  lu.print();
+  return 0;
+}

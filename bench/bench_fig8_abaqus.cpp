@@ -1,0 +1,78 @@
+// Fig 8: "Speedups for Abaqus/Standard when adding 2 MIC cards to Xeon
+// cores. Data for 8 workloads for IVB and HSW host CPUs is shown."
+//
+// The paper reports solver-kernel and full-application speedups:
+//   vs IVB: up to 2.61x (solver) and 1.99x (application);
+//   vs HSW: up to 1.45x and 1.22x (HSW's peak is ~2x IVB's, so adding
+//   the same two cards helps it proportionally less).
+// Only the solver offloads; the full-app speedup dilutes with the
+// workload's solver fraction.
+
+#include <vector>
+
+#include "apps/abaqus.hpp"
+#include "bench_util.hpp"
+
+namespace hs::bench {
+namespace {
+
+struct HostResult {
+  double solver_speedup;
+  double app_speedup;
+};
+
+HostResult run_host(const apps::AbaqusWorkload& workload, bool hsw) {
+  double solver[2] = {0.0, 0.0};  // [baseline, +2 MIC]
+  for (const bool use_cards : {false, true}) {
+    const sim::SimPlatform platform =
+        hsw ? sim::hsw_plus_knc(2) : sim::ivb_plus_knc(2);
+    auto rt = sim_runtime(platform);
+    apps::AbaqusConfig config;
+    config.use_cards = use_cards;
+    config.streams_per_domain = 4;
+    config.tile = 512;
+    solver[use_cards ? 1 : 0] =
+        run_abaqus_solver(*rt, workload, config).solver_seconds;
+  }
+  const double app_base = apps::app_seconds(workload, solver[0], solver[0]);
+  const double app_mic = apps::app_seconds(workload, solver[0], solver[1]);
+  return {solver[0] / solver[1], app_base / app_mic};
+}
+
+}  // namespace
+}  // namespace hs::bench
+
+int main() {
+  using namespace hs;
+  using namespace hs::bench;
+
+  Table table("Fig 8 — Abaqus/Standard speedups from adding 2 MIC cards");
+  table.header({"workload", "sym", "solver frac", "IVB solver x",
+                "IVB app x", "HSW solver x", "HSW app x"});
+
+  double max_ivb_solver = 0.0;
+  double max_ivb_app = 0.0;
+  double max_hsw_solver = 0.0;
+  double max_hsw_app = 0.0;
+  for (const apps::AbaqusWorkload& w : apps::abaqus_workloads()) {
+    const HostResult ivb = run_host(w, /*hsw=*/false);
+    const HostResult hsw = run_host(w, /*hsw=*/true);
+    max_ivb_solver = std::max(max_ivb_solver, ivb.solver_speedup);
+    max_ivb_app = std::max(max_ivb_app, ivb.app_speedup);
+    max_hsw_solver = std::max(max_hsw_solver, hsw.solver_speedup);
+    max_hsw_app = std::max(max_hsw_app, hsw.app_speedup);
+    table.row({w.name, w.symmetric ? "yes" : "no", fmt(w.solver_fraction, 2),
+               fmt(ivb.solver_speedup, 2), fmt(ivb.app_speedup, 2),
+               fmt(hsw.solver_speedup, 2), fmt(hsw.app_speedup, 2)});
+  }
+  table.print();
+
+  Table peaks("Fig 8 — peak speedups vs paper");
+  peaks.header({"metric", "measured (paper)"});
+  peaks.row({"max IVB solver", vs_paper(max_ivb_solver, 2.61, 2)});
+  peaks.row({"max IVB app", vs_paper(max_ivb_app, 1.99, 2)});
+  peaks.row({"max HSW solver", vs_paper(max_hsw_solver, 1.45, 2)});
+  peaks.row({"max HSW app", vs_paper(max_hsw_app, 1.22, 2)});
+  peaks.print();
+  return 0;
+}

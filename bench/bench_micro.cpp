@@ -1,0 +1,131 @@
+// Runtime-internal microbenchmarks (google-benchmark, wall clock).
+//
+// These measure the real costs of the library machinery itself —
+// enqueue/dependence analysis, event signaling, DES throughput, team
+// dispatch — the quantities §III calls "hStreams overheads ... on the
+// host", reported there as negligible.
+
+#include <benchmark/benchmark.h>
+
+#include "core/runtime.hpp"
+#include "core/threaded_executor.hpp"
+#include "sim/des.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+#include "threading/team.hpp"
+
+namespace hs {
+namespace {
+
+std::unique_ptr<Runtime> make_sim_runtime() {
+  const sim::SimPlatform platform = sim::hsw_plus_knc(1);
+  RuntimeConfig config;
+  config.platform = platform.desc;
+  return std::make_unique<Runtime>(
+      config, std::make_unique<sim::SimExecutor>(platform, false));
+}
+
+// Cost of enqueueing a compute action with operand resolution and
+// dependence wiring against a non-trivial window.
+void BM_EnqueueCompute(benchmark::State& state) {
+  auto rt = make_sim_runtime();
+  std::vector<double> data(1024);
+  const BufferId id =
+      rt->buffer_create(data.data(), data.size() * sizeof(double));
+  rt->buffer_instantiate(id, DomainId{1});
+  const StreamId s = rt->stream_create(DomainId{1}, CpuMask::first_n(60));
+  std::size_t cursor = 0;
+  for (auto _ : state) {
+    const OperandRef ops[] = {
+        {data.data() + (cursor % 512), 64 * sizeof(double), Access::inout}};
+    ComputePayload p;
+    p.kernel = "dgemm";
+    p.flops = 1e6;
+    p.body = [](TaskContext&) {};
+    benchmark::DoNotOptimize(rt->enqueue_compute(s, std::move(p), ops));
+    cursor += 64;
+    if (cursor % 4096 == 0) {
+      state.PauseTiming();
+      rt->synchronize();
+      state.ResumeTiming();
+    }
+  }
+  rt->synchronize();
+}
+
+// Event fire/notify round trip.
+void BM_EventFire(benchmark::State& state) {
+  for (auto _ : state) {
+    EventState ev;
+    int hits = 0;
+    (void)ev.on_fire([&hits] { ++hits; });
+    for (auto& cb : ev.fire()) {
+      cb();
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+
+// Discrete-event engine throughput.
+void BM_DesStep(benchmark::State& state) {
+  sim::EventQueue queue;
+  double sink = 0.0;
+  for (auto _ : state) {
+    queue.schedule_after(1e-6, [&sink, &queue] { sink = queue.now(); });
+    queue.step();
+  }
+  benchmark::DoNotOptimize(sink);
+}
+
+// Capacity-resource pump.
+void BM_SimResource(benchmark::State& state) {
+  sim::EventQueue queue;
+  sim::SimResource resource(queue, 2);
+  for (auto _ : state) {
+    resource.submit(1e-6, [] {}, [] {});
+    queue.step();
+  }
+}
+
+// Team parallel_for dispatch across 4 workers (real threads).
+void BM_TeamParallelFor(benchmark::State& state) {
+  ThreadPool pool(4);
+  Team team(pool, CpuMask::first_n(4));
+  std::atomic<std::size_t> sink{0};
+  for (auto _ : state) {
+    std::atomic<bool> done{false};
+    team.run_async([&](Team& t) {
+      t.parallel_for(64, [&sink](std::size_t i) {
+        sink.fetch_add(i, std::memory_order_relaxed);
+      });
+      done.store(true);
+    });
+    while (!done.load()) {
+      std::this_thread::yield();
+    }
+  }
+  benchmark::DoNotOptimize(sink.load());
+}
+
+// Operand conflict detection (the dependence-analysis inner loop).
+void BM_OperandConflict(benchmark::State& state) {
+  const Operand a{BufferId{1}, 0, 4096, Access::out};
+  const Operand b{BufferId{1}, 2048, 4096, Access::in};
+  const Operand c{BufferId{2}, 0, 4096, Access::out};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.conflicts_with(b));
+    benchmark::DoNotOptimize(a.conflicts_with(c));
+  }
+}
+
+BENCHMARK(BM_EnqueueCompute);
+BENCHMARK(BM_EventFire);
+BENCHMARK(BM_DesStep);
+BENCHMARK(BM_SimResource);
+BENCHMARK(BM_TeamParallelFor);
+BENCHMARK(BM_OperandConflict);
+
+}  // namespace
+}  // namespace hs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// §VI "Petrobras RTM": baseline host execution vs fully-synchronous
+// offload vs asynchronous pipelined offload, for 1-4 ranks.
+//
+// Paper results: "The benefit of asynchronous pipelining ranges from 3 to
+// 10%. ... the speedup from using a KNC over just a Haswell host is
+// 1.52x for 1 card and 6.02x for 4 ranks on 4 MICs for optimized code.
+// For unoptimized code, the speedup, 1.13x-4.53x, is lower."
+// (Host baseline: the same number of ranks sharing the host.)
+
+#include <vector>
+
+#include "apps/rtm.hpp"
+#include "bench_util.hpp"
+
+namespace hs::bench {
+namespace {
+
+double run_scheme(std::size_t ranks, apps::RtmScheme scheme, bool optimized) {
+  const sim::SimPlatform platform = sim::hsw_plus_knc(
+      scheme == apps::RtmScheme::host_only ? 1 : ranks);
+  auto rt = sim_runtime(platform);
+  apps::RtmConfig config;
+  config.nx = 600;
+  config.ny = 600;
+  // Paper-like halo slabs (~1K x 1K x 8); bulk dominates per subdomain.
+  config.nz = 96 * ranks;
+  config.steps = 50;
+  config.ranks = ranks;
+  config.scheme = scheme;
+  config.optimized_kernel = optimized;
+  return run_rtm(*rt, config).seconds;
+}
+
+}  // namespace
+}  // namespace hs::bench
+
+int main() {
+  using namespace hs;
+  using namespace hs::bench;
+
+  for (const bool optimized : {true, false}) {
+    Table table(std::string("RTM — ") +
+                (optimized ? "optimized" : "unoptimized") +
+                " stencil, seconds for 50 steps (sim)");
+    table.header({"ranks", "host only", "sync offload", "pipelined",
+                  "pipeline gain", "KNC vs host"});
+    for (std::size_t ranks = 1; ranks <= 4; ++ranks) {
+      const double host = run_scheme(ranks, apps::RtmScheme::host_only,
+                                     optimized);
+      const double sync = run_scheme(ranks, apps::RtmScheme::sync_offload,
+                                     optimized);
+      const double pipe = run_scheme(ranks, apps::RtmScheme::pipelined,
+                                     optimized);
+      table.row({std::to_string(ranks), fmt(host, 3), fmt(sync, 3),
+                 fmt(pipe, 3), fmt(100.0 * (sync - pipe) / sync, 1) + "%",
+                 fmt(host / pipe, 2) + "x"});
+    }
+    table.print();
+  }
+
+  // Headline anchors.
+  const double host1 = run_scheme(1, apps::RtmScheme::host_only, true);
+  const double pipe1 = run_scheme(1, apps::RtmScheme::pipelined, true);
+  const double host4 = run_scheme(4, apps::RtmScheme::host_only, true);
+  const double pipe4 = run_scheme(4, apps::RtmScheme::pipelined, true);
+  Table anchors("RTM — headline speedups vs paper (optimized)");
+  anchors.header({"metric", "measured (paper)"});
+  anchors.row({"1 rank, 1 KNC vs host", vs_paper(host1 / pipe1, 1.52, 2)});
+  anchors.row({"4 ranks, 4 KNC vs host", vs_paper(host4 / pipe4, 6.02, 2)});
+  anchors.print();
+  return 0;
+}

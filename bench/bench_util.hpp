@@ -1,0 +1,44 @@
+#pragma once
+
+// Shared plumbing for the figure/table benches.
+//
+// Every bench binary regenerates one table or figure of the paper in
+// *virtual time* on the SimExecutor with payload execution disabled:
+// the scheduler runs the real action graph (every enqueue, dependence,
+// transfer and task is real), but kernel bodies are skipped and clock
+// time comes from the calibrated device/link models. Matrices are
+// "phantom" allocations (address space only), so paper-scale problems
+// fit the evaluation container. Absolute GF/s therefore follow the
+// calibration; the *shape* — who wins, by what factor, where crossovers
+// sit — is the reproduction target (see EXPERIMENTS.md).
+
+#include <memory>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/runtime.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace hs::bench {
+
+/// Fresh simulation runtime for one data point.
+inline std::unique_ptr<Runtime> sim_runtime(const sim::SimPlatform& platform,
+                                            bool transfer_pool = true,
+                                            bool execute_payloads = false) {
+  RuntimeConfig config;
+  config.platform = platform.desc;
+  config.device_link = platform.link;
+  config.domain_links = platform.domain_links;
+  config.transfer_pool_enabled = transfer_pool;
+  return std::make_unique<Runtime>(
+      config,
+      std::make_unique<sim::SimExecutor>(platform, execute_payloads));
+}
+
+/// "x.xx (paper y)" cell helper for side-by-side reporting.
+inline std::string vs_paper(double measured, double paper, int precision = 0) {
+  return fmt(measured, precision) + " (paper " + fmt(paper, precision) + ")";
+}
+
+}  // namespace hs::bench

@@ -1,0 +1,87 @@
+// The paper's flagship algorithm (Fig 4): hetero tiled matrix multiply
+// across the host and multiple cards.
+//
+//   * A is broadcast, one tile at a time, to the host (host-as-target
+//     streams: transfers aliased away) and to every card;
+//   * B and C are partitioned into column panels owned by one domain
+//     each — no card-card communication, ever;
+//   * computation on a panel starts as soon as its first tiles arrive
+//     (pipelining), instead of waiting for whole matrices like the
+//     traditional offload.
+//
+// Part 1 checks numerics on the threaded backend; part 2 reproduces the
+// Fig 6 load-balancing observation in virtual time.
+//
+// Build & run:  ./examples/matmul_hetero
+
+#include <cstdio>
+
+#include "apps/matmul.hpp"
+#include "core/threaded_executor.hpp"
+#include "hsblas/reference.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+int main() {
+  using namespace hs;
+
+  // --- Part 1: host + 2 emulated cards, real data -------------------------
+  {
+    RuntimeConfig config;
+    config.platform = PlatformDesc::host_plus_cards(4, 2, 8);
+    Runtime runtime(config, std::make_unique<ThreadedExecutor>());
+
+    Rng rng(99);
+    blas::Matrix da(192, 192);
+    blas::Matrix db(192, 192);
+    da.randomize(rng);
+    db.randomize(rng);
+    apps::TiledMatrix a = apps::TiledMatrix::from_dense(da, 32);
+    apps::TiledMatrix b = apps::TiledMatrix::from_dense(db, 32);
+    apps::TiledMatrix c = apps::TiledMatrix::square(192, 32);
+
+    apps::MatmulConfig mm;
+    mm.streams_per_device = 2;
+    mm.host_streams = 2;
+    const apps::MatmulStats stats = apps::run_matmul(runtime, mm, a, b, c);
+
+    const blas::Matrix expected = blas::ref::multiply(da, db);
+    const double err =
+        blas::max_abs_diff(c.to_dense().view(), expected.view());
+    std::printf("threaded: C=A*B across host + 2 cards — panels "
+                "host/cards = %zu/%zu, max error %.2e\n",
+                stats.panels_host, stats.panels_cards, err);
+    const RuntimeStats rs = runtime.stats();
+    std::printf("          %llu tasks, %llu transfers, %llu actions ran "
+                "out of order under FIFO semantics\n",
+                static_cast<unsigned long long>(rs.computes_enqueued),
+                static_cast<unsigned long long>(rs.transfers_enqueued),
+                static_cast<unsigned long long>(rs.ooo_dispatches));
+  }
+
+  // --- Part 2: the Fig 6 load-balancing effect in virtual time ------------
+  std::printf("\nIVB + 2 KNC, N=16000 (virtual time):\n");
+  for (const bool balanced : {false, true}) {
+    const sim::SimPlatform platform = sim::ivb_plus_knc(2);
+    RuntimeConfig config;
+    config.platform = platform.desc;
+    config.device_link = platform.link;
+    Runtime runtime(config, std::make_unique<sim::SimExecutor>(
+                                platform, /*execute_payloads=*/false));
+    apps::TiledMatrix a = apps::TiledMatrix::phantom(16000, 16000 / 15);
+    apps::TiledMatrix b = apps::TiledMatrix::phantom(16000, 16000 / 15);
+    apps::TiledMatrix c = apps::TiledMatrix::phantom(16000, 16000 / 15);
+    apps::MatmulConfig mm;
+    mm.streams_per_device = 4;
+    mm.host_streams = 2;
+    if (balanced) {
+      mm.domain_weights = {0.48, 1.0, 1.0};  // IVB is half a KNC
+    }
+    const apps::MatmulStats stats = apps::run_matmul(runtime, mm, a, b, c);
+    std::printf("  %-22s %6.0f GF/s\n",
+                balanced ? "weighted panels:" : "naive even panels:",
+                stats.gflops);
+  }
+  std::printf("(the paper reports this load-balancing gap as 1.58x)\n");
+  return 0;
+}

@@ -1,0 +1,90 @@
+// OmpSs-style dataflow on top of the streaming runtime (paper §II/§IV).
+//
+// The user declares tasks with in/out/inout data; the OmpSs layer detects
+// dependences, allocates and moves data automatically, and schedules
+// across devices — over either the hStreams relaxed-FIFO backend or the
+// CUDA-Streams strict backend the paper compares against.
+//
+// Build & run:  ./examples/ompss_dataflow
+
+#include <cstdio>
+
+#include "apps/tiled_matrix.hpp"
+#include "core/threaded_executor.hpp"
+#include "hsblas/kernels.hpp"
+#include "hsblas/reference.hpp"
+#include "ompss/ompss.hpp"
+
+int main() {
+  using namespace hs;
+
+  RuntimeConfig config;
+  config.platform = PlatformDesc::host_plus_cards(4, 1, 8);
+  config.transfer_pool_enabled = false;  // the paper's OmpSs configuration
+  Runtime runtime(config, std::make_unique<ThreadedExecutor>());
+
+  ompss::OmpssConfig oc;
+  oc.backend = ompss::BackendStyle::hstreams;
+  oc.streams_per_device = 2;
+  ompss::OmpssRuntime omp(runtime, oc);
+
+  // A 4x4-tiled matmul written as a dependency-annotated task graph.
+  constexpr std::size_t kN = 128;
+  constexpr std::size_t kTile = 32;
+  Rng rng(7);
+  blas::Matrix da(kN, kN);
+  blas::Matrix db(kN, kN);
+  da.randomize(rng);
+  db.randomize(rng);
+  apps::TiledMatrix a = apps::TiledMatrix::from_dense(da, kTile);
+  apps::TiledMatrix b = apps::TiledMatrix::from_dense(db, kTile);
+  apps::TiledMatrix c = apps::TiledMatrix::square(kN, kTile);
+
+  // OmpSs tracks dependences per registered object: register each tile.
+  for (apps::TiledMatrix* m : {&a, &b, &c}) {
+    for (std::size_t j = 0; j < m->col_tiles(); ++j) {
+      for (std::size_t i = 0; i < m->row_tiles(); ++i) {
+        omp.register_region(m->tile_ptr(i, j), m->tile_bytes(i, j));
+      }
+    }
+  }
+
+  for (std::size_t p = 0; p < c.col_tiles(); ++p) {
+    for (std::size_t k = 0; k < a.col_tiles(); ++k) {
+      for (std::size_t i = 0; i < a.row_tiles(); ++i) {
+        const double* pa = a.tile_ptr(i, k);
+        const double* pb = b.tile_ptr(k, p);
+        double* pc = c.tile_ptr(i, p);
+        const double beta = k == 0 ? 0.0 : 1.0;
+        // #pragma omp task in(A[i][k], B[k][p]) inout(C[i][p])
+        omp.task(
+            "dgemm", blas::gemm_flops(kTile, kTile, kTile),
+            [pa, pb, pc, beta](TaskContext& ctx) {
+              const double* ta = ctx.translate(pa, kTile * kTile);
+              const double* tb = ctx.translate(pb, kTile * kTile);
+              double* tc = ctx.translate(pc, kTile * kTile);
+              blas::gemm(blas::Op::none, blas::Op::none, 1.0,
+                         {ta, kTile, kTile, kTile}, {tb, kTile, kTile, kTile},
+                         beta, {tc, kTile, kTile, kTile});
+            },
+            {{pa, kTile * kTile * sizeof(double), Access::in},
+             {pb, kTile * kTile * sizeof(double), Access::in},
+             {pc, kTile * kTile * sizeof(double),
+              k == 0 ? Access::out : Access::inout}});
+      }
+    }
+  }
+  omp.fetch_all();  // write dirty regions home and drain
+
+  const blas::Matrix expected = blas::ref::multiply(da, db);
+  const double err =
+      blas::max_abs_diff(c.to_dense().view(), expected.view());
+  const auto& stats = omp.stats();
+  std::printf("tasks submitted        : %zu\n", stats.tasks);
+  std::printf("transfers inserted     : %zu (automatic data movement)\n",
+              stats.transfers);
+  std::printf("cross-stream edges     : %zu (events the runtime managed)\n",
+              stats.cross_stream_edges);
+  std::printf("max |C - A*B|          : %.2e\n", err);
+  return err < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,108 @@
+// Quickstart: the three hStreams abstractions in ~80 lines.
+//
+//   domains — the host plus emulated coprocessor cards;
+//   streams — FIFO task queues bound to (domain, CPU-mask) sinks;
+//   buffers — proxy-addressed memory with per-domain incarnations.
+//
+// This example uploads a vector to an emulated card, scales it there with
+// a team-parallel task, pulls it back, and shows the FIFO-with-
+// out-of-order behaviour that distinguishes hStreams from strict stream
+// models.
+//
+// Build & run:  ./examples/quickstart
+
+#include <cstdio>
+#include <numeric>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "core/threaded_executor.hpp"
+
+int main() {
+  using namespace hs;
+
+  // A platform with one host (4 threads) and one card (8 threads).
+  RuntimeConfig config;
+  config.platform = PlatformDesc::host_plus_cards(4, 1, 8);
+  Runtime runtime(config, std::make_unique<ThreadedExecutor>());
+
+  std::printf("domains:\n");
+  for (std::size_t d = 0; d < runtime.domain_count(); ++d) {
+    const Domain& dom = runtime.domain(DomainId{static_cast<uint32_t>(d)});
+    std::printf("  [%zu] %-6s kind=%s threads=%zu\n", d,
+                dom.desc().name.c_str(),
+                dom.is_host() ? "host" : "coprocessor", dom.hw_threads());
+  }
+
+  // A stream whose sink is the card, using 4 of its 8 threads.
+  const DomainId card{1};
+  const StreamId stream = runtime.stream_create(card, CpuMask::first_n(4));
+
+  // Wrap user memory as a buffer; instantiate it on the card.
+  std::vector<double> data(1 << 16);
+  std::iota(data.begin(), data.end(), 0.0);
+  const BufferId buffer =
+      runtime.buffer_create(data.data(), data.size() * sizeof(double));
+  runtime.buffer_instantiate(buffer, card);
+
+  // Enqueue: upload -> compute -> download. The three actions share the
+  // buffer operand, so FIFO order is enforced between them implicitly —
+  // no events, no waits.
+  (void)runtime.enqueue_transfer(stream, data.data(),
+                                 data.size() * sizeof(double),
+                                 XferDir::src_to_sink);
+
+  ComputePayload task;
+  task.kernel = "scale";
+  task.flops = static_cast<double>(data.size());
+  double* ptr = data.data();
+  const std::size_t count = data.size();
+  task.body = [ptr, count](TaskContext& ctx) {
+    // Task code uses only host proxy addresses; translate() finds the
+    // card-local incarnation. parallel_for expands across the stream's
+    // team without the task knowing the team width.
+    double* local = ctx.translate(ptr, count);
+    ctx.parallel_for(count, [local](std::size_t i) { local[i] *= 2.0; });
+  };
+  const OperandRef ops[] = {
+      {ptr, count * sizeof(double), Access::inout}};
+  (void)runtime.enqueue_compute(stream, std::move(task), ops);
+
+  auto done = runtime.enqueue_transfer(stream, data.data(),
+                                       data.size() * sizeof(double),
+                                       XferDir::sink_to_src);
+
+  // Host-side wait on the last action's completion event.
+  const std::shared_ptr<EventState> events[] = {done};
+  runtime.event_wait_host(events);
+  std::printf("data[100] = %.1f (expected 200.0)\n", data[100]);
+
+  // Out-of-order under FIFO semantics: a transfer touching *different*
+  // memory overtakes a queued compute (the §II example).
+  std::vector<double> other(1 << 16, 1.0);
+  const BufferId buffer2 =
+      runtime.buffer_create(other.data(), other.size() * sizeof(double));
+  runtime.buffer_instantiate(buffer2, card);
+  ComputePayload slow;
+  slow.kernel = "slow";
+  slow.body = [](TaskContext&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  };
+  const OperandRef slow_ops[] = {{ptr, count * sizeof(double), Access::inout}};
+  (void)runtime.enqueue_compute(stream, std::move(slow), slow_ops);
+  auto xfer = runtime.enqueue_transfer(stream, other.data(),
+                                       other.size() * sizeof(double),
+                                       XferDir::src_to_sink);
+  const std::shared_ptr<EventState> xevents[] = {xfer};
+  runtime.event_wait_host(xevents);
+  std::printf("independent transfer finished while the task still runs: %s\n",
+              runtime.stats().ooo_dispatches > 0 ? "yes" : "no");
+
+  runtime.synchronize();
+  const RuntimeStats stats = runtime.stats();
+  std::printf("stats: %llu computes, %llu transfers, %llu bytes moved\n",
+              static_cast<unsigned long long>(stats.computes_enqueued),
+              static_cast<unsigned long long>(stats.transfers_enqueued),
+              static_cast<unsigned long long>(stats.bytes_transferred));
+  return 0;
+}

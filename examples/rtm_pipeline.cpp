@@ -1,0 +1,74 @@
+// Petrobras-style RTM halo pipelining (paper §V/§VI).
+//
+// Shows the two halo-exchange schemes on a 2-rank decomposition:
+//   * sync_offload  — compute, barrier, exchange, barrier;
+//   * pipelined     — halo slabs first, transfers enqueued in the same
+//                     stream (FIFO + operands order them), bulk compute
+//                     overlapping the exchange.
+// Verifies both produce bit-identical wavefields, then times them at a
+// larger scale on the simulator.
+//
+// Build & run:  ./examples/rtm_pipeline
+
+#include <cstdio>
+#include <vector>
+
+#include "apps/rtm.hpp"
+#include "core/threaded_executor.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+int main() {
+  using namespace hs;
+
+  // --- Correctness: schemes agree bit for bit -----------------------------
+  std::vector<double> sync_field;
+  std::vector<double> pipe_field;
+  for (const apps::RtmScheme scheme :
+       {apps::RtmScheme::sync_offload, apps::RtmScheme::pipelined}) {
+    RuntimeConfig config;
+    config.platform = PlatformDesc::host_plus_cards(2, 2, 4);
+    Runtime runtime(config, std::make_unique<ThreadedExecutor>());
+    apps::RtmConfig rtm;
+    rtm.nx = 24;
+    rtm.ny = 20;
+    rtm.nz = 32;
+    rtm.steps = 4;
+    rtm.ranks = 2;
+    rtm.scheme = scheme;
+    auto* field = scheme == apps::RtmScheme::pipelined ? &pipe_field
+                                                       : &sync_field;
+    (void)apps::run_rtm(runtime, rtm, field);
+  }
+  bool identical = sync_field == pipe_field;
+  std::printf("sync vs pipelined wavefields identical: %s\n",
+              identical ? "yes" : "NO (bug!)");
+
+  // --- Performance: virtual time at paper-like scale ----------------------
+  std::printf("\nsimulated 2 ranks on 2 KNC cards, 600x600x192, 50 steps:\n");
+  for (const apps::RtmScheme scheme :
+       {apps::RtmScheme::host_only, apps::RtmScheme::sync_offload,
+        apps::RtmScheme::pipelined}) {
+    const sim::SimPlatform platform = sim::hsw_plus_knc(2);
+    RuntimeConfig config;
+    config.platform = platform.desc;
+    config.device_link = platform.link;
+    Runtime runtime(config, std::make_unique<sim::SimExecutor>(
+                                platform, /*execute_payloads=*/false));
+    apps::RtmConfig rtm;
+    rtm.nx = 600;
+    rtm.ny = 600;
+    rtm.nz = 192;
+    rtm.steps = 50;
+    rtm.ranks = 2;
+    rtm.scheme = scheme;
+    const apps::RtmStats stats = apps::run_rtm(runtime, rtm);
+    const char* name = scheme == apps::RtmScheme::host_only ? "host only  "
+                       : scheme == apps::RtmScheme::sync_offload
+                           ? "sync offload"
+                           : "pipelined   ";
+    std::printf("  %s : %7.3f s  (%.1f Mpoints/s)\n", name, stats.seconds,
+                stats.mpoints_per_s);
+  }
+  return identical ? 0 : 1;
+}

@@ -1,0 +1,325 @@
+#include "apps/cg.hpp"
+
+#include <cmath>
+
+#include "hsblas/kernels.hpp"
+
+namespace hs::apps {
+namespace {
+
+/// Dense reference mat-vec on the host for the initial residual.
+void initial_residual(const TiledMatrix& a, const std::vector<double>& b,
+                      const std::vector<double>& x, std::vector<double>& r) {
+  const std::size_t nt = a.row_tiles();
+  r = b;
+  for (std::size_t i = 0; i < nt; ++i) {
+    for (std::size_t j = 0; j < nt; ++j) {
+      const auto tile = a.tile_view(i, j);
+      for (std::size_t c = 0; c < tile.cols; ++c) {
+        const double xj = x[j * a.tile() + c];
+        if (xj == 0.0) {
+          continue;
+        }
+        for (std::size_t rr = 0; rr < tile.rows; ++rr) {
+          r[i * a.tile() + rr] -= tile(rr, c) * xj;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+CgStats run_cg(Runtime& runtime, const CgConfig& config, const TiledMatrix& a,
+               const std::vector<double>& b, std::vector<double>& x) {
+  require(a.rows() == a.cols(), "cg needs a square matrix");
+  const std::size_t n = a.rows();
+  require(b.size() == n && x.size() == n, "cg vector sizes");
+  const std::size_t nt = a.row_tiles();
+
+  // Compute domains: host (if requested) + every card.
+  std::vector<DomainId> domains;
+  if (config.host_streams > 0) {
+    domains.push_back(kHostDomain);
+  }
+  for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
+    domains.push_back(DomainId{static_cast<std::uint32_t>(d)});
+  }
+  require(!domains.empty(), "cg needs at least one compute domain");
+  auto owner = [&](std::size_t i) { return domains[i % domains.size()]; };
+
+  // Streams per domain.
+  std::map<std::uint32_t, std::vector<StreamId>> streams;
+  for (const DomainId dom : domains) {
+    const std::size_t threads = runtime.domain(dom).hw_threads();
+    const std::size_t count =
+        std::min(dom == kHostDomain ? config.host_streams
+                                    : config.streams_per_device,
+                 threads);
+    for (const CpuMask& mask : CpuMask::partition(threads, count)) {
+      streams[dom.value].push_back(runtime.stream_create(dom, mask));
+    }
+  }
+  auto block_stream = [&](std::size_t i) {
+    const auto& list = streams[owner(i).value];
+    return list[(i / domains.size()) % list.size()];
+  };
+
+  // Working vectors. p is replicated (SpMV reads all of it); q, r, x and
+  // the partial-sum scratch are block-distributed.
+  std::vector<double> p(n, 0.0);
+  std::vector<double> q(n, 0.0);
+  std::vector<double> r(n, 0.0);
+  std::vector<double> partial(nt, 0.0);
+
+  initial_residual(a, b, x, r);
+  p = r;
+  double rr = 0.0;
+  for (const double v : r) {
+    rr += v * v;
+  }
+  double bb = 0.0;
+  for (const double v : b) {
+    bb += v * v;
+  }
+  const double threshold = config.tolerance * (bb > 0.0 ? bb : 1.0);
+
+  // Register everything; instantiate on every card in use.
+  std::vector<BufferId> ids;
+  auto reg = [&](void* base, std::size_t bytes) {
+    const BufferId id = runtime.buffer_create(base, bytes);
+    for (const DomainId dom : domains) {
+      if (dom != kHostDomain) {
+        runtime.buffer_instantiate(id, dom);
+      }
+    }
+    ids.push_back(id);
+    return id;
+  };
+  (void)reg(const_cast<double*>(a.tile_ptr(0, 0)), a.size_bytes());
+  (void)reg(p.data(), n * sizeof(double));
+  (void)reg(q.data(), n * sizeof(double));
+  (void)reg(r.data(), n * sizeof(double));
+  (void)reg(x.data(), n * sizeof(double));
+  (void)reg(partial.data(), nt * sizeof(double));
+
+  const double t0 = runtime.now();
+
+  // One-time uploads: the matrix (whole) to each card, plus each card's
+  // owned blocks of r and x.
+  for (const DomainId dom : domains) {
+    if (dom == kHostDomain) {
+      continue;
+    }
+    const StreamId s0 = streams[dom.value].front();
+    (void)runtime.enqueue_transfer(s0, a.tile_ptr(0, 0), a.size_bytes(),
+                                   XferDir::src_to_sink);
+    for (std::size_t i = 0; i < nt; ++i) {
+      if (owner(i) != dom) {
+        continue;
+      }
+      const std::size_t off = i * a.tile();
+      const std::size_t len = a.tile_rows(i) * sizeof(double);
+      (void)runtime.enqueue_transfer(block_stream(i), r.data() + off, len,
+                                     XferDir::src_to_sink);
+      (void)runtime.enqueue_transfer(block_stream(i), x.data() + off, len,
+                                     XferDir::src_to_sink);
+    }
+  }
+
+  CgStats stats;
+  const double* abase = a.tile_ptr(0, 0);
+  const std::size_t tile = a.tile();
+
+  for (std::size_t iter = 0; iter < config.max_iterations && rr > threshold;
+       ++iter) {
+    // --- Broadcast p to the cards; SpMV + p.q partials per block row.
+    std::vector<std::shared_ptr<EventState>> partial_evs;
+    std::map<std::uint32_t, std::shared_ptr<EventState>> bcast;
+    for (const DomainId dom : domains) {
+      if (dom == kHostDomain) {
+        continue;
+      }
+      bcast[dom.value] = runtime.enqueue_transfer(
+          streams[dom.value].front(), p.data(), n * sizeof(double),
+          XferDir::src_to_sink);
+    }
+    for (std::size_t i = 0; i < nt; ++i) {
+      const StreamId st = block_stream(i);
+      const DomainId dom = owner(i);
+      if (dom != kHostDomain && st != streams[dom.value].front()) {
+        // Scoped wait: the p broadcast landed in another stream of the
+        // same domain.
+        const OperandRef wops[] = {
+            {p.data(), n * sizeof(double), Access::out}};
+        (void)runtime.enqueue_event_wait(st, bcast.at(dom.value), wops);
+      }
+      const std::size_t rows = a.tile_rows(i);
+      const std::size_t off = i * tile;
+      ComputePayload task;
+      task.kernel = "dgemv";
+      task.flops = 2.0 * static_cast<double>(rows) * static_cast<double>(n) +
+                   2.0 * static_cast<double>(rows);
+      const TiledMatrix* am = &a;
+      double* pp = p.data();
+      double* pq = q.data();
+      double* ppart = partial.data();
+      task.body = [am, pp, pq, ppart, abase, i, off, rows, n,
+                   nt](TaskContext& ctx) {
+        const double* lp = ctx.translate(pp, n);
+        double* lq = ctx.translate(pq + off, rows);
+        const double* la = ctx.translate(abase, 1);
+        for (std::size_t k = 0; k < rows; ++k) {
+          lq[k] = 0.0;
+        }
+        for (std::size_t j = 0; j < nt; ++j) {
+          // View of tile (i,j) relative to the translated matrix base.
+          const double* tbase =
+              la + (am->tile_ptr(i, j) - am->tile_ptr(0, 0));
+          const blas::ConstMatrixView t{tbase, rows, am->tile_cols(j), rows};
+          const double* pj = lp + j * am->tile();
+          for (std::size_t c = 0; c < t.cols; ++c) {
+            const double xv = pj[c];
+            if (xv == 0.0) {
+              continue;
+            }
+            for (std::size_t k = 0; k < rows; ++k) {
+              lq[k] += t(k, c) * xv;
+            }
+          }
+        }
+        double dot = 0.0;
+        const double* lpi = lp + off;
+        for (std::size_t k = 0; k < rows; ++k) {
+          dot += lpi[k] * lq[k];
+        }
+        *ctx.translate(ppart + i, 1) = dot;
+      };
+      const OperandRef ops[] = {
+          {abase, a.size_bytes(), Access::in},
+          {p.data(), n * sizeof(double), Access::in},
+          {q.data() + off, rows * sizeof(double), Access::out},
+          {partial.data() + i, sizeof(double), Access::out}};
+      auto spmv_done = runtime.enqueue_compute(st, std::move(task), ops);
+      partial_evs.push_back(
+          owner(i) == kHostDomain
+              ? std::move(spmv_done)
+              : runtime.enqueue_transfer(st, partial.data() + i,
+                                         sizeof(double),
+                                         XferDir::sink_to_src));
+    }
+    runtime.event_wait_host(partial_evs);
+    double pq_sum = 0.0;
+    for (const double v : partial) {
+      pq_sum += v;
+    }
+    const double alpha = rr / pq_sum;
+
+    // --- x += alpha p ; r -= alpha q ; partial = r.r per block.
+    std::vector<std::shared_ptr<EventState>> rr_evs;
+    for (std::size_t i = 0; i < nt; ++i) {
+      const StreamId st = block_stream(i);
+      const std::size_t rows = a.tile_rows(i);
+      const std::size_t off = i * tile;
+      ComputePayload task;
+      task.kernel = "axpy";
+      task.flops = 6.0 * static_cast<double>(rows);
+      double* pp = p.data();
+      double* pq = q.data();
+      double* pr = r.data();
+      double* px = x.data();
+      double* ppart = partial.data();
+      task.body = [pp, pq, pr, px, ppart, i, off, rows,
+                   alpha](TaskContext& ctx) {
+        const double* lp = ctx.translate(pp + off, rows);
+        const double* lq = ctx.translate(pq + off, rows);
+        double* lr = ctx.translate(pr + off, rows);
+        double* lx = ctx.translate(px + off, rows);
+        double dot = 0.0;
+        for (std::size_t k = 0; k < rows; ++k) {
+          lx[k] += alpha * lp[k];
+          lr[k] -= alpha * lq[k];
+          dot += lr[k] * lr[k];
+        }
+        *ctx.translate(ppart + i, 1) = dot;
+      };
+      const OperandRef ops[] = {
+          {p.data() + off, rows * sizeof(double), Access::in},
+          {q.data() + off, rows * sizeof(double), Access::in},
+          {r.data() + off, rows * sizeof(double), Access::inout},
+          {x.data() + off, rows * sizeof(double), Access::inout},
+          {partial.data() + i, sizeof(double), Access::out}};
+      auto axpy_done = runtime.enqueue_compute(st, std::move(task), ops);
+      rr_evs.push_back(owner(i) == kHostDomain
+                           ? std::move(axpy_done)
+                           : runtime.enqueue_transfer(
+                                 st, partial.data() + i, sizeof(double),
+                                 XferDir::sink_to_src));
+    }
+    runtime.event_wait_host(rr_evs);
+    double rr_new = 0.0;
+    for (const double v : partial) {
+      rr_new += v;
+    }
+    const double beta = rr_new / rr;
+    rr = rr_new;
+    ++stats.iterations;
+    if (rr <= threshold) {
+      break;
+    }
+
+    // --- p = r + beta p per block, then ship the block home so the next
+    // broadcast carries a coherent p.
+    std::vector<std::shared_ptr<EventState>> p_evs;
+    for (std::size_t i = 0; i < nt; ++i) {
+      const StreamId st = block_stream(i);
+      const std::size_t rows = a.tile_rows(i);
+      const std::size_t off = i * tile;
+      ComputePayload task;
+      task.kernel = "axpy";
+      task.flops = 2.0 * static_cast<double>(rows);
+      double* pp = p.data();
+      double* pr = r.data();
+      task.body = [pp, pr, off, rows, beta](TaskContext& ctx) {
+        const double* lr = ctx.translate(pr + off, rows);
+        double* lp = ctx.translate(pp + off, rows);
+        for (std::size_t k = 0; k < rows; ++k) {
+          lp[k] = lr[k] + beta * lp[k];
+        }
+      };
+      const OperandRef ops[] = {
+          {r.data() + off, rows * sizeof(double), Access::in},
+          {p.data() + off, rows * sizeof(double), Access::inout}};
+      auto update_done = runtime.enqueue_compute(st, std::move(task), ops);
+      p_evs.push_back(owner(i) != kHostDomain
+                          ? runtime.enqueue_transfer(st, p.data() + off,
+                                                     rows * sizeof(double),
+                                                     XferDir::sink_to_src)
+                          : std::move(update_done));
+    }
+    runtime.event_wait_host(p_evs);
+  }
+
+  // Gather x blocks from the cards.
+  std::vector<std::shared_ptr<EventState>> x_evs;
+  for (std::size_t i = 0; i < nt; ++i) {
+    if (owner(i) == kHostDomain) {
+      continue;
+    }
+    x_evs.push_back(runtime.enqueue_transfer(
+        block_stream(i), x.data() + i * tile,
+        a.tile_rows(i) * sizeof(double), XferDir::sink_to_src));
+  }
+  runtime.synchronize();
+
+  stats.seconds = runtime.now() - t0;
+  stats.residual = std::sqrt(rr);
+  stats.converged = rr <= threshold;
+  // Buffers wrap caller storage; drop the registrations before return.
+  for (const BufferId id : ids) {
+    runtime.buffer_destroy(id);
+  }
+  return stats;
+}
+
+}  // namespace hs::apps

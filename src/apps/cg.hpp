@@ -1,0 +1,42 @@
+#pragma once
+
+// Conjugate-gradient solver on the streaming runtime.
+//
+// §VII lists iterative solvers as the next target for the hStreams
+// layering ("Simulia is considering applying hStreams to their
+// Eigenvalue solver, and also their AMS solver"). CG exercises a pattern
+// the direct solvers do not: every iteration needs two global
+// *reductions* (dot products), whose partial sums are produced on the
+// devices, shipped home, and combined on the host before the next step
+// can be enqueued — a tight latency loop instead of a wide pipeline.
+//
+// The SPD matrix is tile-packed and distributed by block rows across the
+// compute domains (host-as-target streams plus cards); vectors live in
+// per-domain-replicated buffers refreshed each iteration.
+
+#include "core/runtime.hpp"
+#include "apps/tiled_matrix.hpp"
+
+namespace hs::apps {
+
+struct CgConfig {
+  std::size_t streams_per_device = 2;
+  std::size_t host_streams = 1;  ///< 0 = pure offload
+  std::size_t max_iterations = 200;
+  double tolerance = 1e-10;  ///< on ||r||^2 / ||b||^2
+};
+
+struct CgStats {
+  std::size_t iterations = 0;
+  double residual = 0.0;  ///< final sqrt(r.r)
+  double seconds = 0.0;
+  bool converged = false;
+};
+
+/// Solves A x = b for SPD tiled `a`. `x` must be pre-sized to n (its
+/// contents are the starting guess). Returns convergence stats.
+CgStats run_cg(Runtime& runtime, const CgConfig& config,
+               const TiledMatrix& a, const std::vector<double>& b,
+               std::vector<double>& x);
+
+}  // namespace hs::apps

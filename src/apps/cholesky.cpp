@@ -1,0 +1,272 @@
+#include "apps/cholesky.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "hsblas/kernels.hpp"
+
+namespace hs::apps {
+namespace {
+
+/// Owner assignment for tile rows: round-robin across compute domains,
+/// weighted (a domain with weight 2 takes two turns per cycle).
+std::vector<std::size_t> assign_rows(std::size_t rows,
+                                     const std::vector<double>& weights) {
+  // Expand weights into a turn schedule, e.g. {1, 2} -> d0, d1, d1.
+  const double min_w = *std::ranges::min_element(weights);
+  require(min_w > 0.0, "row weights must be positive");
+  std::vector<std::size_t> schedule;
+  for (std::size_t d = 0; d < weights.size(); ++d) {
+    const auto turns = static_cast<std::size_t>(
+        std::max(1.0, std::round(weights[d] / min_w)));
+    for (std::size_t t = 0; t < turns; ++t) {
+      schedule.push_back(d);
+    }
+  }
+  std::vector<std::size_t> owner(rows);
+  // Interleave turns across the schedule cycle.
+  std::size_t cursor = 0;
+  for (std::size_t i = 0; i < rows; ++i) {
+    owner[i] = schedule[cursor];
+    cursor = (cursor + 1) % schedule.size();
+  }
+  return owner;
+}
+
+}  // namespace
+
+CholeskyStats run_cholesky(Runtime& runtime, const CholeskyConfig& config,
+                           TiledMatrix& a) {
+  require(a.rows() == a.cols(), "cholesky needs a square matrix");
+  const std::size_t nt = a.row_tiles();
+
+  AppApi app(runtime, AppConfig{.streams_per_device = config.streams_per_device,
+                                .host_streams = config.host_streams});
+
+  std::vector<DomainId> compute_domains;
+  if (!app.host_streams().empty()) {
+    compute_domains.push_back(kHostDomain);
+  }
+  std::vector<DomainId> cards;
+  for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
+    const DomainId domain{static_cast<std::uint32_t>(d)};
+    if (!app.streams_on(domain).empty()) {
+      compute_domains.push_back(domain);
+      cards.push_back(domain);
+    }
+  }
+  require(!compute_domains.empty(), "cholesky: no compute domains");
+
+  std::vector<double> weights = config.domain_weights;
+  if (weights.empty()) {
+    weights.assign(compute_domains.size(), 1.0);
+  }
+  require(weights.size() == compute_domains.size(),
+          "cholesky: one weight per compute domain required");
+
+  (void)app.create_buf(a.data(), a.size_bytes());
+
+  // The machine-wide host stream for panel work (DPOTRF + DTRSMs).
+  const StreamId panel_stream = runtime.stream_create(
+      kHostDomain,
+      CpuMask::first_n(runtime.domain(kHostDomain).hw_threads()));
+
+  const std::vector<std::size_t> row_owner = assign_rows(nt, weights);
+  auto owner_domain = [&](std::size_t i) {
+    return compute_domains[row_owner[i]];
+  };
+  // Fixed tile -> stream mapping within the owner domain, so successive
+  // updates of one tile share a stream and FIFO order covers them.
+  auto update_stream = [&](std::size_t i, std::size_t j) {
+    const auto streams = app.streams_on(owner_domain(i));
+    return streams[(i * 31 + j * 17) % streams.size()];
+  };
+
+  const double t0 = runtime.now();
+
+  // Initial upload: every card-owned interior tile (j >= 1, lower
+  // triangle) must be resident before its first trailing update reads it.
+  for (std::size_t i = 1; i < nt; ++i) {
+    if (owner_domain(i) == kHostDomain) {
+      continue;
+    }
+    for (std::size_t j = 1; j <= i; ++j) {
+      (void)app.xfer_memory(update_stream(i, j), a.tile_ptr(i, j),
+                            a.tile_bytes(i, j), XferDir::src_to_sink);
+    }
+  }
+
+  // arrival[i]: event that fires when the *host* copy of tile (i, k) is
+  // current for the step about to consume it. Null at step 0 (original
+  // data is already in user memory).
+  std::vector<std::shared_ptr<EventState>> arrival(nt);
+
+  CholeskyStats stats;
+  for (std::size_t k = 0; k < nt; ++k) {
+    // -- DPOTRF on the machine-wide host stream.
+    if (arrival[k] != nullptr) {
+      const OperandRef wops[] = {
+          {a.tile_ptr(k, k), a.tile_bytes(k, k), Access::out}};
+      (void)runtime.enqueue_event_wait(panel_stream, arrival[k], wops);
+    }
+    {
+      double* pkk = a.tile_ptr(k, k);
+      const std::size_t tk = a.tile_rows(k);
+      ComputePayload task;
+      task.kernel = "dpotrf";
+      task.flops = blas::potrf_flops(tk);
+      task.body = [pkk, tk](TaskContext& ctx) {
+        double* local = ctx.translate(pkk, tk * tk);
+        const int info = blas::potrf_lower({local, tk, tk, tk});
+        require(info == 0, "cholesky: matrix not positive definite");
+      };
+      const OperandRef ops[] = {
+          {pkk, tk * tk * sizeof(double), Access::inout}};
+      (void)runtime.enqueue_compute(panel_stream, std::move(task), ops);
+    }
+
+    // -- DTRSMs on the host stream (independent of one another: they all
+    // read the factored diagonal tile, so they run out of order).
+    std::vector<std::shared_ptr<EventState>> trsm_done(nt);
+    for (std::size_t i = k + 1; i < nt; ++i) {
+      if (arrival[i] != nullptr) {
+        const OperandRef wops[] = {
+            {a.tile_ptr(i, k), a.tile_bytes(i, k), Access::out}};
+        (void)runtime.enqueue_event_wait(panel_stream, arrival[i], wops);
+      }
+      const double* pkk = a.tile_ptr(k, k);
+      double* pik = a.tile_ptr(i, k);
+      const std::size_t tk = a.tile_rows(k);
+      const std::size_t ti = a.tile_rows(i);
+      ComputePayload task;
+      task.kernel = "dtrsm";
+      task.flops = blas::trsm_flops(ti, tk);
+      task.body = [pkk, pik, tk, ti](TaskContext& ctx) {
+        const double* l = ctx.translate(pkk, tk * tk);
+        double* b = ctx.translate(pik, ti * tk);
+        blas::trsm_right_lower_trans({l, tk, tk, tk}, {b, ti, tk, ti});
+      };
+      const OperandRef ops[] = {
+          {pkk, tk * tk * sizeof(double), Access::in},
+          {pik, ti * tk * sizeof(double), Access::inout}};
+      trsm_done[i] =
+          runtime.enqueue_compute(panel_stream, std::move(task), ops);
+    }
+
+    // -- Broadcast the factored column to every card (on the card's
+    // first stream, ordered after the producing DTRSM by an event wait).
+    std::map<std::pair<std::uint32_t, std::size_t>,
+             std::shared_ptr<EventState>>
+        bcast;  // (card, row) -> transfer completion
+    for (const DomainId card : cards) {
+      const std::size_t s0 = app.streams_on(card).front();
+      for (std::size_t i = k + 1; i < nt; ++i) {
+        const OperandRef wops[] = {
+            {a.tile_ptr(i, k), a.tile_bytes(i, k), Access::out}};
+        (void)runtime.enqueue_event_wait(app.stream(s0), trsm_done[i], wops);
+        bcast[{card.value, i}] =
+            app.xfer_memory(s0, a.tile_ptr(i, k), a.tile_bytes(i, k),
+                            XferDir::src_to_sink);
+      }
+    }
+
+    // -- Trailing updates. Tile (i, j), j in (k, i], runs on the owner of
+    // row i. Input column tiles come from the host DTRSM (host-owned
+    // rows) or the broadcast copy (card-owned rows).
+    std::vector<std::shared_ptr<EventState>> next_arrival(nt);
+    std::map<std::pair<std::uint32_t, std::size_t>, bool> waited;
+    auto wait_for_column_tile = [&](std::size_t consumer_stream,
+                                    DomainId dom, std::size_t row) {
+      auto key = std::pair{static_cast<std::uint32_t>(consumer_stream), row};
+      if (waited[key]) {
+        return;
+      }
+      waited[key] = true;
+      const auto& ev = dom == kHostDomain ? trsm_done[row]
+                                          : bcast[{dom.value, row}];
+      const OperandRef wops[] = {
+          {a.tile_ptr(row, k), a.tile_bytes(row, k), Access::out}};
+      (void)runtime.enqueue_event_wait(app.stream(consumer_stream), ev, wops);
+    };
+
+    for (std::size_t j = k + 1; j < nt; ++j) {
+      for (std::size_t i = j; i < nt; ++i) {
+        const DomainId dom = owner_domain(i);
+        const std::size_t st = update_stream(i, j);
+        wait_for_column_tile(st, dom, i);
+        if (i != j) {
+          wait_for_column_tile(st, dom, j);
+        }
+
+        const double* pik = a.tile_ptr(i, k);
+        const double* pjk = a.tile_ptr(j, k);
+        double* pij = a.tile_ptr(i, j);
+        const std::size_t ti = a.tile_rows(i);
+        const std::size_t tj = a.tile_rows(j);
+        const std::size_t tk = a.tile_rows(k);
+        ComputePayload task;
+        if (i == j) {
+          task.kernel = "dsyrk";
+          task.flops = blas::syrk_flops(ti, tk);
+          task.body = [pik, pij, ti, tk](TaskContext& ctx) {
+            const double* col = ctx.translate(pik, ti * tk);
+            double* diag = ctx.translate(pij, ti * ti);
+            blas::syrk_lower(-1.0, {col, ti, tk, ti}, 1.0,
+                             {diag, ti, ti, ti});
+          };
+        } else {
+          task.kernel = "dgemm";
+          task.flops = blas::gemm_flops(ti, tj, tk);
+          task.body = [pik, pjk, pij, ti, tj, tk](TaskContext& ctx) {
+            const double* left = ctx.translate(pik, ti * tk);
+            const double* right = ctx.translate(pjk, tj * tk);
+            double* dst = ctx.translate(pij, ti * tj);
+            blas::gemm(blas::Op::none, blas::Op::transpose, -1.0,
+                       {left, ti, tk, ti}, {right, tj, tk, tj}, 1.0,
+                       {dst, ti, tj, ti});
+          };
+        }
+        std::vector<OperandRef> ops = {
+            {pik, ti * tk * sizeof(double), Access::in},
+            {pij, ti * tj * sizeof(double), Access::inout}};
+        if (i != j) {
+          ops.push_back({pjk, tj * tk * sizeof(double), Access::in});
+        }
+        auto update_done = runtime.enqueue_compute(
+            app.stream(st), std::move(task), ops);
+
+        // Adjacent-column results go home for the next step's panel work.
+        if (j == k + 1) {
+          if (dom == kHostDomain) {
+            next_arrival[i] = update_done;
+          } else {
+            next_arrival[i] =
+                app.xfer_memory(st, a.tile_ptr(i, j), a.tile_bytes(i, j),
+                                XferDir::sink_to_src);
+          }
+        }
+      }
+    }
+    arrival = std::move(next_arrival);
+
+    if (config.bulk_synchronous) {
+      runtime.synchronize();
+    }
+  }
+
+  runtime.synchronize();
+  stats.seconds = runtime.now() - t0;
+  const double n = static_cast<double>(a.rows());
+  stats.gflops = (n * n * n / 3.0) / stats.seconds / 1e9;
+  for (std::size_t i = 0; i < nt; ++i) {
+    if (owner_domain(i) == kHostDomain) {
+      ++stats.rows_host;
+    } else {
+      ++stats.rows_cards;
+    }
+  }
+  return stats;
+}
+
+}  // namespace hs::apps

@@ -1,0 +1,53 @@
+#pragma once
+
+// Heterogeneous tiled Cholesky factorization (paper Fig 5, evaluated in
+// Fig 7).
+//
+// Right-looking tiled LL^T on the lower triangle:
+//   * DPOTRF runs on a machine-wide host stream; DTRSMs run on the host
+//     (they are independent of each other given the factored diagonal
+//     tile, so they execute out of order within that stream).
+//   * DTRSM results are broadcast to all cards; each tile-row is owned by
+//     one domain (round-robin), and its DSYRK/DGEMM updates execute
+//     there, round-robin'd across the owner's streams.
+//   * Updates in the column adjacent to the DTRSM column are sent home,
+//     because the next step's DPOTRF/DTRSMs consume them on the host.
+//   * No card-card transfers ever happen (each card only touches rows it
+//     owns plus host broadcasts), matching §V.
+// Every factored tile is produced on the host, so the factor is complete
+// in user memory when the algorithm drains — no final gather.
+
+#include <vector>
+
+#include "core/app_api.hpp"
+#include "apps/tiled_matrix.hpp"
+
+namespace hs::apps {
+
+struct CholeskyConfig {
+  std::size_t streams_per_device = 4;
+  /// Host-as-target worker streams for host-owned tile rows. 0 = pure
+  /// offload (cards own every row), the "hStr: 1 KNC (offload)" curve.
+  std::size_t host_streams = 2;
+  /// Step-wise barrier after each trailing update (the bulk-synchronous
+  /// behaviour of automatic-offload style libraries; used by the MKL AO
+  /// baseline in bench_fig7).
+  bool bulk_synchronous = false;
+  /// Row-ownership weights per compute domain (host first if it has
+  /// streams); empty = equal shares.
+  std::vector<double> domain_weights;
+};
+
+struct CholeskyStats {
+  double seconds = 0.0;
+  double gflops = 0.0;  ///< (n^3/3) / seconds
+  std::size_t rows_host = 0;
+  std::size_t rows_cards = 0;
+};
+
+/// Factors the lower triangle of the symmetric tiled matrix `a` in place
+/// (upper-triangle tiles are untouched). Returns timing stats.
+CholeskyStats run_cholesky(Runtime& runtime, const CholeskyConfig& config,
+                           TiledMatrix& a);
+
+}  // namespace hs::apps

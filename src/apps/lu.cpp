@@ -1,0 +1,200 @@
+#include "apps/lu.hpp"
+
+#include "hsblas/kernels.hpp"
+
+namespace hs::apps {
+namespace {
+
+LuStats finish(Runtime& runtime, double t0, std::size_t n) {
+  LuStats stats;
+  stats.seconds = runtime.now() - t0;
+  stats.gflops = blas::getrf_flops(n, n) / stats.seconds / 1e9;
+  return stats;
+}
+
+LuStats run_native(Runtime& runtime, blas::Matrix& a,
+                   std::vector<std::size_t>& pivots) {
+  const std::size_t n = a.rows();
+  const StreamId s = runtime.stream_create(
+      kHostDomain,
+      CpuMask::first_n(runtime.domain(kHostDomain).hw_threads()));
+  (void)runtime.buffer_create(a.data(), a.size_bytes());
+  const double t0 = runtime.now();
+  ComputePayload task;
+  task.kernel = "dgetrf";
+  task.flops = blas::getrf_flops(n, n);
+  double* base = a.data();
+  std::size_t* piv = pivots.data();
+  task.body = [base, piv, n](TaskContext&) {
+    const int info = blas::getrf({base, n, n, n}, piv);
+    require(info == 0, "native LU: singular matrix");
+  };
+  const OperandRef ops[] = {{base, n * n * sizeof(double), Access::inout}};
+  (void)runtime.enqueue_compute(s, std::move(task), ops);
+  runtime.stream_synchronize(s);
+  return finish(runtime, t0, n);
+}
+
+}  // namespace
+
+LuStats run_lu(Runtime& runtime, const LuConfig& config, blas::Matrix& a,
+               std::vector<std::size_t>& pivots) {
+  require(a.rows() == a.cols(), "LU driver needs a square matrix");
+  const std::size_t n = a.rows();
+  pivots.assign(n, 0);
+  if (!config.offload || runtime.domain_count() < 2) {
+    return run_native(runtime, a, pivots);
+  }
+
+  const std::size_t nb = config.nb;
+  const std::size_t nblocks = (n + nb - 1) / nb;
+  std::vector<DomainId> cards;
+  for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
+    cards.push_back(DomainId{static_cast<std::uint32_t>(d)});
+  }
+
+  std::vector<StreamId> card_stream;
+  for (const DomainId card : cards) {
+    card_stream.push_back(runtime.stream_create(
+        card, CpuMask::first_n(runtime.domain(card).hw_threads())));
+  }
+  const StreamId host_stream = runtime.stream_create(
+      kHostDomain,
+      CpuMask::first_n(runtime.domain(kHostDomain).hw_threads()));
+
+  const BufferId buf = runtime.buffer_create(a.data(), a.size_bytes());
+  for (const DomainId card : cards) {
+    runtime.buffer_instantiate(buf, card);
+  }
+
+  auto col_begin = [&](std::size_t j) { return j * nb; };
+  auto col_width = [&](std::size_t j) { return std::min(nb, n - j * nb); };
+  auto col_ptr = [&](std::size_t j) { return a.data() + col_begin(j) * n; };
+  auto col_bytes = [&](std::size_t j) {
+    return col_width(j) * n * sizeof(double);
+  };
+  auto owner = [&](std::size_t j) { return j % cards.size(); };
+
+  const double t0 = runtime.now();
+
+  // Upload each card's owned trailing block columns once.
+  for (std::size_t j = 1; j < nblocks; ++j) {
+    (void)runtime.enqueue_transfer(card_stream[owner(j)], col_ptr(j),
+                                   col_bytes(j), XferDir::src_to_sink);
+  }
+
+  double* base = a.data();
+  std::size_t* piv = pivots.data();
+  std::shared_ptr<EventState> panel_arrival;  // lookahead column on host
+
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    const std::size_t j0 = col_begin(k);
+    const std::size_t w = col_width(k);
+
+    // --- Host panel: pivoted DGETRF on the panel rows, then the row
+    // interchanges applied to the already-factored left columns.
+    if (panel_arrival != nullptr) {
+      const OperandRef wops[] = {{col_ptr(k), col_bytes(k), Access::out}};
+      (void)runtime.enqueue_event_wait(host_stream, panel_arrival, wops);
+    }
+    std::shared_ptr<EventState> panel_done;
+    {
+      ComputePayload task;
+      task.kernel = "dgetrf";
+      task.flops = blas::getrf_flops(n - j0, w);
+      task.body = [base, piv, n, j0, w](TaskContext&) {
+        blas::MatrixView full{base, n, n, n};
+        std::vector<std::size_t> local(w);
+        const int info =
+            blas::getrf(full.tile(j0, j0, n - j0, w), local.data());
+        require(info == 0, "hybrid LU: singular panel");
+        for (std::size_t i = 0; i < w; ++i) {
+          piv[j0 + i] = j0 + local[i];  // globalize LAPACK-style
+        }
+        // Apply the interchanges to the factored left columns.
+        for (std::size_t i = 0; i < w; ++i) {
+          const std::size_t r1 = j0 + i;
+          const std::size_t r2 = piv[j0 + i];
+          if (r1 == r2) {
+            continue;
+          }
+          for (std::size_t c = 0; c < j0; ++c) {
+            std::swap(full(r1, c), full(r2, c));
+          }
+        }
+      };
+      std::vector<OperandRef> ops = {
+          {col_ptr(k), col_bytes(k), Access::inout}};
+      if (j0 > 0) {
+        ops.push_back({base, j0 * n * sizeof(double), Access::inout});
+      }
+      panel_done = runtime.enqueue_compute(host_stream, std::move(task), ops);
+    }
+    if (k + 1 == nblocks) {
+      break;
+    }
+
+    // --- Broadcast the factored panel column to every card.
+    for (std::size_t c = 0; c < cards.size(); ++c) {
+      const OperandRef wops[] = {{col_ptr(k), col_bytes(k), Access::out}};
+      (void)runtime.enqueue_event_wait(card_stream[c], panel_done, wops);
+      (void)runtime.enqueue_transfer(card_stream[c], col_ptr(k),
+                                     col_bytes(k), XferDir::src_to_sink);
+    }
+
+    // --- Per trailing block column: row swaps, U-block solve, trailing
+    // GEMM — one card task (lookahead column first).
+    auto enqueue_update = [&](std::size_t j) {
+      const std::size_t c = owner(j);
+      const std::size_t cj0 = col_begin(j);
+      const std::size_t cw = col_width(j);
+      ComputePayload task;
+      task.kernel = "dgemm";
+      task.flops = blas::gemm_flops(n - j0 - w, cw, w) +
+                   blas::trsm_flops(cw, w);
+      task.body = [base, piv, n, j0, w, cj0, cw](TaskContext& ctx) {
+        double* local = ctx.translate(base, n * n);
+        blas::MatrixView full{local, n, n, n};
+        // Row interchanges within this block column.
+        for (std::size_t i = 0; i < w; ++i) {
+          const std::size_t r1 = j0 + i;
+          const std::size_t r2 = piv[j0 + i];
+          if (r1 == r2) {
+            continue;
+          }
+          for (std::size_t c2 = cj0; c2 < cj0 + cw; ++c2) {
+            std::swap(full(r1, c2), full(r2, c2));
+          }
+        }
+        // U block: A[j0:j0+w, cols_j] = inv(L11) * A[j0:j0+w, cols_j].
+        blas::trsm_left_lower_unit(
+            blas::ConstMatrixView(full.tile(j0, j0, w, w)),
+            full.tile(j0, cj0, w, cw));
+        // Trailing: A[j0+w:n, cols_j] -= L21 * U block.
+        const std::size_t rows = n - j0 - w;
+        if (rows > 0) {
+          blas::gemm(blas::Op::none, blas::Op::none, -1.0,
+                     blas::ConstMatrixView(full.tile(j0 + w, j0, rows, w)),
+                     blas::ConstMatrixView(full.tile(j0, cj0, w, cw)), 1.0,
+                     full.tile(j0 + w, cj0, rows, cw));
+        }
+      };
+      const OperandRef ops[] = {{col_ptr(k), col_bytes(k), Access::in},
+                                {col_ptr(j), col_bytes(j), Access::inout}};
+      return runtime.enqueue_compute(card_stream[c], std::move(task), ops);
+    };
+
+    (void)enqueue_update(k + 1);
+    panel_arrival = runtime.enqueue_transfer(
+        card_stream[owner(k + 1)], col_ptr(k + 1), col_bytes(k + 1),
+        XferDir::sink_to_src);
+    for (std::size_t j = k + 2; j < nblocks; ++j) {
+      (void)enqueue_update(j);
+    }
+  }
+
+  runtime.synchronize();
+  return finish(runtime, t0, n);
+}
+
+}  // namespace hs::apps

@@ -1,0 +1,37 @@
+#pragma once
+
+// Hybrid blocked LU factorization with partial pivoting (the third kernel
+// the paper's tuning study covers: "matrix multiply, Cholesky, and LU",
+// §VI; reference code in High Performance Parallelism Pearls [32]).
+//
+// Panels are latency-bound and pivot-heavy, so they run on the host (§VI:
+// "At present, DGETRF runs better on the host than the coprocessor");
+// trailing updates are GEMM-class and go to the cards, block columns
+// dealt round-robin, with one-column lookahead like the MAGMA pipeline.
+// Row interchanges are applied per block column on whichever domain owns
+// it, using the pivot vector the panel task produced.
+
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "hsblas/matrix.hpp"
+
+namespace hs::apps {
+
+struct LuConfig {
+  std::size_t nb = 1024;  ///< panel width
+  /// false = host-native untiled DGETRF (best below ~4K, §VI).
+  bool offload = true;
+};
+
+struct LuStats {
+  double seconds = 0.0;
+  double gflops = 0.0;  ///< (2/3)n^3 / seconds
+};
+
+/// Factors `a` in place as P*A = L*U; `pivots` (size n) receives the
+/// LAPACK-style interchange vector (row swapped into position k).
+LuStats run_lu(Runtime& runtime, const LuConfig& config, blas::Matrix& a,
+               std::vector<std::size_t>& pivots);
+
+}  // namespace hs::apps

@@ -1,0 +1,241 @@
+#include "apps/matmul.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "hsblas/kernels.hpp"
+
+namespace hs::apps {
+
+std::vector<std::size_t> assign_panels(std::size_t panels,
+                                       const std::vector<double>& weights) {
+  require(!weights.empty(), "assign_panels needs at least one domain");
+  const double total =
+      std::accumulate(weights.begin(), weights.end(), 0.0);
+  require(total > 0.0, "assign_panels needs positive total weight");
+
+  // Largest-remainder apportionment.
+  std::vector<std::size_t> count(weights.size(), 0);
+  std::vector<std::pair<double, std::size_t>> remainders;
+  std::size_t assigned = 0;
+  for (std::size_t d = 0; d < weights.size(); ++d) {
+    const double quota =
+        static_cast<double>(panels) * weights[d] / total;
+    count[d] = static_cast<std::size_t>(quota);
+    assigned += count[d];
+    remainders.emplace_back(quota - static_cast<double>(count[d]), d);
+  }
+  std::ranges::sort(remainders, [](const auto& x, const auto& y) {
+    return x.first != y.first ? x.first > y.first : x.second < y.second;
+  });
+  for (std::size_t r = 0; assigned < panels; ++r, ++assigned) {
+    ++count[remainders[r % remainders.size()].second];
+  }
+
+  // Deal panels round-robin weighted by the counts so each domain's
+  // panels are spread across the panel index space (better pipelining
+  // than contiguous blocks).
+  std::vector<std::size_t> owner(panels);
+  std::vector<std::size_t> left = count;
+  std::size_t d = 0;
+  for (std::size_t p = 0; p < panels; ++p) {
+    while (left[d] == 0) {
+      d = (d + 1) % weights.size();
+    }
+    owner[p] = d;
+    --left[d];
+    d = (d + 1) % weights.size();
+  }
+  return owner;
+}
+
+MatmulStats run_matmul(Runtime& runtime, const MatmulConfig& config,
+                       TiledMatrix& a, TiledMatrix& b, TiledMatrix& c) {
+  require(a.cols() == b.rows() && c.rows() == a.rows() &&
+              c.cols() == b.cols(),
+          "matmul: non-conforming shapes");
+  require(a.tile() == b.tile() && b.tile() == c.tile(),
+          "matmul: tile sizes differ");
+
+  AppApi app(runtime, AppConfig{.streams_per_device = config.streams_per_device,
+                                .host_streams = config.host_streams});
+
+  // Domains that actually compute: host first (if it has streams), then
+  // every card with streams.
+  std::vector<DomainId> compute_domains;
+  if (!app.host_streams().empty()) {
+    compute_domains.push_back(kHostDomain);
+  }
+  for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
+    const DomainId domain{static_cast<std::uint32_t>(d)};
+    if (!app.streams_on(domain).empty()) {
+      compute_domains.push_back(domain);
+    }
+  }
+  require(!compute_domains.empty(), "matmul: no compute domains");
+
+  std::vector<double> weights = config.domain_weights;
+  if (weights.empty()) {
+    weights.assign(compute_domains.size(), 1.0);
+  }
+  require(weights.size() == compute_domains.size(),
+          "matmul: one weight per compute domain required");
+
+  (void)app.create_buf(a.data(), a.size_bytes());
+  (void)app.create_buf(b.data(), b.size_bytes());
+  (void)app.create_buf(c.data(), c.size_bytes());
+
+  const std::size_t mt = a.row_tiles();
+  const std::size_t kt = a.col_tiles();
+  const std::size_t nt = c.col_tiles();
+  const std::vector<std::size_t> owner = assign_panels(nt, weights);
+
+  // Panel -> home stream (carries the panel's B-tile transfers), and a
+  // finer tile-chain mapping: each C(i,p) accumulation chain is bound to
+  // one stream of the owner domain so FIFO order covers the k-chain,
+  // while different chains of the same panel spread across streams for
+  // load balance.
+  std::vector<std::size_t> panel_stream(nt);
+  {
+    std::map<DomainId, std::size_t> rr;
+    for (std::size_t p = 0; p < nt; ++p) {
+      const DomainId dom = compute_domains[owner[p]];
+      const auto streams = app.streams_on(dom);
+      panel_stream[p] = streams[rr[dom]++ % streams.size()];
+    }
+  }
+  auto chain_stream = [&](std::size_t i, std::size_t p) {
+    const DomainId dom = compute_domains[owner[p]];
+    const auto streams = app.streams_on(dom);
+    return streams[(i + p * mt) % streams.size()];
+  };
+
+  const double t0 = runtime.now();
+
+  // Phase 1: transfers, interleaved by k so early tiles land first.
+  // A is broadcast to every card on that card's first stream; B panels go
+  // to their owner's panel stream. Host-as-target panels need no
+  // transfers at all (the host incarnation aliases user memory).
+  std::map<DomainId, std::vector<std::shared_ptr<EventState>>> a_ready;
+  for (const DomainId dom : compute_domains) {
+    if (dom != kHostDomain) {
+      a_ready[dom].resize(mt * kt);
+    }
+  }
+  std::map<std::size_t, std::shared_ptr<EventState>> b_ready;  // (k*nt+p)
+  for (std::size_t k = 0; k < kt; ++k) {
+    for (const DomainId dom : compute_domains) {
+      if (dom == kHostDomain) {
+        continue;
+      }
+      const std::size_t s0 = app.streams_on(dom).front();
+      for (std::size_t i = 0; i < mt; ++i) {
+        a_ready[dom][i * kt + k] = app.xfer_memory(
+            s0, a.tile_ptr(i, k), a.tile_bytes(i, k), XferDir::src_to_sink);
+      }
+    }
+    for (std::size_t p = 0; p < nt; ++p) {
+      if (compute_domains[owner[p]] == kHostDomain) {
+        continue;
+      }
+      b_ready[k * nt + p] =
+          app.xfer_memory(panel_stream[p], b.tile_ptr(k, p),
+                          b.tile_bytes(k, p), XferDir::src_to_sink);
+    }
+  }
+
+  // Phase 2: panel updates. Each C(i,p) accumulates over k; FIFO operand
+  // dependences order the gemm after its B(k,p) transfer automatically.
+  // A-tile availability crosses streams, so it needs an event wait —
+  // scoped to the tile's byte range so unrelated work is not held back.
+  std::map<std::pair<std::size_t, std::size_t>, bool> a_waited;  // (stream, tile)
+  std::map<std::pair<std::size_t, std::size_t>, bool> b_waited;  // (stream, tile)
+  for (std::size_t p = 0; p < nt; ++p) {
+    const DomainId dom = compute_domains[owner[p]];
+    const std::size_t home = panel_stream[p];
+    for (std::size_t k = 0; k < kt; ++k) {
+      for (std::size_t i = 0; i < mt; ++i) {
+        const std::size_t sp = chain_stream(i, p);
+        const std::size_t s0 =
+            dom == kHostDomain ? sp : app.streams_on(dom).front();
+        if (dom != kHostDomain && sp != s0) {
+          // One wait per (stream, A-tile).
+          auto key = std::pair{sp, i * kt + k};
+          if (!a_waited[key]) {
+            a_waited[key] = true;
+            const OperandRef wait_ops[] = {
+                {a.tile_ptr(i, k), a.tile_bytes(i, k), Access::out}};
+            (void)runtime.enqueue_event_wait(app.stream(sp),
+                                             a_ready[dom][i * kt + k],
+                                             wait_ops);
+          }
+        }
+        if (dom != kHostDomain && sp != home) {
+          // One wait per (stream, B-tile).
+          auto key = std::pair{sp, k * nt + p};
+          if (!b_waited[key]) {
+            b_waited[key] = true;
+            const OperandRef wait_ops[] = {
+                {b.tile_ptr(k, p), b.tile_bytes(k, p), Access::out}};
+            (void)runtime.enqueue_event_wait(app.stream(sp),
+                                             b_ready[k * nt + p], wait_ops);
+          }
+        }
+        const double* pa = a.tile_ptr(i, k);
+        const double* pb = b.tile_ptr(k, p);
+        double* pc = c.tile_ptr(i, p);
+        const std::size_t m_r = a.tile_rows(i);
+        const std::size_t k_c = a.tile_cols(k);
+        const std::size_t n_c = b.tile_cols(p);
+        const double beta = k == 0 ? 0.0 : 1.0;
+        ComputePayload task;
+        task.kernel = "dgemm";
+        task.flops = blas::gemm_flops(m_r, n_c, k_c);
+        task.body = [pa, pb, pc, m_r, k_c, n_c, beta](TaskContext& ctx) {
+          const double* ta = ctx.translate(pa, m_r * k_c);
+          const double* tb = ctx.translate(pb, k_c * n_c);
+          double* tc = ctx.translate(pc, m_r * n_c);
+          blas::gemm(blas::Op::none, blas::Op::none, 1.0,
+                     {ta, m_r, k_c, m_r}, {tb, k_c, n_c, k_c}, beta,
+                     {tc, m_r, n_c, m_r});
+        };
+        const OperandRef ops[] = {
+            {pa, m_r * k_c * sizeof(double), Access::in},
+            {pb, k_c * n_c * sizeof(double), Access::in},
+            {pc, m_r * n_c * sizeof(double),
+             k == 0 ? Access::out : Access::inout}};
+        (void)app.invoke(sp, "dgemm", task.flops, std::move(task.body), ops);
+      }
+    }
+  }
+
+  // Phase 3: pull C panels back from the cards (FIFO-ordered after the
+  // last update of each tile).
+  for (std::size_t p = 0; p < nt; ++p) {
+    if (compute_domains[owner[p]] == kHostDomain) {
+      continue;
+    }
+    for (std::size_t i = 0; i < mt; ++i) {
+      (void)app.xfer_memory(chain_stream(i, p), c.tile_ptr(i, p),
+                            c.tile_bytes(i, p), XferDir::sink_to_src);
+    }
+  }
+
+  runtime.synchronize();
+
+  MatmulStats stats;
+  stats.seconds = runtime.now() - t0;
+  const double flops = blas::gemm_flops(a.rows(), b.cols(), a.cols());
+  stats.gflops = flops / stats.seconds / 1e9;
+  for (std::size_t p = 0; p < nt; ++p) {
+    if (compute_domains[owner[p]] == kHostDomain) {
+      ++stats.panels_host;
+    } else {
+      ++stats.panels_cards;
+    }
+  }
+  return stats;
+}
+
+}  // namespace hs::apps

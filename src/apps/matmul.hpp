@@ -1,0 +1,49 @@
+#pragma once
+
+// Heterogeneous tiled matrix multiplication (paper Fig 4, evaluated in
+// Fig 6).
+//
+// C = A * B with square tiling. Matrix A is broadcast, one tile at a
+// time, to the host (host-as-target streams, transfers aliased away) and
+// to every card. B and C are partitioned into single-tile-column panels;
+// each panel is owned by one computational domain, so panel updates are
+// independent and require no card-card communication. Computation on a
+// panel starts as soon as the first tiles arrive — the pipelining that
+// distinguishes this from the traditional whole-matrix offload.
+
+#include <vector>
+
+#include "core/app_api.hpp"
+#include "apps/tiled_matrix.hpp"
+
+namespace hs::apps {
+
+struct MatmulConfig {
+  std::size_t streams_per_device = 4;
+  std::size_t host_streams = 0;  ///< 0 = pure offload (no host compute)
+  /// Relative compute weight per domain (host first). Panels are dealt to
+  /// domains proportionally. Empty = equal weights (the "no load
+  /// balancing" configuration of Fig 6).
+  std::vector<double> domain_weights;
+};
+
+struct MatmulStats {
+  double seconds = 0.0;        ///< runtime->now() delta (virtual or wall)
+  double gflops = 0.0;         ///< 2n^3 / seconds
+  std::size_t panels_host = 0;
+  std::size_t panels_cards = 0;
+};
+
+/// Assigns `panels` panel indices to `weights.size()` domains
+/// proportionally to weight (largest-remainder method); exposed for tests
+/// and for the load-balancing ablation.
+[[nodiscard]] std::vector<std::size_t> assign_panels(
+    std::size_t panels, const std::vector<double>& weights);
+
+/// Runs the hetero matmul on an existing runtime. A, B are inputs; C is
+/// overwritten with A*B. All three must share the same tile size and be
+/// conforming. Creates its own streams via AppApi.
+MatmulStats run_matmul(Runtime& runtime, const MatmulConfig& config,
+                       TiledMatrix& a, TiledMatrix& b, TiledMatrix& c);
+
+}  // namespace hs::apps

@@ -1,0 +1,350 @@
+#include "apps/rtm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <memory>
+
+namespace hs::apps {
+namespace {
+
+// 8th-order central second-derivative coefficients.
+constexpr std::size_t kH = 4;
+constexpr double kCoef[kH + 1] = {-205.0 / 72.0, 8.0 / 5.0, -1.0 / 5.0,
+                                  8.0 / 315.0, -1.0 / 560.0};
+constexpr double kC2Dt2 = 0.1;  // velocity^2 * dt^2 (stability-safe)
+constexpr double kFlopsPerPoint = 80.0;  // §VI: "1K x 1K x 8 * 80 Flops"
+
+/// One rank's wavefield storage: three time levels with kH ghost planes
+/// on both z ends. x fastest, then y, then local z.
+struct RankField {
+  std::size_t nx = 0;
+  std::size_t ny = 0;
+  std::size_t nzl = 0;  ///< interior planes owned by this rank
+  std::size_t z0 = 0;   ///< global z of first interior plane
+  std::vector<double> level[3];
+
+  [[nodiscard]] std::size_t plane() const noexcept { return nx * ny; }
+  [[nodiscard]] std::size_t total() const noexcept {
+    return plane() * (nzl + 2 * kH);
+  }
+  /// Pointer to the start of local plane z (0 = first ghost plane).
+  [[nodiscard]] double* plane_ptr(int lvl, std::size_t z) {
+    return level[lvl].data() + z * plane();
+  }
+  [[nodiscard]] std::size_t plane_bytes(std::size_t planes) const noexcept {
+    return planes * plane() * sizeof(double);
+  }
+};
+
+/// Applies the wave update to local interior planes [z_begin, z_end) of
+/// `next`, reading `cur` and `prev`. Out-of-range x/y neighbours are
+/// treated as zero (the global grid is zero-padded laterally).
+void stencil_slab(const double* prev, const double* cur, double* next,
+                  std::size_t nx, std::size_t ny, std::size_t nz_total,
+                  std::size_t z_begin, std::size_t z_end) {
+  const auto snx = static_cast<std::ptrdiff_t>(nx);
+  const auto sny = static_cast<std::ptrdiff_t>(ny);
+  const std::size_t plane = nx * ny;
+  (void)nz_total;
+  auto at = [&](const double* f, std::ptrdiff_t x, std::ptrdiff_t y,
+                std::size_t z) -> double {
+    if (x < 0 || x >= snx || y < 0 || y >= sny) {
+      return 0.0;
+    }
+    return f[z * plane + static_cast<std::size_t>(y) * nx +
+             static_cast<std::size_t>(x)];
+  };
+  for (std::size_t z = z_begin; z < z_end; ++z) {
+    for (std::ptrdiff_t y = 0; y < sny; ++y) {
+      for (std::ptrdiff_t x = 0; x < snx; ++x) {
+        const std::size_t idx =
+            z * plane + static_cast<std::size_t>(y) * nx +
+            static_cast<std::size_t>(x);
+        double lap = 3.0 * kCoef[0] * cur[idx];
+        for (std::size_t o = 1; o <= kH; ++o) {
+          const auto so = static_cast<std::ptrdiff_t>(o);
+          lap += kCoef[o] * (at(cur, x - so, y, z) + at(cur, x + so, y, z) +
+                             at(cur, x, y - so, z) + at(cur, x, y + so, z) +
+                             cur[idx - o * plane] + cur[idx + o * plane]);
+        }
+        next[idx] = 2.0 * cur[idx] - prev[idx] + kC2Dt2 * lap;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+RtmStats run_rtm(Runtime& runtime, const RtmConfig& config,
+                 std::vector<double>* final_field) {
+  require(config.ranks > 0 && config.steps > 0, "rtm: empty configuration");
+  require(config.nz % config.ranks == 0,
+          "rtm: nz must divide evenly among ranks");
+  const std::size_t nzl = config.nz / config.ranks;
+  require(nzl >= 2 * kH, "rtm: subdomain too thin for halo/bulk split");
+
+  const char* kernel =
+      config.optimized_kernel ? "stencil" : "stencil_naive";
+
+  // Rank -> domain. Offload schemes deal ranks round-robin over cards.
+  const bool offload = config.scheme != RtmScheme::host_only;
+  std::vector<DomainId> card_domains;
+  for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
+    card_domains.push_back(DomainId{static_cast<std::uint32_t>(d)});
+  }
+  require(!offload || !card_domains.empty(), "rtm: offload needs cards");
+  auto rank_domain = [&](std::size_t r) {
+    return offload ? card_domains[r % card_domains.size()] : kHostDomain;
+  };
+
+  // One stream per rank; ranks sharing a domain split its threads.
+  std::vector<StreamId> rank_stream(config.ranks);
+  {
+    std::map<std::uint32_t, std::vector<std::size_t>> per_domain;
+    for (std::size_t r = 0; r < config.ranks; ++r) {
+      per_domain[rank_domain(r).value].push_back(r);
+    }
+    for (const auto& [dom_value, ranks_here] : per_domain) {
+      const DomainId dom{dom_value};
+      const std::size_t threads = runtime.domain(dom).hw_threads();
+      const std::size_t share =
+          config.threads_per_rank > 0
+              ? config.threads_per_rank
+              : std::max<std::size_t>(1, threads / ranks_here.size());
+      for (std::size_t k = 0; k < ranks_here.size(); ++k) {
+        const std::size_t begin = (k * share) % threads;
+        const std::size_t width = std::min(share, threads - begin);
+        rank_stream[ranks_here[k]] = runtime.stream_create(
+            dom, CpuMask::range(begin, begin + width));
+      }
+    }
+  }
+  // Exchange runs on a dedicated host stream (the paper's MPI send/recv
+  // "executed on the host").
+  const StreamId exchange_stream = runtime.stream_create(
+      kHostDomain,
+      CpuMask::first_n(runtime.domain(kHostDomain).hw_threads()));
+
+  // Allocate and initialize fields (Gaussian pulse, analytic, so ghost
+  // planes start consistent without an initial exchange).
+  std::vector<RankField> fields(config.ranks);
+  auto pulse = [&](std::size_t gx, std::size_t gy, std::size_t gz) {
+    const double dx = (static_cast<double>(gx) -
+                       static_cast<double>(config.nx) / 2.0);
+    const double dy = (static_cast<double>(gy) -
+                       static_cast<double>(config.ny) / 2.0);
+    const double dz = (static_cast<double>(gz) -
+                       static_cast<double>(config.nz) / 2.0);
+    const double sigma2 = 2.0 * 9.0;
+    return std::exp(-(dx * dx + dy * dy + dz * dz) / sigma2);
+  };
+  for (std::size_t r = 0; r < config.ranks; ++r) {
+    RankField& f = fields[r];
+    f.nx = config.nx;
+    f.ny = config.ny;
+    f.nzl = nzl;
+    f.z0 = r * nzl;
+    for (auto& lvl : f.level) {
+      lvl.assign(f.total(), 0.0);
+    }
+    // Interior plus in-range ghost planes of levels 0 (prev) and 1 (cur).
+    for (std::size_t zl = 0; zl < nzl + 2 * kH; ++zl) {
+      const std::ptrdiff_t gz = static_cast<std::ptrdiff_t>(f.z0 + zl) -
+                                static_cast<std::ptrdiff_t>(kH);
+      if (gz < 0 || gz >= static_cast<std::ptrdiff_t>(config.nz)) {
+        continue;
+      }
+      for (std::size_t y = 0; y < config.ny; ++y) {
+        for (std::size_t x = 0; x < config.nx; ++x) {
+          const double v = pulse(x, y, static_cast<std::size_t>(gz));
+          f.level[0][zl * f.plane() + y * config.nx + x] = v;
+          f.level[1][zl * f.plane() + y * config.nx + x] = v;
+        }
+      }
+    }
+    for (auto& lvl : f.level) {
+      const BufferId id = runtime.buffer_create(
+          lvl.data(), lvl.size() * sizeof(double));
+      if (offload) {
+        runtime.buffer_instantiate(id, rank_domain(r));
+      }
+    }
+  }
+
+  const double t0 = runtime.now();
+
+  // Initial upload of prev and cur.
+  if (offload) {
+    for (std::size_t r = 0; r < config.ranks; ++r) {
+      for (int lvl = 0; lvl < 2; ++lvl) {
+        (void)runtime.enqueue_transfer(
+            rank_stream[r], fields[r].level[lvl].data(),
+            fields[r].total() * sizeof(double), XferDir::src_to_sink);
+      }
+    }
+  }
+
+  // Enqueue a stencil slab compute on rank r's stream; returns its event.
+  auto enqueue_slab = [&](std::size_t r, int lp, int lc, int ln,
+                          std::size_t z_begin, std::size_t z_end) {
+    RankField& f = fields[r];
+    const double* prev = f.plane_ptr(lp, 0);
+    const double* cur = f.plane_ptr(lc, 0);
+    double* next = f.plane_ptr(ln, 0);
+    const std::size_t nx = f.nx;
+    const std::size_t ny = f.ny;
+    const std::size_t nz_total = f.nzl + 2 * kH;
+    ComputePayload task;
+    task.kernel = kernel;
+    task.flops =
+        static_cast<double>((z_end - z_begin) * f.plane()) * kFlopsPerPoint;
+    task.body = [prev, cur, next, nx, ny, nz_total, z_begin, z_end,
+                 total = f.total()](TaskContext& ctx) {
+      const double* lprev = ctx.translate(prev, total);
+      const double* lcur = ctx.translate(cur, total);
+      double* lnext = ctx.translate(next, total);
+      stencil_slab(lprev, lcur, lnext, nx, ny, nz_total, z_begin, z_end);
+    };
+    // Operand ranges: read planes [z_begin-kH, z_end+kH) of cur, the
+    // written planes of prev (same range as written next planes is enough
+    // for prev: reads are per-point), write [z_begin, z_end) of next.
+    const OperandRef ops[] = {
+        {f.plane_ptr(lc, z_begin - kH), f.plane_bytes(z_end - z_begin + 2 * kH),
+         Access::in},
+        {f.plane_ptr(lp, z_begin), f.plane_bytes(z_end - z_begin), Access::in},
+        {f.plane_ptr(ln, z_begin), f.plane_bytes(z_end - z_begin),
+         Access::out}};
+    return runtime.enqueue_compute(rank_stream[r], std::move(task), ops);
+  };
+
+  // Exchange helper (pipelined flavour): move the next-level boundary
+  // slab of rank r to its neighbour's ghost planes, via the host.
+  //   producer_ev : completion of whatever produced the slab (used when
+  //                 the producing action is in another stream).
+  auto enqueue_exchange = [&](std::size_t r, int ln,
+                              bool toward_lower_neighbor,
+                              std::shared_ptr<EventState> producer_ev) {
+    RankField& f = fields[r];
+    const std::size_t src_z = toward_lower_neighbor ? kH : f.nzl;
+    const std::size_t nbr = toward_lower_neighbor ? r - 1 : r + 1;
+    RankField& g = fields[nbr];
+    const std::size_t dst_z = toward_lower_neighbor ? g.nzl + kH : 0;
+    double* src = f.plane_ptr(ln, src_z);
+    double* dst = g.plane_ptr(ln, dst_z);
+    const std::size_t bytes = f.plane_bytes(kH);
+
+    std::shared_ptr<EventState> staged = producer_ev;
+    if (offload) {
+      // Pull the produced slab to the host (same stream as the producer:
+      // FIFO + operands order it; no explicit wait needed).
+      staged = runtime.enqueue_transfer(rank_stream[r], src, bytes,
+                                        XferDir::sink_to_src);
+    }
+    // Host-side copy between the two ranks' proxy buffers.
+    {
+      const OperandRef wops[] = {{src, bytes, Access::out}};
+      (void)runtime.enqueue_event_wait(exchange_stream, staged, wops);
+      ComputePayload copy;
+      copy.kernel = "halo_copy";
+      copy.flops = 0.0;
+      copy.body = [src, dst, bytes](TaskContext&) {
+        std::memcpy(dst, src, bytes);
+      };
+      const OperandRef ops[] = {{src, bytes, Access::in},
+                                {dst, bytes, Access::out}};
+      auto copied =
+          runtime.enqueue_compute(exchange_stream, std::move(copy), ops);
+      // Order the neighbour's future reads of its ghost planes after the
+      // copy: an event wait scoped to the ghost range. In the offload
+      // case the wait also gates the inbound transfer.
+      const OperandRef nwops[] = {{dst, bytes, Access::out}};
+      (void)runtime.enqueue_event_wait(rank_stream[nbr], copied, nwops);
+      if (offload) {
+        (void)runtime.enqueue_transfer(rank_stream[nbr], dst, bytes,
+                                       XferDir::src_to_sink);
+      }
+    }
+  };
+
+  // Time loop.
+  for (std::size_t step = 0; step < config.steps; ++step) {
+    const int lp = static_cast<int>(step % 3);
+    const int lc = static_cast<int>((step + 1) % 3);
+    const int ln = static_cast<int>((step + 2) % 3);
+    const bool last = step + 1 == config.steps;
+
+    if (config.scheme == RtmScheme::pipelined) {
+      for (std::size_t r = 0; r < config.ranks; ++r) {
+        // Halo slabs first; their outbound transfers enqueue right after
+        // and the bulk compute overlaps them.
+        auto top = enqueue_slab(r, lp, lc, ln, kH, 2 * kH);
+        auto bottom =
+            enqueue_slab(r, lp, lc, ln, fields[r].nzl, fields[r].nzl + kH);
+        if (!last && r > 0) {
+          enqueue_exchange(r, ln, /*toward_lower_neighbor=*/true, top);
+        }
+        if (!last && r + 1 < config.ranks) {
+          enqueue_exchange(r, ln, /*toward_lower_neighbor=*/false, bottom);
+        }
+        if (nzl > 2 * kH) {
+          (void)enqueue_slab(r, lp, lc, ln, 2 * kH, fields[r].nzl);
+        }
+      }
+    } else {
+      // host_only and sync_offload: one whole-interior task per rank.
+      std::vector<std::shared_ptr<EventState>> done(config.ranks);
+      for (std::size_t r = 0; r < config.ranks; ++r) {
+        done[r] = enqueue_slab(r, lp, lc, ln, kH, fields[r].nzl + kH);
+      }
+      if (config.scheme == RtmScheme::sync_offload) {
+        runtime.synchronize();  // barrier: no compute/transfer overlap
+      }
+      if (!last) {
+        for (std::size_t r = 0; r < config.ranks; ++r) {
+          if (r > 0) {
+            enqueue_exchange(r, ln, true, done[r]);
+          }
+          if (r + 1 < config.ranks) {
+            enqueue_exchange(r, ln, false, done[r]);
+          }
+        }
+        if (config.scheme == RtmScheme::sync_offload) {
+          runtime.synchronize();  // barrier after the exchange
+        }
+      }
+    }
+  }
+
+  // Gather the final wavefield.
+  const int final_lvl = static_cast<int>((config.steps + 1) % 3);
+  if (offload) {
+    for (std::size_t r = 0; r < config.ranks; ++r) {
+      (void)runtime.enqueue_transfer(
+          rank_stream[r], fields[r].plane_ptr(final_lvl, kH),
+          fields[r].plane_bytes(fields[r].nzl), XferDir::sink_to_src);
+    }
+  }
+  runtime.synchronize();
+
+  RtmStats stats;
+  stats.seconds = runtime.now() - t0;
+  const double points = static_cast<double>(config.nx) *
+                        static_cast<double>(config.ny) *
+                        static_cast<double>(config.nz) *
+                        static_cast<double>(config.steps);
+  stats.mpoints_per_s = points / stats.seconds / 1e6;
+
+  if (final_field != nullptr) {
+    final_field->assign(config.nx * config.ny * config.nz, 0.0);
+    for (std::size_t r = 0; r < config.ranks; ++r) {
+      std::memcpy(final_field->data() + fields[r].z0 * fields[r].plane(),
+                  fields[r].plane_ptr(final_lvl, kH),
+                  fields[r].plane_bytes(fields[r].nzl));
+    }
+  }
+  return stats;
+}
+
+}  // namespace hs::apps

@@ -1,0 +1,58 @@
+#pragma once
+
+// Petrobras-style Reverse Time Migration kernel (paper §V/§VI).
+//
+// The core of RTM is a time-domain finite-difference wave propagator: an
+// 8th-order-in-space, 2nd-order-in-time 3-D stencil. A production grid
+// does not fit one coprocessor, so the grid is decomposed along z into
+// ranks (the paper's MPI ranks, here run in-process with host-mediated
+// neighbour exchange — see DESIGN.md substitutions). Each subdomain
+// distinguishes *halo* planes, which neighbours need, from *interior*
+// (bulk) planes.
+//
+// Three schemes are compared (§V, §VI):
+//   host_only     — every rank computes on (a share of) the host.
+//   sync_offload  — offload with barriers: compute whole subdomain,
+//                   wait, exchange, wait (the "fully-synchronous offload
+//                   ... with no overlap of data and compute").
+//   pipelined     — halo slabs computed first, their transfers enqueued
+//                   in the same stream (FIFO order covers the
+//                   dependence), and the bulk compute overlaps the
+//                   exchange because it is data-independent — the
+//                   behaviour hStreams' relaxed FIFO enables without
+//                   extra streams or explicit synchronization.
+
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace hs::apps {
+
+enum class RtmScheme { host_only, sync_offload, pipelined };
+
+struct RtmConfig {
+  std::size_t nx = 64;
+  std::size_t ny = 64;
+  std::size_t nz = 128;  ///< decomposed dimension
+  std::size_t steps = 4;
+  std::size_t ranks = 2;
+  RtmScheme scheme = RtmScheme::pipelined;
+  /// Tuned stencil ("stencil") vs naive ("stencil_naive"); §VI notes
+  /// tuning benefits KNC significantly more than the host.
+  bool optimized_kernel = true;
+  /// Threads per rank's stream on its domain (0 = even share).
+  std::size_t threads_per_rank = 0;
+};
+
+struct RtmStats {
+  double seconds = 0.0;
+  double mpoints_per_s = 0.0;  ///< interior grid points updated / us
+};
+
+/// Runs the propagator. If `final_field` is non-null it receives the
+/// final wavefield (nx*ny*nz, x fastest) so schemes can be compared for
+/// bit-identical results.
+RtmStats run_rtm(Runtime& runtime, const RtmConfig& config,
+                 std::vector<double>* final_field = nullptr);
+
+}  // namespace hs::apps

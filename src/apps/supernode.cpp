@@ -1,0 +1,180 @@
+#include "apps/supernode.hpp"
+
+#include "hsblas/kernels.hpp"
+
+namespace hs::apps {
+
+void enqueue_supernode_factorization(Runtime& runtime,
+                                     const SupernodeConfig& config,
+                                     TiledMatrix& a) {
+  require(a.rows() == a.cols(), "supernode must be square");
+  const std::size_t nt = a.row_tiles();
+  const DomainId target = config.target;
+  const bool offload = target != kHostDomain;
+
+  // Build (or adopt) the stream gang on the target.
+  std::vector<StreamId> streams = config.use_streams;
+  if (streams.empty()) {
+    require(config.streams > 0, "need at least one stream");
+    const std::size_t domain_threads = runtime.domain(target).hw_threads();
+    const std::size_t per_stream =
+        config.threads_per_stream > 0 ? config.threads_per_stream
+                                      : domain_threads / config.streams;
+    require(per_stream > 0 && per_stream * config.streams <= domain_threads,
+            "stream configuration exceeds target threads");
+    streams.reserve(config.streams);
+    for (std::size_t s = 0; s < config.streams; ++s) {
+      streams.push_back(runtime.stream_create(
+          target, CpuMask::range(s * per_stream, (s + 1) * per_stream)));
+    }
+  } else {
+    for (const StreamId s : streams) {
+      require(runtime.stream_domain(s) == target,
+              "use_streams must sink at the configured target");
+    }
+  }
+
+  const BufferId buf = runtime.buffer_create(a.data(), a.size_bytes());
+  if (offload) {
+    runtime.buffer_instantiate(buf, target);
+  }
+
+  // Tile -> stream mapping, fixed so per-tile update chains stay FIFO.
+  auto tile_stream = [&](std::size_t i, std::size_t j) {
+    return streams[(i * 31 + j * 17) % streams.size()];
+  };
+
+  // Pipelined upload of the lower triangle.
+  if (offload) {
+    for (std::size_t j = 0; j < nt; ++j) {
+      for (std::size_t i = j; i < nt; ++i) {
+        (void)runtime.enqueue_transfer(tile_stream(i, j), a.tile_ptr(i, j),
+                                       a.tile_bytes(i, j),
+                                       XferDir::src_to_sink);
+      }
+    }
+  }
+
+  // diag_done[k]: completion of LDLT(A_kk); solve_done[i]: completion of
+  // the current column's panel solve for row i.
+  std::vector<std::shared_ptr<EventState>> solve_done(nt);
+  // Tracks, per stream, which events were already waited on this step.
+  for (std::size_t k = 0; k < nt; ++k) {
+    const StreamId sk = tile_stream(k, k);
+    double* pkk = a.tile_ptr(k, k);
+    const std::size_t tk = a.tile_rows(k);
+
+    ComputePayload diag;
+    diag.kernel = "ldlt";
+    diag.flops = blas::ldlt_flops(tk);
+    diag.body = [pkk, tk](TaskContext& ctx) {
+      double* local = ctx.translate(pkk, tk * tk);
+      const int info = blas::ldlt_lower({local, tk, tk, tk});
+      require(info == 0, "supernode: zero pivot");
+    };
+    const OperandRef dops[] = {{pkk, tk * tk * sizeof(double), Access::inout}};
+    auto diag_done = runtime.enqueue_compute(sk, std::move(diag), dops);
+
+    // Panel solves.
+    for (std::size_t i = k + 1; i < nt; ++i) {
+      const StreamId si = tile_stream(i, k);
+      if (si != sk) {
+        const OperandRef wops[] = {
+            {pkk, tk * tk * sizeof(double), Access::out}};
+        (void)runtime.enqueue_event_wait(si, diag_done, wops);
+      }
+      double* pik = a.tile_ptr(i, k);
+      const std::size_t ti = a.tile_rows(i);
+      ComputePayload solve;
+      solve.kernel = "dtrsm";
+      solve.flops = blas::trsm_flops(ti, tk);
+      solve.body = [pkk, pik, tk, ti](TaskContext& ctx) {
+        const double* f = ctx.translate(pkk, tk * tk);
+        double* b = ctx.translate(pik, ti * tk);
+        blas::ldlt_trsm_right({f, tk, tk, tk}, {b, ti, tk, ti});
+      };
+      const OperandRef ops[] = {{pkk, tk * tk * sizeof(double), Access::in},
+                                {pik, ti * tk * sizeof(double), Access::inout}};
+      solve_done[i] = runtime.enqueue_compute(si, std::move(solve), ops);
+    }
+
+    // Trailing updates.
+    for (std::size_t j = k + 1; j < nt; ++j) {
+      for (std::size_t i = j; i < nt; ++i) {
+        const StreamId st = tile_stream(i, j);
+        // Cross-stream input dependences: the two solved panel tiles and
+        // the factored diagonal (for D).
+        auto wait_if_foreign = [&](std::size_t row,
+                                   const std::shared_ptr<EventState>& ev) {
+          if (tile_stream(row, k) != st) {
+            const OperandRef wops[] = {{a.tile_ptr(row, k),
+                                        a.tile_bytes(row, k), Access::out}};
+            (void)runtime.enqueue_event_wait(st, ev, wops);
+          }
+        };
+        wait_if_foreign(i, solve_done[i]);
+        if (i != j) {
+          wait_if_foreign(j, solve_done[j]);
+        }
+        if (sk != st) {
+          const OperandRef wops[] = {
+              {pkk, tk * tk * sizeof(double), Access::out}};
+          (void)runtime.enqueue_event_wait(st, diag_done, wops);
+        }
+
+        const double* pik = a.tile_ptr(i, k);
+        const double* pjk = a.tile_ptr(j, k);
+        double* pij = a.tile_ptr(i, j);
+        const std::size_t ti = a.tile_rows(i);
+        const std::size_t tj = a.tile_rows(j);
+        ComputePayload update;
+        update.kernel = i == j ? "dsyrk" : "dgemm";
+        update.flops = blas::gemm_flops(ti, tj, tk);
+        update.body = [pik, pjk, pij, pkk, ti, tj, tk](TaskContext& ctx) {
+          const double* left = ctx.translate(pik, ti * tk);
+          const double* right = ctx.translate(pjk, tj * tk);
+          const double* f = ctx.translate(pkk, tk * tk);
+          double* dst = ctx.translate(pij, ti * tj);
+          blas::ldlt_update({left, ti, tk, ti}, {f, tk, tk, tk},
+                            {right, tj, tk, tj}, {dst, ti, tj, ti});
+        };
+        std::vector<OperandRef> ops = {
+            {pik, ti * tk * sizeof(double), Access::in},
+            {pkk, tk * tk * sizeof(double), Access::in},
+            {pij, ti * tj * sizeof(double), Access::inout}};
+        if (i != j) {
+          ops.push_back({pjk, tj * tk * sizeof(double), Access::in});
+        }
+        (void)runtime.enqueue_compute(st, std::move(update), ops);
+      }
+    }
+  }
+
+  // Pipelined download of the factored triangle.
+  if (offload) {
+    for (std::size_t j = 0; j < nt; ++j) {
+      for (std::size_t i = j; i < nt; ++i) {
+        (void)runtime.enqueue_transfer(tile_stream(i, j), a.tile_ptr(i, j),
+                                       a.tile_bytes(i, j),
+                                       XferDir::sink_to_src);
+      }
+    }
+  }
+
+}
+
+SupernodeStats factor_supernode(Runtime& runtime,
+                                const SupernodeConfig& config,
+                                TiledMatrix& a) {
+  const double t0 = runtime.now();
+  enqueue_supernode_factorization(runtime, config, a);
+  runtime.synchronize();
+
+  SupernodeStats stats;
+  stats.seconds = runtime.now() - t0;
+  const double n = static_cast<double>(a.rows());
+  stats.gflops = (n * n * n / 3.0) / stats.seconds / 1e9;
+  return stats;
+}
+
+}  // namespace hs::apps

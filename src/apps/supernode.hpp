@@ -1,0 +1,54 @@
+#pragma once
+
+// Abaqus/Standard-style supernodal LDL^T factorization (paper §V and
+// Fig 9: "a standalone test program ... that factorizes a single dense
+// supernode", streamed across multiple streams of one target domain).
+//
+// The symmetric solver factors with LDL^T rather than LL^T; we implement
+// the tiled right-looking variant:
+//   step k: LDLT(A_kk);  L_ik = A_ik L_kk^-T D_k^-1;
+//           A_ij -= L_ik D_k L_jk^T
+// Diagonal factorization and panel solves/updates are dealt round-robin
+// across the target's streams; cross-stream dependences are carried by
+// events. Offload targets pipeline tile uploads/downloads; the host
+// target aliases all transfers away (Fig 9's host-as-target rows).
+
+#include "core/runtime.hpp"
+#include "apps/tiled_matrix.hpp"
+
+namespace hs::apps {
+
+struct SupernodeConfig {
+  DomainId target = kHostDomain;
+  std::size_t streams = 3;
+  /// Threads per stream (0 = divide all the domain's threads evenly).
+  /// Fig 9 uses 4x60 on KNC, 3x9 on HSW, 3x7 on IVB.
+  std::size_t threads_per_stream = 0;
+  /// If non-empty, factor on these existing streams instead of creating
+  /// new ones (they must all sink at `target`). The Abaqus full solver
+  /// shares one stream pool per domain across supernodes so consecutive
+  /// factorizations contend for the domain realistically instead of each
+  /// claiming fresh virtual resources.
+  std::vector<StreamId> use_streams;
+};
+
+struct SupernodeStats {
+  double seconds = 0.0;
+  double gflops = 0.0;  ///< (n^3/3)/seconds
+};
+
+/// Enqueues the whole factorization without synchronizing, so several
+/// supernodes on different domains overlap (the Abaqus full solver path).
+/// The caller must keep `a` alive until the runtime drains.
+void enqueue_supernode_factorization(Runtime& runtime,
+                                     const SupernodeConfig& config,
+                                     TiledMatrix& a);
+
+/// Factors the packed tiled matrix in place as LDL^T (D on tile
+/// diagonals, unit-lower L below), synchronizing and timing the run.
+/// Includes transfer time when the target is not the host.
+SupernodeStats factor_supernode(Runtime& runtime,
+                                const SupernodeConfig& config,
+                                TiledMatrix& a);
+
+}  // namespace hs::apps

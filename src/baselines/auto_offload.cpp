@@ -1,0 +1,82 @@
+#include "baselines/auto_offload.hpp"
+
+#include "hsblas/kernels.hpp"
+
+namespace hs::baselines {
+namespace {
+
+/// Below the AO threshold the call is a plain host MKL DPOTRF: one
+/// machine-wide, internally-parallel task. The body factors the packed
+/// tiles sequentially (the task granularity, not the numerics, is what
+/// distinguishes this path).
+AutoOffloadStats host_native_path(Runtime& runtime, apps::TiledMatrix& a) {
+  const StreamId s = runtime.stream_create(
+      kHostDomain,
+      CpuMask::first_n(runtime.domain(kHostDomain).hw_threads()));
+  (void)runtime.buffer_create(a.data(), a.size_bytes());
+  const double flops = blas::potrf_flops(a.rows());
+  const double t0 = runtime.now();
+
+  ComputePayload task;
+  task.kernel = "dpotrf";
+  task.flops = flops;
+  apps::TiledMatrix* pa = &a;
+  task.body = [pa](TaskContext&) {
+    // Sequential tiled right-looking Cholesky over the packed storage
+    // (host task: proxy addresses are the real addresses).
+    apps::TiledMatrix& m = *pa;
+    const std::size_t nt = m.row_tiles();
+    for (std::size_t k = 0; k < nt; ++k) {
+      const int info = blas::potrf_lower(m.tile_view(k, k));
+      require(info == 0, "AO host potrf: not positive definite");
+      for (std::size_t i = k + 1; i < nt; ++i) {
+        blas::trsm_right_lower_trans(m.tile_view(k, k), m.tile_view(i, k));
+      }
+      for (std::size_t j = k + 1; j < nt; ++j) {
+        for (std::size_t i = j; i < nt; ++i) {
+          if (i == j) {
+            blas::syrk_lower(-1.0, m.tile_view(i, k), 1.0, m.tile_view(i, i));
+          } else {
+            blas::gemm(blas::Op::none, blas::Op::transpose, -1.0,
+                       m.tile_view(i, k), m.tile_view(j, k), 1.0,
+                       m.tile_view(i, j));
+          }
+        }
+      }
+    }
+  };
+  const OperandRef ops[] = {{a.data(), a.size_bytes(), Access::inout}};
+  (void)runtime.enqueue_compute(s, std::move(task), ops);
+  runtime.stream_synchronize(s);
+
+  AutoOffloadStats stats;
+  stats.seconds = runtime.now() - t0;
+  stats.gflops = flops / stats.seconds / 1e9;
+  stats.offloaded = false;
+  return stats;
+}
+
+}  // namespace
+
+AutoOffloadStats mkl_ao_cholesky(Runtime& runtime,
+                                 const AutoOffloadConfig& config,
+                                 apps::TiledMatrix& a) {
+  const std::size_t cards = runtime.domain_count() - 1;
+  const bool offload =
+      cards > 0 && a.rows() >= config.offload_threshold_n;
+  if (!offload) {
+    return host_native_path(runtime, a);
+  }
+
+  apps::CholeskyConfig chol;
+  chol.bulk_synchronous = true;  // AO's internal phases are synchronous
+  chol.streams_per_device = config.streams_per_device;
+  chol.host_streams = config.host_streams;
+  chol.domain_weights.assign(cards + 1, 1.0);
+  chol.domain_weights.front() = config.host_weight;
+
+  const apps::CholeskyStats stats = run_cholesky(runtime, chol, a);
+  return AutoOffloadStats{stats.seconds, stats.gflops, true};
+}
+
+}  // namespace hs::baselines

@@ -1,0 +1,40 @@
+#pragma once
+
+// MKL Automatic Offload (AO) style Cholesky (the "MKL AO" curves of
+// Fig 7).
+//
+// AO is a library-internal heterogeneous dispatch: the user calls plain
+// DPOTRF and the library decides whether and how to use coprocessors.
+// Its character, relative to the hand-tuned hStreams code:
+//   * below a size threshold it does not offload at all (card startup
+//     costs would dominate);
+//   * above it, work is split host/cards with a fixed internal ratio and
+//     executed in bulk-synchronous phases — robust, but it forfeits the
+//     inter-step pipelining hStreams exposes ("10% greater performance
+//     was achieved with hStreams with four days of tuning ... vs months
+//     of development by the MKL team", §VI).
+
+#include "apps/cholesky.hpp"
+
+namespace hs::baselines {
+
+struct AutoOffloadConfig {
+  std::size_t offload_threshold_n = 6144;  ///< below: host-native path
+  std::size_t streams_per_device = 4;
+  std::size_t host_streams = 2;
+  /// Host compute share relative to one card (AO's fixed internal ratio).
+  double host_weight = 0.85;
+};
+
+struct AutoOffloadStats {
+  double seconds = 0.0;
+  double gflops = 0.0;
+  bool offloaded = false;
+};
+
+/// Factors the lower triangle of `a` in place with AO-style dispatch.
+AutoOffloadStats mkl_ao_cholesky(Runtime& runtime,
+                                 const AutoOffloadConfig& config,
+                                 apps::TiledMatrix& a);
+
+}  // namespace hs::baselines

@@ -1,0 +1,111 @@
+#include "baselines/cuda_like.hpp"
+
+#include "hsblas/kernels.hpp"
+
+namespace hs::baselines {
+
+CudaShim::CudaShim(Runtime& runtime, DomainId device, std::size_t nstreams)
+    : runtime_(runtime), device_(device) {
+  require(device != kHostDomain, "CUDA shim targets a device");
+  count("cudaSetDevice");
+  const std::size_t threads = runtime.domain(device).hw_threads();
+  const auto masks = CpuMask::partition(threads, nstreams);
+  for (const CpuMask& mask : masks) {
+    count("cudaStreamCreate");
+    streams_.push_back(
+        runtime.stream_create(device, mask, OrderPolicy::strict_fifo));
+  }
+}
+
+CudaShim::~CudaShim() {
+  // cudaStreamDestroy / cudaFree bookkeeping happens in the runtime; the
+  // destructor only models the API surface.
+}
+
+void CudaShim::count(const char* api) {
+  ++calls_;
+  unique_.insert(api);
+}
+
+double* CudaShim::cuda_malloc(std::size_t elems) {
+  count("cudaMalloc");
+  allocations_.push_back(std::make_unique<double[]>(elems));
+  double* base = allocations_.back().get();
+  const BufferId id =
+      runtime_.buffer_create(base, elems * sizeof(double));
+  runtime_.buffer_instantiate(id, device_);
+  return base;
+}
+
+void CudaShim::memcpy_async(double* dev_handle, std::size_t elems,
+                            XferDir dir, std::size_t stream) {
+  count("cudaMemcpyAsync");
+  require(stream < streams_.size(), "bad stream", Errc::not_found);
+  (void)runtime_.enqueue_transfer(streams_[stream], dev_handle,
+                                  elems * sizeof(double), dir);
+}
+
+void CudaShim::launch_gemm(std::size_t stream, std::size_t m, std::size_t n,
+                           std::size_t k, double alpha, const double* a,
+                           const double* b, double beta, double* c) {
+  count("cublasDgemm");
+  require(stream < streams_.size(), "bad stream", Errc::not_found);
+  ComputePayload task;
+  task.kernel = "dgemm";
+  task.flops = blas::gemm_flops(m, n, k);
+  task.body = [a, b, c, m, n, k, alpha, beta](TaskContext& ctx) {
+    const double* ta = ctx.translate(a, m * k);
+    const double* tb = ctx.translate(b, k * n);
+    double* tc = ctx.translate(c, m * n);
+    blas::gemm(blas::Op::none, blas::Op::none, alpha, {ta, m, k, m},
+               {tb, k, n, k}, beta, {tc, m, n, m});
+  };
+  const OperandRef ops[] = {
+      {a, m * k * sizeof(double), Access::in},
+      {b, k * n * sizeof(double), Access::in},
+      {c, m * n * sizeof(double), beta == 0.0 ? Access::out : Access::inout}};
+  (void)runtime_.enqueue_compute(streams_[stream], std::move(task), ops);
+}
+
+std::size_t CudaShim::event_create() {
+  count("cudaEventCreate");
+  events_.push_back(nullptr);
+  return events_.size() - 1;
+}
+
+void CudaShim::event_record(std::size_t event, std::size_t stream) {
+  count("cudaEventRecord");
+  require(event < events_.size() && stream < streams_.size(), "bad handle",
+          Errc::not_found);
+  events_[event] = runtime_.enqueue_signal(streams_[stream]);
+}
+
+void CudaShim::stream_wait_event(std::size_t stream, std::size_t event) {
+  count("cudaStreamWaitEvent");
+  require(event < events_.size() && events_[event] != nullptr &&
+              stream < streams_.size(),
+          "bad handle", Errc::not_found);
+  // CUDA semantics: the whole stream stalls (no operand scoping).
+  (void)runtime_.enqueue_event_wait(streams_[stream], events_[event]);
+}
+
+void CudaShim::event_synchronize(std::size_t event) {
+  count("cudaEventSynchronize");
+  require(event < events_.size() && events_[event] != nullptr, "bad handle",
+          Errc::not_found);
+  const std::shared_ptr<EventState> evs[] = {events_[event]};
+  runtime_.event_wait_host(evs);
+}
+
+void CudaShim::stream_synchronize(std::size_t stream) {
+  count("cudaStreamSynchronize");
+  require(stream < streams_.size(), "bad stream", Errc::not_found);
+  runtime_.stream_synchronize(streams_[stream]);
+}
+
+void CudaShim::device_synchronize() {
+  count("cudaDeviceSynchronize");
+  runtime_.synchronize();
+}
+
+}  // namespace hs::baselines

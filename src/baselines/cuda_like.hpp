@@ -1,0 +1,79 @@
+#pragma once
+
+// CUDA-Streams-like API shim (paper §IV "CUDA Streams" and Fig 3).
+//
+// Exposes the CUDA programming surface over the core runtime configured
+// with strict-FIFO streams, reproducing the semantic differences the
+// paper calls out:
+//   * strict in-order execution within a stream (no out-of-order under a
+//     FIFO semantic);
+//   * cross-action dependences only via explicit event record/wait, and
+//     a stream-level wait blocks the *whole* stream (full barrier);
+//   * distinct device allocations: `cuda_malloc` returns a device-side
+//     handle the caller must track per device ("multiple variables are
+//     needed to keep the addresses for each memory space");
+//   * explicit creation/destruction of streams and events.
+//
+// Every method bumps an API-call counter; Fig 3's "unique APIs / total
+// APIs used" rows are measured from these counters by bench_fig3.
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace hs::baselines {
+
+class CudaShim {
+ public:
+  /// The shim drives `device` with `nstreams` strict-FIFO streams that
+  /// partition the device's threads (the hardware scheduler analogue).
+  CudaShim(Runtime& runtime, DomainId device, std::size_t nstreams);
+  ~CudaShim();
+
+  /// cudaMalloc: allocates device-backed storage and returns the handle
+  /// the caller uses with memcpy/launch. (Internally a proxy pointer,
+  /// but the caller must keep one handle per matrix per device.)
+  [[nodiscard]] double* cuda_malloc(std::size_t elems);
+
+  /// cudaMemcpyAsync(handle, ..., stream).
+  void memcpy_async(double* dev_handle, std::size_t elems, XferDir dir,
+                    std::size_t stream);
+
+  /// cublasDgemm-style launch: C = alpha*A*B + beta*C on `stream`.
+  void launch_gemm(std::size_t stream, std::size_t m, std::size_t n,
+                   std::size_t k, double alpha, const double* a,
+                   const double* b, double beta, double* c);
+
+  /// cudaEventCreate / cudaEventRecord / cudaStreamWaitEvent /
+  /// cudaEventSynchronize.
+  [[nodiscard]] std::size_t event_create();
+  void event_record(std::size_t event, std::size_t stream);
+  void stream_wait_event(std::size_t stream, std::size_t event);
+  void event_synchronize(std::size_t event);
+
+  void stream_synchronize(std::size_t stream);
+  void device_synchronize();
+
+  [[nodiscard]] std::size_t stream_count() const { return streams_.size(); }
+  /// Fig 3 counters.
+  [[nodiscard]] std::size_t total_api_calls() const { return calls_; }
+  [[nodiscard]] std::size_t unique_api_count() const {
+    return unique_.size();
+  }
+
+ private:
+  void count(const char* api);
+
+  Runtime& runtime_;
+  DomainId device_;
+  std::vector<StreamId> streams_;
+  std::vector<std::unique_ptr<double[]>> allocations_;
+  std::vector<std::shared_ptr<EventState>> events_;
+  std::size_t calls_ = 0;
+  std::set<std::string> unique_;
+};
+
+}  // namespace hs::baselines

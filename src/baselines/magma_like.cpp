@@ -1,0 +1,152 @@
+#include "baselines/magma_like.hpp"
+
+#include <vector>
+
+#include "hsblas/kernels.hpp"
+
+namespace hs::baselines {
+
+MagmaStats magma_cholesky(Runtime& runtime, const MagmaConfig& config,
+                          blas::Matrix& a) {
+  require(a.rows() == a.cols(), "magma_cholesky needs a square matrix");
+  const std::size_t n = a.rows();
+  const std::size_t nb = config.nb;
+  require(nb > 0, "block size must be positive");
+  const std::size_t nblocks = (n + nb - 1) / nb;
+
+  std::vector<DomainId> cards;
+  for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
+    cards.push_back(DomainId{static_cast<std::uint32_t>(d)});
+  }
+  require(!cards.empty(), "magma_cholesky needs at least one card");
+
+  // One device-wide stream per card (MAGMA updates use the whole card),
+  // one machine-wide host stream for panels.
+  std::vector<StreamId> card_stream;
+  for (const DomainId card : cards) {
+    card_stream.push_back(runtime.stream_create(
+        card, CpuMask::first_n(runtime.domain(card).hw_threads())));
+  }
+  const StreamId host_stream = runtime.stream_create(
+      kHostDomain,
+      CpuMask::first_n(runtime.domain(kHostDomain).hw_threads()));
+
+  const BufferId buf = runtime.buffer_create(a.data(), a.size_bytes());
+  for (const DomainId card : cards) {
+    runtime.buffer_instantiate(buf, card);
+  }
+
+  // Block column j: columns [j*nb, min(n, (j+1)*nb)), owned (for trailing
+  // updates) by card j % cards.
+  auto col_begin = [&](std::size_t j) { return j * nb; };
+  auto col_width = [&](std::size_t j) {
+    return std::min(nb, n - j * nb);
+  };
+  auto col_ptr = [&](std::size_t j) { return a.data() + col_begin(j) * n; };
+  auto col_bytes = [&](std::size_t j) {
+    return col_width(j) * n * sizeof(double);
+  };
+  auto owner = [&](std::size_t j) { return j % cards.size(); };
+
+  const double t0 = runtime.now();
+
+  // Upload each card's owned block columns once.
+  for (std::size_t j = 1; j < nblocks; ++j) {
+    (void)runtime.enqueue_transfer(card_stream[owner(j)], col_ptr(j),
+                                   col_bytes(j), XferDir::src_to_sink);
+  }
+
+  std::shared_ptr<EventState> panel_arrival;  // lookahead column on host
+  for (std::size_t k = 0; k < nblocks; ++k) {
+    const std::size_t j0 = col_begin(k);
+    const std::size_t w = col_width(k);
+
+    // --- Host panel: POTRF of the diagonal block + TRSM of the rows
+    // below, one latency-bound task on the big cores.
+    if (panel_arrival != nullptr) {
+      const OperandRef wops[] = {{col_ptr(k), col_bytes(k), Access::out}};
+      (void)runtime.enqueue_event_wait(host_stream, panel_arrival, wops);
+    }
+    std::shared_ptr<EventState> panel_done;
+    {
+      double* base = a.data();
+      const std::size_t rows_below = n - j0 - w;
+      ComputePayload task;
+      task.kernel = "dpotrf";
+      task.flops = blas::potrf_flops(w) +
+                   blas::trsm_flops(rows_below, w);
+      task.body = [base, n, j0, w, rows_below](TaskContext& ctx) {
+        double* local = ctx.translate(base, n * n);
+        blas::MatrixView full{local, n, n, n};
+        const int info =
+            blas::potrf_lower(full.tile(j0, j0, w, w));
+        require(info == 0, "magma: matrix not positive definite");
+        if (rows_below > 0) {
+          blas::trsm_right_lower_trans(
+              full.tile(j0, j0, w, w),
+              full.tile(j0 + w, j0, rows_below, w));
+        }
+      };
+      const OperandRef ops[] = {{col_ptr(k), col_bytes(k), Access::inout}};
+      panel_done =
+          runtime.enqueue_compute(host_stream, std::move(task), ops);
+    }
+    if (k + 1 == nblocks) {
+      break;  // last panel: nothing to update
+    }
+
+    // --- Broadcast the factored panel column to every card. Updates in
+    // the same card stream order after it via FIFO operand conflicts.
+    for (std::size_t c = 0; c < cards.size(); ++c) {
+      const OperandRef wops[] = {{col_ptr(k), col_bytes(k), Access::out}};
+      (void)runtime.enqueue_event_wait(card_stream[c], panel_done, wops);
+      (void)runtime.enqueue_transfer(card_stream[c], col_ptr(k),
+                                     col_bytes(k), XferDir::src_to_sink);
+    }
+
+    // --- Trailing update, lookahead column (k+1) first so it can travel
+    // back to the host while the bulk update proceeds.
+    auto enqueue_update = [&](std::size_t j) {
+      const std::size_t c = owner(j);
+      const std::size_t cj0 = col_begin(j);
+      const std::size_t cw = col_width(j);
+      const std::size_t rows = n - cj0;
+      double* base = a.data();
+      ComputePayload task;
+      task.kernel = "dsyrk";
+      task.flops = blas::gemm_flops(rows, cw, w);
+      task.body = [base, n, j0, w, cj0, cw, rows](TaskContext& ctx) {
+        double* local = ctx.translate(base, n * n);
+        blas::MatrixView full{local, n, n, n};
+        // A[cj0:n, cj0:cj0+cw] -= A[cj0:n, j0:j0+w] * A[cj0:cj0+cw, j0:j0+w]^T
+        blas::gemm(blas::Op::none, blas::Op::transpose, -1.0,
+                   blas::ConstMatrixView(full.tile(cj0, j0, rows, w)),
+                   blas::ConstMatrixView(full.tile(cj0, j0, cw, w)), 1.0,
+                   full.tile(cj0, cj0, rows, cw));
+      };
+      const OperandRef ops[] = {{col_ptr(k), col_bytes(k), Access::in},
+                                {col_ptr(j), col_bytes(j), Access::inout}};
+      return runtime.enqueue_compute(card_stream[c], std::move(task), ops);
+    };
+
+    (void)enqueue_update(k + 1);
+    // Lookahead column returns to the host immediately (same card stream:
+    // FIFO + operands order it after the update).
+    panel_arrival = runtime.enqueue_transfer(card_stream[owner(k + 1)],
+                                             col_ptr(k + 1),
+                                             col_bytes(k + 1),
+                                             XferDir::sink_to_src);
+    for (std::size_t j = k + 2; j < nblocks; ++j) {
+      (void)enqueue_update(j);
+    }
+  }
+
+  runtime.synchronize();
+  MagmaStats stats;
+  stats.seconds = runtime.now() - t0;
+  const double nn = static_cast<double>(n);
+  stats.gflops = (nn * nn * nn / 3.0) / stats.seconds / 1e9;
+  return stats;
+}
+
+}  // namespace hs::baselines

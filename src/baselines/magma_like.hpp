@@ -1,0 +1,39 @@
+#pragma once
+
+// MAGMA-style hybrid Cholesky (paper §V "MAGMA" and the Fig 7 curves).
+//
+// "The lower Cholesky MAGMA function uses the host for the DPOTRF panel
+// and does the rest of the work on the MIC card" — the panel
+// factorization is latency-bound and belongs on the big cores, while the
+// trailing update is a handful of *large* GEMM-class operations that
+// saturate the card. One block-column lookahead overlaps the next
+// panel's factorization with the bulk of the trailing update; this is
+// the classic MAGMA pipeline and the reason its performance curve is
+// smooth (few large tasks) compared to the tiled hStreams code (many
+// small ones).
+//
+// Operates on a dense column-major matrix; block columns are contiguous
+// ranges, which keeps dependence operands exact.
+
+#include "core/runtime.hpp"
+#include "hsblas/matrix.hpp"
+
+namespace hs::baselines {
+
+struct MagmaConfig {
+  std::size_t nb = 1024;  ///< block-column width
+};
+
+struct MagmaStats {
+  double seconds = 0.0;
+  double gflops = 0.0;
+};
+
+/// Factors the lower triangle of `a` in place (upper triangle is left
+/// with update garbage, as LAPACK permits). Uses the host for panels and
+/// every card in the runtime for trailing updates, block columns dealt
+/// round-robin across cards.
+MagmaStats magma_cholesky(Runtime& runtime, const MagmaConfig& config,
+                          blas::Matrix& a);
+
+}  // namespace hs::baselines

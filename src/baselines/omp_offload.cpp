@@ -1,0 +1,247 @@
+#include "baselines/omp_offload.hpp"
+
+#include "hsblas/kernels.hpp"
+
+namespace hs::baselines {
+namespace {
+
+/// First non-host domain (the offload target).
+DomainId offload_device(const Runtime& runtime) {
+  require(runtime.domain_count() > 1, "offload baseline needs a device");
+  return DomainId{1};
+}
+
+OffloadStats finish(Runtime& runtime, double t0, double flops) {
+  OffloadStats stats;
+  stats.seconds = runtime.now() - t0;
+  stats.gflops = flops / stats.seconds / 1e9;
+  return stats;
+}
+
+}  // namespace
+
+OffloadStats omp40_matmul_untiled(Runtime& runtime, blas::Matrix& a,
+                                  blas::Matrix& b, blas::Matrix& c) {
+  require(a.cols() == b.rows() && c.rows() == a.rows() && c.cols() == b.cols(),
+          "shapes");
+  const DomainId dev = offload_device(runtime);
+  // One device-wide stream: OpenMP target regions own the whole device.
+  const StreamId s = runtime.stream_create(
+      dev, CpuMask::first_n(runtime.domain(dev).hw_threads()));
+  for (blas::Matrix* m : {&a, &b, &c}) {
+    const BufferId id = runtime.buffer_create(m->data(), m->size_bytes());
+    runtime.buffer_instantiate(id, dev);
+  }
+
+  const double t0 = runtime.now();
+  // map(to: a, b) — blocking.
+  (void)runtime.enqueue_transfer(s, a.data(), a.size_bytes(),
+                                 XferDir::src_to_sink);
+  (void)runtime.enqueue_transfer(s, b.data(), b.size_bytes(),
+                                 XferDir::src_to_sink);
+  runtime.stream_synchronize(s);
+  // target region — blocking.
+  {
+    ComputePayload task;
+    task.kernel = "dgemm";
+    task.flops = blas::gemm_flops(c.rows(), c.cols(), a.cols());
+    double* pa = a.data();
+    double* pb = b.data();
+    double* pc = c.data();
+    const std::size_t m = c.rows();
+    const std::size_t n = c.cols();
+    const std::size_t k = a.cols();
+    task.body = [pa, pb, pc, m, n, k](TaskContext& ctx) {
+      const double* ta = ctx.translate(pa, m * k);
+      const double* tb = ctx.translate(pb, k * n);
+      double* tc = ctx.translate(pc, m * n);
+      blas::gemm(blas::Op::none, blas::Op::none, 1.0, {ta, m, k, m},
+                 {tb, k, n, k}, 0.0, {tc, m, n, m});
+    };
+    const OperandRef ops[] = {{pa, m * k * sizeof(double), Access::in},
+                              {pb, k * n * sizeof(double), Access::in},
+                              {pc, m * n * sizeof(double), Access::out}};
+    (void)runtime.enqueue_compute(s, std::move(task), ops);
+    runtime.stream_synchronize(s);
+  }
+  // map(from: c) — blocking.
+  (void)runtime.enqueue_transfer(s, c.data(), c.size_bytes(),
+                                 XferDir::sink_to_src);
+  runtime.stream_synchronize(s);
+  return finish(runtime, t0,
+                blas::gemm_flops(c.rows(), c.cols(), a.cols()));
+}
+
+namespace {
+
+/// Shared tiled-matmul skeleton.
+///
+/// blocking=true models OpenMP 4.0: each (i,p,k) task is its own `target`
+/// region with map(to:)/map(from:) clauses, so *every* task re-transfers
+/// its three tiles and blocks — there is no device residency without an
+/// enclosing `target data`, and no asynchrony at all. This is why the
+/// paper's tiled 4.0 formulation has "less than half of the performance"
+/// of the untiled one (180 vs 460 GF/s).
+///
+/// blocking=false models OpenMP 4.5: an enclosing `target data` keeps
+/// tiles resident, transfers are `nowait` with depend clauses — one
+/// relaxed device queue, but still no device subdivision.
+OffloadStats omp_matmul_tiled(Runtime& runtime, apps::TiledMatrix& a,
+                              apps::TiledMatrix& b, apps::TiledMatrix& c,
+                              bool blocking) {
+  require(a.tile() == b.tile() && b.tile() == c.tile(), "tile mismatch");
+  const DomainId dev = offload_device(runtime);
+  const StreamId s = runtime.stream_create(
+      dev, CpuMask::first_n(runtime.domain(dev).hw_threads()),
+      OrderPolicy::relaxed_fifo);
+  for (apps::TiledMatrix* m : {&a, &b, &c}) {
+    const BufferId id = runtime.buffer_create(m->data(), m->size_bytes());
+    runtime.buffer_instantiate(id, dev);
+  }
+
+  const std::size_t mt = a.row_tiles();
+  const std::size_t kt = a.col_tiles();
+  const std::size_t nt = c.col_tiles();
+  const double t0 = runtime.now();
+
+  for (std::size_t p = 0; p < nt; ++p) {
+    for (std::size_t k = 0; k < kt; ++k) {
+      for (std::size_t i = 0; i < mt; ++i) {
+        if (blocking) {
+          // 4.0: every target region maps its operands in afresh.
+          (void)runtime.enqueue_transfer(s, a.tile_ptr(i, k),
+                                         a.tile_bytes(i, k),
+                                         XferDir::src_to_sink);
+          (void)runtime.enqueue_transfer(s, b.tile_ptr(k, p),
+                                         b.tile_bytes(k, p),
+                                         XferDir::src_to_sink);
+          if (k > 0) {  // map(tofrom: C) — in again after the round trip
+            (void)runtime.enqueue_transfer(s, c.tile_ptr(i, p),
+                                           c.tile_bytes(i, p),
+                                           XferDir::src_to_sink);
+          }
+          runtime.stream_synchronize(s);
+        } else {
+          // 4.5: device-resident tiles, nowait transfers, send once.
+          if (p == 0) {  // A(i,k) is reused across panels
+            (void)runtime.enqueue_transfer(s, a.tile_ptr(i, k),
+                                           a.tile_bytes(i, k),
+                                           XferDir::src_to_sink);
+          }
+          if (i == 0) {  // B(k,p) is reused down the panel
+            (void)runtime.enqueue_transfer(s, b.tile_ptr(k, p),
+                                           b.tile_bytes(k, p),
+                                           XferDir::src_to_sink);
+          }
+        }
+        const double* pa = a.tile_ptr(i, k);
+        const double* pb = b.tile_ptr(k, p);
+        double* pc = c.tile_ptr(i, p);
+        const std::size_t m_r = a.tile_rows(i);
+        const std::size_t k_c = a.tile_cols(k);
+        const std::size_t n_c = b.tile_cols(p);
+        const double beta = k == 0 ? 0.0 : 1.0;
+        ComputePayload task;
+        task.kernel = "dgemm";
+        task.flops = blas::gemm_flops(m_r, n_c, k_c);
+        task.body = [pa, pb, pc, m_r, k_c, n_c, beta](TaskContext& ctx) {
+          const double* ta = ctx.translate(pa, m_r * k_c);
+          const double* tb = ctx.translate(pb, k_c * n_c);
+          double* tc = ctx.translate(pc, m_r * n_c);
+          blas::gemm(blas::Op::none, blas::Op::none, 1.0,
+                     {ta, m_r, k_c, m_r}, {tb, k_c, n_c, k_c}, beta,
+                     {tc, m_r, n_c, m_r});
+        };
+        const OperandRef ops[] = {
+            {pa, m_r * k_c * sizeof(double), Access::in},
+            {pb, k_c * n_c * sizeof(double), Access::in},
+            {pc, m_r * n_c * sizeof(double),
+             k == 0 ? Access::out : Access::inout}};
+        (void)runtime.enqueue_compute(s, std::move(task), ops);
+        if (blocking) {
+          runtime.stream_synchronize(s);
+          // map(tofrom: C) closes: C returns after every target region.
+          (void)runtime.enqueue_transfer(s, c.tile_ptr(i, p),
+                                         c.tile_bytes(i, p),
+                                         XferDir::sink_to_src);
+          runtime.stream_synchronize(s);
+        } else if (k + 1 == kt) {
+          (void)runtime.enqueue_transfer(s, c.tile_ptr(i, p),
+                                         c.tile_bytes(i, p),
+                                         XferDir::sink_to_src);
+        }
+      }
+    }
+  }
+  runtime.synchronize();
+  return finish(runtime, t0,
+                blas::gemm_flops(a.rows(), c.cols(), a.cols()));
+}
+
+}  // namespace
+
+OffloadStats omp40_matmul_tiled(Runtime& runtime, apps::TiledMatrix& a,
+                                apps::TiledMatrix& b, apps::TiledMatrix& c) {
+  return omp_matmul_tiled(runtime, a, b, c, /*blocking=*/true);
+}
+
+OffloadStats omp45_matmul_tiled(Runtime& runtime, apps::TiledMatrix& a,
+                                apps::TiledMatrix& b, apps::TiledMatrix& c) {
+  return omp_matmul_tiled(runtime, a, b, c, /*blocking=*/false);
+}
+
+OffloadStats native_dgemm(Runtime& runtime, blas::Matrix& a, blas::Matrix& b,
+                          blas::Matrix& c) {
+  const StreamId s = runtime.stream_create(
+      kHostDomain,
+      CpuMask::first_n(runtime.domain(kHostDomain).hw_threads()));
+  for (blas::Matrix* m : {&a, &b, &c}) {
+    (void)runtime.buffer_create(m->data(), m->size_bytes());
+  }
+  const double flops = blas::gemm_flops(c.rows(), c.cols(), a.cols());
+  const double t0 = runtime.now();
+  ComputePayload task;
+  task.kernel = "dgemm";
+  task.flops = flops;
+  double* pa = a.data();
+  double* pb = b.data();
+  double* pc = c.data();
+  const std::size_t m = c.rows();
+  const std::size_t n = c.cols();
+  const std::size_t k = a.cols();
+  task.body = [pa, pb, pc, m, n, k](TaskContext&) {
+    blas::gemm(blas::Op::none, blas::Op::none, 1.0, {pa, m, k, m},
+               {pb, k, n, k}, 0.0, {pc, m, n, m});
+  };
+  const OperandRef ops[] = {{pa, m * k * sizeof(double), Access::in},
+                            {pb, k * n * sizeof(double), Access::in},
+                            {pc, m * n * sizeof(double), Access::out}};
+  (void)runtime.enqueue_compute(s, std::move(task), ops);
+  runtime.stream_synchronize(s);
+  return finish(runtime, t0, flops);
+}
+
+OffloadStats native_potrf(Runtime& runtime, blas::Matrix& a) {
+  require(a.rows() == a.cols(), "potrf needs square");
+  const StreamId s = runtime.stream_create(
+      kHostDomain,
+      CpuMask::first_n(runtime.domain(kHostDomain).hw_threads()));
+  (void)runtime.buffer_create(a.data(), a.size_bytes());
+  const double flops = blas::potrf_flops(a.rows());
+  const double t0 = runtime.now();
+  ComputePayload task;
+  task.kernel = "dpotrf";
+  task.flops = flops;
+  double* pa = a.data();
+  const std::size_t n = a.rows();
+  task.body = [pa, n](TaskContext&) {
+    const int info = blas::potrf_lower({pa, n, n, n});
+    require(info == 0, "native potrf: not positive definite");
+  };
+  const OperandRef ops[] = {{pa, n * n * sizeof(double), Access::inout}};
+  (void)runtime.enqueue_compute(s, std::move(task), ops);
+  runtime.stream_synchronize(s);
+  return finish(runtime, t0, flops);
+}
+
+}  // namespace hs::baselines

@@ -1,0 +1,53 @@
+#pragma once
+
+// OpenMP offload baselines (paper §IV "OpenMP" and Fig 3).
+//
+// Models of what the `target` constructs of OpenMP 4.0/4.5 can express,
+// built on the same runtime/substrates as hStreams so the comparison is
+// apples-to-apples:
+//
+//  * OpenMP 4.0 — synchronous offload only: map(to:...) blocks, the
+//    target region blocks, map(from:...) blocks. No concurrency within
+//    the device ("OpenMP does not use concurrency within the device and
+//    does not support an asynchronous transfer"), so an untiled whole-
+//    matrix offload is its best formulation (Fig 3: 460 GF/s) and a
+//    tiled one is *worse* (180 GF/s) because each tile pays a blocking
+//    round trip.
+//  * OpenMP 4.5 — adds asynchronous transfers (`nowait` + depend), but
+//    still no device subdivision: one queue per device; transfers can
+//    overlap compute, two computes never overlap.
+
+#include "apps/tiled_matrix.hpp"
+#include "core/runtime.hpp"
+
+namespace hs::baselines {
+
+struct OffloadStats {
+  double seconds = 0.0;
+  double gflops = 0.0;
+};
+
+/// OpenMP 4.0 style, best formulation: one `target data map(to:A,B)
+/// map(from:C)` region around a single whole-matrix dgemm on the device.
+OffloadStats omp40_matmul_untiled(Runtime& runtime, blas::Matrix& a,
+                                  blas::Matrix& b, blas::Matrix& c);
+
+/// OpenMP 4.0 style, tiled formulation: per (i,p,k) tile task a blocking
+/// upload, a blocking compute and (on the last k) a blocking download —
+/// no overlap anywhere. Fig 3's "less than half the performance" row.
+OffloadStats omp40_matmul_tiled(Runtime& runtime, apps::TiledMatrix& a,
+                                apps::TiledMatrix& b, apps::TiledMatrix& c);
+
+/// OpenMP 4.5 style: tiled with `nowait` transfers and depend clauses —
+/// one relaxed-FIFO device queue; transfers overlap compute, but the
+/// device is never subdivided so computes serialize.
+OffloadStats omp45_matmul_tiled(Runtime& runtime, apps::TiledMatrix& a,
+                                apps::TiledMatrix& b, apps::TiledMatrix& c);
+
+/// Host-native BLAS call (the "HSW native (MKL)" rows of Figs 6-7): one
+/// machine-wide task on the host, no tiling, no transfers.
+OffloadStats native_dgemm(Runtime& runtime, blas::Matrix& a, blas::Matrix& b,
+                          blas::Matrix& c);
+OffloadStats native_potrf(Runtime& runtime, blas::Matrix& a);
+
+}  // namespace hs::baselines

@@ -1,0 +1,97 @@
+#include "baselines/opencl_like.hpp"
+
+#include "hsblas/kernels.hpp"
+
+namespace hs::baselines {
+
+OpenClShim::OpenClShim(Runtime& runtime, DomainId device, std::size_t nqueues)
+    : runtime_(runtime), device_(device) {
+  require(device != kHostDomain, "OpenCL shim targets a device");
+  // The unavoidable setup litany.
+  count("clGetPlatformIDs");
+  count("clGetDeviceIDs");
+  count("clCreateContext");
+  count("clCreateProgramWithSource");
+  count("clBuildProgram");
+  count("clCreateKernel");
+  const std::size_t threads = runtime.domain(device).hw_threads();
+  const auto masks = CpuMask::partition(threads, nqueues);
+  for (const CpuMask& mask : masks) {
+    count("clCreateCommandQueue");
+    // In-order queues: strict FIFO.
+    queues_.push_back(
+        runtime.stream_create(device, mask, OrderPolicy::strict_fifo));
+  }
+}
+
+void OpenClShim::count(const char* api) {
+  ++calls_;
+  unique_.insert(api);
+}
+
+double* OpenClShim::create_buffer(std::size_t elems) {
+  count("clCreateBuffer");
+  allocations_.push_back(std::make_unique<double[]>(elems));
+  double* base = allocations_.back().get();
+  const BufferId id = runtime_.buffer_create(base, elems * sizeof(double));
+  runtime_.buffer_instantiate(id, device_);
+  return base;
+}
+
+void OpenClShim::set_kernel_arg(std::size_t index, const void* value) {
+  count("clSetKernelArg");
+  require(index < 3, "kernel has 3 buffer arguments", Errc::out_of_range);
+  args_[index] = value;
+}
+
+void OpenClShim::enqueue_write(std::size_t queue, double* buffer,
+                               std::size_t elems) {
+  count("clEnqueueWriteBuffer");
+  require(queue < queues_.size(), "bad queue", Errc::not_found);
+  (void)runtime_.enqueue_transfer(queues_[queue], buffer,
+                                  elems * sizeof(double),
+                                  XferDir::src_to_sink);
+}
+
+void OpenClShim::enqueue_read(std::size_t queue, double* buffer,
+                              std::size_t elems) {
+  count("clEnqueueReadBuffer");
+  require(queue < queues_.size(), "bad queue", Errc::not_found);
+  (void)runtime_.enqueue_transfer(queues_[queue], buffer,
+                                  elems * sizeof(double),
+                                  XferDir::sink_to_src);
+}
+
+void OpenClShim::enqueue_gemm(std::size_t queue, std::size_t m,
+                              std::size_t n, std::size_t k, double beta) {
+  count("clEnqueueNDRangeKernel");
+  require(queue < queues_.size(), "bad queue", Errc::not_found);
+  require(args_[0] != nullptr && args_[1] != nullptr && args_[2] != nullptr,
+          "kernel arguments not set");
+  const auto* a = static_cast<const double*>(args_[0]);
+  const auto* b = static_cast<const double*>(args_[1]);
+  auto* c = static_cast<double*>(const_cast<void*>(args_[2]));
+  ComputePayload task;
+  task.kernel = "opencl_gemm";  // clBLAS: badly tuned for the MIC (§IV)
+  task.flops = blas::gemm_flops(m, n, k);
+  task.body = [a, b, c, m, n, k, beta](TaskContext& ctx) {
+    const double* ta = ctx.translate(a, m * k);
+    const double* tb = ctx.translate(b, k * n);
+    double* tc = ctx.translate(c, m * n);
+    blas::gemm(blas::Op::none, blas::Op::none, 1.0, {ta, m, k, m},
+               {tb, k, n, k}, beta, {tc, m, n, m});
+  };
+  const OperandRef ops[] = {
+      {a, m * k * sizeof(double), Access::in},
+      {b, k * n * sizeof(double), Access::in},
+      {c, m * n * sizeof(double), beta == 0.0 ? Access::out : Access::inout}};
+  (void)runtime_.enqueue_compute(queues_[queue], std::move(task), ops);
+}
+
+void OpenClShim::finish(std::size_t queue) {
+  count("clFinish");
+  require(queue < queues_.size(), "bad queue", Errc::not_found);
+  runtime_.stream_synchronize(queues_[queue]);
+}
+
+}  // namespace hs::baselines

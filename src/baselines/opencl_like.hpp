@@ -1,0 +1,66 @@
+#pragma once
+
+// OpenCL-like API shim (paper §IV "Other Related Work" and Fig 3).
+//
+// Reproduces two properties the paper attributes to the OpenCL path:
+//   * boilerplate volume — platform/device/context/queue/program/kernel
+//     setup plus per-argument setKernelArg calls, all counted for the
+//     Fig 3 API comparison;
+//   * poor MIC performance — "OpenCL performance is poor because clBLAS
+//     is not well tuned for MIC": launches use the "opencl_gemm" kernel
+//     class, whose calibrated rate on the KNC model is ~36 GF/s.
+//
+// Command queues are in-order (the OpenCL default), i.e. strict FIFO.
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace hs::baselines {
+
+class OpenClShim {
+ public:
+  /// Models clGetPlatformIDs / clGetDeviceIDs / clCreateContext /
+  /// clCreateCommandQueue / clCreateProgramWithSource / clBuildProgram /
+  /// clCreateKernel — the fixed initialization sequence.
+  OpenClShim(Runtime& runtime, DomainId device, std::size_t nqueues);
+
+  /// clCreateBuffer.
+  [[nodiscard]] double* create_buffer(std::size_t elems);
+
+  /// clSetKernelArg (counted per argument, as real OpenCL requires).
+  void set_kernel_arg(std::size_t index, const void* value);
+
+  /// clEnqueueWriteBuffer / clEnqueueReadBuffer.
+  void enqueue_write(std::size_t queue, double* buffer, std::size_t elems);
+  void enqueue_read(std::size_t queue, double* buffer, std::size_t elems);
+
+  /// clEnqueueNDRangeKernel running the clBLAS-style gemm on the last
+  /// arguments set with set_kernel_arg(0..2) = (a, b, c).
+  void enqueue_gemm(std::size_t queue, std::size_t m, std::size_t n,
+                    std::size_t k, double beta);
+
+  /// clFinish.
+  void finish(std::size_t queue);
+
+  [[nodiscard]] std::size_t total_api_calls() const { return calls_; }
+  [[nodiscard]] std::size_t unique_api_count() const {
+    return unique_.size();
+  }
+
+ private:
+  void count(const char* api);
+
+  Runtime& runtime_;
+  DomainId device_;
+  std::vector<StreamId> queues_;
+  std::vector<std::unique_ptr<double[]>> allocations_;
+  const void* args_[3] = {nullptr, nullptr, nullptr};
+  std::size_t calls_ = 0;
+  std::set<std::string> unique_;
+};
+
+}  // namespace hs::baselines

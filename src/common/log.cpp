@@ -1,0 +1,44 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <cstdarg>
+#include <cstdio>
+#include <mutex>
+
+namespace hs {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::warn};
+std::mutex g_emit_mutex;
+
+constexpr const char* level_tag(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::debug: return "DEBUG";
+    case LogLevel::info: return "INFO ";
+    case LogLevel::warn: return "WARN ";
+    case LogLevel::error: return "ERROR";
+    case LogLevel::off: return "OFF  ";
+  }
+  return "?????";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) noexcept { g_level.store(level); }
+
+LogLevel log_level() noexcept { return g_level.load(); }
+
+namespace log_detail {
+
+void emitf(LogLevel level, const char* fmt, ...) {
+  char buffer[1024];
+  std::va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buffer, sizeof buffer, fmt, args);
+  va_end(args);
+  const std::scoped_lock lock(g_emit_mutex);
+  std::fprintf(stderr, "[hs %s] %s\n", level_tag(level), buffer);
+}
+
+}  // namespace log_detail
+}  // namespace hs

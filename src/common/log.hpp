@@ -1,0 +1,56 @@
+#pragma once
+
+// Minimal leveled, thread-safe logger for the runtime.
+//
+// The runtime logs scheduling decisions at `debug` level, which the tests
+// for dependence enforcement can use as an observable trace. Default
+// level is `warn` so that examples and benches stay quiet.
+//
+// printf-style formatting (GCC 12 on the target image lacks <format>).
+
+#include <string_view>
+
+namespace hs {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+namespace log_detail {
+/// Formats and emits one record to stderr under a global mutex.
+[[gnu::format(printf, 2, 3)]] void emitf(LogLevel level, const char* fmt, ...);
+}  // namespace log_detail
+
+/// Sets the global log threshold; records below it are dropped.
+void set_log_level(LogLevel level) noexcept;
+[[nodiscard]] LogLevel log_level() noexcept;
+
+template <class... Args>
+void log(LogLevel level, const char* fmt, Args... args) {
+  if (level < log_level()) {
+    return;
+  }
+  if constexpr (sizeof...(Args) == 0) {
+    log_detail::emitf(level, "%s", fmt);
+  } else {
+    // NOLINTNEXTLINE(cppcoreguidelines-pro-type-vararg): printf bridge
+    log_detail::emitf(level, fmt, args...);
+  }
+}
+
+template <class... Args>
+void log_debug(const char* fmt, Args... args) {
+  log(LogLevel::debug, fmt, args...);
+}
+template <class... Args>
+void log_info(const char* fmt, Args... args) {
+  log(LogLevel::info, fmt, args...);
+}
+template <class... Args>
+void log_warn(const char* fmt, Args... args) {
+  log(LogLevel::warn, fmt, args...);
+}
+template <class... Args>
+void log_error(const char* fmt, Args... args) {
+  log(LogLevel::error, fmt, args...);
+}
+
+}  // namespace hs

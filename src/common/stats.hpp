@@ -1,0 +1,53 @@
+#pragma once
+
+// Small-sample statistics used by the bench harness (the paper reports
+// medians of 5 runs for Fig 9) and by tests that assert on distributions.
+
+#include <algorithm>
+#include <cmath>
+#include <span>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hs {
+
+[[nodiscard]] inline double mean(std::span<const double> xs) {
+  require(!xs.empty(), "mean of empty sample");
+  double acc = 0.0;
+  for (const double x : xs) {
+    acc += x;
+  }
+  return acc / static_cast<double>(xs.size());
+}
+
+[[nodiscard]] inline double median(std::span<const double> xs) {
+  require(!xs.empty(), "median of empty sample");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::ranges::sort(sorted);
+  const std::size_t n = sorted.size();
+  return (n % 2 == 1) ? sorted[n / 2]
+                      : 0.5 * (sorted[n / 2 - 1] + sorted[n / 2]);
+}
+
+[[nodiscard]] inline double stddev(std::span<const double> xs) {
+  require(xs.size() >= 2, "stddev needs at least two samples");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) {
+    acc += (x - m) * (x - m);
+  }
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+[[nodiscard]] inline double min_of(std::span<const double> xs) {
+  require(!xs.empty(), "min of empty sample");
+  return *std::ranges::min_element(xs);
+}
+
+[[nodiscard]] inline double max_of(std::span<const double> xs) {
+  require(!xs.empty(), "max of empty sample");
+  return *std::ranges::max_element(xs);
+}
+
+}  // namespace hs

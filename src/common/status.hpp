@@ -1,0 +1,105 @@
+#pragma once
+
+// Error model for the hetstream runtime.
+//
+// The original hStreams library (like most C offload runtimes) reports
+// errors through an HSTR_RESULT enumeration returned from every API call.
+// We mirror that contract: recoverable runtime conditions are reported as
+// a Status carrying an Errc plus context, while contract violations
+// (programmer errors such as out-of-range ids) throw.
+
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hs {
+
+/// Error codes, modeled after the HSTR_RESULT values of hStreams.
+enum class Errc {
+  ok = 0,
+  not_initialized,      ///< runtime used before init / after fini
+  already_initialized,  ///< double init
+  not_found,            ///< unknown domain/stream/buffer/event id
+  out_of_range,         ///< operand range escapes its buffer
+  overlapping_operands, ///< illegal aliasing between distinct operands
+  buffer_not_instantiated, ///< buffer has no incarnation in target domain
+  invalid_argument,
+  resource_exhausted,
+  internal,
+};
+
+/// Human-readable name for an error code.
+[[nodiscard]] constexpr std::string_view to_string(Errc e) noexcept {
+  switch (e) {
+    case Errc::ok: return "ok";
+    case Errc::not_initialized: return "not_initialized";
+    case Errc::already_initialized: return "already_initialized";
+    case Errc::not_found: return "not_found";
+    case Errc::out_of_range: return "out_of_range";
+    case Errc::overlapping_operands: return "overlapping_operands";
+    case Errc::buffer_not_instantiated: return "buffer_not_instantiated";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::resource_exhausted: return "resource_exhausted";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+/// Result of a runtime API call: an error code plus optional context.
+///
+/// Default-constructed Status is success; it converts to bool (true on ok)
+/// so call sites can write `if (auto st = rt.xfer(...); !st) ...`.
+class [[nodiscard]] Status {
+ public:
+  Status() = default;
+  Status(Errc code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  [[nodiscard]] static Status ok() { return {}; }
+  [[nodiscard]] static Status error(Errc code, std::string message) {
+    return {code, std::move(message)};
+  }
+
+  [[nodiscard]] Errc code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+  explicit operator bool() const noexcept { return code_ == Errc::ok; }
+
+  /// Throws hs::Error if this status is not ok. Used at boundaries where
+  /// a failure indicates a bug in the caller rather than a runtime event.
+  void expect(std::string_view what) const;
+
+ private:
+  Errc code_ = Errc::ok;
+  std::string message_;
+};
+
+/// Exception thrown for contract violations and by Status::expect.
+class Error : public std::runtime_error {
+ public:
+  Error(Errc code, const std::string& message)
+      : std::runtime_error(std::string(to_string(code)) + ": " + message),
+        code_(code) {}
+
+  [[nodiscard]] Errc code() const noexcept { return code_; }
+
+ private:
+  Errc code_;
+};
+
+inline void Status::expect(std::string_view what) const {
+  if (code_ != Errc::ok) {
+    throw Error(code_, std::string(what) + ": " + message_);
+  }
+}
+
+/// Throws Error(invalid_argument) unless `cond` holds. This is the
+/// runtime's precondition check for public API entry points.
+inline void require(bool cond, std::string_view message,
+                    Errc code = Errc::invalid_argument) {
+  if (!cond) {
+    throw Error(code, std::string(message));
+  }
+}
+
+}  // namespace hs

@@ -1,0 +1,80 @@
+#pragma once
+
+// ASCII table printer. Every bench binary prints its figure/table in the
+// same aligned format so EXPERIMENTS.md can quote the output directly.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace hs {
+
+/// Collects rows of string cells and renders them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  Table& header(std::vector<std::string> cells) {
+    header_ = std::move(cells);
+    return *this;
+  }
+
+  Table& row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+    return *this;
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> widths;
+    auto widen = [&widths](const std::vector<std::string>& cells) {
+      if (widths.size() < cells.size()) {
+        widths.resize(cells.size(), 0);
+      }
+      for (std::size_t i = 0; i < cells.size(); ++i) {
+        widths[i] = std::max(widths[i], cells[i].size());
+      }
+    };
+    widen(header_);
+    for (const auto& r : rows_) {
+      widen(r);
+    }
+
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      os << "| ";
+      for (std::size_t i = 0; i < widths.size(); ++i) {
+        const std::string& cell = i < cells.size() ? cells[i] : empty_;
+        os << cell << std::string(widths[i] - cell.size(), ' ')
+           << (i + 1 < widths.size() ? " | " : " |\n");
+      }
+    };
+
+    os << "== " << title_ << " ==\n";
+    if (!header_.empty()) {
+      print_row(header_);
+      os << "|";
+      for (const std::size_t w : widths) {
+        os << std::string(w + 2, '-') << "|";
+      }
+      os << "\n";
+    }
+    for (const auto& r : rows_) {
+      print_row(r);
+    }
+    os.flush();
+  }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+  std::string empty_;
+};
+
+/// Formats a double with fixed precision (default 2), for table cells.
+[[nodiscard]] inline std::string fmt(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace hs

@@ -1,0 +1,80 @@
+#pragma once
+
+// Action records: the unit of work enqueued into a stream.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/buffer.hpp"
+#include "core/event.hpp"
+#include "core/types.hpp"
+
+namespace hs {
+
+class TaskContext;
+
+/// Compute payload: a task body plus the hints cost models consume.
+struct ComputePayload {
+  std::function<void(TaskContext&)> body;
+  std::string kernel = "task";  ///< cost-model key ("dgemm", "dpotrf", ...)
+  double flops = 0.0;           ///< work estimate for GF/s and sim timing
+  /// Additional modeled per-task cost charged by layered runtimes (the
+  /// OmpSs front-end charges its dynamic task instantiation/scheduling
+  /// overhead here; §III reports it at 15-50%).
+  double layered_overhead_s = 0.0;
+};
+
+/// Transfer payload: moves `length` bytes of one buffer region between
+/// the host incarnation and the sink-domain incarnation.
+struct TransferPayload {
+  BufferId buffer;
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  XferDir dir = XferDir::src_to_sink;
+};
+
+/// One enqueued action. Owned by the runtime until completion.
+struct ActionRecord {
+  ActionId id;
+  StreamId stream;
+  ActionType type = ActionType::compute;
+  std::uint64_t seq = 0;  ///< position within the stream's FIFO order
+
+  /// Declared memory operands; the dependence analysis domain.
+  std::vector<Operand> operands;
+
+  /// Full-barrier actions conflict with every other action in the stream
+  /// (a stream-wide synchronization; also used by strict-FIFO policy
+  /// emulation of legacy sync APIs).
+  bool full_barrier = false;
+
+  ComputePayload compute;
+  TransferPayload transfer;
+  std::shared_ptr<EventState> wait_event;  ///< for event_wait actions
+
+  /// Completion event; always present so cross-stream deps can attach.
+  std::shared_ptr<EventState> completion = std::make_shared<EventState>();
+
+  enum class State { pending, dispatched, done };
+  State state = State::pending;
+
+  /// True if this action's operands (or barrier flag) conflict with an
+  /// earlier action's.
+  [[nodiscard]] bool conflicts_with(const ActionRecord& earlier) const {
+    if (full_barrier || earlier.full_barrier) {
+      return true;
+    }
+    for (const Operand& mine : operands) {
+      for (const Operand& theirs : earlier.operands) {
+        if (mine.conflicts_with(theirs)) {
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace hs

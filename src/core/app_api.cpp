@@ -1,0 +1,117 @@
+#include "core/app_api.hpp"
+
+namespace hs {
+
+AppApi::AppApi(Runtime& runtime, AppConfig config) : runtime_(runtime) {
+  require(config.streams_per_device > 0 || config.host_streams > 0,
+          "AppApi needs at least one stream");
+
+  // Device streams: evenly divide each non-host domain.
+  for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
+    const DomainId domain{static_cast<std::uint32_t>(d)};
+    const std::size_t threads = runtime.domain(domain).hw_threads();
+    if (config.streams_per_device == 0) {
+      continue;
+    }
+    const auto masks = CpuMask::partition(
+        threads, std::min(config.streams_per_device, threads));
+    for (const CpuMask& mask : masks) {
+      device_stream_indices_.push_back(streams_.size());
+      streams_.push_back(runtime.stream_create(domain, mask));
+      stream_domains_.push_back(domain);
+    }
+    buffer_domains_.push_back(domain);
+  }
+
+  // Host-as-target streams over the non-reserved host threads.
+  if (config.host_streams > 0) {
+    const std::size_t total = runtime.domain(kHostDomain).hw_threads();
+    require(total > config.host_threads_reserved,
+            "no host threads left for host-as-target streams");
+    const std::size_t usable = total - config.host_threads_reserved;
+    const std::size_t count = std::min(config.host_streams, usable);
+    const auto parts = CpuMask::partition(usable, count);
+    for (const CpuMask& part : parts) {
+      // Shift past the reserved source-endpoint threads.
+      CpuMask mask;
+      for (const std::size_t cpu : part.cpus()) {
+        mask.set(cpu + config.host_threads_reserved);
+      }
+      host_stream_indices_.push_back(streams_.size());
+      streams_.push_back(runtime.stream_create(kHostDomain, mask));
+      stream_domains_.push_back(kHostDomain);
+    }
+  }
+  buffer_domains_.push_back(kHostDomain);
+}
+
+StreamId AppApi::stream(std::size_t index) const {
+  require(index < streams_.size(), "stream index out of range",
+          Errc::not_found);
+  return streams_[index];
+}
+
+DomainId AppApi::stream_domain(std::size_t index) const {
+  require(index < streams_.size(), "stream index out of range",
+          Errc::not_found);
+  return stream_domains_[index];
+}
+
+std::vector<std::size_t> AppApi::streams_on(DomainId domain) const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < stream_domains_.size(); ++i) {
+    if (stream_domains_[i] == domain) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+BufferId AppApi::create_buf(void* ptr, std::size_t size, BufferProps props) {
+  const BufferId id = runtime_.buffer_create(ptr, size, props);
+  try {
+    for (const DomainId domain : buffer_domains_) {
+      runtime_.buffer_instantiate(id, domain);
+    }
+  } catch (...) {
+    // Transactional: a failed incarnation (e.g. budget exhausted) must
+    // not leave a half-registered buffer behind.
+    runtime_.buffer_destroy(id);
+    throw;
+  }
+  return id;
+}
+
+std::shared_ptr<EventState> AppApi::xfer_memory(std::size_t stream_index,
+                                                void* ptr, std::size_t len,
+                                                XferDir dir) {
+  return runtime_.enqueue_transfer(stream(stream_index), ptr, len, dir);
+}
+
+std::shared_ptr<EventState> AppApi::invoke(
+    std::size_t stream_index, std::string kernel, double flops,
+    std::function<void(TaskContext&)> body,
+    std::span<const OperandRef> operands) {
+  ComputePayload payload;
+  payload.body = std::move(body);
+  payload.kernel = std::move(kernel);
+  payload.flops = flops;
+  return runtime_.enqueue_compute(stream(stream_index), std::move(payload),
+                                  operands);
+}
+
+void AppApi::event_wait(
+    std::span<const std::shared_ptr<EventState>> events, WaitMode mode) {
+  runtime_.event_wait_host(events, mode);
+}
+
+std::shared_ptr<EventState> AppApi::stream_wait_event(
+    std::size_t stream_index, std::shared_ptr<EventState> event) {
+  return runtime_.enqueue_event_wait(stream(stream_index), std::move(event));
+}
+
+void AppApi::stream_synchronize(std::size_t stream_index) {
+  runtime_.stream_synchronize(stream(stream_index));
+}
+
+}  // namespace hs

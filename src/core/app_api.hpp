@@ -1,0 +1,91 @@
+#pragma once
+
+// The hStreams "app API" layer.
+//
+// §II: "High-level hStreams APIs allow the specified or visible (via
+// automatic discovery) resources to be evenly divided up among a
+// specified number of streams. Again this division and assignment can be
+// under full user control with low-level APIs, or almost fully-automatic,
+// with high-level APIs."
+//
+// AppApi discovers the runtime's domains, evenly partitions each chosen
+// domain's hardware threads into the requested number of streams, and
+// exposes integer-indexed streams with one-call transfer/invoke/sync —
+// the interface the paper's matmul/Cholesky reference codes are written
+// against.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace hs {
+
+struct AppConfig {
+  std::size_t streams_per_device = 4;
+  /// Host-as-target streams ("*Host refers to host-as-target streams",
+  /// Figs 4-5). Zero disables host streams.
+  std::size_t host_streams = 0;
+  /// Host threads kept back for the source endpoint (enqueueing thread).
+  std::size_t host_threads_reserved = 1;
+};
+
+class AppApi {
+ public:
+  /// Discovers domains and creates the partitioned streams.
+  AppApi(Runtime& runtime, AppConfig config);
+
+  [[nodiscard]] Runtime& runtime() noexcept { return runtime_; }
+  [[nodiscard]] std::size_t stream_count() const noexcept {
+    return streams_.size();
+  }
+  [[nodiscard]] StreamId stream(std::size_t index) const;
+  [[nodiscard]] DomainId stream_domain(std::size_t index) const;
+  /// Indices of streams whose sink is `domain`.
+  [[nodiscard]] std::vector<std::size_t> streams_on(DomainId domain) const;
+  /// Indices of host-as-target streams (empty if none were requested).
+  [[nodiscard]] const std::vector<std::size_t>& host_streams() const noexcept {
+    return host_stream_indices_;
+  }
+  /// Indices of device streams, in (device, partition) order.
+  [[nodiscard]] const std::vector<std::size_t>& device_streams()
+      const noexcept {
+    return device_stream_indices_;
+  }
+
+  /// Wraps user memory as a buffer and instantiates it in every domain
+  /// that has a stream (one-call equivalent of create + N instantiates).
+  BufferId create_buf(void* ptr, std::size_t size, BufferProps props = {});
+
+  /// hStreams_app_xfer_memory equivalent.
+  std::shared_ptr<EventState> xfer_memory(std::size_t stream_index, void* ptr,
+                                          std::size_t len, XferDir dir);
+
+  /// hStreams_app_invoke equivalent: enqueue a named compute task.
+  std::shared_ptr<EventState> invoke(std::size_t stream_index,
+                                     std::string kernel, double flops,
+                                     std::function<void(TaskContext&)> body,
+                                     std::span<const OperandRef> operands);
+
+  /// hStreams_app_event_wait equivalent (host-side wait on events).
+  void event_wait(std::span<const std::shared_ptr<EventState>> events,
+                  WaitMode mode = WaitMode::all);
+
+  /// Enqueue a cross-stream dependency: stream waits for `event`.
+  std::shared_ptr<EventState> stream_wait_event(
+      std::size_t stream_index, std::shared_ptr<EventState> event);
+
+  void stream_synchronize(std::size_t stream_index);
+  void synchronize() { runtime_.synchronize(); }
+
+ private:
+  Runtime& runtime_;
+  std::vector<StreamId> streams_;
+  std::vector<DomainId> stream_domains_;
+  std::vector<std::size_t> host_stream_indices_;
+  std::vector<std::size_t> device_stream_indices_;
+  std::vector<DomainId> buffer_domains_;  ///< domains buffers instantiate in
+};
+
+}  // namespace hs

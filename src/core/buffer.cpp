@@ -1,0 +1,65 @@
+#include "core/buffer.hpp"
+
+namespace hs {
+
+BufferId BufferTable::create(void* base, std::size_t size, BufferProps props) {
+  auto* byte_base = static_cast<std::byte*>(base);
+  // Reject overlap with an existing buffer: proxy space is a partition.
+  auto next = by_base_.upper_bound(byte_base);
+  if (next != by_base_.end()) {
+    require(byte_base + size <= next->first,
+            "buffer overlaps an existing buffer", Errc::invalid_argument);
+  }
+  if (next != by_base_.begin()) {
+    const auto& prev = *std::prev(next);
+    require(prev.first + prev.second->size() <= byte_base,
+            "buffer overlaps an existing buffer", Errc::invalid_argument);
+  }
+
+  const BufferId id{next_id_++};
+  auto buffer = std::make_unique<Buffer>(id, byte_base, size, props);
+  buffers_[id] = buffer.get();
+  by_base_[byte_base] = std::move(buffer);
+  return id;
+}
+
+void BufferTable::destroy(BufferId id) {
+  const auto it = buffers_.find(id);
+  require(it != buffers_.end(), "destroy of unknown buffer", Errc::not_found);
+  const std::byte* base = it->second->proxy_base();
+  buffers_.erase(it);
+  by_base_.erase(base);
+}
+
+Buffer& BufferTable::get(BufferId id) {
+  const auto it = buffers_.find(id);
+  require(it != buffers_.end(), "unknown buffer id", Errc::not_found);
+  return *it->second;
+}
+
+const Buffer& BufferTable::get(BufferId id) const {
+  const auto it = buffers_.find(id);
+  require(it != buffers_.end(), "unknown buffer id", Errc::not_found);
+  return *it->second;
+}
+
+Buffer& BufferTable::find_containing(const void* ptr, std::size_t len) {
+  require(ptr != nullptr && len > 0, "empty operand range");
+  const auto* p = static_cast<const std::byte*>(ptr);
+  auto it = by_base_.upper_bound(p);
+  require(it != by_base_.begin(),
+          "operand does not fall within any buffer", Errc::not_found);
+  Buffer& buf = *std::prev(it)->second;
+  require(buf.contains(p), "operand does not fall within any buffer",
+          Errc::not_found);
+  require(buf.offset_of(p) + len <= buf.size(),
+          "operand range escapes its buffer", Errc::out_of_range);
+  return buf;
+}
+
+Operand BufferTable::resolve(const void* ptr, std::size_t len, Access access) {
+  Buffer& buf = find_containing(ptr, len);
+  return Operand{buf.id(), buf.offset_of(ptr), len, access};
+}
+
+}  // namespace hs

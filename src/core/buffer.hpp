@@ -1,0 +1,162 @@
+#pragma once
+
+// Buffers and the unified source proxy address space.
+//
+// §II: "All memory that can be referenced by user code is represented in
+// a unified source proxy address space, which is partitioned into
+// buffers. The virtual address of the base pointer of the buffer is
+// stored for each domain in which the buffer is instantiated, so when an
+// operand of an action associated with a stream falls within that buffer,
+// its addresses are easily translated from the source proxy address to
+// the virtual address needed for that stream's domain."
+//
+// The host incarnation aliases the user's own memory (creating a buffer
+// never copies); device incarnations are separate allocations standing in
+// for card-side memory.
+
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "common/status.hpp"
+#include "core/types.hpp"
+
+namespace hs {
+
+/// Usage properties a buffer creator may declare (§II: "Buffers give
+/// users a way to declare usage properties ... but give tuners control
+/// over the type of memory the data is bound to").
+struct BufferProps {
+  MemKind mem_kind = MemKind::ddr;
+  bool read_only = false;  ///< sink-side code promises not to write
+};
+
+/// One buffer: a range of the proxy address space plus its per-domain
+/// incarnations.
+class Buffer {
+ public:
+  Buffer(BufferId id, std::byte* proxy_base, std::size_t size,
+         BufferProps props)
+      : id_(id), proxy_base_(proxy_base), size_(size), props_(props) {
+    require(proxy_base != nullptr, "buffer proxy base may not be null");
+    require(size > 0, "buffer size must be positive");
+    // The host incarnation aliases the user allocation.
+    incarnations_[kHostDomain] = proxy_base;
+  }
+
+  [[nodiscard]] BufferId id() const noexcept { return id_; }
+  [[nodiscard]] std::byte* proxy_base() const noexcept { return proxy_base_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const BufferProps& props() const noexcept { return props_; }
+
+  /// True if `ptr` lies within this buffer's proxy range.
+  [[nodiscard]] bool contains(const void* ptr) const noexcept {
+    const auto* p = static_cast<const std::byte*>(ptr);
+    return p >= proxy_base_ && p < proxy_base_ + size_;
+  }
+
+  /// Offset of a proxy pointer within this buffer.
+  [[nodiscard]] std::size_t offset_of(const void* ptr) const {
+    require(contains(ptr), "pointer not within buffer", Errc::out_of_range);
+    return static_cast<std::size_t>(static_cast<const std::byte*>(ptr) -
+                                    proxy_base_);
+  }
+
+  /// Declares the incarnation of this buffer in `domain`. Storage is
+  /// materialized lazily on first access (zero-initialized then, like
+  /// freshly allocated card memory), so buffers that are only *scheduled*
+  /// against — timing-only simulation runs — never commit physical pages.
+  void instantiate(DomainId domain) {
+    incarnations_.try_emplace(domain, nullptr);
+  }
+
+  /// Drops the incarnation in `domain` (host incarnation cannot be
+  /// dropped: it aliases user memory).
+  void deinstantiate(DomainId domain) {
+    require(domain != kHostDomain, "cannot deinstantiate the host alias");
+    incarnations_.erase(domain);
+    // Owned storage is retained until buffer destruction; incarnation
+    // maps drive translation, so a dropped domain can no longer be
+    // addressed even though its bytes linger until then.
+  }
+
+  [[nodiscard]] bool instantiated_in(DomainId domain) const noexcept {
+    return incarnations_.contains(domain);
+  }
+
+  /// Translates a proxy offset to the domain-local address, materializing
+  /// the incarnation's storage on first touch.
+  [[nodiscard]] std::byte* local_address(DomainId domain,
+                                         std::size_t offset) {
+    const auto it = incarnations_.find(domain);
+    require(it != incarnations_.end(), "buffer not instantiated in domain",
+            Errc::buffer_not_instantiated);
+    require(offset <= size_, "offset beyond buffer", Errc::out_of_range);
+    if (it->second == nullptr) {
+      auto storage = std::make_unique<std::byte[]>(size_);  // zeroed
+      it->second = storage.get();
+      owned_.push_back(std::move(storage));
+    }
+    return it->second + offset;
+  }
+
+ private:
+  BufferId id_;
+  std::byte* proxy_base_;
+  std::size_t size_;
+  BufferProps props_;
+  std::map<DomainId, std::byte*> incarnations_;
+  std::vector<std::unique_ptr<std::byte[]>> owned_;
+};
+
+/// A resolved memory operand: buffer + byte range + access mode. This is
+/// the unit of dependence analysis.
+struct Operand {
+  BufferId buffer;
+  std::size_t offset = 0;
+  std::size_t length = 0;
+  Access access = Access::in;
+
+  /// True if the byte ranges overlap and at least one side writes.
+  [[nodiscard]] bool conflicts_with(const Operand& other) const noexcept {
+    if (buffer != other.buffer) {
+      return false;
+    }
+    if (!writes(access) && !writes(other.access)) {
+      return false;
+    }
+    return offset < other.offset + other.length &&
+           other.offset < offset + length;
+  }
+};
+
+/// Registry mapping proxy pointers to buffers. Lookup is by interval:
+/// buffers are keyed by base address; proxy ranges never overlap.
+class BufferTable {
+ public:
+  /// Registers a buffer wrapping user memory [base, base+size).
+  BufferId create(void* base, std::size_t size, BufferProps props);
+
+  /// Removes a buffer. All incarnations are dropped.
+  void destroy(BufferId id);
+
+  [[nodiscard]] Buffer& get(BufferId id);
+  [[nodiscard]] const Buffer& get(BufferId id) const;
+
+  /// Finds the buffer containing the proxy range [ptr, ptr+len).
+  /// The whole range must lie within a single buffer.
+  [[nodiscard]] Buffer& find_containing(const void* ptr, std::size_t len);
+
+  /// Resolves a proxy range + access into an Operand.
+  [[nodiscard]] Operand resolve(const void* ptr, std::size_t len,
+                                Access access);
+
+  [[nodiscard]] std::size_t count() const noexcept { return buffers_.size(); }
+
+ private:
+  std::map<const std::byte*, std::unique_ptr<Buffer>> by_base_;
+  std::map<BufferId, Buffer*> buffers_;
+  std::uint32_t next_id_ = 0;
+};
+
+}  // namespace hs

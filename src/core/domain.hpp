@@ -1,0 +1,70 @@
+#pragma once
+
+// Domains: "a set of computing and storage resources which share coherent
+// memory and have some degree of locality" (§II). Domains are
+// discoverable and enumerable; each carries properties such as the
+// number, kind and speed of hardware threads and the amount of each kind
+// of memory.
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace hs {
+
+/// Static description of one domain, provided at platform construction.
+struct DomainDesc {
+  std::string name = "host";
+  DomainKind kind = DomainKind::host;
+  std::size_t hw_threads = 1;    ///< worker threads backing this domain
+  double clock_ghz = 1.0;        ///< informational; sim models consume it
+  std::map<MemKind, std::size_t> memory_bytes = {
+      {MemKind::ddr, std::size_t{16} << 30}};
+};
+
+/// A realized domain within a runtime.
+class Domain {
+ public:
+  Domain(DomainId id, DomainDesc desc) : id_(id), desc_(std::move(desc)) {}
+
+  [[nodiscard]] DomainId id() const noexcept { return id_; }
+  [[nodiscard]] const DomainDesc& desc() const noexcept { return desc_; }
+  [[nodiscard]] bool is_host() const noexcept { return id_ == kHostDomain; }
+  [[nodiscard]] std::size_t hw_threads() const noexcept {
+    return desc_.hw_threads;
+  }
+
+ private:
+  DomainId id_;
+  DomainDesc desc_;
+};
+
+/// A whole platform: the host plus zero or more device domains.
+/// Domain 0 must be the host.
+struct PlatformDesc {
+  std::vector<DomainDesc> domains;
+
+  [[nodiscard]] static PlatformDesc host_only(std::size_t hw_threads = 4) {
+    PlatformDesc p;
+    p.domains.push_back(DomainDesc{.name = "host",
+                                   .kind = DomainKind::host,
+                                   .hw_threads = hw_threads});
+    return p;
+  }
+
+  /// Host plus `cards` identical coprocessor domains.
+  [[nodiscard]] static PlatformDesc host_plus_cards(
+      std::size_t host_threads, std::size_t cards, std::size_t card_threads) {
+    PlatformDesc p = host_only(host_threads);
+    for (std::size_t i = 0; i < cards; ++i) {
+      p.domains.push_back(DomainDesc{.name = "mic" + std::to_string(i),
+                                     .kind = DomainKind::coprocessor,
+                                     .hw_threads = card_threads});
+    }
+    return p;
+  }
+};
+
+}  // namespace hs

@@ -1,0 +1,80 @@
+#pragma once
+
+// Completion events.
+//
+// Every enqueued action can report completion through an Event. Events
+// are the only cross-stream and host-to-stream dependence mechanism
+// (§II: "There are no dependences implied among actions in different
+// streams, or between actions in streams and the source; those must be
+// explicitly specified using synchronization actions.").
+//
+// hStreams "adds the possibility of waiting on a set of events and being
+// signaled when one or all the events are finished" (§IV) — see
+// Runtime::event_wait_host with WaitMode.
+
+#include <condition_variable>
+#include <functional>
+#include <mutex>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace hs {
+
+/// Shared state of one event. Fire-once; waiters registered after firing
+/// run immediately.
+class EventState {
+ public:
+  /// Marks the event fired and returns the callbacks to invoke. The
+  /// caller invokes them *outside* any runtime lock.
+  [[nodiscard]] std::vector<std::function<void()>> fire() {
+    std::vector<std::function<void()>> callbacks;
+    {
+      const std::scoped_lock lock(mutex_);
+      if (fired_) {
+        return {};
+      }
+      fired_ = true;
+      callbacks.swap(callbacks_);
+    }
+    cv_.notify_all();
+    return callbacks;
+  }
+
+  [[nodiscard]] bool fired() const {
+    const std::scoped_lock lock(mutex_);
+    return fired_;
+  }
+
+  /// Registers `fn` to run when the event fires; runs it inline if the
+  /// event already fired. Returns true if run inline.
+  bool on_fire(std::function<void()> fn) {
+    {
+      const std::scoped_lock lock(mutex_);
+      if (!fired_) {
+        callbacks_.push_back(std::move(fn));
+        return false;
+      }
+    }
+    fn();
+    return true;
+  }
+
+  /// Blocks the calling (host) thread until fired. Only valid with a
+  /// backend that makes progress on other threads (threaded executor).
+  void wait_blocking() {
+    std::unique_lock lock(mutex_);
+    cv_.wait(lock, [this] { return fired_; });
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  bool fired_ = false;
+  std::vector<std::function<void()>> callbacks_;
+};
+
+/// Host-side wait flavor over a set of events.
+enum class WaitMode { all, any };
+
+}  // namespace hs

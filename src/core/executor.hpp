@@ -1,0 +1,53 @@
+#pragma once
+
+// Executor: the pluggable backend that runs dependence-ready actions.
+//
+// The Runtime owns all *semantics* — FIFO windows, operand conflict
+// analysis, event plumbing. An Executor owns *time and resources*: where
+// and when a ready action actually runs. Two implementations exist:
+//
+//  * ThreadedExecutor (core/threaded_executor.hpp): real worker threads
+//    per domain, real memcpy transfers. Functional backend for tests and
+//    examples.
+//  * SimExecutor (sim/sim_executor.hpp): single-threaded discrete-event
+//    simulation against calibrated cost models — the stand-in for the
+//    paper's Xeon + Xeon Phi testbed.
+
+#include <functional>
+
+#include "core/action.hpp"
+#include "core/types.hpp"
+
+namespace hs {
+
+class Runtime;
+
+/// Completion callback handed to Executor::execute. Executors invoke it
+/// exactly once, after the action's effects are visible.
+using CompletionFn = std::function<void()>;
+
+class Executor {
+ public:
+  virtual ~Executor() = default;
+
+  /// Binds the executor to its runtime. Called once from the Runtime
+  /// constructor, before any action is enqueued.
+  virtual void attach(Runtime& runtime) = 0;
+
+  /// Runs a dependence-ready action. Must not be called twice for the
+  /// same action. The executor performs the action's effects (compute
+  /// body, memcpy between incarnations, event wait/signal) and then calls
+  /// `done`.
+  virtual void execute(ActionRecord& action, CompletionFn done) = 0;
+
+  /// Blocks the host until `ready()` returns true. `ready` is invoked
+  /// with the runtime lock held; executors that make progress on the
+  /// calling thread (the simulator) advance their clock between polls.
+  virtual void wait(const std::function<bool()>& ready) = 0;
+
+  /// Current time in seconds: wall clock for threaded execution, virtual
+  /// clock for simulation.
+  [[nodiscard]] virtual double now() const = 0;
+};
+
+}  // namespace hs

@@ -1,0 +1,381 @@
+#include "core/hstreams_compat.hpp"
+
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/app_api.hpp"
+#include "core/threaded_executor.hpp"
+
+namespace hs::compat {
+namespace {
+
+/// Process-global state, as in the original library.
+struct CompatContext {
+  std::mutex mutex;
+  PlatformDesc platform = PlatformDesc::host_plus_cards(4, 1, 16);
+  std::unique_ptr<Runtime> owned_runtime;
+  Runtime* runtime = nullptr;  // owned_runtime.get() or adopted
+  std::unique_ptr<AppApi> app;
+  std::map<std::string, HSTR_KERNEL, std::less<>> kernels;
+  std::vector<std::shared_ptr<EventState>> events;  // handle = index + 1
+};
+
+CompatContext& ctx() {
+  static CompatContext instance;
+  return instance;
+}
+
+/// Translates exceptions at the C boundary into result codes.
+template <class Fn>
+HSTR_RESULT guarded(Fn&& fn) {
+  try {
+    return fn();
+  } catch (const Error& e) {
+    switch (e.code()) {
+      case Errc::not_found: return HSTR_RESULT_NOT_FOUND;
+      case Errc::out_of_range: return HSTR_RESULT_OUT_OF_RANGE;
+      case Errc::resource_exhausted: return HSTR_RESULT_OUT_OF_MEMORY;
+      case Errc::not_initialized: return HSTR_RESULT_NOT_INITIALIZED;
+      case Errc::already_initialized: return HSTR_RESULT_ALREADY_INITIALIZED;
+      default: return HSTR_RESULT_INTERNAL_ERROR;
+    }
+  } catch (...) {
+    return HSTR_RESULT_INTERNAL_ERROR;
+  }
+}
+
+HSTR_RESULT require_init(CompatContext& c) {
+  return c.app ? HSTR_RESULT_SUCCESS : HSTR_RESULT_NOT_INITIALIZED;
+}
+
+HSTR_EVENT store_event(CompatContext& c, std::shared_ptr<EventState> ev) {
+  c.events.push_back(std::move(ev));
+  return static_cast<HSTR_EVENT>(c.events.size());
+}
+
+std::shared_ptr<EventState> lookup_event(CompatContext& c, HSTR_EVENT h) {
+  require(h != HSTR_NULL_EVENT && h <= c.events.size(), "bad event handle",
+          Errc::not_found);
+  return c.events[h - 1];
+}
+
+HSTR_RESULT init_common(CompatContext& c, std::uint32_t streams_per_domain,
+                        std::uint32_t host_streams) {
+  if (c.app) {
+    return HSTR_RESULT_ALREADY_INITIALIZED;
+  }
+  c.app = std::make_unique<AppApi>(
+      *c.runtime, AppConfig{.streams_per_device = streams_per_domain,
+                            .host_streams = host_streams});
+  return HSTR_RESULT_SUCCESS;
+}
+
+}  // namespace
+
+const char* hStreams_ResultGetName(HSTR_RESULT result) {
+  switch (result) {
+    case HSTR_RESULT_SUCCESS: return "HSTR_RESULT_SUCCESS";
+    case HSTR_RESULT_NOT_INITIALIZED: return "HSTR_RESULT_NOT_INITIALIZED";
+    case HSTR_RESULT_ALREADY_INITIALIZED:
+      return "HSTR_RESULT_ALREADY_INITIALIZED";
+    case HSTR_RESULT_NOT_FOUND: return "HSTR_RESULT_NOT_FOUND";
+    case HSTR_RESULT_OUT_OF_RANGE: return "HSTR_RESULT_OUT_OF_RANGE";
+    case HSTR_RESULT_BAD_NAME: return "HSTR_RESULT_BAD_NAME";
+    case HSTR_RESULT_OUT_OF_MEMORY: return "HSTR_RESULT_OUT_OF_MEMORY";
+    case HSTR_RESULT_INTERNAL_ERROR: return "HSTR_RESULT_INTERNAL_ERROR";
+  }
+  return "HSTR_RESULT_?";
+}
+
+HSTR_RESULT hStreams_SetPlatform(const PlatformDesc& platform) {
+  CompatContext& c = ctx();
+  const std::scoped_lock lock(c.mutex);
+  if (c.app) {
+    return HSTR_RESULT_ALREADY_INITIALIZED;
+  }
+  c.platform = platform;
+  return HSTR_RESULT_SUCCESS;
+}
+
+HSTR_RESULT hStreams_app_init(std::uint32_t streams_per_domain,
+                              std::uint32_t host_streams) {
+  CompatContext& c = ctx();
+  const std::scoped_lock lock(c.mutex);
+  return guarded([&] {
+    if (c.app) {
+      return HSTR_RESULT_ALREADY_INITIALIZED;
+    }
+    RuntimeConfig config;
+    config.platform = c.platform;
+    c.owned_runtime = std::make_unique<Runtime>(
+        config, std::make_unique<ThreadedExecutor>());
+    c.runtime = c.owned_runtime.get();
+    return init_common(c, streams_per_domain, host_streams);
+  });
+}
+
+HSTR_RESULT hStreams_InitWithRuntime(Runtime* runtime,
+                                     std::uint32_t streams_per_domain,
+                                     std::uint32_t host_streams) {
+  CompatContext& c = ctx();
+  const std::scoped_lock lock(c.mutex);
+  return guarded([&] {
+    if (c.app) {
+      return HSTR_RESULT_ALREADY_INITIALIZED;
+    }
+    require(runtime != nullptr, "null runtime");
+    c.runtime = runtime;
+    return init_common(c, streams_per_domain, host_streams);
+  });
+}
+
+HSTR_RESULT hStreams_app_fini() {
+  CompatContext& c = ctx();
+  const std::scoped_lock lock(c.mutex);
+  return guarded([&] {
+    if (!c.app) {
+      return HSTR_RESULT_NOT_INITIALIZED;
+    }
+    c.runtime->synchronize();
+    c.app.reset();
+    c.owned_runtime.reset();
+    c.runtime = nullptr;
+    c.events.clear();
+    c.kernels.clear();
+    return HSTR_RESULT_SUCCESS;
+  });
+}
+
+bool hStreams_IsInitialized() {
+  CompatContext& c = ctx();
+  const std::scoped_lock lock(c.mutex);
+  return c.app != nullptr;
+}
+
+HSTR_RESULT hStreams_GetNumPhysDomains(std::uint32_t* out_domains) {
+  CompatContext& c = ctx();
+  const std::scoped_lock lock(c.mutex);
+  if (const auto rc = require_init(c); rc != HSTR_RESULT_SUCCESS) {
+    return rc;
+  }
+  *out_domains = static_cast<std::uint32_t>(c.runtime->domain_count());
+  return HSTR_RESULT_SUCCESS;
+}
+
+HSTR_RESULT hStreams_GetNumLogStreams(std::uint32_t* out_streams) {
+  CompatContext& c = ctx();
+  const std::scoped_lock lock(c.mutex);
+  if (const auto rc = require_init(c); rc != HSTR_RESULT_SUCCESS) {
+    return rc;
+  }
+  *out_streams = static_cast<std::uint32_t>(c.app->stream_count());
+  return HSTR_RESULT_SUCCESS;
+}
+
+HSTR_RESULT hStreams_app_create_buf(void* base, std::uint64_t bytes) {
+  CompatContext& c = ctx();
+  const std::scoped_lock lock(c.mutex);
+  if (const auto rc = require_init(c); rc != HSTR_RESULT_SUCCESS) {
+    return rc;
+  }
+  return guarded([&] {
+    (void)c.app->create_buf(base, bytes);
+    return HSTR_RESULT_SUCCESS;
+  });
+}
+
+HSTR_RESULT hStreams_DeAlloc(void* base) {
+  CompatContext& c = ctx();
+  const std::scoped_lock lock(c.mutex);
+  if (const auto rc = require_init(c); rc != HSTR_RESULT_SUCCESS) {
+    return rc;
+  }
+  return guarded([&] {
+    // Quiesce, then drop the whole buffer containing `base` (DeAlloc
+    // takes any address within the buffer).
+    c.runtime->synchronize();
+    c.runtime->buffer_destroy_containing(base);
+    return HSTR_RESULT_SUCCESS;
+  });
+}
+
+HSTR_RESULT hStreams_RegisterKernel(const char* name, HSTR_KERNEL kernel) {
+  CompatContext& c = ctx();
+  const std::scoped_lock lock(c.mutex);
+  if (name == nullptr || *name == '\0' || !kernel) {
+    return HSTR_RESULT_BAD_NAME;
+  }
+  c.kernels[name] = std::move(kernel);
+  return HSTR_RESULT_SUCCESS;
+}
+
+HSTR_RESULT hStreams_app_xfer_memory(void* dst, void* src,
+                                     std::uint64_t bytes,
+                                     std::uint32_t log_stream,
+                                     HSTR_XFER_DIRECTION direction,
+                                     HSTR_EVENT* out_event) {
+  CompatContext& c = ctx();
+  const std::scoped_lock lock(c.mutex);
+  if (const auto rc = require_init(c); rc != HSTR_RESULT_SUCCESS) {
+    return rc;
+  }
+  return guarded([&] {
+    // Our proxy model keeps one address per buffer across domains, so
+    // dst and src must name the same proxy range (as hStreams programs
+    // written against a single proxy address do).
+    require(dst == src, "dst and src must be the same proxy address");
+    auto ev = c.app->xfer_memory(log_stream, src, bytes,
+                                 direction == HSTR_SRC_TO_SINK
+                                     ? XferDir::src_to_sink
+                                     : XferDir::sink_to_src);
+    if (out_event != nullptr) {
+      *out_event = store_event(c, std::move(ev));
+    }
+    return HSTR_RESULT_SUCCESS;
+  });
+}
+
+HSTR_RESULT hStreams_EnqueueCompute(std::uint32_t log_stream,
+                                    const char* kernel_name,
+                                    const HSTR_ARG* args, std::size_t nargs,
+                                    HSTR_EVENT* out_event) {
+  CompatContext& c = ctx();
+  const std::scoped_lock lock(c.mutex);
+  if (const auto rc = require_init(c); rc != HSTR_RESULT_SUCCESS) {
+    return rc;
+  }
+  return guarded([&] {
+    const auto it = c.kernels.find(kernel_name ? kernel_name : "");
+    if (it == c.kernels.end()) {
+      return HSTR_RESULT_BAD_NAME;
+    }
+    // Heap arguments become whole-buffer inout dependences.
+    std::vector<OperandRef> operands;
+    std::vector<HSTR_ARG> arg_copy(args, args + nargs);
+    for (std::size_t i = 0; i < nargs; ++i) {
+      if (args[i].is_heap) {
+        void* proxy = reinterpret_cast<void*>(args[i].value);
+        const auto [base, size] = c.runtime->buffer_extent(proxy);
+        operands.push_back({base, size, Access::inout});
+      }
+    }
+    Runtime* runtime = c.runtime;
+    auto ev = c.app->invoke(
+        log_stream, kernel_name, 0.0,
+        [kernel = it->second, arg_copy = std::move(arg_copy),
+         runtime](TaskContext& tc) {
+          // Translate heap args to sink-local addresses before the call.
+          std::vector<std::uint64_t> values(arg_copy.size());
+          for (std::size_t i = 0; i < arg_copy.size(); ++i) {
+            if (arg_copy[i].is_heap) {
+              void* proxy = reinterpret_cast<void*>(arg_copy[i].value);
+              values[i] = reinterpret_cast<std::uint64_t>(
+                  tc.translate(proxy, 1));
+            } else {
+              values[i] = arg_copy[i].value;
+            }
+          }
+          kernel(values.data(), values.size(), tc);
+        },
+        operands);
+    if (out_event != nullptr) {
+      *out_event = store_event(c, std::move(ev));
+    }
+    return HSTR_RESULT_SUCCESS;
+  });
+}
+
+HSTR_RESULT hStreams_EventStreamWait(std::uint32_t log_stream,
+                                     std::uint32_t num_events,
+                                     const HSTR_EVENT* events,
+                                     std::int32_t num_addresses,
+                                     void** addresses,
+                                     HSTR_EVENT* out_event) {
+  CompatContext& c = ctx();
+  const std::scoped_lock lock(c.mutex);
+  if (const auto rc = require_init(c); rc != HSTR_RESULT_SUCCESS) {
+    return rc;
+  }
+  return guarded([&] {
+    std::vector<OperandRef> operands;
+    for (std::int32_t i = 0; i < num_addresses; ++i) {
+      const auto [base, size] = c.runtime->buffer_extent(addresses[i]);
+      operands.push_back({base, size, Access::out});
+    }
+    std::shared_ptr<EventState> last;
+    for (std::uint32_t i = 0; i < num_events; ++i) {
+      last = c.runtime->enqueue_event_wait(
+          c.app->stream(log_stream), lookup_event(c, events[i]), operands);
+    }
+    if (out_event != nullptr && last != nullptr) {
+      *out_event = store_event(c, std::move(last));
+    }
+    return HSTR_RESULT_SUCCESS;
+  });
+}
+
+namespace {
+
+HSTR_RESULT wait_impl(std::uint32_t num_events, const HSTR_EVENT* events,
+                      WaitMode mode) {
+  CompatContext& c = ctx();
+  std::vector<std::shared_ptr<EventState>> resolved;
+  {
+    const std::scoped_lock lock(c.mutex);
+    if (const auto rc = require_init(c); rc != HSTR_RESULT_SUCCESS) {
+      return rc;
+    }
+    const auto rc = guarded([&] {
+      for (std::uint32_t i = 0; i < num_events; ++i) {
+        resolved.push_back(lookup_event(c, events[i]));
+      }
+      return HSTR_RESULT_SUCCESS;
+    });
+    if (rc != HSTR_RESULT_SUCCESS) {
+      return rc;
+    }
+  }
+  // Wait outside the context lock (other threads may enqueue meanwhile).
+  return guarded([&] {
+    ctx().runtime->event_wait_host(resolved, mode);
+    return HSTR_RESULT_SUCCESS;
+  });
+}
+
+}  // namespace
+
+HSTR_RESULT hStreams_app_event_wait(std::uint32_t num_events,
+                                    const HSTR_EVENT* events) {
+  return wait_impl(num_events, events, WaitMode::all);
+}
+
+HSTR_RESULT hStreams_app_event_wait_any(std::uint32_t num_events,
+                                        const HSTR_EVENT* events) {
+  return wait_impl(num_events, events, WaitMode::any);
+}
+
+HSTR_RESULT hStreams_app_stream_sync(std::uint32_t log_stream) {
+  CompatContext& c = ctx();
+  if (!hStreams_IsInitialized()) {
+    return HSTR_RESULT_NOT_INITIALIZED;
+  }
+  return guarded([&] {
+    c.app->stream_synchronize(log_stream);
+    return HSTR_RESULT_SUCCESS;
+  });
+}
+
+HSTR_RESULT hStreams_app_thread_sync() {
+  CompatContext& c = ctx();
+  if (!hStreams_IsInitialized()) {
+    return HSTR_RESULT_NOT_INITIALIZED;
+  }
+  return guarded([&] {
+    c.runtime->synchronize();
+    return HSTR_RESULT_SUCCESS;
+  });
+}
+
+}  // namespace hs::compat

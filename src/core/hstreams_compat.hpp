@@ -1,0 +1,149 @@
+#pragma once
+
+// hStreams-compatible C-style API ("app API" + selected "core API"
+// entry points, [1]).
+//
+// The original library exposes process-global state behind flat C
+// functions returning HSTR_RESULT codes, with streams as plain integers
+// and sink-side kernels addressed *by name* (the host enqueues a string;
+// the sink resolves it in a registry — the code-provisioning model that
+// lets hStreams programs compile with any host compiler, §IV "Source
+// code"). This layer mirrors that surface over the C++ runtime:
+//
+//   hStreams_RegisterKernel("dgemm_tile", fn);       // sink-side code
+//   hStreams_app_init(4, ...);                       // partition domains
+//   hStreams_app_create_buf(a, bytes);
+//   hStreams_app_xfer_memory(a, a, bytes, 0, HSTR_SRC_TO_SINK, &ev);
+//   hStreams_EnqueueCompute(0, "dgemm_tile", 2, 3, args, &ev2);
+//   hStreams_app_event_wait(1, &ev2);
+//   hStreams_app_fini();
+//
+// Heap arguments carry whole-buffer inout dependences, exactly like the
+// original (operands are the buffers containing the addresses).
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "core/runtime.hpp"
+
+namespace hs::compat {
+
+/// Result codes, mirroring HSTR_RESULT.
+enum HSTR_RESULT : int {
+  HSTR_RESULT_SUCCESS = 0,
+  HSTR_RESULT_NOT_INITIALIZED,
+  HSTR_RESULT_ALREADY_INITIALIZED,
+  HSTR_RESULT_NOT_FOUND,
+  HSTR_RESULT_OUT_OF_RANGE,
+  HSTR_RESULT_BAD_NAME,
+  HSTR_RESULT_OUT_OF_MEMORY,
+  HSTR_RESULT_INTERNAL_ERROR,
+};
+[[nodiscard]] const char* hStreams_ResultGetName(HSTR_RESULT result);
+
+/// Opaque completion-event handle.
+using HSTR_EVENT = std::uint64_t;
+inline constexpr HSTR_EVENT HSTR_NULL_EVENT = 0;
+
+/// Transfer direction (source endpoint = host, sink = stream's domain).
+enum HSTR_XFER_DIRECTION : int {
+  HSTR_SRC_TO_SINK = 0,
+  HSTR_SINK_TO_SRC = 1,
+};
+
+/// Sink-side kernel: receives the scalar/heap argument array (heap
+/// arguments already translated to sink-local addresses) and the task
+/// context.
+using HSTR_KERNEL =
+    std::function<void(const std::uint64_t* args, std::size_t nargs,
+                       TaskContext& ctx)>;
+
+/// One EnqueueCompute argument: scalars pass through; heap arguments are
+/// proxy addresses that (a) become whole-buffer inout dependences and
+/// (b) arrive in the kernel translated to the sink domain.
+struct HSTR_ARG {
+  std::uint64_t value = 0;
+  bool is_heap = false;
+
+  [[nodiscard]] static HSTR_ARG scalar(std::uint64_t v) {
+    return {v, false};
+  }
+  [[nodiscard]] static HSTR_ARG heap(void* proxy) {
+    return {reinterpret_cast<std::uint64_t>(proxy), true};
+  }
+};
+
+// --- Process-global lifecycle ------------------------------------------------
+
+/// Overrides the platform discovered by the next hStreams_app_init
+/// (default: host + 1 emulated KNC-like card). Must be called before
+/// init. Passing a SimPlatform-style executor is possible through
+/// hStreams_InitWithRuntime below.
+HSTR_RESULT hStreams_SetPlatform(const PlatformDesc& platform);
+
+/// The app-API initializer: discovers domains and evenly divides each
+/// non-host domain into `streams_per_domain` streams.
+HSTR_RESULT hStreams_app_init(std::uint32_t streams_per_domain,
+                              std::uint32_t host_streams = 0);
+
+/// Expert path: adopt an existing runtime (e.g. one built on the
+/// simulation executor). The caller keeps ownership.
+HSTR_RESULT hStreams_InitWithRuntime(Runtime* runtime,
+                                     std::uint32_t streams_per_domain,
+                                     std::uint32_t host_streams = 0);
+
+HSTR_RESULT hStreams_app_fini();
+[[nodiscard]] bool hStreams_IsInitialized();
+
+// --- Discovery ----------------------------------------------------------------
+
+HSTR_RESULT hStreams_GetNumPhysDomains(std::uint32_t* out_domains);
+HSTR_RESULT hStreams_GetNumLogStreams(std::uint32_t* out_streams);
+
+// --- Buffers -------------------------------------------------------------------
+
+HSTR_RESULT hStreams_app_create_buf(void* base, std::uint64_t bytes);
+HSTR_RESULT hStreams_DeAlloc(void* base);
+
+// --- Kernels -------------------------------------------------------------------
+
+/// Registers sink-side code under a name (the original ships a shared
+/// library to the card and resolves by symbol name).
+HSTR_RESULT hStreams_RegisterKernel(const char* name, HSTR_KERNEL kernel);
+
+// --- Actions -------------------------------------------------------------------
+
+HSTR_RESULT hStreams_app_xfer_memory(void* dst, void* src,
+                                     std::uint64_t bytes,
+                                     std::uint32_t log_stream,
+                                     HSTR_XFER_DIRECTION direction,
+                                     HSTR_EVENT* out_event);
+
+HSTR_RESULT hStreams_EnqueueCompute(std::uint32_t log_stream,
+                                    const char* kernel_name,
+                                    const HSTR_ARG* args, std::size_t nargs,
+                                    HSTR_EVENT* out_event);
+
+/// Enqueues a wait in `log_stream` on a set of events; with addresses,
+/// only later actions touching those buffers are held back (the
+/// hStreams_EventStreamWait dependence-scoping feature, §IV).
+HSTR_RESULT hStreams_EventStreamWait(std::uint32_t log_stream,
+                                     std::uint32_t num_events,
+                                     const HSTR_EVENT* events,
+                                     std::int32_t num_addresses,
+                                     void** addresses,
+                                     HSTR_EVENT* out_event);
+
+// --- Synchronization -------------------------------------------------------------
+
+/// Blocks until all listed events fire (§IV: waiting "on a set of
+/// events ... when one or all the events are finished").
+HSTR_RESULT hStreams_app_event_wait(std::uint32_t num_events,
+                                    const HSTR_EVENT* events);
+HSTR_RESULT hStreams_app_event_wait_any(std::uint32_t num_events,
+                                        const HSTR_EVENT* events);
+HSTR_RESULT hStreams_app_stream_sync(std::uint32_t log_stream);
+HSTR_RESULT hStreams_app_thread_sync();
+
+}  // namespace hs::compat

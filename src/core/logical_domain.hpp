@@ -1,0 +1,108 @@
+#pragma once
+
+// Logical domains: tuner-defined subsets of physical domains.
+//
+// §II: a domain can be "a subset of cores that share a memory
+// controller", and "the ability of tuners to define their own domains
+// allows performance to be tuned for locality and enables portability".
+// §IV contrasts hStreams with LIBXSTREAM precisely on this "distinction
+// between logical and physical abstractions".
+//
+// A LogicalDomain is (physical domain, CPU-mask slice). Streams are
+// created against logical domains with *relative* masks — a stream that
+// uses "threads 0-3 of logical domain 2" keeps working when the tuner
+// re-maps logical domain 2 from one socket to another, which is the
+// separation-of-concerns story: application code names logical domains;
+// only the partitioner changes per machine.
+
+#include <optional>
+#include <vector>
+
+#include "core/runtime.hpp"
+
+namespace hs {
+
+using LogicalDomainId = detail::Id<struct LogicalDomainTag>;
+
+class DomainPartitioner {
+ public:
+  explicit DomainPartitioner(Runtime& runtime) : runtime_(runtime) {}
+
+  /// Defines a logical domain over `mask` of `physical`. Masks of
+  /// different logical domains may overlap (a tuner may deliberately
+  /// share resources, §II).
+  LogicalDomainId define(DomainId physical, const CpuMask& mask) {
+    require(!mask.empty(), "logical domain mask must be non-empty");
+    const auto cpus = mask.cpus();
+    require(cpus.back() < runtime_.domain(physical).hw_threads(),
+            "logical domain mask exceeds physical threads");
+    const LogicalDomainId id{static_cast<std::uint32_t>(entries_.size())};
+    entries_.push_back(Entry{physical, mask});
+    return id;
+  }
+
+  /// Splits a physical domain evenly into `parts` logical domains (e.g.
+  /// one per NUMA node / memory controller).
+  std::vector<LogicalDomainId> split_evenly(DomainId physical,
+                                            std::size_t parts) {
+    std::vector<LogicalDomainId> out;
+    const std::size_t threads = runtime_.domain(physical).hw_threads();
+    for (const CpuMask& mask : CpuMask::partition(threads, parts)) {
+      out.push_back(define(physical, mask));
+    }
+    return out;
+  }
+
+  [[nodiscard]] std::size_t count() const noexcept {
+    return entries_.size();
+  }
+  [[nodiscard]] DomainId physical(LogicalDomainId id) const {
+    return entry(id).physical;
+  }
+  [[nodiscard]] const CpuMask& mask(LogicalDomainId id) const {
+    return entry(id).mask;
+  }
+  [[nodiscard]] std::size_t width(LogicalDomainId id) const {
+    return entry(id).mask.count();
+  }
+
+  /// Creates a stream on a logical domain. `relative` indexes the
+  /// logical domain's threads (0 = its first CPU); empty = the whole
+  /// logical domain. The mask is translated into physical indices, so
+  /// application code never mentions physical CPUs.
+  StreamId stream_create(LogicalDomainId id,
+                         std::optional<CpuMask> relative = std::nullopt,
+                         std::optional<OrderPolicy> policy = std::nullopt) {
+    const Entry& e = entry(id);
+    const auto physical_cpus = e.mask.cpus();
+    CpuMask translated;
+    if (relative.has_value()) {
+      for (const std::size_t rel : relative->cpus()) {
+        require(rel < physical_cpus.size(),
+                "relative mask exceeds logical domain width",
+                Errc::out_of_range);
+        translated.set(physical_cpus[rel]);
+      }
+    } else {
+      translated = e.mask;
+    }
+    return runtime_.stream_create(e.physical, translated, policy);
+  }
+
+ private:
+  struct Entry {
+    DomainId physical;
+    CpuMask mask;
+  };
+
+  [[nodiscard]] const Entry& entry(LogicalDomainId id) const {
+    require(id.value < entries_.size(), "unknown logical domain",
+            Errc::not_found);
+    return entries_[id.value];
+  }
+
+  Runtime& runtime_;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hs

@@ -1,0 +1,623 @@
+#include "core/runtime.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/log.hpp"
+
+namespace hs {
+
+namespace {
+
+Topology make_topology(const RuntimeConfig& config) {
+  const std::size_t devices =
+      config.platform.domains.empty() ? 0 : config.platform.domains.size() - 1;
+  if (config.domain_links.empty()) {
+    return Topology(devices, config.device_link);
+  }
+  require(config.domain_links.size() == devices,
+          "domain_links must have one entry per non-host domain");
+  return Topology(config.domain_links);
+}
+
+}  // namespace
+
+Runtime::Runtime(RuntimeConfig config, std::unique_ptr<Executor> executor)
+    : config_(std::move(config)),
+      executor_(std::move(executor)),
+      topology_(make_topology(config_)),
+      pool_(config_.transfer_pool_enabled) {
+  require(executor_ != nullptr, "runtime needs an executor");
+  require(!config_.platform.domains.empty(), "platform needs a host domain");
+  if (config_.transfer_pool_enabled) {
+    // COI pre-allocates its 2 MB buffer pool at init, which is what makes
+    // steady-state allocation overhead "negligible" (§III).
+    pool_.warm(64);
+  }
+  require(config_.platform.domains.front().kind == DomainKind::host,
+          "domain 0 must be the host");
+  domains_.reserve(config_.platform.domains.size());
+  for (std::size_t i = 0; i < config_.platform.domains.size(); ++i) {
+    domains_.emplace_back(DomainId{static_cast<std::uint32_t>(i)},
+                          config_.platform.domains[i]);
+  }
+  executor_->attach(*this);
+}
+
+Runtime::~Runtime() {
+  try {
+    synchronize();
+  } catch (const std::exception& e) {
+    // A sink error surfacing at teardown cannot propagate from a
+    // destructor; report it instead.
+    log_error("runtime destroyed with pending sink error: %s", e.what());
+  }
+  // Executors own threads that may call back into the runtime; they must
+  // die before runtime state does.
+  executor_.reset();
+}
+
+const Domain& Runtime::domain(DomainId id) const {
+  require(id.value < domains_.size(), "unknown domain", Errc::not_found);
+  return domains_[id.value];
+}
+
+std::vector<DomainId> Runtime::domains_of_kind(DomainKind kind) const {
+  std::vector<DomainId> out;
+  for (const Domain& d : domains_) {
+    if (d.desc().kind == kind) {
+      out.push_back(d.id());
+    }
+  }
+  return out;
+}
+
+// --- Buffers ---------------------------------------------------------------
+
+BufferId Runtime::buffer_create(void* base, std::size_t size,
+                                BufferProps props) {
+  const std::scoped_lock lock(mutex_);
+  return buffers_.create(base, size, props);
+}
+
+void Runtime::buffer_instantiate(BufferId id, DomainId domain) {
+  const std::scoped_lock lock(mutex_);
+  require(domain.value < domains_.size(), "unknown domain", Errc::not_found);
+  Buffer& buf = buffers_.get(id);
+  if (domain == kHostDomain || buf.instantiated_in(domain)) {
+    return;  // host incarnation aliases user memory; re-instantiation no-op
+  }
+  // Charge the domain's budget for the buffer's memory kind.
+  const MemKind kind = buf.props().mem_kind;
+  const auto& budgets = domains_[domain.value].desc().memory_bytes;
+  const auto budget_it = budgets.find(kind);
+  require(budget_it != budgets.end(),
+          "domain has no memory of the requested kind",
+          Errc::resource_exhausted);
+  std::size_t& used = memory_used_[{domain.value, kind}];
+  require(used + buf.size() <= budget_it->second,
+          "domain memory budget exhausted", Errc::resource_exhausted);
+  used += buf.size();
+  buf.instantiate(domain);
+}
+
+void Runtime::buffer_deinstantiate(BufferId id, DomainId domain) {
+  const std::scoped_lock lock(mutex_);
+  Buffer& buf = buffers_.get(id);
+  require(buf.instantiated_in(domain), "buffer not instantiated there",
+          Errc::not_found);
+  buf.deinstantiate(domain);
+  memory_used_[{domain.value, buf.props().mem_kind}] -= buf.size();
+}
+
+std::pair<void*, std::size_t> Runtime::buffer_extent(const void* proxy) {
+  const std::scoped_lock lock(mutex_);
+  Buffer& buf = buffers_.find_containing(proxy, 1);
+  return {buf.proxy_base(), buf.size()};
+}
+
+void Runtime::buffer_destroy_containing(const void* proxy) {
+  BufferId id;
+  {
+    const std::scoped_lock lock(mutex_);
+    id = buffers_.find_containing(proxy, 1).id();
+  }
+  buffer_destroy(id);
+}
+
+std::size_t Runtime::memory_available(DomainId domain, MemKind kind) const {
+  const std::scoped_lock lock(mutex_);
+  require(domain.value < domains_.size(), "unknown domain", Errc::not_found);
+  const auto& budgets = domains_[domain.value].desc().memory_bytes;
+  const auto it = budgets.find(kind);
+  if (it == budgets.end()) {
+    return 0;
+  }
+  const auto used_it = memory_used_.find({domain.value, kind});
+  return it->second - (used_it == memory_used_.end() ? 0 : used_it->second);
+}
+
+void Runtime::buffer_destroy(BufferId id) {
+  const std::scoped_lock lock(mutex_);
+  Buffer& buf = buffers_.get(id);
+  // Refund every device incarnation's budget.
+  for (std::size_t d = 1; d < domains_.size(); ++d) {
+    const DomainId domain{static_cast<std::uint32_t>(d)};
+    if (buf.instantiated_in(domain)) {
+      memory_used_[{domain.value, buf.props().mem_kind}] -= buf.size();
+    }
+  }
+  buffers_.destroy(id);
+}
+
+std::size_t Runtime::buffer_count() const {
+  const std::scoped_lock lock(mutex_);
+  return buffers_.count();
+}
+
+void* Runtime::translate(const void* proxy, std::size_t len, DomainId domain) {
+  const std::scoped_lock lock(mutex_);
+  Buffer& buf = buffers_.find_containing(proxy, len);
+  return buf.local_address(domain, buf.offset_of(proxy));
+}
+
+std::byte* Runtime::buffer_local(BufferId id, DomainId domain,
+                                 std::size_t offset, std::size_t len) {
+  const std::scoped_lock lock(mutex_);
+  Buffer& buf = buffers_.get(id);
+  require(offset + len <= buf.size(), "range escapes buffer",
+          Errc::out_of_range);
+  return buf.local_address(domain, offset);
+}
+
+const LinkModel& Runtime::link_for(DomainId domain) const {
+  if (domain == kHostDomain) {
+    return topology_.loopback();
+  }
+  return topology_.link_to_device(domain.value - 1);
+}
+
+double Runtime::account_transfer_staging(std::size_t bytes) {
+  const std::scoped_lock lock(mutex_);
+  const std::size_t block = pool_.block_size();
+  const std::size_t blocks = (bytes + block - 1) / block;
+  const double before = pool_.stats().modeled_alloc_seconds;
+  // Transfers use staging blocks transiently: acquire for the duration of
+  // the copy, release after. Steady state with the pool enabled is all
+  // hits; with the pool disabled every staging block pays the modeled
+  // allocation cost (the §III OmpSs-without-pool configuration).
+  std::vector<PoolBlock> held;
+  held.reserve(blocks);
+  for (std::size_t i = 0; i < blocks; ++i) {
+    held.push_back(pool_.acquire(block));
+  }
+  for (auto& b : held) {
+    pool_.release(std::move(b));
+  }
+  return pool_.stats().modeled_alloc_seconds - before;
+}
+
+// --- Streams ---------------------------------------------------------------
+
+StreamId Runtime::stream_create(DomainId domain, const CpuMask& mask,
+                                std::optional<OrderPolicy> policy) {
+  const std::scoped_lock lock(mutex_);
+  require(domain.value < domains_.size(), "unknown domain", Errc::not_found);
+  require(!mask.empty(), "stream mask must be non-empty");
+  const auto cpus = mask.cpus();
+  require(cpus.back() < domains_[domain.value].hw_threads(),
+          "stream mask exceeds domain hardware threads");
+  const StreamId id{static_cast<std::uint32_t>(streams_.size())};
+  auto state = std::make_unique<StreamState>();
+  state->id = id;
+  state->domain = domain;
+  state->mask = mask;
+  state->policy = policy.value_or(config_.policy);
+  streams_.push_back(std::move(state));
+  log_debug("stream %u created on domain %u mask %s", id.value, domain.value,
+            mask.to_string().c_str());
+  return id;
+}
+
+void Runtime::stream_destroy(StreamId id) {
+  const std::scoped_lock lock(mutex_);
+  StreamState& s = stream_state(id);
+  require(s.window.empty(), "stream_destroy on a busy stream");
+  s.alive = false;
+}
+
+std::size_t Runtime::stream_count() const {
+  const std::scoped_lock lock(mutex_);
+  return static_cast<std::size_t>(
+      std::count_if(streams_.begin(), streams_.end(),
+                    [](const auto& s) { return s->alive; }));
+}
+
+DomainId Runtime::stream_domain(StreamId id) const {
+  const std::scoped_lock lock(mutex_);
+  return stream_state(id).domain;
+}
+
+CpuMask Runtime::stream_mask(StreamId id) const {
+  const std::scoped_lock lock(mutex_);
+  return stream_state(id).mask;
+}
+
+Runtime::StreamState& Runtime::stream_state(StreamId id) {
+  require(id.value < streams_.size() && streams_[id.value]->alive,
+          "unknown stream", Errc::not_found);
+  return *streams_[id.value];
+}
+
+const Runtime::StreamState& Runtime::stream_state(StreamId id) const {
+  require(id.value < streams_.size() && streams_[id.value]->alive,
+          "unknown stream", Errc::not_found);
+  return *streams_[id.value];
+}
+
+// --- Enqueue ---------------------------------------------------------------
+
+std::shared_ptr<EventState> Runtime::enqueue_compute(
+    StreamId stream, ComputePayload payload,
+    std::span<const OperandRef> operands) {
+  require(payload.body != nullptr, "compute task needs a body");
+  auto record = std::make_shared<ActionRecord>();
+  record->type = ActionType::compute;
+  record->compute = std::move(payload);
+
+  std::unique_lock lock(mutex_);
+  StreamState& s = stream_state(stream);
+  record->stream = stream;
+  for (const OperandRef& ref : operands) {
+    Operand op = buffers_.resolve(ref.ptr, ref.len, ref.access);
+    const Buffer& buf = buffers_.get(op.buffer);
+    require(buf.instantiated_in(s.domain),
+            "compute operand buffer not instantiated in sink domain",
+            Errc::buffer_not_instantiated);
+    // Enforce the creator's declared usage property (§II: buffers let
+    // users "declare usage properties, such as whether it's read only").
+    require(!buf.props().read_only || !writes(op.access),
+            "write operand on a read-only buffer");
+    record->operands.push_back(op);
+  }
+  ++stats_.computes_enqueued;
+  lock.unlock();
+  return admit(s, std::move(record));
+}
+
+std::shared_ptr<EventState> Runtime::enqueue_transfer(StreamId stream,
+                                                      const void* proxy,
+                                                      std::size_t len,
+                                                      XferDir dir) {
+  auto record = std::make_shared<ActionRecord>();
+  record->type = ActionType::transfer;
+
+  std::unique_lock lock(mutex_);
+  StreamState& s = stream_state(stream);
+  record->stream = stream;
+  Buffer& buf = buffers_.find_containing(proxy, len);
+  const bool aliased = (s.domain == kHostDomain);
+  if (!aliased) {
+    require(buf.instantiated_in(s.domain),
+            "transfer target buffer not instantiated in sink domain",
+            Errc::buffer_not_instantiated);
+  }
+  record->transfer = TransferPayload{buf.id(), buf.offset_of(proxy), len, dir};
+  // Direction-sensitive dependence encoding: a host->sink transfer writes
+  // the sink incarnation (out); a sink->host transfer only reads it (in),
+  // so it can overlap later sink-side readers of the same range — the
+  // enabling property of the RTM halo pipeline (§V).
+  record->operands.push_back(
+      Operand{buf.id(), record->transfer.offset, len,
+              dir == XferDir::src_to_sink ? Access::out : Access::in});
+  ++stats_.transfers_enqueued;
+  if (aliased) {
+    ++stats_.transfers_aliased_away;
+  }
+  lock.unlock();
+  return admit(s, std::move(record));
+}
+
+std::shared_ptr<EventState> Runtime::enqueue_alloc(StreamId stream,
+                                                   BufferId buffer) {
+  auto record = std::make_shared<ActionRecord>();
+  record->type = ActionType::alloc;
+
+  std::unique_lock lock(mutex_);
+  StreamState& s = stream_state(stream);
+  require(s.domain != kHostDomain,
+          "alloc targets a device (the host aliases user memory)");
+  Buffer& buf = buffers_.get(buffer);
+  require(!buf.instantiated_in(s.domain),
+          "buffer already instantiated in sink domain",
+          Errc::already_initialized);
+  record->stream = stream;
+  record->transfer =
+      TransferPayload{buffer, 0, buf.size(), XferDir::src_to_sink};
+  record->operands.push_back(
+      Operand{buffer, 0, buf.size(), Access::out});
+  ++stats_.syncs_enqueued;
+  lock.unlock();
+  // Charge budget and declare the incarnation now (enqueue time); the
+  // executor pays the modeled allocation latency in stream order.
+  buffer_instantiate(buffer, s.domain);
+  return admit(s, std::move(record));
+}
+
+std::shared_ptr<EventState> Runtime::enqueue_event_wait(
+    StreamId stream, std::shared_ptr<EventState> event,
+    std::span<const OperandRef> operands) {
+  require(event != nullptr, "event_wait needs an event");
+  auto record = std::make_shared<ActionRecord>();
+  record->type = ActionType::event_wait;
+  record->wait_event = std::move(event);
+
+  std::unique_lock lock(mutex_);
+  StreamState& s = stream_state(stream);
+  record->stream = stream;
+  for (const OperandRef& ref : operands) {
+    record->operands.push_back(buffers_.resolve(ref.ptr, ref.len, ref.access));
+  }
+  record->full_barrier = record->operands.empty();
+  ++stats_.syncs_enqueued;
+  lock.unlock();
+  return admit(s, std::move(record));
+}
+
+std::shared_ptr<EventState> Runtime::enqueue_signal(
+    StreamId stream, std::span<const OperandRef> operands) {
+  auto record = std::make_shared<ActionRecord>();
+  record->type = ActionType::event_signal;
+
+  std::unique_lock lock(mutex_);
+  StreamState& s = stream_state(stream);
+  record->stream = stream;
+  for (const OperandRef& ref : operands) {
+    record->operands.push_back(buffers_.resolve(ref.ptr, ref.len, ref.access));
+  }
+  record->full_barrier = record->operands.empty();
+  ++stats_.syncs_enqueued;
+  lock.unlock();
+  return admit(s, std::move(record));
+}
+
+// --- Scheduling ------------------------------------------------------------
+
+std::shared_ptr<EventState> Runtime::admit(
+    StreamState& stream, std::shared_ptr<ActionRecord> record) {
+  auto completion = record->completion;
+  bool ready = false;
+  {
+    const std::scoped_lock lock(mutex_);
+    record->id = ActionId{next_action_id_++};
+    record->seq = stream.next_seq++;
+
+    DepState dep;
+    dep.record = record;
+    dep.stream = &stream;
+
+    if (stream.policy == OrderPolicy::strict_fifo) {
+      // Strict FIFO forms a chain: block on the most recent incomplete
+      // action only (completion order is FIFO under this policy).
+      for (auto it = stream.window.rbegin(); it != stream.window.rend();
+           ++it) {
+        if ((*it)->state != ActionRecord::State::done) {
+          deps_.at((*it)->id).successors.push_back(record->id);
+          dep.blockers = 1;
+          break;
+        }
+      }
+    } else {
+      for (const auto& earlier : stream.window) {
+        if (earlier->state == ActionRecord::State::done) {
+          continue;
+        }
+        if (record->conflicts_with(*earlier)) {
+          deps_.at(earlier->id).successors.push_back(record->id);
+          ++dep.blockers;
+        }
+      }
+    }
+
+    stream.window.push_back(record);
+    if (dep.blockers == 0) {
+      record->state = ActionRecord::State::dispatched;
+      if (record != stream.window.front()) {
+        ++stats_.ooo_dispatches;
+      }
+      ready = true;
+    }
+    deps_.emplace(record->id, std::move(dep));
+    if (trace_ != nullptr) {
+      TraceRecorder::Record tr;
+      tr.action = record->id;
+      tr.stream = record->stream;
+      tr.domain = stream.domain;
+      tr.type = record->type;
+      if (record->type == ActionType::compute) {
+        tr.label = record->compute.kernel;
+        tr.flops = record->compute.flops;
+      } else if (record->type == ActionType::transfer) {
+        tr.label = record->transfer.dir == XferDir::src_to_sink ? "xfer h2d"
+                                                                : "xfer d2h";
+        tr.bytes = record->transfer.length;
+      }
+      tr.enqueue_s = executor_->now();
+      trace_->on_enqueue(tr);
+    }
+  }
+  if (ready) {
+    dispatch(record);
+  }
+  return completion;
+}
+
+void Runtime::dispatch(const std::shared_ptr<ActionRecord>& record) {
+  log_debug("dispatch action %u (stream %u seq %llu type %d)",
+            record->id.value, record->stream.value,
+            static_cast<unsigned long long>(record->seq),
+            static_cast<int>(record->type));
+  if (trace_ != nullptr) {
+    trace_->on_dispatch(record->id, executor_->now());
+  }
+  executor_->execute(*record,
+                     [this, id = record->id] { complete_action(id); });
+}
+
+void Runtime::complete_action(ActionId id) {
+  // Trampoline: executors may complete actions synchronously from within
+  // dispatch (aliased transfers, signals); queueing bounds the recursion
+  // depth for long chains of instant actions. The queue is per *thread*
+  // but tags each entry with its runtime: event callbacks may chain a
+  // completion in one runtime into an enqueue/completion in another
+  // (events are runtime-agnostic), and each entry must drain against the
+  // runtime that produced it.
+  static thread_local std::vector<std::pair<Runtime*, ActionId>> queue;
+  static thread_local bool draining = false;
+  queue.emplace_back(this, id);
+  if (draining) {
+    return;
+  }
+  draining = true;
+  while (!queue.empty()) {
+    const auto [runtime, next] = queue.front();
+    queue.erase(queue.begin());
+    runtime->process_completion(next);
+  }
+  draining = false;
+}
+
+void Runtime::process_completion(ActionId id) {
+  std::shared_ptr<EventState> completion;
+  std::vector<std::shared_ptr<ActionRecord>> ready;
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = deps_.find(id);
+    require(it != deps_.end(), "completion of unknown action",
+            Errc::internal);
+    DepState dep = std::move(it->second);
+    deps_.erase(it);
+
+    ActionRecord& rec = *dep.record;
+    rec.state = ActionRecord::State::done;
+    completion = rec.completion;
+    ++stats_.actions_completed;
+    if (rec.type == ActionType::transfer &&
+        stream_state(rec.stream).domain != kHostDomain) {
+      stats_.bytes_transferred += rec.transfer.length;
+    }
+
+    auto& window = dep.stream->window;
+    while (!window.empty() &&
+           window.front()->state == ActionRecord::State::done) {
+      window.pop_front();
+    }
+
+    for (const ActionId succ_id : dep.successors) {
+      const auto sit = deps_.find(succ_id);
+      if (sit == deps_.end()) {
+        continue;
+      }
+      DepState& succ = sit->second;
+      require(succ.blockers > 0, "dependence underflow", Errc::internal);
+      if (--succ.blockers == 0 &&
+          succ.record->state == ActionRecord::State::pending) {
+        succ.record->state = ActionRecord::State::dispatched;
+        if (!succ.stream->window.empty() &&
+            succ.record != succ.stream->window.front()) {
+          ++stats_.ooo_dispatches;
+        }
+        ready.push_back(succ.record);
+      }
+    }
+  }
+  if (trace_ != nullptr) {
+    trace_->on_complete(id, executor_->now());
+  }
+  // Fire the completion event *before* waking host waiters: a host
+  // blocked in event_wait_host re-checks fired() on wakeup, so the event
+  // must already be visible.
+  for (auto& callback : completion->fire()) {
+    callback();
+  }
+  cv_.notify_all();
+  for (const auto& record : ready) {
+    dispatch(record);
+  }
+}
+
+// --- Host-side synchronization ----------------------------------------------
+
+void Runtime::fail_action(ActionId id, std::exception_ptr error) {
+  {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.actions_failed;
+    if (pending_error_ == nullptr) {
+      pending_error_ = std::move(error);
+    }
+  }
+  complete_action(id);
+}
+
+bool Runtime::has_pending_error() const {
+  const std::scoped_lock lock(mutex_);
+  return pending_error_ != nullptr;
+}
+
+namespace {
+
+/// Rethrows (and clears) a captured sink error after a sync point.
+void rethrow_pending(std::mutex& mutex, std::exception_ptr& pending) {
+  std::exception_ptr error;
+  {
+    const std::scoped_lock lock(mutex);
+    error = std::exchange(pending, nullptr);
+  }
+  if (error != nullptr) {
+    std::rethrow_exception(error);
+  }
+}
+
+}  // namespace
+
+void Runtime::stream_synchronize(StreamId stream) {
+  executor_->wait([this, stream] {
+    // mutex_ is held by the executor's wait implementation.
+    return stream_state(stream).window.empty();
+  });
+  rethrow_pending(mutex_, pending_error_);
+}
+
+void Runtime::synchronize() {
+  executor_->wait([this] {
+    return std::all_of(streams_.begin(), streams_.end(), [](const auto& s) {
+      return s->window.empty();
+    });
+  });
+  rethrow_pending(mutex_, pending_error_);
+}
+
+void Runtime::event_wait_host(
+    std::span<const std::shared_ptr<EventState>> events, WaitMode mode) {
+  executor_->wait([events, mode] {
+    if (mode == WaitMode::all) {
+      return std::all_of(events.begin(), events.end(),
+                         [](const auto& e) { return e->fired(); });
+    }
+    return std::any_of(events.begin(), events.end(),
+                       [](const auto& e) { return e->fired(); });
+  });
+}
+
+RuntimeStats Runtime::stats() const {
+  const std::scoped_lock lock(mutex_);
+  return stats_;
+}
+
+// --- TaskContext -------------------------------------------------------------
+
+void* TaskContext::translate(const void* proxy, std::size_t len) const {
+  return runtime_.translate(proxy, len, domain_);
+}
+
+}  // namespace hs

@@ -1,0 +1,268 @@
+#pragma once
+
+// The hetstream core runtime ("core API" layer).
+//
+// Owns the three hStreams abstractions — domains, streams, buffers — and
+// the dependence semantics that connect them:
+//
+//   * Actions enqueued into a stream retain FIFO *semantics*: their
+//     effects must be those of in-order execution.
+//   * Under OrderPolicy::relaxed_fifo (the hStreams model), an action may
+//     *execute* as soon as no earlier incomplete action in its stream has
+//     a conflicting memory operand (RAW/WAR/WAW on buffer byte ranges).
+//   * Under OrderPolicy::strict_fifo (the CUDA Streams model), an action
+//     waits for all earlier actions in its stream.
+//   * Across streams (and between streams and the host) there are no
+//     implicit dependences; events are the only ordering mechanism.
+//
+// Execution itself — threads and time — is delegated to an Executor
+// backend (threaded or simulated).
+
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/action.hpp"
+#include "core/buffer.hpp"
+#include "core/domain.hpp"
+#include "core/executor.hpp"
+#include "core/task_context.hpp"
+#include "core/trace.hpp"
+#include "core/types.hpp"
+#include "interconnect/buffer_pool.hpp"
+#include "interconnect/topology.hpp"
+#include "threading/cpu_mask.hpp"
+
+namespace hs {
+
+/// A memory operand reference in proxy address terms, as passed by users.
+struct OperandRef {
+  const void* ptr = nullptr;
+  std::size_t len = 0;
+  Access access = Access::in;
+};
+
+/// Counters exposed for the overhead bench and tests.
+struct RuntimeStats {
+  std::uint64_t computes_enqueued = 0;
+  std::uint64_t transfers_enqueued = 0;
+  std::uint64_t syncs_enqueued = 0;
+  std::uint64_t actions_completed = 0;
+  std::uint64_t actions_failed = 0;  ///< task bodies that threw
+  std::uint64_t transfers_aliased_away = 0;  ///< host-as-target no-ops
+  std::uint64_t bytes_transferred = 0;
+  std::uint64_t ooo_dispatches = 0;  ///< actions dispatched past an earlier
+                                     ///< incomplete action (relaxed only)
+};
+
+/// Construction-time configuration.
+struct RuntimeConfig {
+  PlatformDesc platform = PlatformDesc::host_only();
+  OrderPolicy policy = OrderPolicy::relaxed_fifo;
+  bool transfer_pool_enabled = true;  ///< COI-like 2 MB staging pool
+  LinkModel device_link = pcie_gen2_x16();
+  /// Per-device link override (one entry per non-host domain); empty =
+  /// every device uses `device_link`. Lets a platform mix PCIe cards and
+  /// fabric-attached remote nodes (§IV: streams "on devices residing in
+  /// remote nodes").
+  std::vector<LinkModel> domain_links;
+};
+
+class Runtime {
+ public:
+  Runtime(RuntimeConfig config, std::unique_ptr<Executor> executor);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // --- Domains -----------------------------------------------------------
+  [[nodiscard]] std::size_t domain_count() const noexcept {
+    return domains_.size();
+  }
+  [[nodiscard]] const Domain& domain(DomainId id) const;
+  /// All domains of a given kind, in id order (domain discovery, §II).
+  [[nodiscard]] std::vector<DomainId> domains_of_kind(DomainKind kind) const;
+  [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+
+  // --- Buffers -----------------------------------------------------------
+  /// Wraps user memory [base, base+size) as a buffer in the proxy space.
+  BufferId buffer_create(void* base, std::size_t size, BufferProps props = {});
+  /// Allocates the buffer's incarnation in `domain` (explicit, as in
+  /// hStreams: "buffers currently need to be allocated before the data
+  /// can be transferred"). Charges the buffer's size against the
+  /// domain's budget for the buffer's memory kind; throws
+  /// Errc::resource_exhausted when the kind is absent or full.
+  void buffer_instantiate(BufferId id, DomainId domain);
+  /// Releases the incarnation in `domain` and refunds its budget. The
+  /// buffer must have no in-flight actions (callers synchronize first).
+  void buffer_deinstantiate(BufferId id, DomainId domain);
+  void buffer_destroy(BufferId id);
+  /// Remaining budget of `kind` memory in `domain` (domain discovery,
+  /// §II: properties include "the amount of each kind of memory").
+  [[nodiscard]] std::size_t memory_available(DomainId domain,
+                                             MemKind kind) const;
+  /// Proxy base and size of the buffer containing `proxy` (used by the
+  /// compat layer, where heap arguments imply whole-buffer operands).
+  [[nodiscard]] std::pair<void*, std::size_t> buffer_extent(
+      const void* proxy);
+  /// Destroys the buffer containing `proxy` (hStreams_DeAlloc style).
+  void buffer_destroy_containing(const void* proxy);
+  [[nodiscard]] std::size_t buffer_count() const;
+  /// Proxy -> domain-local translation (used by TaskContext).
+  [[nodiscard]] void* translate(const void* proxy, std::size_t len,
+                                DomainId domain);
+  /// Domain-local address of a buffer range (used by executors to move
+  /// data between incarnations).
+  [[nodiscard]] std::byte* buffer_local(BufferId id, DomainId domain,
+                                        std::size_t offset, std::size_t len);
+  /// The interconnect link between the host and `domain`.
+  [[nodiscard]] const LinkModel& link_for(DomainId domain) const;
+  /// Stages `bytes` through the COI-like transfer pool (statistics and
+  /// modeled allocation cost; see BufferPool). Returns the modeled
+  /// allocation seconds this staging incurred — zero in the pooled steady
+  /// state, significant when the pool is disabled (§III).
+  double account_transfer_staging(std::size_t bytes);
+
+  // --- Streams -----------------------------------------------------------
+  /// Creates a stream whose sink is (`domain`, `mask`). The mask selects
+  /// logical hardware threads of the domain. Policy defaults to the
+  /// runtime-wide policy.
+  StreamId stream_create(DomainId domain, const CpuMask& mask,
+                         std::optional<OrderPolicy> policy = std::nullopt);
+  void stream_destroy(StreamId id);  ///< stream must be idle
+  [[nodiscard]] std::size_t stream_count() const;
+  [[nodiscard]] DomainId stream_domain(StreamId id) const;
+  [[nodiscard]] CpuMask stream_mask(StreamId id) const;
+
+  // --- Actions -----------------------------------------------------------
+  /// Enqueues a compute task. Operands declare the proxy ranges the task
+  /// reads/writes; they are the dependence analysis input.
+  std::shared_ptr<EventState> enqueue_compute(
+      StreamId stream, ComputePayload payload,
+      std::span<const OperandRef> operands);
+
+  /// Enqueues a transfer of [proxy, proxy+len) between the host
+  /// incarnation and the stream's sink incarnation of the containing
+  /// buffer. Host-as-target streams alias the transfer away.
+  std::shared_ptr<EventState> enqueue_transfer(StreamId stream,
+                                               const void* proxy,
+                                               std::size_t len, XferDir dir);
+
+  /// Enqueues an asynchronous sink-side allocation of `buffer`'s
+  /// incarnation in the stream's domain (the §VII "forthcoming" feature:
+  /// allocation pipelines behind other work instead of blocking the
+  /// host). The buffer's budget is charged immediately; the modeled
+  /// allocation time is paid in-stream. Later actions touching the
+  /// buffer order after it via its whole-range operand.
+  std::shared_ptr<EventState> enqueue_alloc(StreamId stream, BufferId buffer);
+
+  /// Enqueues a wait on `event`. With operands, only later actions whose
+  /// operands conflict are held back; with no operands the wait is a
+  /// stream-wide barrier.
+  std::shared_ptr<EventState> enqueue_event_wait(
+      StreamId stream, std::shared_ptr<EventState> event,
+      std::span<const OperandRef> operands = {});
+
+  /// Enqueues a signal: the returned event fires once all earlier
+  /// conflicting actions complete (all earlier actions if no operands).
+  std::shared_ptr<EventState> enqueue_signal(
+      StreamId stream, std::span<const OperandRef> operands = {});
+
+  // --- Synchronization (host side) ----------------------------------------
+  void stream_synchronize(StreamId stream);
+  void synchronize();  ///< all streams idle
+  void event_wait_host(std::span<const std::shared_ptr<EventState>> events,
+                       WaitMode mode = WaitMode::all);
+
+  // --- Introspection -------------------------------------------------------
+  [[nodiscard]] RuntimeStats stats() const;
+  [[nodiscard]] double now() const { return executor_->now(); }
+  /// Attaches an execution-trace recorder (nullptr detaches). The caller
+  /// keeps ownership; the recorder must outlive all runtime activity.
+  void set_trace(TraceRecorder* trace) noexcept { trace_ = trace; }
+  [[nodiscard]] OrderPolicy policy() const noexcept { return config_.policy; }
+  [[nodiscard]] Executor& executor() noexcept { return *executor_; }
+  [[nodiscard]] BufferPool& transfer_pool() noexcept { return pool_; }
+
+  // --- Error containment ----------------------------------------------------
+  /// A sink-side task body that throws does not crash the worker: the
+  /// exception is captured, the action completes (its successors still
+  /// run — matching an offload runtime, where a failed kernel cannot
+  /// retract already-enqueued work), and the first captured error is
+  /// rethrown from the next synchronize()/stream_synchronize() call.
+  /// Returns whether an unreported sink error is pending.
+  [[nodiscard]] bool has_pending_error() const;
+
+  // --- Executor interface (not for application use) ------------------------
+  /// Called by executors when an action's effects are complete.
+  void complete_action(ActionId id);
+  /// Called by executors when a task body threw; captures the error for
+  /// the next synchronization point and completes the action.
+  void fail_action(ActionId id, std::exception_ptr error);
+  /// Runtime lock + condition variable, used by ThreadedExecutor::wait.
+  [[nodiscard]] std::mutex& mutex() noexcept { return mutex_; }
+  [[nodiscard]] std::condition_variable& completion_cv() noexcept {
+    return cv_;
+  }
+
+ private:
+  struct StreamState {
+    StreamId id;
+    DomainId domain;
+    CpuMask mask;
+    OrderPolicy policy;
+    std::uint64_t next_seq = 0;
+    /// Incomplete actions in FIFO order (pending or dispatched).
+    std::deque<std::shared_ptr<ActionRecord>> window;
+    bool alive = true;
+  };
+
+  // Dependence bookkeeping attached per action, keyed by id.
+  struct DepState {
+    std::shared_ptr<ActionRecord> record;
+    std::size_t blockers = 0;
+    std::vector<ActionId> successors;
+    StreamState* stream = nullptr;
+  };
+
+  [[nodiscard]] StreamState& stream_state(StreamId id);
+  [[nodiscard]] const StreamState& stream_state(StreamId id) const;
+
+  /// Inserts a fully-formed record into its stream window, wires
+  /// dependence edges, and dispatches it if already ready. Takes the lock.
+  std::shared_ptr<EventState> admit(StreamState& stream,
+                                    std::shared_ptr<ActionRecord> record);
+
+  /// Hands a ready action to the executor (no lock held).
+  void dispatch(const std::shared_ptr<ActionRecord>& record);
+
+  /// Drains the thread-local completion queue (trampoline that bounds
+  /// recursion depth for chains of instantly-completing actions).
+  void process_completion(ActionId id);
+
+  RuntimeConfig config_;
+  std::unique_ptr<Executor> executor_;
+  Topology topology_;
+  BufferPool pool_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+
+  std::vector<Domain> domains_;
+  std::vector<std::unique_ptr<StreamState>> streams_;
+  BufferTable buffers_;
+  /// Bytes charged against each (domain, kind) budget.
+  std::map<std::pair<std::uint32_t, MemKind>, std::size_t> memory_used_;
+  std::unordered_map<ActionId, DepState> deps_;
+  std::uint32_t next_action_id_ = 0;
+  RuntimeStats stats_;
+  std::exception_ptr pending_error_;  ///< first unreported sink error
+  TraceRecorder* trace_ = nullptr;
+};
+
+}  // namespace hs

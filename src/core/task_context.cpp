@@ -1,0 +1,20 @@
+#include "core/task_context.hpp"
+
+#include "threading/team.hpp"
+
+namespace hs {
+
+void TaskContext::parallel_for(
+    std::size_t count, const std::function<void(std::size_t)>& body) const {
+  if (team_ != nullptr) {
+    team_->parallel_for(count, body);
+    return;
+  }
+  // Simulation backend: no physical team, iterations run serially; the
+  // simulator's cost model accounts for the logical team width instead.
+  for (std::size_t i = 0; i < count; ++i) {
+    body(i);
+  }
+}
+
+}  // namespace hs

@@ -1,0 +1,61 @@
+#pragma once
+
+// TaskContext: what a compute task body sees when it runs at a stream's
+// sink endpoint.
+//
+// The context supplies (1) proxy-to-local address translation, so task
+// code is written purely against host proxy addresses (§IV: "only the
+// host proxy address is used in the application's source code"), and
+// (2) team-parallel execution, so "the user's task naturally expands to
+// use all of the resources given to a stream" (§II) without the task
+// knowing the team width.
+
+#include <functional>
+
+#include "common/status.hpp"
+#include "core/types.hpp"
+
+namespace hs {
+
+class Runtime;
+class Team;
+
+class TaskContext {
+ public:
+  /// Built by executors; `team` may be null (sim backend), in which case
+  /// parallel_for degrades to a serial loop.
+  TaskContext(Runtime& runtime, DomainId domain, Team* team,
+              std::size_t team_width)
+      : runtime_(runtime),
+        domain_(domain),
+        team_(team),
+        team_width_(team_width) {}
+
+  [[nodiscard]] DomainId domain() const noexcept { return domain_; }
+
+  /// Number of hardware threads assigned to this stream.
+  [[nodiscard]] std::size_t team_size() const noexcept { return team_width_; }
+
+  /// Translates a proxy pointer into the sink domain's incarnation of its
+  /// buffer. `len` bytes starting at `proxy` must lie inside one buffer.
+  [[nodiscard]] void* translate(const void* proxy, std::size_t len) const;
+
+  /// Typed translation convenience.
+  template <class T>
+  [[nodiscard]] T* translate(const T* proxy, std::size_t count) const {
+    return static_cast<T*>(translate(static_cast<const void*>(proxy),
+                                     count * sizeof(T)));
+  }
+
+  /// Runs body(i) for i in [0, count) across the stream's team.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body) const;
+
+ private:
+  Runtime& runtime_;
+  DomainId domain_;
+  Team* team_;
+  std::size_t team_width_;
+};
+
+}  // namespace hs

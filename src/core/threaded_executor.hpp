@@ -1,0 +1,67 @@
+#pragma once
+
+// ThreadedExecutor: the functional backend.
+//
+// Runs compute actions on real per-domain worker pools (one Team per
+// stream, mapped from the stream's CPU mask), transfers on a small
+// dedicated copier pool, and waits/signals without occupying any thread.
+// Time is the wall clock. This backend is what tests and examples use to
+// check that the runtime's semantics produce correct data.
+//
+// Because the evaluation container has a single physical core, pool sizes
+// are capped (`max_workers_per_domain`): a stream's logical mask is folded
+// onto the available workers, preserving semantics (FIFO order per team
+// leader) while bounding oversubscription.
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <thread>
+
+#include "core/executor.hpp"
+#include "threading/team.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace hs {
+
+struct ThreadedExecutorConfig {
+  std::size_t max_workers_per_domain = 8;
+  std::size_t transfer_workers = 2;
+  /// If > 0, transfers sleep model_time * time_dilation to emulate link
+  /// pacing in wall time (off by default; tests want speed).
+  double time_dilation = 0.0;
+};
+
+class ThreadedExecutor final : public Executor {
+ public:
+  explicit ThreadedExecutor(ThreadedExecutorConfig config = {});
+  ~ThreadedExecutor() override;
+
+  void attach(Runtime& runtime) override;
+  void execute(ActionRecord& action, CompletionFn done) override;
+  void wait(const std::function<bool()>& ready) override;
+  [[nodiscard]] double now() const override;
+
+ private:
+  struct TeamEntry {
+    std::unique_ptr<Team> team;
+    std::size_t logical_width = 0;
+  };
+
+  [[nodiscard]] ThreadPool& domain_pool(DomainId domain);
+  [[nodiscard]] TeamEntry& stream_team(StreamId stream);
+
+  void run_compute(ActionRecord& action, CompletionFn done);
+  void run_transfer(ActionRecord& action, CompletionFn done);
+
+  ThreadedExecutorConfig config_;
+  Runtime* runtime_ = nullptr;
+  std::mutex setup_mutex_;  // guards lazily-built pools/teams
+  std::map<DomainId, std::unique_ptr<ThreadPool>> pools_;
+  std::map<StreamId, TeamEntry> teams_;
+  std::unique_ptr<ThreadPool> copiers_;
+  std::atomic<std::size_t> next_copier_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace hs

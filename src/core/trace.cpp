@@ -1,0 +1,102 @@
+#include "core/trace.hpp"
+
+#include <ostream>
+
+#include "common/status.hpp"
+
+namespace hs {
+
+void TraceRecorder::on_enqueue(const Record& partial) {
+  const std::scoped_lock lock(mutex_);
+  const std::size_t index = records_.size();
+  records_.push_back(partial);
+  if (by_action_.size() <= partial.action.value) {
+    by_action_.resize(partial.action.value + 1,
+                      static_cast<std::size_t>(-1));
+  }
+  by_action_[partial.action.value] = index;
+}
+
+void TraceRecorder::on_dispatch(ActionId id, double now) {
+  const std::scoped_lock lock(mutex_);
+  require(id.value < by_action_.size(), "trace: unknown action",
+          Errc::not_found);
+  records_[by_action_[id.value]].dispatch_s = now;
+}
+
+void TraceRecorder::on_complete(ActionId id, double now) {
+  const std::scoped_lock lock(mutex_);
+  require(id.value < by_action_.size(), "trace: unknown action",
+          Errc::not_found);
+  records_[by_action_[id.value]].complete_s = now;
+}
+
+std::vector<TraceRecorder::Record> TraceRecorder::records() const {
+  const std::scoped_lock lock(mutex_);
+  return records_;
+}
+
+std::size_t TraceRecorder::size() const {
+  const std::scoped_lock lock(mutex_);
+  return records_.size();
+}
+
+namespace {
+
+const char* type_name(ActionType type) {
+  switch (type) {
+    case ActionType::compute: return "compute";
+    case ActionType::transfer: return "transfer";
+    case ActionType::event_wait: return "wait";
+    case ActionType::event_signal: return "signal";
+    case ActionType::alloc: return "alloc";
+  }
+  return "?";
+}
+
+/// Minimal JSON string escaping for labels.
+void write_escaped(std::ostream& os, const std::string& s) {
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      os << '\\';
+    }
+    os << c;
+  }
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  const std::scoped_lock lock(mutex_);
+  os << "[";
+  bool first = true;
+  for (const Record& r : records_) {
+    if (r.complete_s < r.dispatch_s) {
+      continue;  // still in flight
+    }
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    // Execution span.
+    os << "\n{\"ph\":\"X\",\"name\":\"";
+    write_escaped(os, r.label.empty() ? type_name(r.type) : r.label);
+    os << "\",\"cat\":\"" << type_name(r.type) << "\",\"pid\":"
+       << r.domain.value << ",\"tid\":" << r.stream.value
+       << ",\"ts\":" << r.dispatch_s * 1e6
+       << ",\"dur\":" << (r.complete_s - r.dispatch_s) * 1e6
+       << ",\"args\":{\"action\":" << r.action.value
+       << ",\"flops\":" << r.flops << ",\"bytes\":" << r.bytes << "}}";
+    // Blocked span (enqueue -> dispatch), if the action waited.
+    if (r.dispatch_s > r.enqueue_s) {
+      os << ",\n{\"ph\":\"X\",\"name\":\"blocked:";
+      write_escaped(os, r.label.empty() ? type_name(r.type) : r.label);
+      os << "\",\"cat\":\"blocked\",\"pid\":" << r.domain.value
+         << ",\"tid\":" << r.stream.value << ",\"ts\":" << r.enqueue_s * 1e6
+         << ",\"dur\":" << (r.dispatch_s - r.enqueue_s) * 1e6 << "}";
+    }
+  }
+  os << "\n]\n";
+}
+
+}  // namespace hs

@@ -1,0 +1,57 @@
+#pragma once
+
+// Execution tracing.
+//
+// The paper's productivity argument leans on "transparency and control":
+// a tuner must be able to see where actions waited and what overlapped
+// what. TraceRecorder captures, for every action, the enqueue time, the
+// dependence-ready (dispatch) time and the completion time — on whatever
+// clock the executor runs (wall for threaded, virtual for simulated) —
+// and exports Chrome trace-event JSON (chrome://tracing, Perfetto) with
+// one process row per domain and one thread row per stream.
+
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/types.hpp"
+
+namespace hs {
+
+class TraceRecorder {
+ public:
+  struct Record {
+    ActionId action;
+    StreamId stream;
+    DomainId domain;
+    ActionType type = ActionType::compute;
+    std::string label;       ///< kernel name / "xfer h2d" / ...
+    double enqueue_s = 0.0;  ///< admitted into the stream window
+    double dispatch_s = 0.0; ///< dependence-ready, handed to the executor
+    double complete_s = 0.0; ///< effects visible
+    double flops = 0.0;
+    std::size_t bytes = 0;
+  };
+
+  void on_enqueue(const Record& partial);
+  void on_dispatch(ActionId id, double now);
+  void on_complete(ActionId id, double now);
+
+  /// Snapshot of all records (completed and in flight).
+  [[nodiscard]] std::vector<Record> records() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Writes Chrome trace-event JSON. Timestamps are microseconds;
+  /// "pid" = domain, "tid" = stream. Each action emits a complete event
+  /// for its execution span plus an optional flow-visible wait span
+  /// (enqueue -> dispatch) when it spent time blocked.
+  void write_chrome_trace(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Record> records_;        // indexed by insertion
+  std::vector<std::size_t> by_action_; // action id -> index (dense ids)
+};
+
+}  // namespace hs

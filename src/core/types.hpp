@@ -1,0 +1,88 @@
+#pragma once
+
+// Identifier and enumeration types of the hetstream core runtime.
+//
+// hStreams exposes streams "represented by an integer in contrast to the
+// CUDA opaque pointers" (§IV); all our handles are small integer ids with
+// distinct types so they cannot be confused at compile time.
+
+#include <compare>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+
+namespace hs {
+
+namespace detail {
+/// CRTP-free strongly-typed id: a wrapped integer comparable within type.
+template <class Tag>
+struct Id {
+  std::uint32_t value = kInvalid;
+  static constexpr std::uint32_t kInvalid = 0xffffffff;
+
+  constexpr Id() = default;
+  constexpr explicit Id(std::uint32_t v) : value(v) {}
+  [[nodiscard]] constexpr bool valid() const noexcept {
+    return value != kInvalid;
+  }
+  friend constexpr auto operator<=>(Id, Id) = default;
+};
+}  // namespace detail
+
+using DomainId = detail::Id<struct DomainTag>;
+using StreamId = detail::Id<struct StreamTag>;
+using BufferId = detail::Id<struct BufferTag>;
+using EventId = detail::Id<struct EventTag>;
+using ActionId = detail::Id<struct ActionTag>;
+
+/// The host domain is always id 0 (hStreams' HSTR_SRC_DOMAIN equivalent).
+inline constexpr DomainId kHostDomain{0};
+
+/// Kinds of computing domains (§II: host CPU, Knights-family coprocessor,
+/// node across the fabric, GPU, or a core subset sharing a memory
+/// controller).
+enum class DomainKind {
+  host,
+  coprocessor,  ///< emulated MIC card
+  gpu,          ///< emulated discrete GPU (used by the CUDA-like baseline)
+  remote_node,  ///< emulated node reached over fabric
+};
+
+/// Memory kinds a buffer may be bound to (§IV: "allocation for different
+/// memory types, e.g. for high-bandwidth or persistent memory").
+enum class MemKind { ddr, hbm, persistent };
+
+/// Operand access declaration, the basis of dependence analysis (§II).
+enum class Access { in, out, inout };
+
+[[nodiscard]] constexpr bool writes(Access a) noexcept {
+  return a != Access::in;
+}
+
+/// Stream ordering policy.
+///
+/// relaxed_fifo is the hStreams semantic: FIFO *semantics* with
+/// out-of-order execution of actions whose memory operands do not
+/// overlap. strict_fifo is the CUDA Streams semantic the paper compares
+/// against: every action waits for all earlier actions in its stream.
+enum class OrderPolicy { relaxed_fifo, strict_fifo };
+
+/// Action kinds that can be enqueued into a stream (§II: "compute tasks,
+/// data transfers, and synchronizations"; `alloc` is the asynchronous
+/// sink-side allocation the paper's §VII announces as forthcoming —
+/// "making MIC-side memory allocation asynchronous is a bottleneck").
+enum class ActionType { compute, transfer, event_wait, event_signal, alloc };
+
+/// Transfer direction relative to the stream's endpoints: the *source*
+/// endpoint is where actions are issued (host), the *sink* is where they
+/// execute (the stream's domain).
+enum class XferDir { src_to_sink, sink_to_src };
+
+}  // namespace hs
+
+template <class Tag>
+struct std::hash<hs::detail::Id<Tag>> {
+  std::size_t operator()(hs::detail::Id<Tag> id) const noexcept {
+    return std::hash<std::uint32_t>{}(id.value);
+  }
+};

@@ -1,0 +1,294 @@
+#include "hsblas/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hs::blas {
+namespace {
+
+constexpr std::size_t kBlock = 64;  // register/cache blocking factor
+
+// Scales C by beta (handles beta == 0 without reading C).
+void scale(MatrixView c, double beta) {
+  if (beta == 1.0) {
+    return;
+  }
+  for (std::size_t j = 0; j < c.cols; ++j) {
+    for (std::size_t i = 0; i < c.rows; ++i) {
+      c(i, j) = beta == 0.0 ? 0.0 : beta * c(i, j);
+    }
+  }
+}
+
+// Element accessor honoring an Op without materializing the transpose.
+inline double elem(ConstMatrixView m, Op op, std::size_t i, std::size_t j) {
+  return op == Op::none ? m(i, j) : m(j, i);
+}
+
+}  // namespace
+
+void gemm(Op op_a, Op op_b, double alpha, ConstMatrixView a, ConstMatrixView b,
+          double beta, MatrixView c) {
+  const std::size_t m = c.rows;
+  const std::size_t n = c.cols;
+  const std::size_t k = (op_a == Op::none) ? a.cols : a.rows;
+  require(((op_a == Op::none) ? a.rows : a.cols) == m, "gemm: A shape");
+  require(((op_b == Op::none) ? b.rows : b.cols) == k, "gemm: B shape");
+  require(((op_b == Op::none) ? b.cols : b.rows) == n, "gemm: B shape");
+
+  scale(c, beta);
+  if (alpha == 0.0 || k == 0) {
+    return;
+  }
+
+  // Fast path: A untransposed, B untransposed — the hot combination for
+  // the tiled matmul app. Loop order j-k-i keeps A and C column accesses
+  // unit-stride.
+  if (op_a == Op::none && op_b == Op::none) {
+    for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+      const std::size_t j1 = std::min(j0 + kBlock, n);
+      for (std::size_t k0 = 0; k0 < k; k0 += kBlock) {
+        const std::size_t k1 = std::min(k0 + kBlock, k);
+        for (std::size_t j = j0; j < j1; ++j) {
+          for (std::size_t kk = k0; kk < k1; ++kk) {
+            const double bkj = alpha * b(kk, j);
+            if (bkj == 0.0) {
+              continue;
+            }
+            const double* acol = &a(0, kk);
+            double* ccol = &c(0, j);
+            for (std::size_t i = 0; i < m; ++i) {
+              ccol[i] += acol[i] * bkj;
+            }
+          }
+        }
+      }
+    }
+    return;
+  }
+
+  // General path for transposed operands (used by Cholesky's
+  // A21 * A31^T updates, via gemm(none, transpose, ...)).
+  for (std::size_t j0 = 0; j0 < n; j0 += kBlock) {
+    const std::size_t j1 = std::min(j0 + kBlock, n);
+    for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+      const std::size_t i1 = std::min(i0 + kBlock, m);
+      for (std::size_t j = j0; j < j1; ++j) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          double acc = 0.0;
+          for (std::size_t kk = 0; kk < k; ++kk) {
+            acc += elem(a, op_a, i, kk) * elem(b, op_b, kk, j);
+          }
+          c(i, j) += alpha * acc;
+        }
+      }
+    }
+  }
+}
+
+void syrk_lower(double alpha, ConstMatrixView a, double beta, MatrixView c) {
+  const std::size_t n = c.rows;
+  const std::size_t k = a.cols;
+  require(c.cols == n && a.rows == n, "syrk: shape");
+
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = j; i < n; ++i) {
+      double acc = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += a(i, kk) * a(j, kk);
+      }
+      c(i, j) = (beta == 0.0 ? 0.0 : beta * c(i, j)) + alpha * acc;
+    }
+  }
+}
+
+void trsm_right_lower_trans(ConstMatrixView l, MatrixView b) {
+  const std::size_t n = l.rows;
+  require(l.cols == n && b.cols == n, "trsm: shape");
+  const std::size_t m = b.rows;
+
+  // Solve X * L^T = B for X, i.e. column sweep: for each column j of X,
+  // x_j = (b_j - sum_{p<j} x_p * l(j,p)) / l(j,j).
+  for (std::size_t j = 0; j < n; ++j) {
+    const double inv = 1.0 / l(j, j);
+    for (std::size_t i = 0; i < m; ++i) {
+      b(i, j) *= inv;
+    }
+    for (std::size_t p = j + 1; p < n; ++p) {
+      const double lpj = l(p, j);
+      if (lpj == 0.0) {
+        continue;
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        b(i, p) -= b(i, j) * lpj;
+      }
+    }
+  }
+}
+
+int potrf_lower(MatrixView a) {
+  const std::size_t n = a.rows;
+  require(a.cols == n, "potrf: square matrix required");
+
+  for (std::size_t j = 0; j < n; ++j) {
+    double d = a(j, j);
+    for (std::size_t p = 0; p < j; ++p) {
+      d -= a(j, p) * a(j, p);
+    }
+    if (d <= 0.0) {
+      return static_cast<int>(j) + 1;
+    }
+    const double ljj = std::sqrt(d);
+    a(j, j) = ljj;
+    const double inv = 1.0 / ljj;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t p = 0; p < j; ++p) {
+        acc -= a(i, p) * a(j, p);
+      }
+      a(i, j) = acc * inv;
+    }
+    // Zero the upper triangle reference values lazily: callers treat the
+    // upper part as undefined, matching LAPACK.
+  }
+  return 0;
+}
+
+void trsm_left_lower_unit(ConstMatrixView l, MatrixView b) {
+  const std::size_t n = l.rows;
+  require(l.cols == n && b.rows == n, "trsm_left: shape");
+  // Forward substitution down each column of B; unit diagonal.
+  for (std::size_t j = 0; j < b.cols; ++j) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const double bkj = b(k, j);
+      if (bkj == 0.0) {
+        continue;
+      }
+      for (std::size_t i = k + 1; i < n; ++i) {
+        b(i, j) -= l(i, k) * bkj;
+      }
+    }
+  }
+}
+
+int getrf(MatrixView a, std::size_t* pivots) {
+  const std::size_t m = a.rows;
+  const std::size_t n = a.cols;
+  const std::size_t mn = std::min(m, n);
+
+  for (std::size_t k = 0; k < mn; ++k) {
+    // Partial pivoting: find the largest magnitude in column k at/below k.
+    std::size_t piv = k;
+    double best = std::abs(a(k, k));
+    for (std::size_t i = k + 1; i < m; ++i) {
+      const double v = std::abs(a(i, k));
+      if (v > best) {
+        best = v;
+        piv = i;
+      }
+    }
+    pivots[k] = piv;
+    if (best == 0.0) {
+      return static_cast<int>(k) + 1;
+    }
+    if (piv != k) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a(k, j), a(piv, j));
+      }
+    }
+    const double inv = 1.0 / a(k, k);
+    for (std::size_t i = k + 1; i < m; ++i) {
+      a(i, k) *= inv;
+    }
+    for (std::size_t j = k + 1; j < n; ++j) {
+      const double akj = a(k, j);
+      if (akj == 0.0) {
+        continue;
+      }
+      for (std::size_t i = k + 1; i < m; ++i) {
+        a(i, j) -= a(i, k) * akj;
+      }
+    }
+  }
+  return 0;
+}
+
+void ldlt_trsm_right(ConstMatrixView f, MatrixView b) {
+  const std::size_t n = f.rows;
+  require(f.cols == n && b.cols == n, "ldlt_trsm: shape");
+  const std::size_t m = b.rows;
+
+  // Solve X * L^T = B with unit-diagonal L (column sweep), then scale
+  // each column by 1/d_j.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t p = j + 1; p < n; ++p) {
+      const double lpj = f(p, j);
+      if (lpj == 0.0) {
+        continue;
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        b(i, p) -= b(i, j) * lpj;
+      }
+    }
+  }
+  for (std::size_t j = 0; j < n; ++j) {
+    const double inv = 1.0 / f(j, j);
+    for (std::size_t i = 0; i < m; ++i) {
+      b(i, j) *= inv;
+    }
+  }
+}
+
+void ldlt_update(ConstMatrixView a, ConstMatrixView f, ConstMatrixView b,
+                 MatrixView c) {
+  const std::size_t m = c.rows;
+  const std::size_t n = c.cols;
+  const std::size_t k = a.cols;
+  require(a.rows == m && b.rows == n && b.cols == k && f.rows == k,
+          "ldlt_update: shape");
+
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t p = 0; p < k; ++p) {
+      const double w = f(p, p) * b(j, p);  // d_p * b(j,p)
+      if (w == 0.0) {
+        continue;
+      }
+      for (std::size_t i = 0; i < m; ++i) {
+        c(i, j) -= a(i, p) * w;
+      }
+    }
+  }
+}
+
+int ldlt_lower(MatrixView a) {
+  const std::size_t n = a.rows;
+  require(a.cols == n, "ldlt: square matrix required");
+  std::vector<double> work(n);  // row of L scaled by D
+
+  for (std::size_t j = 0; j < n; ++j) {
+    // work[p] = l(j,p) * d(p) for p < j
+    for (std::size_t p = 0; p < j; ++p) {
+      work[p] = a(j, p) * a(p, p);
+    }
+    double d = a(j, j);
+    for (std::size_t p = 0; p < j; ++p) {
+      d -= a(j, p) * work[p];
+    }
+    if (d == 0.0) {
+      return static_cast<int>(j) + 1;
+    }
+    a(j, j) = d;
+    const double inv = 1.0 / d;
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double acc = a(i, j);
+      for (std::size_t p = 0; p < j; ++p) {
+        acc -= a(i, p) * work[p];
+      }
+      a(i, j) = acc * inv;
+    }
+  }
+  return 0;
+}
+
+}  // namespace hs::blas

@@ -1,0 +1,179 @@
+#pragma once
+
+// Column-major dense matrices and views (LAPACK convention).
+//
+// All hsblas kernels operate on MatrixView/ConstMatrixView so that tiles
+// of a larger matrix can be addressed without copying: a tile is a view
+// with the parent's leading dimension.
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+
+#include "common/rng.hpp"
+#include "common/status.hpp"
+
+namespace hs::blas {
+
+/// Mutable view over column-major storage with leading dimension ld.
+struct MatrixView {
+  double* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t ld = 0;
+
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j) const {
+    return data[j * ld + i];
+  }
+
+  /// Sub-view of `r` x `c` elements starting at (i0, j0).
+  [[nodiscard]] MatrixView tile(std::size_t i0, std::size_t j0, std::size_t r,
+                                std::size_t c) const {
+    require(i0 + r <= rows && j0 + c <= cols, "tile out of bounds",
+            Errc::out_of_range);
+    return {data + j0 * ld + i0, r, c, ld};
+  }
+};
+
+/// Immutable view over column-major storage.
+struct ConstMatrixView {
+  const double* data = nullptr;
+  std::size_t rows = 0;
+  std::size_t cols = 0;
+  std::size_t ld = 0;
+
+  ConstMatrixView() = default;
+  ConstMatrixView(const double* d, std::size_t r, std::size_t c, std::size_t l)
+      : data(d), rows(r), cols(c), ld(l) {}
+  ConstMatrixView(const MatrixView& v)  // NOLINT: implicit by design
+      : data(v.data), rows(v.rows), cols(v.cols), ld(v.ld) {}
+
+  [[nodiscard]] const double& operator()(std::size_t i, std::size_t j) const {
+    return data[j * ld + i];
+  }
+
+  [[nodiscard]] ConstMatrixView tile(std::size_t i0, std::size_t j0,
+                                     std::size_t r, std::size_t c) const {
+    require(i0 + r <= rows && j0 + c <= cols, "tile out of bounds",
+            Errc::out_of_range);
+    return {data + j0 * ld + i0, r, c, ld};
+  }
+};
+
+/// Owning column-major matrix. Storage is contiguous with ld == rows.
+///
+/// The normal constructor zero-fills. `Matrix::phantom` skips the fill:
+/// the allocation reserves address space but commits no physical pages
+/// until written — what timing-only simulation benches use to schedule
+/// paper-scale matrices (up to ~8 GB) inside a small container. Phantom
+/// contents are indeterminate; read only after writing.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows),
+        cols_(cols),
+        size_(rows * cols),
+        data_(new double[size_]()) {}
+
+  [[nodiscard]] static Matrix phantom(std::size_t rows, std::size_t cols) {
+    Matrix m;
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.size_ = rows * cols;
+    m.data_.reset(new double[m.size_]);  // default-init: untouched pages
+    return m;
+  }
+
+  Matrix(const Matrix& other)
+      : rows_(other.rows_), cols_(other.cols_), size_(other.size_) {
+    if (other.data_) {
+      data_.reset(new double[size_]);
+      std::copy(other.data_.get(), other.data_.get() + size_, data_.get());
+    }
+  }
+  Matrix& operator=(const Matrix& other) {
+    if (this != &other) {
+      Matrix copy(other);
+      *this = std::move(copy);
+    }
+    return *this;
+  }
+  Matrix(Matrix&&) noexcept = default;
+  Matrix& operator=(Matrix&&) noexcept = default;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_; }
+  [[nodiscard]] std::size_t cols() const noexcept { return cols_; }
+  [[nodiscard]] std::size_t ld() const noexcept { return rows_; }
+  [[nodiscard]] double* data() noexcept { return data_.get(); }
+  [[nodiscard]] const double* data() const noexcept { return data_.get(); }
+  [[nodiscard]] std::size_t size_bytes() const noexcept {
+    return size_ * sizeof(double);
+  }
+
+  [[nodiscard]] double& operator()(std::size_t i, std::size_t j) {
+    return data_[j * rows_ + i];
+  }
+  [[nodiscard]] const double& operator()(std::size_t i, std::size_t j) const {
+    return data_[j * rows_ + i];
+  }
+
+  [[nodiscard]] MatrixView view() {
+    return {data_.get(), rows_, cols_, rows_};
+  }
+  [[nodiscard]] ConstMatrixView view() const {
+    return {data_.get(), rows_, cols_, rows_};
+  }
+  [[nodiscard]] MatrixView tile(std::size_t i0, std::size_t j0, std::size_t r,
+                                std::size_t c) {
+    return view().tile(i0, j0, r, c);
+  }
+  [[nodiscard]] ConstMatrixView tile(std::size_t i0, std::size_t j0,
+                                     std::size_t r, std::size_t c) const {
+    return view().tile(i0, j0, r, c);
+  }
+
+  /// Fills with uniform values in [-1, 1] from a deterministic stream.
+  void randomize(Rng& rng) {
+    for (std::size_t i = 0; i < size_; ++i) {
+      data_[i] = rng.uniform(-1.0, 1.0);
+    }
+  }
+
+  /// Makes the matrix symmetric positive definite: A <- (A + A^T)/2 + n*I.
+  /// Used to build Cholesky/LDLT test problems.
+  void make_spd(Rng& rng) {
+    require(rows_ == cols_, "make_spd needs a square matrix");
+    randomize(rng);
+    const auto n = rows_;
+    for (std::size_t j = 0; j < n; ++j) {
+      for (std::size_t i = 0; i < j; ++i) {
+        const double s = 0.5 * ((*this)(i, j) + (*this)(j, i));
+        (*this)(i, j) = s;
+        (*this)(j, i) = s;
+      }
+      (*this)(j, j) += static_cast<double>(n);
+    }
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::size_t size_ = 0;
+  std::unique_ptr<double[]> data_;
+};
+
+/// max_ij |a(i,j) - b(i,j)|; shapes must match.
+[[nodiscard]] inline double max_abs_diff(ConstMatrixView a, ConstMatrixView b) {
+  require(a.rows == b.rows && a.cols == b.cols, "shape mismatch");
+  double m = 0.0;
+  for (std::size_t j = 0; j < a.cols; ++j) {
+    for (std::size_t i = 0; i < a.rows; ++i) {
+      const double d = a(i, j) - b(i, j);
+      m = std::max(m, d < 0 ? -d : d);
+    }
+  }
+  return m;
+}
+
+}  // namespace hs::blas

@@ -1,0 +1,101 @@
+#include "hsblas/reference.hpp"
+
+#include <algorithm>
+
+namespace hs::blas::ref {
+namespace {
+
+inline double elem(ConstMatrixView m, Op op, std::size_t i, std::size_t j) {
+  return op == Op::none ? m(i, j) : m(j, i);
+}
+
+}  // namespace
+
+void gemm(Op op_a, Op op_b, double alpha, ConstMatrixView a, ConstMatrixView b,
+          double beta, MatrixView c) {
+  const std::size_t m = c.rows;
+  const std::size_t n = c.cols;
+  const std::size_t k = (op_a == Op::none) ? a.cols : a.rows;
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p) {
+        acc += elem(a, op_a, i, p) * elem(b, op_b, p, j);
+      }
+      c(i, j) = alpha * acc + (beta == 0.0 ? 0.0 : beta * c(i, j));
+    }
+  }
+}
+
+Matrix multiply(const Matrix& a, const Matrix& b) {
+  require(a.cols() == b.rows(), "multiply: inner dimensions differ");
+  Matrix c(a.rows(), b.cols());
+  ref::gemm(Op::none, Op::none, 1.0, a.view(), b.view(), 0.0, c.view());
+  return c;
+}
+
+Matrix reconstruct_llt(ConstMatrixView l) {
+  const std::size_t n = l.rows;
+  Matrix a(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      const std::size_t kmax = std::min(i, j) + 1;
+      for (std::size_t k = 0; k < kmax; ++k) {
+        acc += l(i, k) * l(j, k);  // reads lower triangle only: k <= min(i,j)
+      }
+      a(i, j) = acc;
+    }
+  }
+  return a;
+}
+
+Matrix reconstruct_ldlt(ConstMatrixView f) {
+  const std::size_t n = f.rows;
+  auto lower = [&f](std::size_t i, std::size_t k) {
+    return i == k ? 1.0 : f(i, k);  // unit diagonal of L is implicit
+  };
+  Matrix a(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      double acc = 0.0;
+      const std::size_t kmax = std::min(i, j) + 1;
+      for (std::size_t k = 0; k < kmax; ++k) {
+        acc += lower(i, k) * f(k, k) * lower(j, k);
+      }
+      a(i, j) = acc;
+    }
+  }
+  return a;
+}
+
+Matrix reconstruct_lu(ConstMatrixView f, const std::size_t* pivots) {
+  const std::size_t m = f.rows;
+  const std::size_t n = f.cols;
+  const std::size_t mn = std::min(m, n);
+  Matrix a(m, n);
+  // A' = L * U from the packed factor.
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < m; ++i) {
+      double acc = 0.0;
+      const std::size_t kmax = std::min({i + 1, j + 1, mn});
+      for (std::size_t k = 0; k < kmax; ++k) {
+        const double lik = (k == i) ? 1.0 : (k < i ? f(i, k) : 0.0);
+        const double ukj = (k <= j) ? f(k, j) : 0.0;
+        acc += lik * ukj;
+      }
+      a(i, j) = acc;
+    }
+  }
+  // Undo the row interchanges in reverse order to recover A.
+  for (std::size_t k = mn; k-- > 0;) {
+    if (pivots[k] != k) {
+      for (std::size_t j = 0; j < n; ++j) {
+        std::swap(a(k, j), a(pivots[k], j));
+      }
+    }
+  }
+  return a;
+}
+
+}  // namespace hs::blas::ref

@@ -1,0 +1,32 @@
+#pragma once
+
+// Naive reference kernels, used only by tests to validate the blocked
+// kernels in kernels.hpp and the task-parallel algorithms built on them.
+// Written as direct transcriptions of the defining formulas.
+
+#include "hsblas/matrix.hpp"
+#include "hsblas/kernels.hpp"
+
+namespace hs::blas::ref {
+
+/// C = alpha * op(A) * op(B) + beta * C (triple loop).
+void gemm(Op op_a, Op op_b, double alpha, ConstMatrixView a, ConstMatrixView b,
+          double beta, MatrixView c);
+
+/// Dense matrix product of two owning matrices, C = A * B.
+[[nodiscard]] Matrix multiply(const Matrix& a, const Matrix& b);
+
+/// Reconstructs A = L * L^T from a lower Cholesky factor (upper part of
+/// the factor input is ignored).
+[[nodiscard]] Matrix reconstruct_llt(ConstMatrixView l);
+
+/// Reconstructs A = L * D * L^T from a packed LDL^T factor (D on the
+/// diagonal, unit-lower L below it).
+[[nodiscard]] Matrix reconstruct_ldlt(ConstMatrixView f);
+
+/// Reconstructs P*A = L*U from a packed LU factor and pivot vector,
+/// returning A (i.e. applies inverse pivoting).
+[[nodiscard]] Matrix reconstruct_lu(ConstMatrixView f,
+                                    const std::size_t* pivots);
+
+}  // namespace hs::blas::ref

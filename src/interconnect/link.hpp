@@ -1,0 +1,68 @@
+#pragma once
+
+// Interconnect link model.
+//
+// Stands in for the PCIe transport underneath hStreams (COI over SCIF in
+// the paper). A link is modeled by a fixed per-message latency, a
+// sustained bandwidth, and a number of DMA engines per direction that
+// bound how many transfers can progress concurrently. The paper's §III
+// overhead observations pin the constants: 20-30 us of overhead for
+// transfers under 128 KB, and <5% overhead above 1 MB.
+
+#include <cstddef>
+#include <string>
+
+#include "common/status.hpp"
+
+namespace hs {
+
+/// Transfer direction over a link. Device-to-device traffic in the paper's
+/// platforms is staged through the host, so links are host-centric.
+enum class LinkDirection { host_to_device, device_to_host };
+
+/// Cost and concurrency parameters of one interconnect link.
+struct LinkModel {
+  std::string name = "pcie-gen2-x16";
+  double latency_s = 25e-6;        ///< per-message fixed cost (20-30 us in §III)
+  double bandwidth_Bps = 6.5e9;    ///< sustained one-direction bandwidth
+  int dma_engines_per_direction = 2;
+
+  /// Modeled wall time to move `bytes` once a DMA engine is available.
+  [[nodiscard]] double transfer_seconds(std::size_t bytes) const {
+    require(bandwidth_Bps > 0, "link bandwidth must be positive");
+    return latency_s + static_cast<double>(bytes) / bandwidth_Bps;
+  }
+
+  /// Fraction of transfer time that is fixed overhead, for the §III
+  /// "overhead below 5% above 1MB" style reporting.
+  [[nodiscard]] double overhead_fraction(std::size_t bytes) const {
+    const double total = transfer_seconds(bytes);
+    return latency_s / total;
+  }
+};
+
+/// A PCIe-generation-2 x16 link as in the paper's KNC platform.
+[[nodiscard]] inline LinkModel pcie_gen2_x16() { return LinkModel{}; }
+
+/// A fabric link to a remote node (COI over fabric, §III: COI "supports
+/// offload over fabric, and could be built on top of MPI, TCP,
+/// Omni-path, PGAS"). Higher latency, comparable bandwidth, more
+/// outstanding messages than a PCIe DMA pair.
+[[nodiscard]] inline LinkModel fabric_link() {
+  return LinkModel{.name = "fabric",
+                   .latency_s = 60e-6,
+                   .bandwidth_Bps = 5.0e9,
+                   .dma_engines_per_direction = 4};
+}
+
+/// A same-domain "link": host-as-target streams alias transfers away, so
+/// moving data costs nothing (§V: "Transfers to the host in host-as-target
+/// streams are optimized away").
+[[nodiscard]] inline LinkModel loopback_link() {
+  return LinkModel{.name = "loopback",
+                   .latency_s = 0.0,
+                   .bandwidth_Bps = 1e18,
+                   .dma_engines_per_direction = 64};
+}
+
+}  // namespace hs

@@ -1,0 +1,77 @@
+#pragma once
+
+// Fabric topology: which links connect which domains.
+//
+// The paper's platforms are host-centric: every coprocessor hangs off the
+// host over PCIe, and card-to-card traffic is staged through the host
+// (the hetero Cholesky explicitly avoids card-card transfers for this
+// reason). The topology therefore stores one link per (host, device)
+// pair plus a loopback for host-as-target streams.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/status.hpp"
+#include "interconnect/link.hpp"
+
+namespace hs {
+
+/// Index of a domain within a platform (0 is always the host).
+using NodeIndex = std::size_t;
+
+/// Host-centric star topology over interconnect links.
+class Topology {
+ public:
+  /// Creates a topology with `device_count` devices all attached to the
+  /// host via copies of `device_link`.
+  explicit Topology(std::size_t device_count,
+                    const LinkModel& device_link = pcie_gen2_x16())
+      : loopback_(loopback_link()) {
+    links_.reserve(device_count);
+    for (std::size_t i = 0; i < device_count; ++i) {
+      links_.push_back(device_link);
+    }
+  }
+
+  /// Heterogeneous topology: one explicit link per device (mixing PCIe
+  /// cards and fabric-attached remote nodes).
+  explicit Topology(std::vector<LinkModel> device_links)
+      : loopback_(loopback_link()), links_(std::move(device_links)) {}
+
+  [[nodiscard]] std::size_t device_count() const noexcept {
+    return links_.size();
+  }
+
+  /// Link used for traffic between the host (node 0) and device node
+  /// `device` (1-based node index, i.e. node = device_index + 1).
+  [[nodiscard]] const LinkModel& link_to_device(std::size_t device_index) const {
+    require(device_index < links_.size(), "no such device", Errc::not_found);
+    return links_[device_index];
+  }
+
+  [[nodiscard]] LinkModel& link_to_device(std::size_t device_index) {
+    require(device_index < links_.size(), "no such device", Errc::not_found);
+    return links_[device_index];
+  }
+
+  /// Loopback "link" for host-as-target streams (transfers aliased away).
+  [[nodiscard]] const LinkModel& loopback() const noexcept { return loopback_; }
+
+  /// Link for traffic between two nodes of the platform. node 0 is the
+  /// host; nodes >= 1 are devices. Device-device returns the *first* hop
+  /// (device -> host); the runtime stages such transfers in two hops.
+  [[nodiscard]] const LinkModel& link_between(NodeIndex a, NodeIndex b) const {
+    require(a != b || a == 0, "no self link between device and itself");
+    if (a == b) {
+      return loopback_;
+    }
+    const NodeIndex device_node = (a == 0) ? b : a;
+    return link_to_device(device_node - 1);
+  }
+
+ private:
+  LinkModel loopback_;
+  std::vector<LinkModel> links_;  // index i <-> device node i+1
+};
+
+}  // namespace hs

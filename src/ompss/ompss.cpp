@@ -1,0 +1,226 @@
+#include "ompss/ompss.hpp"
+
+#include <algorithm>
+
+namespace hs::ompss {
+
+OmpssRuntime::OmpssRuntime(Runtime& runtime, OmpssConfig config)
+    : runtime_(runtime), config_(config) {
+  const OrderPolicy policy = config.backend == BackendStyle::hstreams
+                                 ? OrderPolicy::relaxed_fifo
+                                 : OrderPolicy::strict_fifo;
+  auto add_streams = [&](DomainId domain) {
+    const std::size_t threads = runtime.domain(domain).hw_threads();
+    const std::size_t count = std::min(config.streams_per_device, threads);
+    for (const CpuMask& mask : CpuMask::partition(threads, count)) {
+      const StreamId s = runtime.stream_create(domain, mask, policy);
+      streams_.push_back(s);
+      stream_domain_[s.value] = domain;
+    }
+  };
+  for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
+    add_streams(DomainId{static_cast<std::uint32_t>(d)});
+  }
+  if (config.use_host || streams_.size() == 0) {
+    add_streams(kHostDomain);
+  }
+  require(!streams_.empty(), "OmpSs runtime has no execution streams");
+}
+
+void OmpssRuntime::register_region(void* base, std::size_t bytes) {
+  Region region;
+  region.buffer = runtime_.buffer_create(base, bytes);
+  region.base = static_cast<std::byte*>(base);
+  region.bytes = bytes;
+  // "OmpSs allocates data automatically on the device": instantiate
+  // everywhere up front so transfers never fail.
+  for (std::size_t d = 1; d < runtime_.domain_count(); ++d) {
+    runtime_.buffer_instantiate(region.buffer,
+                                DomainId{static_cast<std::uint32_t>(d)});
+  }
+  regions_.emplace(region.base, std::move(region));
+}
+
+OmpssRuntime::Region& OmpssRuntime::region_containing(const void* ptr,
+                                                      std::size_t len) {
+  const auto* p = static_cast<const std::byte*>(ptr);
+  auto it = regions_.upper_bound(p);
+  require(it != regions_.begin(), "operand not in a registered region",
+          Errc::not_found);
+  Region& region = std::prev(it)->second;
+  require(p + len <= region.base + region.bytes,
+          "operand escapes its region", Errc::out_of_range);
+  return region;
+}
+
+StreamId OmpssRuntime::pick_stream(const std::vector<OperandRef>& deps) {
+  // Locality: tally operand bytes per domain that already holds them.
+  // Only *read* operands attract a task — a pure output needs no data
+  // where it runs, so it should not glue work to wherever the region
+  // happens to sit (initially the host).
+  std::map<std::uint32_t, std::size_t> bytes_on;
+  for (const OperandRef& dep : deps) {
+    if (dep.access == Access::out) {
+      continue;
+    }
+    const Region& region = region_containing(dep.ptr, dep.len);
+    bytes_on[region.valid_on.value] += dep.len;
+  }
+  DomainId best = kHostDomain;
+  std::size_t best_bytes = 0;
+  for (const auto& [dom, bytes] : bytes_on) {
+    const DomainId domain{dom};
+    // Only domains we can execute on count.
+    const bool schedulable =
+        std::any_of(streams_.begin(), streams_.end(), [&](StreamId s) {
+          return stream_domain_.at(s.value) == domain;
+        });
+    if (schedulable && bytes > best_bytes) {
+      best_bytes = bytes;
+      best = domain;
+    }
+  }
+  // Round-robin across the chosen domain's streams (or across all
+  // streams when nothing is resident yet).
+  std::vector<StreamId> candidates;
+  for (const StreamId s : streams_) {
+    if (best_bytes == 0 || stream_domain_.at(s.value) == best) {
+      candidates.push_back(s);
+    }
+  }
+  return candidates[rr_cursor_++ % candidates.size()];
+}
+
+void OmpssRuntime::add_edge(StreamId stream,
+                            const std::shared_ptr<EventState>& ev,
+                            StreamId from, const Region& region) {
+  if (!ev || from == stream) {
+    return;  // same stream: FIFO order already covers it
+  }
+  ++stats_.cross_stream_edges;
+  ++pending_edges_;
+  if (config_.backend == BackendStyle::hstreams) {
+    // Scoped wait: only later actions touching this region stall.
+    const OperandRef wops[] = {{region.base, region.bytes, Access::out}};
+    (void)runtime_.enqueue_event_wait(stream, ev, wops);
+  } else {
+    // CUDA semantics: the wait stalls the entire stream.
+    (void)runtime_.enqueue_event_wait(stream, ev);
+  }
+}
+
+std::size_t OmpssRuntime::stage_region(Region& region, DomainId domain,
+                                       StreamId stream) {
+  // Safety note on WAR against *stale* incarnations: an inbound h2d may
+  // overwrite a copy that earlier readers used without an explicit edge
+  // to them. This is sound by transitivity: a copy's bytes can only
+  // differ from the incoming ones if a writer ran in between, every
+  // writer adds WAR edges to all readers since the previous write (see
+  // task()), and the h2d chains after that writer through last_write.
+  // With no intervening writer the overwrite is byte-identical.
+  if (region.valid_on == domain) {
+    return 0;
+  }
+  const std::size_t edges_before = pending_edges_;
+  if (region.valid_on != kHostDomain) {
+    // Write back from the holder to the host first (device-to-device is
+    // staged through the host on these platforms).
+    auto home = runtime_.enqueue_transfer(region.last_write_stream,
+                                          region.base, region.bytes,
+                                          XferDir::sink_to_src);
+    ++stats_.transfers;
+    region.valid_on = kHostDomain;
+    region.last_write = std::move(home);
+    // The write-back stays attributed to its original stream.
+  }
+  if (domain != kHostDomain) {
+    add_edge(stream, region.last_write, region.last_write_stream, region);
+    region.last_write =
+        runtime_.enqueue_transfer(stream, region.base, region.bytes,
+                                  XferDir::src_to_sink);
+    region.last_write_stream = stream;
+    ++stats_.transfers;
+    region.valid_on = domain;
+  }
+  return pending_edges_ - edges_before;
+}
+
+void OmpssRuntime::task(std::string kernel, double flops,
+                        std::function<void(TaskContext&)> body,
+                        std::vector<OperandRef> deps) {
+  const StreamId stream = pick_stream(deps);
+  const DomainId domain = stream_domain_.at(stream.value);
+  pending_edges_ = 0;
+
+  // Stage data and wire dependences.
+  for (const OperandRef& dep : deps) {
+    Region& region = region_containing(dep.ptr, dep.len);
+    // RAW/WAW: order after the last writer.
+    (void)stage_region(region, domain, stream);
+    add_edge(stream, region.last_write, region.last_write_stream, region);
+    if (writes(dep.access)) {
+      // WAR: order after every reader since the last write.
+      for (const auto& [rev, rstream] : region.readers) {
+        add_edge(stream, rev, rstream, region);
+      }
+    }
+  }
+
+  // Submit the compute.
+  ComputePayload payload;
+  payload.kernel = std::move(kernel);
+  payload.flops = flops;
+  payload.body = std::move(body);
+  payload.layered_overhead_s =
+      config_.task_overhead_s +
+      (config_.backend == BackendStyle::cuda_streams
+           ? static_cast<double>(pending_edges_) * config_.edge_overhead_s
+           : 0.0);
+  auto done = runtime_.enqueue_compute(stream, std::move(payload), deps);
+  ++stats_.tasks;
+
+  // Update the tracker.
+  for (const OperandRef& dep : deps) {
+    Region& region = region_containing(dep.ptr, dep.len);
+    if (writes(dep.access)) {
+      region.last_write = done;
+      region.last_write_stream = stream;
+      region.has_writer = true;
+      region.readers.clear();
+      region.valid_on = domain;
+    } else {
+      region.readers.emplace_back(done, stream);
+    }
+  }
+}
+
+void OmpssRuntime::taskwait() { runtime_.synchronize(); }
+
+void OmpssRuntime::fetch(void* base) {
+  Region& region = region_containing(base, 1);
+  if (region.valid_on != kHostDomain) {
+    auto home = runtime_.enqueue_transfer(region.last_write_stream,
+                                          region.base, region.bytes,
+                                          XferDir::sink_to_src);
+    ++stats_.transfers;
+    region.valid_on = kHostDomain;
+    region.last_write = home;
+    const std::shared_ptr<EventState> evs[] = {std::move(home)};
+    runtime_.event_wait_host(evs);
+  }
+}
+
+void OmpssRuntime::fetch_all() {
+  for (auto& [base, region] : regions_) {
+    if (region.valid_on != kHostDomain) {
+      region.last_write = runtime_.enqueue_transfer(
+          region.last_write_stream, region.base, region.bytes,
+          XferDir::sink_to_src);
+      ++stats_.transfers;
+      region.valid_on = kHostDomain;
+    }
+  }
+  runtime_.synchronize();
+}
+
+}  // namespace hs::ompss

@@ -1,0 +1,79 @@
+#pragma once
+
+// Calibrated device cost models.
+//
+// Each device rates every kernel class with a ceiling rate and a
+// half-saturation work size:
+//
+//   gflops(task) = gflops_max * f * flops / (flops + flops_half * f)
+//
+// where f = team_width / total_threads is the fraction of the device a
+// stream owns. The hyperbolic saturation reproduces the paper's central
+// tuning observation: small tiles are inefficient, and the wider the
+// stream, the larger the tile needed to saturate it (§VI "the best degree
+// of tiling and number of streams depends on the matrix size and
+// algorithm"). Ceilings are calibrated to the paper's own measured
+// numbers (Fig 2 platforms; Figs 6-7 rates) — see sim/platform.cpp.
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "common/status.hpp"
+
+namespace hs::sim {
+
+/// Saturating rate curve for one kernel class on one device.
+struct KernelRating {
+  double gflops_max = 100.0;  ///< asymptotic rate with the whole device
+  double flops_half = 1e8;    ///< work at which half the ceiling is reached
+  /// Rate floor for tiny tasks. Latency-bound kernels (panel
+  /// factorizations) run on a handful of cores regardless of stream
+  /// width, so the floor is independent of the team fraction.
+  double gflops_floor = 0.0;
+};
+
+/// Performance model of one domain.
+struct DeviceModel {
+  std::string name = "generic";
+  std::size_t total_threads = 1;
+  /// Per-task launch cost at the sink (remote invocation overhead; §III
+  /// reports MIC-side invocation overheads as negligible-to-tens-of-us).
+  double invoke_overhead_s = 10e-6;
+  std::map<std::string, KernelRating, std::less<>> ratings;
+  KernelRating default_rating;
+
+  [[nodiscard]] const KernelRating& rating(std::string_view kernel) const {
+    const auto it = ratings.find(kernel);
+    return it == ratings.end() ? default_rating : it->second;
+  }
+
+  /// Effective rate (GF/s) of a task of `flops` on `team_width` threads.
+  [[nodiscard]] double task_gflops(std::string_view kernel, double flops,
+                                   std::size_t team_width) const {
+    require(total_threads > 0, "device has no threads");
+    const double f =
+        std::min(1.0, static_cast<double>(team_width) /
+                          static_cast<double>(total_threads));
+    const KernelRating& r = rating(kernel);
+    if (flops <= 0.0) {
+      return r.gflops_max * f;
+    }
+    const double curve = r.gflops_max * f * flops / (flops + r.flops_half * f);
+    return std::max(curve, r.gflops_floor);
+  }
+
+  /// Modeled wall seconds for a task (launch overhead + layered-runtime
+  /// overhead + compute time).
+  [[nodiscard]] double task_seconds(std::string_view kernel, double flops,
+                                    std::size_t team_width,
+                                    double layered_overhead_s = 0.0) const {
+    double t = invoke_overhead_s + layered_overhead_s;
+    if (flops > 0.0) {
+      t += flops / (task_gflops(kernel, flops, team_width) * 1e9);
+    }
+    return t;
+  }
+};
+
+}  // namespace hs::sim

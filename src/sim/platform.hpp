@@ -1,0 +1,61 @@
+#pragma once
+
+// The paper's evaluation platforms (Fig 2), as simulated configurations.
+//
+//   Intel Xeon E5-2697v3 "HSW"  2S x 14C x 2T, 2.6 GHz, AVX2+FMA
+//   Intel Xeon E5-2697v2 "IVB"  2S x 12C x 2T, 2.7 GHz, AVX (no FMA)
+//   Intel Xeon Phi 7120A "KNC"  61C x 4T, 1.33 GHz (1 core reserved ->
+//                               240 user threads, e.g. 4 streams x 60)
+//   NVidia K40x                 15 SMX, used by the CUDA-like baseline
+//
+// Kernel ceilings are calibrated against the paper's own measurements:
+// DGEMM 902 (HSW) / 475 (IVB) / 982 (KNC offload) GF/s; DPOTRF-class
+// panel work is latency-bound on KNC (the reason MAGMA ships panels to
+// the host, §VI).
+
+#include <vector>
+
+#include "core/domain.hpp"
+#include "interconnect/link.hpp"
+#include "sim/cost_model.hpp"
+
+namespace hs::sim {
+
+[[nodiscard]] DeviceModel hsw_model();
+[[nodiscard]] DeviceModel ivb_model();
+[[nodiscard]] DeviceModel knc_model();
+[[nodiscard]] DeviceModel k40x_model();
+/// A second HSW node reached over fabric (§IV: streams on "devices
+/// residing in remote nodes"; §III exercised hStreams over COI between
+/// Xeon nodes). Compute rates are host-class; only the link differs.
+[[nodiscard]] DeviceModel remote_node_model();
+
+/// A full simulated platform: domain descriptions for the Runtime plus
+/// per-domain device models for the SimExecutor.
+struct SimPlatform {
+  PlatformDesc desc;
+  std::vector<DeviceModel> models;  ///< indexed by DomainId
+  LinkModel link = pcie_gen2_x16();
+  /// Per-device links (empty = every device uses `link`).
+  std::vector<LinkModel> domain_links;
+
+  /// host + `cards` copies of `card`.
+  [[nodiscard]] static SimPlatform build(const DeviceModel& host,
+                                         const DeviceModel& card,
+                                         std::size_t cards,
+                                         LinkModel link = pcie_gen2_x16());
+};
+
+/// Convenience platforms matching the paper's configurations.
+[[nodiscard]] SimPlatform hsw_plus_knc(std::size_t cards);
+[[nodiscard]] SimPlatform ivb_plus_knc(std::size_t cards);
+[[nodiscard]] SimPlatform hsw_only();
+[[nodiscard]] SimPlatform ivb_only();
+[[nodiscard]] SimPlatform hsw_plus_k40x();
+/// HSW host + `cards` local KNC cards over PCIe + `remote_nodes`
+/// fabric-attached HSW nodes — the "hetero cluster" configuration the
+/// uniform stream interface targets.
+[[nodiscard]] SimPlatform hsw_cluster(std::size_t cards,
+                                      std::size_t remote_nodes);
+
+}  // namespace hs::sim

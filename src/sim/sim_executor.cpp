@@ -1,0 +1,157 @@
+#include "sim/sim_executor.hpp"
+
+#include <cstring>
+
+#include "core/runtime.hpp"
+
+namespace hs::sim {
+
+SimExecutor::SimExecutor(SimExecutorConfig config)
+    : config_(std::move(config)) {
+  require(!config_.models.empty(), "SimExecutor needs device models");
+}
+
+SimExecutor::SimExecutor(const SimPlatform& platform, bool execute_payloads)
+    : SimExecutor(SimExecutorConfig{platform.models, execute_payloads}) {}
+
+void SimExecutor::attach(Runtime& runtime) {
+  runtime_ = &runtime;
+  require(config_.models.size() >= runtime.domain_count(),
+          "missing device models for some domains");
+}
+
+const DeviceModel& SimExecutor::model(DomainId domain) const {
+  require(domain.value < config_.models.size(), "no model for domain",
+          Errc::not_found);
+  return config_.models[domain.value];
+}
+
+SimResource& SimExecutor::stream_resource(StreamId stream) {
+  auto it = stream_resources_.find(stream);
+  if (it == stream_resources_.end()) {
+    it = stream_resources_
+             .emplace(stream, std::make_unique<SimResource>(queue_, 1))
+             .first;
+  }
+  return *it->second;
+}
+
+SimResource& SimExecutor::dma_resource(DomainId domain, XferDir dir) {
+  const DmaKey key{domain, dir};
+  auto it = dma_resources_.find(key);
+  if (it == dma_resources_.end()) {
+    const int engines = runtime_->link_for(domain).dma_engines_per_direction;
+    it = dma_resources_
+             .emplace(key, std::make_unique<SimResource>(
+                               queue_, static_cast<std::size_t>(engines)))
+             .first;
+  }
+  return *it->second;
+}
+
+double SimExecutor::stream_busy_seconds(StreamId stream) const {
+  const auto it = stream_resources_.find(stream);
+  return it == stream_resources_.end() ? 0.0 : it->second->busy_seconds();
+}
+
+void SimExecutor::execute(ActionRecord& action, CompletionFn done) {
+  switch (action.type) {
+    case ActionType::compute: {
+      const DomainId domain = runtime_->stream_domain(action.stream);
+      const std::size_t width = runtime_->stream_mask(action.stream).count();
+      const DeviceModel& dev = model(domain);
+      const double duration =
+          dev.task_seconds(action.compute.kernel, action.compute.flops, width,
+                           action.compute.layered_overhead_s);
+      // A throwing payload is contained: the action is marked failed and
+      // the error surfaces at the next synchronization point. The
+      // completion callback must not also run, so it is disarmed.
+      auto failed = std::make_shared<bool>(false);
+      stream_resource(action.stream)
+          .submit(duration,
+                  [this, &action, domain, width, failed] {
+                    if (config_.execute_payloads && action.compute.body) {
+                      TaskContext ctx(*runtime_, domain, nullptr, width);
+                      try {
+                        action.compute.body(ctx);
+                      } catch (...) {
+                        *failed = true;
+                        runtime_->fail_action(action.id,
+                                              std::current_exception());
+                      }
+                    }
+                  },
+                  [failed, done = std::move(done)] {
+                    if (!*failed) {
+                      done();
+                    }
+                  });
+      return;
+    }
+    case ActionType::transfer: {
+      const DomainId domain = runtime_->stream_domain(action.stream);
+      if (domain == kHostDomain) {
+        done();  // aliased away (§V)
+        return;
+      }
+      const TransferPayload& t = action.transfer;
+      const double staging = runtime_->account_transfer_staging(t.length);
+      const double duration =
+          runtime_->link_for(domain).transfer_seconds(t.length) + staging;
+      dma_resource(domain, t.dir)
+          .submit(duration,
+                  [this, &action, domain] {
+                    if (!config_.execute_payloads) {
+                      return;
+                    }
+                    const TransferPayload& p = action.transfer;
+                    std::byte* host = runtime_->buffer_local(
+                        p.buffer, kHostDomain, p.offset, p.length);
+                    std::byte* sink = runtime_->buffer_local(
+                        p.buffer, domain, p.offset, p.length);
+                    if (p.dir == XferDir::src_to_sink) {
+                      std::memcpy(sink, host, p.length);
+                    } else {
+                      std::memcpy(host, sink, p.length);
+                    }
+                  },
+                  std::move(done));
+      return;
+    }
+    case ActionType::event_wait:
+      action.wait_event->on_fire(std::move(done));
+      return;
+    case ActionType::event_signal:
+      done();
+      return;
+    case ActionType::alloc: {
+      // Sink-side allocation/registration cost, paid in stream order —
+      // ~250 us/MB, the same constant the COI pool model charges. The
+      // point of the async form is that it pipelines behind other
+      // in-flight work instead of stalling the enqueueing host.
+      constexpr double kAllocCostPerByte = 250e-6 / (1024.0 * 1024.0);
+      const double duration =
+          kAllocCostPerByte * static_cast<double>(action.transfer.length);
+      stream_resource(action.stream).submit(duration, [] {}, std::move(done));
+      return;
+    }
+  }
+}
+
+void SimExecutor::wait(const std::function<bool()>& ready) {
+  for (;;) {
+    {
+      const std::scoped_lock lock(runtime_->mutex());
+      if (ready()) {
+        return;
+      }
+    }
+    require(queue_.step(),
+            "simulation deadlock: host is waiting but no events are pending "
+            "(missing transfer/compute, or a wait on an event that nothing "
+            "signals)",
+            Errc::internal);
+  }
+}
+
+}  // namespace hs::sim

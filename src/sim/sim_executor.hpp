@@ -1,0 +1,69 @@
+#pragma once
+
+// SimExecutor: the discrete-event simulation backend.
+//
+// Runs the same dependence-ready actions the ThreadedExecutor would, but
+// in *virtual time* against calibrated cost models — the substitute for
+// the paper's Xeon + Xeon Phi testbed (the evaluation host has one CPU
+// core; see DESIGN.md). Resources:
+//
+//   * one capacity-1 server per stream (a stream's team runs one compute
+//     task at a time, like a gang of threads);
+//   * per-device, per-direction DMA servers with the link's engine count
+//     (transfers contend for engines, so over-decomposed tiling exposes
+//     the fixed per-message latency — the §III overhead observations).
+//
+// Payload side effects (task bodies, transfer memcpys) still execute for
+// real by default, so simulated algorithms remain numerically checkable.
+
+#include <map>
+#include <memory>
+
+#include "core/executor.hpp"
+#include "sim/cost_model.hpp"
+#include "sim/des.hpp"
+#include "sim/platform.hpp"
+
+namespace hs::sim {
+
+struct SimExecutorConfig {
+  std::vector<DeviceModel> models;  ///< per-domain, indexed by DomainId
+  /// Execute compute bodies / transfer copies for real (numerics intact).
+  /// Benches that only need timing can turn this off.
+  bool execute_payloads = true;
+};
+
+class SimExecutor final : public Executor {
+ public:
+  explicit SimExecutor(SimExecutorConfig config);
+  /// Convenience: models + link straight from a SimPlatform.
+  explicit SimExecutor(const SimPlatform& platform, bool execute_payloads = true);
+
+  void attach(Runtime& runtime) override;
+  void execute(ActionRecord& action, CompletionFn done) override;
+  void wait(const std::function<bool()>& ready) override;
+  [[nodiscard]] double now() const override { return queue_.now(); }
+
+  [[nodiscard]] EventQueue& event_queue() noexcept { return queue_; }
+  [[nodiscard]] const DeviceModel& model(DomainId domain) const;
+  /// Total busy seconds of a stream's compute server (utilization probe).
+  [[nodiscard]] double stream_busy_seconds(StreamId stream) const;
+
+ private:
+  struct DmaKey {
+    DomainId domain;
+    XferDir dir;
+    auto operator<=>(const DmaKey&) const = default;
+  };
+
+  [[nodiscard]] SimResource& stream_resource(StreamId stream);
+  [[nodiscard]] SimResource& dma_resource(DomainId domain, XferDir dir);
+
+  SimExecutorConfig config_;
+  Runtime* runtime_ = nullptr;
+  EventQueue queue_;
+  std::map<StreamId, std::unique_ptr<SimResource>> stream_resources_;
+  std::map<DmaKey, std::unique_ptr<SimResource>> dma_resources_;
+};
+
+}  // namespace hs::sim

@@ -1,0 +1,78 @@
+#include "threading/team.hpp"
+
+#include <thread>
+
+namespace hs {
+
+Team::Team(ThreadPool& pool, const CpuMask& mask) : pool_(pool), mask_(mask) {
+  require(!mask.empty(), "Team mask must be non-empty");
+  members_ = mask.cpus();
+  require(members_.back() < pool.worker_count(),
+          "Team mask exceeds pool worker count");
+}
+
+void Team::run_async(std::function<void(Team&)> body) {
+  pool_.submit(leader(), [this, body = std::move(body)]() mutable { body(*this); });
+}
+
+void Team::parallel_for(std::size_t count,
+                        const std::function<void(std::size_t)>& body) {
+  if (count == 0) {
+    return;
+  }
+  const std::size_t width = members_.size();
+  if (width == 1 || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) {
+      body(i);
+    }
+    return;
+  }
+
+  // Static contiguous chunking, one chunk per member. The calling worker
+  // takes the first chunk itself.
+  const std::size_t chunks = std::min(width, count);
+  const std::size_t base = count / chunks;
+  const std::size_t extra = count % chunks;
+  std::atomic<std::size_t> remaining{chunks - 1};
+
+  auto chunk_bounds = [&](std::size_t c) {
+    const std::size_t begin = c * base + std::min(c, extra);
+    const std::size_t end = begin + base + (c < extra ? 1 : 0);
+    return std::pair{begin, end};
+  };
+
+  const std::size_t self = pool_.current_worker_index();
+  // Dispatch chunks 1..chunks-1 to the other members; run chunk 0 locally.
+  std::size_t member_cursor = 0;
+  for (std::size_t c = 1; c < chunks; ++c) {
+    // Skip the calling worker when handing out remote chunks (it runs
+    // chunk 0); wrap around the member list otherwise.
+    do {
+      member_cursor = (member_cursor + 1) % width;
+    } while (members_[member_cursor] == self && width > 1);
+    const auto [begin, end] = chunk_bounds(c);
+    pool_.submit(members_[member_cursor], [&body, &remaining, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) {
+        body(i);
+      }
+      remaining.fetch_sub(1, std::memory_order_release);
+    });
+  }
+
+  {
+    const auto [begin, end] = chunk_bounds(0);
+    for (std::size_t i = begin; i < end; ++i) {
+      body(i);
+    }
+  }
+
+  // Wait for remote chunks, helping with our own queue meanwhile so that
+  // overlapping teams cannot deadlock.
+  while (remaining.load(std::memory_order_acquire) != 0) {
+    if (self == ThreadPool::npos || !pool_.try_help(self)) {
+      std::this_thread::yield();
+    }
+  }
+}
+
+}  // namespace hs

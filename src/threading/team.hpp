@@ -1,0 +1,53 @@
+#pragma once
+
+// Thread teams: the execution resource of a stream's sink endpoint.
+//
+// A Team is a view over a subset of a domain's ThreadPool workers, chosen
+// by a CpuMask. Running a task on a team executes the task body on the
+// team's *leader* worker; inside the body, Team::parallel_for fans the
+// iteration space out across all team members — this is how "an OpenMP
+// for in a task will use all threads assigned to that stream" behaves in
+// hStreams, without the task code knowing the team width.
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "threading/cpu_mask.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace hs {
+
+class Team {
+ public:
+  /// Creates a team over the pool workers selected by `mask`. The mask
+  /// indexes workers of `pool`; it must be non-empty and within range.
+  Team(ThreadPool& pool, const CpuMask& mask);
+
+  [[nodiscard]] std::size_t size() const noexcept { return members_.size(); }
+  [[nodiscard]] const CpuMask& mask() const noexcept { return mask_; }
+  [[nodiscard]] std::size_t leader() const noexcept { return members_.front(); }
+
+  /// Enqueues `body` to run on the leader worker. Returns immediately;
+  /// completion is observed via whatever the body signals (the stream
+  /// runtime passes a completion callback). FIFO per leader worker.
+  void run_async(std::function<void(Team&)> body);
+
+  /// Runs `body(i)` for i in [0, count) across the team members and
+  /// returns when all iterations are done. Must be called from a team
+  /// member (normally the leader inside a task body). Chunks are static,
+  /// one contiguous block per member, like a static OpenMP schedule.
+  ///
+  /// While waiting, the calling worker *helps*: it drains its own queue,
+  /// which makes the construct deadlock-free when several teams overlap
+  /// on shared workers.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& body);
+
+ private:
+  ThreadPool& pool_;
+  CpuMask mask_;
+  std::vector<std::size_t> members_;  // worker indices, ascending
+};
+
+}  // namespace hs

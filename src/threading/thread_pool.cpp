@@ -1,0 +1,87 @@
+#include "threading/thread_pool.hpp"
+
+namespace hs {
+namespace {
+
+// Identifies which pool/worker the current thread is, so helping and
+// leader detection work without passing context through every call.
+thread_local const ThreadPool* t_pool = nullptr;
+thread_local std::size_t t_worker_index = ThreadPool::npos;
+
+}  // namespace
+
+ThreadPool::ThreadPool(std::size_t worker_count) {
+  require(worker_count > 0, "ThreadPool needs at least one worker");
+  states_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    states_.push_back(std::make_unique<WorkerState>());
+  }
+  workers_.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this, i] { worker_main(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  // Publish the stop flag under every queue mutex so sleeping workers
+  // observe it on wakeup.
+  for (auto& state : states_) {
+    const std::scoped_lock lock(state->mutex);
+    stopping_ = true;
+    state->cv.notify_all();
+  }
+  for (auto& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::submit(std::size_t index, Job job) {
+  require(index < states_.size(), "ThreadPool::submit: bad worker index");
+  WorkerState& state = *states_[index];
+  {
+    const std::scoped_lock lock(state.mutex);
+    state.queue.push_back(std::move(job));
+  }
+  state.cv.notify_one();
+}
+
+bool ThreadPool::try_help(std::size_t index) {
+  require(index < states_.size(), "ThreadPool::try_help: bad worker index");
+  WorkerState& state = *states_[index];
+  Job job;
+  {
+    const std::scoped_lock lock(state.mutex);
+    if (state.queue.empty()) {
+      return false;
+    }
+    job = std::move(state.queue.front());
+    state.queue.pop_front();
+  }
+  job();
+  return true;
+}
+
+std::size_t ThreadPool::current_worker_index() const noexcept {
+  return t_pool == this ? t_worker_index : npos;
+}
+
+void ThreadPool::worker_main(std::size_t index) {
+  t_pool = this;
+  t_worker_index = index;
+  WorkerState& state = *states_[index];
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock lock(state.mutex);
+      state.cv.wait(lock, [&] { return stopping_ || !state.queue.empty(); });
+      if (state.queue.empty()) {
+        return;  // stopping and drained
+      }
+      job = std::move(state.queue.front());
+      state.queue.pop_front();
+    }
+    job();
+  }
+}
+
+}  // namespace hs

@@ -1,0 +1,68 @@
+#pragma once
+
+// Per-domain worker pool.
+//
+// Each emulated domain owns a ThreadPool whose workers stand in for the
+// domain's hardware threads. Work is addressed to a *specific* worker
+// (streams are bound to CPU masks, i.e. to worker subsets), so each worker
+// has its own queue rather than the pool having one shared queue.
+//
+// Workers can also *help*: Team::parallel_for lets a thread that is
+// blocked waiting for its team execute items from its own queue, which is
+// what makes nested gang execution deadlock-free when streams share
+// workers (a tuner "can map multiple streams onto a common set of
+// resources" in hStreams).
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hs {
+
+/// Fixed-size pool of indexable worker threads with per-worker FIFO queues.
+class ThreadPool {
+ public:
+  using Job = std::function<void()>;
+
+  explicit ThreadPool(std::size_t worker_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept {
+    return workers_.size();
+  }
+
+  /// Enqueues a job on worker `index`'s queue (FIFO per worker).
+  void submit(std::size_t index, Job job);
+
+  /// Runs one pending job from worker `index`'s queue if any; returns
+  /// whether a job was run. Called by blocked team leaders to help.
+  bool try_help(std::size_t index);
+
+  /// Index of the pool worker executing the current thread, or npos if the
+  /// current thread is not a pool worker.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  [[nodiscard]] std::size_t current_worker_index() const noexcept;
+
+ private:
+  struct WorkerState {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<Job> queue;
+  };
+
+  void worker_main(std::size_t index);
+
+  std::vector<std::unique_ptr<WorkerState>> states_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;  // guarded by every state's mutex at stop time
+};
+
+}  // namespace hs

@@ -1,0 +1,287 @@
+// Integration tests for the hetero matmul (Fig 4) and hetero Cholesky
+// (Fig 5) applications, on both backends:
+//   * ThreadedExecutor — real data movement and real threads;
+//   * SimExecutor — virtual time, payloads still executed, so results
+//     stay numerically checkable.
+
+#include <gtest/gtest.h>
+
+#include "apps/cholesky.hpp"
+#include "apps/matmul.hpp"
+#include "apps/tiled_matrix.hpp"
+#include "core/threaded_executor.hpp"
+#include "hsblas/reference.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace hs::apps {
+namespace {
+
+using blas::Matrix;
+
+enum class Backend { threaded, simulated };
+
+std::unique_ptr<Runtime> make_runtime(Backend backend, std::size_t cards,
+                                      OrderPolicy policy =
+                                          OrderPolicy::relaxed_fifo) {
+  RuntimeConfig config;
+  config.policy = policy;
+  if (backend == Backend::threaded) {
+    config.platform = PlatformDesc::host_plus_cards(4, cards, 8);
+    return std::make_unique<Runtime>(config,
+                                     std::make_unique<ThreadedExecutor>());
+  }
+  const sim::SimPlatform platform = sim::hsw_plus_knc(cards);
+  config.platform = platform.desc;
+  config.device_link = platform.link;
+  return std::make_unique<Runtime>(
+      config, std::make_unique<sim::SimExecutor>(platform));
+}
+
+// ---- TiledMatrix ------------------------------------------------------------
+
+TEST(TiledMatrixTest, RoundTripDense) {
+  Rng rng(1);
+  Matrix dense(37, 53);  // ragged against tile 16
+  dense.randomize(rng);
+  const TiledMatrix tiled = TiledMatrix::from_dense(dense, 16);
+  EXPECT_EQ(tiled.row_tiles(), 3u);
+  EXPECT_EQ(tiled.col_tiles(), 4u);
+  EXPECT_EQ(tiled.tile_rows(2), 5u);
+  EXPECT_EQ(tiled.tile_cols(3), 5u);
+  const Matrix back = tiled.to_dense();
+  EXPECT_LT(blas::max_abs_diff(back.view(), dense.view()), 1e-15);
+}
+
+TEST(TiledMatrixTest, TilesAreContiguousAndDisjoint) {
+  TiledMatrix t(64, 64, 16);
+  // Successive tiles in column-major tile order pack back to back.
+  EXPECT_EQ(t.tile_ptr(1, 0) - t.tile_ptr(0, 0), 16 * 16);
+  EXPECT_EQ(t.tile_elems(3, 3), 256u);
+  EXPECT_EQ(t.size_bytes(), 64u * 64u * sizeof(double));
+}
+
+TEST(TiledMatrixTest, OutOfRangeTileThrows) {
+  TiledMatrix t(32, 32, 16);
+  EXPECT_THROW((void)t.tile_ptr(2, 0), Error);
+  EXPECT_THROW((void)t.tile_rows(2), Error);
+}
+
+// ---- Panel assignment ---------------------------------------------------------
+
+TEST(AssignPanels, EvenWeightsBalanced) {
+  const auto owner = assign_panels(9, {1.0, 1.0, 1.0});
+  std::vector<int> counts(3, 0);
+  for (const auto d : owner) {
+    ++counts[d];
+  }
+  EXPECT_EQ(counts, (std::vector<int>{3, 3, 3}));
+}
+
+TEST(AssignPanels, WeightedProportional) {
+  // Host twice as fast as each card: it should take ~half the panels.
+  const auto owner = assign_panels(8, {2.0, 1.0, 1.0});
+  std::vector<int> counts(3, 0);
+  for (const auto d : owner) {
+    ++counts[d];
+  }
+  EXPECT_EQ(counts[0], 4);
+  EXPECT_EQ(counts[1], 2);
+  EXPECT_EQ(counts[2], 2);
+}
+
+TEST(AssignPanels, InterleavesOwners) {
+  const auto owner = assign_panels(6, {1.0, 1.0});
+  EXPECT_EQ(owner, (std::vector<std::size_t>{0, 1, 0, 1, 0, 1}));
+}
+
+TEST(AssignPanels, ZeroWeightGuard) {
+  EXPECT_THROW((void)assign_panels(4, {}), Error);
+  EXPECT_THROW((void)assign_panels(4, {0.0, 0.0}), Error);
+}
+
+// ---- Matmul correctness over backends/configs ---------------------------------
+
+struct MatmulCase {
+  Backend backend;
+  std::size_t cards;
+  std::size_t host_streams;
+  std::size_t n;
+  std::size_t tile;
+  bool load_balance;
+};
+
+class MatmulParam : public ::testing::TestWithParam<MatmulCase> {};
+
+TEST_P(MatmulParam, ComputesCorrectProduct) {
+  const auto& p = GetParam();
+  auto rt = make_runtime(p.backend, p.cards);
+
+  Rng rng(77);
+  Matrix da(p.n, p.n);
+  Matrix db(p.n, p.n);
+  da.randomize(rng);
+  db.randomize(rng);
+  TiledMatrix a = TiledMatrix::from_dense(da, p.tile);
+  TiledMatrix b = TiledMatrix::from_dense(db, p.tile);
+  TiledMatrix c = TiledMatrix::square(p.n, p.tile);
+
+  MatmulConfig config;
+  config.streams_per_device = 2;
+  config.host_streams = p.host_streams;
+  if (p.load_balance) {
+    config.domain_weights.assign(p.cards + (p.host_streams > 0 ? 1 : 0), 1.0);
+    config.domain_weights.back() = 2.0;
+  }
+  const MatmulStats stats = run_matmul(*rt, config, a, b, c);
+  EXPECT_GT(stats.gflops, 0.0);
+
+  const Matrix expected = blas::ref::multiply(da, db);
+  EXPECT_LT(blas::max_abs_diff(c.to_dense().view(), expected.view()),
+            1e-9 * static_cast<double>(p.n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, MatmulParam,
+    ::testing::Values(
+        MatmulCase{Backend::threaded, 1, 0, 64, 16, false},
+        MatmulCase{Backend::threaded, 1, 1, 64, 16, false},
+        MatmulCase{Backend::threaded, 2, 2, 96, 32, false},
+        MatmulCase{Backend::threaded, 2, 1, 80, 16, true},  // ragged 80/16=5
+        MatmulCase{Backend::threaded, 0, 2, 64, 16, false}, // host only
+        MatmulCase{Backend::simulated, 1, 0, 64, 16, false},
+        MatmulCase{Backend::simulated, 2, 2, 96, 32, false},
+        MatmulCase{Backend::simulated, 2, 1, 72, 16, true},
+        MatmulCase{Backend::simulated, 0, 1, 48, 16, false}));
+
+TEST(Matmul, RectangularShapes) {
+  auto rt = make_runtime(Backend::threaded, 1);
+  Rng rng(5);
+  Matrix da(48, 32);
+  Matrix db(32, 64);
+  da.randomize(rng);
+  db.randomize(rng);
+  TiledMatrix a = TiledMatrix::from_dense(da, 16);
+  TiledMatrix b = TiledMatrix::from_dense(db, 16);
+  TiledMatrix c(48, 64, 16);
+  (void)run_matmul(*rt, MatmulConfig{.streams_per_device = 2}, a, b, c);
+  const Matrix expected = blas::ref::multiply(da, db);
+  EXPECT_LT(blas::max_abs_diff(c.to_dense().view(), expected.view()), 1e-10);
+}
+
+TEST(Matmul, MismatchedTilesRejected) {
+  auto rt = make_runtime(Backend::threaded, 1);
+  TiledMatrix a(32, 32, 16);
+  TiledMatrix b(32, 32, 8);
+  TiledMatrix c(32, 32, 16);
+  EXPECT_THROW((void)run_matmul(*rt, MatmulConfig{}, a, b, c), Error);
+}
+
+// ---- Cholesky correctness ------------------------------------------------------
+
+struct CholCase {
+  Backend backend;
+  std::size_t cards;
+  std::size_t host_streams;
+  std::size_t n;
+  std::size_t tile;
+  bool bulk_sync;
+};
+
+class CholeskyParam : public ::testing::TestWithParam<CholCase> {};
+
+TEST_P(CholeskyParam, FactorReconstructs) {
+  const auto& p = GetParam();
+  auto rt = make_runtime(p.backend, p.cards);
+
+  Rng rng(42);
+  Matrix dense(p.n, p.n);
+  dense.make_spd(rng);
+  const Matrix original = dense;
+  TiledMatrix a = TiledMatrix::from_dense(dense, p.tile);
+
+  CholeskyConfig config;
+  config.streams_per_device = 2;
+  config.host_streams = p.host_streams;
+  config.bulk_synchronous = p.bulk_sync;
+  const CholeskyStats stats = run_cholesky(*rt, config, a);
+  EXPECT_GT(stats.gflops, 0.0);
+
+  // Reconstruct L * L^T from the factored lower triangle.
+  const Matrix factored = a.to_dense();
+  const Matrix recon = blas::ref::reconstruct_llt(factored.view());
+  EXPECT_LT(blas::max_abs_diff(recon.view(), original.view()),
+            1e-8 * static_cast<double>(p.n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, CholeskyParam,
+    ::testing::Values(
+        CholCase{Backend::threaded, 1, 2, 64, 16, false},
+        CholCase{Backend::threaded, 1, 0, 64, 16, false},  // pure offload
+        CholCase{Backend::threaded, 2, 2, 96, 32, false},
+        CholCase{Backend::threaded, 2, 1, 80, 16, false},  // ragged
+        CholCase{Backend::threaded, 0, 2, 64, 16, false},  // host only
+        CholCase{Backend::threaded, 1, 1, 64, 16, true},   // bulk sync
+        CholCase{Backend::simulated, 1, 2, 64, 16, false},
+        CholCase{Backend::simulated, 1, 0, 64, 16, false},
+        CholCase{Backend::simulated, 2, 2, 96, 32, false},
+        CholCase{Backend::simulated, 2, 2, 80, 16, true}));
+
+TEST(Cholesky, SingleTileDegenerates) {
+  auto rt = make_runtime(Backend::threaded, 1);
+  Rng rng(9);
+  Matrix dense(16, 16);
+  dense.make_spd(rng);
+  const Matrix original = dense;
+  TiledMatrix a = TiledMatrix::from_dense(dense, 16);
+  (void)run_cholesky(*rt, CholeskyConfig{.streams_per_device = 1}, a);
+  const Matrix recon = blas::ref::reconstruct_llt(a.to_dense().view());
+  EXPECT_LT(blas::max_abs_diff(recon.view(), original.view()), 1e-10);
+}
+
+TEST(Cholesky, NonSquareRejected) {
+  auto rt = make_runtime(Backend::threaded, 1);
+  TiledMatrix a(32, 48, 16);
+  EXPECT_THROW((void)run_cholesky(*rt, CholeskyConfig{}, a), Error);
+}
+
+// ---- Performance-shape sanity in virtual time ------------------------------------
+
+TEST(SimShape, TwoCardsBeatOneCardMatmul) {
+  // Pure offload: 2 KNCs should clearly outrun 1 KNC on a compute-heavy
+  // multiply in virtual time.
+  double gf[3] = {0, 0, 0};
+  for (const std::size_t cards : {1u, 2u}) {
+    auto rt = make_runtime(Backend::simulated, cards);
+    TiledMatrix a = TiledMatrix::square(256, 64);
+    TiledMatrix b = TiledMatrix::square(256, 64);
+    TiledMatrix c = TiledMatrix::square(256, 64);
+    const auto stats =
+        run_matmul(*rt, MatmulConfig{.streams_per_device = 2}, a, b, c);
+    gf[cards] = stats.gflops;
+  }
+  EXPECT_GT(gf[2], 1.4 * gf[1]);
+}
+
+TEST(SimShape, PipelinedBeatsBulkSynchronousCholesky) {
+  double async_s = 0.0;
+  double sync_s = 0.0;
+  for (const bool bulk : {false, true}) {
+    auto rt = make_runtime(Backend::simulated, 2);
+    Rng rng(4);
+    Matrix dense(256, 256);
+    dense.make_spd(rng);
+    TiledMatrix a = TiledMatrix::from_dense(dense, 64);
+    CholeskyConfig config;
+    config.streams_per_device = 2;
+    config.host_streams = 2;
+    config.bulk_synchronous = bulk;
+    const auto stats = run_cholesky(*rt, config, a);
+    (bulk ? sync_s : async_s) = stats.seconds;
+  }
+  EXPECT_LT(async_s, sync_s);
+}
+
+}  // namespace
+}  // namespace hs::apps

@@ -1,0 +1,150 @@
+// Application-level variation tests: weighted ownership, workload
+// spread, kernel-tuning sensitivity, and configuration validation that
+// the main app suites do not cover.
+
+#include <gtest/gtest.h>
+
+#include "apps/abaqus.hpp"
+#include "apps/cholesky.hpp"
+#include "apps/matmul.hpp"
+#include "apps/rtm.hpp"
+#include "core/threaded_executor.hpp"
+#include "hsblas/reference.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace hs::apps {
+namespace {
+
+using blas::Matrix;
+
+std::unique_ptr<Runtime> sim_runtime(const sim::SimPlatform& platform,
+                                     bool payloads = false) {
+  RuntimeConfig config;
+  config.platform = platform.desc;
+  config.device_link = platform.link;
+  return std::make_unique<Runtime>(
+      config, std::make_unique<sim::SimExecutor>(platform, payloads));
+}
+
+TEST(MatmulVariations, WeightCountMustMatchDomains) {
+  auto rt = sim_runtime(sim::hsw_plus_knc(2));
+  TiledMatrix a = TiledMatrix::phantom(640, 64);
+  TiledMatrix b = TiledMatrix::phantom(640, 64);
+  TiledMatrix c = TiledMatrix::phantom(640, 64);
+  MatmulConfig config;
+  config.host_streams = 2;
+  config.domain_weights = {1.0, 1.0};  // 3 domains compute, 2 weights
+  EXPECT_THROW((void)run_matmul(*rt, config, a, b, c), Error);
+}
+
+TEST(MatmulVariations, StatsCountPanelPlacement) {
+  auto rt = sim_runtime(sim::hsw_plus_knc(1));
+  TiledMatrix a = TiledMatrix::phantom(600, 60);  // 10 panels
+  TiledMatrix b = TiledMatrix::phantom(600, 60);
+  TiledMatrix c = TiledMatrix::phantom(600, 60);
+  MatmulConfig config;
+  config.host_streams = 2;
+  config.domain_weights = {3.0, 2.0};  // 6 host panels, 4 card panels
+  const MatmulStats stats = run_matmul(*rt, config, a, b, c);
+  EXPECT_EQ(stats.panels_host, 6u);
+  EXPECT_EQ(stats.panels_cards, 4u);
+}
+
+TEST(CholeskyVariations, WeightedRowOwnershipCorrect) {
+  // Numerical check with skewed row ownership (host-heavy).
+  RuntimeConfig config;
+  config.platform = PlatformDesc::host_plus_cards(4, 1, 8);
+  Runtime rt(config, std::make_unique<ThreadedExecutor>());
+  Rng rng(21);
+  Matrix dense(96, 96);
+  dense.make_spd(rng);
+  const Matrix original = dense;
+  TiledMatrix a = TiledMatrix::from_dense(dense, 16);
+  CholeskyConfig chol;
+  chol.streams_per_device = 2;
+  chol.host_streams = 2;
+  chol.domain_weights = {3.0, 1.0};
+  const CholeskyStats stats = run_cholesky(rt, chol, a);
+  EXPECT_GT(stats.rows_host, stats.rows_cards);
+  const Matrix recon = blas::ref::reconstruct_llt(a.to_dense().view());
+  EXPECT_LT(blas::max_abs_diff(recon.view(), original.view()), 1e-9 * 96);
+}
+
+TEST(AbaqusVariations, SolverDominanceDrivesAppSpeedupSpread) {
+  // Two synthetic workloads that differ only in solver fraction: the
+  // solver-dominant one converts more of its solver speedup into app
+  // speedup (the Fig 8 spread mechanism).
+  auto speedups = [](double fraction) {
+    AbaqusWorkload w{.name = "x", .seed = 3, .supernodes = 6,
+                     .min_n = 3072, .max_n = 4608,
+                     .solver_fraction = fraction};
+    double solver[2];
+    for (const bool cards : {false, true}) {
+      auto rt = sim_runtime(sim::hsw_plus_knc(2));
+      AbaqusConfig config;
+      config.use_cards = cards;
+      config.tile = 512;
+      solver[cards ? 1 : 0] = run_abaqus_solver(*rt, w, config).solver_seconds;
+    }
+    const double app_base = app_seconds(w, solver[0], solver[0]);
+    const double app_mic = app_seconds(w, solver[0], solver[1]);
+    return app_base / app_mic;
+  };
+  const double dominant = speedups(0.9);
+  const double diluted = speedups(0.4);
+  EXPECT_GT(dominant, diluted);
+  EXPECT_GT(dominant, 1.35);
+  EXPECT_LT(diluted, 1.35);
+}
+
+TEST(AbaqusVariations, WorkloadsAreDistinct) {
+  // Different seeds/ranges must generate different supernode sequences.
+  const auto workloads = abaqus_workloads();
+  const auto s0 = supernode_sizes(workloads[0]);
+  const auto s1 = supernode_sizes(workloads[1]);
+  EXPECT_NE(s0, s1);
+}
+
+TEST(RtmVariations, NaiveKernelSlowerEverywhereButWorseOnKnc) {
+  auto run = [](RtmScheme scheme, bool optimized) {
+    auto rt = sim_runtime(sim::hsw_plus_knc(1));
+    RtmConfig config;
+    config.nx = 200;
+    config.ny = 200;
+    config.nz = 96;
+    config.steps = 8;
+    config.ranks = 1;
+    config.scheme = scheme;
+    config.optimized_kernel = optimized;
+    return run_rtm(*rt, config).seconds;
+  };
+  const double host_opt = run(RtmScheme::host_only, true);
+  const double host_naive = run(RtmScheme::host_only, false);
+  const double card_opt = run(RtmScheme::pipelined, true);
+  const double card_naive = run(RtmScheme::pipelined, false);
+  EXPECT_GT(host_naive, host_opt);
+  EXPECT_GT(card_naive, card_opt);
+  // §VI: tuning benefits KNC significantly more.
+  EXPECT_GT(card_naive / card_opt, host_naive / host_opt);
+}
+
+TEST(RtmVariations, MorePipelineRanksScaleOnMoreCards) {
+  auto run = [](std::size_t ranks) {
+    auto rt = sim_runtime(sim::hsw_plus_knc(ranks));
+    RtmConfig config;
+    config.nx = 200;
+    config.ny = 200;
+    config.nz = 64 * ranks;  // weak scaling
+    config.steps = 8;
+    config.ranks = ranks;
+    config.scheme = RtmScheme::pipelined;
+    return run_rtm(*rt, config).mpoints_per_s;
+  };
+  const double one = run(1);
+  const double three = run(3);
+  EXPECT_GT(three, 2.0 * one);  // weak scaling across cards
+}
+
+}  // namespace
+}  // namespace hs::apps

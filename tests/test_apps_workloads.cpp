@@ -1,0 +1,316 @@
+// Integration tests for the supernode LDL^T (Fig 9), the Abaqus solver
+// model (Fig 8), and the RTM stencil pipeline (§V/§VI).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/abaqus.hpp"
+#include "apps/rtm.hpp"
+#include "apps/supernode.hpp"
+#include "core/threaded_executor.hpp"
+#include "hsblas/reference.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace hs::apps {
+namespace {
+
+using blas::Matrix;
+
+std::unique_ptr<Runtime> threaded_runtime(std::size_t cards) {
+  RuntimeConfig config;
+  config.platform = PlatformDesc::host_plus_cards(4, cards, 8);
+  return std::make_unique<Runtime>(config,
+                                   std::make_unique<ThreadedExecutor>());
+}
+
+std::unique_ptr<Runtime> sim_runtime(const sim::SimPlatform& platform,
+                                     bool execute_payloads = true) {
+  RuntimeConfig config;
+  config.platform = platform.desc;
+  config.device_link = platform.link;
+  return std::make_unique<Runtime>(
+      config, std::make_unique<sim::SimExecutor>(platform, execute_payloads));
+}
+
+// ---- LDLT tile kernels --------------------------------------------------------
+
+TEST(LdltKernels, TrsmRightSolves) {
+  Rng rng(3);
+  Matrix f(8, 8);
+  f.make_spd(rng);
+  ASSERT_EQ(blas::ldlt_lower(f.view()), 0);
+  Matrix b(5, 8);
+  b.randomize(rng);
+  const Matrix b0 = b;
+  blas::ldlt_trsm_right(f.view(), b.view());
+  // Verify B_original == B_solved * (D L^T), i.e. the solve inverted
+  // the right-multiplication by L^T D... column j of B0 must equal
+  // sum_p b(i,p) * d(p) * L(j,p) over p <= j (L unit-lower).
+  for (std::size_t j = 0; j < 8; ++j) {
+    for (std::size_t i = 0; i < 5; ++i) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p <= j; ++p) {
+        const double l_jp = j == p ? 1.0 : f(j, p);
+        acc += b(i, p) * f(p, p) * l_jp;
+      }
+      EXPECT_NEAR(acc, b0(i, j), 1e-9);
+    }
+  }
+}
+
+TEST(LdltKernels, UpdateMatchesDefinition) {
+  Rng rng(5);
+  Matrix a(6, 4);
+  Matrix b(5, 4);
+  Matrix f(4, 4);
+  a.randomize(rng);
+  b.randomize(rng);
+  f.make_spd(rng);
+  Matrix c(6, 5);
+  c.randomize(rng);
+  const Matrix c0 = c;
+
+  blas::ldlt_update(a.view(), f.view(), b.view(), c.view());
+  for (std::size_t j = 0; j < 5; ++j) {
+    for (std::size_t i = 0; i < 6; ++i) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < 4; ++p) {
+        acc += a(i, p) * f(p, p) * b(j, p);
+      }
+      EXPECT_NEAR(c(i, j), c0(i, j) - acc, 1e-10);
+    }
+  }
+}
+
+// ---- Supernode factorization ------------------------------------------------------
+
+struct SupernodeCase {
+  bool simulated;
+  bool offload;
+  std::size_t n;
+  std::size_t tile;
+  std::size_t streams;
+};
+
+class SupernodeParam : public ::testing::TestWithParam<SupernodeCase> {};
+
+TEST_P(SupernodeParam, FactorsCorrectly) {
+  const auto& p = GetParam();
+  auto rt = p.simulated ? sim_runtime(sim::hsw_plus_knc(1))
+                        : threaded_runtime(1);
+  Rng rng(11);
+  Matrix dense(p.n, p.n);
+  dense.make_spd(rng);
+  const Matrix original = dense;
+  TiledMatrix a = TiledMatrix::from_dense(dense, p.tile);
+
+  SupernodeConfig config;
+  config.target = p.offload ? DomainId{1} : kHostDomain;
+  config.streams = p.streams;
+  const SupernodeStats stats = factor_supernode(*rt, config, a);
+  EXPECT_GT(stats.gflops, 0.0);
+
+  const Matrix recon = blas::ref::reconstruct_ldlt(a.to_dense().view());
+  EXPECT_LT(blas::max_abs_diff(recon.view(), original.view()),
+            1e-8 * static_cast<double>(p.n));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SupernodeParam,
+    ::testing::Values(SupernodeCase{false, false, 64, 16, 2},
+                      SupernodeCase{false, true, 64, 16, 2},
+                      SupernodeCase{false, true, 96, 32, 3},
+                      SupernodeCase{false, false, 80, 16, 1},  // ragged
+                      SupernodeCase{true, true, 64, 16, 4},
+                      SupernodeCase{true, false, 96, 32, 3}));
+
+TEST(Supernode, Fig9StreamConfigRuns) {
+  // The paper's KNC configuration: 4 streams x 60 threads.
+  auto rt = sim_runtime(sim::hsw_plus_knc(1), /*execute_payloads=*/false);
+  TiledMatrix a = TiledMatrix::square(1024, 256);
+  SupernodeConfig config;
+  config.target = DomainId{1};
+  config.streams = 4;
+  config.threads_per_stream = 60;
+  const SupernodeStats stats = factor_supernode(*rt, config, a);
+  EXPECT_GT(stats.seconds, 0.0);
+}
+
+TEST(Supernode, BadStreamConfigRejected) {
+  auto rt = threaded_runtime(1);
+  TiledMatrix a = TiledMatrix::square(32, 16);
+  SupernodeConfig config;
+  config.target = DomainId{1};
+  config.streams = 3;
+  config.threads_per_stream = 4;  // 12 > 8 threads
+  EXPECT_THROW((void)factor_supernode(*rt, config, a), Error);
+}
+
+// ---- Abaqus workload model ---------------------------------------------------------
+
+TEST(Abaqus, EightWorkloadsWithDistinctShapes) {
+  const auto workloads = abaqus_workloads();
+  ASSERT_EQ(workloads.size(), 8u);
+  std::set<std::string> names;
+  for (const auto& w : workloads) {
+    names.insert(w.name);
+    EXPECT_GT(w.solver_fraction, 0.0);
+    EXPECT_LT(w.solver_fraction, 1.0);
+    EXPECT_GE(w.max_n, w.min_n);
+  }
+  EXPECT_EQ(names.size(), 8u);  // distinct labels
+}
+
+TEST(Abaqus, SupernodeSizesDeterministic) {
+  const auto w = abaqus_workloads().front();
+  const auto s1 = supernode_sizes(w);
+  const auto s2 = supernode_sizes(w);
+  EXPECT_EQ(s1, s2);
+  EXPECT_EQ(s1.size(), w.supernodes);
+  for (const auto n : s1) {
+    EXPECT_EQ(n % 128, 0u);
+    EXPECT_GE(n + 64, w.min_n);
+    EXPECT_LE(n, w.max_n + 64);
+  }
+}
+
+TEST(Abaqus, CardsAccelerateSolver) {
+  // Virtual-time check of the Fig 8 mechanism: host+2KNC beats host-only.
+  AbaqusWorkload tiny{.name = "test", .seed = 7, .supernodes = 6,
+                      .min_n = 2048, .max_n = 4096, .solver_fraction = 0.8};
+  double host_s = 0.0;
+  double hetero_s = 0.0;
+  for (const bool use_cards : {false, true}) {
+    auto rt = sim_runtime(sim::hsw_plus_knc(2), /*execute_payloads=*/false);
+    AbaqusConfig config;
+    config.use_cards = use_cards;
+    config.tile = 512;
+    const auto stats = run_abaqus_solver(*rt, tiny, config);
+    (use_cards ? hetero_s : host_s) = stats.solver_seconds;
+    if (use_cards) {
+      EXPECT_GT(stats.supernodes_on_cards, 0u);
+    } else {
+      EXPECT_EQ(stats.supernodes_on_cards, 0u);
+    }
+  }
+  EXPECT_LT(hetero_s, host_s);
+}
+
+TEST(Abaqus, AppSecondsDilutesSolverSpeedup) {
+  AbaqusWorkload w{.name = "x", .solver_fraction = 0.5};
+  // Solver twice as fast, but only half the app is solver: app speedup
+  // must be 1.33x, not 2x.
+  const double base_solver = 10.0;
+  const double app_base = app_seconds(w, base_solver, base_solver);
+  const double app_fast = app_seconds(w, base_solver, base_solver / 2.0);
+  EXPECT_NEAR(app_base / app_fast, 4.0 / 3.0, 1e-12);
+}
+
+// ---- RTM -------------------------------------------------------------------------
+
+TEST(Rtm, SchemesProduceIdenticalFields) {
+  // host_only (1 rank), host_only (2 ranks), sync_offload and pipelined
+  // (2 ranks, 2 cards) must agree bit-for-bit: the decomposition and the
+  // overlap machinery may not change the numerics.
+  RtmConfig base;
+  base.nx = 12;
+  base.ny = 10;
+  base.nz = 32;
+  base.steps = 3;
+
+  std::vector<double> reference;
+  {
+    auto rt = threaded_runtime(0);
+    RtmConfig c = base;
+    c.ranks = 1;
+    c.scheme = RtmScheme::host_only;
+    (void)run_rtm(*rt, c, &reference);
+  }
+  ASSERT_FALSE(reference.empty());
+  double energy = 0.0;
+  for (const double v : reference) {
+    energy += v * v;
+  }
+  EXPECT_GT(energy, 0.0);  // the pulse propagated, not a zero field
+
+  struct Case {
+    std::size_t ranks;
+    RtmScheme scheme;
+    bool simulated;
+  };
+  const Case cases[] = {
+      {2, RtmScheme::host_only, false},
+      {2, RtmScheme::sync_offload, false},
+      {2, RtmScheme::pipelined, false},
+      {4, RtmScheme::pipelined, false},
+      {2, RtmScheme::pipelined, true},
+      {2, RtmScheme::sync_offload, true},
+  };
+  for (const auto& c : cases) {
+    auto rt = c.simulated
+                  ? sim_runtime(sim::hsw_plus_knc(2))
+                  : threaded_runtime(2);
+    RtmConfig cfg = base;
+    cfg.ranks = c.ranks;
+    cfg.scheme = c.scheme;
+    std::vector<double> field;
+    (void)run_rtm(*rt, cfg, &field);
+    ASSERT_EQ(field.size(), reference.size());
+    for (std::size_t i = 0; i < field.size(); ++i) {
+      ASSERT_EQ(field[i], reference[i])
+          << "ranks=" << c.ranks << " scheme=" << static_cast<int>(c.scheme)
+          << " sim=" << c.simulated << " at " << i;
+    }
+  }
+}
+
+TEST(Rtm, PipelinedFasterThanSyncInVirtualTime) {
+  double pipelined_s = 0.0;
+  double sync_s = 0.0;
+  for (const RtmScheme scheme :
+       {RtmScheme::pipelined, RtmScheme::sync_offload}) {
+    auto rt = sim_runtime(sim::hsw_plus_knc(2), /*execute_payloads=*/false);
+    RtmConfig cfg;
+    cfg.nx = 128;
+    cfg.ny = 128;
+    cfg.nz = 128;
+    cfg.steps = 6;
+    cfg.ranks = 2;
+    cfg.scheme = scheme;
+    const auto stats = run_rtm(*rt, cfg);
+    (scheme == RtmScheme::pipelined ? pipelined_s : sync_s) = stats.seconds;
+  }
+  EXPECT_LT(pipelined_s, sync_s);
+}
+
+TEST(Rtm, InvalidConfigsRejected) {
+  auto rt = threaded_runtime(1);
+  RtmConfig cfg;
+  cfg.nz = 30;
+  cfg.ranks = 4;  // 30 % 4 != 0
+  EXPECT_THROW((void)run_rtm(*rt, cfg), Error);
+  cfg.nz = 32;
+  cfg.ranks = 8;  // nzl = 4 < 2*kH
+  EXPECT_THROW((void)run_rtm(*rt, cfg), Error);
+}
+
+TEST(Rtm, HostOnlyNeedsNoCards) {
+  auto rt = threaded_runtime(0);
+  RtmConfig cfg;
+  cfg.nx = 8;
+  cfg.ny = 8;
+  cfg.nz = 16;
+  cfg.ranks = 2;
+  cfg.steps = 2;
+  cfg.scheme = RtmScheme::host_only;
+  const auto stats = run_rtm(*rt, cfg);
+  EXPECT_GT(stats.mpoints_per_s, 0.0);
+  // Offload without cards must be rejected.
+  cfg.scheme = RtmScheme::pipelined;
+  EXPECT_THROW((void)run_rtm(*rt, cfg), Error);
+}
+
+}  // namespace
+}  // namespace hs::apps

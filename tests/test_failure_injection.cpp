@@ -1,0 +1,151 @@
+// Failure-injection tests: throwing task bodies must not crash worker
+// threads or wedge the simulator; the error surfaces at the caller's
+// next synchronization point, and the runtime keeps working afterwards.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/runtime.hpp"
+#include "core/threaded_executor.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace hs {
+namespace {
+
+struct TaskBoom : std::runtime_error {
+  TaskBoom() : std::runtime_error("task exploded") {}
+};
+
+std::unique_ptr<Runtime> make_runtime(bool simulated) {
+  RuntimeConfig config;
+  if (simulated) {
+    const sim::SimPlatform platform = sim::hsw_plus_knc(1);
+    config.platform = platform.desc;
+    return std::make_unique<Runtime>(
+        config, std::make_unique<sim::SimExecutor>(platform, true));
+  }
+  config.platform = PlatformDesc::host_plus_cards(4, 1, 4);
+  return std::make_unique<Runtime>(config,
+                                   std::make_unique<ThreadedExecutor>());
+}
+
+class FailureInjection : public ::testing::TestWithParam<bool> {};
+
+TEST_P(FailureInjection, ThrowingTaskSurfacesAtSynchronize) {
+  auto rt = make_runtime(GetParam());
+  std::vector<double> x(64, 0.0);
+  const BufferId id = rt->buffer_create(x.data(), 64 * sizeof(double));
+  rt->buffer_instantiate(id, DomainId{1});
+  const StreamId s = rt->stream_create(DomainId{1}, CpuMask::first_n(2));
+
+  ComputePayload bomb;
+  bomb.kernel = "bomb";
+  bomb.body = [](TaskContext&) { throw TaskBoom{}; };
+  const OperandRef ops[] = {{x.data(), 64 * sizeof(double), Access::inout}};
+  (void)rt->enqueue_compute(s, std::move(bomb), ops);
+  EXPECT_THROW(rt->synchronize(), TaskBoom);
+  EXPECT_EQ(rt->stats().actions_failed, 1u);
+  // The error is reported exactly once.
+  EXPECT_FALSE(rt->has_pending_error());
+  rt->synchronize();
+}
+
+TEST_P(FailureInjection, SuccessorsStillRunAfterAFailure) {
+  auto rt = make_runtime(GetParam());
+  std::vector<double> x(64, 0.0);
+  const BufferId id = rt->buffer_create(x.data(), 64 * sizeof(double));
+  rt->buffer_instantiate(id, DomainId{1});
+  const StreamId s = rt->stream_create(DomainId{1}, CpuMask::first_n(2));
+  const OperandRef ops[] = {{x.data(), 64 * sizeof(double), Access::inout}};
+
+  ComputePayload bomb;
+  bomb.kernel = "bomb";
+  bomb.body = [](TaskContext&) { throw TaskBoom{}; };
+  (void)rt->enqueue_compute(s, std::move(bomb), ops);
+
+  std::atomic<bool> successor_ran{false};
+  ComputePayload after;
+  after.body = [&successor_ran](TaskContext&) { successor_ran.store(true); };
+  (void)rt->enqueue_compute(s, std::move(after), ops);
+
+  EXPECT_THROW(rt->synchronize(), TaskBoom);
+  EXPECT_TRUE(successor_ran.load());
+}
+
+TEST_P(FailureInjection, OnlyFirstErrorIsKept) {
+  auto rt = make_runtime(GetParam());
+  std::vector<double> x(64, 0.0);
+  const BufferId id = rt->buffer_create(x.data(), 64 * sizeof(double));
+  rt->buffer_instantiate(id, DomainId{1});
+  const StreamId s = rt->stream_create(DomainId{1}, CpuMask::first_n(2));
+  const OperandRef ops[] = {{x.data(), 64 * sizeof(double), Access::inout}};
+
+  for (int i = 0; i < 3; ++i) {
+    ComputePayload bomb;
+    bomb.body = [i](TaskContext&) {
+      throw std::runtime_error("bomb #" + std::to_string(i));
+    };
+    (void)rt->enqueue_compute(s, std::move(bomb), ops);
+  }
+  try {
+    rt->synchronize();
+    FAIL() << "expected a sink error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "bomb #0");
+  }
+  EXPECT_EQ(rt->stats().actions_failed, 3u);
+}
+
+TEST_P(FailureInjection, RuntimeStaysUsableAfterError) {
+  auto rt = make_runtime(GetParam());
+  std::vector<double> x(64, 1.0);
+  const BufferId id = rt->buffer_create(x.data(), 64 * sizeof(double));
+  rt->buffer_instantiate(id, DomainId{1});
+  const StreamId s = rt->stream_create(DomainId{1}, CpuMask::first_n(2));
+  const OperandRef ops[] = {{x.data(), 64 * sizeof(double), Access::inout}};
+
+  ComputePayload bomb;
+  bomb.body = [](TaskContext&) { throw TaskBoom{}; };
+  (void)rt->enqueue_compute(s, std::move(bomb), ops);
+  EXPECT_THROW(rt->synchronize(), TaskBoom);
+
+  // Business as usual afterwards.
+  (void)rt->enqueue_transfer(s, x.data(), 64 * sizeof(double),
+                             XferDir::src_to_sink);
+  ComputePayload work;
+  work.body = [&x](TaskContext& ctx) {
+    double* local = ctx.translate(x.data(), 64);
+    for (int i = 0; i < 64; ++i) {
+      local[i] *= 2.0;
+    }
+  };
+  (void)rt->enqueue_compute(s, std::move(work), ops);
+  (void)rt->enqueue_transfer(s, x.data(), 64 * sizeof(double),
+                             XferDir::sink_to_src);
+  rt->synchronize();
+  EXPECT_DOUBLE_EQ(x[10], 2.0);
+}
+
+TEST_P(FailureInjection, StreamSynchronizeAlsoReports) {
+  auto rt = make_runtime(GetParam());
+  std::vector<double> x(8, 0.0);
+  (void)rt->buffer_create(x.data(), 8 * sizeof(double));
+  const StreamId s = rt->stream_create(kHostDomain, CpuMask::first_n(1));
+  ComputePayload bomb;
+  bomb.body = [](TaskContext&) { throw TaskBoom{}; };
+  const OperandRef ops[] = {{x.data(), 8 * sizeof(double), Access::inout}};
+  (void)rt->enqueue_compute(s, std::move(bomb), ops);
+  EXPECT_THROW(rt->stream_synchronize(s), TaskBoom);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, FailureInjection,
+                         ::testing::Values(false, true),
+                         [](const auto& param_info) {
+                           return param_info.param ? std::string("Simulated")
+                                                   : std::string("Threaded");
+                         });
+
+}  // namespace
+}  // namespace hs

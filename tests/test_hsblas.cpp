@@ -1,0 +1,299 @@
+// Unit + property tests for src/hsblas: blocked kernels vs naive
+// references, factor-and-reconstruct round trips.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "hsblas/kernels.hpp"
+#include "hsblas/matrix.hpp"
+#include "hsblas/reference.hpp"
+
+namespace hs::blas {
+namespace {
+
+constexpr double kTol = 1e-9;
+
+Matrix random_matrix(std::size_t r, std::size_t c, std::uint64_t seed) {
+  Matrix m(r, c);
+  Rng rng(seed);
+  m.randomize(rng);
+  return m;
+}
+
+TEST(Matrix, ColumnMajorLayout) {
+  Matrix m(3, 2);
+  m(2, 1) = 7.0;
+  EXPECT_DOUBLE_EQ(m.data()[1 * 3 + 2], 7.0);
+}
+
+TEST(Matrix, TileViewsAliasParent) {
+  Matrix m(8, 8);
+  auto t = m.tile(2, 4, 3, 3);
+  t(0, 0) = 5.0;
+  EXPECT_DOUBLE_EQ(m(2, 4), 5.0);
+  EXPECT_EQ(t.ld, 8u);
+}
+
+TEST(Matrix, TileOutOfBoundsThrows) {
+  Matrix m(4, 4);
+  EXPECT_THROW((void)m.tile(2, 2, 3, 1), Error);
+}
+
+TEST(Matrix, MakeSpdIsSymmetric) {
+  Matrix m(16, 16);
+  Rng rng(3);
+  m.make_spd(rng);
+  for (std::size_t j = 0; j < 16; ++j) {
+    for (std::size_t i = 0; i < 16; ++i) {
+      EXPECT_DOUBLE_EQ(m(i, j), m(j, i));
+    }
+  }
+}
+
+// ---- GEMM vs reference over a sweep of shapes and transpose modes -------
+
+struct GemmCase {
+  std::size_t m, n, k;
+  Op op_a, op_b;
+  double alpha, beta;
+};
+
+class GemmParam : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmParam, MatchesReference) {
+  const auto& p = GetParam();
+  const std::size_t a_r = p.op_a == Op::none ? p.m : p.k;
+  const std::size_t a_c = p.op_a == Op::none ? p.k : p.m;
+  const std::size_t b_r = p.op_b == Op::none ? p.k : p.n;
+  const std::size_t b_c = p.op_b == Op::none ? p.n : p.k;
+  const Matrix a = random_matrix(a_r, a_c, 1);
+  const Matrix b = random_matrix(b_r, b_c, 2);
+  Matrix c = random_matrix(p.m, p.n, 3);
+  Matrix c_ref = c;
+
+  gemm(p.op_a, p.op_b, p.alpha, a.view(), b.view(), p.beta, c.view());
+  ref::gemm(p.op_a, p.op_b, p.alpha, a.view(), b.view(), p.beta, c_ref.view());
+  EXPECT_LT(max_abs_diff(c.view(), c_ref.view()), kTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmParam,
+    ::testing::Values(
+        GemmCase{1, 1, 1, Op::none, Op::none, 1.0, 0.0},
+        GemmCase{5, 7, 3, Op::none, Op::none, 1.0, 0.0},
+        GemmCase{64, 64, 64, Op::none, Op::none, 1.0, 1.0},
+        GemmCase{65, 63, 67, Op::none, Op::none, -0.5, 2.0},
+        GemmCase{100, 1, 100, Op::none, Op::none, 1.0, 0.0},
+        GemmCase{33, 17, 29, Op::transpose, Op::none, 1.0, 0.0},
+        GemmCase{33, 17, 29, Op::none, Op::transpose, 1.0, -1.0},
+        GemmCase{33, 17, 29, Op::transpose, Op::transpose, 2.0, 0.5},
+        GemmCase{128, 96, 80, Op::none, Op::transpose, -1.0, 1.0}));
+
+TEST(Gemm, AlphaZeroOnlyScales) {
+  const Matrix a = random_matrix(8, 8, 1);
+  const Matrix b = random_matrix(8, 8, 2);
+  Matrix c = random_matrix(8, 8, 3);
+  const Matrix before = c;
+  gemm(Op::none, Op::none, 0.0, a.view(), b.view(), 2.0, c.view());
+  for (std::size_t j = 0; j < 8; ++j) {
+    for (std::size_t i = 0; i < 8; ++i) {
+      EXPECT_DOUBLE_EQ(c(i, j), 2.0 * before(i, j));
+    }
+  }
+}
+
+TEST(Gemm, BetaZeroIgnoresGarbage) {
+  const Matrix a = random_matrix(4, 4, 1);
+  const Matrix b = random_matrix(4, 4, 2);
+  Matrix c(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    c(i, i) = std::numeric_limits<double>::quiet_NaN();
+  }
+  gemm(Op::none, Op::none, 1.0, a.view(), b.view(), 0.0, c.view());
+  for (std::size_t j = 0; j < 4; ++j) {
+    for (std::size_t i = 0; i < 4; ++i) {
+      EXPECT_FALSE(std::isnan(c(i, j)));
+    }
+  }
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  const Matrix a = random_matrix(4, 5, 1);
+  const Matrix b = random_matrix(4, 4, 2);  // inner dim mismatch
+  Matrix c(4, 4);
+  EXPECT_THROW(
+      gemm(Op::none, Op::none, 1.0, a.view(), b.view(), 0.0, c.view()),
+      Error);
+}
+
+// ---- SYRK ----------------------------------------------------------------
+
+class SyrkParam : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(SyrkParam, LowerMatchesGemm) {
+  const auto [n, k] = GetParam();
+  const auto nn = static_cast<std::size_t>(n);
+  const auto kk = static_cast<std::size_t>(k);
+  const Matrix a = random_matrix(nn, kk, 5);
+  Matrix c = random_matrix(nn, nn, 6);
+  Matrix full = c;
+
+  syrk_lower(1.0, a.view(), 1.0, c.view());
+  ref::gemm(Op::none, Op::transpose, 1.0, a.view(), a.view(), 1.0,
+            full.view());
+  for (std::size_t j = 0; j < nn; ++j) {
+    for (std::size_t i = j; i < nn; ++i) {  // lower triangle only
+      EXPECT_NEAR(c(i, j), full(i, j), kTol);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, SyrkParam,
+                         ::testing::Values(std::pair{1, 1}, std::pair{8, 8},
+                                           std::pair{17, 5}, std::pair{64, 32},
+                                           std::pair{33, 65}));
+
+// ---- TRSM ------------------------------------------------------------------
+
+class TrsmParam : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(TrsmParam, SolvesRightLowerTranspose) {
+  const auto [m, n] = GetParam();
+  const auto mm = static_cast<std::size_t>(m);
+  const auto nn = static_cast<std::size_t>(n);
+  // Build a well-conditioned lower triangle.
+  Matrix l = random_matrix(nn, nn, 7);
+  for (std::size_t j = 0; j < nn; ++j) {
+    for (std::size_t i = 0; i < j; ++i) {
+      l(i, j) = 0.0;
+    }
+    l(j, j) = 2.0 + std::abs(l(j, j));
+  }
+  const Matrix b = random_matrix(mm, nn, 8);
+  Matrix x = b;
+  trsm_right_lower_trans(l.view(), x.view());
+
+  // Check X * L^T == B.
+  Matrix recon(mm, nn);
+  ref::gemm(Op::none, Op::transpose, 1.0, x.view(), l.view(), 0.0,
+            recon.view());
+  EXPECT_LT(max_abs_diff(recon.view(), b.view()), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, TrsmParam,
+                         ::testing::Values(std::pair{1, 1}, std::pair{8, 4},
+                                           std::pair{32, 32}, std::pair{5, 17},
+                                           std::pair{64, 48}));
+
+// ---- Factorizations ---------------------------------------------------------
+
+class FactorParam : public ::testing::TestWithParam<int> {};
+
+TEST_P(FactorParam, PotrfReconstructs) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Matrix a(n, n);
+  Rng rng(9);
+  a.make_spd(rng);
+  const Matrix original = a;
+
+  ASSERT_EQ(potrf_lower(a.view()), 0);
+  const Matrix recon = ref::reconstruct_llt(a.view());
+  EXPECT_LT(max_abs_diff(recon.view(), original.view()),
+            1e-8 * static_cast<double>(n));
+}
+
+TEST_P(FactorParam, LdltReconstructs) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Matrix a(n, n);
+  Rng rng(10);
+  a.make_spd(rng);
+  const Matrix original = a;
+
+  ASSERT_EQ(ldlt_lower(a.view()), 0);
+  const Matrix recon = ref::reconstruct_ldlt(a.view());
+  EXPECT_LT(max_abs_diff(recon.view(), original.view()),
+            1e-8 * static_cast<double>(n));
+}
+
+TEST_P(FactorParam, GetrfReconstructs) {
+  const auto n = static_cast<std::size_t>(GetParam());
+  Matrix a = random_matrix(n, n, 11);
+  const Matrix original = a;
+  std::vector<std::size_t> pivots(n);
+
+  ASSERT_EQ(getrf(a.view(), pivots.data()), 0);
+  const Matrix recon = ref::reconstruct_lu(a.view(), pivots.data());
+  EXPECT_LT(max_abs_diff(recon.view(), original.view()),
+            1e-8 * static_cast<double>(n));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FactorParam,
+                         ::testing::Values(1, 2, 5, 16, 33, 64, 100));
+
+TEST(Potrf, DetectsNonPositiveDefinite) {
+  Matrix a(3, 3);
+  a(0, 0) = 1.0;
+  a(1, 1) = -1.0;  // not PD
+  a(2, 2) = 1.0;
+  EXPECT_EQ(potrf_lower(a.view()), 2);
+}
+
+TEST(Ldlt, DetectsZeroPivot) {
+  Matrix a(2, 2);  // all zeros
+  EXPECT_EQ(ldlt_lower(a.view()), 1);
+}
+
+TEST(Getrf, RectangularTallMatrix) {
+  Matrix a = random_matrix(10, 6, 12);
+  const Matrix original = a;
+  std::vector<std::size_t> pivots(6);
+  ASSERT_EQ(getrf(a.view(), pivots.data()), 0);
+  const Matrix recon = ref::reconstruct_lu(a.view(), pivots.data());
+  EXPECT_LT(max_abs_diff(recon.view(), original.view()), 1e-8);
+}
+
+TEST(Getrf, SingularMatrixReported) {
+  Matrix a(3, 3);  // zero matrix is singular
+  std::vector<std::size_t> pivots(3);
+  EXPECT_EQ(getrf(a.view(), pivots.data()), 1);
+}
+
+// ---- Flop counters ------------------------------------------------------------
+
+TEST(Flops, LeadingTerms) {
+  EXPECT_DOUBLE_EQ(gemm_flops(10, 10, 10), 2000.0);
+  EXPECT_DOUBLE_EQ(potrf_flops(30), 9000.0);
+  EXPECT_NEAR(getrf_flops(30, 30), 2.0 * 27000.0 / 3.0, 1.0);
+  EXPECT_DOUBLE_EQ(syrk_flops(10, 4), 440.0);
+  EXPECT_DOUBLE_EQ(trsm_flops(8, 4), 128.0);
+  EXPECT_DOUBLE_EQ(ldlt_flops(30), potrf_flops(30));
+}
+
+// ---- Tiled composition property: tiled GEMM == monolithic GEMM -------------
+
+TEST(TiledProperty, TiledGemmEqualsMonolithic) {
+  constexpr std::size_t kN = 96;
+  constexpr std::size_t kTile = 32;
+  const Matrix a = random_matrix(kN, kN, 20);
+  const Matrix b = random_matrix(kN, kN, 21);
+  Matrix c_tiled(kN, kN);
+  Matrix c_mono(kN, kN);
+
+  gemm(Op::none, Op::none, 1.0, a.view(), b.view(), 0.0, c_mono.view());
+  for (std::size_t i = 0; i < kN; i += kTile) {
+    for (std::size_t j = 0; j < kN; j += kTile) {
+      for (std::size_t k = 0; k < kN; k += kTile) {
+        gemm(Op::none, Op::none, 1.0, a.tile(i, k, kTile, kTile),
+             b.tile(k, j, kTile, kTile), k == 0 ? 0.0 : 1.0,
+             c_tiled.tile(i, j, kTile, kTile));
+      }
+    }
+  }
+  EXPECT_LT(max_abs_diff(c_tiled.view(), c_mono.view()), kTol);
+}
+
+}  // namespace
+}  // namespace hs::blas

@@ -1,0 +1,126 @@
+// Unit tests for src/interconnect: link cost model, buffer pool
+// (COI-style), topology.
+
+#include <gtest/gtest.h>
+
+#include "interconnect/buffer_pool.hpp"
+#include "interconnect/link.hpp"
+#include "interconnect/topology.hpp"
+
+namespace hs {
+namespace {
+
+TEST(LinkModel, TransferTimeIsLatencyPlusBandwidth) {
+  const LinkModel link{.latency_s = 25e-6, .bandwidth_Bps = 6.5e9};
+  EXPECT_DOUBLE_EQ(link.transfer_seconds(0), 25e-6);
+  EXPECT_NEAR(link.transfer_seconds(6'500'000), 25e-6 + 1e-3, 1e-9);
+}
+
+// §III: "hStreams' performance overheads are less than 5% for data
+// transfers above 1MB. It has 20-30us of overhead for transfers under
+// 128KB." The default link constants must reproduce both statements.
+TEST(LinkModel, PaperOverheadShape) {
+  const LinkModel link = pcie_gen2_x16();
+  EXPECT_GE(link.latency_s, 20e-6);
+  EXPECT_LE(link.latency_s, 30e-6);
+  EXPECT_LT(link.overhead_fraction(std::size_t{1} << 20), 0.15);
+  EXPECT_LT(link.overhead_fraction(std::size_t{4} << 20), 0.05);
+  EXPECT_GT(link.overhead_fraction(std::size_t{64} << 10), 0.5);
+}
+
+TEST(LinkModel, LoopbackIsFree) {
+  const LinkModel lb = loopback_link();
+  EXPECT_LT(lb.transfer_seconds(std::size_t{1} << 30), 1e-6);
+}
+
+TEST(BufferPool, FirstAcquireMissesThenHits) {
+  BufferPool pool(true);
+  auto b1 = pool.acquire(1024);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  pool.release(std::move(b1));
+  auto b2 = pool.acquire(2048);
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  pool.release(std::move(b2));
+}
+
+TEST(BufferPool, DisabledPoolAlwaysMisses) {
+  BufferPool pool(false);
+  for (int i = 0; i < 5; ++i) {
+    auto b = pool.acquire(1024);
+    pool.release(std::move(b));
+  }
+  EXPECT_EQ(pool.stats().misses, 5u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+  EXPECT_GT(pool.stats().modeled_alloc_seconds, 0.0);
+}
+
+TEST(BufferPool, ModeledAllocCostScalesWithSize) {
+  BufferPool small_pool(false, BufferPool::kDefaultBlockSize, 250e-6);
+  auto a = small_pool.acquire(std::size_t{1} << 20);
+  const double after_1mb = small_pool.stats().modeled_alloc_seconds;
+  small_pool.release(std::move(a));
+  auto b = small_pool.acquire(std::size_t{4} << 20);
+  const double delta = small_pool.stats().modeled_alloc_seconds - after_1mb;
+  small_pool.release(std::move(b));
+  EXPECT_NEAR(delta / after_1mb, 4.0, 0.01);
+}
+
+TEST(BufferPool, OversizedRequestsBypassFreeList) {
+  BufferPool pool(true, 1024);
+  auto big = pool.acquire(4096);
+  EXPECT_EQ(big.size(), 4096u);
+  pool.release(std::move(big));
+  // The oversized block is not recycled.
+  auto small = pool.acquire(512);
+  EXPECT_EQ(pool.stats().misses, 2u);
+  pool.release(std::move(small));
+}
+
+TEST(BufferPool, WarmPrepopulatesFreeList) {
+  BufferPool pool(true);
+  pool.warm(3);
+  for (int i = 0; i < 3; ++i) {
+    auto b = pool.acquire(100);
+    EXPECT_EQ(pool.stats().misses, 0u);
+    pool.release(std::move(b));
+  }
+  EXPECT_EQ(pool.stats().hits, 3u);
+}
+
+TEST(BufferPool, OutstandingTracksAcquires) {
+  BufferPool pool(true);
+  auto a = pool.acquire(10);
+  auto b = pool.acquire(10);
+  EXPECT_EQ(pool.stats().outstanding, 2u);
+  pool.release(std::move(a));
+  EXPECT_EQ(pool.stats().outstanding, 1u);
+  pool.release(std::move(b));
+  EXPECT_EQ(pool.stats().outstanding, 0u);
+}
+
+TEST(Topology, HostCentricStar) {
+  const Topology topo(2);
+  EXPECT_EQ(topo.device_count(), 2u);
+  EXPECT_EQ(topo.link_to_device(0).name, "pcie-gen2-x16");
+  EXPECT_THROW((void)topo.link_to_device(2), Error);
+}
+
+TEST(Topology, LinkBetweenNodes) {
+  const Topology topo(2);
+  // host <-> device 1 (node index 1).
+  EXPECT_EQ(&topo.link_between(0, 1), &topo.link_to_device(0));
+  EXPECT_EQ(&topo.link_between(2, 0), &topo.link_to_device(1));
+  // host-host is the loopback.
+  EXPECT_EQ(&topo.link_between(0, 0), &topo.loopback());
+}
+
+TEST(Topology, PerDeviceLinkIsMutable) {
+  Topology topo(1);
+  topo.link_to_device(0).bandwidth_Bps = 1e9;
+  EXPECT_DOUBLE_EQ(topo.link_to_device(0).bandwidth_Bps, 1e9);
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,128 @@
+// Tests for logical domains (core/logical_domain): tuner-defined slices
+// of physical domains with relative stream masks.
+
+#include <gtest/gtest.h>
+
+#include "core/logical_domain.hpp"
+#include "core/threaded_executor.hpp"
+
+namespace hs {
+namespace {
+
+std::unique_ptr<Runtime> make_runtime() {
+  RuntimeConfig config;
+  config.platform = PlatformDesc::host_plus_cards(8, 1, 12);
+  return std::make_unique<Runtime>(config,
+                                   std::make_unique<ThreadedExecutor>());
+}
+
+TEST(LogicalDomains, DefineAndQuery) {
+  auto rt = make_runtime();
+  DomainPartitioner part(*rt);
+  const LogicalDomainId numa0 = part.define(kHostDomain, CpuMask::range(0, 4));
+  const LogicalDomainId numa1 = part.define(kHostDomain, CpuMask::range(4, 8));
+  EXPECT_EQ(part.count(), 2u);
+  EXPECT_EQ(part.physical(numa0), kHostDomain);
+  EXPECT_EQ(part.width(numa1), 4u);
+  EXPECT_EQ(part.mask(numa1).to_string(), "{4-7}");
+  EXPECT_THROW((void)part.physical(LogicalDomainId{9}), Error);
+}
+
+TEST(LogicalDomains, SplitEvenly) {
+  auto rt = make_runtime();
+  DomainPartitioner part(*rt);
+  const auto slices = part.split_evenly(DomainId{1}, 3);  // 12 threads -> 4+4+4
+  ASSERT_EQ(slices.size(), 3u);
+  CpuMask seen;
+  for (const auto id : slices) {
+    EXPECT_EQ(part.width(id), 4u);
+    EXPECT_FALSE(seen.intersects(part.mask(id)));
+    seen = seen | part.mask(id);
+  }
+  EXPECT_EQ(seen.count(), 12u);
+}
+
+TEST(LogicalDomains, MaskValidation) {
+  auto rt = make_runtime();
+  DomainPartitioner part(*rt);
+  EXPECT_THROW((void)part.define(kHostDomain, CpuMask{}), Error);
+  EXPECT_THROW((void)part.define(kHostDomain, CpuMask::range(6, 10)), Error);
+}
+
+TEST(LogicalDomains, RelativeMasksTranslateToPhysical) {
+  auto rt = make_runtime();
+  DomainPartitioner part(*rt);
+  // Logical domain = threads 4..11 of the card.
+  const LogicalDomainId ld = part.define(DomainId{1}, CpuMask::range(4, 12));
+  // Stream over "its first two threads" = physical 4,5.
+  const StreamId s = part.stream_create(ld, CpuMask::range(0, 2));
+  EXPECT_EQ(rt->stream_domain(s), DomainId{1});
+  EXPECT_EQ(rt->stream_mask(s).to_string(), "{4-5}");
+  // Whole logical domain.
+  const StreamId whole = part.stream_create(ld);
+  EXPECT_EQ(rt->stream_mask(whole).to_string(), "{4-11}");
+  // Relative index out of the logical width.
+  EXPECT_THROW((void)part.stream_create(ld, CpuMask::range(7, 9)), Error);
+}
+
+// The separation-of-concerns story: identical application code runs on a
+// re-partitioned platform by changing only the partitioner calls.
+TEST(LogicalDomains, ApplicationCodeSurvivesRepartitioning) {
+  for (const std::size_t numa_nodes : {1u, 2u, 4u}) {
+    auto rt = make_runtime();
+    DomainPartitioner part(*rt);
+    const auto slices = part.split_evenly(kHostDomain, numa_nodes);
+
+    // "Application": one stream per logical domain, one task per stream,
+    // written without any physical CPU knowledge.
+    std::vector<double> data(slices.size(), 0.0);
+    (void)rt->buffer_create(data.data(), data.size() * sizeof(double));
+    for (std::size_t i = 0; i < slices.size(); ++i) {
+      const StreamId s = part.stream_create(slices[i]);
+      ComputePayload task;
+      double* cell = &data[i];
+      task.body = [cell](TaskContext& ctx) {
+        *cell = static_cast<double>(ctx.team_size());
+      };
+      const OperandRef ops[] = {{cell, sizeof(double), Access::out}};
+      (void)rt->enqueue_compute(s, std::move(task), ops);
+    }
+    rt->synchronize();
+    for (const double width : data) {
+      EXPECT_DOUBLE_EQ(width, 8.0 / static_cast<double>(numa_nodes));
+    }
+  }
+}
+
+TEST(LogicalDomains, OverlappingLogicalDomainsAllowed) {
+  // §II: "the tuner can map multiple streams onto a common set of
+  // resources" — overlapping logical domains are legal by design.
+  auto rt = make_runtime();
+  DomainPartitioner part(*rt);
+  const auto a = part.define(DomainId{1}, CpuMask::range(0, 8));
+  const auto b = part.define(DomainId{1}, CpuMask::range(4, 12));
+  const StreamId sa = part.stream_create(a);
+  const StreamId sb = part.stream_create(b);
+  EXPECT_TRUE(rt->stream_mask(sa).intersects(rt->stream_mask(sb)));
+  // Both streams still execute work correctly on the shared resources.
+  std::vector<double> x(2, 0.0);
+  const BufferId id = rt->buffer_create(x.data(), 2 * sizeof(double));
+  rt->buffer_instantiate(id, DomainId{1});
+  for (const auto& [s, slot] : {std::pair{sa, 0}, std::pair{sb, 1}}) {
+    ComputePayload task;
+    double* cell = x.data() + slot;
+    task.body = [cell](TaskContext& ctx) {
+      *ctx.translate(cell, 1) = 1.0;
+    };
+    const OperandRef ops[] = {{cell, sizeof(double), Access::out}};
+    (void)rt->enqueue_compute(s, std::move(task), ops);
+    (void)rt->enqueue_transfer(s, cell, sizeof(double),
+                               XferDir::sink_to_src);
+  }
+  rt->synchronize();
+  EXPECT_DOUBLE_EQ(x[0], 1.0);
+  EXPECT_DOUBLE_EQ(x[1], 1.0);
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,294 @@
+// Tests for the OmpSs dataflow layer: dependence detection, automatic
+// data movement, locality scheduling, and the hStreams-vs-CUDA backend
+// comparison (§IV / §VI: 1.45x on a tiled matmul).
+
+#include <gtest/gtest.h>
+
+#include "apps/tiled_matrix.hpp"
+#include "core/threaded_executor.hpp"
+#include "hsblas/kernels.hpp"
+#include "hsblas/reference.hpp"
+#include "ompss/ompss.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace hs::ompss {
+namespace {
+
+using apps::TiledMatrix;
+using blas::Matrix;
+
+std::unique_ptr<Runtime> threaded_runtime(std::size_t cards) {
+  RuntimeConfig config;
+  config.platform = PlatformDesc::host_plus_cards(4, cards, 8);
+  // §III: the OmpSs configuration ran without the COI buffer pool.
+  config.transfer_pool_enabled = false;
+  return std::make_unique<Runtime>(config,
+                                   std::make_unique<ThreadedExecutor>());
+}
+
+std::unique_ptr<Runtime> sim_runtime(const sim::SimPlatform& platform,
+                                     bool payloads = true) {
+  RuntimeConfig config;
+  config.platform = platform.desc;
+  config.device_link = platform.link;
+  config.transfer_pool_enabled = false;
+  return std::make_unique<Runtime>(
+      config, std::make_unique<sim::SimExecutor>(platform, payloads));
+}
+
+// OmpSs tracks dependences at registered-object granularity, so tiled
+// codes register each tile as its own dependence object (whole-matrix
+// regions would serialize everything).
+void register_tiles(OmpssRuntime& omp, TiledMatrix& m) {
+  for (std::size_t j = 0; j < m.col_tiles(); ++j) {
+    for (std::size_t i = 0; i < m.row_tiles(); ++i) {
+      omp.register_region(m.tile_ptr(i, j), m.tile_bytes(i, j));
+    }
+  }
+}
+
+void ompss_matmul_tiles(OmpssRuntime& omp, TiledMatrix& a, TiledMatrix& b,
+                        TiledMatrix& c) {
+  register_tiles(omp, a);
+  register_tiles(omp, b);
+  register_tiles(omp, c);
+  for (std::size_t p = 0; p < c.col_tiles(); ++p) {
+    for (std::size_t k = 0; k < a.col_tiles(); ++k) {
+      for (std::size_t i = 0; i < a.row_tiles(); ++i) {
+        const double* pa = a.tile_ptr(i, k);
+        const double* pb = b.tile_ptr(k, p);
+        double* pc = c.tile_ptr(i, p);
+        const std::size_t m_r = a.tile_rows(i);
+        const std::size_t k_c = a.tile_cols(k);
+        const std::size_t n_c = b.tile_cols(p);
+        const double beta = k == 0 ? 0.0 : 1.0;
+        omp.task(
+            "dgemm", blas::gemm_flops(m_r, n_c, k_c),
+            [pa, pb, pc, m_r, k_c, n_c, beta](TaskContext& ctx) {
+              const double* ta = ctx.translate(pa, m_r * k_c);
+              const double* tb = ctx.translate(pb, k_c * n_c);
+              double* tc = ctx.translate(pc, m_r * n_c);
+              blas::gemm(blas::Op::none, blas::Op::none, 1.0,
+                         {ta, m_r, k_c, m_r}, {tb, k_c, n_c, k_c}, beta,
+                         {tc, m_r, n_c, m_r});
+            },
+            {{pa, m_r * k_c * sizeof(double), Access::in},
+             {pb, k_c * n_c * sizeof(double), Access::in},
+             {pc, m_r * n_c * sizeof(double),
+              k == 0 ? Access::out : Access::inout}});
+      }
+    }
+  }
+  omp.fetch_all();
+}
+
+struct BackendCase {
+  BackendStyle backend;
+  bool simulated;
+  std::size_t cards;
+};
+
+class OmpssMatmulParam : public ::testing::TestWithParam<BackendCase> {};
+
+TEST_P(OmpssMatmulParam, MatmulCorrect) {
+  const auto& p = GetParam();
+  auto rt = p.simulated ? sim_runtime(sim::hsw_plus_knc(p.cards))
+                        : threaded_runtime(p.cards);
+  OmpssConfig config;
+  config.backend = p.backend;
+  config.streams_per_device = 2;
+  config.use_host = p.cards == 0;
+  OmpssRuntime omp(*rt, config);
+
+  Rng rng(3);
+  Matrix da(64, 64);
+  Matrix db(64, 64);
+  da.randomize(rng);
+  db.randomize(rng);
+  TiledMatrix a = TiledMatrix::from_dense(da, 16);
+  TiledMatrix b = TiledMatrix::from_dense(db, 16);
+  TiledMatrix c = TiledMatrix::square(64, 16);
+  ompss_matmul_tiles(omp, a, b, c);
+
+  const Matrix expected = blas::ref::multiply(da, db);
+  EXPECT_LT(blas::max_abs_diff(c.to_dense().view(), expected.view()), 1e-9);
+  EXPECT_EQ(omp.stats().tasks, 4u * 4u * 4u);
+  if (p.cards > 0) {
+    EXPECT_GT(omp.stats().transfers, 0u);  // host-only runs move nothing
+  } else {
+    EXPECT_EQ(omp.stats().transfers, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, OmpssMatmulParam,
+    ::testing::Values(BackendCase{BackendStyle::hstreams, false, 1},
+                      BackendCase{BackendStyle::cuda_streams, false, 1},
+                      BackendCase{BackendStyle::hstreams, false, 2},
+                      BackendCase{BackendStyle::hstreams, false, 0},
+                      BackendCase{BackendStyle::hstreams, true, 1},
+                      BackendCase{BackendStyle::cuda_streams, true, 1}));
+
+TEST(Ompss, DependenceChainRunsInOrder) {
+  auto rt = threaded_runtime(1);
+  OmpssRuntime omp(*rt, OmpssConfig{.streams_per_device = 4});
+  std::vector<double> x(64, 0.0);
+  omp.register_region(x.data(), x.size() * sizeof(double));
+
+  // inout chain: each task increments; any reordering loses increments.
+  for (int i = 0; i < 20; ++i) {
+    omp.task(
+        "inc", 64.0,
+        [&x](TaskContext& ctx) {
+          double* local = ctx.translate(x.data(), x.size());
+          for (auto& v : std::span(local, 64)) {
+            v += 1.0;
+          }
+        },
+        {{x.data(), 64 * sizeof(double), Access::inout}});
+  }
+  omp.fetch(x.data());
+  for (const double v : x) {
+    EXPECT_DOUBLE_EQ(v, 20.0);
+  }
+}
+
+TEST(Ompss, WarHazardRespected) {
+  auto rt = threaded_runtime(1);
+  OmpssRuntime omp(*rt, OmpssConfig{.streams_per_device = 4});
+  std::vector<double> x(8, 1.0);
+  std::vector<double> sums(4, 0.0);
+  omp.register_region(x.data(), x.size() * sizeof(double));
+  omp.register_region(sums.data(), sums.size() * sizeof(double));
+
+  // Readers of x, then a writer of x: the writer must not overtake.
+  for (std::size_t r = 0; r < 4; ++r) {
+    omp.task(
+        "reader", 8.0,
+        [&x, &sums, r](TaskContext& ctx) {
+          const double* local = ctx.translate(x.data(), x.size());
+          double acc = 0.0;
+          for (std::size_t i = 0; i < 8; ++i) {
+            acc += local[i];
+          }
+          double* out = ctx.translate(sums.data(), sums.size());
+          out[r] = acc;
+        },
+        {{x.data(), 8 * sizeof(double), Access::in},
+         {sums.data() + r, sizeof(double), Access::out}});
+  }
+  omp.task(
+      "writer", 8.0,
+      [&x](TaskContext& ctx) {
+        double* local = ctx.translate(x.data(), x.size());
+        for (std::size_t i = 0; i < 8; ++i) {
+          local[i] = 100.0;
+        }
+      },
+      {{x.data(), 8 * sizeof(double), Access::out}});
+  omp.fetch_all();
+  for (const double s : sums) {
+    EXPECT_DOUBLE_EQ(s, 8.0);  // readers saw the pre-write values
+  }
+}
+
+TEST(Ompss, LocalitySchedulingKeepsDataOnDevice) {
+  auto rt = sim_runtime(sim::hsw_plus_knc(2));
+  OmpssRuntime omp(*rt, OmpssConfig{.streams_per_device = 2});
+  std::vector<double> x(1024, 1.0);
+  omp.register_region(x.data(), x.size() * sizeof(double));
+
+  // A chain of inout tasks: after the first placement, all later tasks
+  // should follow the data (2 transfers total: 1 in, 1 out), not bounce.
+  for (int i = 0; i < 10; ++i) {
+    omp.task(
+        "inc", 1024.0,
+        [&x](TaskContext& ctx) {
+          double* local = ctx.translate(x.data(), x.size());
+          for (std::size_t j = 0; j < x.size(); ++j) {
+            local[j] += 1.0;
+          }
+        },
+        {{x.data(), x.size() * sizeof(double), Access::inout}});
+  }
+  omp.fetch(x.data());
+  EXPECT_DOUBLE_EQ(x[0], 11.0);
+  EXPECT_EQ(omp.stats().transfers, 2u);
+}
+
+TEST(Ompss, OperandOutsideRegionRejected) {
+  auto rt = threaded_runtime(1);
+  OmpssRuntime omp(*rt, OmpssConfig{});
+  std::vector<double> x(8, 0.0);
+  std::vector<double> y(8, 0.0);
+  omp.register_region(x.data(), x.size() * sizeof(double));
+  EXPECT_THROW(omp.task("t", 1.0, [](TaskContext&) {},
+                        {{y.data(), 8 * sizeof(double), Access::in}}),
+               Error);
+}
+
+// §VI: "the hStreams-based implementation was 1.45x faster than CUDA
+// Streams" for an OmpSs tiled matmul — the shape must hold in virtual
+// time: the relaxed backend with scoped waits beats the strict backend
+// with whole-stream waits and per-edge event overhead.
+TEST(Ompss, HstreamsBackendBeatsCudaBackend) {
+  double times[2] = {0.0, 0.0};
+  for (const BackendStyle backend :
+       {BackendStyle::hstreams, BackendStyle::cuda_streams}) {
+    auto rt = sim_runtime(sim::hsw_plus_knc(1), /*payloads=*/false);
+    OmpssConfig config;
+    config.backend = backend;
+    config.streams_per_device = 4;
+    OmpssRuntime omp(*rt, config);
+    TiledMatrix a = TiledMatrix::square(4096, 1024);
+    TiledMatrix b = TiledMatrix::square(4096, 1024);
+    TiledMatrix c = TiledMatrix::square(4096, 1024);
+    const double t0 = rt->now();
+    ompss_matmul_tiles(omp, a, b, c);
+    times[backend == BackendStyle::hstreams ? 0 : 1] = rt->now() - t0;
+  }
+  EXPECT_LT(times[0], times[1]);
+  const double advantage = times[1] / times[0];
+  // The paper reports 1.45x at 4K and 1.4x at 6K; accept a broad band.
+  EXPECT_GT(advantage, 1.1);
+  EXPECT_LT(advantage, 2.5);
+}
+
+// §III: OmpSs induces 15-50% overhead on top of raw hStreams for
+// Cholesky-sized problems, from dynamic task instantiation/scheduling.
+TEST(Ompss, LayeredOverheadVisible) {
+  const std::size_t n = 4096;
+  const std::size_t tile = 1024;
+  double raw = 0.0;
+  double layered = 0.0;
+  // Raw hStreams: enqueue the same task graph directly.
+  {
+    auto rt = sim_runtime(sim::hsw_plus_knc(1), false);
+    OmpssConfig config;
+    config.task_overhead_s = 0.0;  // "OmpSs" with zero overhead = raw
+    OmpssRuntime omp(*rt, config);
+    TiledMatrix a = TiledMatrix::square(n, tile);
+    TiledMatrix b = TiledMatrix::square(n, tile);
+    TiledMatrix c = TiledMatrix::square(n, tile);
+    const double t0 = rt->now();
+    ompss_matmul_tiles(omp, a, b, c);
+    raw = rt->now() - t0;
+  }
+  {
+    auto rt = sim_runtime(sim::hsw_plus_knc(1), false);
+    OmpssConfig config;
+    config.task_overhead_s = 60e-6;
+    OmpssRuntime omp(*rt, config);
+    TiledMatrix a = TiledMatrix::square(n, tile);
+    TiledMatrix b = TiledMatrix::square(n, tile);
+    TiledMatrix c = TiledMatrix::square(n, tile);
+    const double t0 = rt->now();
+    ompss_matmul_tiles(omp, a, b, c);
+    layered = rt->now() - t0;
+  }
+  EXPECT_GT(layered, raw);
+}
+
+}  // namespace
+}  // namespace hs::ompss

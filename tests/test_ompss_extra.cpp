@@ -1,0 +1,161 @@
+// Additional OmpSs-layer coverage: fetch semantics, host-inclusive
+// scheduling, backend edge accounting, and write-back correctness under
+// region migration between domains.
+
+#include <gtest/gtest.h>
+
+#include "core/threaded_executor.hpp"
+#include "ompss/ompss.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace hs::ompss {
+namespace {
+
+std::unique_ptr<Runtime> threaded_runtime(std::size_t cards) {
+  RuntimeConfig config;
+  config.platform = PlatformDesc::host_plus_cards(4, cards, 8);
+  config.transfer_pool_enabled = false;
+  return std::make_unique<Runtime>(config,
+                                   std::make_unique<ThreadedExecutor>());
+}
+
+OperandRef dep(void* p, std::size_t len, Access a) { return {p, len, a}; }
+
+TEST(OmpssExtra, FetchBringsLatestValueWithoutFullDrain) {
+  auto rt = threaded_runtime(1);
+  OmpssRuntime omp(*rt, OmpssConfig{.streams_per_device = 2});
+  std::vector<double> x(32, 0.0);
+  std::vector<double> y(32, 0.0);
+  omp.register_region(x.data(), 32 * sizeof(double));
+  omp.register_region(y.data(), 32 * sizeof(double));
+
+  omp.task("wx", 32.0,
+           [&x](TaskContext& ctx) {
+             double* local = ctx.translate(x.data(), 32);
+             for (int i = 0; i < 32; ++i) {
+               local[i] = 7.0;
+             }
+           },
+           {dep(x.data(), 32 * sizeof(double), Access::out)});
+  // A long-running unrelated task on y keeps the runtime busy.
+  omp.task("wy", 32.0,
+           [&y](TaskContext& ctx) {
+             std::this_thread::sleep_for(std::chrono::milliseconds(30));
+             double* local = ctx.translate(y.data(), 32);
+             local[0] = 1.0;
+           },
+           {dep(y.data(), 32 * sizeof(double), Access::out)});
+  omp.fetch(x.data());  // must not require y's task to finish
+  EXPECT_DOUBLE_EQ(x[5], 7.0);
+  omp.taskwait();
+  omp.fetch(y.data());
+  EXPECT_DOUBLE_EQ(y[0], 1.0);
+}
+
+TEST(OmpssExtra, UseHostSchedulesOnHostToo) {
+  auto rt = threaded_runtime(1);
+  OmpssConfig config;
+  config.use_host = true;
+  config.streams_per_device = 2;
+  OmpssRuntime omp(*rt, config);
+  // Many independent regions: round-robin must hit both domains. Tasks
+  // record their execution domain through translate identity (host
+  // translate(p) == p; card translate(p) != p).
+  constexpr int kTasks = 8;
+  std::vector<std::vector<double>> data(kTasks, std::vector<double>(8, 0.0));
+  std::atomic<int> on_host{0};
+  std::atomic<int> on_card{0};
+  for (int t = 0; t < kTasks; ++t) {
+    omp.register_region(data[static_cast<std::size_t>(t)].data(),
+                        8 * sizeof(double));
+  }
+  for (int t = 0; t < kTasks; ++t) {
+    double* base = data[static_cast<std::size_t>(t)].data();
+    omp.task("probe", 8.0,
+             [base, &on_host, &on_card](TaskContext& ctx) {
+               (ctx.translate(base, 8) == base ? on_host : on_card)
+                   .fetch_add(1);
+             },
+             {dep(base, 8 * sizeof(double), Access::out)});
+  }
+  omp.taskwait();
+  EXPECT_GT(on_host.load(), 0);
+  EXPECT_GT(on_card.load(), 0);
+  EXPECT_EQ(on_host.load() + on_card.load(), kTasks);
+}
+
+TEST(OmpssExtra, CudaBackendCountsMoreEdgeWork) {
+  // The same task graph generates at least as many cross-stream edges on
+  // the CUDA backend path (both count edges, but the strict policy plus
+  // whole-stream waits is what differs; counting parity is the check
+  // that neither backend silently drops dependences).
+  auto build = [](BackendStyle backend) {
+    auto rt = threaded_runtime(1);
+    OmpssConfig config;
+    config.backend = backend;
+    config.streams_per_device = 4;
+    OmpssRuntime omp(*rt, config);
+    std::vector<double> a(64, 0.0);
+    std::vector<double> b(64, 0.0);
+    omp.register_region(a.data(), 64 * sizeof(double));
+    omp.register_region(b.data(), 64 * sizeof(double));
+    // A chain alternating writers on two regions: every step depends on
+    // the previous one, usually across streams (round-robin).
+    for (int i = 0; i < 16; ++i) {
+      double* target = (i % 2 == 0) ? a.data() : b.data();
+      double* source = (i % 2 == 0) ? b.data() : a.data();
+      omp.task("step", 64.0, [](TaskContext&) {},
+               {dep(source, 64 * sizeof(double), Access::in),
+                dep(target, 64 * sizeof(double), Access::inout)});
+    }
+    omp.taskwait();
+    return omp.stats().cross_stream_edges;
+  };
+  const std::size_t relaxed_edges = build(BackendStyle::hstreams);
+  const std::size_t strict_edges = build(BackendStyle::cuda_streams);
+  EXPECT_GT(relaxed_edges, 0u);
+  EXPECT_EQ(relaxed_edges, strict_edges);  // same graph, same edges
+}
+
+TEST(OmpssExtra, RegionMigratesBetweenCardsThroughHost) {
+  // Write on card 1, then force consumption on card 2 (locality follows
+  // a bigger sibling region), then fetch: the value must survive the
+  // card1 -> host -> card2 migration.
+  auto rt = threaded_runtime(2);
+  OmpssConfig config;
+  config.streams_per_device = 1;
+  OmpssRuntime omp(*rt, config);
+  std::vector<double> small(8, 0.0);
+  std::vector<double> big(4096, 0.0);
+  omp.register_region(small.data(), 8 * sizeof(double));
+  omp.register_region(big.data(), 4096 * sizeof(double));
+
+  // Step 1: writer of `small` — lands on some card (round-robin).
+  omp.task("w1", 8.0,
+           [&small](TaskContext& ctx) {
+             ctx.translate(small.data(), 8)[0] = 41.0;
+           },
+           {dep(small.data(), 8 * sizeof(double), Access::out)});
+  // Step 2: writer of `big` — lands on the other card.
+  omp.task("w2", 8.0,
+           [&big](TaskContext& ctx) {
+             ctx.translate(big.data(), 4096)[0] = 1.0;
+           },
+           {dep(big.data(), 4096 * sizeof(double), Access::out)});
+  // Step 3: touches both; locality pulls it to `big`'s card, so `small`
+  // must migrate.
+  omp.task("combine", 8.0,
+           [&small, &big](TaskContext& ctx) {
+             double* s = ctx.translate(small.data(), 8);
+             const double* g = ctx.translate(big.data(), 4096);
+             s[0] += 1.0 + g[0];
+           },
+           {dep(small.data(), 8 * sizeof(double), Access::inout),
+            dep(big.data(), 4096 * sizeof(double), Access::in)});
+  omp.fetch(small.data());
+  EXPECT_DOUBLE_EQ(small[0], 43.0);
+}
+
+}  // namespace
+}  // namespace hs::ompss

@@ -1,0 +1,336 @@
+// Property-based tests of the runtime's central guarantee:
+//
+//   Whatever the executor reorders, the observable memory effects equal
+//   those of executing each stream's actions serially in FIFO order.
+//
+// A generator builds random programs — buffers, streams on several
+// domains, compute/transfer/signal/wait actions with random operand
+// ranges, cross-stream event edges — and executes each program three
+// ways: (a) a serial in-order reference interpreter, (b) the threaded
+// executor, (c) the simulator. Final host + device memory must agree
+// exactly (all arithmetic is order-independent per byte range).
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/runtime.hpp"
+#include "core/threaded_executor.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace hs {
+namespace {
+
+constexpr std::size_t kBuffers = 4;
+constexpr std::size_t kBufferElems = 256;
+constexpr std::size_t kCards = 2;
+
+// One action of a generated program.
+struct ProgramAction {
+  enum class Kind { compute, h2d, d2h, signal, wait };
+  Kind kind = Kind::compute;
+  std::size_t stream = 0;
+  std::size_t buffer = 0;
+  std::size_t offset = 0;  // elements
+  std::size_t length = 0;  // elements
+  double addend = 0.0;     // compute: adds `addend` to each element
+  std::size_t wait_on = 0;  // wait: index of the signal action to wait on
+};
+
+struct Program {
+  std::size_t streams = 4;
+  std::vector<std::size_t> stream_domain;  // 0 = host, 1.. = cards
+  std::vector<ProgramAction> actions;
+};
+
+Program generate(Rng& rng) {
+  Program prog;
+  // At most kBuffers streams: the comparability rewrite below gives each
+  // stream a private buffer, which requires streams <= buffers.
+  prog.streams = 2 + rng.bounded(kBuffers - 1);  // 2..kBuffers
+  for (std::size_t s = 0; s < prog.streams; ++s) {
+    prog.stream_domain.push_back(rng.bounded(kCards + 1));
+  }
+  const std::size_t count = 20 + rng.bounded(60);
+  std::vector<std::size_t> signals;  // indices of signal actions
+  for (std::size_t n = 0; n < count; ++n) {
+    ProgramAction a;
+    a.stream = rng.bounded(prog.streams);
+    const std::size_t dom = prog.stream_domain[a.stream];
+    const std::uint64_t roll = rng.bounded(10);
+    a.buffer = rng.bounded(kBuffers);
+    a.offset = rng.bounded(kBufferElems - 1);
+    a.length = 1 + rng.bounded(kBufferElems - a.offset);
+    if (roll < 5) {
+      a.kind = ProgramAction::Kind::compute;
+      a.addend = static_cast<double>(1 + rng.bounded(9));
+    } else if (roll < 7 && dom != 0) {
+      a.kind = ProgramAction::Kind::h2d;
+    } else if (roll < 9 && dom != 0) {
+      a.kind = ProgramAction::Kind::d2h;
+    } else if (signals.empty() || roll == 9) {
+      a.kind = ProgramAction::Kind::signal;
+      signals.push_back(prog.actions.size());
+    } else {
+      a.kind = ProgramAction::Kind::wait;
+      a.wait_on = signals[rng.bounded(signals.size())];
+    }
+    prog.actions.push_back(a);
+  }
+  return prog;
+}
+
+/// Serial reference: executes actions in global program order (a valid
+/// FIFO-consistent schedule), modeling per-domain incarnations.
+std::vector<std::vector<double>> run_reference(const Program& prog) {
+  // memory[domain][buffer][elem]; domain 0 is the host.
+  std::vector<std::vector<std::vector<double>>> memory(
+      kCards + 1, std::vector<std::vector<double>>(
+                      kBuffers, std::vector<double>(kBufferElems, 0.0)));
+  for (const ProgramAction& a : prog.actions) {
+    const std::size_t dom = prog.stream_domain[a.stream];
+    switch (a.kind) {
+      case ProgramAction::Kind::compute:
+        for (std::size_t i = a.offset; i < a.offset + a.length; ++i) {
+          memory[dom][a.buffer][i] += a.addend;
+        }
+        break;
+      case ProgramAction::Kind::h2d:
+        for (std::size_t i = a.offset; i < a.offset + a.length; ++i) {
+          memory[dom][a.buffer][i] = memory[0][a.buffer][i];
+        }
+        break;
+      case ProgramAction::Kind::d2h:
+        for (std::size_t i = a.offset; i < a.offset + a.length; ++i) {
+          memory[0][a.buffer][i] = memory[dom][a.buffer][i];
+        }
+        break;
+      case ProgramAction::Kind::signal:
+      case ProgramAction::Kind::wait:
+        break;
+    }
+  }
+  // Host-visible result: the host copies.
+  return memory[0];
+}
+
+/// Is this program's global order actually FIFO-reproducible by the
+/// runtime? It always is: program order restricted to each stream is the
+/// enqueue order, and cross-stream waits refer to earlier signals. The
+/// reference uses global order, which is one legal linearization; the
+/// runtime may pick another. For the comparison to be exact, effects on
+/// the same bytes must commute unless ordered. Additive computes
+/// commute; transfers do not. The generator therefore only compares
+/// programs where every (buffer, byte) range's conflicting accesses are
+/// totally ordered by stream or by signal/wait edges. Rather than prove
+/// that, we *make* it true: transfers conflict with everything on their
+/// buffer via whole-buffer operands in this test harness.
+void run_runtime(const Program& prog, Runtime& runtime,
+                 std::vector<std::vector<double>>& host_buffers) {
+  std::vector<StreamId> streams;
+  for (std::size_t s = 0; s < prog.streams; ++s) {
+    const DomainId dom{static_cast<std::uint32_t>(prog.stream_domain[s])};
+    const std::size_t width = runtime.domain(dom).hw_threads();
+    streams.push_back(runtime.stream_create(
+        dom, CpuMask::first_n(std::min<std::size_t>(width, 4))));
+  }
+  std::vector<BufferId> ids;
+  for (auto& buf : host_buffers) {
+    const BufferId id =
+        runtime.buffer_create(buf.data(), buf.size() * sizeof(double));
+    for (std::size_t c = 1; c <= kCards; ++c) {
+      runtime.buffer_instantiate(id, DomainId{static_cast<std::uint32_t>(c)});
+    }
+    ids.push_back(id);
+  }
+
+  std::map<std::size_t, std::shared_ptr<EventState>> signal_events;
+  for (std::size_t n = 0; n < prog.actions.size(); ++n) {
+    const ProgramAction& a = prog.actions[n];
+    const StreamId s = streams[a.stream];
+    double* base = host_buffers[a.buffer].data() + a.offset;
+    const std::size_t bytes = a.length * sizeof(double);
+    switch (a.kind) {
+      case ProgramAction::Kind::compute: {
+        ComputePayload task;
+        task.kernel = "prop";
+        task.flops = static_cast<double>(a.length);
+        const std::size_t len = a.length;
+        const double addend = a.addend;
+        task.body = [base, len, addend](TaskContext& ctx) {
+          double* local = ctx.translate(base, len);
+          for (std::size_t i = 0; i < len; ++i) {
+            local[i] += addend;
+          }
+        };
+        const OperandRef ops[] = {{base, bytes, Access::inout}};
+        (void)runtime.enqueue_compute(s, std::move(task), ops);
+        break;
+      }
+      case ProgramAction::Kind::h2d:
+        (void)runtime.enqueue_transfer(s, base, bytes, XferDir::src_to_sink);
+        break;
+      case ProgramAction::Kind::d2h:
+        (void)runtime.enqueue_transfer(s, base, bytes, XferDir::sink_to_src);
+        break;
+      case ProgramAction::Kind::signal: {
+        // Stream-wide signal: fires when all earlier actions complete.
+        signal_events[n] = runtime.enqueue_signal(s);
+        break;
+      }
+      case ProgramAction::Kind::wait: {
+        (void)runtime.enqueue_event_wait(s, signal_events.at(a.wait_on));
+        break;
+      }
+    }
+  }
+  runtime.synchronize();
+}
+
+// The reference executes in global program order; the runtime only
+// promises per-stream FIFO plus signal/wait edges. For the outcomes to
+// be comparable regardless of cross-stream interleaving, the generator
+// partitions buffers: each buffer is only ever touched by the stream
+// that first touches it OR by streams ordered through a signal/wait
+// chain. The simplest sound restriction — and the one used here — is
+// buffer-per-stream affinity.
+Program make_comparable(Program prog) {
+  // Rewrite each action's buffer to (stream % kBuffers): a fixed
+  // bijection from streams to buffers, so cross-stream conflicts vanish
+  // while intra-stream reordering (the property under test) remains.
+  for (ProgramAction& a : prog.actions) {
+    a.buffer = a.stream % kBuffers;
+  }
+  return prog;
+}
+
+class RandomPrograms : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(RandomPrograms, AllBackendsMatchSerialReference) {
+  Rng rng(GetParam());
+  const Program prog = make_comparable(generate(rng));
+  const auto expected = run_reference(prog);
+
+  // Threaded backend.
+  {
+    std::vector<std::vector<double>> buffers(
+        kBuffers, std::vector<double>(kBufferElems, 0.0));
+    RuntimeConfig config;
+    config.platform = PlatformDesc::host_plus_cards(4, kCards, 4);
+    Runtime runtime(config, std::make_unique<ThreadedExecutor>());
+    run_runtime(prog, runtime, buffers);
+    for (std::size_t b = 0; b < kBuffers; ++b) {
+      for (std::size_t i = 0; i < kBufferElems; ++i) {
+        ASSERT_EQ(buffers[b][i], expected[b][i])
+            << "threaded mismatch: buffer " << b << " elem " << i;
+      }
+    }
+  }
+
+  // Simulated backend.
+  {
+    std::vector<std::vector<double>> buffers(
+        kBuffers, std::vector<double>(kBufferElems, 0.0));
+    const sim::SimPlatform platform = sim::hsw_plus_knc(kCards);
+    RuntimeConfig config;
+    config.platform = platform.desc;
+    Runtime runtime(config,
+                    std::make_unique<sim::SimExecutor>(platform, true));
+    run_runtime(prog, runtime, buffers);
+    for (std::size_t b = 0; b < kBuffers; ++b) {
+      for (std::size_t i = 0; i < kBufferElems; ++i) {
+        ASSERT_EQ(buffers[b][i], expected[b][i])
+            << "sim mismatch: buffer " << b << " elem " << i;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomPrograms,
+                         ::testing::Range<std::uint64_t>(1, 41));
+
+// With strict-FIFO policy, completion order within a stream must equal
+// enqueue order — for *any* random program.
+class StrictOrderProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StrictOrderProperty, CompletionOrderIsEnqueueOrder) {
+  Rng rng(GetParam());
+  RuntimeConfig config;
+  config.platform = PlatformDesc::host_plus_cards(4, 1, 4);
+  config.policy = OrderPolicy::strict_fifo;
+  Runtime runtime(config, std::make_unique<ThreadedExecutor>());
+
+  std::vector<double> data(kBufferElems, 0.0);
+  const BufferId id =
+      runtime.buffer_create(data.data(), data.size() * sizeof(double));
+  runtime.buffer_instantiate(id, DomainId{1});
+  const StreamId s = runtime.stream_create(DomainId{1}, CpuMask::first_n(2));
+
+  std::mutex mu;
+  std::vector<int> completions;
+  const int count = 30;
+  for (int n = 0; n < count; ++n) {
+    // Random disjoint-or-overlapping ranges: must not matter.
+    const std::size_t off = rng.bounded(kBufferElems - 8);
+    if (rng.bounded(2) == 0) {
+      ComputePayload task;
+      task.kernel = "noop";
+      task.body = [](TaskContext&) {};
+      const OperandRef ops[] = {
+          {data.data() + off, 8 * sizeof(double), Access::inout}};
+      auto ev = runtime.enqueue_compute(s, std::move(task), ops);
+      ev->on_fire([&mu, &completions, n] {
+        const std::scoped_lock lock(mu);
+        completions.push_back(n);
+      });
+    } else {
+      auto ev = runtime.enqueue_transfer(s, data.data() + off,
+                                         8 * sizeof(double),
+                                         XferDir::src_to_sink);
+      ev->on_fire([&mu, &completions, n] {
+        const std::scoped_lock lock(mu);
+        completions.push_back(n);
+      });
+    }
+  }
+  runtime.synchronize();
+  ASSERT_EQ(completions.size(), static_cast<std::size_t>(count));
+  for (int n = 0; n < count; ++n) {
+    EXPECT_EQ(completions[static_cast<std::size_t>(n)], n);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrictOrderProperty,
+                         ::testing::Range<std::uint64_t>(100, 110));
+
+// Determinism property: the simulator must produce bit-identical virtual
+// end times for repeated runs of the same random program.
+class SimDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimDeterminism, VirtualTimeReplaysExactly) {
+  double times[2];
+  for (double& t : times) {
+    Rng rng(GetParam());
+    const Program prog = make_comparable(generate(rng));
+    std::vector<std::vector<double>> buffers(
+        kBuffers, std::vector<double>(kBufferElems, 0.0));
+    const sim::SimPlatform platform = sim::hsw_plus_knc(kCards);
+    RuntimeConfig config;
+    config.platform = platform.desc;
+    Runtime runtime(config,
+                    std::make_unique<sim::SimExecutor>(platform, true));
+    run_runtime(prog, runtime, buffers);
+    t = runtime.now();
+  }
+  EXPECT_DOUBLE_EQ(times[0], times[1]);
+  EXPECT_GT(times[0], 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimDeterminism,
+                         ::testing::Range<std::uint64_t>(200, 215));
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,192 @@
+// Detailed simulator-behaviour tests: DMA direction/domain isolation,
+// invoke overheads, alloc-action timing, deterministic tie-breaking.
+
+#include <gtest/gtest.h>
+
+#include "core/runtime.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace hs::sim {
+namespace {
+
+struct Harness {
+  explicit Harness(SimPlatform platform, bool payloads = false) {
+    RuntimeConfig config;
+    config.platform = platform.desc;
+    config.device_link = platform.link;
+    config.domain_links = platform.domain_links;
+    auto exec = std::make_unique<SimExecutor>(platform, payloads);
+    executor = exec.get();
+    runtime = std::make_unique<Runtime>(config, std::move(exec));
+  }
+  SimExecutor* executor;
+  std::unique_ptr<Runtime> runtime;
+};
+
+TEST(SimDma, DirectionsAreIndependentEngines) {
+  // An h2d and a d2h of equal size overlap fully: separate per-direction
+  // DMA resources.
+  Harness h(hsw_plus_knc(1));
+  std::vector<double> a(1 << 20);  // 8 MB
+  std::vector<double> b(1 << 20);
+  const BufferId ba = h.runtime->buffer_create(a.data(), a.size() * 8);
+  const BufferId bb = h.runtime->buffer_create(b.data(), b.size() * 8);
+  h.runtime->buffer_instantiate(ba, DomainId{1});
+  h.runtime->buffer_instantiate(bb, DomainId{1});
+  const StreamId s = h.runtime->stream_create(DomainId{1},
+                                              CpuMask::first_n(240));
+
+  const double t0 = h.runtime->now();
+  (void)h.runtime->enqueue_transfer(s, a.data(), a.size() * 8,
+                                    XferDir::src_to_sink);
+  (void)h.runtime->enqueue_transfer(s, b.data(), b.size() * 8,
+                                    XferDir::sink_to_src);
+  h.runtime->synchronize();
+  const double both = h.runtime->now() - t0;
+  const double one = pcie_gen2_x16().transfer_seconds(a.size() * 8);
+  EXPECT_NEAR(both, one, one * 0.05);  // overlap, not 2x
+}
+
+TEST(SimDma, CardsHaveIndependentLinks) {
+  // Equal transfers to two different cards overlap fully.
+  for (const std::size_t cards : {1u, 2u}) {
+    Harness h(hsw_plus_knc(2));
+    std::vector<double> a(1 << 20);
+    std::vector<double> b(1 << 20);
+    const BufferId ba = h.runtime->buffer_create(a.data(), a.size() * 8);
+    const BufferId bb = h.runtime->buffer_create(b.data(), b.size() * 8);
+    h.runtime->buffer_instantiate(ba, DomainId{1});
+    h.runtime->buffer_instantiate(bb, DomainId{cards == 2 ? 2u : 1u});
+    const StreamId s1 =
+        h.runtime->stream_create(DomainId{1}, CpuMask::first_n(240));
+    const StreamId s2 = h.runtime->stream_create(
+        DomainId{cards == 2 ? 2u : 1u}, CpuMask::first_n(240));
+    const double t0 = h.runtime->now();
+    (void)h.runtime->enqueue_transfer(s1, a.data(), a.size() * 8,
+                                      XferDir::src_to_sink);
+    (void)h.runtime->enqueue_transfer(s2, b.data(), b.size() * 8,
+                                      XferDir::src_to_sink);
+    h.runtime->synchronize();
+    const double elapsed = h.runtime->now() - t0;
+    const double one = pcie_gen2_x16().transfer_seconds(a.size() * 8);
+    if (cards == 2) {
+      EXPECT_NEAR(elapsed, one, one * 0.05);  // parallel links
+    } else {
+      // Same card: 2 engines per direction still overlap these two.
+      EXPECT_NEAR(elapsed, one, one * 0.05);
+      // A third concurrent transfer would queue; checked elsewhere.
+    }
+  }
+}
+
+TEST(SimCompute, InvokeOverheadChargedPerTask) {
+  // Zero-flop tasks cost exactly the sink invoke overhead, serialized on
+  // the stream.
+  Harness h(hsw_plus_knc(1));
+  std::vector<double> x(8);
+  const BufferId id = h.runtime->buffer_create(x.data(), 64);
+  h.runtime->buffer_instantiate(id, DomainId{1});
+  const StreamId s = h.runtime->stream_create(DomainId{1},
+                                              CpuMask::first_n(240));
+  constexpr int kTasks = 10;
+  const double t0 = h.runtime->now();
+  for (int i = 0; i < kTasks; ++i) {
+    ComputePayload task;
+    task.kernel = "noop";
+    task.flops = 0.0;
+    task.body = [](TaskContext&) {};
+    const OperandRef ops[] = {{x.data(), 64, Access::inout}};
+    (void)h.runtime->enqueue_compute(s, std::move(task), ops);
+  }
+  h.runtime->synchronize();
+  const double per_task = (h.runtime->now() - t0) / kTasks;
+  EXPECT_DOUBLE_EQ(per_task, knc_model().invoke_overhead_s);
+}
+
+TEST(SimCompute, HostInvokeCheaperThanRemote) {
+  EXPECT_LT(hsw_model().invoke_overhead_s, knc_model().invoke_overhead_s);
+  EXPECT_GT(remote_node_model().invoke_overhead_s,
+            knc_model().invoke_overhead_s);
+}
+
+TEST(SimAlloc, AllocDurationScalesWithSize) {
+  Harness h(hsw_plus_knc(1));
+  std::vector<double> small(1 << 17);   // 1 MB
+  std::vector<double> large(1 << 20);   // 8 MB
+  const BufferId bs = h.runtime->buffer_create(small.data(), small.size() * 8);
+  const BufferId bl = h.runtime->buffer_create(large.data(), large.size() * 8);
+  const StreamId s = h.runtime->stream_create(DomainId{1},
+                                              CpuMask::first_n(240));
+  const double t0 = h.runtime->now();
+  (void)h.runtime->enqueue_alloc(s, bs);
+  h.runtime->synchronize();
+  const double t_small = h.runtime->now() - t0;
+  const double t1 = h.runtime->now();
+  (void)h.runtime->enqueue_alloc(s, bl);
+  h.runtime->synchronize();
+  const double t_large = h.runtime->now() - t1;
+  EXPECT_NEAR(t_large / t_small, 8.0, 0.1);
+}
+
+TEST(SimDeterminism, FabricClusterReplaysExactly) {
+  double times[2];
+  for (double& t : times) {
+    Harness h(hsw_cluster(1, 1));
+    std::vector<double> x(1 << 18);
+    const BufferId id = h.runtime->buffer_create(x.data(), x.size() * 8);
+    h.runtime->buffer_instantiate(id, DomainId{1});
+    h.runtime->buffer_instantiate(id, DomainId{2});
+    const StreamId s1 =
+        h.runtime->stream_create(DomainId{1}, CpuMask::first_n(240));
+    const StreamId s2 =
+        h.runtime->stream_create(DomainId{2}, CpuMask::first_n(14));
+    for (int i = 0; i < 5; ++i) {
+      (void)h.runtime->enqueue_transfer(s1, x.data(), x.size() * 8,
+                                        XferDir::src_to_sink);
+      (void)h.runtime->enqueue_transfer(s2, x.data(), x.size() * 8,
+                                        XferDir::src_to_sink);
+      ComputePayload task;
+      task.kernel = "dgemm";
+      task.flops = 1e9;
+      task.body = [](TaskContext&) {};
+      const OperandRef ops[] = {{x.data(), x.size() * 8, Access::inout}};
+      (void)h.runtime->enqueue_compute(i % 2 == 0 ? s1 : s2,
+                                       std::move(task), ops);
+    }
+    h.runtime->synchronize();
+    t = h.runtime->now();
+  }
+  EXPECT_DOUBLE_EQ(times[0], times[1]);
+}
+
+TEST(SimStreams, NarrowStreamSlowerThanWide) {
+  // The same task on a 60-thread stream vs a 240-thread stream: the
+  // narrow one runs at roughly a quarter rate for saturated work.
+  Harness h(hsw_plus_knc(1));
+  std::vector<double> x(8);
+  const BufferId id = h.runtime->buffer_create(x.data(), 64);
+  h.runtime->buffer_instantiate(id, DomainId{1});
+  const StreamId narrow =
+      h.runtime->stream_create(DomainId{1}, CpuMask::first_n(60));
+  const StreamId wide =
+      h.runtime->stream_create(DomainId{1}, CpuMask::first_n(240));
+
+  auto timed = [&](StreamId s) {
+    const double t0 = h.runtime->now();
+    ComputePayload task;
+    task.kernel = "dgemm";
+    task.flops = 1e12;  // deep in saturation
+    task.body = [](TaskContext&) {};
+    const OperandRef ops[] = {{x.data(), 64, Access::inout}};
+    (void)h.runtime->enqueue_compute(s, std::move(task), ops);
+    h.runtime->synchronize();
+    return h.runtime->now() - t0;
+  };
+  const double t_narrow = timed(narrow);
+  const double t_wide = timed(wide);
+  EXPECT_NEAR(t_narrow / t_wide, 4.0, 0.5);
+}
+
+}  // namespace
+}  // namespace hs::sim

@@ -1,0 +1,184 @@
+// Stress tests: thousands of actions through deep stream windows, wide
+// cross-stream event fan-in/fan-out, and long instant-action chains (the
+// completion-trampoline recursion bound).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "core/runtime.hpp"
+#include "core/threaded_executor.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace hs {
+namespace {
+
+TEST(Stress, DeepWindowsManyStreamsThreaded) {
+  RuntimeConfig config;
+  config.platform = PlatformDesc::host_plus_cards(4, 2, 4);
+  Runtime rt(config, std::make_unique<ThreadedExecutor>());
+
+  constexpr std::size_t kStreams = 8;
+  constexpr std::size_t kActionsPerStream = 500;
+  std::vector<std::vector<double>> data(kStreams,
+                                        std::vector<double>(64, 0.0));
+  std::vector<StreamId> streams;
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    const DomainId dom{static_cast<std::uint32_t>(s % 3)};
+    streams.push_back(rt.stream_create(dom, CpuMask::first_n(2)));
+    const BufferId id =
+        rt.buffer_create(data[s].data(), 64 * sizeof(double));
+    if (dom != kHostDomain) {
+      rt.buffer_instantiate(id, dom);
+    }
+  }
+
+  std::atomic<std::size_t> executed{0};
+  for (std::size_t n = 0; n < kActionsPerStream; ++n) {
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      double* cell = data[s].data() + (n % 64);
+      ComputePayload task;
+      task.body = [cell, &executed](TaskContext& ctx) {
+        *ctx.translate(cell, 1) += 1.0;
+        executed.fetch_add(1, std::memory_order_relaxed);
+      };
+      const OperandRef ops[] = {{cell, sizeof(double), Access::inout}};
+      (void)rt.enqueue_compute(streams[s], std::move(task), ops);
+    }
+  }
+  rt.synchronize();
+  EXPECT_EQ(executed.load(), kStreams * kActionsPerStream);
+  const RuntimeStats stats = rt.stats();
+  EXPECT_EQ(stats.computes_enqueued, kStreams * kActionsPerStream);
+  EXPECT_EQ(stats.actions_completed, stats.computes_enqueued);
+  // Per-stream, each of the 64 cells accumulated kActionsPerStream/64+-.
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    if (rt.stream_domain(streams[s]) != kHostDomain) {
+      continue;  // device copies not pulled back in this stress test
+    }
+    double total = 0.0;
+    for (const double v : data[s]) {
+      total += v;
+    }
+    EXPECT_DOUBLE_EQ(total, static_cast<double>(kActionsPerStream));
+  }
+}
+
+TEST(Stress, LongInstantActionChainDoesNotOverflowStack) {
+  // 20k signals in one stream, every one a full barrier: each completes
+  // instantly and unblocks the next — the trampoline must iterate, not
+  // recurse.
+  const sim::SimPlatform platform = sim::hsw_plus_knc(1);
+  RuntimeConfig config;
+  config.platform = platform.desc;
+  Runtime rt(config, std::make_unique<sim::SimExecutor>(platform, false));
+  const StreamId s = rt.stream_create(DomainId{1}, CpuMask::first_n(240));
+  std::shared_ptr<EventState> last;
+  for (int i = 0; i < 20000; ++i) {
+    last = rt.enqueue_signal(s);
+  }
+  rt.synchronize();
+  EXPECT_TRUE(last->fired());
+  EXPECT_EQ(rt.stats().actions_completed, 20000u);
+}
+
+TEST(Stress, WideEventFanInAndOut) {
+  // One producer event gates 64 consumer streams; then 64 producer
+  // events gate one consumer (fan-in via repeated waits).
+  RuntimeConfig config;
+  config.platform = PlatformDesc::host_plus_cards(4, 1, 4);
+  Runtime rt(config, std::make_unique<ThreadedExecutor>());
+  std::vector<double> x(128, 0.0);
+  (void)rt.buffer_create(x.data(), 128 * sizeof(double));
+
+  std::vector<StreamId> consumers;
+  for (int i = 0; i < 64; ++i) {
+    consumers.push_back(rt.stream_create(kHostDomain, CpuMask::first_n(2)));
+  }
+  const StreamId producer = rt.stream_create(kHostDomain, CpuMask::first_n(2));
+
+  // Fan-out.
+  ComputePayload produce;
+  produce.body = [&x](TaskContext&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    x[0] = 1.0;
+  };
+  const OperandRef pops[] = {{x.data(), sizeof(double), Access::out}};
+  auto ev = rt.enqueue_compute(producer, std::move(produce), pops);
+  std::atomic<int> saw_value{0};
+  for (int i = 0; i < 64; ++i) {
+    (void)rt.enqueue_event_wait(consumers[static_cast<std::size_t>(i)], ev);
+    ComputePayload consume;
+    consume.body = [&x, &saw_value](TaskContext&) {
+      if (x[0] == 1.0) {
+        saw_value.fetch_add(1);
+      }
+    };
+    const OperandRef cops[] = {{x.data(), sizeof(double), Access::in}};
+    (void)rt.enqueue_compute(consumers[static_cast<std::size_t>(i)],
+                             std::move(consume), cops);
+  }
+  rt.synchronize();
+  EXPECT_EQ(saw_value.load(), 64);
+
+  // Fan-in: 64 producers, one gated consumer.
+  std::vector<std::shared_ptr<EventState>> events;
+  for (int i = 0; i < 64; ++i) {
+    ComputePayload p;
+    double* cell = x.data() + 1 + i;
+    p.body = [cell](TaskContext&) { *cell = 2.0; };
+    const OperandRef ops[] = {{cell, sizeof(double), Access::out}};
+    events.push_back(rt.enqueue_compute(
+        consumers[static_cast<std::size_t>(i)], std::move(p), ops));
+  }
+  for (const auto& e : events) {
+    (void)rt.enqueue_event_wait(producer, e);
+  }
+  double sum = 0.0;
+  ComputePayload gather;
+  gather.body = [&x, &sum](TaskContext&) {
+    for (int i = 0; i < 64; ++i) {
+      sum += x[1 + static_cast<std::size_t>(i)];
+    }
+  };
+  const OperandRef gops[] = {
+      {x.data() + 1, 64 * sizeof(double), Access::in}};
+  (void)rt.enqueue_compute(producer, std::move(gather), gops);
+  rt.synchronize();
+  EXPECT_DOUBLE_EQ(sum, 128.0);
+}
+
+TEST(Stress, SimHandlesTenThousandTasksQuickly) {
+  const sim::SimPlatform platform = sim::hsw_plus_knc(2);
+  RuntimeConfig config;
+  config.platform = platform.desc;
+  Runtime rt(config, std::make_unique<sim::SimExecutor>(platform, false));
+  std::vector<double> x(1024, 0.0);
+  const BufferId id = rt.buffer_create(x.data(), 1024 * sizeof(double));
+  rt.buffer_instantiate(id, DomainId{1});
+  rt.buffer_instantiate(id, DomainId{2});
+  std::vector<StreamId> streams;
+  for (std::uint32_t d = 1; d <= 2; ++d) {
+    for (const CpuMask& mask : CpuMask::partition(240, 4)) {
+      streams.push_back(rt.stream_create(DomainId{d}, mask));
+    }
+  }
+  for (int n = 0; n < 10000; ++n) {
+    ComputePayload task;
+    task.kernel = "dgemm";
+    task.flops = 1e8;
+    task.body = [](TaskContext&) {};
+    double* cell = x.data() + (n % 1024);
+    const OperandRef ops[] = {{cell, sizeof(double), Access::inout}};
+    (void)rt.enqueue_compute(
+        streams[static_cast<std::size_t>(n) % streams.size()],
+        std::move(task), ops);
+  }
+  rt.synchronize();
+  EXPECT_EQ(rt.stats().actions_completed, 10000u);
+  EXPECT_GT(rt.now(), 0.0);
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,81 @@
+// Tests for the ThreadedExecutor's optional link pacing (time_dilation):
+// the knob that makes the functional backend emulate interconnect timing
+// in scaled wall time, used when eyeballing overlap on real threads.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/runtime.hpp"
+#include "core/threaded_executor.hpp"
+
+namespace hs {
+namespace {
+
+double wall_seconds_of_transfer(double dilation, std::size_t bytes) {
+  RuntimeConfig config;
+  config.platform = PlatformDesc::host_plus_cards(2, 1, 4);
+  ThreadedExecutorConfig exec;
+  exec.time_dilation = dilation;
+  Runtime rt(config, std::make_unique<ThreadedExecutor>(exec));
+  std::vector<std::byte> data(bytes);
+  const BufferId id = rt.buffer_create(data.data(), bytes);
+  rt.buffer_instantiate(id, DomainId{1});
+  const StreamId s = rt.stream_create(DomainId{1}, CpuMask::first_n(2));
+  const auto t0 = std::chrono::steady_clock::now();
+  (void)rt.enqueue_transfer(s, data.data(), bytes, XferDir::src_to_sink);
+  rt.synchronize();
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+TEST(ThreadedPacing, DilationSlowsTransfersProportionally) {
+  constexpr std::size_t kBytes = 4 << 20;  // modeled ~0.64 ms on PCIe
+  const double fast = wall_seconds_of_transfer(0.0, kBytes);
+  // Dilation 100x: modeled 0.64 ms -> ~64 ms wall.
+  const double paced = wall_seconds_of_transfer(100.0, kBytes);
+  EXPECT_GT(paced, 0.05);
+  EXPECT_GT(paced, 5.0 * fast);
+}
+
+TEST(ThreadedPacing, DataStillArrivesIntact) {
+  RuntimeConfig config;
+  config.platform = PlatformDesc::host_plus_cards(2, 1, 4);
+  ThreadedExecutorConfig exec;
+  exec.time_dilation = 10.0;
+  Runtime rt(config, std::make_unique<ThreadedExecutor>(exec));
+  std::vector<double> data(1024, 3.5);
+  const BufferId id =
+      rt.buffer_create(data.data(), data.size() * sizeof(double));
+  rt.buffer_instantiate(id, DomainId{1});
+  const StreamId s = rt.stream_create(DomainId{1}, CpuMask::first_n(2));
+  (void)rt.enqueue_transfer(s, data.data(), data.size() * sizeof(double),
+                            XferDir::src_to_sink);
+  ComputePayload task;
+  task.body = [&data](TaskContext& ctx) {
+    double* local = ctx.translate(data.data(), data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      local[i] += 1.0;
+    }
+  };
+  const OperandRef ops[] = {
+      {data.data(), data.size() * sizeof(double), Access::inout}};
+  (void)rt.enqueue_compute(s, std::move(task), ops);
+  (void)rt.enqueue_transfer(s, data.data(), data.size() * sizeof(double),
+                            XferDir::sink_to_src);
+  rt.synchronize();
+  EXPECT_DOUBLE_EQ(data[512], 4.5);
+}
+
+TEST(ThreadedPacing, ConfigValidation) {
+  EXPECT_THROW(
+      (void)ThreadedExecutor(
+          ThreadedExecutorConfig{.max_workers_per_domain = 0}),
+      Error);
+  EXPECT_THROW(
+      (void)ThreadedExecutor(ThreadedExecutorConfig{.transfer_workers = 0}),
+      Error);
+}
+
+}  // namespace
+}  // namespace hs

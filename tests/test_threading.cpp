@@ -1,0 +1,248 @@
+// Unit tests for src/threading: CPU masks, the worker pool, and team
+// parallel_for (including overlapping teams, which exercise the helping
+// path that keeps gang scheduling deadlock-free).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "threading/cpu_mask.hpp"
+#include "threading/team.hpp"
+#include "threading/thread_pool.hpp"
+
+namespace hs {
+namespace {
+
+TEST(CpuMask, RangeAndCount) {
+  const CpuMask m = CpuMask::range(2, 6);
+  EXPECT_EQ(m.count(), 4u);
+  EXPECT_FALSE(m.test(1));
+  EXPECT_TRUE(m.test(2));
+  EXPECT_TRUE(m.test(5));
+  EXPECT_FALSE(m.test(6));
+}
+
+TEST(CpuMask, SetClear) {
+  CpuMask m;
+  EXPECT_TRUE(m.empty());
+  m.set(100);
+  EXPECT_TRUE(m.test(100));
+  EXPECT_EQ(m.count(), 1u);
+  m.clear(100);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(CpuMask, BoundsChecked) {
+  CpuMask m;
+  EXPECT_THROW(m.set(CpuMask::kMaxCpus), Error);
+  EXPECT_THROW((void)CpuMask::range(0, CpuMask::kMaxCpus + 1), Error);
+}
+
+TEST(CpuMask, SetOperations) {
+  const CpuMask a = CpuMask::range(0, 4);
+  const CpuMask b = CpuMask::range(2, 8);
+  EXPECT_TRUE(a.intersects(b));
+  EXPECT_EQ((a & b).count(), 2u);
+  EXPECT_EQ((a | b).count(), 8u);
+  EXPECT_TRUE(CpuMask::range(2, 4).subset_of(a));
+  EXPECT_FALSE(b.subset_of(a));
+  EXPECT_FALSE(a.intersects(CpuMask::range(8, 10)));
+}
+
+TEST(CpuMask, ToStringCollapsesRuns) {
+  CpuMask m = CpuMask::range(0, 4);
+  m.set(8);
+  EXPECT_EQ(m.to_string(), "{0-3,8}");
+  EXPECT_EQ(CpuMask{}.to_string(), "{}");
+}
+
+TEST(CpuMask, PartitionEven) {
+  const auto parts = CpuMask::partition(8, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  for (const auto& p : parts) {
+    EXPECT_EQ(p.count(), 2u);
+  }
+  // Parts must be disjoint and cover [0, 8).
+  CpuMask all;
+  for (const auto& p : parts) {
+    EXPECT_FALSE(all.intersects(p));
+    all = all | p;
+  }
+  EXPECT_EQ(all, CpuMask::range(0, 8));
+}
+
+TEST(CpuMask, PartitionUnevenFrontLoaded) {
+  // 61 KNC-like cores into 4 streams: 16,15,15,15.
+  const auto parts = CpuMask::partition(61, 4);
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0].count(), 16u);
+  EXPECT_EQ(parts[1].count(), 15u);
+  EXPECT_EQ(parts[3].count(), 15u);
+}
+
+TEST(CpuMask, PartitionRejectsTooManyParts) {
+  EXPECT_THROW((void)CpuMask::partition(2, 3), Error);
+  EXPECT_THROW((void)CpuMask::partition(4, 0), Error);
+}
+
+TEST(ThreadPool, RunsSubmittedJobs) {
+  ThreadPool pool(3);
+  std::atomic<int> count{0};
+  for (std::size_t i = 0; i < 30; ++i) {
+    pool.submit(i % 3, [&count] { count.fetch_add(1); });
+  }
+  while (count.load() != 30) {
+    std::this_thread::yield();
+  }
+  SUCCEED();
+}
+
+TEST(ThreadPool, PerWorkerFifoOrder) {
+  ThreadPool pool(2);
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.submit(0, [&order, &done, i] {
+      order.push_back(i);  // single worker: no race
+      done.fetch_add(1);
+    });
+  }
+  while (done.load() != 10) {
+    std::this_thread::yield();
+  }
+  std::vector<int> expected(10);
+  std::iota(expected.begin(), expected.end(), 0);
+  EXPECT_EQ(order, expected);
+}
+
+TEST(ThreadPool, CurrentWorkerIndex) {
+  ThreadPool pool(2);
+  std::atomic<std::size_t> observed{ThreadPool::npos};
+  std::atomic<bool> done{false};
+  pool.submit(1, [&] {
+    observed.store(pool.current_worker_index());
+    done.store(true);
+  });
+  while (!done.load()) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(observed.load(), 1u);
+  EXPECT_EQ(pool.current_worker_index(), ThreadPool::npos);  // host thread
+}
+
+TEST(ThreadPool, DrainsQueueOnDestruction) {
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 100; ++i) {
+      pool.submit(0, [&count] { count.fetch_add(1); });
+    }
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, RejectsBadWorkerIndex) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.submit(2, [] {}), Error);
+  EXPECT_THROW((void)ThreadPool(0), Error);
+}
+
+TEST(Team, ParallelForCoversIterationSpaceOnce) {
+  ThreadPool pool(4);
+  Team team(pool, CpuMask::range(0, 4));
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  std::atomic<bool> done{false};
+  team.run_async([&](Team& t) {
+    t.parallel_for(kN, [&hits](std::size_t i) { hits[i].fetch_add(1); });
+    done.store(true);
+  });
+  while (!done.load()) {
+    std::this_thread::yield();
+  }
+  for (std::size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "iteration " << i;
+  }
+}
+
+TEST(Team, ParallelForSingleMember) {
+  ThreadPool pool(2);
+  Team team(pool, CpuMask::range(1, 2));
+  std::atomic<int> sum{0};
+  std::atomic<bool> done{false};
+  team.run_async([&](Team& t) {
+    t.parallel_for(10, [&sum](std::size_t i) {
+      sum.fetch_add(static_cast<int>(i));
+    });
+    done.store(true);
+  });
+  while (!done.load()) {
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(sum.load(), 45);
+}
+
+TEST(Team, ParallelForZeroIterations) {
+  ThreadPool pool(2);
+  Team team(pool, CpuMask::range(0, 2));
+  std::atomic<bool> done{false};
+  team.run_async([&](Team& t) {
+    t.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+    done.store(true);
+  });
+  while (!done.load()) {
+    std::this_thread::yield();
+  }
+}
+
+// Two teams sharing the same workers, each blocking on its own
+// parallel_for — the helping path must prevent the cyclic wait.
+TEST(Team, OverlappingTeamsDoNotDeadlock) {
+  ThreadPool pool(2);
+  Team a(pool, CpuMask::range(0, 2));
+  Team b(pool, CpuMask::range(0, 2));
+  std::atomic<int> done{0};
+  auto gang = [&done](Team& t) {
+    t.parallel_for(64, [](std::size_t) {
+      std::this_thread::sleep_for(std::chrono::microseconds(10));
+    });
+    done.fetch_add(1);
+  };
+  a.run_async(gang);
+  b.run_async(gang);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  while (done.load() != 2) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline) << "deadlock";
+    std::this_thread::yield();
+  }
+}
+
+TEST(Team, MaskMustFitPool) {
+  ThreadPool pool(2);
+  EXPECT_THROW((void)Team(pool, CpuMask::range(0, 3)), Error);
+  EXPECT_THROW((void)Team(pool, CpuMask{}), Error);
+}
+
+TEST(Team, TasksOnLeaderAreFifo) {
+  ThreadPool pool(2);
+  Team team(pool, CpuMask::range(0, 2));
+  std::vector<int> order;
+  std::atomic<int> done{0};
+  for (int i = 0; i < 8; ++i) {
+    team.run_async([&order, &done, i](Team&) {
+      order.push_back(i);  // leader-serialized
+      done.fetch_add(1);
+    });
+  }
+  while (done.load() != 8) {
+    std::this_thread::yield();
+  }
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+  }
+}
+
+}  // namespace
+}  // namespace hs

@@ -1,0 +1,179 @@
+// Tests for the execution-trace recorder and its Chrome-trace export.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/runtime.hpp"
+#include "core/threaded_executor.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace hs {
+namespace {
+
+TEST(Trace, RecordsAllActionPhases) {
+  const sim::SimPlatform platform = sim::hsw_plus_knc(1);
+  RuntimeConfig config;
+  config.platform = platform.desc;
+  Runtime rt(config, std::make_unique<sim::SimExecutor>(platform, true));
+  TraceRecorder trace;
+  rt.set_trace(&trace);
+
+  std::vector<double> x(1024, 0.0);
+  const BufferId id = rt.buffer_create(x.data(), x.size() * sizeof(double));
+  rt.buffer_instantiate(id, DomainId{1});
+  const StreamId s = rt.stream_create(DomainId{1}, CpuMask::first_n(60));
+
+  (void)rt.enqueue_transfer(s, x.data(), x.size() * sizeof(double),
+                            XferDir::src_to_sink);
+  ComputePayload task;
+  task.kernel = "dgemm";
+  task.flops = 1e9;
+  task.body = [](TaskContext&) {};
+  const OperandRef ops[] = {
+      {x.data(), x.size() * sizeof(double), Access::inout}};
+  (void)rt.enqueue_compute(s, std::move(task), ops);
+  (void)rt.enqueue_transfer(s, x.data(), x.size() * sizeof(double),
+                            XferDir::sink_to_src);
+  rt.synchronize();
+
+  const auto records = trace.records();
+  ASSERT_EQ(records.size(), 3u);
+  // Types and labels in enqueue order.
+  EXPECT_EQ(records[0].type, ActionType::transfer);
+  EXPECT_EQ(records[0].label, "xfer h2d");
+  EXPECT_EQ(records[0].bytes, 1024 * sizeof(double));
+  EXPECT_EQ(records[1].type, ActionType::compute);
+  EXPECT_EQ(records[1].label, "dgemm");
+  EXPECT_DOUBLE_EQ(records[1].flops, 1e9);
+  EXPECT_EQ(records[2].label, "xfer d2h");
+  // Phase monotonicity, and the dependent compute dispatched only after
+  // the upload completed.
+  for (const auto& r : records) {
+    EXPECT_LE(r.enqueue_s, r.dispatch_s);
+    EXPECT_LT(r.dispatch_s, r.complete_s);
+  }
+  EXPECT_GE(records[1].dispatch_s, records[0].complete_s);
+}
+
+TEST(Trace, BlockedTimeVisible) {
+  const sim::SimPlatform platform = sim::hsw_plus_knc(1);
+  RuntimeConfig config;
+  config.platform = platform.desc;
+  Runtime rt(config, std::make_unique<sim::SimExecutor>(platform, true));
+  TraceRecorder trace;
+  rt.set_trace(&trace);
+
+  std::vector<double> x(1 << 18, 0.0);  // 2 MB: measurable transfer
+  const BufferId id = rt.buffer_create(x.data(), x.size() * sizeof(double));
+  rt.buffer_instantiate(id, DomainId{1});
+  const StreamId s = rt.stream_create(DomainId{1}, CpuMask::first_n(60));
+  (void)rt.enqueue_transfer(s, x.data(), x.size() * sizeof(double),
+                            XferDir::src_to_sink);
+  ComputePayload task;
+  task.kernel = "k";
+  task.flops = 1e6;
+  task.body = [](TaskContext&) {};
+  const OperandRef ops[] = {
+      {x.data(), x.size() * sizeof(double), Access::in}};
+  (void)rt.enqueue_compute(s, std::move(task), ops);
+  rt.synchronize();
+
+  const auto records = trace.records();
+  ASSERT_EQ(records.size(), 2u);
+  // The compute was enqueued at t=0 but could only dispatch after the
+  // transfer: blocked time > 0.
+  EXPECT_GT(records[1].dispatch_s - records[1].enqueue_s, 0.0);
+}
+
+TEST(Trace, ChromeExportIsWellFormedJson) {
+  const sim::SimPlatform platform = sim::hsw_plus_knc(1);
+  RuntimeConfig config;
+  config.platform = platform.desc;
+  Runtime rt(config, std::make_unique<sim::SimExecutor>(platform, true));
+  TraceRecorder trace;
+  rt.set_trace(&trace);
+
+  std::vector<double> x(256, 0.0);
+  const BufferId id = rt.buffer_create(x.data(), x.size() * sizeof(double));
+  rt.buffer_instantiate(id, DomainId{1});
+  const StreamId s = rt.stream_create(DomainId{1}, CpuMask::first_n(60));
+  for (int i = 0; i < 4; ++i) {
+    ComputePayload task;
+    task.kernel = "step\"quoted\"";  // exercises escaping
+    task.flops = 1e6;
+    task.body = [](TaskContext&) {};
+    const OperandRef ops[] = {
+        {x.data(), x.size() * sizeof(double), Access::inout}};
+    (void)rt.enqueue_compute(s, std::move(task), ops);
+  }
+  rt.synchronize();
+
+  std::ostringstream os;
+  trace.write_chrome_trace(os);
+  const std::string json = os.str();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_EQ(json[json.size() - 2], ']');
+  // Balanced braces and escaped quotes.
+  long depth = 0;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    if (json[i] == '{') {
+      ++depth;
+    } else if (json[i] == '}') {
+      --depth;
+    }
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  EXPECT_NE(json.find("step\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"compute\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"blocked\""), std::string::npos);
+}
+
+TEST(Trace, WorksOnThreadedBackend) {
+  RuntimeConfig config;
+  config.platform = PlatformDesc::host_plus_cards(4, 1, 4);
+  Runtime rt(config, std::make_unique<ThreadedExecutor>());
+  TraceRecorder trace;
+  rt.set_trace(&trace);
+  std::vector<double> x(64, 0.0);
+  (void)rt.buffer_create(x.data(), 64 * sizeof(double));
+  const StreamId s = rt.stream_create(kHostDomain, CpuMask::first_n(2));
+  ComputePayload task;
+  task.kernel = "host";
+  task.body = [](TaskContext&) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  };
+  const OperandRef ops[] = {{x.data(), 64 * sizeof(double), Access::inout}};
+  (void)rt.enqueue_compute(s, std::move(task), ops);
+  rt.synchronize();
+  const auto records = trace.records();
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_GT(records[0].complete_s - records[0].dispatch_s, 1e-3);
+}
+
+TEST(Trace, DetachStopsRecording) {
+  RuntimeConfig config;
+  config.platform = PlatformDesc::host_plus_cards(2, 1, 2);
+  Runtime rt(config, std::make_unique<ThreadedExecutor>());
+  TraceRecorder trace;
+  rt.set_trace(&trace);
+  std::vector<double> x(8, 0.0);
+  (void)rt.buffer_create(x.data(), 8 * sizeof(double));
+  const StreamId s = rt.stream_create(kHostDomain, CpuMask::first_n(1));
+  const OperandRef ops[] = {{x.data(), 8 * sizeof(double), Access::inout}};
+  ComputePayload t1;
+  t1.body = [](TaskContext&) {};
+  (void)rt.enqueue_compute(s, std::move(t1), ops);
+  rt.synchronize();
+  rt.set_trace(nullptr);
+  ComputePayload t2;
+  t2.body = [](TaskContext&) {};
+  (void)rt.enqueue_compute(s, std::move(t2), ops);
+  rt.synchronize();
+  EXPECT_EQ(trace.size(), 1u);
+}
+
+}  // namespace
+}  // namespace hs

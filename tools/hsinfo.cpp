@@ -1,0 +1,84 @@
+// hsinfo: platform discovery inspector (the "domains are discoverable
+// and enumerable" surface, §II).
+//
+// Prints the domains, their kinds, thread counts, memory budgets and
+// links for a chosen emulated platform.
+//
+// Usage: hsinfo [hsw|ivb] [cards] [remote_nodes]
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/runtime.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+
+  const bool ivb = argc > 1 && std::strcmp(argv[1], "ivb") == 0;
+  const std::size_t cards =
+      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 2;
+  const std::size_t remotes =
+      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 0;
+
+  sim::SimPlatform platform =
+      remotes > 0 ? sim::hsw_cluster(cards, remotes)
+                  : (ivb ? sim::ivb_plus_knc(cards)
+                         : sim::hsw_plus_knc(cards));
+  RuntimeConfig config;
+  config.platform = platform.desc;
+  config.device_link = platform.link;
+  config.domain_links = platform.domain_links;
+  Runtime runtime(config,
+                  std::make_unique<sim::SimExecutor>(platform, false));
+
+  std::printf("%-4s %-12s %-12s %-8s %-24s %s\n", "id", "name", "kind",
+              "threads", "memory", "link");
+  for (std::size_t d = 0; d < runtime.domain_count(); ++d) {
+    const DomainId id{static_cast<std::uint32_t>(d)};
+    const Domain& dom = runtime.domain(id);
+    const char* kind = "?";
+    switch (dom.desc().kind) {
+      case DomainKind::host: kind = "host"; break;
+      case DomainKind::coprocessor: kind = "coprocessor"; break;
+      case DomainKind::gpu: kind = "gpu"; break;
+      case DomainKind::remote_node: kind = "remote-node"; break;
+    }
+    char memory[64] = "";
+    std::size_t at = 0;
+    for (const auto& [mk, bytes] : dom.desc().memory_bytes) {
+      const char* name = mk == MemKind::ddr   ? "ddr"
+                         : mk == MemKind::hbm ? "hbm"
+                                              : "pmem";
+      at += static_cast<std::size_t>(std::snprintf(
+          memory + at, sizeof memory - at, "%s:%zuGB ", name, bytes >> 30));
+    }
+    char link[64] = "-";
+    if (!dom.is_host()) {
+      const LinkModel& l = runtime.link_for(id);
+      std::snprintf(link, sizeof link, "%s (%.0fus, %.1fGB/s)",
+                    l.name.c_str(), l.latency_s * 1e6, l.bandwidth_Bps / 1e9);
+    }
+    std::printf("%-4zu %-12s %-12s %-8zu %-24s %s\n", d,
+                dom.desc().name.c_str(), kind, dom.hw_threads(), memory,
+                link);
+  }
+
+  std::printf("\nkernel ratings (GF/s ceiling @ whole device):\n");
+  std::printf("%-12s", "domain");
+  for (const char* k : {"dgemm", "dpotrf", "ldlt", "stencil"}) {
+    std::printf(" %10s", k);
+  }
+  std::printf("\n");
+  for (std::size_t d = 0; d < platform.models.size(); ++d) {
+    const auto& m = platform.models[d];
+    std::printf("%-12s", m.name.c_str());
+    for (const char* k : {"dgemm", "dpotrf", "ldlt", "stencil"}) {
+      std::printf(" %10.0f", m.rating(k).gflops_max);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,91 @@
+// trace2txt: runs a small pipelined workload with tracing enabled and
+// prints a per-stream text Gantt, demonstrating the TraceRecorder as a
+// standalone tuning aid (no Chrome needed).
+//
+// Usage: trace2txt [columns]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+int main(int argc, char** argv) {
+  using namespace hs;
+  const std::size_t columns =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 72;
+
+  const sim::SimPlatform platform = sim::hsw_plus_knc(1);
+  RuntimeConfig config;
+  config.platform = platform.desc;
+  Runtime runtime(config,
+                  std::make_unique<sim::SimExecutor>(platform, false));
+  TraceRecorder trace;
+  runtime.set_trace(&trace);
+
+  // A small pipelined workload: upload tiles, compute, download —
+  // interleaved across two streams so the overlap is visible.
+  constexpr std::size_t kTiles = 6;
+  std::vector<double> data(kTiles << 18);  // 2MB tiles
+  const BufferId id =
+      runtime.buffer_create(data.data(), data.size() * sizeof(double));
+  runtime.buffer_instantiate(id, DomainId{1});
+  StreamId streams[2] = {
+      runtime.stream_create(DomainId{1}, CpuMask::first_n(120)),
+      runtime.stream_create(DomainId{1}, CpuMask::range(120, 240))};
+  for (std::size_t t = 0; t < kTiles; ++t) {
+    const StreamId s = streams[t % 2];
+    double* tile = data.data() + (t << 18);
+    const std::size_t bytes = (1u << 18) * sizeof(double);
+    (void)runtime.enqueue_transfer(s, tile, bytes, XferDir::src_to_sink);
+    ComputePayload task;
+    task.kernel = "dgemm";
+    task.flops = 3e9;
+    task.body = [](TaskContext&) {};
+    const OperandRef ops[] = {{tile, bytes, Access::inout}};
+    (void)runtime.enqueue_compute(s, std::move(task), ops);
+    (void)runtime.enqueue_transfer(s, tile, bytes, XferDir::sink_to_src);
+  }
+  runtime.synchronize();
+
+  // Render: one row per stream, '#' executing, '.' blocked.
+  const auto records = trace.records();
+  double horizon = 0.0;
+  for (const auto& r : records) {
+    horizon = std::max(horizon, r.complete_s);
+  }
+  std::map<std::uint32_t, std::string> rows;
+  for (const auto& r : records) {
+    std::string& row =
+        rows.try_emplace(r.stream.value, std::string(columns, ' '))
+            .first->second;
+    auto col = [&](double t) {
+      return std::min(columns - 1,
+                      static_cast<std::size_t>(t / horizon *
+                                               static_cast<double>(columns)));
+    };
+    for (std::size_t cidx = col(r.enqueue_s); cidx < col(r.dispatch_s);
+         ++cidx) {
+      if (row[cidx] == ' ') {
+        row[cidx] = '.';
+      }
+    }
+    const char mark = r.type == ActionType::transfer ? '~' : '#';
+    for (std::size_t cidx = col(r.dispatch_s); cidx <= col(r.complete_s);
+         ++cidx) {
+      row[cidx] = mark;
+    }
+  }
+  std::printf("virtual makespan: %.3f ms  (%zu actions)\n", horizon * 1e3,
+              records.size());
+  std::printf("legend: '#' compute  '~' transfer  '.' blocked\n\n");
+  for (const auto& [stream, row] : rows) {
+    std::printf("stream %-3u |%s|\n", stream, row.c_str());
+  }
+  return 0;
+}
