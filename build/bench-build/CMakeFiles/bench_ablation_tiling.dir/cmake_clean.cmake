@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_tiling"
+  "../bench/bench_ablation_tiling.pdb"
+  "CMakeFiles/bench_ablation_tiling.dir/bench_ablation_tiling.cpp.o"
+  "CMakeFiles/bench_ablation_tiling.dir/bench_ablation_tiling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

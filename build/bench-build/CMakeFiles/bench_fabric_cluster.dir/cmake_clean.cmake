@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fabric_cluster"
+  "../bench/bench_fabric_cluster.pdb"
+  "CMakeFiles/bench_fabric_cluster.dir/bench_fabric_cluster.cpp.o"
+  "CMakeFiles/bench_fabric_cluster.dir/bench_fabric_cluster.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fabric_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_cholesky"
+  "../bench/bench_fig7_cholesky.pdb"
+  "CMakeFiles/bench_fig7_cholesky.dir/bench_fig7_cholesky.cpp.o"
+  "CMakeFiles/bench_fig7_cholesky.dir/bench_fig7_cholesky.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_cholesky.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_abaqus"
+  "../bench/bench_fig8_abaqus.pdb"
+  "CMakeFiles/bench_fig8_abaqus.dir/bench_fig8_abaqus.cpp.o"
+  "CMakeFiles/bench_fig8_abaqus.dir/bench_fig8_abaqus.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_abaqus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

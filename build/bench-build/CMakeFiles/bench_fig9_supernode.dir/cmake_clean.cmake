@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_supernode"
+  "../bench/bench_fig9_supernode.pdb"
+  "CMakeFiles/bench_fig9_supernode.dir/bench_fig9_supernode.cpp.o"
+  "CMakeFiles/bench_fig9_supernode.dir/bench_fig9_supernode.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_supernode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

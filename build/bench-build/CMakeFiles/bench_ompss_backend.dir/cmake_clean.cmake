@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ompss_backend"
+  "../bench/bench_ompss_backend.pdb"
+  "CMakeFiles/bench_ompss_backend.dir/bench_ompss_backend.cpp.o"
+  "CMakeFiles/bench_ompss_backend.dir/bench_ompss_backend.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ompss_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_rtm"
+  "../bench/bench_rtm.pdb"
+  "CMakeFiles/bench_rtm.dir/bench_rtm.cpp.o"
+  "CMakeFiles/bench_rtm.dir/bench_rtm.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rtm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cholesky_hetero.dir/cholesky_hetero.cpp.o"
+  "CMakeFiles/cholesky_hetero.dir/cholesky_hetero.cpp.o.d"
+  "cholesky_hetero"
+  "cholesky_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cholesky_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hstreams_port.dir/hstreams_port.cpp.o"
+  "CMakeFiles/hstreams_port.dir/hstreams_port.cpp.o.d"
+  "hstreams_port"
+  "hstreams_port.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hstreams_port.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

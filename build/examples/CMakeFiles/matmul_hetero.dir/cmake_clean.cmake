@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matmul_hetero.dir/matmul_hetero.cpp.o"
+  "CMakeFiles/matmul_hetero.dir/matmul_hetero.cpp.o.d"
+  "matmul_hetero"
+  "matmul_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matmul_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

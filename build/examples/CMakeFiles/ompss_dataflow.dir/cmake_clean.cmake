@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ompss_dataflow.dir/ompss_dataflow.cpp.o"
+  "CMakeFiles/ompss_dataflow.dir/ompss_dataflow.cpp.o.d"
+  "ompss_dataflow"
+  "ompss_dataflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ompss_dataflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

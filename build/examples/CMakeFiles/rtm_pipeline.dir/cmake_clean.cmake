@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rtm_pipeline.dir/rtm_pipeline.cpp.o"
+  "CMakeFiles/rtm_pipeline.dir/rtm_pipeline.cpp.o.d"
+  "rtm_pipeline"
+  "rtm_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rtm_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

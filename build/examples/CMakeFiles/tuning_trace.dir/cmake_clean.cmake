@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tuning_trace.dir/tuning_trace.cpp.o"
+  "CMakeFiles/tuning_trace.dir/tuning_trace.cpp.o.d"
+  "tuning_trace"
+  "tuning_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tuning_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

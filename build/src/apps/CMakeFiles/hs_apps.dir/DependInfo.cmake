@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/abaqus.cpp" "src/apps/CMakeFiles/hs_apps.dir/abaqus.cpp.o" "gcc" "src/apps/CMakeFiles/hs_apps.dir/abaqus.cpp.o.d"
+  "/root/repo/src/apps/cg.cpp" "src/apps/CMakeFiles/hs_apps.dir/cg.cpp.o" "gcc" "src/apps/CMakeFiles/hs_apps.dir/cg.cpp.o.d"
+  "/root/repo/src/apps/cholesky.cpp" "src/apps/CMakeFiles/hs_apps.dir/cholesky.cpp.o" "gcc" "src/apps/CMakeFiles/hs_apps.dir/cholesky.cpp.o.d"
+  "/root/repo/src/apps/lu.cpp" "src/apps/CMakeFiles/hs_apps.dir/lu.cpp.o" "gcc" "src/apps/CMakeFiles/hs_apps.dir/lu.cpp.o.d"
+  "/root/repo/src/apps/matmul.cpp" "src/apps/CMakeFiles/hs_apps.dir/matmul.cpp.o" "gcc" "src/apps/CMakeFiles/hs_apps.dir/matmul.cpp.o.d"
+  "/root/repo/src/apps/rtm.cpp" "src/apps/CMakeFiles/hs_apps.dir/rtm.cpp.o" "gcc" "src/apps/CMakeFiles/hs_apps.dir/rtm.cpp.o.d"
+  "/root/repo/src/apps/supernode.cpp" "src/apps/CMakeFiles/hs_apps.dir/supernode.cpp.o" "gcc" "src/apps/CMakeFiles/hs_apps.dir/supernode.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsblas/CMakeFiles/hs_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/hs_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

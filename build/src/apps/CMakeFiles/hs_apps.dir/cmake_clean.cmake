@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_apps.dir/abaqus.cpp.o"
+  "CMakeFiles/hs_apps.dir/abaqus.cpp.o.d"
+  "CMakeFiles/hs_apps.dir/cg.cpp.o"
+  "CMakeFiles/hs_apps.dir/cg.cpp.o.d"
+  "CMakeFiles/hs_apps.dir/cholesky.cpp.o"
+  "CMakeFiles/hs_apps.dir/cholesky.cpp.o.d"
+  "CMakeFiles/hs_apps.dir/lu.cpp.o"
+  "CMakeFiles/hs_apps.dir/lu.cpp.o.d"
+  "CMakeFiles/hs_apps.dir/matmul.cpp.o"
+  "CMakeFiles/hs_apps.dir/matmul.cpp.o.d"
+  "CMakeFiles/hs_apps.dir/rtm.cpp.o"
+  "CMakeFiles/hs_apps.dir/rtm.cpp.o.d"
+  "CMakeFiles/hs_apps.dir/supernode.cpp.o"
+  "CMakeFiles/hs_apps.dir/supernode.cpp.o.d"
+  "libhs_apps.a"
+  "libhs_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/auto_offload.cpp" "src/baselines/CMakeFiles/hs_baselines.dir/auto_offload.cpp.o" "gcc" "src/baselines/CMakeFiles/hs_baselines.dir/auto_offload.cpp.o.d"
+  "/root/repo/src/baselines/cuda_like.cpp" "src/baselines/CMakeFiles/hs_baselines.dir/cuda_like.cpp.o" "gcc" "src/baselines/CMakeFiles/hs_baselines.dir/cuda_like.cpp.o.d"
+  "/root/repo/src/baselines/magma_like.cpp" "src/baselines/CMakeFiles/hs_baselines.dir/magma_like.cpp.o" "gcc" "src/baselines/CMakeFiles/hs_baselines.dir/magma_like.cpp.o.d"
+  "/root/repo/src/baselines/omp_offload.cpp" "src/baselines/CMakeFiles/hs_baselines.dir/omp_offload.cpp.o" "gcc" "src/baselines/CMakeFiles/hs_baselines.dir/omp_offload.cpp.o.d"
+  "/root/repo/src/baselines/opencl_like.cpp" "src/baselines/CMakeFiles/hs_baselines.dir/opencl_like.cpp.o" "gcc" "src/baselines/CMakeFiles/hs_baselines.dir/opencl_like.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsblas/CMakeFiles/hs_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/hs_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_baselines.dir/auto_offload.cpp.o"
+  "CMakeFiles/hs_baselines.dir/auto_offload.cpp.o.d"
+  "CMakeFiles/hs_baselines.dir/cuda_like.cpp.o"
+  "CMakeFiles/hs_baselines.dir/cuda_like.cpp.o.d"
+  "CMakeFiles/hs_baselines.dir/magma_like.cpp.o"
+  "CMakeFiles/hs_baselines.dir/magma_like.cpp.o.d"
+  "CMakeFiles/hs_baselines.dir/omp_offload.cpp.o"
+  "CMakeFiles/hs_baselines.dir/omp_offload.cpp.o.d"
+  "CMakeFiles/hs_baselines.dir/opencl_like.cpp.o"
+  "CMakeFiles/hs_baselines.dir/opencl_like.cpp.o.d"
+  "libhs_baselines.a"
+  "libhs_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

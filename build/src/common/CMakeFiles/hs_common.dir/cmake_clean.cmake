@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_common.dir/log.cpp.o"
+  "CMakeFiles/hs_common.dir/log.cpp.o.d"
+  "libhs_common.a"
+  "libhs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/app_api.cpp" "src/core/CMakeFiles/hs_core.dir/app_api.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/app_api.cpp.o.d"
+  "/root/repo/src/core/buffer.cpp" "src/core/CMakeFiles/hs_core.dir/buffer.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/buffer.cpp.o.d"
+  "/root/repo/src/core/hstreams_compat.cpp" "src/core/CMakeFiles/hs_core.dir/hstreams_compat.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/hstreams_compat.cpp.o.d"
+  "/root/repo/src/core/runtime.cpp" "src/core/CMakeFiles/hs_core.dir/runtime.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/runtime.cpp.o.d"
+  "/root/repo/src/core/task_context.cpp" "src/core/CMakeFiles/hs_core.dir/task_context.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/task_context.cpp.o.d"
+  "/root/repo/src/core/threaded_executor.cpp" "src/core/CMakeFiles/hs_core.dir/threaded_executor.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/threaded_executor.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/hs_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/hs_core.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/hs_threading.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_core.dir/app_api.cpp.o"
+  "CMakeFiles/hs_core.dir/app_api.cpp.o.d"
+  "CMakeFiles/hs_core.dir/buffer.cpp.o"
+  "CMakeFiles/hs_core.dir/buffer.cpp.o.d"
+  "CMakeFiles/hs_core.dir/hstreams_compat.cpp.o"
+  "CMakeFiles/hs_core.dir/hstreams_compat.cpp.o.d"
+  "CMakeFiles/hs_core.dir/runtime.cpp.o"
+  "CMakeFiles/hs_core.dir/runtime.cpp.o.d"
+  "CMakeFiles/hs_core.dir/task_context.cpp.o"
+  "CMakeFiles/hs_core.dir/task_context.cpp.o.d"
+  "CMakeFiles/hs_core.dir/threaded_executor.cpp.o"
+  "CMakeFiles/hs_core.dir/threaded_executor.cpp.o.d"
+  "CMakeFiles/hs_core.dir/trace.cpp.o"
+  "CMakeFiles/hs_core.dir/trace.cpp.o.d"
+  "libhs_core.a"
+  "libhs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

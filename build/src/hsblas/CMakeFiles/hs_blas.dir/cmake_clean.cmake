@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_blas.dir/kernels.cpp.o"
+  "CMakeFiles/hs_blas.dir/kernels.cpp.o.d"
+  "CMakeFiles/hs_blas.dir/reference.cpp.o"
+  "CMakeFiles/hs_blas.dir/reference.cpp.o.d"
+  "libhs_blas.a"
+  "libhs_blas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_ompss.dir/ompss.cpp.o"
+  "CMakeFiles/hs_ompss.dir/ompss.cpp.o.d"
+  "libhs_ompss.a"
+  "libhs_ompss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_ompss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/platform.cpp" "src/sim/CMakeFiles/hs_sim.dir/platform.cpp.o" "gcc" "src/sim/CMakeFiles/hs_sim.dir/platform.cpp.o.d"
+  "/root/repo/src/sim/sim_executor.cpp" "src/sim/CMakeFiles/hs_sim.dir/sim_executor.cpp.o" "gcc" "src/sim/CMakeFiles/hs_sim.dir/sim_executor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/hs_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_sim.dir/platform.cpp.o"
+  "CMakeFiles/hs_sim.dir/platform.cpp.o.d"
+  "CMakeFiles/hs_sim.dir/sim_executor.cpp.o"
+  "CMakeFiles/hs_sim.dir/sim_executor.cpp.o.d"
+  "libhs_sim.a"
+  "libhs_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_threading.dir/team.cpp.o"
+  "CMakeFiles/hs_threading.dir/team.cpp.o.d"
+  "CMakeFiles/hs_threading.dir/thread_pool.cpp.o"
+  "CMakeFiles/hs_threading.dir/thread_pool.cpp.o.d"
+  "libhs_threading.a"
+  "libhs_threading.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_threading.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

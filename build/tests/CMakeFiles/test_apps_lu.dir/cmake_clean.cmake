@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_lu.dir/test_apps_lu.cpp.o"
+  "CMakeFiles/test_apps_lu.dir/test_apps_lu.cpp.o.d"
+  "test_apps_lu"
+  "test_apps_lu.pdb"
+  "test_apps_lu[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_lu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

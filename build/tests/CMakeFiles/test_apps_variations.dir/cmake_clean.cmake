@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_variations.dir/test_apps_variations.cpp.o"
+  "CMakeFiles/test_apps_variations.dir/test_apps_variations.cpp.o.d"
+  "test_apps_variations"
+  "test_apps_variations.pdb"
+  "test_apps_variations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_variations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apps_workloads.dir/test_apps_workloads.cpp.o"
+  "CMakeFiles/test_apps_workloads.dir/test_apps_workloads.cpp.o.d"
+  "test_apps_workloads"
+  "test_apps_workloads.pdb"
+  "test_apps_workloads[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apps_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

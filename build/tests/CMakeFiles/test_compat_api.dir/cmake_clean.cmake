@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_compat_api.dir/test_compat_api.cpp.o"
+  "CMakeFiles/test_compat_api.dir/test_compat_api.cpp.o.d"
+  "test_compat_api"
+  "test_compat_api.pdb"
+  "test_compat_api[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_compat_api.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_core_edge_cases.cpp" "tests/CMakeFiles/test_core_edge_cases.dir/test_core_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/test_core_edge_cases.dir/test_core_edge_cases.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/hs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/threading/CMakeFiles/hs_threading.dir/DependInfo.cmake"
+  "/root/repo/build/src/hsblas/CMakeFiles/hs_blas.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hs_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hs_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/apps/CMakeFiles/hs_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/hs_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/ompss/CMakeFiles/hs_ompss.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

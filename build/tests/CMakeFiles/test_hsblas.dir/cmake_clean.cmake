@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hsblas.dir/test_hsblas.cpp.o"
+  "CMakeFiles/test_hsblas.dir/test_hsblas.cpp.o.d"
+  "test_hsblas"
+  "test_hsblas.pdb"
+  "test_hsblas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hsblas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ompss.dir/test_ompss.cpp.o"
+  "CMakeFiles/test_ompss.dir/test_ompss.cpp.o.d"
+  "test_ompss"
+  "test_ompss.pdb"
+  "test_ompss[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ompss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ompss_extra.dir/test_ompss_extra.cpp.o"
+  "CMakeFiles/test_ompss_extra.dir/test_ompss_extra.cpp.o.d"
+  "test_ompss_extra"
+  "test_ompss_extra.pdb"
+  "test_ompss_extra[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ompss_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

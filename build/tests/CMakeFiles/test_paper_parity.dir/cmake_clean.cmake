@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_paper_parity.dir/test_paper_parity.cpp.o"
+  "CMakeFiles/test_paper_parity.dir/test_paper_parity.cpp.o.d"
+  "test_paper_parity"
+  "test_paper_parity.pdb"
+  "test_paper_parity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_paper_parity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_storage_semantics.dir/test_storage_semantics.cpp.o"
+  "CMakeFiles/test_storage_semantics.dir/test_storage_semantics.cpp.o.d"
+  "test_storage_semantics"
+  "test_storage_semantics.pdb"
+  "test_storage_semantics[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_storage_semantics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

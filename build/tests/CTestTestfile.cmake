@@ -1,0 +1,33 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_threading[1]_include.cmake")
+include("/root/repo/build/tests/test_interconnect[1]_include.cmake")
+include("/root/repo/build/tests/test_hsblas[1]_include.cmake")
+include("/root/repo/build/tests/test_core_runtime[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_linalg[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_ompss[1]_include.cmake")
+include("/root/repo/build/tests/test_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_lu[1]_include.cmake")
+include("/root/repo/build/tests/test_compat_api[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_trace[1]_include.cmake")
+include("/root/repo/build/tests/test_logical_domains[1]_include.cmake")
+include("/root/repo/build/tests/test_core_edge_cases[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_cg[1]_include.cmake")
+include("/root/repo/build/tests/test_paper_parity[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_details[1]_include.cmake")
+include("/root/repo/build/tests/test_apps_variations[1]_include.cmake")
+include("/root/repo/build/tests/test_storage_semantics[1]_include.cmake")
+include("/root/repo/build/tests/test_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_metamorphic[1]_include.cmake")
+include("/root/repo/build/tests/test_ompss_extra[1]_include.cmake")
+include("/root/repo/build/tests/test_threaded_pacing[1]_include.cmake")

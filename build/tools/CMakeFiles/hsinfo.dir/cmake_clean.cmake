@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsinfo.dir/hsinfo.cpp.o"
+  "CMakeFiles/hsinfo.dir/hsinfo.cpp.o.d"
+  "hsinfo"
+  "hsinfo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsinfo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace2txt.dir/trace2txt.cpp.o"
+  "CMakeFiles/trace2txt.dir/trace2txt.cpp.o.d"
+  "trace2txt"
+  "trace2txt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace2txt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
