@@ -112,8 +112,20 @@ CgStats run_cg(Runtime& runtime, const CgConfig& config, const TiledMatrix& a,
       continue;
     }
     const StreamId s0 = streams[dom.value].front();
-    (void)runtime.enqueue_transfer(s0, a.tile_ptr(0, 0), a.size_bytes(),
-                                   XferDir::src_to_sink);
+    const auto mat_ev = runtime.enqueue_transfer(
+        s0, a.tile_ptr(0, 0), a.size_bytes(), XferDir::src_to_sink);
+    // Streams are only ordered against each other through events: without
+    // this scoped wait an SpMV in a sibling stream may read the sink
+    // matrix while the upload above is still in flight (the p broadcast
+    // it does wait on can finish first on another DMA engine).
+    for (const StreamId st : streams[dom.value]) {
+      if (st == s0) {
+        continue;
+      }
+      const OperandRef mops[] = {
+          {a.tile_ptr(0, 0), a.size_bytes(), Access::out}};
+      (void)runtime.enqueue_event_wait(st, mat_ev, mops);
+    }
     for (std::size_t i = 0; i < nt; ++i) {
       if (owner(i) != dom) {
         continue;

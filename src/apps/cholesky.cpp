@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
+#include <optional>
 
 #include "hsblas/kernels.hpp"
 
@@ -34,10 +35,14 @@ std::vector<std::size_t> assign_rows(std::size_t rows,
   return owner;
 }
 
-}  // namespace
-
-CholeskyStats run_cholesky(Runtime& runtime, const CholeskyConfig& config,
-                           TiledMatrix& a) {
+/// One factorization attempt over whatever domains are currently alive.
+/// `io_buffer` carries the matrix buffer across attempts: the first
+/// attempt creates it, a recovery attempt re-adopts it in the surviving
+/// domains.
+CholeskyStats run_cholesky_attempt(Runtime& runtime,
+                                   const CholeskyConfig& config,
+                                   TiledMatrix& a,
+                                   std::optional<BufferId>& io_buffer) {
   require(a.rows() == a.cols(), "cholesky needs a square matrix");
   const std::size_t nt = a.row_tiles();
 
@@ -65,7 +70,11 @@ CholeskyStats run_cholesky(Runtime& runtime, const CholeskyConfig& config,
   require(weights.size() == compute_domains.size(),
           "cholesky: one weight per compute domain required");
 
-  (void)app.create_buf(a.data(), a.size_bytes());
+  if (io_buffer.has_value()) {
+    app.adopt_buf(*io_buffer);
+  } else {
+    io_buffer = app.create_buf(a.data(), a.size_bytes());
+  }
 
   // The machine-wide host stream for panel work (DPOTRF + DTRSMs).
   const StreamId panel_stream = runtime.stream_create(
@@ -266,6 +275,55 @@ CholeskyStats run_cholesky(Runtime& runtime, const CholeskyConfig& config,
       ++stats.rows_cards;
     }
   }
+  return stats;
+}
+
+}  // namespace
+
+CholeskyStats run_cholesky(Runtime& runtime, const CholeskyConfig& config,
+                           TiledMatrix& a) {
+  std::optional<BufferId> buffer;
+  if (!config.recover_from_device_loss) {
+    return run_cholesky_attempt(runtime, config, a, buffer);
+  }
+
+  // Snapshot the input so a mid-factorization loss (the matrix is updated
+  // in place) can be rolled back.
+  std::vector<double> snapshot(a.data(),
+                               a.data() + a.size_bytes() / sizeof(double));
+  try {
+    return run_cholesky_attempt(runtime, config, a, buffer);
+  } catch (const Error& e) {
+    if (e.code() != Errc::device_lost) {
+      throw;
+    }
+  }
+
+  // A device died mid-run. Drain the surviving streams — each timed
+  // synchronize consumes at most one queued sink error, so iterate until
+  // one comes back clean — then drop whatever errors remain.
+  bool drained = false;
+  for (int i = 0; i < 64 && !drained; ++i) {
+    drained = static_cast<bool>(runtime.synchronize(config.drain_timeout_s));
+  }
+  require(drained, "cholesky recovery: streams did not drain", Errc::internal);
+  (void)runtime.clear_pending_errors();
+
+  // Evacuate the matrix off every dead domain (refunds its budget; the
+  // host incarnation aliasing user memory stays authoritative).
+  if (buffer.has_value()) {
+    for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
+      const DomainId domain{static_cast<std::uint32_t>(d)};
+      if (!runtime.domain_alive(domain)) {
+        (void)runtime.evacuate(*buffer, domain, kHostDomain);
+      }
+    }
+  }
+
+  // Roll back the half-updated matrix and rerun on the survivors.
+  std::copy(snapshot.begin(), snapshot.end(), a.data());
+  CholeskyStats stats = run_cholesky_attempt(runtime, config, a, buffer);
+  stats.recoveries = 1;
   return stats;
 }
 

@@ -36,6 +36,15 @@ struct CholeskyConfig {
   /// Row-ownership weights per compute domain (host first if it has
   /// streams); empty = equal shares.
   std::vector<double> domain_weights;
+  /// Graceful degradation: if a device is declared lost mid-run
+  /// (Errc::device_lost), drain the wreckage, evacuate the matrix buffer
+  /// off the dead domain, restore the input from a snapshot, and rerun
+  /// the factorization on the surviving domains. Off by default (a
+  /// failure propagates as the exception).
+  bool recover_from_device_loss = false;
+  /// Per-synchronize deadline used while draining after a loss (wall
+  /// seconds threaded, virtual seconds simulated).
+  double drain_timeout_s = 0.05;
 };
 
 struct CholeskyStats {
@@ -43,6 +52,7 @@ struct CholeskyStats {
   double gflops = 0.0;  ///< (n^3/3) / seconds
   std::size_t rows_host = 0;
   std::size_t rows_cards = 0;
+  std::size_t recoveries = 0;  ///< device-loss restarts that happened
 };
 
 /// Factors the lower triangle of the symmetric tiled matrix `a` in place

@@ -27,6 +27,10 @@ enum class Errc {
   invalid_argument,
   resource_exhausted,
   internal,
+  timed_out,    ///< synchronization deadline expired before the work drained
+  link_error,   ///< interconnect transfer failed (transient, retryable)
+  device_lost,  ///< domain dropped off the bus; no further work accepted
+  cancelled,    ///< action drained by stream_cancel without executing
 };
 
 /// Human-readable name for an error code.
@@ -42,6 +46,10 @@ enum class Errc {
     case Errc::invalid_argument: return "invalid_argument";
     case Errc::resource_exhausted: return "resource_exhausted";
     case Errc::internal: return "internal";
+    case Errc::timed_out: return "timed_out";
+    case Errc::link_error: return "link_error";
+    case Errc::device_lost: return "device_lost";
+    case Errc::cancelled: return "cancelled";
   }
   return "unknown";
 }

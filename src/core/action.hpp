@@ -60,6 +60,16 @@ struct ActionRecord {
   enum class State { pending, dispatched, done };
   State state = State::pending;
 
+  /// Completion ownership. Exactly one path may complete an action: the
+  /// executor's `done` callback in the common case, or the runtime itself
+  /// when the action is cancelled or its domain is lost. The first path to
+  /// set `claimed` (under the runtime lock) wins; late completions from
+  /// the other path are ignored, which is what makes failure exactly-once.
+  bool claimed = false;
+  /// Set by stream_cancel / domain loss: the action completed without its
+  /// effects having run.
+  bool cancelled = false;
+
   /// True if this action's operands (or barrier flag) conflict with an
   /// earlier action's.
   [[nodiscard]] bool conflicts_with(const ActionRecord& earlier) const {

@@ -6,9 +6,14 @@ AppApi::AppApi(Runtime& runtime, AppConfig config) : runtime_(runtime) {
   require(config.streams_per_device > 0 || config.host_streams > 0,
           "AppApi needs at least one stream");
 
-  // Device streams: evenly divide each non-host domain.
+  // Device streams: evenly divide each non-host domain. Domains already
+  // declared lost are skipped, so an AppApi built after a device failure
+  // partitions only the survivors.
   for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
     const DomainId domain{static_cast<std::uint32_t>(d)};
+    if (!runtime.domain_alive(domain)) {
+      continue;
+    }
     const std::size_t threads = runtime.domain(domain).hw_threads();
     if (config.streams_per_device == 0) {
       continue;
@@ -80,6 +85,15 @@ BufferId AppApi::create_buf(void* ptr, std::size_t size, BufferProps props) {
     throw;
   }
   return id;
+}
+
+void AppApi::adopt_buf(BufferId id) {
+  for (const DomainId domain : buffer_domains_) {
+    if (!runtime_.domain_alive(domain)) {
+      continue;
+    }
+    runtime_.buffer_instantiate(id, domain);  // no-op where already present
+  }
 }
 
 std::shared_ptr<EventState> AppApi::xfer_memory(std::size_t stream_index,

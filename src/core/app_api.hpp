@@ -58,6 +58,12 @@ class AppApi {
   /// that has a stream (one-call equivalent of create + N instantiates).
   BufferId create_buf(void* ptr, std::size_t size, BufferProps props = {});
 
+  /// Instantiates an *existing* buffer in every alive stream domain that
+  /// lacks an incarnation — how a recovery path hands a buffer that
+  /// survived a previous AppApi (e.g. evacuated off a dead device) to a
+  /// freshly partitioned one.
+  void adopt_buf(BufferId id);
+
   /// hStreams_app_xfer_memory equivalent.
   std::shared_ptr<EventState> xfer_memory(std::size_t stream_index, void* ptr,
                                           std::size_t len, XferDir dir);

@@ -36,9 +36,15 @@ class Domain {
     return desc_.hw_threads;
   }
 
+  /// False once the device dropped off the bus (Runtime::mark_domain_lost).
+  /// A dead domain refuses new streams and actions with Errc::device_lost.
+  [[nodiscard]] bool alive() const noexcept { return alive_; }
+  void mark_lost() noexcept { alive_ = false; }
+
  private:
   DomainId id_;
   DomainDesc desc_;
+  bool alive_ = true;
 };
 
 /// A whole platform: the host plus zero or more device domains.

@@ -12,8 +12,15 @@
 //  * SimExecutor (sim/sim_executor.hpp): single-threaded discrete-event
 //    simulation against calibrated cost models — the stand-in for the
 //    paper's Xeon + Xeon Phi testbed.
+//
+// Both honor the runtime's fault model (RuntimeConfig::faults): injected
+// transfer faults are retried per RetryPolicy — with real backoff sleeps
+// on the threaded backend, virtual-time delays in the simulator — and
+// retry exhaustion or an injected device loss escalates to
+// Runtime::mark_domain_lost.
 
 #include <functional>
+#include <memory>
 
 #include "core/action.hpp"
 #include "core/types.hpp"
@@ -23,7 +30,9 @@ namespace hs {
 class Runtime;
 
 /// Completion callback handed to Executor::execute. Executors invoke it
-/// exactly once, after the action's effects are visible.
+/// at most once, after the action's effects are visible; the runtime
+/// ignores it if the action was already completed by cancellation or
+/// domain loss.
 using CompletionFn = std::function<void()>;
 
 class Executor {
@@ -37,13 +46,34 @@ class Executor {
   /// Runs a dependence-ready action. Must not be called twice for the
   /// same action. The executor performs the action's effects (compute
   /// body, memcpy between incarnations, event wait/signal) and then calls
-  /// `done`.
-  virtual void execute(ActionRecord& action, CompletionFn done) = 0;
+  /// `done`. The shared_ptr keeps the record alive across asynchronous
+  /// continuations even if the runtime completes the action early
+  /// (cancellation, domain loss).
+  virtual void execute(const std::shared_ptr<ActionRecord>& action,
+                       CompletionFn done) = 0;
 
   /// Blocks the host until `ready()` returns true. `ready` is invoked
   /// with the runtime lock held; executors that make progress on the
   /// calling thread (the simulator) advance their clock between polls.
   virtual void wait(const std::function<bool()>& ready) = 0;
+
+  /// Deadline flavor of wait: returns false if `ready()` still does not
+  /// hold after `timeout_s` seconds (wall seconds on the threaded
+  /// backend, virtual seconds in the simulator).
+  virtual bool wait_for(const std::function<bool()>& ready,
+                        double timeout_s) = 0;
+
+  /// Blocks until no action effects are in flight on executor-owned
+  /// threads. Used before reclaiming storage (Runtime::evacuate): a
+  /// claimed-failed action's body may still be running when its window
+  /// entry has already drained. Single-threaded backends are trivially
+  /// quiescent.
+  virtual void quiesce() {}
+
+  /// Whether this backend performs payload side effects (task bodies,
+  /// transfer copies). Timing-only simulation turns them off; data
+  /// movement in Runtime::evacuate is skipped accordingly.
+  [[nodiscard]] virtual bool executes_payloads() const { return true; }
 
   /// Current time in seconds: wall clock for threaded execution, virtual
   /// clock for simulation.

@@ -27,20 +27,14 @@ CompatContext& ctx() {
   return instance;
 }
 
-/// Translates exceptions at the C boundary into result codes.
+/// Translates exceptions at the C boundary into result codes. No C++
+/// exception may leak across the (conceptually C) compat surface.
 template <class Fn>
 HSTR_RESULT guarded(Fn&& fn) {
   try {
     return fn();
   } catch (const Error& e) {
-    switch (e.code()) {
-      case Errc::not_found: return HSTR_RESULT_NOT_FOUND;
-      case Errc::out_of_range: return HSTR_RESULT_OUT_OF_RANGE;
-      case Errc::resource_exhausted: return HSTR_RESULT_OUT_OF_MEMORY;
-      case Errc::not_initialized: return HSTR_RESULT_NOT_INITIALIZED;
-      case Errc::already_initialized: return HSTR_RESULT_ALREADY_INITIALIZED;
-      default: return HSTR_RESULT_INTERNAL_ERROR;
-    }
+    return hStreams_ResultFromErrc(e.code());
   } catch (...) {
     return HSTR_RESULT_INTERNAL_ERROR;
   }
@@ -85,8 +79,29 @@ const char* hStreams_ResultGetName(HSTR_RESULT result) {
     case HSTR_RESULT_BAD_NAME: return "HSTR_RESULT_BAD_NAME";
     case HSTR_RESULT_OUT_OF_MEMORY: return "HSTR_RESULT_OUT_OF_MEMORY";
     case HSTR_RESULT_INTERNAL_ERROR: return "HSTR_RESULT_INTERNAL_ERROR";
+    case HSTR_RESULT_TIME_OUT_REACHED: return "HSTR_RESULT_TIME_OUT_REACHED";
+    case HSTR_RESULT_REMOTE_ERROR: return "HSTR_RESULT_REMOTE_ERROR";
+    case HSTR_RESULT_DEVICE_NOT_AVAILABLE:
+      return "HSTR_RESULT_DEVICE_NOT_AVAILABLE";
+    case HSTR_RESULT_EVENT_CANCELED: return "HSTR_RESULT_EVENT_CANCELED";
   }
   return "HSTR_RESULT_?";
+}
+
+HSTR_RESULT hStreams_ResultFromErrc(Errc code) {
+  switch (code) {
+    case Errc::ok: return HSTR_RESULT_SUCCESS;
+    case Errc::not_found: return HSTR_RESULT_NOT_FOUND;
+    case Errc::out_of_range: return HSTR_RESULT_OUT_OF_RANGE;
+    case Errc::resource_exhausted: return HSTR_RESULT_OUT_OF_MEMORY;
+    case Errc::not_initialized: return HSTR_RESULT_NOT_INITIALIZED;
+    case Errc::already_initialized: return HSTR_RESULT_ALREADY_INITIALIZED;
+    case Errc::timed_out: return HSTR_RESULT_TIME_OUT_REACHED;
+    case Errc::link_error: return HSTR_RESULT_REMOTE_ERROR;
+    case Errc::device_lost: return HSTR_RESULT_DEVICE_NOT_AVAILABLE;
+    case Errc::cancelled: return HSTR_RESULT_EVENT_CANCELED;
+    default: return HSTR_RESULT_INTERNAL_ERROR;
+  }
 }
 
 HSTR_RESULT hStreams_SetPlatform(const PlatformDesc& platform) {

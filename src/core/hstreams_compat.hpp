@@ -39,8 +39,17 @@ enum HSTR_RESULT : int {
   HSTR_RESULT_BAD_NAME,
   HSTR_RESULT_OUT_OF_MEMORY,
   HSTR_RESULT_INTERNAL_ERROR,
+  HSTR_RESULT_TIME_OUT_REACHED,      ///< synchronization deadline expired
+  HSTR_RESULT_REMOTE_ERROR,          ///< interconnect/link failure
+  HSTR_RESULT_DEVICE_NOT_AVAILABLE,  ///< domain lost; refuses further work
+  HSTR_RESULT_EVENT_CANCELED,        ///< action drained by cancellation
 };
 [[nodiscard]] const char* hStreams_ResultGetName(HSTR_RESULT result);
+
+/// Maps a runtime error code onto the HSTR result surface. Exposed so
+/// callers holding a Status (e.g. from a timed synchronize) can convert
+/// without round-tripping through an exception.
+[[nodiscard]] HSTR_RESULT hStreams_ResultFromErrc(Errc code);
 
 /// Opaque completion-event handle.
 using HSTR_EVENT = std::uint64_t;

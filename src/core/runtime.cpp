@@ -1,6 +1,7 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "common/log.hpp"
@@ -26,7 +27,8 @@ Runtime::Runtime(RuntimeConfig config, std::unique_ptr<Executor> executor)
     : config_(std::move(config)),
       executor_(std::move(executor)),
       topology_(make_topology(config_)),
-      pool_(config_.transfer_pool_enabled) {
+      pool_(config_.transfer_pool_enabled),
+      injector_(config_.faults) {
   require(executor_ != nullptr, "runtime needs an executor");
   require(!config_.platform.domains.empty(), "platform needs a host domain");
   if (config_.transfer_pool_enabled) {
@@ -45,12 +47,15 @@ Runtime::Runtime(RuntimeConfig config, std::unique_ptr<Executor> executor)
 }
 
 Runtime::~Runtime() {
-  try {
-    synchronize();
-  } catch (const std::exception& e) {
-    // A sink error surfacing at teardown cannot propagate from a
-    // destructor; report it instead.
-    log_error("runtime destroyed with pending sink error: %s", e.what());
+  // Each synchronize reports at most one queued sink error; drain the
+  // whole queue (a teardown error cannot propagate from a destructor).
+  for (int i = 0; i < 64; ++i) {
+    try {
+      synchronize();
+      break;
+    } catch (const std::exception& e) {
+      log_error("runtime destroyed with pending sink error: %s", e.what());
+    }
   }
   // Executors own threads that may call back into the runtime; they must
   // die before runtime state does.
@@ -70,6 +75,98 @@ std::vector<DomainId> Runtime::domains_of_kind(DomainKind kind) const {
     }
   }
   return out;
+}
+
+bool Runtime::domain_alive(DomainId id) const {
+  const std::scoped_lock lock(mutex_);
+  require(id.value < domains_.size(), "unknown domain", Errc::not_found);
+  return domains_[id.value].alive();
+}
+
+void Runtime::require_domain_alive(DomainId id) const {
+  require(domains_[id.value].alive(),
+          "domain " + std::to_string(id.value) + " was lost",
+          Errc::device_lost);
+}
+
+void Runtime::mark_domain_lost(DomainId id) {
+  std::vector<ActionId> victims;
+  {
+    const std::scoped_lock lock(mutex_);
+    require(id.value < domains_.size(), "unknown domain", Errc::not_found);
+    require(id != kHostDomain, "the host domain cannot be lost");
+    if (!domains_[id.value].alive()) {
+      return;  // already declared; the loss is reported exactly once
+    }
+    domains_[id.value].mark_lost();
+    ++stats_.domains_lost;
+    // Fail every in-flight action on the dead domain's streams. Claiming
+    // under the lock makes this exactly-once: a late `done` from an
+    // executor thread finds the claim and becomes a no-op.
+    for (const auto& s : streams_) {
+      if (!s->alive || s->domain != id) {
+        continue;
+      }
+      for (const auto& rec : s->window) {
+        if (rec->state == ActionRecord::State::done || rec->claimed) {
+          continue;
+        }
+        rec->claimed = true;
+        rec->cancelled = true;
+        if (rec->state == ActionRecord::State::pending) {
+          // Block the successor-unblocking path from dispatching it.
+          rec->state = ActionRecord::State::dispatched;
+        }
+        ++stats_.actions_failed;
+        victims.push_back(rec->id);
+      }
+    }
+    push_pending_error(std::make_exception_ptr(
+        Error(Errc::device_lost,
+              "domain " + std::to_string(id.value) + " lost (" +
+                  domains_[id.value].desc().name + ")")));
+  }
+  log_error("domain %u declared lost; %zu in-flight actions failed", id.value,
+            victims.size());
+  for (const ActionId victim : victims) {
+    finish_action(victim);
+  }
+}
+
+Status Runtime::evacuate(BufferId id, DomainId from, DomainId to) {
+  try {
+    std::size_t size = 0;
+    bool have_from = false;
+    {
+      const std::scoped_lock lock(mutex_);
+      require(from.value < domains_.size() && to.value < domains_.size(),
+              "unknown domain", Errc::not_found);
+      require(from != to, "evacuate needs distinct source and target");
+      require_domain_alive(to);
+      Buffer& buf = buffers_.get(id);
+      size = buf.size();
+      have_from = from != kHostDomain && buf.instantiated_in(from);
+    }
+    // Let executor threads finish any claimed-failed bodies that may
+    // still touch incarnation storage before we move/drop it.
+    executor_->quiesce();
+    if (to != kHostDomain) {
+      buffer_instantiate(id, to);  // no-op if already incarnated there
+      if (executor_->executes_payloads()) {
+        // The host incarnation is the authoritative copy on this
+        // host-centric topology; refresh the target from it.
+        std::byte* host = buffer_local(id, kHostDomain, 0, size);
+        std::byte* sink = buffer_local(id, to, 0, size);
+        std::memcpy(sink, host, size);
+      }
+    }
+    if (have_from) {
+      buffer_deinstantiate(id, from);
+    }
+    return Status::ok();
+  } catch (const Error& e) {
+    return Status::error(e.code(), e.what());
+  }
 }
 
 // --- Buffers ---------------------------------------------------------------
@@ -203,6 +300,7 @@ StreamId Runtime::stream_create(DomainId domain, const CpuMask& mask,
                                 std::optional<OrderPolicy> policy) {
   const std::scoped_lock lock(mutex_);
   require(domain.value < domains_.size(), "unknown domain", Errc::not_found);
+  require_domain_alive(domain);
   require(!mask.empty(), "stream mask must be non-empty");
   const auto cpus = mask.cpus();
   require(cpus.back() < domains_[domain.value].hw_threads(),
@@ -224,6 +322,41 @@ void Runtime::stream_destroy(StreamId id) {
   StreamState& s = stream_state(id);
   require(s.window.empty(), "stream_destroy on a busy stream");
   s.alive = false;
+}
+
+std::size_t Runtime::stream_cancel(StreamId id) {
+  std::vector<ActionId> victims;
+  {
+    const std::scoped_lock lock(mutex_);
+    StreamState& s = stream_state(id);
+    for (const auto& rec : s.window) {
+      if (rec->state == ActionRecord::State::done || rec->claimed) {
+        continue;
+      }
+      const bool undispatched = rec->state == ActionRecord::State::pending;
+      // A dispatched event wait holds no thread and has no effects; it is
+      // safe to cancel — this is what unwedges a stream parked on an
+      // event that will never fire. Dispatched computes/transfers have
+      // effects in flight and are left to finish.
+      const bool parked_wait =
+          rec->state == ActionRecord::State::dispatched &&
+          rec->type == ActionType::event_wait;
+      if (!undispatched && !parked_wait) {
+        continue;
+      }
+      rec->claimed = true;
+      rec->cancelled = true;
+      if (undispatched) {
+        rec->state = ActionRecord::State::dispatched;
+      }
+      ++stats_.actions_cancelled;
+      victims.push_back(rec->id);
+    }
+  }
+  for (const ActionId victim : victims) {
+    finish_action(victim);
+  }
+  return victims.size();
 }
 
 std::size_t Runtime::stream_count() const {
@@ -267,6 +400,7 @@ std::shared_ptr<EventState> Runtime::enqueue_compute(
 
   std::unique_lock lock(mutex_);
   StreamState& s = stream_state(stream);
+  require_domain_alive(s.domain);
   record->stream = stream;
   for (const OperandRef& ref : operands) {
     Operand op = buffers_.resolve(ref.ptr, ref.len, ref.access);
@@ -294,6 +428,7 @@ std::shared_ptr<EventState> Runtime::enqueue_transfer(StreamId stream,
 
   std::unique_lock lock(mutex_);
   StreamState& s = stream_state(stream);
+  require_domain_alive(s.domain);
   record->stream = stream;
   Buffer& buf = buffers_.find_containing(proxy, len);
   const bool aliased = (s.domain == kHostDomain);
@@ -325,6 +460,7 @@ std::shared_ptr<EventState> Runtime::enqueue_alloc(StreamId stream,
 
   std::unique_lock lock(mutex_);
   StreamState& s = stream_state(stream);
+  require_domain_alive(s.domain);
   require(s.domain != kHostDomain,
           "alloc targets a device (the host aliases user memory)");
   Buffer& buf = buffers_.get(buffer);
@@ -354,6 +490,7 @@ std::shared_ptr<EventState> Runtime::enqueue_event_wait(
 
   std::unique_lock lock(mutex_);
   StreamState& s = stream_state(stream);
+  require_domain_alive(s.domain);
   record->stream = stream;
   for (const OperandRef& ref : operands) {
     record->operands.push_back(buffers_.resolve(ref.ptr, ref.len, ref.access));
@@ -371,6 +508,7 @@ std::shared_ptr<EventState> Runtime::enqueue_signal(
 
   std::unique_lock lock(mutex_);
   StreamState& s = stream_state(stream);
+  require_domain_alive(s.domain);
   record->stream = stream;
   for (const OperandRef& ref : operands) {
     record->operands.push_back(buffers_.resolve(ref.ptr, ref.len, ref.access));
@@ -460,11 +598,27 @@ void Runtime::dispatch(const std::shared_ptr<ActionRecord>& record) {
   if (trace_ != nullptr) {
     trace_->on_dispatch(record->id, executor_->now());
   }
-  executor_->execute(*record,
+  executor_->execute(record,
                      [this, id = record->id] { complete_action(id); });
 }
 
 void Runtime::complete_action(ActionId id) {
+  // Claim gate: an action can race between its executor `done` callback
+  // and an early completion by stream_cancel/mark_domain_lost. Whoever
+  // sets `claimed` first (under the lock) delivers the completion; the
+  // loser becomes a no-op here.
+  {
+    const std::scoped_lock lock(mutex_);
+    const auto it = deps_.find(id);
+    if (it == deps_.end() || it->second.record->claimed) {
+      return;
+    }
+    it->second.record->claimed = true;
+  }
+  finish_action(id);
+}
+
+void Runtime::finish_action(ActionId id) {
   // Trampoline: executors may complete actions synchronously from within
   // dispatch (aliased transfers, signals); queueing bounds the recursion
   // depth for long chains of instant actions. The queue is per *thread*
@@ -502,7 +656,7 @@ void Runtime::process_completion(ActionId id) {
     rec.state = ActionRecord::State::done;
     completion = rec.completion;
     ++stats_.actions_completed;
-    if (rec.type == ActionType::transfer &&
+    if (rec.type == ActionType::transfer && !rec.cancelled &&
         stream_state(rec.stream).domain != kHostDomain) {
       stats_.bytes_transferred += rec.transfer.length;
     }
@@ -551,31 +705,81 @@ void Runtime::process_completion(ActionId id) {
 void Runtime::fail_action(ActionId id, std::exception_ptr error) {
   {
     const std::scoped_lock lock(mutex_);
-    ++stats_.actions_failed;
-    if (pending_error_ == nullptr) {
-      pending_error_ = std::move(error);
+    const auto it = deps_.find(id);
+    if (it == deps_.end() || it->second.record->claimed) {
+      return;  // already failed by cancellation or domain loss
     }
+    it->second.record->claimed = true;
+    ++stats_.actions_failed;
+    push_pending_error(std::move(error));
   }
-  complete_action(id);
+  finish_action(id);
+}
+
+void Runtime::push_pending_error(std::exception_ptr error) {
+  // Bounded so a fault storm between two sync points cannot grow the
+  // queue without limit; one error per failure mode is plenty for
+  // diagnosis and the counters hold the totals.
+  constexpr std::size_t kMaxPendingErrors = 16;
+  if (pending_errors_.size() >= kMaxPendingErrors) {
+    try {
+      std::rethrow_exception(error);
+    } catch (const std::exception& e) {
+      log_error("pending-error queue full; dropping: %s", e.what());
+    }
+    return;
+  }
+  pending_errors_.push_back(std::move(error));
 }
 
 bool Runtime::has_pending_error() const {
   const std::scoped_lock lock(mutex_);
-  return pending_error_ != nullptr;
+  return !pending_errors_.empty();
+}
+
+std::size_t Runtime::clear_pending_errors() {
+  const std::scoped_lock lock(mutex_);
+  const std::size_t dropped = pending_errors_.size();
+  pending_errors_.clear();
+  return dropped;
+}
+
+Status Runtime::take_pending_status() {
+  std::exception_ptr error;
+  {
+    const std::scoped_lock lock(mutex_);
+    if (pending_errors_.empty()) {
+      return Status::ok();
+    }
+    error = std::move(pending_errors_.front());
+    pending_errors_.pop_front();
+  }
+  try {
+    std::rethrow_exception(error);
+  } catch (const Error& e) {
+    return Status::error(e.code(), e.what());
+  } catch (const std::exception& e) {
+    return Status::error(Errc::internal, e.what());
+  }
 }
 
 namespace {
 
-/// Rethrows (and clears) a captured sink error after a sync point.
-void rethrow_pending(std::mutex& mutex, std::exception_ptr& pending) {
+/// Rethrows (and removes) the oldest captured sink error after a sync
+/// point — one per call, so each synchronize reports one failure and a
+/// second error captured in between is not lost.
+void rethrow_pending(std::mutex& mutex,
+                     std::deque<std::exception_ptr>& pending) {
   std::exception_ptr error;
   {
     const std::scoped_lock lock(mutex);
-    error = std::exchange(pending, nullptr);
+    if (pending.empty()) {
+      return;
+    }
+    error = std::move(pending.front());
+    pending.pop_front();
   }
-  if (error != nullptr) {
-    std::rethrow_exception(error);
-  }
+  std::rethrow_exception(error);
 }
 
 }  // namespace
@@ -585,7 +789,7 @@ void Runtime::stream_synchronize(StreamId stream) {
     // mutex_ is held by the executor's wait implementation.
     return stream_state(stream).window.empty();
   });
-  rethrow_pending(mutex_, pending_error_);
+  rethrow_pending(mutex_, pending_errors_);
 }
 
 void Runtime::synchronize() {
@@ -594,7 +798,7 @@ void Runtime::synchronize() {
       return s->window.empty();
     });
   });
-  rethrow_pending(mutex_, pending_error_);
+  rethrow_pending(mutex_, pending_errors_);
 }
 
 void Runtime::event_wait_host(
@@ -607,6 +811,67 @@ void Runtime::event_wait_host(
     return std::any_of(events.begin(), events.end(),
                        [](const auto& e) { return e->fired(); });
   });
+}
+
+Status Runtime::stream_synchronize(StreamId stream, double timeout_s) {
+  const bool drained = executor_->wait_for(
+      [this, stream] { return stream_state(stream).window.empty(); },
+      timeout_s);
+  if (!drained) {
+    return Status::error(Errc::timed_out, "stream_synchronize deadline");
+  }
+  return take_pending_status();
+}
+
+Status Runtime::synchronize(double timeout_s) {
+  const bool drained = executor_->wait_for(
+      [this] {
+        return std::all_of(streams_.begin(), streams_.end(),
+                           [](const auto& s) { return s->window.empty(); });
+      },
+      timeout_s);
+  if (!drained) {
+    return Status::error(Errc::timed_out, "synchronize deadline");
+  }
+  return take_pending_status();
+}
+
+Status Runtime::event_wait_host(
+    std::span<const std::shared_ptr<EventState>> events, WaitMode mode,
+    double timeout_s) {
+  const bool fired = executor_->wait_for(
+      [events, mode] {
+        if (mode == WaitMode::all) {
+          return std::all_of(events.begin(), events.end(),
+                             [](const auto& e) { return e->fired(); });
+        }
+        return std::any_of(events.begin(), events.end(),
+                           [](const auto& e) { return e->fired(); });
+      },
+      timeout_s);
+  if (!fired) {
+    return Status::error(Errc::timed_out, "event_wait_host deadline");
+  }
+  return Status::ok();
+}
+
+// --- Fault hooks (executor interface) ---------------------------------------
+
+FaultDecision Runtime::next_transfer_fault(DomainId domain) {
+  if (!injector_.enabled()) {
+    return {};  // keep the fault-free transfer hot path lock-free
+  }
+  const FaultDecision decision = injector_.on_transfer(domain);
+  if (decision.kind != FaultKind::none) {
+    const std::scoped_lock lock(mutex_);
+    ++stats_.faults_injected;
+  }
+  return decision;
+}
+
+void Runtime::note_transfer_retry() {
+  const std::scoped_lock lock(mutex_);
+  ++stats_.transfers_retried;
 }
 
 RuntimeStats Runtime::stats() const {

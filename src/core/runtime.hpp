@@ -34,6 +34,7 @@
 #include "core/trace.hpp"
 #include "core/types.hpp"
 #include "interconnect/buffer_pool.hpp"
+#include "interconnect/fault.hpp"
 #include "interconnect/topology.hpp"
 #include "threading/cpu_mask.hpp"
 
@@ -57,6 +58,10 @@ struct RuntimeStats {
   std::uint64_t bytes_transferred = 0;
   std::uint64_t ooo_dispatches = 0;  ///< actions dispatched past an earlier
                                      ///< incomplete action (relaxed only)
+  std::uint64_t faults_injected = 0;    ///< interconnect faults delivered
+  std::uint64_t transfers_retried = 0;  ///< backoff retries after transients
+  std::uint64_t actions_cancelled = 0;  ///< drained by stream_cancel
+  std::uint64_t domains_lost = 0;       ///< devices declared dead
 };
 
 /// Construction-time configuration.
@@ -70,6 +75,12 @@ struct RuntimeConfig {
   /// fabric-attached remote nodes (§IV: streams "on devices residing in
   /// remote nodes").
   std::vector<LinkModel> domain_links;
+  /// Interconnect fault model: which transfers fail, stall, or take the
+  /// device down (interconnect/fault.hpp). Disabled by default.
+  FaultPlan faults;
+  /// How executors retry transient transfer failures before declaring
+  /// the device lost.
+  RetryPolicy retry;
 };
 
 class Runtime {
@@ -80,11 +91,33 @@ class Runtime {
   Runtime(const Runtime&) = delete;
   Runtime& operator=(const Runtime&) = delete;
 
+  [[nodiscard]] const RuntimeConfig& config() const noexcept {
+    return config_;
+  }
+
   // --- Domains -----------------------------------------------------------
   [[nodiscard]] std::size_t domain_count() const noexcept {
     return domains_.size();
   }
   [[nodiscard]] const Domain& domain(DomainId id) const;
+  /// False once the domain was declared lost.
+  [[nodiscard]] bool domain_alive(DomainId id) const;
+  /// Declares `id` permanently lost (an unplugged/faulted card). Every
+  /// in-flight action on its streams is failed exactly-once, one
+  /// device_lost error is queued for the next synchronization point, and
+  /// all further work targeting the domain is refused with
+  /// Errc::device_lost. Idempotent. Executors call this on injected
+  /// device loss and on transfer-retry exhaustion; applications may call
+  /// it to take a device out of rotation.
+  void mark_domain_lost(DomainId id);
+  /// Moves a buffer off the (typically lost) domain `from`: the
+  /// incarnation in `to` is created if absent, refreshed from the host
+  /// incarnation (the authoritative copy on this host-centric topology),
+  /// and the `from` incarnation is dropped with its budget refunded.
+  /// The buffer must be quiescent — synchronize first. Returns
+  /// device_lost if `to` is dead, resource_exhausted if `to` lacks
+  /// memory, not_found for unknown ids.
+  Status evacuate(BufferId id, DomainId from, DomainId to);
   /// All domains of a given kind, in id order (domain discovery, §II).
   [[nodiscard]] std::vector<DomainId> domains_of_kind(DomainKind kind) const;
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
@@ -135,6 +168,13 @@ class Runtime {
   StreamId stream_create(DomainId domain, const CpuMask& mask,
                          std::optional<OrderPolicy> policy = std::nullopt);
   void stream_destroy(StreamId id);  ///< stream must be idle
+  /// Drains a wedged stream's window: every action that has not started
+  /// executing — undispatched actions plus dispatched event waits parked
+  /// on unfired events — is completed as `cancelled` (its completion
+  /// event still fires, so cross-stream waiters unblock). Actions whose
+  /// effects are already in flight are left to finish. Returns the number
+  /// of actions cancelled.
+  std::size_t stream_cancel(StreamId id);
   [[nodiscard]] std::size_t stream_count() const;
   [[nodiscard]] DomainId stream_domain(StreamId id) const;
   [[nodiscard]] CpuMask stream_mask(StreamId id) const;
@@ -179,6 +219,17 @@ class Runtime {
   void event_wait_host(std::span<const std::shared_ptr<EventState>> events,
                        WaitMode mode = WaitMode::all);
 
+  /// Deadline overloads: instead of blocking forever on a wedged stream,
+  /// return Status{timed_out} after `timeout_s` seconds (wall seconds on
+  /// the threaded backend, virtual seconds in simulation). On a drained
+  /// wait, the oldest captured sink error (if any) is consumed and
+  /// returned as a Status rather than rethrown.
+  [[nodiscard]] Status synchronize(double timeout_s);
+  [[nodiscard]] Status stream_synchronize(StreamId stream, double timeout_s);
+  [[nodiscard]] Status event_wait_host(
+      std::span<const std::shared_ptr<EventState>> events, WaitMode mode,
+      double timeout_s);
+
   // --- Introspection -------------------------------------------------------
   [[nodiscard]] RuntimeStats stats() const;
   [[nodiscard]] double now() const { return executor_->now(); }
@@ -193,17 +244,32 @@ class Runtime {
   /// A sink-side task body that throws does not crash the worker: the
   /// exception is captured, the action completes (its successors still
   /// run — matching an offload runtime, where a failed kernel cannot
-  /// retract already-enqueued work), and the first captured error is
-  /// rethrown from the next synchronize()/stream_synchronize() call.
-  /// Returns whether an unreported sink error is pending.
+  /// retract already-enqueued work), and captured errors are rethrown
+  /// one per synchronize()/stream_synchronize() call, oldest first, from
+  /// a bounded pending-error queue (so a second error captured between
+  /// two sync calls is not lost). Returns whether an unreported sink
+  /// error is pending.
   [[nodiscard]] bool has_pending_error() const;
+  /// Drops all queued sink errors (recovery paths that already know the
+  /// domain died). Returns how many were dropped.
+  std::size_t clear_pending_errors();
 
   // --- Executor interface (not for application use) ------------------------
-  /// Called by executors when an action's effects are complete.
+  /// Called by executors when an action's effects are complete. Ignored
+  /// if the action was already completed by cancellation or domain loss.
   void complete_action(ActionId id);
   /// Called by executors when a task body threw; captures the error for
   /// the next synchronization point and completes the action.
   void fail_action(ActionId id, std::exception_ptr error);
+  /// Decides the fate of the next transfer attempt targeting `domain`
+  /// (consults the FaultInjector, counts injected faults).
+  [[nodiscard]] FaultDecision next_transfer_fault(DomainId domain);
+  /// Counts one backoff retry of a transient transfer failure.
+  void note_transfer_retry();
+  [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
+    return config_.retry;
+  }
+  [[nodiscard]] FaultInjector& fault_injector() noexcept { return injector_; }
   /// Runtime lock + condition variable, used by ThreadedExecutor::wait.
   [[nodiscard]] std::mutex& mutex() noexcept { return mutex_; }
   [[nodiscard]] std::condition_variable& completion_cv() noexcept {
@@ -241,9 +307,24 @@ class Runtime {
   /// Hands a ready action to the executor (no lock held).
   void dispatch(const std::shared_ptr<ActionRecord>& record);
 
-  /// Drains the thread-local completion queue (trampoline that bounds
-  /// recursion depth for chains of instantly-completing actions).
+  /// Trampoline entry for an action whose completion is already claimed:
+  /// queues it on the thread-local completion queue (bounding recursion
+  /// depth for chains of instantly-completing actions).
+  void finish_action(ActionId id);
+
+  /// Applies one completion: window drain, successor unblocking.
   void process_completion(ActionId id);
+
+  /// Queues a captured sink error (lock held). The queue is bounded;
+  /// overflow drops the newest error after logging it.
+  void push_pending_error(std::exception_ptr error);
+
+  /// Pops and converts the oldest pending error, ok() if none (no lock
+  /// held on entry).
+  [[nodiscard]] Status take_pending_status();
+
+  /// Throws Errc::device_lost unless the domain is alive (lock held).
+  void require_domain_alive(DomainId id) const;
 
   RuntimeConfig config_;
   std::unique_ptr<Executor> executor_;
@@ -261,7 +342,9 @@ class Runtime {
   std::unordered_map<ActionId, DepState> deps_;
   std::uint32_t next_action_id_ = 0;
   RuntimeStats stats_;
-  std::exception_ptr pending_error_;  ///< first unreported sink error
+  /// Unreported sink errors, oldest first (bounded; see push_pending_error).
+  std::deque<std::exception_ptr> pending_errors_;
+  FaultInjector injector_;
   TraceRecorder* trace_ = nullptr;
 };
 

@@ -25,6 +25,24 @@ double ThreadedExecutor::now() const {
   return std::chrono::duration<double>(elapsed).count();
 }
 
+void ThreadedExecutor::begin_work() {
+  const std::scoped_lock lock(work_mutex_);
+  ++in_flight_;
+}
+
+void ThreadedExecutor::end_work() {
+  {
+    const std::scoped_lock lock(work_mutex_);
+    --in_flight_;
+  }
+  work_cv_.notify_all();
+}
+
+void ThreadedExecutor::quiesce() {
+  std::unique_lock lock(work_mutex_);
+  work_cv_.wait(lock, [this] { return in_flight_ == 0; });
+}
+
 ThreadPool& ThreadedExecutor::domain_pool(DomainId domain) {
   const std::scoped_lock lock(setup_mutex_);
   auto it = pools_.find(domain);
@@ -59,8 +77,9 @@ ThreadedExecutor::TeamEntry& ThreadedExecutor::stream_team(StreamId stream) {
   return it->second;
 }
 
-void ThreadedExecutor::execute(ActionRecord& action, CompletionFn done) {
-  switch (action.type) {
+void ThreadedExecutor::execute(const std::shared_ptr<ActionRecord>& action,
+                               CompletionFn done) {
+  switch (action->type) {
     case ActionType::compute:
       run_compute(action, std::move(done));
       return;
@@ -70,7 +89,7 @@ void ThreadedExecutor::execute(ActionRecord& action, CompletionFn done) {
     case ActionType::event_wait:
       // Completes when the event fires; no thread is parked (§IV: "This
       // can save CPU spinning time").
-      action.wait_event->on_fire(std::move(done));
+      action->wait_event->on_fire(std::move(done));
       return;
     case ActionType::event_signal:
       // The action's own completion event *is* the signal.
@@ -84,26 +103,39 @@ void ThreadedExecutor::execute(ActionRecord& action, CompletionFn done) {
   }
 }
 
-void ThreadedExecutor::run_compute(ActionRecord& action, CompletionFn done) {
-  TeamEntry& entry = stream_team(action.stream);
-  const DomainId domain = runtime_->stream_domain(action.stream);
-  entry.team->run_async([this, &action, domain, logical = entry.logical_width,
+void ThreadedExecutor::run_compute(const std::shared_ptr<ActionRecord>& action,
+                                   CompletionFn done) {
+  TeamEntry& entry = stream_team(action->stream);
+  const DomainId domain = runtime_->stream_domain(action->stream);
+  begin_work();
+  entry.team->run_async([this, action, domain, logical = entry.logical_width,
                          done = std::move(done)](Team& team) {
+    if (!runtime_->domain_alive(domain)) {
+      // The domain died after dispatch; the runtime already failed this
+      // action (the claim makes `done` a no-op). Skip the body so a dead
+      // device produces no further side effects.
+      end_work();
+      done();
+      return;
+    }
     TaskContext ctx(*runtime_, domain, &team, logical);
     try {
-      action.compute.body(ctx);
+      action->compute.body(ctx);
     } catch (...) {
       // Contain sink-side failures: the worker must survive, and the
       // error surfaces at the caller's next synchronization point.
-      runtime_->fail_action(action.id, std::current_exception());
+      runtime_->fail_action(action->id, std::current_exception());
+      end_work();
       return;
     }
+    end_work();
     done();
   });
 }
 
-void ThreadedExecutor::run_transfer(ActionRecord& action, CompletionFn done) {
-  const DomainId domain = runtime_->stream_domain(action.stream);
+void ThreadedExecutor::run_transfer(const std::shared_ptr<ActionRecord>& action,
+                                    CompletionFn done) {
+  const DomainId domain = runtime_->stream_domain(action->stream);
   if (domain == kHostDomain) {
     // Host-as-target stream: both incarnations alias the user memory;
     // "any transfers en-queued in host streams are aliased and optimized
@@ -114,8 +146,46 @@ void ThreadedExecutor::run_transfer(ActionRecord& action, CompletionFn done) {
   const std::size_t copier =
       next_copier_.fetch_add(1, std::memory_order_relaxed) %
       copiers_->worker_count();
-  copiers_->submit(copier, [this, &action, domain, done = std::move(done)] {
-    const TransferPayload& t = action.transfer;
+  begin_work();
+  copiers_->submit(copier, [this, action, domain, done = std::move(done)] {
+    const RetryPolicy& retry = runtime_->retry_policy();
+    int failures = 0;
+    for (;;) {
+      if (!runtime_->domain_alive(domain)) {
+        // Lost while we were queued or backing off; the runtime already
+        // failed the action.
+        end_work();
+        done();
+        return;
+      }
+      const FaultDecision fault = runtime_->next_transfer_fault(domain);
+      if (fault.kind == FaultKind::device_loss) {
+        end_work();
+        runtime_->mark_domain_lost(domain);
+        return;
+      }
+      if (fault.kind == FaultKind::transient_error) {
+        ++failures;
+        if (failures >= retry.max_attempts) {
+          // Retry budget exhausted: treat the link as gone for good.
+          end_work();
+          runtime_->mark_domain_lost(domain);
+          return;
+        }
+        runtime_->note_transfer_retry();
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(retry.backoff_seconds(failures)));
+        continue;
+      }
+      if (fault.kind == FaultKind::link_stall) {
+        // The attempt succeeds, just late: pay the added latency in wall
+        // time, then proceed with the copy.
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(fault.stall_s));
+      }
+      break;
+    }
+    const TransferPayload& t = action->transfer;
     std::byte* host_side =
         runtime_->buffer_local(t.buffer, kHostDomain, t.offset, t.length);
     std::byte* sink_side =
@@ -132,6 +202,7 @@ void ThreadedExecutor::run_transfer(ActionRecord& action, CompletionFn done) {
       std::this_thread::sleep_for(
           std::chrono::duration<double>(modeled * config_.time_dilation));
     }
+    end_work();
     done();
   });
 }
@@ -139,6 +210,13 @@ void ThreadedExecutor::run_transfer(ActionRecord& action, CompletionFn done) {
 void ThreadedExecutor::wait(const std::function<bool()>& ready) {
   std::unique_lock lock(runtime_->mutex());
   runtime_->completion_cv().wait(lock, ready);
+}
+
+bool ThreadedExecutor::wait_for(const std::function<bool()>& ready,
+                                double timeout_s) {
+  std::unique_lock lock(runtime_->mutex());
+  return runtime_->completion_cv().wait_for(
+      lock, std::chrono::duration<double>(timeout_s), ready);
 }
 
 }  // namespace hs

@@ -14,6 +14,7 @@
 // leader) while bounding oversubscription.
 
 #include <atomic>
+#include <condition_variable>
 #include <map>
 #include <memory>
 #include <thread>
@@ -38,8 +39,12 @@ class ThreadedExecutor final : public Executor {
   ~ThreadedExecutor() override;
 
   void attach(Runtime& runtime) override;
-  void execute(ActionRecord& action, CompletionFn done) override;
+  void execute(const std::shared_ptr<ActionRecord>& action,
+               CompletionFn done) override;
   void wait(const std::function<bool()>& ready) override;
+  bool wait_for(const std::function<bool()>& ready,
+                double timeout_s) override;
+  void quiesce() override;
   [[nodiscard]] double now() const override;
 
  private:
@@ -51,8 +56,16 @@ class ThreadedExecutor final : public Executor {
   [[nodiscard]] ThreadPool& domain_pool(DomainId domain);
   [[nodiscard]] TeamEntry& stream_team(StreamId stream);
 
-  void run_compute(ActionRecord& action, CompletionFn done);
-  void run_transfer(ActionRecord& action, CompletionFn done);
+  void run_compute(const std::shared_ptr<ActionRecord>& action,
+                   CompletionFn done);
+  void run_transfer(const std::shared_ptr<ActionRecord>& action,
+                    CompletionFn done);
+
+  // In-flight work accounting for quiesce(): a claimed-failed action's
+  // body may still be running on a pool thread after its window entry
+  // drained; storage reclamation (Runtime::evacuate) must outwait it.
+  void begin_work();
+  void end_work();
 
   ThreadedExecutorConfig config_;
   Runtime* runtime_ = nullptr;
@@ -62,6 +75,9 @@ class ThreadedExecutor final : public Executor {
   std::unique_ptr<ThreadPool> copiers_;
   std::atomic<std::size_t> next_copier_{0};
   std::chrono::steady_clock::time_point epoch_;
+  std::mutex work_mutex_;
+  std::condition_variable work_cv_;
+  std::size_t in_flight_ = 0;
 };
 
 }  // namespace hs

@@ -8,6 +8,10 @@
 // bound how many transfers can progress concurrently. The paper's §III
 // overhead observations pin the constants: 20-30 us of overhead for
 // transfers under 128 KB, and <5% overhead above 1 MB.
+//
+// This model describes a *healthy* link. Imperfect transport — transient
+// transfer failures, stalls, whole-device loss — is modeled separately by
+// interconnect/fault.hpp and injected by the executors per attempt.
 
 #include <cstddef>
 #include <string>

@@ -61,6 +61,23 @@ class EventQueue {
   [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.size(); }
 
+  /// Timestamp of the earliest pending event (queue must be non-empty).
+  [[nodiscard]] double next_time() const {
+    require(!heap_.empty(), "next_time on an empty queue");
+    return heap_.top().time;
+  }
+
+  /// Advances the clock to `t` without running anything — used when a
+  /// virtual-time deadline expires before the next event. Must not skip
+  /// over pending events.
+  void advance_to(double t) {
+    require(heap_.empty() || heap_.top().time >= t,
+            "advance_to would skip pending events");
+    if (t > now_) {
+      now_ = t;
+    }
+  }
+
  private:
   struct Entry {
     double time;

@@ -54,29 +54,33 @@ double SimExecutor::stream_busy_seconds(StreamId stream) const {
   return it == stream_resources_.end() ? 0.0 : it->second->busy_seconds();
 }
 
-void SimExecutor::execute(ActionRecord& action, CompletionFn done) {
-  switch (action.type) {
+void SimExecutor::execute(const std::shared_ptr<ActionRecord>& action,
+                          CompletionFn done) {
+  switch (action->type) {
     case ActionType::compute: {
-      const DomainId domain = runtime_->stream_domain(action.stream);
-      const std::size_t width = runtime_->stream_mask(action.stream).count();
+      const DomainId domain = runtime_->stream_domain(action->stream);
+      const std::size_t width = runtime_->stream_mask(action->stream).count();
       const DeviceModel& dev = model(domain);
       const double duration =
-          dev.task_seconds(action.compute.kernel, action.compute.flops, width,
-                           action.compute.layered_overhead_s);
+          dev.task_seconds(action->compute.kernel, action->compute.flops,
+                           width, action->compute.layered_overhead_s);
       // A throwing payload is contained: the action is marked failed and
       // the error surfaces at the next synchronization point. The
       // completion callback must not also run, so it is disarmed.
       auto failed = std::make_shared<bool>(false);
-      stream_resource(action.stream)
+      stream_resource(action->stream)
           .submit(duration,
-                  [this, &action, domain, width, failed] {
-                    if (config_.execute_payloads && action.compute.body) {
+                  [this, action, domain, width, failed] {
+                    // Skip the body if the domain died while this job
+                    // queued; the runtime already failed the action.
+                    if (config_.execute_payloads && action->compute.body &&
+                        runtime_->domain_alive(domain)) {
                       TaskContext ctx(*runtime_, domain, nullptr, width);
                       try {
-                        action.compute.body(ctx);
+                        action->compute.body(ctx);
                       } catch (...) {
                         *failed = true;
-                        runtime_->fail_action(action.id,
+                        runtime_->fail_action(action->id,
                                               std::current_exception());
                       }
                     }
@@ -89,37 +93,16 @@ void SimExecutor::execute(ActionRecord& action, CompletionFn done) {
       return;
     }
     case ActionType::transfer: {
-      const DomainId domain = runtime_->stream_domain(action.stream);
+      const DomainId domain = runtime_->stream_domain(action->stream);
       if (domain == kHostDomain) {
         done();  // aliased away (§V)
         return;
       }
-      const TransferPayload& t = action.transfer;
-      const double staging = runtime_->account_transfer_staging(t.length);
-      const double duration =
-          runtime_->link_for(domain).transfer_seconds(t.length) + staging;
-      dma_resource(domain, t.dir)
-          .submit(duration,
-                  [this, &action, domain] {
-                    if (!config_.execute_payloads) {
-                      return;
-                    }
-                    const TransferPayload& p = action.transfer;
-                    std::byte* host = runtime_->buffer_local(
-                        p.buffer, kHostDomain, p.offset, p.length);
-                    std::byte* sink = runtime_->buffer_local(
-                        p.buffer, domain, p.offset, p.length);
-                    if (p.dir == XferDir::src_to_sink) {
-                      std::memcpy(sink, host, p.length);
-                    } else {
-                      std::memcpy(host, sink, p.length);
-                    }
-                  },
-                  std::move(done));
+      start_transfer_attempt(action, domain, 0, std::move(done));
       return;
     }
     case ActionType::event_wait:
-      action.wait_event->on_fire(std::move(done));
+      action->wait_event->on_fire(std::move(done));
       return;
     case ActionType::event_signal:
       done();
@@ -131,11 +114,70 @@ void SimExecutor::execute(ActionRecord& action, CompletionFn done) {
       // in-flight work instead of stalling the enqueueing host.
       constexpr double kAllocCostPerByte = 250e-6 / (1024.0 * 1024.0);
       const double duration =
-          kAllocCostPerByte * static_cast<double>(action.transfer.length);
-      stream_resource(action.stream).submit(duration, [] {}, std::move(done));
+          kAllocCostPerByte * static_cast<double>(action->transfer.length);
+      stream_resource(action->stream).submit(duration, [] {}, std::move(done));
       return;
     }
   }
+}
+
+void SimExecutor::start_transfer_attempt(
+    const std::shared_ptr<ActionRecord>& action, DomainId domain,
+    int failures, CompletionFn done) {
+  if (!runtime_->domain_alive(domain)) {
+    // Lost while queued or backing off; the runtime already failed the
+    // action (the claim makes `done` a no-op).
+    done();
+    return;
+  }
+  const FaultDecision fault = runtime_->next_transfer_fault(domain);
+  if (fault.kind == FaultKind::device_loss) {
+    runtime_->mark_domain_lost(domain);
+    return;
+  }
+  if (fault.kind == FaultKind::transient_error) {
+    const RetryPolicy& retry = runtime_->retry_policy();
+    ++failures;
+    if (failures >= retry.max_attempts) {
+      // Retry budget exhausted: treat the link as gone for good.
+      runtime_->mark_domain_lost(domain);
+      return;
+    }
+    runtime_->note_transfer_retry();
+    // Exponential backoff in virtual time, then re-attempt.
+    queue_.schedule_after(
+        retry.backoff_seconds(failures),
+        [this, action, domain, failures, done = std::move(done)]() mutable {
+          start_transfer_attempt(action, domain, failures, std::move(done));
+        });
+    return;
+  }
+  const TransferPayload& t = action->transfer;
+  const double staging = runtime_->account_transfer_staging(t.length);
+  double duration =
+      runtime_->link_for(domain).transfer_seconds(t.length) + staging;
+  if (fault.kind == FaultKind::link_stall) {
+    duration += fault.stall_s;  // the attempt succeeds, just late
+  }
+  dma_resource(domain, t.dir)
+      .submit(duration,
+              [this, action, domain] {
+                if (!config_.execute_payloads ||
+                    !runtime_->domain_alive(domain)) {
+                  return;
+                }
+                const TransferPayload& p = action->transfer;
+                std::byte* host = runtime_->buffer_local(
+                    p.buffer, kHostDomain, p.offset, p.length);
+                std::byte* sink = runtime_->buffer_local(
+                    p.buffer, domain, p.offset, p.length);
+                if (p.dir == XferDir::src_to_sink) {
+                  std::memcpy(sink, host, p.length);
+                } else {
+                  std::memcpy(host, sink, p.length);
+                }
+              },
+              std::move(done));
 }
 
 void SimExecutor::wait(const std::function<bool()>& ready) {
@@ -151,6 +193,28 @@ void SimExecutor::wait(const std::function<bool()>& ready) {
             "(missing transfer/compute, or a wait on an event that nothing "
             "signals)",
             Errc::internal);
+  }
+}
+
+bool SimExecutor::wait_for(const std::function<bool()>& ready,
+                           double timeout_s) {
+  const double deadline = queue_.now() + timeout_s;
+  for (;;) {
+    {
+      const std::scoped_lock lock(runtime_->mutex());
+      if (ready()) {
+        return true;
+      }
+    }
+    // Timeout when the simulation cannot make `ready` true by the
+    // deadline: either nothing is pending at all (a wedged stream) or the
+    // next event lies beyond it. The clock still advances to the deadline
+    // so timeouts consume virtual time like any other wait.
+    if (queue_.empty() || queue_.next_time() > deadline) {
+      queue_.advance_to(deadline);
+      return false;
+    }
+    queue_.step();
   }
 }
 

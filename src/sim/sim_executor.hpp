@@ -40,8 +40,14 @@ class SimExecutor final : public Executor {
   explicit SimExecutor(const SimPlatform& platform, bool execute_payloads = true);
 
   void attach(Runtime& runtime) override;
-  void execute(ActionRecord& action, CompletionFn done) override;
+  void execute(const std::shared_ptr<ActionRecord>& action,
+               CompletionFn done) override;
   void wait(const std::function<bool()>& ready) override;
+  bool wait_for(const std::function<bool()>& ready,
+                double timeout_s) override;
+  [[nodiscard]] bool executes_payloads() const override {
+    return config_.execute_payloads;
+  }
   [[nodiscard]] double now() const override { return queue_.now(); }
 
   [[nodiscard]] EventQueue& event_queue() noexcept { return queue_; }
@@ -58,6 +64,14 @@ class SimExecutor final : public Executor {
 
   [[nodiscard]] SimResource& stream_resource(StreamId stream);
   [[nodiscard]] SimResource& dma_resource(DomainId domain, XferDir dir);
+
+  /// One transfer attempt: consults the fault oracle, then either submits
+  /// to the DMA server, schedules a virtual-time backoff retry of itself,
+  /// or escalates to domain loss. `failures` counts transient failures so
+  /// far.
+  void start_transfer_attempt(const std::shared_ptr<ActionRecord>& action,
+                              DomainId domain, int failures,
+                              CompletionFn done);
 
   SimExecutorConfig config_;
   Runtime* runtime_ = nullptr;

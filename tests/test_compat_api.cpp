@@ -194,6 +194,62 @@ TEST_F(CompatApi, ResultNamesRoundTrip) {
                "HSTR_RESULT_SUCCESS");
   EXPECT_STREQ(hStreams_ResultGetName(HSTR_RESULT_OUT_OF_MEMORY),
                "HSTR_RESULT_OUT_OF_MEMORY");
+  EXPECT_STREQ(hStreams_ResultGetName(HSTR_RESULT_TIME_OUT_REACHED),
+               "HSTR_RESULT_TIME_OUT_REACHED");
+  EXPECT_STREQ(hStreams_ResultGetName(HSTR_RESULT_REMOTE_ERROR),
+               "HSTR_RESULT_REMOTE_ERROR");
+  EXPECT_STREQ(hStreams_ResultGetName(HSTR_RESULT_DEVICE_NOT_AVAILABLE),
+               "HSTR_RESULT_DEVICE_NOT_AVAILABLE");
+  EXPECT_STREQ(hStreams_ResultGetName(HSTR_RESULT_EVENT_CANCELED),
+               "HSTR_RESULT_EVENT_CANCELED");
+}
+
+TEST_F(CompatApi, ErrcMapsOntoResultSurface) {
+  EXPECT_EQ(hStreams_ResultFromErrc(Errc::ok), HSTR_RESULT_SUCCESS);
+  EXPECT_EQ(hStreams_ResultFromErrc(Errc::not_found), HSTR_RESULT_NOT_FOUND);
+  EXPECT_EQ(hStreams_ResultFromErrc(Errc::resource_exhausted),
+            HSTR_RESULT_OUT_OF_MEMORY);
+  EXPECT_EQ(hStreams_ResultFromErrc(Errc::timed_out),
+            HSTR_RESULT_TIME_OUT_REACHED);
+  EXPECT_EQ(hStreams_ResultFromErrc(Errc::link_error),
+            HSTR_RESULT_REMOTE_ERROR);
+  EXPECT_EQ(hStreams_ResultFromErrc(Errc::device_lost),
+            HSTR_RESULT_DEVICE_NOT_AVAILABLE);
+  EXPECT_EQ(hStreams_ResultFromErrc(Errc::cancelled),
+            HSTR_RESULT_EVENT_CANCELED);
+  EXPECT_EQ(hStreams_ResultFromErrc(Errc::internal),
+            HSTR_RESULT_INTERNAL_ERROR);
+}
+
+TEST_F(CompatApi, DeviceLossSurfacesAsResultCodeNotException) {
+  // Three scheduled transients exhaust the default retry budget on the
+  // first upload, declaring the card lost mid-run.
+  RuntimeConfig config;
+  config.platform = PlatformDesc::host_plus_cards(4, 1, 4);
+  config.faults.schedule = {
+      {DomainId{1}, 0, FaultKind::transient_error, 0.0},
+      {DomainId{1}, 1, FaultKind::transient_error, 0.0},
+      {DomainId{1}, 2, FaultKind::transient_error, 0.0}};
+  Runtime runtime(config, std::make_unique<ThreadedExecutor>());
+  ASSERT_EQ(hStreams_InitWithRuntime(&runtime, 2), HSTR_RESULT_SUCCESS);
+
+  std::vector<double> data(64, 1.0);
+  ASSERT_EQ(hStreams_app_create_buf(data.data(), 64 * sizeof(double)),
+            HSTR_RESULT_SUCCESS);
+  ASSERT_EQ(hStreams_app_xfer_memory(data.data(), data.data(),
+                                     64 * sizeof(double), 0,
+                                     HSTR_SRC_TO_SINK, nullptr),
+            HSTR_RESULT_SUCCESS);
+  // The loss surfaces as an HSTR code at the next sync; no C++ exception
+  // crosses the C-style boundary.
+  EXPECT_EQ(hStreams_app_thread_sync(), HSTR_RESULT_DEVICE_NOT_AVAILABLE);
+  // Further work targeting the dead card is refused with the same code.
+  EXPECT_EQ(hStreams_app_xfer_memory(data.data(), data.data(),
+                                     64 * sizeof(double), 0,
+                                     HSTR_SRC_TO_SINK, nullptr),
+            HSTR_RESULT_DEVICE_NOT_AVAILABLE);
+  EXPECT_FALSE(runtime.domain_alive(DomainId{1}));
+  EXPECT_EQ(hStreams_app_fini(), HSTR_RESULT_SUCCESS);
 }
 
 }  // namespace

@@ -1,13 +1,20 @@
 // Failure-injection tests: throwing task bodies must not crash worker
 // threads or wedge the simulator; the error surfaces at the caller's
 // next synchronization point, and the runtime keeps working afterwards.
+// The second half exercises the interconnect fault model: injected
+// transfer faults, retry with backoff, sync deadlines, stream
+// cancellation, device loss and recovery by evacuation.
 
 #include <gtest/gtest.h>
 
 #include <atomic>
 
+#include "apps/cholesky.hpp"
+#include "apps/tiled_matrix.hpp"
+#include "common/rng.hpp"
 #include "core/runtime.hpp"
 #include "core/threaded_executor.hpp"
+#include "hsblas/reference.hpp"
 #include "sim/platform.hpp"
 #include "sim/sim_executor.hpp"
 
@@ -18,15 +25,19 @@ struct TaskBoom : std::runtime_error {
   TaskBoom() : std::runtime_error("task exploded") {}
 };
 
-std::unique_ptr<Runtime> make_runtime(bool simulated) {
+std::unique_ptr<Runtime> make_runtime(bool simulated, std::size_t cards = 1,
+                                      FaultPlan faults = {},
+                                      RetryPolicy retry = {}) {
   RuntimeConfig config;
+  config.faults = std::move(faults);
+  config.retry = retry;
   if (simulated) {
-    const sim::SimPlatform platform = sim::hsw_plus_knc(1);
+    const sim::SimPlatform platform = sim::hsw_plus_knc(cards);
     config.platform = platform.desc;
     return std::make_unique<Runtime>(
         config, std::make_unique<sim::SimExecutor>(platform, true));
   }
-  config.platform = PlatformDesc::host_plus_cards(4, 1, 4);
+  config.platform = PlatformDesc::host_plus_cards(4, cards, 4);
   return std::make_unique<Runtime>(config,
                                    std::make_unique<ThreadedExecutor>());
 }
@@ -74,7 +85,7 @@ TEST_P(FailureInjection, SuccessorsStillRunAfterAFailure) {
   EXPECT_TRUE(successor_ran.load());
 }
 
-TEST_P(FailureInjection, OnlyFirstErrorIsKept) {
+TEST_P(FailureInjection, ErrorsQueueOldestFirstAcrossSyncs) {
   auto rt = make_runtime(GetParam());
   std::vector<double> x(64, 0.0);
   const BufferId id = rt->buffer_create(x.data(), 64 * sizeof(double));
@@ -82,6 +93,8 @@ TEST_P(FailureInjection, OnlyFirstErrorIsKept) {
   const StreamId s = rt->stream_create(DomainId{1}, CpuMask::first_n(2));
   const OperandRef ops[] = {{x.data(), 64 * sizeof(double), Access::inout}};
 
+  // The inout conflicts serialize the bombs, so the capture order is
+  // deterministic on both backends.
   for (int i = 0; i < 3; ++i) {
     ComputePayload bomb;
     bomb.body = [i](TaskContext&) {
@@ -89,12 +102,18 @@ TEST_P(FailureInjection, OnlyFirstErrorIsKept) {
     };
     (void)rt->enqueue_compute(s, std::move(bomb), ops);
   }
-  try {
-    rt->synchronize();
-    FAIL() << "expected a sink error";
-  } catch (const std::runtime_error& e) {
-    EXPECT_STREQ(e.what(), "bomb #0");
+  // Each synchronize reports exactly one captured error, oldest first;
+  // errors captured between two sync calls are queued, not dropped.
+  for (int i = 0; i < 3; ++i) {
+    try {
+      rt->synchronize();
+      FAIL() << "expected sink error #" << i;
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), ("bomb #" + std::to_string(i)).c_str());
+    }
+    EXPECT_EQ(rt->has_pending_error(), i < 2);
   }
+  rt->synchronize();  // queue drained: clean
   EXPECT_EQ(rt->stats().actions_failed, 3u);
 }
 
@@ -138,6 +157,337 @@ TEST_P(FailureInjection, StreamSynchronizeAlsoReports) {
   const OperandRef ops[] = {{x.data(), 8 * sizeof(double), Access::inout}};
   (void)rt->enqueue_compute(s, std::move(bomb), ops);
   EXPECT_THROW(rt->stream_synchronize(s), TaskBoom);
+}
+
+// ---- Interconnect fault model ----------------------------------------------
+
+TEST_P(FailureInjection, TransientFaultIsRetriedThenSucceeds) {
+  FaultPlan plan;
+  plan.schedule = {{DomainId{1}, 0, FaultKind::transient_error, 0.0}};
+  auto rt = make_runtime(GetParam(), 1, plan);
+
+  std::vector<double> x(64, 1.0);
+  const BufferId id = rt->buffer_create(x.data(), 64 * sizeof(double));
+  rt->buffer_instantiate(id, DomainId{1});
+  const StreamId s = rt->stream_create(DomainId{1}, CpuMask::first_n(2));
+  const OperandRef ops[] = {{x.data(), 64 * sizeof(double), Access::inout}};
+
+  (void)rt->enqueue_transfer(s, x.data(), 64 * sizeof(double),
+                             XferDir::src_to_sink);
+  ComputePayload work;
+  work.body = [&x](TaskContext& ctx) {
+    double* local = ctx.translate(x.data(), 64);
+    for (int i = 0; i < 64; ++i) {
+      local[i] *= 2.0;
+    }
+  };
+  (void)rt->enqueue_compute(s, std::move(work), ops);
+  (void)rt->enqueue_transfer(s, x.data(), 64 * sizeof(double),
+                             XferDir::sink_to_src);
+  rt->synchronize();
+
+  // The faulted attempt was retried transparently; numerics are intact.
+  EXPECT_DOUBLE_EQ(x[17], 2.0);
+  EXPECT_EQ(rt->stats().transfers_retried, 1u);
+  EXPECT_EQ(rt->stats().faults_injected, 1u);
+  EXPECT_EQ(rt->stats().domains_lost, 0u);
+  EXPECT_TRUE(rt->domain_alive(DomainId{1}));
+}
+
+TEST_P(FailureInjection, LinkStallDelaysButSucceeds) {
+  FaultPlan plan;
+  plan.schedule = {{DomainId{1}, 0, FaultKind::link_stall, 0.005}};
+  auto rt = make_runtime(GetParam(), 1, plan);
+
+  std::vector<double> x(64, 3.0);
+  const BufferId id = rt->buffer_create(x.data(), 64 * sizeof(double));
+  rt->buffer_instantiate(id, DomainId{1});
+  const StreamId s = rt->stream_create(DomainId{1}, CpuMask::first_n(2));
+
+  (void)rt->enqueue_transfer(s, x.data(), 64 * sizeof(double),
+                             XferDir::src_to_sink);
+  rt->synchronize();
+  EXPECT_EQ(rt->stats().faults_injected, 1u);
+  EXPECT_EQ(rt->stats().transfers_retried, 0u);
+  EXPECT_TRUE(rt->domain_alive(DomainId{1}));
+  if (GetParam()) {
+    // Virtual time advanced through the stall in the simulator.
+    EXPECT_GE(rt->now(), 0.005);
+  }
+}
+
+TEST_P(FailureInjection, RetryExhaustionDeclaresDeviceLost) {
+  FaultPlan plan;
+  plan.schedule = {{DomainId{1}, 0, FaultKind::transient_error, 0.0},
+                   {DomainId{1}, 1, FaultKind::transient_error, 0.0},
+                   {DomainId{1}, 2, FaultKind::transient_error, 0.0}};
+  auto rt = make_runtime(GetParam(), 1, plan);  // default max_attempts = 3
+
+  std::vector<double> x(64, 1.0);
+  const BufferId id = rt->buffer_create(x.data(), 64 * sizeof(double));
+  rt->buffer_instantiate(id, DomainId{1});
+  const StreamId s = rt->stream_create(DomainId{1}, CpuMask::first_n(2));
+
+  (void)rt->enqueue_transfer(s, x.data(), 64 * sizeof(double),
+                             XferDir::src_to_sink);
+  // The deadline overload reports the captured loss as a Status.
+  const Status st = rt->synchronize(5.0);
+  ASSERT_FALSE(static_cast<bool>(st));
+  EXPECT_EQ(st.code(), Errc::device_lost);
+
+  EXPECT_FALSE(rt->domain_alive(DomainId{1}));
+  EXPECT_EQ(rt->stats().transfers_retried, 2u);
+  EXPECT_EQ(rt->stats().faults_injected, 3u);
+  EXPECT_EQ(rt->stats().domains_lost, 1u);
+  EXPECT_GE(rt->stats().actions_failed, 1u);
+
+  // New work targeting the dead domain is refused with device_lost ...
+  try {
+    (void)rt->enqueue_transfer(s, x.data(), 64 * sizeof(double),
+                               XferDir::src_to_sink);
+    FAIL() << "expected device_lost";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::device_lost);
+  }
+  EXPECT_THROW((void)rt->stream_create(DomainId{1}, CpuMask::first_n(1)),
+               Error);
+
+  // ... but the host keeps working.
+  const StreamId host_s = rt->stream_create(kHostDomain, CpuMask::first_n(1));
+  std::atomic<bool> ran{false};
+  ComputePayload work;
+  work.body = [&ran](TaskContext&) { ran.store(true); };
+  const OperandRef ops[] = {{x.data(), 64 * sizeof(double), Access::inout}};
+  (void)rt->enqueue_compute(host_s, std::move(work), ops);
+  rt->synchronize();
+  EXPECT_TRUE(ran.load());
+}
+
+TEST_P(FailureInjection, ScheduledDeviceLossKillsTheDomain) {
+  FaultPlan plan;
+  plan.schedule = {{DomainId{1}, 0, FaultKind::device_loss, 0.0}};
+  auto rt = make_runtime(GetParam(), 1, plan);
+
+  std::vector<double> x(64, 1.0);
+  const BufferId id = rt->buffer_create(x.data(), 64 * sizeof(double));
+  rt->buffer_instantiate(id, DomainId{1});
+  const StreamId s = rt->stream_create(DomainId{1}, CpuMask::first_n(2));
+  (void)rt->enqueue_transfer(s, x.data(), 64 * sizeof(double),
+                             XferDir::src_to_sink);
+  try {
+    rt->synchronize();
+    FAIL() << "expected device_lost";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::device_lost);
+  }
+  EXPECT_FALSE(rt->domain_alive(DomainId{1}));
+  EXPECT_EQ(rt->stats().domains_lost, 1u);
+  EXPECT_EQ(rt->stats().faults_injected, 1u);
+  EXPECT_EQ(rt->stats().transfers_retried, 0u);
+}
+
+TEST_P(FailureInjection, SyncDeadlinesAndStreamCancelUnwedge) {
+  auto rt = make_runtime(GetParam());
+  const StreamId s = rt->stream_create(kHostDomain, CpuMask::first_n(1));
+
+  // Wedge the stream: a stream-wide barrier on an event nobody fires.
+  auto never = std::make_shared<EventState>();
+  (void)rt->enqueue_event_wait(s, never);
+  std::atomic<bool> ran{false};
+  std::vector<double> x(8, 0.0);
+  (void)rt->buffer_create(x.data(), 8 * sizeof(double));
+  ComputePayload work;
+  work.body = [&ran](TaskContext&) { ran.store(true); };
+  const OperandRef ops[] = {{x.data(), 8 * sizeof(double), Access::inout}};
+  const auto done_ev = rt->enqueue_compute(s, std::move(work), ops);
+
+  // All three deadline overloads give up instead of blocking forever.
+  EXPECT_EQ(rt->synchronize(0.001).code(), Errc::timed_out);
+  EXPECT_EQ(rt->stream_synchronize(s, 0.001).code(), Errc::timed_out);
+  const std::shared_ptr<EventState> evs[] = {done_ev};
+  EXPECT_EQ(rt->event_wait_host(evs, WaitMode::all, 0.001).code(),
+            Errc::timed_out);
+
+  // Cancel drains the parked barrier and the undispatched compute.
+  EXPECT_EQ(rt->stream_cancel(s), 2u);
+  rt->synchronize();  // now clean, and no error was queued
+  EXPECT_FALSE(ran.load());
+  EXPECT_EQ(rt->stats().actions_cancelled, 2u);
+  // Cancelled actions still fire their completion events, so
+  // cross-stream waiters cannot deadlock on a cancelled action.
+  EXPECT_TRUE(done_ev->fired());
+}
+
+TEST_P(FailureInjection, EvacuateRestoresTheSurvivorPath) {
+  FaultPlan plan;
+  plan.schedule = {{DomainId{2}, 0, FaultKind::transient_error, 0.0},
+                   {DomainId{2}, 1, FaultKind::transient_error, 0.0},
+                   {DomainId{2}, 2, FaultKind::transient_error, 0.0}};
+  auto rt = make_runtime(GetParam(), 2, plan);
+
+  std::vector<double> x(64, 3.0);
+  const BufferId id = rt->buffer_create(x.data(), 64 * sizeof(double));
+  rt->buffer_instantiate(id, DomainId{1});
+  rt->buffer_instantiate(id, DomainId{2});
+
+  const StreamId s2 = rt->stream_create(DomainId{2}, CpuMask::first_n(2));
+  (void)rt->enqueue_transfer(s2, x.data(), 64 * sizeof(double),
+                             XferDir::src_to_sink);
+  const Status lost = rt->synchronize(5.0);
+  ASSERT_EQ(lost.code(), Errc::device_lost);
+  EXPECT_FALSE(rt->domain_alive(DomainId{2}));
+  EXPECT_TRUE(rt->domain_alive(DomainId{1}));
+
+  // Recover: drop stale errors, pull the buffer off the dead card.
+  EXPECT_EQ(rt->clear_pending_errors(), 0u);  // sync consumed the only one
+  const Status st = rt->evacuate(id, DomainId{2}, kHostDomain);
+  EXPECT_TRUE(static_cast<bool>(st)) << st.message();
+
+  // The survivor card still computes correct results.
+  const StreamId s1 = rt->stream_create(DomainId{1}, CpuMask::first_n(2));
+  const OperandRef ops[] = {{x.data(), 64 * sizeof(double), Access::inout}};
+  (void)rt->enqueue_transfer(s1, x.data(), 64 * sizeof(double),
+                             XferDir::src_to_sink);
+  ComputePayload work;
+  work.body = [&x](TaskContext& ctx) {
+    double* local = ctx.translate(x.data(), 64);
+    for (int i = 0; i < 64; ++i) {
+      local[i] *= 2.0;
+    }
+  };
+  (void)rt->enqueue_compute(s1, std::move(work), ops);
+  (void)rt->enqueue_transfer(s1, x.data(), 64 * sizeof(double),
+                             XferDir::sink_to_src);
+  rt->synchronize();
+  EXPECT_DOUBLE_EQ(x[31], 6.0);
+  EXPECT_EQ(rt->stats().domains_lost, 1u);
+  EXPECT_EQ(rt->stats().transfers_retried, 2u);
+  EXPECT_EQ(rt->stats().faults_injected, 3u);
+}
+
+TEST_P(FailureInjection, CholeskyRecoversFromDeviceLoss) {
+  FaultPlan plan;
+  plan.schedule = {{DomainId{2}, 2, FaultKind::device_loss, 0.0}};
+  auto rt = make_runtime(GetParam(), 2, plan);
+
+  Rng rng(42);
+  blas::Matrix dense(128, 128);
+  dense.make_spd(rng);
+  const blas::Matrix original = dense;
+  apps::TiledMatrix a = apps::TiledMatrix::from_dense(dense, 32);
+
+  apps::CholeskyConfig config;
+  config.streams_per_device = 2;
+  config.host_streams = 2;
+  config.recover_from_device_loss = true;
+  const apps::CholeskyStats stats = apps::run_cholesky(*rt, config, a);
+
+  EXPECT_EQ(stats.recoveries, 1u);
+  EXPECT_FALSE(rt->domain_alive(DomainId{2}));
+  EXPECT_TRUE(rt->domain_alive(DomainId{1}));
+  EXPECT_EQ(rt->stats().domains_lost, 1u);
+
+  const blas::Matrix factored = a.to_dense();
+  const blas::Matrix recon = blas::ref::reconstruct_llt(factored.view());
+  EXPECT_LT(blas::max_abs_diff(recon.view(), original.view()), 1e-8 * 128);
+}
+
+// ---- Seeded chaos: determinism across simulation runs ----------------------
+
+struct ChaosOutcome {
+  std::vector<InjectedFault> log;
+  double now = 0.0;
+  RuntimeStats stats;
+  std::vector<double> x1, x2;
+  bool d1_alive = false, d2_alive = false;
+};
+
+ChaosOutcome run_chaos_once() {
+  FaultPlan plan;
+  plan.seed = 1234;
+  plan.p_transient = 0.12;
+  plan.p_stall = 0.15;
+  plan.stall_s = 300e-6;
+  plan.schedule = {{DomainId{2}, 6, FaultKind::device_loss, 0.0}};
+  auto rt = make_runtime(true, 2, plan);
+
+  ChaosOutcome out;
+  out.x1.assign(128, 1.0);
+  out.x2.assign(128, 1.0);
+  const std::size_t bytes = 128 * sizeof(double);
+  const BufferId b1 = rt->buffer_create(out.x1.data(), bytes);
+  const BufferId b2 = rt->buffer_create(out.x2.data(), bytes);
+  rt->buffer_instantiate(b1, DomainId{1});
+  rt->buffer_instantiate(b2, DomainId{2});
+  const StreamId s1 = rt->stream_create(DomainId{1}, CpuMask::first_n(2));
+  const StreamId s2 = rt->stream_create(DomainId{2}, CpuMask::first_n(2));
+
+  const auto pump = [&rt](StreamId s, std::vector<double>& x) {
+    try {
+      (void)rt->enqueue_transfer(s, x.data(), 128 * sizeof(double),
+                                 XferDir::src_to_sink);
+      ComputePayload work;
+      double* base = x.data();
+      work.body = [base](TaskContext& ctx) {
+        double* local = ctx.translate(base, 128);
+        for (int i = 0; i < 128; ++i) {
+          local[i] *= 2.0;
+        }
+      };
+      const OperandRef ops[] = {{base, 128 * sizeof(double), Access::inout}};
+      (void)rt->enqueue_compute(s, std::move(work), ops);
+      (void)rt->enqueue_transfer(s, x.data(), 128 * sizeof(double),
+                                 XferDir::sink_to_src);
+    } catch (const Error&) {
+      // The domain died under us; keep pumping the survivor.
+    }
+  };
+  for (int iter = 0; iter < 8; ++iter) {
+    pump(s1, out.x1);
+    pump(s2, out.x2);
+  }
+  for (int i = 0; i < 64; ++i) {
+    if (static_cast<bool>(rt->synchronize(1.0))) {
+      break;
+    }
+  }
+  (void)rt->clear_pending_errors();
+
+  out.log = rt->fault_injector().log();
+  out.now = rt->now();
+  out.stats = rt->stats();
+  out.d1_alive = rt->domain_alive(DomainId{1});
+  out.d2_alive = rt->domain_alive(DomainId{2});
+  return out;
+}
+
+TEST(SeededChaos, SimulatedRunsAreBitIdentical) {
+  const ChaosOutcome a = run_chaos_once();
+  const ChaosOutcome b = run_chaos_once();
+
+  // Same seed, same plan, same workload: identical fault trace, identical
+  // virtual clock, identical counters, identical survivor data.
+  EXPECT_EQ(a.log, b.log);
+  EXPECT_GT(a.log.size(), 0u);  // the chaos plan actually injected faults
+  EXPECT_DOUBLE_EQ(a.now, b.now);
+  EXPECT_EQ(a.stats.faults_injected, b.stats.faults_injected);
+  EXPECT_EQ(a.stats.transfers_retried, b.stats.transfers_retried);
+  EXPECT_EQ(a.stats.domains_lost, b.stats.domains_lost);
+  EXPECT_EQ(a.stats.actions_failed, b.stats.actions_failed);
+  EXPECT_EQ(a.stats.actions_completed, b.stats.actions_completed);
+  EXPECT_EQ(a.x1, b.x1);
+  EXPECT_EQ(a.x2, b.x2);
+  EXPECT_EQ(a.d1_alive, b.d1_alive);
+
+  // The scheduled loss killed card 2.
+  EXPECT_FALSE(a.d2_alive);
+  EXPECT_GE(a.stats.domains_lost, 1u);
+  // The survivor path stays numerically correct: domain 1 applied all
+  // eight doublings despite transients and stalls.
+  if (a.d1_alive) {
+    EXPECT_DOUBLE_EQ(a.x1[0], 256.0);
+    EXPECT_DOUBLE_EQ(a.x1[127], 256.0);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Backends, FailureInjection,

@@ -4,7 +4,12 @@
 // Prints the domains, their kinds, thread counts, memory budgets and
 // links for a chosen emulated platform.
 //
-// Usage: hsinfo [hsw|ivb] [cards] [remote_nodes]
+// Usage: hsinfo [hsw|ivb] [cards] [remote_nodes] [--key=value ...]
+//
+// Fault/retry knobs (RuntimeConfig::faults / ::retry) can be set with
+// trailing --key=value flags and are echoed back in the report:
+//   --fault-seed=N --p-loss=X --p-transient=X --p-stall=X --stall-us=X
+//   --retry-max=N --backoff-us=X --backoff-mult=X
 
 #include <cstdio>
 #include <cstdlib>
@@ -14,14 +19,36 @@
 #include "sim/platform.hpp"
 #include "sim/sim_executor.hpp"
 
+namespace {
+
+/// Value of a `--name=value` flag, or nullptr if absent.
+const char* flag_value(int argc, char** argv, const char* name) {
+  const std::size_t len = std::strlen(name);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], name, len) == 0 && argv[i][len] == '=') {
+      return argv[i] + len + 1;
+    }
+  }
+  return nullptr;
+}
+
+double flag_double(int argc, char** argv, const char* name, double fallback) {
+  const char* v = flag_value(argc, argv, name);
+  return v != nullptr ? std::atof(v) : fallback;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace hs;
 
   const bool ivb = argc > 1 && std::strcmp(argv[1], "ivb") == 0;
-  const std::size_t cards =
-      argc > 2 ? static_cast<std::size_t>(std::atoi(argv[2])) : 2;
-  const std::size_t remotes =
-      argc > 3 ? static_cast<std::size_t>(std::atoi(argv[3])) : 0;
+  const std::size_t cards = argc > 2 && argv[2][0] != '-'
+                                ? static_cast<std::size_t>(std::atoi(argv[2]))
+                                : 2;
+  const std::size_t remotes = argc > 3 && argv[3][0] != '-'
+                                  ? static_cast<std::size_t>(std::atoi(argv[3]))
+                                  : 0;
 
   sim::SimPlatform platform =
       remotes > 0 ? sim::hsw_cluster(cards, remotes)
@@ -31,6 +58,20 @@ int main(int argc, char** argv) {
   config.platform = platform.desc;
   config.device_link = platform.link;
   config.domain_links = platform.domain_links;
+  config.faults.seed = static_cast<std::uint64_t>(
+      flag_double(argc, argv, "--fault-seed", 0.0));
+  config.faults.p_device_loss = flag_double(argc, argv, "--p-loss", 0.0);
+  config.faults.p_transient = flag_double(argc, argv, "--p-transient", 0.0);
+  config.faults.p_stall = flag_double(argc, argv, "--p-stall", 0.0);
+  config.faults.stall_s =
+      flag_double(argc, argv, "--stall-us", config.faults.stall_s * 1e6) / 1e6;
+  config.retry.max_attempts = static_cast<int>(flag_double(
+      argc, argv, "--retry-max", static_cast<double>(config.retry.max_attempts)));
+  config.retry.base_backoff_s =
+      flag_double(argc, argv, "--backoff-us", config.retry.base_backoff_s * 1e6) /
+      1e6;
+  config.retry.multiplier =
+      flag_double(argc, argv, "--backoff-mult", config.retry.multiplier);
   Runtime runtime(config,
                   std::make_unique<sim::SimExecutor>(platform, false));
 
@@ -80,5 +121,22 @@ int main(int argc, char** argv) {
     }
     std::printf("\n");
   }
+
+  // Active fault model and retry policy (RuntimeConfig::faults / ::retry).
+  const FaultPlan& plan = runtime.config().faults;
+  const RetryPolicy& retry = runtime.config().retry;
+  std::printf("\nfault injection: %s\n",
+              plan.enabled() ? "enabled" : "disabled");
+  if (plan.enabled()) {
+    std::printf("  seed=%llu p_device_loss=%g p_transient=%g p_stall=%g "
+                "stall=%.0fus scheduled=%zu\n",
+                static_cast<unsigned long long>(plan.seed), plan.p_device_loss,
+                plan.p_transient, plan.p_stall, plan.stall_s * 1e6,
+                plan.schedule.size());
+  }
+  std::printf("retry policy: max_attempts=%d base_backoff=%.0fus "
+              "multiplier=%g\n",
+              retry.max_attempts, retry.base_backoff_s * 1e6,
+              retry.multiplier);
   return 0;
 }
