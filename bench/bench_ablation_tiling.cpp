@@ -15,6 +15,7 @@
 #include "apps/lu.hpp"
 #include "apps/matmul.hpp"
 #include "bench_util.hpp"
+#include "common/json_report.hpp"
 
 namespace hs::bench {
 namespace {
@@ -90,5 +91,6 @@ int main() {
             native > hybrid ? "host" : "hybrid"});
   }
   lu.print();
+  hs::report::write_json("ablation_tiling");
   return 0;
 }

@@ -13,6 +13,7 @@
 
 #include "apps/matmul.hpp"
 #include "bench_util.hpp"
+#include "common/json_report.hpp"
 
 namespace hs::bench {
 namespace {
@@ -65,5 +66,6 @@ int main() {
   table.print();
   std::puts("application code identical across rows; only the platform "
             "description differs (the separation-of-concerns claim).");
+  hs::report::write_json("fabric_cluster");
   return 0;
 }

@@ -18,6 +18,7 @@
 #include "baselines/omp_offload.hpp"
 #include "baselines/opencl_like.hpp"
 #include "bench_util.hpp"
+#include "common/json_report.hpp"
 #include "hsblas/kernels.hpp"
 #include "ompss/ompss.hpp"
 
@@ -196,5 +197,6 @@ int main() {
   table.print();
   std::puts("* LoC / unique APIs / total APIs quoted from the paper's "
             "static comparison (Fig 3).");
+  hs::report::write_json("fig3_models");
   return 0;
 }

@@ -15,6 +15,7 @@
 #include "apps/matmul.hpp"
 #include "baselines/omp_offload.hpp"
 #include "bench_util.hpp"
+#include "common/json_report.hpp"
 
 namespace hs::bench {
 namespace {
@@ -101,9 +102,23 @@ int main() {
       const std::size_t panels =
           std::max<std::size_t>(std::max<std::size_t>(domains, 1) * 5, 10);
       const std::size_t tile = std::max<std::size_t>(1, n / panels);
-      const double gf = run_point(config, n, tile);
+      // Pure offload at the largest sizes genuinely does not fit: one
+      // 16 GiB card cannot hold three N=28000 matrices (3 x 6.3 GB)
+      // without the streaming reuse that hStreams placement provides —
+      // which is the paper's point. Report "oom" rather than faking a
+      // number; the peak is taken over the sizes that fit.
+      double gf = 0.0;
+      bool fits = true;
+      try {
+        gf = run_point(config, n, tile);
+      } catch (const Error& e) {
+        if (e.code() != Errc::resource_exhausted) {
+          throw;
+        }
+        fits = false;
+      }
       peak = std::max(peak, gf);
-      row.push_back(fmt(gf, 0));
+      row.push_back(fits ? fmt(gf, 0) : "oom");
     }
     row.push_back(vs_paper(peak, config.paper_peak));
     table.row(std::move(row));
@@ -120,5 +135,6 @@ int main() {
   eff.row({"2 KNC GF/s", fmt(two, 0)});
   eff.row({"2-card efficiency (paper >0.85)", fmt(two / (2.0 * one), 2)});
   eff.print();
+  hs::report::write_json("fig6_matmul");
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "baselines/magma_like.hpp"
 #include "baselines/omp_offload.hpp"
 #include "bench_util.hpp"
+#include "common/json_report.hpp"
 #include "hsblas/kernels.hpp"
 #include "ompss/ompss.hpp"
 
@@ -159,5 +160,6 @@ int main() {
     table.row(std::move(row));
   }
   table.print();
+  hs::report::write_json("fig7_cholesky");
   return 0;
 }

@@ -12,6 +12,7 @@
 
 #include "apps/abaqus.hpp"
 #include "bench_util.hpp"
+#include "common/json_report.hpp"
 
 namespace hs::bench {
 namespace {
@@ -74,5 +75,6 @@ int main() {
   peaks.row({"max HSW solver", vs_paper(max_hsw_solver, 1.45, 2)});
   peaks.row({"max HSW app", vs_paper(max_hsw_app, 1.22, 2)});
   peaks.print();
+  hs::report::write_json("fig8_abaqus");
   return 0;
 }

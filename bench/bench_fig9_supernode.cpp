@@ -11,6 +11,7 @@
 
 #include "apps/supernode.hpp"
 #include "bench_util.hpp"
+#include "common/json_report.hpp"
 #include "common/stats.hpp"
 
 namespace hs::bench {
@@ -62,5 +63,6 @@ int main() {
   ratios.row({"KNC / HSW", vs_paper(knc / hsw, 2.35 / 2.24, 2)});
   ratios.row({"IVB / HSW", vs_paper(ivb / hsw, 4.27 / 2.24, 2)});
   ratios.print();
+  hs::report::write_json("fig9_supernode");
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "apps/tiled_matrix.hpp"
 #include "bench_util.hpp"
+#include "common/json_report.hpp"
 #include "hsblas/kernels.hpp"
 #include "ompss/ompss.hpp"
 
@@ -84,5 +85,6 @@ int main() {
                fmt(hstr, 4), fmt(cuda, 4), note});
   }
   table.print();
+  hs::report::write_json("ompss_backend");
   return 0;
 }

@@ -8,11 +8,15 @@
 //   * "OmpSs ends up inducing overheads on top of hStreams of 15-50% for
 //     matrices that are 4800-10000 elements on a side."
 
+#include <chrono>
 #include <memory>
 #include <vector>
 
 #include "apps/tiled_matrix.hpp"
 #include "bench_util.hpp"
+#include "common/json_report.hpp"
+#include "graph/capture.hpp"
+#include "graph/replay.hpp"
 #include "hsblas/kernels.hpp"
 #include "ompss/ompss.hpp"
 
@@ -163,6 +167,75 @@ void async_alloc_table() {
             "bottleneck this feature removes.");
 }
 
+/// Per-action host-side cost of getting work into a stream: eager
+/// enqueue (validation, operand resolution, and pairwise dependence
+/// analysis per action, one lock round-trip each) vs replay of a
+/// captured graph (one batch admission reusing the captured edges).
+/// The workload is the analysis worst case — N independent three-operand
+/// computes (the RTM slab shape) in one relaxed-FIFO stream, so eager
+/// pays O(N^2) operand intersections per iteration and replay pays
+/// none. Wall-clock host time; the sim backend keeps virtual time
+/// frozen during the burst so only front-end cost is measured.
+void graph_replay_table() {
+  Table table("Enqueue cost: eager vs graph replay "
+              "(N independent 3-operand computes, one stream)");
+  table.header({"N", "eager us/action", "replay us/action", "speedup"});
+  using clock = std::chrono::steady_clock;
+  constexpr int kReps = 25;
+  for (const std::size_t n : {64u, 256u, 512u, 1024u}) {
+    auto rt = sim_runtime(sim::hsw_plus_knc(1));
+    std::vector<double> data(3 * n);
+    const BufferId id =
+        rt->buffer_create(data.data(), 3 * n * sizeof(double));
+    rt->buffer_instantiate(id, DomainId{1});
+    const StreamId s = rt->stream_create(DomainId{1}, CpuMask::first_n(240));
+    auto enqueue_all = [&rt, &data, s, n] {
+      for (std::size_t i = 0; i < n; ++i) {
+        ComputePayload p;
+        p.kernel = "nop";
+        p.body = [](TaskContext&) {};
+        const OperandRef ops[] = {
+            {&data[3 * i], sizeof(double), Access::in},
+            {&data[3 * i + 1], sizeof(double), Access::in},
+            {&data[3 * i + 2], sizeof(double), Access::inout}};
+        (void)rt->enqueue_compute(s, std::move(p), ops);
+      }
+    };
+
+    double eager_s = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = clock::now();
+      enqueue_all();
+      eager_s += std::chrono::duration<double>(clock::now() - t0).count();
+      rt->synchronize();
+    }
+
+    graph::TaskGraph captured = [&] {
+      const StreamId streams[] = {s};
+      graph::GraphCapture capture(*rt, streams);
+      enqueue_all();
+      return capture.finish();
+    }();
+    graph::GraphExec exec(*rt, std::move(captured));
+    double replay_s = 0.0;
+    for (int rep = 0; rep < kReps; ++rep) {
+      const auto t0 = clock::now();
+      (void)exec.launch();
+      replay_s += std::chrono::duration<double>(clock::now() - t0).count();
+      rt->synchronize();
+    }
+
+    const double per_action = 1e6 / static_cast<double>(kReps) /
+                              static_cast<double>(n);
+    table.row({std::to_string(n), fmt(eager_s * per_action, 3),
+               fmt(replay_s * per_action, 3),
+               fmt(eager_s / replay_s, 1) + "x"});
+  }
+  table.print();
+  std::puts("replay amortizes resolution + dependence analysis: the "
+            "per-action cost drop exceeds 5x once the window is nontrivial.");
+}
+
 }  // namespace
 }  // namespace hs::bench
 
@@ -171,5 +244,7 @@ int main() {
   hs::bench::pool_table();
   hs::bench::ompss_overhead_table();
   hs::bench::async_alloc_table();
+  hs::bench::graph_replay_table();
+  hs::report::write_json("overheads");
   return 0;
 }

@@ -11,6 +11,7 @@
 
 #include "apps/rtm.hpp"
 #include "bench_util.hpp"
+#include "common/json_report.hpp"
 
 namespace hs::bench {
 namespace {
@@ -68,5 +69,6 @@ int main() {
   anchors.row({"1 rank, 1 KNC vs host", vs_paper(host1 / pipe1, 1.52, 2)});
   anchors.row({"4 ranks, 4 KNC vs host", vs_paper(host4 / pipe4, 6.02, 2)});
   anchors.print();
+  hs::report::write_json("rtm");
   return 0;
 }

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "graph/capture.hpp"
+#include "graph/replay.hpp"
 #include "hsblas/kernels.hpp"
 
 namespace hs::apps {
@@ -28,124 +30,135 @@ void initial_residual(const TiledMatrix& a, const std::vector<double>& b,
   }
 }
 
-}  // namespace
+/// Shared state and per-phase enqueue front-end for the eager loop and
+/// the graph capture. The per-iteration scalars live in `alpha`/`beta`
+/// members whose *addresses* the task bodies capture: the driver stores
+/// fresh values before each launch, and bodies read them at execution
+/// time — which is what lets a captured phase replay across iterations.
+struct CgDriver {
+  Runtime& runtime;
+  const CgConfig& config;
+  const TiledMatrix& a;
+  std::vector<double>& x;
 
-CgStats run_cg(Runtime& runtime, const CgConfig& config, const TiledMatrix& a,
-               const std::vector<double>& b, std::vector<double>& x) {
-  require(a.rows() == a.cols(), "cg needs a square matrix");
-  const std::size_t n = a.rows();
-  require(b.size() == n && x.size() == n, "cg vector sizes");
-  const std::size_t nt = a.row_tiles();
-
-  // Compute domains: host (if requested) + every card.
+  std::size_t n = 0;
+  std::size_t nt = 0;
+  std::size_t tile = 0;
+  const double* abase = nullptr;
   std::vector<DomainId> domains;
-  if (config.host_streams > 0) {
-    domains.push_back(kHostDomain);
-  }
-  for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
-    domains.push_back(DomainId{static_cast<std::uint32_t>(d)});
-  }
-  require(!domains.empty(), "cg needs at least one compute domain");
-  auto owner = [&](std::size_t i) { return domains[i % domains.size()]; };
-
-  // Streams per domain.
   std::map<std::uint32_t, std::vector<StreamId>> streams;
-  for (const DomainId dom : domains) {
-    const std::size_t threads = runtime.domain(dom).hw_threads();
-    const std::size_t count =
-        std::min(dom == kHostDomain ? config.host_streams
-                                    : config.streams_per_device,
-                 threads);
-    for (const CpuMask& mask : CpuMask::partition(threads, count)) {
-      streams[dom.value].push_back(runtime.stream_create(dom, mask));
-    }
-  }
-  auto block_stream = [&](std::size_t i) {
-    const auto& list = streams[owner(i).value];
-    return list[(i / domains.size()) % list.size()];
-  };
-
-  // Working vectors. p is replicated (SpMV reads all of it); q, r, x and
-  // the partial-sum scratch are block-distributed.
-  std::vector<double> p(n, 0.0);
-  std::vector<double> q(n, 0.0);
-  std::vector<double> r(n, 0.0);
-  std::vector<double> partial(nt, 0.0);
-
-  initial_residual(a, b, x, r);
-  p = r;
-  double rr = 0.0;
-  for (const double v : r) {
-    rr += v * v;
-  }
-  double bb = 0.0;
-  for (const double v : b) {
-    bb += v * v;
-  }
-  const double threshold = config.tolerance * (bb > 0.0 ? bb : 1.0);
-
-  // Register everything; instantiate on every card in use.
+  std::vector<double> p, q, r, partial;
   std::vector<BufferId> ids;
-  auto reg = [&](void* base, std::size_t bytes) {
-    const BufferId id = runtime.buffer_create(base, bytes);
+  double alpha = 0.0;
+  double beta = 0.0;
+
+  [[nodiscard]] DomainId owner(std::size_t i) const {
+    return domains[i % domains.size()];
+  }
+  [[nodiscard]] StreamId block_stream(std::size_t i) const {
+    const auto& list = streams.at(owner(i).value);
+    return list[(i / domains.size()) % list.size()];
+  }
+  [[nodiscard]] std::vector<StreamId> all_streams() const {
+    std::vector<StreamId> out;
+    for (const auto& [dom, list] : streams) {
+      out.insert(out.end(), list.begin(), list.end());
+    }
+    return out;
+  }
+
+  void setup() {
+    n = a.rows();
+    nt = a.row_tiles();
+    tile = a.tile();
+    abase = a.tile_ptr(0, 0);
+
+    // Compute domains: host (if requested) + every card.
+    if (config.host_streams > 0) {
+      domains.push_back(kHostDomain);
+    }
+    for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
+      domains.push_back(DomainId{static_cast<std::uint32_t>(d)});
+    }
+    require(!domains.empty(), "cg needs at least one compute domain");
+
+    // Streams per domain.
     for (const DomainId dom : domains) {
-      if (dom != kHostDomain) {
-        runtime.buffer_instantiate(id, dom);
+      const std::size_t threads = runtime.domain(dom).hw_threads();
+      const std::size_t count =
+          std::min(dom == kHostDomain ? config.host_streams
+                                      : config.streams_per_device,
+                   threads);
+      for (const CpuMask& mask : CpuMask::partition(threads, count)) {
+        streams[dom.value].push_back(runtime.stream_create(dom, mask));
       }
     }
-    ids.push_back(id);
-    return id;
-  };
-  (void)reg(const_cast<double*>(a.tile_ptr(0, 0)), a.size_bytes());
-  (void)reg(p.data(), n * sizeof(double));
-  (void)reg(q.data(), n * sizeof(double));
-  (void)reg(r.data(), n * sizeof(double));
-  (void)reg(x.data(), n * sizeof(double));
-  (void)reg(partial.data(), nt * sizeof(double));
 
-  const double t0 = runtime.now();
+    // Working vectors. p is replicated (SpMV reads all of it); q, r, x
+    // and the partial-sum scratch are block-distributed.
+    p.assign(n, 0.0);
+    q.assign(n, 0.0);
+    r.assign(n, 0.0);
+    partial.assign(nt, 0.0);
 
-  // One-time uploads: the matrix (whole) to each card, plus each card's
-  // owned blocks of r and x.
-  for (const DomainId dom : domains) {
-    if (dom == kHostDomain) {
-      continue;
-    }
-    const StreamId s0 = streams[dom.value].front();
-    const auto mat_ev = runtime.enqueue_transfer(
-        s0, a.tile_ptr(0, 0), a.size_bytes(), XferDir::src_to_sink);
-    // Streams are only ordered against each other through events: without
-    // this scoped wait an SpMV in a sibling stream may read the sink
-    // matrix while the upload above is still in flight (the p broadcast
-    // it does wait on can finish first on another DMA engine).
-    for (const StreamId st : streams[dom.value]) {
-      if (st == s0) {
+    // Register everything; instantiate on every card in use.
+    auto reg = [&](void* base, std::size_t bytes) {
+      const BufferId id = runtime.buffer_create(base, bytes);
+      for (const DomainId dom : domains) {
+        if (dom != kHostDomain) {
+          runtime.buffer_instantiate(id, dom);
+        }
+      }
+      ids.push_back(id);
+    };
+    reg(const_cast<double*>(a.tile_ptr(0, 0)), a.size_bytes());
+    reg(p.data(), n * sizeof(double));
+    reg(q.data(), n * sizeof(double));
+    reg(r.data(), n * sizeof(double));
+    reg(x.data(), n * sizeof(double));
+    reg(partial.data(), nt * sizeof(double));
+  }
+
+  /// One-time uploads: the matrix (whole) to each card, plus each card's
+  /// owned blocks of r and x.
+  void uploads() {
+    for (const DomainId dom : domains) {
+      if (dom == kHostDomain) {
         continue;
       }
-      const OperandRef mops[] = {
-          {a.tile_ptr(0, 0), a.size_bytes(), Access::out}};
-      (void)runtime.enqueue_event_wait(st, mat_ev, mops);
-    }
-    for (std::size_t i = 0; i < nt; ++i) {
-      if (owner(i) != dom) {
-        continue;
+      const StreamId s0 = streams[dom.value].front();
+      const auto mat_ev = runtime.enqueue_transfer(
+          s0, a.tile_ptr(0, 0), a.size_bytes(), XferDir::src_to_sink);
+      // Streams are only ordered against each other through events:
+      // without this scoped wait an SpMV in a sibling stream may read the
+      // sink matrix while the upload above is still in flight (the p
+      // broadcast it does wait on can finish first on another DMA
+      // engine).
+      for (const StreamId st : streams[dom.value]) {
+        if (st == s0) {
+          continue;
+        }
+        const OperandRef mops[] = {
+            {a.tile_ptr(0, 0), a.size_bytes(), Access::out}};
+        (void)runtime.enqueue_event_wait(st, mat_ev, mops);
       }
-      const std::size_t off = i * a.tile();
-      const std::size_t len = a.tile_rows(i) * sizeof(double);
-      (void)runtime.enqueue_transfer(block_stream(i), r.data() + off, len,
-                                     XferDir::src_to_sink);
-      (void)runtime.enqueue_transfer(block_stream(i), x.data() + off, len,
-                                     XferDir::src_to_sink);
+      for (std::size_t i = 0; i < nt; ++i) {
+        if (owner(i) != dom) {
+          continue;
+        }
+        const std::size_t off = i * a.tile();
+        const std::size_t len = a.tile_rows(i) * sizeof(double);
+        (void)runtime.enqueue_transfer(block_stream(i), r.data() + off, len,
+                                       XferDir::src_to_sink);
+        (void)runtime.enqueue_transfer(block_stream(i), x.data() + off, len,
+                                       XferDir::src_to_sink);
+      }
     }
   }
 
-  CgStats stats;
-  const double* abase = a.tile_ptr(0, 0);
-  const std::size_t tile = a.tile();
-
-  for (std::size_t iter = 0; iter < config.max_iterations && rr > threshold;
-       ++iter) {
-    // --- Broadcast p to the cards; SpMV + p.q partials per block row.
+  /// Phase 1: broadcast p to the cards; SpMV + p.q partials per block
+  /// row. Returns the per-block events the host combines over.
+  std::vector<std::shared_ptr<EventState>> phase_spmv() {
     std::vector<std::shared_ptr<EventState>> partial_evs;
     std::map<std::uint32_t, std::shared_ptr<EventState>> bcast;
     for (const DomainId dom : domains) {
@@ -176,15 +189,18 @@ CgStats run_cg(Runtime& runtime, const CgConfig& config, const TiledMatrix& a,
       double* pp = p.data();
       double* pq = q.data();
       double* ppart = partial.data();
-      task.body = [am, pp, pq, ppart, abase, i, off, rows, n,
-                   nt](TaskContext& ctx) {
-        const double* lp = ctx.translate(pp, n);
+      const double* ab = abase;
+      const std::size_t ln = n;
+      const std::size_t lnt = nt;
+      task.body = [am, pp, pq, ppart, ab, i, off, rows, ln,
+                   lnt](TaskContext& ctx) {
+        const double* lp = ctx.translate(pp, ln);
         double* lq = ctx.translate(pq + off, rows);
-        const double* la = ctx.translate(abase, 1);
+        const double* la = ctx.translate(ab, 1);
         for (std::size_t k = 0; k < rows; ++k) {
           lq[k] = 0.0;
         }
-        for (std::size_t j = 0; j < nt; ++j) {
+        for (std::size_t j = 0; j < lnt; ++j) {
           // View of tile (i,j) relative to the translated matrix base.
           const double* tbase =
               la + (am->tile_ptr(i, j) - am->tile_ptr(0, 0));
@@ -220,14 +236,12 @@ CgStats run_cg(Runtime& runtime, const CgConfig& config, const TiledMatrix& a,
                                          sizeof(double),
                                          XferDir::sink_to_src));
     }
-    runtime.event_wait_host(partial_evs);
-    double pq_sum = 0.0;
-    for (const double v : partial) {
-      pq_sum += v;
-    }
-    const double alpha = rr / pq_sum;
+    return partial_evs;
+  }
 
-    // --- x += alpha p ; r -= alpha q ; partial = r.r per block.
+  /// Phase 2: x += alpha p ; r -= alpha q ; partial = r.r per block.
+  /// `alpha` is read from the driver at execution time.
+  std::vector<std::shared_ptr<EventState>> phase_axpy() {
     std::vector<std::shared_ptr<EventState>> rr_evs;
     for (std::size_t i = 0; i < nt; ++i) {
       const StreamId st = block_stream(i);
@@ -241,16 +255,18 @@ CgStats run_cg(Runtime& runtime, const CgConfig& config, const TiledMatrix& a,
       double* pr = r.data();
       double* px = x.data();
       double* ppart = partial.data();
+      const double* palpha = &alpha;
       task.body = [pp, pq, pr, px, ppart, i, off, rows,
-                   alpha](TaskContext& ctx) {
+                   palpha](TaskContext& ctx) {
+        const double a_now = *palpha;
         const double* lp = ctx.translate(pp + off, rows);
         const double* lq = ctx.translate(pq + off, rows);
         double* lr = ctx.translate(pr + off, rows);
         double* lx = ctx.translate(px + off, rows);
         double dot = 0.0;
         for (std::size_t k = 0; k < rows; ++k) {
-          lx[k] += alpha * lp[k];
-          lr[k] -= alpha * lq[k];
+          lx[k] += a_now * lp[k];
+          lr[k] -= a_now * lq[k];
           dot += lr[k] * lr[k];
         }
         *ctx.translate(ppart + i, 1) = dot;
@@ -268,20 +284,12 @@ CgStats run_cg(Runtime& runtime, const CgConfig& config, const TiledMatrix& a,
                                  st, partial.data() + i, sizeof(double),
                                  XferDir::sink_to_src));
     }
-    runtime.event_wait_host(rr_evs);
-    double rr_new = 0.0;
-    for (const double v : partial) {
-      rr_new += v;
-    }
-    const double beta = rr_new / rr;
-    rr = rr_new;
-    ++stats.iterations;
-    if (rr <= threshold) {
-      break;
-    }
+    return rr_evs;
+  }
 
-    // --- p = r + beta p per block, then ship the block home so the next
-    // broadcast carries a coherent p.
+  /// Phase 3: p = r + beta p per block, then ship the block home so the
+  /// next broadcast carries a coherent p. `beta` is read at execution.
+  std::vector<std::shared_ptr<EventState>> phase_pupdate() {
     std::vector<std::shared_ptr<EventState>> p_evs;
     for (std::size_t i = 0; i < nt; ++i) {
       const StreamId st = block_stream(i);
@@ -292,11 +300,13 @@ CgStats run_cg(Runtime& runtime, const CgConfig& config, const TiledMatrix& a,
       task.flops = 2.0 * static_cast<double>(rows);
       double* pp = p.data();
       double* pr = r.data();
-      task.body = [pp, pr, off, rows, beta](TaskContext& ctx) {
+      const double* pbeta = &beta;
+      task.body = [pp, pr, off, rows, pbeta](TaskContext& ctx) {
+        const double b_now = *pbeta;
         const double* lr = ctx.translate(pr + off, rows);
         double* lp = ctx.translate(pp + off, rows);
         for (std::size_t k = 0; k < rows; ++k) {
-          lp[k] = lr[k] + beta * lp[k];
+          lp[k] = lr[k] + b_now * lp[k];
         }
       };
       const OperandRef ops[] = {
@@ -309,29 +319,168 @@ CgStats run_cg(Runtime& runtime, const CgConfig& config, const TiledMatrix& a,
                                                      XferDir::sink_to_src)
                           : std::move(update_done));
     }
+    return p_evs;
+  }
+
+  /// Gathers x blocks from the cards, drains, and closes out the stats.
+  CgStats finish(double t0, std::size_t iterations, double rr,
+                 double threshold) {
+    for (std::size_t i = 0; i < nt; ++i) {
+      if (owner(i) == kHostDomain) {
+        continue;
+      }
+      (void)runtime.enqueue_transfer(block_stream(i), x.data() + i * tile,
+                                     a.tile_rows(i) * sizeof(double),
+                                     XferDir::sink_to_src);
+    }
+    runtime.synchronize();
+
+    CgStats stats;
+    stats.iterations = iterations;
+    stats.seconds = runtime.now() - t0;
+    stats.residual = std::sqrt(rr);
+    stats.converged = rr <= threshold;
+    // Buffers wrap caller storage; drop the registrations before return.
+    for (const BufferId id : ids) {
+      runtime.buffer_destroy(id);
+    }
+    return stats;
+  }
+};
+
+/// Initial residual, search direction, and convergence threshold.
+double cg_init(CgDriver& drv, const std::vector<double>& b,
+               double& threshold) {
+  initial_residual(drv.a, b, drv.x, drv.r);
+  drv.p = drv.r;
+  double rr = 0.0;
+  for (const double v : drv.r) {
+    rr += v * v;
+  }
+  double bb = 0.0;
+  for (const double v : b) {
+    bb += v * v;
+  }
+  threshold = drv.config.tolerance * (bb > 0.0 ? bb : 1.0);
+  return rr;
+}
+
+}  // namespace
+
+CgStats run_cg(Runtime& runtime, const CgConfig& config, const TiledMatrix& a,
+               const std::vector<double>& b, std::vector<double>& x) {
+  require(a.rows() == a.cols(), "cg needs a square matrix");
+  require(b.size() == a.rows() && x.size() == a.rows(), "cg vector sizes");
+  CgDriver drv{runtime, config, a, x};
+  drv.setup();
+  double threshold = 0.0;
+  double rr = cg_init(drv, b, threshold);
+
+  const double t0 = runtime.now();
+  drv.uploads();
+
+  std::size_t iterations = 0;
+  for (std::size_t iter = 0; iter < config.max_iterations && rr > threshold;
+       ++iter) {
+    auto partial_evs = drv.phase_spmv();
+    runtime.event_wait_host(partial_evs);
+    double pq_sum = 0.0;
+    for (const double v : drv.partial) {
+      pq_sum += v;
+    }
+    drv.alpha = rr / pq_sum;
+
+    auto rr_evs = drv.phase_axpy();
+    runtime.event_wait_host(rr_evs);
+    double rr_new = 0.0;
+    for (const double v : drv.partial) {
+      rr_new += v;
+    }
+    drv.beta = rr_new / rr;
+    rr = rr_new;
+    ++iterations;
+    if (rr <= threshold) {
+      break;
+    }
+
+    auto p_evs = drv.phase_pupdate();
     runtime.event_wait_host(p_evs);
   }
 
-  // Gather x blocks from the cards.
-  std::vector<std::shared_ptr<EventState>> x_evs;
-  for (std::size_t i = 0; i < nt; ++i) {
-    if (owner(i) == kHostDomain) {
-      continue;
-    }
-    x_evs.push_back(runtime.enqueue_transfer(
-        block_stream(i), x.data() + i * tile,
-        a.tile_rows(i) * sizeof(double), XferDir::sink_to_src));
-  }
-  runtime.synchronize();
+  return drv.finish(t0, iterations, rr, threshold);
+}
 
-  stats.seconds = runtime.now() - t0;
-  stats.residual = std::sqrt(rr);
-  stats.converged = rr <= threshold;
-  // Buffers wrap caller storage; drop the registrations before return.
-  for (const BufferId id : ids) {
-    runtime.buffer_destroy(id);
+CgStats run_cg_graph(Runtime& runtime, const CgConfig& config,
+                     const TiledMatrix& a, const std::vector<double>& b,
+                     std::vector<double>& x) {
+  require(a.rows() == a.cols(), "cg needs a square matrix");
+  require(b.size() == a.rows() && x.size() == a.rows(), "cg vector sizes");
+  CgDriver drv{runtime, config, a, x};
+  drv.setup();
+  double threshold = 0.0;
+  double rr = cg_init(drv, b, threshold);
+
+  const double t0 = runtime.now();
+  drv.uploads();
+
+  // Capture each phase once. The events the eager loop would wait on
+  // become node indices, resolved to fresh completion events per launch.
+  const std::vector<StreamId> captured_streams = drv.all_streams();
+  const auto capture_phase =
+      [&](std::vector<std::shared_ptr<EventState>> (CgDriver::*phase)()) {
+        graph::GraphCapture capture(runtime, captured_streams);
+        const auto evs = (drv.*phase)();
+        std::vector<std::uint32_t> wait_nodes;
+        wait_nodes.reserve(evs.size());
+        for (const auto& ev : evs) {
+          wait_nodes.push_back(capture.node_of(ev.get()));
+        }
+        return std::pair{capture.finish(), std::move(wait_nodes)};
+      };
+  auto [spmv_graph, spmv_waits] = capture_phase(&CgDriver::phase_spmv);
+  auto [axpy_graph, axpy_waits] = capture_phase(&CgDriver::phase_axpy);
+  auto [pupd_graph, pupd_waits] = capture_phase(&CgDriver::phase_pupdate);
+  graph::GraphExec spmv_exec(runtime, std::move(spmv_graph));
+  graph::GraphExec axpy_exec(runtime, std::move(axpy_graph));
+  graph::GraphExec pupd_exec(runtime, std::move(pupd_graph));
+
+  const auto launch_and_wait = [&](graph::GraphExec& exec,
+                                   const std::vector<std::uint32_t>& waits) {
+    const auto launch = exec.launch();
+    std::vector<std::shared_ptr<EventState>> evs;
+    evs.reserve(waits.size());
+    for (const std::uint32_t node : waits) {
+      evs.push_back(launch.event(node));
+    }
+    runtime.event_wait_host(evs);
+  };
+
+  std::size_t iterations = 0;
+  for (std::size_t iter = 0; iter < config.max_iterations && rr > threshold;
+       ++iter) {
+    launch_and_wait(spmv_exec, spmv_waits);
+    double pq_sum = 0.0;
+    for (const double v : drv.partial) {
+      pq_sum += v;
+    }
+    drv.alpha = rr / pq_sum;
+
+    launch_and_wait(axpy_exec, axpy_waits);
+    double rr_new = 0.0;
+    for (const double v : drv.partial) {
+      rr_new += v;
+    }
+    drv.beta = rr_new / rr;
+    rr = rr_new;
+    ++iterations;
+    if (rr <= threshold) {
+      break;
+    }
+
+    launch_and_wait(pupd_exec, pupd_waits);
   }
-  return stats;
+
+  return drv.finish(t0, iterations, rr, threshold);
 }
 
 }  // namespace hs::apps

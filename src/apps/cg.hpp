@@ -39,4 +39,15 @@ CgStats run_cg(Runtime& runtime, const CgConfig& config,
                const TiledMatrix& a, const std::vector<double>& b,
                std::vector<double>& x);
 
+/// Graph-replay variant: captures each of the three per-iteration phases
+/// (broadcast + SpMV + reduction partials; axpy + residual partials;
+/// p-update + block shipment) as a task graph once and replays them
+/// every iteration. The per-iteration scalars alpha and beta flow
+/// through host memory the captured task bodies read at execution time,
+/// so no recapture is needed. Enqueue order, dependence structure, and
+/// numerics match run_cg exactly.
+CgStats run_cg_graph(Runtime& runtime, const CgConfig& config,
+                     const TiledMatrix& a, const std::vector<double>& b,
+                     std::vector<double>& x);
+
 }  // namespace hs::apps

@@ -82,14 +82,34 @@ MatmulStats run_matmul(Runtime& runtime, const MatmulConfig& config,
   require(weights.size() == compute_domains.size(),
           "matmul: one weight per compute domain required");
 
-  (void)app.create_buf(a.data(), a.size_bytes());
-  (void)app.create_buf(b.data(), b.size_bytes());
-  (void)app.create_buf(c.data(), c.size_bytes());
-
   const std::size_t mt = a.row_tiles();
   const std::size_t kt = a.col_tiles();
   const std::size_t nt = c.col_tiles();
   const std::vector<std::size_t> owner = assign_panels(nt, weights);
+
+  // A is broadcast to every card, so it uses app_create_buf's
+  // instantiate-everywhere registration. B and C are panel-partitioned:
+  // each panel (one tile column — contiguous in the tile-packed layout)
+  // becomes its own buffer, instantiated only on the domain that owns it
+  // — hStreams' Alloc1DEx-style selective placement. With whole-matrix
+  // buffers on every card, three N=28000 matrices (3 x 6.3 GB each) blew
+  // the 16 GiB card budget even though each card only touches its share.
+  (void)app.create_buf(a.data(), a.size_bytes());
+  const auto register_panels = [&](TiledMatrix& m) {
+    for (std::size_t p = 0; p < m.col_tiles(); ++p) {
+      std::size_t bytes = 0;
+      for (std::size_t i = 0; i < m.row_tiles(); ++i) {
+        bytes += m.tile_bytes(i, p);
+      }
+      const BufferId id = runtime.buffer_create(m.tile_ptr(0, p), bytes);
+      const DomainId dom = compute_domains[owner[p]];
+      if (dom != kHostDomain) {
+        runtime.buffer_instantiate(id, dom);
+      }
+    }
+  };
+  register_panels(b);
+  register_panels(c);
 
   // Panel -> home stream (carries the panel's B-tile transfers), and a
   // finer tile-chain mapping: each C(i,p) accumulation chain is bound to

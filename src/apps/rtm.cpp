@@ -1,10 +1,14 @@
 #include "apps/rtm.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <cstring>
 #include <map>
 #include <memory>
+
+#include "graph/capture.hpp"
+#include "graph/replay.hpp"
 
 namespace hs::apps {
 namespace {
@@ -75,32 +79,43 @@ void stencil_slab(const double* prev, const double* cur, double* next,
   }
 }
 
-}  // namespace
+/// Everything the eager and graph-replay drivers share: stream layout,
+/// initialized fields, and the per-(rank, level) buffer ids the replay
+/// path rotates through GraphExec::bind.
+struct RtmSetup {
+  bool offload = false;
+  const char* kernel = "stencil";
+  std::size_t nzl = 0;
+  std::vector<StreamId> rank_stream;
+  StreamId exchange_stream;
+  std::vector<RankField> fields;
+  std::vector<std::array<BufferId, 3>> buffers;  ///< per rank, per level
+};
 
-RtmStats run_rtm(Runtime& runtime, const RtmConfig& config,
-                 std::vector<double>* final_field) {
+RtmSetup rtm_setup(Runtime& runtime, const RtmConfig& config) {
   require(config.ranks > 0 && config.steps > 0, "rtm: empty configuration");
   require(config.nz % config.ranks == 0,
           "rtm: nz must divide evenly among ranks");
-  const std::size_t nzl = config.nz / config.ranks;
-  require(nzl >= 2 * kH, "rtm: subdomain too thin for halo/bulk split");
+  RtmSetup setup;
+  setup.nzl = config.nz / config.ranks;
+  require(setup.nzl >= 2 * kH, "rtm: subdomain too thin for halo/bulk split");
 
-  const char* kernel =
-      config.optimized_kernel ? "stencil" : "stencil_naive";
+  setup.kernel = config.optimized_kernel ? "stencil" : "stencil_naive";
 
   // Rank -> domain. Offload schemes deal ranks round-robin over cards.
-  const bool offload = config.scheme != RtmScheme::host_only;
+  setup.offload = config.scheme != RtmScheme::host_only;
   std::vector<DomainId> card_domains;
   for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
     card_domains.push_back(DomainId{static_cast<std::uint32_t>(d)});
   }
-  require(!offload || !card_domains.empty(), "rtm: offload needs cards");
+  require(!setup.offload || !card_domains.empty(), "rtm: offload needs cards");
   auto rank_domain = [&](std::size_t r) {
-    return offload ? card_domains[r % card_domains.size()] : kHostDomain;
+    return setup.offload ? card_domains[r % card_domains.size()]
+                         : kHostDomain;
   };
 
   // One stream per rank; ranks sharing a domain split its threads.
-  std::vector<StreamId> rank_stream(config.ranks);
+  setup.rank_stream.resize(config.ranks);
   {
     std::map<std::uint32_t, std::vector<std::size_t>> per_domain;
     for (std::size_t r = 0; r < config.ranks; ++r) {
@@ -116,20 +131,21 @@ RtmStats run_rtm(Runtime& runtime, const RtmConfig& config,
       for (std::size_t k = 0; k < ranks_here.size(); ++k) {
         const std::size_t begin = (k * share) % threads;
         const std::size_t width = std::min(share, threads - begin);
-        rank_stream[ranks_here[k]] = runtime.stream_create(
+        setup.rank_stream[ranks_here[k]] = runtime.stream_create(
             dom, CpuMask::range(begin, begin + width));
       }
     }
   }
   // Exchange runs on a dedicated host stream (the paper's MPI send/recv
   // "executed on the host").
-  const StreamId exchange_stream = runtime.stream_create(
+  setup.exchange_stream = runtime.stream_create(
       kHostDomain,
       CpuMask::first_n(runtime.domain(kHostDomain).hw_threads()));
 
   // Allocate and initialize fields (Gaussian pulse, analytic, so ghost
   // planes start consistent without an initial exchange).
-  std::vector<RankField> fields(config.ranks);
+  setup.fields.resize(config.ranks);
+  setup.buffers.resize(config.ranks);
   auto pulse = [&](std::size_t gx, std::size_t gy, std::size_t gz) {
     const double dx = (static_cast<double>(gx) -
                        static_cast<double>(config.nx) / 2.0);
@@ -141,16 +157,16 @@ RtmStats run_rtm(Runtime& runtime, const RtmConfig& config,
     return std::exp(-(dx * dx + dy * dy + dz * dz) / sigma2);
   };
   for (std::size_t r = 0; r < config.ranks; ++r) {
-    RankField& f = fields[r];
+    RankField& f = setup.fields[r];
     f.nx = config.nx;
     f.ny = config.ny;
-    f.nzl = nzl;
-    f.z0 = r * nzl;
+    f.nzl = setup.nzl;
+    f.z0 = r * setup.nzl;
     for (auto& lvl : f.level) {
       lvl.assign(f.total(), 0.0);
     }
     // Interior plus in-range ghost planes of levels 0 (prev) and 1 (cur).
-    for (std::size_t zl = 0; zl < nzl + 2 * kH; ++zl) {
+    for (std::size_t zl = 0; zl < setup.nzl + 2 * kH; ++zl) {
       const std::ptrdiff_t gz = static_cast<std::ptrdiff_t>(f.z0 + zl) -
                                 static_cast<std::ptrdiff_t>(kH);
       if (gz < 0 || gz >= static_cast<std::ptrdiff_t>(config.nz)) {
@@ -164,166 +180,178 @@ RtmStats run_rtm(Runtime& runtime, const RtmConfig& config,
         }
       }
     }
-    for (auto& lvl : f.level) {
+    for (std::size_t lvl = 0; lvl < 3; ++lvl) {
       const BufferId id = runtime.buffer_create(
-          lvl.data(), lvl.size() * sizeof(double));
-      if (offload) {
+          f.level[lvl].data(), f.level[lvl].size() * sizeof(double));
+      setup.buffers[r][lvl] = id;
+      if (setup.offload) {
         runtime.buffer_instantiate(id, rank_domain(r));
       }
     }
   }
+  return setup;
+}
 
-  const double t0 = runtime.now();
+/// Enqueue front-end for one timestep, shared verbatim by the eager loop
+/// and the graph capture (so the captured graph is, by construction, the
+/// exact action stream eager enqueue produces).
+struct RtmStep {
+  Runtime& runtime;
+  RtmSetup& setup;
+  const RtmConfig& config;
 
-  // Initial upload of prev and cur.
-  if (offload) {
-    for (std::size_t r = 0; r < config.ranks; ++r) {
-      for (int lvl = 0; lvl < 2; ++lvl) {
-        (void)runtime.enqueue_transfer(
-            rank_stream[r], fields[r].level[lvl].data(),
-            fields[r].total() * sizeof(double), XferDir::src_to_sink);
-      }
-    }
-  }
-
-  // Enqueue a stencil slab compute on rank r's stream; returns its event.
-  auto enqueue_slab = [&](std::size_t r, int lp, int lc, int ln,
-                          std::size_t z_begin, std::size_t z_end) {
-    RankField& f = fields[r];
-    const double* prev = f.plane_ptr(lp, 0);
-    const double* cur = f.plane_ptr(lc, 0);
-    double* next = f.plane_ptr(ln, 0);
+  /// Stencil slab on rank r's stream. The body reads its arrays through
+  /// the declared operands (not captured proxy pointers), so it stays
+  /// correct when a replayed graph rebinds the three levels.
+  std::shared_ptr<EventState> slab(std::size_t r, int lp, int lc, int ln,
+                                   std::size_t z_begin, std::size_t z_end) {
+    RankField& f = setup.fields[r];
     const std::size_t nx = f.nx;
     const std::size_t ny = f.ny;
     const std::size_t nz_total = f.nzl + 2 * kH;
+    const std::size_t plane = f.plane();
     ComputePayload task;
-    task.kernel = kernel;
+    task.kernel = setup.kernel;
     task.flops =
-        static_cast<double>((z_end - z_begin) * f.plane()) * kFlopsPerPoint;
-    task.body = [prev, cur, next, nx, ny, nz_total, z_begin, z_end,
-                 total = f.total()](TaskContext& ctx) {
-      const double* lprev = ctx.translate(prev, total);
-      const double* lcur = ctx.translate(cur, total);
-      double* lnext = ctx.translate(next, total);
-      stencil_slab(lprev, lcur, lnext, nx, ny, nz_total, z_begin, z_end);
+        static_cast<double>((z_end - z_begin) * plane) * kFlopsPerPoint;
+    task.body = [plane, nx, ny, nz_total, z_begin, z_end](TaskContext& ctx) {
+      // Operand 0 starts at plane z_begin - kH of cur; 1 and 2 at plane
+      // z_begin of prev/next. Rebase to plane 0 so stencil_slab can use
+      // absolute local-z indexing.
+      const double* cur = ctx.operand_as<double>(0) - (z_begin - kH) * plane;
+      const double* prev = ctx.operand_as<double>(1) - z_begin * plane;
+      double* next = ctx.operand_as<double>(2) - z_begin * plane;
+      stencil_slab(prev, cur, next, nx, ny, nz_total, z_begin, z_end);
     };
     // Operand ranges: read planes [z_begin-kH, z_end+kH) of cur, the
     // written planes of prev (same range as written next planes is enough
     // for prev: reads are per-point), write [z_begin, z_end) of next.
     const OperandRef ops[] = {
-        {f.plane_ptr(lc, z_begin - kH), f.plane_bytes(z_end - z_begin + 2 * kH),
+        {f.plane_ptr(lc, z_begin - kH),
+         f.plane_bytes(z_end - z_begin + 2 * kH), Access::in},
+        {f.plane_ptr(lp, z_begin), f.plane_bytes(z_end - z_begin),
          Access::in},
-        {f.plane_ptr(lp, z_begin), f.plane_bytes(z_end - z_begin), Access::in},
         {f.plane_ptr(ln, z_begin), f.plane_bytes(z_end - z_begin),
          Access::out}};
-    return runtime.enqueue_compute(rank_stream[r], std::move(task), ops);
-  };
+    return runtime.enqueue_compute(setup.rank_stream[r], std::move(task),
+                                   ops);
+  }
 
-  // Exchange helper (pipelined flavour): move the next-level boundary
-  // slab of rank r to its neighbour's ghost planes, via the host.
-  //   producer_ev : completion of whatever produced the slab (used when
-  //                 the producing action is in another stream).
-  auto enqueue_exchange = [&](std::size_t r, int ln,
-                              bool toward_lower_neighbor,
-                              std::shared_ptr<EventState> producer_ev) {
-    RankField& f = fields[r];
+  /// Exchange (pipelined flavour): move the next-level boundary slab of
+  /// rank r to its neighbour's ghost planes, via the host.
+  ///   producer_ev : completion of whatever produced the slab (used when
+  ///                 the producing action is in another stream).
+  void exchange(std::size_t r, int ln, bool toward_lower_neighbor,
+                std::shared_ptr<EventState> producer_ev) {
+    RankField& f = setup.fields[r];
     const std::size_t src_z = toward_lower_neighbor ? kH : f.nzl;
     const std::size_t nbr = toward_lower_neighbor ? r - 1 : r + 1;
-    RankField& g = fields[nbr];
+    RankField& g = setup.fields[nbr];
     const std::size_t dst_z = toward_lower_neighbor ? g.nzl + kH : 0;
     double* src = f.plane_ptr(ln, src_z);
     double* dst = g.plane_ptr(ln, dst_z);
     const std::size_t bytes = f.plane_bytes(kH);
 
-    std::shared_ptr<EventState> staged = producer_ev;
-    if (offload) {
+    std::shared_ptr<EventState> staged = std::move(producer_ev);
+    if (setup.offload) {
       // Pull the produced slab to the host (same stream as the producer:
       // FIFO + operands order it; no explicit wait needed).
-      staged = runtime.enqueue_transfer(rank_stream[r], src, bytes,
+      staged = runtime.enqueue_transfer(setup.rank_stream[r], src, bytes,
                                         XferDir::sink_to_src);
     }
     // Host-side copy between the two ranks' proxy buffers.
     {
       const OperandRef wops[] = {{src, bytes, Access::out}};
-      (void)runtime.enqueue_event_wait(exchange_stream, staged, wops);
+      (void)runtime.enqueue_event_wait(setup.exchange_stream, staged, wops);
       ComputePayload copy;
       copy.kernel = "halo_copy";
       copy.flops = 0.0;
-      copy.body = [src, dst, bytes](TaskContext&) {
-        std::memcpy(dst, src, bytes);
+      copy.body = [bytes](TaskContext& ctx) {
+        std::memcpy(ctx.operand_local(1), ctx.operand_local(0), bytes);
       };
       const OperandRef ops[] = {{src, bytes, Access::in},
                                 {dst, bytes, Access::out}};
-      auto copied =
-          runtime.enqueue_compute(exchange_stream, std::move(copy), ops);
+      auto copied = runtime.enqueue_compute(setup.exchange_stream,
+                                            std::move(copy), ops);
       // Order the neighbour's future reads of its ghost planes after the
       // copy: an event wait scoped to the ghost range. In the offload
       // case the wait also gates the inbound transfer.
       const OperandRef nwops[] = {{dst, bytes, Access::out}};
-      (void)runtime.enqueue_event_wait(rank_stream[nbr], copied, nwops);
-      if (offload) {
-        (void)runtime.enqueue_transfer(rank_stream[nbr], dst, bytes,
+      (void)runtime.enqueue_event_wait(setup.rank_stream[nbr], copied,
+                                       nwops);
+      if (setup.offload) {
+        (void)runtime.enqueue_transfer(setup.rank_stream[nbr], dst, bytes,
                                        XferDir::src_to_sink);
-      }
-    }
-  };
-
-  // Time loop.
-  for (std::size_t step = 0; step < config.steps; ++step) {
-    const int lp = static_cast<int>(step % 3);
-    const int lc = static_cast<int>((step + 1) % 3);
-    const int ln = static_cast<int>((step + 2) % 3);
-    const bool last = step + 1 == config.steps;
-
-    if (config.scheme == RtmScheme::pipelined) {
-      for (std::size_t r = 0; r < config.ranks; ++r) {
-        // Halo slabs first; their outbound transfers enqueue right after
-        // and the bulk compute overlaps them.
-        auto top = enqueue_slab(r, lp, lc, ln, kH, 2 * kH);
-        auto bottom =
-            enqueue_slab(r, lp, lc, ln, fields[r].nzl, fields[r].nzl + kH);
-        if (!last && r > 0) {
-          enqueue_exchange(r, ln, /*toward_lower_neighbor=*/true, top);
-        }
-        if (!last && r + 1 < config.ranks) {
-          enqueue_exchange(r, ln, /*toward_lower_neighbor=*/false, bottom);
-        }
-        if (nzl > 2 * kH) {
-          (void)enqueue_slab(r, lp, lc, ln, 2 * kH, fields[r].nzl);
-        }
-      }
-    } else {
-      // host_only and sync_offload: one whole-interior task per rank.
-      std::vector<std::shared_ptr<EventState>> done(config.ranks);
-      for (std::size_t r = 0; r < config.ranks; ++r) {
-        done[r] = enqueue_slab(r, lp, lc, ln, kH, fields[r].nzl + kH);
-      }
-      if (config.scheme == RtmScheme::sync_offload) {
-        runtime.synchronize();  // barrier: no compute/transfer overlap
-      }
-      if (!last) {
-        for (std::size_t r = 0; r < config.ranks; ++r) {
-          if (r > 0) {
-            enqueue_exchange(r, ln, true, done[r]);
-          }
-          if (r + 1 < config.ranks) {
-            enqueue_exchange(r, ln, false, done[r]);
-          }
-        }
-        if (config.scheme == RtmScheme::sync_offload) {
-          runtime.synchronize();  // barrier after the exchange
-        }
       }
     }
   }
 
+  /// One whole timestep at levels (lp, lc, ln); `last` skips exchanges.
+  /// Only the barrier-free schemes route through here — sync_offload's
+  /// host barriers live in the eager loop.
+  void enqueue(int lp, int lc, int ln, bool last) {
+    if (config.scheme == RtmScheme::pipelined) {
+      for (std::size_t r = 0; r < config.ranks; ++r) {
+        // Halo slabs first; their outbound transfers enqueue right after
+        // and the bulk compute overlaps them.
+        auto top = slab(r, lp, lc, ln, kH, 2 * kH);
+        auto bottom =
+            slab(r, lp, lc, ln, setup.fields[r].nzl, setup.fields[r].nzl + kH);
+        if (!last && r > 0) {
+          exchange(r, ln, /*toward_lower_neighbor=*/true, top);
+        }
+        if (!last && r + 1 < config.ranks) {
+          exchange(r, ln, /*toward_lower_neighbor=*/false, bottom);
+        }
+        if (setup.nzl > 2 * kH) {
+          (void)slab(r, lp, lc, ln, 2 * kH, setup.fields[r].nzl);
+        }
+      }
+    } else {
+      // host_only: one whole-interior task per rank.
+      std::vector<std::shared_ptr<EventState>> done(config.ranks);
+      for (std::size_t r = 0; r < config.ranks; ++r) {
+        done[r] = slab(r, lp, lc, ln, kH, setup.fields[r].nzl + kH);
+      }
+      if (!last) {
+        for (std::size_t r = 0; r < config.ranks; ++r) {
+          if (r > 0) {
+            exchange(r, ln, true, done[r]);
+          }
+          if (r + 1 < config.ranks) {
+            exchange(r, ln, false, done[r]);
+          }
+        }
+      }
+    }
+  }
+};
+
+void initial_upload(Runtime& runtime, RtmSetup& setup,
+                    const RtmConfig& config) {
+  if (!setup.offload) {
+    return;
+  }
+  for (std::size_t r = 0; r < config.ranks; ++r) {
+    for (int lvl = 0; lvl < 2; ++lvl) {
+      (void)runtime.enqueue_transfer(
+          setup.rank_stream[r], setup.fields[r].level[lvl].data(),
+          setup.fields[r].total() * sizeof(double), XferDir::src_to_sink);
+    }
+  }
+}
+
+RtmStats finish_rtm(Runtime& runtime, RtmSetup& setup,
+                    const RtmConfig& config, double t0,
+                    std::vector<double>* final_field) {
   // Gather the final wavefield.
   const int final_lvl = static_cast<int>((config.steps + 1) % 3);
-  if (offload) {
+  if (setup.offload) {
     for (std::size_t r = 0; r < config.ranks; ++r) {
       (void)runtime.enqueue_transfer(
-          rank_stream[r], fields[r].plane_ptr(final_lvl, kH),
-          fields[r].plane_bytes(fields[r].nzl), XferDir::sink_to_src);
+          setup.rank_stream[r], setup.fields[r].plane_ptr(final_lvl, kH),
+          setup.fields[r].plane_bytes(setup.fields[r].nzl),
+          XferDir::sink_to_src);
     }
   }
   runtime.synchronize();
@@ -339,12 +367,103 @@ RtmStats run_rtm(Runtime& runtime, const RtmConfig& config,
   if (final_field != nullptr) {
     final_field->assign(config.nx * config.ny * config.nz, 0.0);
     for (std::size_t r = 0; r < config.ranks; ++r) {
-      std::memcpy(final_field->data() + fields[r].z0 * fields[r].plane(),
-                  fields[r].plane_ptr(final_lvl, kH),
-                  fields[r].plane_bytes(fields[r].nzl));
+      std::memcpy(
+          final_field->data() + setup.fields[r].z0 * setup.fields[r].plane(),
+          setup.fields[r].plane_ptr(final_lvl, kH),
+          setup.fields[r].plane_bytes(setup.fields[r].nzl));
     }
   }
   return stats;
+}
+
+}  // namespace
+
+RtmStats run_rtm(Runtime& runtime, const RtmConfig& config,
+                 std::vector<double>* final_field) {
+  RtmSetup setup = rtm_setup(runtime, config);
+  RtmStep step{runtime, setup, config};
+
+  const double t0 = runtime.now();
+  initial_upload(runtime, setup, config);
+
+  for (std::size_t s = 0; s < config.steps; ++s) {
+    const int lp = static_cast<int>(s % 3);
+    const int lc = static_cast<int>((s + 1) % 3);
+    const int ln = static_cast<int>((s + 2) % 3);
+    const bool last = s + 1 == config.steps;
+
+    if (config.scheme == RtmScheme::sync_offload) {
+      // Offload with barriers: compute whole subdomain, wait, exchange,
+      // wait (the "fully-synchronous offload" scheme).
+      std::vector<std::shared_ptr<EventState>> done(config.ranks);
+      for (std::size_t r = 0; r < config.ranks; ++r) {
+        done[r] = step.slab(r, lp, lc, ln, kH, setup.fields[r].nzl + kH);
+      }
+      runtime.synchronize();  // barrier: no compute/transfer overlap
+      if (!last) {
+        for (std::size_t r = 0; r < config.ranks; ++r) {
+          if (r > 0) {
+            step.exchange(r, ln, true, done[r]);
+          }
+          if (r + 1 < config.ranks) {
+            step.exchange(r, ln, false, done[r]);
+          }
+        }
+        runtime.synchronize();  // barrier after the exchange
+      }
+    } else {
+      step.enqueue(lp, lc, ln, last);
+    }
+  }
+
+  return finish_rtm(runtime, setup, config, t0, final_field);
+}
+
+RtmStats run_rtm_graph(Runtime& runtime, const RtmConfig& config,
+                       std::vector<double>* final_field) {
+  require(config.scheme != RtmScheme::sync_offload,
+          "rtm graph replay needs a barrier-free step (host_only or "
+          "pipelined)");
+  RtmSetup setup = rtm_setup(runtime, config);
+  RtmStep step{runtime, setup, config};
+
+  const double t0 = runtime.now();
+  initial_upload(runtime, setup, config);
+
+  // Capture one steady-state timestep (with exchanges) and one final
+  // timestep (without) at canonical level roles prev=0, cur=1, next=2.
+  // The per-step role rotation becomes buffer rebinding at replay.
+  std::vector<StreamId> captured_streams = setup.rank_stream;
+  captured_streams.push_back(setup.exchange_stream);
+  graph::TaskGraph steady;
+  graph::TaskGraph final_step;
+  {
+    graph::GraphCapture capture(runtime, captured_streams);
+    step.enqueue(0, 1, 2, /*last=*/false);
+    steady = capture.finish();
+  }
+  {
+    graph::GraphCapture capture(runtime, captured_streams);
+    step.enqueue(0, 1, 2, /*last=*/true);
+    final_step = capture.finish();
+  }
+  graph::GraphExec steady_exec(runtime, std::move(steady));
+  graph::GraphExec final_exec(runtime, std::move(final_step));
+
+  for (std::size_t s = 0; s < config.steps; ++s) {
+    graph::GraphExec& exec =
+        s + 1 == config.steps ? final_exec : steady_exec;
+    // Captured level j plays role j of step 0; at step s that role is
+    // held by level (s + j) % 3.
+    for (std::size_t r = 0; r < config.ranks; ++r) {
+      for (std::size_t j = 0; j < 3; ++j) {
+        exec.bind(setup.buffers[r][j], setup.buffers[r][(s + j) % 3]);
+      }
+    }
+    (void)exec.launch();
+  }
+
+  return finish_rtm(runtime, setup, config, t0, final_field);
 }
 
 }  // namespace hs::apps

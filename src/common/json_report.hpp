@@ -1,0 +1,82 @@
+#pragma once
+
+// Machine-readable bench output.
+//
+// The ASCII tables (common/table.hpp) are for humans and EXPERIMENTS.md;
+// CI and regression tooling want the same rows as data. Table::print()
+// snapshots every table it renders; write_json() serializes the
+// accumulated snapshots as BENCH_<name>.json in the working directory,
+// so each bench binary ends its main() with a single call:
+//
+//   int main() {
+//     ...tables...
+//     hs::report::write_json("overheads");
+//   }
+//
+// Schema: {"bench": name, "tables": [{"title", "header": [...],
+// "rows": [[...], ...]}, ...]}. Cells stay strings — they are exactly
+// the printed cells, so the JSON can never drift from the ASCII output.
+
+#include <fstream>
+#include <string>
+
+#include "common/status.hpp"
+#include "common/table.hpp"
+
+namespace hs::report {
+
+/// JSON string escaping for table cells (quotes, backslashes, control
+/// characters; everything else passes through).
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Writes every table printed so far to BENCH_<name>.json.
+inline void write_json(const std::string& name) {
+  const std::string path = "BENCH_" + name + ".json";
+  std::ofstream os(path);
+  require(os.good(), "cannot open " + path, Errc::internal);
+  os << "{\"bench\": \"" << json_escape(name) << "\", \"tables\": [";
+  const auto& tables = snapshots();
+  for (std::size_t t = 0; t < tables.size(); ++t) {
+    const TableSnapshot& table = tables[t];
+    os << (t != 0 ? ", " : "") << "{\"title\": \"" << json_escape(table.title)
+       << "\", \"header\": [";
+    for (std::size_t i = 0; i < table.header.size(); ++i) {
+      os << (i != 0 ? ", " : "") << "\"" << json_escape(table.header[i])
+         << "\"";
+    }
+    os << "], \"rows\": [";
+    for (std::size_t r = 0; r < table.rows.size(); ++r) {
+      os << (r != 0 ? ", " : "") << "[";
+      for (std::size_t i = 0; i < table.rows[r].size(); ++i) {
+        os << (i != 0 ? ", " : "") << "\"" << json_escape(table.rows[r][i])
+           << "\"";
+      }
+      os << "]";
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+  require(os.good(), "failed writing " + path, Errc::internal);
+}
+
+}  // namespace hs::report

@@ -9,10 +9,38 @@
 
 namespace hs {
 
+namespace report {
+
+/// One printed table, captured for machine-readable output. Every
+/// Table::print() appends a snapshot here; a bench main hands the
+/// accumulated set to write_json (common/json_report.hpp) so each bench
+/// emits a BENCH_<name>.json next to its ASCII tables.
+struct TableSnapshot {
+  std::string title;
+  std::vector<std::string> header;
+  std::vector<std::vector<std::string>> rows;
+};
+
+inline std::vector<TableSnapshot>& snapshots() {
+  static std::vector<TableSnapshot> tables;
+  return tables;
+}
+
+}  // namespace report
+
 /// Collects rows of string cells and renders them with aligned columns.
 class Table {
  public:
   explicit Table(std::string title) : title_(std::move(title)) {}
+
+  [[nodiscard]] const std::string& title() const noexcept { return title_; }
+  [[nodiscard]] const std::vector<std::string>& header_cells() const noexcept {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& row_cells()
+      const noexcept {
+    return rows_;
+  }
 
   Table& header(std::vector<std::string> cells) {
     header_ = std::move(cells);
@@ -25,6 +53,7 @@ class Table {
   }
 
   void print(std::ostream& os = std::cout) const {
+    report::snapshots().push_back({title_, header_, rows_});
     std::vector<std::size_t> widths;
     auto widen = [&widths](const std::vector<std::string>& cells) {
       if (widths.size() < cells.size()) {

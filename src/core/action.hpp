@@ -41,6 +41,9 @@ struct ActionRecord {
   StreamId stream;
   ActionType type = ActionType::compute;
   std::uint64_t seq = 0;  ///< position within the stream's FIFO order
+  /// Id of the TaskGraph this action was replayed from (0 = eager
+  /// enqueue). Carried into the trace so replayed spans are attributable.
+  std::uint32_t graph = 0;
 
   /// Declared memory operands; the dependence analysis domain.
   std::vector<Operand> operands;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <unordered_map>
 #include <utility>
 
 #include "common/log.hpp"
@@ -371,6 +372,16 @@ DomainId Runtime::stream_domain(StreamId id) const {
   return stream_state(id).domain;
 }
 
+OrderPolicy Runtime::stream_policy(StreamId id) const {
+  const std::scoped_lock lock(mutex_);
+  return stream_state(id).policy;
+}
+
+std::size_t Runtime::buffer_size(BufferId id) const {
+  const std::scoped_lock lock(mutex_);
+  return buffers_.get(id).size();
+}
+
 CpuMask Runtime::stream_mask(StreamId id) const {
   const std::scoped_lock lock(mutex_);
   return stream_state(id).mask;
@@ -401,11 +412,15 @@ std::shared_ptr<EventState> Runtime::enqueue_compute(
   std::unique_lock lock(mutex_);
   StreamState& s = stream_state(stream);
   require_domain_alive(s.domain);
+  // Under capture the instantiation check is deferred to replay: a
+  // captured alloc node earlier in the graph legalizes this use, and
+  // GraphExec instantiates before admitting the launch.
+  const bool capturing = capture_ != nullptr && capture_->captures(stream);
   record->stream = stream;
   for (const OperandRef& ref : operands) {
     Operand op = buffers_.resolve(ref.ptr, ref.len, ref.access);
     const Buffer& buf = buffers_.get(op.buffer);
-    require(buf.instantiated_in(s.domain),
+    require(capturing || buf.instantiated_in(s.domain),
             "compute operand buffer not instantiated in sink domain",
             Errc::buffer_not_instantiated);
     // Enforce the creator's declared usage property (§II: buffers let
@@ -413,6 +428,10 @@ std::shared_ptr<EventState> Runtime::enqueue_compute(
     require(!buf.props().read_only || !writes(op.access),
             "write operand on a read-only buffer");
     record->operands.push_back(op);
+  }
+  if (capturing) {
+    lock.unlock();
+    return capture_->record(std::move(record));
   }
   ++stats_.computes_enqueued;
   lock.unlock();
@@ -432,8 +451,11 @@ std::shared_ptr<EventState> Runtime::enqueue_transfer(StreamId stream,
   record->stream = stream;
   Buffer& buf = buffers_.find_containing(proxy, len);
   const bool aliased = (s.domain == kHostDomain);
+  // As in enqueue_compute, capture defers the instantiation check to
+  // replay (a captured alloc node may precede this transfer).
+  const bool capturing = capture_ != nullptr && capture_->captures(stream);
   if (!aliased) {
-    require(buf.instantiated_in(s.domain),
+    require(capturing || buf.instantiated_in(s.domain),
             "transfer target buffer not instantiated in sink domain",
             Errc::buffer_not_instantiated);
   }
@@ -445,6 +467,10 @@ std::shared_ptr<EventState> Runtime::enqueue_transfer(StreamId stream,
   record->operands.push_back(
       Operand{buf.id(), record->transfer.offset, len,
               dir == XferDir::src_to_sink ? Access::out : Access::in});
+  if (capturing) {
+    lock.unlock();
+    return capture_->record(std::move(record));
+  }
   ++stats_.transfers_enqueued;
   if (aliased) {
     ++stats_.transfers_aliased_away;
@@ -472,6 +498,12 @@ std::shared_ptr<EventState> Runtime::enqueue_alloc(StreamId stream,
       TransferPayload{buffer, 0, buf.size(), XferDir::src_to_sink};
   record->operands.push_back(
       Operand{buffer, 0, buf.size(), Access::out});
+  if (capture_ != nullptr && capture_->captures(stream)) {
+    // Budget charge and incarnation bookkeeping are deferred to replay
+    // (GraphExec instantiates before admitting the launch).
+    lock.unlock();
+    return capture_->record(std::move(record));
+  }
   ++stats_.syncs_enqueued;
   lock.unlock();
   // Charge budget and declare the incarnation now (enqueue time); the
@@ -496,6 +528,10 @@ std::shared_ptr<EventState> Runtime::enqueue_event_wait(
     record->operands.push_back(buffers_.resolve(ref.ptr, ref.len, ref.access));
   }
   record->full_barrier = record->operands.empty();
+  if (capture_ != nullptr && capture_->captures(stream)) {
+    lock.unlock();
+    return capture_->record(std::move(record));
+  }
   ++stats_.syncs_enqueued;
   lock.unlock();
   return admit(s, std::move(record));
@@ -514,6 +550,10 @@ std::shared_ptr<EventState> Runtime::enqueue_signal(
     record->operands.push_back(buffers_.resolve(ref.ptr, ref.len, ref.access));
   }
   record->full_barrier = record->operands.empty();
+  if (capture_ != nullptr && capture_->captures(stream)) {
+    lock.unlock();
+    return capture_->record(std::move(record));
+  }
   ++stats_.syncs_enqueued;
   lock.unlock();
   return admit(s, std::move(record));
@@ -572,6 +612,7 @@ std::shared_ptr<EventState> Runtime::admit(
       tr.stream = record->stream;
       tr.domain = stream.domain;
       tr.type = record->type;
+      tr.graph = record->graph;
       if (record->type == ActionType::compute) {
         tr.label = record->compute.kernel;
         tr.flops = record->compute.flops;
@@ -588,6 +629,135 @@ std::shared_ptr<EventState> Runtime::admit(
     dispatch(record);
   }
   return completion;
+}
+
+// --- Task-graph capture & replay -------------------------------------------
+
+void Runtime::set_capture(CaptureSink* sink) {
+  const std::scoped_lock lock(mutex_);
+  require(sink == nullptr || capture_ == nullptr,
+          "a graph capture is already active", Errc::already_initialized);
+  capture_ = sink;
+}
+
+std::uint32_t Runtime::note_graph_captured() {
+  const std::scoped_lock lock(mutex_);
+  ++stats_.graphs_captured;
+  return next_graph_id_++;
+}
+
+void Runtime::note_transfers_coalesced(std::uint64_t count) {
+  const std::scoped_lock lock(mutex_);
+  stats_.transfers_coalesced += count;
+}
+
+void Runtime::admit_prelinked(std::span<const PrelinkedAction> batch,
+                              std::uint32_t graph_id) {
+  std::vector<std::shared_ptr<ActionRecord>> ready;
+  {
+    const std::scoped_lock lock(mutex_);
+    // Window size per stream at the moment the batch arrives: actions
+    // already in a window are *residue* (typically eager uploads or a
+    // previous replay) and still need a conflict scan — only edges among
+    // batch members are pre-resolved.
+    std::unordered_map<StreamId, std::size_t> boundary;
+    for (const PrelinkedAction& entry : batch) {
+      StreamState& s = stream_state(entry.record->stream);
+      boundary.emplace(s.id, s.window.size());
+    }
+    for (const PrelinkedAction& entry : batch) {
+      const std::shared_ptr<ActionRecord>& record = entry.record;
+      StreamState& s = stream_state(record->stream);
+      require_domain_alive(s.domain);
+      record->id = ActionId{next_action_id_++};
+      record->seq = s.next_seq++;
+      record->graph = graph_id;
+
+      DepState dep;
+      dep.record = record;
+      dep.stream = &s;
+
+      if (s.policy == OrderPolicy::strict_fifo) {
+        for (auto it = s.window.rbegin(); it != s.window.rend(); ++it) {
+          if ((*it)->state != ActionRecord::State::done) {
+            deps_.at((*it)->id).successors.push_back(record->id);
+            dep.blockers = 1;
+            break;
+          }
+        }
+      } else {
+        // Residue scan: pairwise intersection against pre-batch window
+        // entries only. Edges within the batch come from the capture.
+        const std::size_t limit = boundary.at(s.id);
+        for (std::size_t j = 0; j < limit && j < s.window.size(); ++j) {
+          const auto& earlier = s.window[j];
+          if (earlier->state == ActionRecord::State::done) {
+            continue;
+          }
+          if (record->conflicts_with(*earlier)) {
+            deps_.at(earlier->id).successors.push_back(record->id);
+            ++dep.blockers;
+          }
+        }
+        for (const std::uint32_t pred : entry.preds) {
+          // In-batch preds were admitted earlier in this loop and cannot
+          // have completed: the lock is held for the whole batch.
+          deps_.at(batch[pred].record->id).successors.push_back(record->id);
+          ++dep.blockers;
+        }
+        stats_.deps_reused += entry.preds.size();
+      }
+
+      s.window.push_back(record);
+      if (dep.blockers == 0) {
+        record->state = ActionRecord::State::dispatched;
+        if (record != s.window.front()) {
+          ++stats_.ooo_dispatches;
+        }
+        ready.push_back(record);
+      }
+      deps_.emplace(record->id, std::move(dep));
+
+      switch (record->type) {
+        case ActionType::compute:
+          ++stats_.computes_enqueued;
+          break;
+        case ActionType::transfer:
+          ++stats_.transfers_enqueued;
+          if (s.domain == kHostDomain) {
+            ++stats_.transfers_aliased_away;
+          }
+          break;
+        default:
+          ++stats_.syncs_enqueued;
+          break;
+      }
+
+      if (trace_ != nullptr) {
+        TraceRecorder::Record tr;
+        tr.action = record->id;
+        tr.stream = record->stream;
+        tr.domain = s.domain;
+        tr.type = record->type;
+        tr.graph = graph_id;
+        if (record->type == ActionType::compute) {
+          tr.label = record->compute.kernel;
+          tr.flops = record->compute.flops;
+        } else if (record->type == ActionType::transfer) {
+          tr.label = record->transfer.dir == XferDir::src_to_sink
+                         ? "xfer h2d"
+                         : "xfer d2h";
+          tr.bytes = record->transfer.length;
+        }
+        tr.enqueue_s = executor_->now();
+        trace_->on_enqueue(tr);
+      }
+    }
+    ++stats_.graph_replays;
+  }
+  for (const auto& record : ready) {
+    dispatch(record);
+  }
 }
 
 void Runtime::dispatch(const std::shared_ptr<ActionRecord>& record) {
@@ -883,6 +1053,19 @@ RuntimeStats Runtime::stats() const {
 
 void* TaskContext::translate(const void* proxy, std::size_t len) const {
   return runtime_.translate(proxy, len, domain_);
+}
+
+std::size_t TaskContext::operand_count() const noexcept {
+  return action_ == nullptr ? 0 : action_->operands.size();
+}
+
+void* TaskContext::operand_local(std::size_t index) const {
+  require(action_ != nullptr, "no executing action bound to this context",
+          Errc::invalid_argument);
+  require(index < action_->operands.size(), "operand index out of range",
+          Errc::out_of_range);
+  const Operand& op = action_->operands[index];
+  return runtime_.buffer_local(op.buffer, domain_, op.offset, op.length);
 }
 
 }  // namespace hs

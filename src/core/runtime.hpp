@@ -62,6 +62,12 @@ struct RuntimeStats {
   std::uint64_t transfers_retried = 0;  ///< backoff retries after transients
   std::uint64_t actions_cancelled = 0;  ///< drained by stream_cancel
   std::uint64_t domains_lost = 0;       ///< devices declared dead
+  std::uint64_t graphs_captured = 0;    ///< task graphs recorded (graph/)
+  std::uint64_t graph_replays = 0;      ///< graph launches via admit_prelinked
+  std::uint64_t deps_reused = 0;  ///< captured dependence edges replayed
+                                  ///< without re-running conflict analysis
+  std::uint64_t transfers_coalesced = 0;  ///< transfer nodes merged/dropped
+                                          ///< by graph passes
 };
 
 /// Construction-time configuration.
@@ -81,6 +87,33 @@ struct RuntimeConfig {
   /// How executors retry transient transfer failures before declaring
   /// the device lost.
   RetryPolicy retry;
+};
+
+/// Where enqueues go during graph capture: instead of being admitted into
+/// a stream window and executed, fully-formed records on captured streams
+/// are handed to the sink, which stores them as graph nodes and returns a
+/// placeholder completion event (graph/capture.hpp implements this).
+class CaptureSink {
+ public:
+  virtual ~CaptureSink() = default;
+  /// Whether enqueues into `stream` are being captured.
+  [[nodiscard]] virtual bool captures(StreamId stream) const = 0;
+  /// Records one enqueue. The returned event never fires; it exists so
+  /// capture-time code can thread it into enqueue_event_wait calls, which
+  /// the sink resolves into graph edges.
+  virtual std::shared_ptr<EventState> record(
+      std::shared_ptr<ActionRecord> record) = 0;
+};
+
+/// One entry of a pre-linked (captured-graph) launch batch: a fresh record
+/// plus the indices of earlier batch entries it depends on. See
+/// Runtime::admit_prelinked.
+struct PrelinkedAction {
+  std::shared_ptr<ActionRecord> record;
+  /// Indices into the batch of earlier same-stream actions whose operands
+  /// conflict with this one — the dependence analysis result, computed
+  /// once at capture and reused every replay.
+  std::span<const std::uint32_t> preds;
 };
 
 class Runtime {
@@ -178,6 +211,9 @@ class Runtime {
   [[nodiscard]] std::size_t stream_count() const;
   [[nodiscard]] DomainId stream_domain(StreamId id) const;
   [[nodiscard]] CpuMask stream_mask(StreamId id) const;
+  [[nodiscard]] OrderPolicy stream_policy(StreamId id) const;
+  /// Size in bytes of a registered buffer (graph capture/rebinding use).
+  [[nodiscard]] std::size_t buffer_size(BufferId id) const;
 
   // --- Actions -----------------------------------------------------------
   /// Enqueues a compute task. Operands declare the proxy ranges the task
@@ -212,6 +248,33 @@ class Runtime {
   /// conflicting actions complete (all earlier actions if no operands).
   std::shared_ptr<EventState> enqueue_signal(
       StreamId stream, std::span<const OperandRef> operands = {});
+
+  // --- Task-graph capture & replay (graph/) ---------------------------------
+  /// Attaches/detaches the capture sink. While a sink is attached,
+  /// enqueues into streams it claims are recorded as graph nodes instead
+  /// of executing (and are not counted in the enqueue statistics).
+  /// Exactly one capture may be active at a time.
+  void set_capture(CaptureSink* sink);
+
+  /// Admits one captured-graph launch as a single batch: one lock
+  /// acquisition for the whole graph, and per-action dependence wiring
+  /// that reuses the captured edges (`PrelinkedAction::preds`) instead of
+  /// re-running the pairwise operand-conflict analysis. Actions are only
+  /// scanned against the *residue* of earlier work still incomplete in
+  /// their stream's window, so back-to-back replays pipeline with the
+  /// same semantics eager enqueue would have. Entries must be ordered so
+  /// every pred index refers to an earlier entry. `graph_id` tags the
+  /// admitted actions (and their trace records).
+  void admit_prelinked(std::span<const PrelinkedAction> batch,
+                       std::uint32_t graph_id);
+
+  /// Counts one finished capture and hands out the graph's id (ids start
+  /// at 1; 0 marks eager actions).
+  [[nodiscard]] std::uint32_t note_graph_captured();
+
+  /// Counts transfer nodes eliminated by graph passes (coalesced into a
+  /// neighbour or dropped as provably redundant).
+  void note_transfers_coalesced(std::uint64_t count);
 
   // --- Synchronization (host side) ----------------------------------------
   void stream_synchronize(StreamId stream);
@@ -341,6 +404,8 @@ class Runtime {
   std::map<std::pair<std::uint32_t, MemKind>, std::size_t> memory_used_;
   std::unordered_map<ActionId, DepState> deps_;
   std::uint32_t next_action_id_ = 0;
+  std::uint32_t next_graph_id_ = 1;  ///< 0 is reserved for eager actions
+  CaptureSink* capture_ = nullptr;
   RuntimeStats stats_;
   /// Unreported sink errors, oldest first (bounded; see push_pending_error).
   std::deque<std::exception_ptr> pending_errors_;

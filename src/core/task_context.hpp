@@ -19,17 +19,21 @@ namespace hs {
 
 class Runtime;
 class Team;
+struct ActionRecord;
 
 class TaskContext {
  public:
   /// Built by executors; `team` may be null (sim backend), in which case
-  /// parallel_for degrades to a serial loop.
+  /// parallel_for degrades to a serial loop. `action` is the record being
+  /// executed (null only in synthetic contexts); it backs the
+  /// operand-indexed accessors below.
   TaskContext(Runtime& runtime, DomainId domain, Team* team,
-              std::size_t team_width)
+              std::size_t team_width, const ActionRecord* action = nullptr)
       : runtime_(runtime),
         domain_(domain),
         team_(team),
-        team_width_(team_width) {}
+        team_width_(team_width),
+        action_(action) {}
 
   [[nodiscard]] DomainId domain() const noexcept { return domain_; }
 
@@ -51,11 +55,27 @@ class TaskContext {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& body) const;
 
+  /// Number of declared operands of the executing action.
+  [[nodiscard]] std::size_t operand_count() const noexcept;
+
+  /// Sink-local address of declared operand `index`. Unlike translate(),
+  /// this resolves through the action's *current* operand list, so task
+  /// bodies written against it keep working when a replayed graph rebinds
+  /// buffers (graph/replay.hpp) — captured proxy pointers would not.
+  [[nodiscard]] void* operand_local(std::size_t index) const;
+
+  /// Typed operand access convenience.
+  template <class T>
+  [[nodiscard]] T* operand_as(std::size_t index) const {
+    return static_cast<T*>(operand_local(index));
+  }
+
  private:
   Runtime& runtime_;
   DomainId domain_;
   Team* team_;
   std::size_t team_width_;
+  const ActionRecord* action_ = nullptr;
 };
 
 }  // namespace hs

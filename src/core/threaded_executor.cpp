@@ -118,7 +118,7 @@ void ThreadedExecutor::run_compute(const std::shared_ptr<ActionRecord>& action,
       done();
       return;
     }
-    TaskContext ctx(*runtime_, domain, &team, logical);
+    TaskContext ctx(*runtime_, domain, &team, logical, action.get());
     try {
       action->compute.body(ctx);
     } catch (...) {

@@ -86,7 +86,11 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
        << ",\"ts\":" << r.dispatch_s * 1e6
        << ",\"dur\":" << (r.complete_s - r.dispatch_s) * 1e6
        << ",\"args\":{\"action\":" << r.action.value
-       << ",\"flops\":" << r.flops << ",\"bytes\":" << r.bytes << "}}";
+       << ",\"flops\":" << r.flops << ",\"bytes\":" << r.bytes;
+    if (r.graph != 0) {
+      os << ",\"graph\":" << r.graph;
+    }
+    os << "}}";
     // Blocked span (enqueue -> dispatch), if the action waited.
     if (r.dispatch_s > r.enqueue_s) {
       os << ",\n{\"ph\":\"X\",\"name\":\"blocked:";

@@ -26,6 +26,7 @@ class TraceRecorder {
     StreamId stream;
     DomainId domain;
     ActionType type = ActionType::compute;
+    std::uint32_t graph = 0; ///< TaskGraph id for replayed actions (0 = eager)
     std::string label;       ///< kernel name / "xfer h2d" / ...
     double enqueue_s = 0.0;  ///< admitted into the stream window
     double dispatch_s = 0.0; ///< dependence-ready, handed to the executor

@@ -1,0 +1,89 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+
+#include "common/status.hpp"
+
+namespace hs::graph {
+
+bool GraphNode::conflicts_with(const GraphNode& earlier) const {
+  if (full_barrier || earlier.full_barrier) {
+    return true;
+  }
+  for (const Operand& mine : operands) {
+    for (const Operand& theirs : earlier.operands) {
+      if (mine.conflicts_with(theirs)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::string GraphNode::label() const {
+  switch (type) {
+    case ActionType::compute:
+      return compute.kernel;
+    case ActionType::transfer:
+      return transfer.dir == XferDir::src_to_sink ? "xfer h2d" : "xfer d2h";
+    case ActionType::event_wait:
+      return "wait";
+    case ActionType::event_signal:
+      return "signal";
+    case ActionType::alloc:
+      return "alloc";
+  }
+  return "?";
+}
+
+std::size_t TaskGraph::edge_count() const noexcept {
+  std::size_t edges = 0;
+  for (const GraphNode& node : nodes) {
+    edges += node.preds.size();
+    if (node.wait_node != kNoNode) {
+      ++edges;
+    }
+  }
+  return edges;
+}
+
+const GraphStreamInfo& TaskGraph::stream_info(StreamId stream) const {
+  const auto it =
+      std::find_if(streams.begin(), streams.end(),
+                   [stream](const GraphStreamInfo& s) {
+                     return s.stream == stream;
+                   });
+  require(it != streams.end(), "stream not part of this graph",
+          Errc::not_found);
+  return *it;
+}
+
+void TaskGraph::validate() const {
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const GraphNode& node = nodes[i];
+    require(std::any_of(streams.begin(), streams.end(),
+                        [&node](const GraphStreamInfo& s) {
+                          return s.stream == node.stream;
+                        }),
+            "graph node on an undeclared stream", Errc::internal);
+    for (const std::uint32_t pred : node.preds) {
+      require(pred < i, "dependence edge does not point backward",
+              Errc::internal);
+      require(nodes[pred].stream == node.stream,
+              "pred edge crosses streams (cross-stream order is events)",
+              Errc::internal);
+    }
+    if (node.wait_node != kNoNode) {
+      require(node.type == ActionType::event_wait,
+              "wait_node on a non-wait node", Errc::internal);
+      require(node.wait_node < i, "wait edge does not point backward",
+              Errc::internal);
+    }
+    if (node.type == ActionType::event_wait) {
+      require(node.wait_node != kNoNode || node.external_event != nullptr,
+              "event_wait node with no event", Errc::internal);
+    }
+  }
+}
+
+}  // namespace hs::graph

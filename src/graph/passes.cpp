@@ -1,0 +1,258 @@
+#include "graph/passes.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+#include <utility>
+
+#include "common/status.hpp"
+#include "core/runtime.hpp"
+
+namespace hs::graph {
+
+namespace {
+
+/// Rewrites one node's edge references through `remap` (old index ->
+/// new index), dropping self-edges and duplicates that merging created.
+void remap_edges(GraphNode& node, std::uint32_t self,
+                 const std::vector<std::uint32_t>& remap) {
+  std::vector<std::uint32_t> preds;
+  preds.reserve(node.preds.size());
+  for (const std::uint32_t p : node.preds) {
+    const std::uint32_t q = remap[p];
+    if (q != self &&
+        std::find(preds.begin(), preds.end(), q) == preds.end()) {
+      preds.push_back(q);
+    }
+  }
+  node.preds = std::move(preds);
+  if (node.wait_node != kNoNode) {
+    node.wait_node = remap[node.wait_node];
+  }
+}
+
+}  // namespace
+
+std::size_t coalesce_transfers(TaskGraph& graph, Runtime* runtime) {
+  std::vector<GraphNode> out;
+  out.reserve(graph.nodes.size());
+  std::vector<std::uint32_t> remap(graph.nodes.size(), kNoNode);
+  // New index of the most recent kept node per stream: coalescing only
+  // fires on *adjacent* transfers, with no node between them in stream
+  // program order.
+  std::unordered_map<StreamId, std::uint32_t> last_on_stream;
+  std::size_t merged = 0;
+
+  for (std::uint32_t i = 0; i < graph.nodes.size(); ++i) {
+    GraphNode node = graph.nodes[i];
+    const auto last = last_on_stream.find(node.stream);
+    if (node.type == ActionType::transfer && last != last_on_stream.end()) {
+      GraphNode& prev = out[last->second];
+      if (prev.type == ActionType::transfer &&
+          prev.transfer.buffer == node.transfer.buffer &&
+          prev.transfer.dir == node.transfer.dir &&
+          prev.transfer.offset + prev.transfer.length ==
+              node.transfer.offset) {
+        prev.transfer.length += node.transfer.length;
+        // enqueue_transfer gives a transfer exactly one operand that
+        // mirrors its byte range; keep that invariant for the union.
+        prev.operands[0].length = prev.transfer.length;
+        remap[i] = last->second;
+        remap_edges(node, last->second, remap);
+        for (const std::uint32_t p : node.preds) {
+          if (std::find(prev.preds.begin(), prev.preds.end(), p) ==
+              prev.preds.end()) {
+            prev.preds.push_back(p);
+          }
+        }
+        ++merged;
+        continue;
+      }
+    }
+    const auto index = static_cast<std::uint32_t>(out.size());
+    remap[i] = index;
+    remap_edges(node, index, remap);
+    out.push_back(std::move(node));
+    last_on_stream[out[index].stream] = index;
+  }
+
+  graph.nodes = std::move(out);
+  graph.validate();
+  if (runtime != nullptr && merged != 0) {
+    runtime->note_transfers_coalesced(merged);
+  }
+  return merged;
+}
+
+std::size_t drop_redundant_transfers(TaskGraph& graph, Runtime* runtime) {
+  std::vector<GraphNode> out;
+  out.reserve(graph.nodes.size());
+  std::vector<std::uint32_t> remap(graph.nodes.size(), kNoNode);
+  std::size_t dropped = 0;
+
+  // For each candidate, scan backward for an identical h2d transfer on
+  // the same stream with no intervening writer of the range anywhere.
+  // O(n^2) worst case over a captured iteration — capture-time cost,
+  // paid once.
+  for (std::uint32_t i = 0; i < graph.nodes.size(); ++i) {
+    GraphNode node = graph.nodes[i];
+    bool redundant = false;
+    if (node.type == ActionType::transfer &&
+        node.transfer.dir == XferDir::src_to_sink) {
+      for (std::uint32_t j = i; j-- > 0 && !redundant;) {
+        const GraphNode& earlier = graph.nodes[j];
+        const bool writes_range = std::any_of(
+            earlier.operands.begin(), earlier.operands.end(),
+            [&node](const Operand& op) {
+              return op.buffer == node.transfer.buffer && writes(op.access) &&
+                     op.offset < node.transfer.offset + node.transfer.length &&
+                     node.transfer.offset < op.offset + op.length;
+            });
+        if (earlier.type == ActionType::transfer &&
+            earlier.stream == node.stream &&
+            earlier.transfer.buffer == node.transfer.buffer &&
+            earlier.transfer.dir == XferDir::src_to_sink &&
+            earlier.transfer.offset == node.transfer.offset &&
+            earlier.transfer.length == node.transfer.length) {
+          // Identical earlier upload with nothing writing the range in
+          // between (the scan below this index never ran into a
+          // writer): the sink bytes are provably current.
+          remap[i] = remap[j];
+          redundant = true;
+        } else if (writes_range) {
+          break;  // the range changed since any earlier upload
+        }
+      }
+    }
+    if (redundant) {
+      ++dropped;
+      continue;
+    }
+    const auto index = static_cast<std::uint32_t>(out.size());
+    remap[i] = index;
+    remap_edges(node, index, remap);
+    out.push_back(std::move(node));
+  }
+
+  graph.nodes = std::move(out);
+  graph.validate();
+  if (runtime != nullptr && dropped != 0) {
+    runtime->note_transfers_coalesced(dropped);
+  }
+  return dropped;
+}
+
+double node_cost(const GraphNode& node, const CostParams& params) {
+  switch (node.type) {
+    case ActionType::compute:
+      return node.compute.flops / params.compute_flops_per_s +
+             node.compute.layered_overhead_s;
+    case ActionType::transfer:
+      return params.link_latency_s +
+             static_cast<double>(node.transfer.length) /
+                 params.link_bytes_per_s;
+    case ActionType::alloc:
+      return params.alloc_s_per_mb *
+             (static_cast<double>(node.transfer.length) / (1 << 20));
+    case ActionType::event_wait:
+    case ActionType::event_signal:
+      return params.sync_s;
+  }
+  return 0.0;
+}
+
+CriticalPathReport critical_path(const TaskGraph& graph,
+                                 const CostParams& params) {
+  const std::size_t n = graph.nodes.size();
+  CriticalPathReport report;
+  report.earliest_finish.assign(n, 0.0);
+  report.slack.assign(n, 0.0);
+  if (n == 0) {
+    return report;
+  }
+
+  // Forward sweep: earliest finish = cost + latest predecessor finish.
+  // The edge set is preds plus the in-graph wait edge; the node array is
+  // topologically ordered, so one pass suffices.
+  std::vector<double> cost(n);
+  const auto each_pred = [&graph](std::uint32_t i, const auto& visit) {
+    for (const std::uint32_t p : graph.nodes[i].preds) {
+      visit(p);
+    }
+    if (graph.nodes[i].wait_node != kNoNode) {
+      visit(graph.nodes[i].wait_node);
+    }
+  };
+  for (std::uint32_t i = 0; i < n; ++i) {
+    cost[i] = node_cost(graph.nodes[i], params);
+    double start = 0.0;
+    each_pred(i, [&](std::uint32_t p) {
+      start = std::max(start, report.earliest_finish[p]);
+    });
+    report.earliest_finish[i] = start + cost[i];
+    report.makespan_s = std::max(report.makespan_s, report.earliest_finish[i]);
+  }
+
+  // Backward sweep: latest finish without growing the makespan.
+  std::vector<double> latest(n, report.makespan_s);
+  for (std::uint32_t i = static_cast<std::uint32_t>(n); i-- > 0;) {
+    each_pred(i, [&](std::uint32_t p) {
+      latest[p] = std::min(latest[p], latest[i] - cost[i]);
+    });
+    report.slack[i] = latest[i] - report.earliest_finish[i];
+  }
+
+  // Chain extraction: walk back from the makespan-defining node through
+  // the predecessor that pins each start time.
+  std::uint32_t tip = 0;
+  for (std::uint32_t i = 1; i < n; ++i) {
+    if (report.earliest_finish[i] > report.earliest_finish[tip]) {
+      tip = i;
+    }
+  }
+  std::vector<std::uint32_t> chain;
+  for (std::uint32_t at = tip;;) {
+    chain.push_back(at);
+    std::uint32_t next = kNoNode;
+    double best = 0.0;
+    each_pred(at, [&](std::uint32_t p) {
+      if (report.earliest_finish[p] >= best) {
+        best = report.earliest_finish[p];
+        next = p;
+      }
+    });
+    if (next == kNoNode) {
+      break;
+    }
+    at = next;
+  }
+  std::reverse(chain.begin(), chain.end());
+  report.chain = std::move(chain);
+
+  for (const std::uint32_t i : report.chain) {
+    report.domain_seconds[graph.stream_info(graph.nodes[i].stream)
+                              .domain.value] += cost[i];
+  }
+  return report;
+}
+
+std::string to_string(const CriticalPathReport& report,
+                      const TaskGraph& graph, const CostParams& params) {
+  std::ostringstream os;
+  os << "critical path: " << report.chain.size() << "/" << graph.size()
+     << " nodes, modeled " << report.makespan_s * 1e3 << " ms\n";
+  for (const auto& [domain, seconds] : report.domain_seconds) {
+    os << "  domain " << domain << ": " << seconds * 1e3 << " ms ("
+       << (report.makespan_s > 0.0 ? 100.0 * seconds / report.makespan_s
+                                   : 0.0)
+       << "% of chain)\n";
+  }
+  for (const std::uint32_t i : report.chain) {
+    const GraphNode& node = graph.nodes[i];
+    os << "  [" << i << "] stream " << node.stream.value << " "
+       << node.label() << " (" << node_cost(node, params) * 1e6 << " us)\n";
+  }
+  return os.str();
+}
+
+}  // namespace hs::graph

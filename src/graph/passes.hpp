@@ -1,0 +1,92 @@
+#pragma once
+
+// Graph optimization passes and analysis.
+//
+// Passes rewrite a captured TaskGraph in place between capture and
+// replay — the pay-once structure of graphs is what makes offline
+// optimization worthwhile at all (eager enqueue has no second look at
+// its action stream):
+//
+//   * coalesce_transfers: merges runs of adjacent, same-direction
+//     transfer ranges on the same stream into one node, cutting
+//     per-transfer fixed costs (latency term + staging-pool round
+//     trips).
+//   * drop_redundant_transfers: deletes a transfer that re-moves bytes
+//     provably unchanged since an identical earlier transfer.
+//   * critical_path: longest-chain analysis over the captured edges —
+//     the report names the chain, per-node slack, and each domain's
+//     share of the chain, which is the "which device is the bottleneck"
+//     question a tuner asks first.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace hs {
+class Runtime;
+}  // namespace hs
+
+namespace hs::graph {
+
+/// Merges adjacent same-stream, same-buffer, same-direction transfer
+/// nodes whose byte ranges are contiguous (prev end == next begin) into
+/// a single node covering the union. Dependence edges and wait
+/// references to merged nodes are redirected to the union node (which
+/// completes no earlier than either part — conservative, never wrong).
+/// Returns the number of nodes eliminated; if `runtime` is given, the
+/// count is added to its transfers_coalesced statistic.
+std::size_t coalesce_transfers(TaskGraph& graph, Runtime* runtime = nullptr);
+
+/// Deletes host->sink transfer nodes that re-send a byte range already
+/// sent by an identical earlier transfer on the same stream, when no
+/// node between the two (on any stream) writes any part of the range —
+/// the bytes at the sink are provably current, so the re-send is dead
+/// work. References to a dropped node redirect to the surviving earlier
+/// transfer. Returns the number of nodes eliminated; if `runtime` is
+/// given, the count is added to its transfers_coalesced statistic.
+std::size_t drop_redundant_transfers(TaskGraph& graph,
+                                     Runtime* runtime = nullptr);
+
+/// Cost model for critical_path. Deliberately coarse: the analysis
+/// ranks chains, it does not predict wall time.
+struct CostParams {
+  double compute_flops_per_s = 100e9;  ///< per-stream sustained rate
+  double link_bytes_per_s = 6.8e9;     ///< PCIe gen2 x16-ish
+  double link_latency_s = 10e-6;       ///< per-transfer fixed cost
+  double alloc_s_per_mb = 250e-6;      ///< modeled sink-side allocation
+  double sync_s = 1e-6;                ///< waits and signals
+};
+
+/// Modeled duration of one node under `params`.
+[[nodiscard]] double node_cost(const GraphNode& node,
+                               const CostParams& params);
+
+struct CriticalPathReport {
+  double makespan_s = 0.0;  ///< modeled longest-chain length
+  /// The longest dependence chain, in execution order (node indices).
+  std::vector<std::uint32_t> chain;
+  std::vector<double> earliest_finish;  ///< per node
+  /// Slack per node: how much the node could slip without growing the
+  /// makespan. Chain nodes have zero slack.
+  std::vector<double> slack;
+  /// Seconds of the critical chain spent on each domain (keyed by
+  /// DomainId value) — the per-domain bottleneck attribution.
+  std::map<std::uint32_t, double> domain_seconds;
+};
+
+/// Longest-path analysis over the captured edges (preds + in-graph
+/// waits). The node array is already topologically ordered (edges point
+/// backward), so this is two linear sweeps.
+[[nodiscard]] CriticalPathReport critical_path(const TaskGraph& graph,
+                                               const CostParams& params = {});
+
+/// Renders the report: makespan, per-domain chain share, and the chain
+/// itself with per-node labels and costs.
+[[nodiscard]] std::string to_string(const CriticalPathReport& report,
+                                    const TaskGraph& graph,
+                                    const CostParams& params = {});
+
+}  // namespace hs::graph

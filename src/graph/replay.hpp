@@ -1,0 +1,74 @@
+#pragma once
+
+// Graph replay: instantiating a captured TaskGraph on a Runtime and
+// launching it repeatedly.
+//
+// Each launch() materializes fresh ActionRecords from the graph nodes
+// (the records are single-use runtime state; the graph is the reusable
+// template) and admits them as one batch through
+// Runtime::admit_prelinked — one lock acquisition per graph, captured
+// edges reused verbatim, no pairwise operand intersection. In-graph
+// event waits are rewired to the producer's fresh completion event, so
+// cross-stream ordering replays exactly as captured.
+//
+// Buffer rebinding lets iterative apps swap operand storage between
+// launches without recapturing: RTM ping-pongs three wavefield levels by
+// rotating `bind()` calls per timestep, while the graph's dependence
+// *structure* — which is invariant under the rotation — is reused.
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "graph/graph.hpp"
+
+namespace hs::graph {
+
+class GraphExec {
+ public:
+  /// Binds `graph` for replay on `runtime`. The graph's streams must
+  /// exist on the runtime (they normally are the capture-time streams).
+  GraphExec(Runtime& runtime, TaskGraph graph);
+
+  /// Replays nodes captured on `captured` into `replacement` instead.
+  /// Both streams must live on the same domain with the same policy.
+  void map_stream(StreamId captured, StreamId replacement);
+
+  /// Rebinds every operand and transfer on buffer `captured` to
+  /// `replacement` for subsequent launches. Sizes must match (byte
+  /// ranges are reused verbatim). Rebinding composes with repeated
+  /// calls: the latest binding for a captured id wins.
+  void bind(BufferId captured, BufferId replacement);
+  void clear_bindings();
+
+  /// One replayed instance: per-node completion events, in node order.
+  struct Launch {
+    std::vector<std::shared_ptr<EventState>> events;
+    [[nodiscard]] const std::shared_ptr<EventState>& event(
+        std::uint32_t node) const {
+      return events.at(node);
+    }
+  };
+
+  /// Admits one instance of the graph. Returns immediately (the launch
+  /// is asynchronous, like the eager enqueues it replaces); completion
+  /// is observed via the returned events or the usual synchronize calls.
+  /// Alloc nodes instantiate their buffer on first launch and no-op on
+  /// later ones.
+  Launch launch();
+
+  [[nodiscard]] const TaskGraph& graph() const noexcept { return graph_; }
+
+ private:
+  [[nodiscard]] BufferId mapped(BufferId id) const;
+  [[nodiscard]] StreamId mapped(StreamId id) const;
+
+  Runtime& runtime_;
+  TaskGraph graph_;
+  std::unordered_map<StreamId, StreamId> stream_map_;
+  std::unordered_map<BufferId, BufferId> buffer_map_;
+};
+
+}  // namespace hs::graph

@@ -75,7 +75,8 @@ void SimExecutor::execute(const std::shared_ptr<ActionRecord>& action,
                     // queued; the runtime already failed the action.
                     if (config_.execute_payloads && action->compute.body &&
                         runtime_->domain_alive(domain)) {
-                      TaskContext ctx(*runtime_, domain, nullptr, width);
+                      TaskContext ctx(*runtime_, domain, nullptr, width,
+                                      action.get());
                       try {
                         action->compute.body(ctx);
                       } catch (...) {
