@@ -2,9 +2,15 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
+#include <cstring>
 #include <map>
 #include <optional>
+#include <utility>
 
+#include "graph/capture.hpp"
+#include "graph/passes.hpp"
+#include "graph/replay.hpp"
 #include "hsblas/kernels.hpp"
 
 namespace hs::apps {
@@ -35,55 +41,74 @@ std::vector<std::size_t> assign_rows(std::size_t rows,
   return owner;
 }
 
-/// One factorization attempt over whatever domains are currently alive.
-/// `io_buffer` carries the matrix buffer across attempts: the first
-/// attempt creates it, a recovery attempt re-adopts it in the surviving
-/// domains.
-CholeskyStats run_cholesky_attempt(Runtime& runtime,
-                                   const CholeskyConfig& config,
-                                   TiledMatrix& a,
-                                   std::optional<BufferId>& io_buffer) {
-  require(a.rows() == a.cols(), "cholesky needs a square matrix");
-  const std::size_t nt = a.row_tiles();
-
-  AppApi app(runtime, AppConfig{.streams_per_device = config.streams_per_device,
-                                .host_streams = config.host_streams});
-
+/// Per-attempt placement shared by the eager and graph-captured
+/// drivers: which domains compute, the machine-wide panel stream, and
+/// which domain owns each tile row.
+struct Placement {
   std::vector<DomainId> compute_domains;
-  if (!app.host_streams().empty()) {
-    compute_domains.push_back(kHostDomain);
-  }
   std::vector<DomainId> cards;
+  StreamId panel_stream;
+  std::vector<std::size_t> row_owner;  ///< index into compute_domains
+};
+
+Placement make_placement(Runtime& runtime, const CholeskyConfig& config,
+                         AppApi& app, std::size_t nt) {
+  Placement placement;
+  if (!app.host_streams().empty()) {
+    placement.compute_domains.push_back(kHostDomain);
+  }
   for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
     const DomainId domain{static_cast<std::uint32_t>(d)};
     if (!app.streams_on(domain).empty()) {
-      compute_domains.push_back(domain);
-      cards.push_back(domain);
+      placement.compute_domains.push_back(domain);
+      placement.cards.push_back(domain);
     }
   }
-  require(!compute_domains.empty(), "cholesky: no compute domains");
+  require(!placement.compute_domains.empty(), "cholesky: no compute domains");
 
   std::vector<double> weights = config.domain_weights;
   if (weights.empty()) {
-    weights.assign(compute_domains.size(), 1.0);
+    weights.assign(placement.compute_domains.size(), 1.0);
   }
-  require(weights.size() == compute_domains.size(),
+  require(weights.size() == placement.compute_domains.size(),
           "cholesky: one weight per compute domain required");
 
-  if (io_buffer.has_value()) {
-    app.adopt_buf(*io_buffer);
-  } else {
-    io_buffer = app.create_buf(a.data(), a.size_bytes());
-  }
-
   // The machine-wide host stream for panel work (DPOTRF + DTRSMs).
-  const StreamId panel_stream = runtime.stream_create(
+  placement.panel_stream = runtime.stream_create(
       kHostDomain,
       CpuMask::first_n(runtime.domain(kHostDomain).hw_threads()));
 
-  const std::vector<std::size_t> row_owner = assign_rows(nt, weights);
+  placement.row_owner = assign_rows(nt, weights);
+  // Fault-aware steering: a row keeps its weighted owner while the
+  // owner's link is healthy; a degraded owner's rows move to the next
+  // healthy compute domain (Runtime::pick_healthy applies the
+  // hysteresis and counts placements_steered).
+  const std::size_t n_domains = placement.compute_domains.size();
+  std::vector<DomainId> candidates(n_domains);
+  for (std::size_t& owner : placement.row_owner) {
+    for (std::size_t c = 0; c < n_domains; ++c) {
+      candidates[c] = placement.compute_domains[(owner + c) % n_domains];
+    }
+    const DomainId picked = runtime.pick_healthy(candidates);
+    owner = static_cast<std::size_t>(
+        std::find(placement.compute_domains.begin(),
+                  placement.compute_domains.end(), picked) -
+        placement.compute_domains.begin());
+  }
+  return placement;
+}
+
+/// Enqueue front-end for the whole factorization, shared verbatim by
+/// the eager drivers and the graph capture (so the captured graph is,
+/// by construction, the exact action stream eager enqueue produces).
+/// Performs no synchronization of its own unless bulk_synchronous asks
+/// for the step-wise barrier (which is incompatible with capture).
+void enqueue_factorization(Runtime& runtime, const CholeskyConfig& config,
+                           TiledMatrix& a, AppApi& app,
+                           const Placement& placement) {
+  const std::size_t nt = a.row_tiles();
   auto owner_domain = [&](std::size_t i) {
-    return compute_domains[row_owner[i]];
+    return placement.compute_domains[placement.row_owner[i]];
   };
   // Fixed tile -> stream mapping within the owner domain, so successive
   // updates of one tile share a stream and FIFO order covers them.
@@ -91,8 +116,6 @@ CholeskyStats run_cholesky_attempt(Runtime& runtime,
     const auto streams = app.streams_on(owner_domain(i));
     return streams[(i * 31 + j * 17) % streams.size()];
   };
-
-  const double t0 = runtime.now();
 
   // Initial upload: every card-owned interior tile (j >= 1, lower
   // triangle) must be resident before its first trailing update reads it.
@@ -111,13 +134,13 @@ CholeskyStats run_cholesky_attempt(Runtime& runtime,
   // data is already in user memory).
   std::vector<std::shared_ptr<EventState>> arrival(nt);
 
-  CholeskyStats stats;
   for (std::size_t k = 0; k < nt; ++k) {
     // -- DPOTRF on the machine-wide host stream.
     if (arrival[k] != nullptr) {
       const OperandRef wops[] = {
           {a.tile_ptr(k, k), a.tile_bytes(k, k), Access::out}};
-      (void)runtime.enqueue_event_wait(panel_stream, arrival[k], wops);
+      (void)runtime.enqueue_event_wait(placement.panel_stream, arrival[k],
+                                       wops);
     }
     {
       double* pkk = a.tile_ptr(k, k);
@@ -132,7 +155,8 @@ CholeskyStats run_cholesky_attempt(Runtime& runtime,
       };
       const OperandRef ops[] = {
           {pkk, tk * tk * sizeof(double), Access::inout}};
-      (void)runtime.enqueue_compute(panel_stream, std::move(task), ops);
+      (void)runtime.enqueue_compute(placement.panel_stream, std::move(task),
+                                    ops);
     }
 
     // -- DTRSMs on the host stream (independent of one another: they all
@@ -142,7 +166,8 @@ CholeskyStats run_cholesky_attempt(Runtime& runtime,
       if (arrival[i] != nullptr) {
         const OperandRef wops[] = {
             {a.tile_ptr(i, k), a.tile_bytes(i, k), Access::out}};
-        (void)runtime.enqueue_event_wait(panel_stream, arrival[i], wops);
+        (void)runtime.enqueue_event_wait(placement.panel_stream, arrival[i],
+                                         wops);
       }
       const double* pkk = a.tile_ptr(k, k);
       double* pik = a.tile_ptr(i, k);
@@ -159,8 +184,8 @@ CholeskyStats run_cholesky_attempt(Runtime& runtime,
       const OperandRef ops[] = {
           {pkk, tk * tk * sizeof(double), Access::in},
           {pik, ti * tk * sizeof(double), Access::inout}};
-      trsm_done[i] =
-          runtime.enqueue_compute(panel_stream, std::move(task), ops);
+      trsm_done[i] = runtime.enqueue_compute(placement.panel_stream,
+                                             std::move(task), ops);
     }
 
     // -- Broadcast the factored column to every card (on the card's
@@ -168,7 +193,7 @@ CholeskyStats run_cholesky_attempt(Runtime& runtime,
     std::map<std::pair<std::uint32_t, std::size_t>,
              std::shared_ptr<EventState>>
         bcast;  // (card, row) -> transfer completion
-    for (const DomainId card : cards) {
+    for (const DomainId card : placement.cards) {
       const std::size_t s0 = app.streams_on(card).front();
       for (std::size_t i = k + 1; i < nt; ++i) {
         const OperandRef wops[] = {
@@ -263,18 +288,163 @@ CholeskyStats run_cholesky_attempt(Runtime& runtime,
       runtime.synchronize();
     }
   }
+}
 
-  runtime.synchronize();
+/// Fills the timing- and placement-derived stats fields.
+void finish_stats(Runtime& runtime, const TiledMatrix& a,
+                  const Placement& placement, double t0,
+                  CholeskyStats& stats) {
   stats.seconds = runtime.now() - t0;
   const double n = static_cast<double>(a.rows());
   stats.gflops = (n * n * n / 3.0) / stats.seconds / 1e9;
-  for (std::size_t i = 0; i < nt; ++i) {
-    if (owner_domain(i) == kHostDomain) {
+  for (const std::size_t owner : placement.row_owner) {
+    if (placement.compute_domains[owner] == kHostDomain) {
       ++stats.rows_host;
     } else {
       ++stats.rows_cards;
     }
   }
+}
+
+/// One eager factorization attempt over whatever domains are currently
+/// alive. `io_buffer` carries the matrix buffer across attempts: the
+/// first attempt creates it, a recovery attempt re-adopts it in the
+/// surviving domains.
+CholeskyStats run_cholesky_attempt(Runtime& runtime,
+                                   const CholeskyConfig& config,
+                                   TiledMatrix& a,
+                                   std::optional<BufferId>& io_buffer) {
+  require(a.rows() == a.cols(), "cholesky needs a square matrix");
+
+  AppApi app(runtime, AppConfig{.streams_per_device = config.streams_per_device,
+                                .host_streams = config.host_streams});
+  if (io_buffer.has_value()) {
+    app.adopt_buf(*io_buffer);
+  } else {
+    io_buffer = app.create_buf(a.data(), a.size_bytes());
+  }
+  const Placement placement =
+      make_placement(runtime, config, app, a.row_tiles());
+
+  const double t0 = runtime.now();
+  enqueue_factorization(runtime, config, a, app, placement);
+  runtime.synchronize();
+
+  CholeskyStats stats;
+  finish_stats(runtime, a, placement, t0, stats);
+  return stats;
+}
+
+/// Tile-granular recovery driver: capture the factorization as a task
+/// graph, launch it once, and after a device loss re-execute only the
+/// lost subgraph on the survivors instead of restarting from scratch.
+CholeskyStats run_cholesky_partial(Runtime& runtime,
+                                   const CholeskyConfig& config,
+                                   TiledMatrix& a) {
+  require(a.rows() == a.cols(), "cholesky needs a square matrix");
+  require(!config.bulk_synchronous,
+          "cholesky: partial recovery needs the asynchronous pipeline");
+
+  // Snapshot the input: recovery rolls the rerun subgraph's written
+  // ranges — and only those ranges — back to their pre-launch contents.
+  std::vector<double> snapshot(a.data(),
+                               a.data() + a.size_bytes() / sizeof(double));
+
+  AppApi app(runtime, AppConfig{.streams_per_device = config.streams_per_device,
+                                .host_streams = config.host_streams});
+  const BufferId buffer = app.create_buf(a.data(), a.size_bytes());
+  const Placement placement =
+      make_placement(runtime, config, app, a.row_tiles());
+
+  // Capture the whole factorization: every stream the enqueue touches.
+  std::vector<StreamId> captured;
+  captured.push_back(placement.panel_stream);
+  for (std::size_t s = 0; s < app.stream_count(); ++s) {
+    captured.push_back(app.stream(s));
+  }
+
+  const double t0 = runtime.now();
+  graph::TaskGraph graph;
+  {
+    graph::GraphCapture capture(runtime, captured);
+    enqueue_factorization(runtime, config, a, app, placement);
+    graph = capture.finish();
+  }
+  graph::GraphExec exec(runtime, std::move(graph));
+
+  CholeskyStats stats;
+  stats.graph_actions = exec.graph().size();
+  const graph::GraphExec::Launch launch = exec.launch();
+
+  bool lost = false;
+  try {
+    runtime.synchronize();
+  } catch (const Error& e) {
+    if (e.code() != Errc::device_lost) {
+      throw;
+    }
+    lost = true;
+  }
+  if (lost) {
+    // Drain the wreckage — each timed synchronize consumes at most one
+    // queued sink error, so iterate until one comes back clean.
+    bool drained = false;
+    for (int i = 0; i < 64 && !drained; ++i) {
+      drained = static_cast<bool>(runtime.synchronize(config.drain_timeout_s));
+    }
+    require(drained, "cholesky recovery: streams did not drain",
+            Errc::internal);
+    (void)runtime.clear_pending_errors();
+
+    // Drop the dead incarnations. Their dirty ranges are exactly what
+    // the re-execution set recomputes, so discarding is safe here.
+    for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
+      const DomainId domain{static_cast<std::uint32_t>(d)};
+      if (!runtime.domain_alive(domain)) {
+        (void)runtime.evacuate(buffer, domain, kHostDomain,
+                               /*discard_dirty=*/true);
+      }
+    }
+
+    // Lost subgraph + rollback ranges.
+    const graph::RecoveryPlan recovery = graph::plan_recovery(
+        exec.graph(), [&](std::uint32_t node) { return launch.lost(node); });
+    auto* base = reinterpret_cast<std::byte*>(a.data());
+    const auto* snap = reinterpret_cast<const std::byte*>(snapshot.data());
+    for (const Operand& op : recovery.restore) {
+      std::memcpy(base + op.offset, snap + op.offset, op.length);
+    }
+
+    // Re-home the dead domain's streams onto the healthiest survivor
+    // (cards preferred over the host), round-robin over its streams.
+    std::vector<DomainId> survivors;
+    for (const DomainId card : placement.cards) {
+      if (runtime.domain_alive(card)) {
+        survivors.push_back(card);
+      }
+    }
+    if (!app.host_streams().empty()) {
+      survivors.push_back(kHostDomain);
+    }
+    require(!survivors.empty(),
+            "cholesky recovery: no surviving compute domain", Errc::internal);
+    const DomainId target = runtime.pick_healthy(survivors);
+    const std::vector<std::size_t> pool = app.streams_on(target);
+    std::size_t cursor = 0;
+    for (const graph::GraphStreamInfo& info : exec.graph().streams) {
+      if (!runtime.domain_alive(info.domain)) {
+        exec.map_stream(info.stream,
+                        app.stream(pool[cursor++ % pool.size()]));
+      }
+    }
+
+    (void)exec.launch_subset(recovery.rerun);
+    runtime.synchronize();
+    stats.recoveries = 1;
+    stats.recomputed_actions = recovery.rerun.size();
+  }
+
+  finish_stats(runtime, a, placement, t0, stats);
   return stats;
 }
 
@@ -285,6 +455,9 @@ CholeskyStats run_cholesky(Runtime& runtime, const CholeskyConfig& config,
   std::optional<BufferId> buffer;
   if (!config.recover_from_device_loss) {
     return run_cholesky_attempt(runtime, config, a, buffer);
+  }
+  if (config.partial_recovery) {
+    return run_cholesky_partial(runtime, config, a);
   }
 
   // Snapshot the input so a mid-factorization loss (the matrix is updated
@@ -310,12 +483,16 @@ CholeskyStats run_cholesky(Runtime& runtime, const CholeskyConfig& config,
   (void)runtime.clear_pending_errors();
 
   // Evacuate the matrix off every dead domain (refunds its budget; the
-  // host incarnation aliasing user memory stays authoritative).
+  // host incarnation aliasing user memory stays authoritative). The dead
+  // card's updated-but-not-sent-home tiles are unrecoverable dirty
+  // ranges; discarding them is fine because the snapshot rollback below
+  // rewinds the whole factorization anyway.
   if (buffer.has_value()) {
     for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
       const DomainId domain{static_cast<std::uint32_t>(d)};
       if (!runtime.domain_alive(domain)) {
-        (void)runtime.evacuate(*buffer, domain, kHostDomain);
+        (void)runtime.evacuate(*buffer, domain, kHostDomain,
+                               /*discard_dirty=*/true);
       }
     }
   }

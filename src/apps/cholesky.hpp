@@ -42,6 +42,16 @@ struct CholeskyConfig {
   /// the factorization on the surviving domains. Off by default (a
   /// failure propagates as the exception).
   bool recover_from_device_loss = false;
+  /// Tile-granular recovery (needs recover_from_device_loss and an
+  /// asynchronous pipeline, i.e. !bulk_synchronous). The factorization
+  /// is captured as a task graph and launched once; after a device
+  /// loss the driver computes the lost subgraph (claimed-failed actions
+  /// plus everything dependent on or co-writing with them —
+  /// graph::plan_recovery), rolls back only the byte ranges that
+  /// subgraph writes, re-homes the dead domain's streams onto the
+  /// healthiest survivor, and re-executes only the lost subgraph
+  /// instead of restarting the whole factorization.
+  bool partial_recovery = false;
   /// Per-synchronize deadline used while draining after a loss (wall
   /// seconds threaded, virtual seconds simulated).
   double drain_timeout_s = 0.05;
@@ -52,7 +62,14 @@ struct CholeskyStats {
   double gflops = 0.0;  ///< (n^3/3) / seconds
   std::size_t rows_host = 0;
   std::size_t rows_cards = 0;
-  std::size_t recoveries = 0;  ///< device-loss restarts that happened
+  std::size_t recoveries = 0;  ///< device-loss recoveries that happened
+  /// Actions in the captured factorization graph (partial_recovery runs
+  /// only; 0 for the eager drivers).
+  std::size_t graph_actions = 0;
+  /// Actions re-executed by partial recovery — the size of the lost
+  /// subgraph, strictly less than graph_actions when recovery was
+  /// cheaper than a full restart.
+  std::size_t recomputed_actions = 0;
 };
 
 /// Factors the lower triangle of the symmetric tiled matrix `a` in place

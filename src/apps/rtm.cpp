@@ -102,17 +102,27 @@ RtmSetup rtm_setup(Runtime& runtime, const RtmConfig& config) {
 
   setup.kernel = config.optimized_kernel ? "stencil" : "stencil_naive";
 
-  // Rank -> domain. Offload schemes deal ranks round-robin over cards.
+  // Rank -> domain. Offload schemes deal ranks round-robin over cards,
+  // but a rank whose preferred card sits behind a degraded link is
+  // steered to the next healthy card (the hysteresis and the
+  // placements_steered count live in Runtime::pick_healthy).
   setup.offload = config.scheme != RtmScheme::host_only;
   std::vector<DomainId> card_domains;
   for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
     card_domains.push_back(DomainId{static_cast<std::uint32_t>(d)});
   }
   require(!setup.offload || !card_domains.empty(), "rtm: offload needs cards");
-  auto rank_domain = [&](std::size_t r) {
-    return setup.offload ? card_domains[r % card_domains.size()]
-                         : kHostDomain;
-  };
+  std::vector<DomainId> rank_domains(config.ranks, kHostDomain);
+  if (setup.offload) {
+    std::vector<DomainId> candidates(card_domains.size());
+    for (std::size_t r = 0; r < config.ranks; ++r) {
+      for (std::size_t c = 0; c < card_domains.size(); ++c) {
+        candidates[c] = card_domains[(r + c) % card_domains.size()];
+      }
+      rank_domains[r] = runtime.pick_healthy(candidates);
+    }
+  }
+  auto rank_domain = [&](std::size_t r) { return rank_domains[r]; };
 
   // One stream per rank; ranks sharing a domain split its threads.
   setup.rank_stream.resize(config.ranks);

@@ -31,6 +31,7 @@ enum class Errc {
   link_error,   ///< interconnect transfer failed (transient, retryable)
   device_lost,  ///< domain dropped off the bus; no further work accepted
   cancelled,    ///< action drained by stream_cancel without executing
+  data_loss,    ///< the only current copy of data died with its domain
 };
 
 /// Human-readable name for an error code.
@@ -50,6 +51,7 @@ enum class Errc {
     case Errc::link_error: return "link_error";
     case Errc::device_lost: return "device_lost";
     case Errc::cancelled: return "cancelled";
+    case Errc::data_loss: return "data_loss";
   }
   return "unknown";
 }

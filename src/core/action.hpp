@@ -41,6 +41,11 @@ struct ActionRecord {
   StreamId stream;
   ActionType type = ActionType::compute;
   std::uint64_t seq = 0;  ///< position within the stream's FIFO order
+  /// For transfers on device streams: per-domain enqueue-order transfer
+  /// id, assigned under the runtime lock at admission. This is the stable
+  /// identity the FaultInjector keys decisions by — unlike dispatch or
+  /// copier order, it does not depend on thread interleaving.
+  std::uint64_t transfer_seq = 0;
   /// Id of the TaskGraph this action was replayed from (0 = eager
   /// enqueue). Carried into the trace so replayed spans are attributable.
   std::uint32_t graph = 0;
@@ -72,6 +77,10 @@ struct ActionRecord {
   /// Set by stream_cancel / domain loss: the action completed without its
   /// effects having run.
   bool cancelled = false;
+  /// Set by fail_action: the action's body threw (its effects are
+  /// suspect). Recovery planning treats failed and cancelled records as
+  /// seeds of the re-execution set.
+  bool failed = false;
 
   /// True if this action's operands (or barrier flag) conflict with an
   /// earlier action's.

@@ -14,9 +14,12 @@
 // never copies); device incarnations are separate allocations standing in
 // for card-side memory.
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <optional>
+#include <utility>
+#include <vector>
 
 #include "common/status.hpp"
 #include "core/types.hpp"
@@ -71,10 +74,12 @@ class Buffer {
   }
 
   /// Drops the incarnation in `domain` (host incarnation cannot be
-  /// dropped: it aliases user memory).
+  /// dropped: it aliases user memory). Any dirty state goes with it —
+  /// callers that care must sync back (or explicitly discard) first.
   void deinstantiate(DomainId domain) {
     require(domain != kHostDomain, "cannot deinstantiate the host alias");
     incarnations_.erase(domain);
+    dirty_.erase(domain);
     // Owned storage is retained until buffer destruction; incarnation
     // maps drive translation, so a dropped domain can no longer be
     // addressed even though its bytes linger until then.
@@ -100,12 +105,104 @@ class Buffer {
     return it->second + offset;
   }
 
+  // --- Dirty-range tracking --------------------------------------------
+  // A device incarnation is "dirty" over a byte range when a sink-side
+  // compute wrote it and nothing has synced it back: the device then
+  // holds the only current copy, and the host alias is stale over that
+  // range. Runtime::evacuate consults this so it never resurrects stale
+  // host data over newer device data (and can fail loudly when the only
+  // current copy died with its domain).
+
+  /// Marks [offset, offset+len) of `domain`'s incarnation as newer than
+  /// the host copy. Overlapping/adjacent ranges merge.
+  void mark_dirty(DomainId domain, std::size_t offset, std::size_t len) {
+    if (len == 0 || domain == kHostDomain) {
+      return;
+    }
+    auto& ranges = dirty_[domain];
+    std::size_t begin = offset;
+    std::size_t end = offset + len;
+    auto it = ranges.lower_bound(begin);
+    if (it != ranges.begin()) {
+      const auto prev = std::prev(it);
+      if (prev->second >= begin) {
+        begin = prev->first;
+        end = std::max(end, prev->second);
+        ranges.erase(prev);
+      }
+    }
+    while (it != ranges.end() && it->first <= end) {
+      end = std::max(end, it->second);
+      it = ranges.erase(it);
+    }
+    ranges[begin] = end;
+  }
+
+  /// Clears dirty state over [offset, offset+len) of `domain` — a
+  /// transfer made host and device agree over the range (either
+  /// direction does).
+  void clear_dirty(DomainId domain, std::size_t offset, std::size_t len) {
+    const auto dit = dirty_.find(domain);
+    if (dit == dirty_.end() || len == 0) {
+      return;
+    }
+    auto& ranges = dit->second;
+    const std::size_t begin = offset;
+    const std::size_t end = offset + len;
+    auto it = ranges.lower_bound(begin);
+    if (it != ranges.begin()) {
+      --it;  // the previous range may reach into the cleared window
+    }
+    while (it != ranges.end() && it->first < end) {
+      const std::size_t rb = it->first;
+      const std::size_t re = it->second;
+      if (re <= begin) {
+        ++it;
+        continue;
+      }
+      it = ranges.erase(it);
+      if (rb < begin) {
+        ranges[rb] = begin;
+      }
+      if (re > end) {
+        ranges[end] = re;
+      }
+    }
+    if (ranges.empty()) {
+      dirty_.erase(dit);
+    }
+  }
+
+  /// Drops all dirty state of `domain` without syncing (recovery paths
+  /// that restore from their own checkpoint).
+  void discard_dirty(DomainId domain) { dirty_.erase(domain); }
+
+  [[nodiscard]] bool dirty_in(DomainId domain) const noexcept {
+    return dirty_.contains(domain);
+  }
+
+  /// Dirty (offset, length) ranges of `domain`, ascending, disjoint.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> dirty_ranges(
+      DomainId domain) const {
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    const auto it = dirty_.find(domain);
+    if (it != dirty_.end()) {
+      out.reserve(it->second.size());
+      for (const auto& [begin, end] : it->second) {
+        out.emplace_back(begin, end - begin);
+      }
+    }
+    return out;
+  }
+
  private:
   BufferId id_;
   std::byte* proxy_base_;
   std::size_t size_;
   BufferProps props_;
   std::map<DomainId, std::byte*> incarnations_;
+  /// Per-domain dirty intervals, begin -> end (disjoint, merged).
+  std::map<DomainId, std::map<std::size_t, std::size_t>> dirty_;
   std::vector<std::unique_ptr<std::byte[]>> owned_;
 };
 

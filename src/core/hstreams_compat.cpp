@@ -100,6 +100,7 @@ HSTR_RESULT hStreams_ResultFromErrc(Errc code) {
     case Errc::link_error: return HSTR_RESULT_REMOTE_ERROR;
     case Errc::device_lost: return HSTR_RESULT_DEVICE_NOT_AVAILABLE;
     case Errc::cancelled: return HSTR_RESULT_EVENT_CANCELED;
+    case Errc::data_loss: return HSTR_RESULT_REMOTE_ERROR;
     default: return HSTR_RESULT_INTERNAL_ERROR;
   }
 }

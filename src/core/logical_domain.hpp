@@ -56,6 +56,30 @@ class DomainPartitioner {
   [[nodiscard]] std::size_t count() const noexcept {
     return entries_.size();
   }
+
+  /// Fault-aware choice among logical domains: returns the first whose
+  /// physical link the runtime considers healthy, preferring `preferred`
+  /// and scanning the rest in definition order. Falls back on degraded
+  /// (but alive) links the same way Runtime::pick_healthy does, so a
+  /// caller always gets a usable logical domain while any physical
+  /// domain survives.
+  [[nodiscard]] LogicalDomainId pick_healthy(LogicalDomainId preferred) const {
+    (void)entry(preferred);  // range check
+    std::vector<DomainId> candidates;
+    candidates.reserve(entries_.size());
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const std::size_t at = (preferred.value + i) % entries_.size();
+      candidates.push_back(entries_[at].physical);
+    }
+    const DomainId picked = runtime_.pick_healthy(candidates);
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      const std::size_t at = (preferred.value + i) % entries_.size();
+      if (entries_[at].physical == picked) {
+        return LogicalDomainId{static_cast<std::uint32_t>(at)};
+      }
+    }
+    return preferred;  // unreachable: picked came from candidates
+  }
   [[nodiscard]] DomainId physical(LogicalDomainId id) const {
     return entry(id).physical;
   }

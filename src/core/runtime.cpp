@@ -44,6 +44,8 @@ Runtime::Runtime(RuntimeConfig config, std::unique_ptr<Executor> executor)
     domains_.emplace_back(DomainId{static_cast<std::uint32_t>(i)},
                           config_.platform.domains[i]);
   }
+  health_.resize(domains_.size());
+  next_transfer_seq_.resize(domains_.size(), 0);
   executor_->attach(*this);
 }
 
@@ -101,6 +103,10 @@ void Runtime::mark_domain_lost(DomainId id) {
     }
     domains_[id.value].mark_lost();
     ++stats_.domains_lost;
+    if (!health_[id.value].degraded) {
+      ++stats_.links_degraded;
+    }
+    health_[id.value].lose();
     // Fail every in-flight action on the dead domain's streams. Claiming
     // under the lock makes this exactly-once: a late `done` from an
     // executor thread finds the claim and becomes a no-op.
@@ -134,10 +140,13 @@ void Runtime::mark_domain_lost(DomainId id) {
   }
 }
 
-Status Runtime::evacuate(BufferId id, DomainId from, DomainId to) {
+Status Runtime::evacuate(BufferId id, DomainId from, DomainId to,
+                         bool discard_dirty) {
   try {
     std::size_t size = 0;
     bool have_from = false;
+    bool from_alive = false;
+    std::vector<std::pair<std::size_t, std::size_t>> dirty;
     {
       const std::scoped_lock lock(mutex_);
       require(from.value < domains_.size() && to.value < domains_.size(),
@@ -147,10 +156,44 @@ Status Runtime::evacuate(BufferId id, DomainId from, DomainId to) {
       Buffer& buf = buffers_.get(id);
       size = buf.size();
       have_from = from != kHostDomain && buf.instantiated_in(from);
+      from_alive = domains_[from.value].alive();
+      if (have_from) {
+        dirty = buf.dirty_ranges(from);
+      }
     }
     // Let executor threads finish any claimed-failed bodies that may
     // still touch incarnation storage before we move/drop it.
     executor_->quiesce();
+    if (!dirty.empty()) {
+      if (!from_alive && !discard_dirty) {
+        // The device held the only current copy of these ranges and died
+        // with them. Refusing (rather than silently refreshing the
+        // target from the stale host copy) is the whole point: the
+        // caller must either restore from its own checkpoint / re-execute
+        // the producers (then pass discard_dirty) or accept the loss.
+        std::size_t bytes = 0;
+        for (const auto& [offset, length] : dirty) {
+          bytes += length;
+        }
+        return Status::error(
+            Errc::data_loss,
+            "evacuate: " + std::to_string(bytes) + " dirty bytes of buffer " +
+                std::to_string(id.value) + " had their only current copy on "
+                "lost domain " + std::to_string(from.value));
+      }
+      if (from_alive && executor_->executes_payloads()) {
+        // The source is alive and newer than the host over these ranges:
+        // sync them home first, so the host copy we are about to treat
+        // as authoritative actually is.
+        for (const auto& [offset, length] : dirty) {
+          std::byte* host = buffer_local(id, kHostDomain, offset, length);
+          std::byte* src = buffer_local(id, from, offset, length);
+          std::memcpy(host, src, length);
+        }
+      }
+      const std::scoped_lock lock(mutex_);
+      buffers_.get(id).discard_dirty(from);
+    }
     if (to != kHostDomain) {
       buffer_instantiate(id, to);  // no-op if already incarnated there
       if (executor_->executes_payloads()) {
@@ -569,6 +612,12 @@ std::shared_ptr<EventState> Runtime::admit(
     const std::scoped_lock lock(mutex_);
     record->id = ActionId{next_action_id_++};
     record->seq = stream.next_seq++;
+    if (record->type == ActionType::transfer && stream.domain != kHostDomain) {
+      // Enqueue-order identity for fault decisions: assigned under the
+      // lock, so it is the same on every backend and every run no matter
+      // which copier thread later runs the attempt.
+      record->transfer_seq = next_transfer_seq_[stream.domain.value]++;
+    }
 
     DepState dep;
     dep.record = record;
@@ -672,6 +721,9 @@ void Runtime::admit_prelinked(std::span<const PrelinkedAction> batch,
       record->id = ActionId{next_action_id_++};
       record->seq = s.next_seq++;
       record->graph = graph_id;
+      if (record->type == ActionType::transfer && s.domain != kHostDomain) {
+        record->transfer_seq = next_transfer_seq_[s.domain.value]++;
+      }
 
       DepState dep;
       dep.record = record;
@@ -825,10 +877,41 @@ void Runtime::process_completion(ActionId id) {
     ActionRecord& rec = *dep.record;
     rec.state = ActionRecord::State::done;
     completion = rec.completion;
-    ++stats_.actions_completed;
+    // Cancelled and failed actions were already counted when they were
+    // claimed (stream_cancel / mark_domain_lost / fail_action); counting
+    // them here again would break the completed+failed+cancelled ==
+    // enqueued invariant the loss-stress tests pin down.
+    if (!rec.cancelled && !rec.failed) {
+      ++stats_.actions_completed;
+    }
+    const DomainId completion_domain = dep.stream->domain;
     if (rec.type == ActionType::transfer && !rec.cancelled &&
-        stream_state(rec.stream).domain != kHostDomain) {
+        completion_domain != kHostDomain) {
       stats_.bytes_transferred += rec.transfer.length;
+    }
+    // Dirty-range bookkeeping (see Buffer): a device compute that ran to
+    // completion makes its written ranges newer than the host copy; a
+    // completed transfer in either direction makes host and device agree
+    // over its range. Cancelled actions had no effects; a failed body's
+    // partial effects are garbage, not data worth preserving.
+    if (!rec.cancelled && !rec.failed && completion_domain != kHostDomain) {
+      try {
+        if (rec.type == ActionType::compute) {
+          for (const Operand& op : rec.operands) {
+            if (writes(op.access)) {
+              buffers_.get(op.buffer).mark_dirty(completion_domain, op.offset,
+                                                 op.length);
+            }
+          }
+        } else if (rec.type == ActionType::transfer) {
+          buffers_.get(rec.transfer.buffer)
+              .clear_dirty(completion_domain, rec.transfer.offset,
+                           rec.transfer.length);
+        }
+      } catch (const Error&) {
+        // The buffer was destroyed while this action drained; nothing
+        // left to track.
+      }
     }
 
     auto& window = dep.stream->window;
@@ -880,6 +963,7 @@ void Runtime::fail_action(ActionId id, std::exception_ptr error) {
       return;  // already failed by cancellation or domain loss
     }
     it->second.record->claimed = true;
+    it->second.record->failed = true;
     ++stats_.actions_failed;
     push_pending_error(std::move(error));
   }
@@ -1027,21 +1111,99 @@ Status Runtime::event_wait_host(
 
 // --- Fault hooks (executor interface) ---------------------------------------
 
-FaultDecision Runtime::next_transfer_fault(DomainId domain) {
+FaultDecision Runtime::next_transfer_fault(DomainId domain,
+                                           std::uint64_t transfer,
+                                           int attempt) {
   if (!injector_.enabled()) {
     return {};  // keep the fault-free transfer hot path lock-free
   }
-  const FaultDecision decision = injector_.on_transfer(domain);
-  if (decision.kind != FaultKind::none) {
+  const FaultDecision decision = injector_.on_transfer(domain, transfer,
+                                                       attempt);
+  {
     const std::scoped_lock lock(mutex_);
-    ++stats_.faults_injected;
+    switch (decision.kind) {
+      case FaultKind::none:
+        ++health_[domain.value].successes;
+        health_sample(domain, 1.0);
+        break;
+      case FaultKind::transient_error:
+        ++stats_.faults_injected;
+        health_sample(domain, 0.0);
+        break;
+      case FaultKind::link_stall:
+        ++stats_.faults_injected;
+        ++health_[domain.value].stalls;
+        health_sample(domain, 0.5);  // succeeded, but late
+        break;
+      case FaultKind::device_loss:
+        ++stats_.faults_injected;
+        // mark_domain_lost (which the executor calls next) pins the
+        // health at zero; nothing to sample here.
+        break;
+    }
   }
   return decision;
 }
 
-void Runtime::note_transfer_retry() {
+void Runtime::note_transfer_retry(DomainId domain) {
   const std::scoped_lock lock(mutex_);
   ++stats_.transfers_retried;
+  ++health_[domain.value].retries;
+}
+
+void Runtime::note_partial_recovery(std::uint64_t reexecuted) {
+  const std::scoped_lock lock(mutex_);
+  ++stats_.partial_recoveries;
+  stats_.actions_reexecuted += reexecuted;
+}
+
+void Runtime::health_sample(DomainId id, double outcome) {
+  if (health_[id.value].sample(outcome, config_.health)) {
+    ++stats_.links_degraded;
+    log_error("link to domain %u degraded (health %.3f); steering new work "
+              "away", id.value, health_[id.value].score);
+  }
+}
+
+LinkHealth Runtime::link_health(DomainId id) const {
+  const std::scoped_lock lock(mutex_);
+  require(id.value < domains_.size(), "unknown domain", Errc::not_found);
+  return health_[id.value];
+}
+
+bool Runtime::link_degraded(DomainId id) const {
+  const std::scoped_lock lock(mutex_);
+  require(id.value < domains_.size(), "unknown domain", Errc::not_found);
+  return health_[id.value].degraded;
+}
+
+DomainId Runtime::pick_healthy(std::span<const DomainId> candidates) {
+  require(!candidates.empty(), "pick_healthy needs candidates");
+  const std::scoped_lock lock(mutex_);
+  const DomainId preferred = candidates.front();
+  const DomainId* fallback = nullptr;
+  for (const DomainId& c : candidates) {
+    require(c.value < domains_.size(), "unknown domain", Errc::not_found);
+    if (!domains_[c.value].alive()) {
+      continue;
+    }
+    if (!health_[c.value].degraded) {
+      if (c != preferred) {
+        ++stats_.placements_steered;
+      }
+      return c;
+    }
+    if (fallback == nullptr) {
+      fallback = &c;  // degraded beats dead
+    }
+  }
+  if (fallback != nullptr) {
+    if (*fallback != preferred) {
+      ++stats_.placements_steered;
+    }
+    return *fallback;
+  }
+  throw Error(Errc::device_lost, "pick_healthy: no candidate domain alive");
 }
 
 RuntimeStats Runtime::stats() const {

@@ -35,6 +35,7 @@
 #include "core/types.hpp"
 #include "interconnect/buffer_pool.hpp"
 #include "interconnect/fault.hpp"
+#include "interconnect/health.hpp"
 #include "interconnect/topology.hpp"
 #include "threading/cpu_mask.hpp"
 
@@ -68,6 +69,11 @@ struct RuntimeStats {
                                   ///< without re-running conflict analysis
   std::uint64_t transfers_coalesced = 0;  ///< transfer nodes merged/dropped
                                           ///< by graph passes
+  std::uint64_t links_degraded = 0;    ///< links that crossed into degraded
+  std::uint64_t placements_steered = 0;  ///< pick_healthy calls that avoided
+                                         ///< a degraded (or dead) choice
+  std::uint64_t partial_recoveries = 0;  ///< graph-based subset re-launches
+  std::uint64_t actions_reexecuted = 0;  ///< actions re-admitted by recovery
 };
 
 /// Construction-time configuration.
@@ -87,6 +93,9 @@ struct RuntimeConfig {
   /// How executors retry transient transfer failures before declaring
   /// the device lost.
   RetryPolicy retry;
+  /// Link-health EWMA tuning for fault-aware placement
+  /// (interconnect/health.hpp).
+  HealthPolicy health;
 };
 
 /// Where enqueues go during graph capture: instead of being admitted into
@@ -145,15 +154,38 @@ class Runtime {
   void mark_domain_lost(DomainId id);
   /// Moves a buffer off the (typically lost) domain `from`: the
   /// incarnation in `to` is created if absent, refreshed from the host
-  /// incarnation (the authoritative copy on this host-centric topology),
-  /// and the `from` incarnation is dropped with its budget refunded.
+  /// incarnation, and the `from` incarnation is dropped with its budget
+  /// refunded. The host copy is only authoritative over ranges the
+  /// device never wrote: if `from` is still alive and holds dirty ranges
+  /// (device computes wrote them and nothing synced them back), those
+  /// ranges are copied device->host first, so evacuation never
+  /// resurrects stale host data. If `from` is dead and dirty, the only
+  /// current copy died with it: the call fails with Errc::data_loss
+  /// unless `discard_dirty` is set (recovery paths that restore from
+  /// their own checkpoint, or will re-execute the producers, pass true).
   /// The buffer must be quiescent — synchronize first. Returns
   /// device_lost if `to` is dead, resource_exhausted if `to` lacks
   /// memory, not_found for unknown ids.
-  Status evacuate(BufferId id, DomainId from, DomainId to);
+  Status evacuate(BufferId id, DomainId from, DomainId to,
+                  bool discard_dirty = false);
   /// All domains of a given kind, in id order (domain discovery, §II).
   [[nodiscard]] std::vector<DomainId> domains_of_kind(DomainKind kind) const;
   [[nodiscard]] const Topology& topology() const noexcept { return topology_; }
+
+  // --- Link health (fault-aware placement) -------------------------------
+  /// Health state of the link to `domain`: an EWMA over transfer-attempt
+  /// outcomes fed from the fault injector's decisions and retry notes.
+  [[nodiscard]] LinkHealth link_health(DomainId id) const;
+  /// Hysteresis verdict: true once the link's score fell below
+  /// HealthPolicy::degrade_below and until it recovers above
+  /// recover_above (sticky at device loss).
+  [[nodiscard]] bool link_degraded(DomainId id) const;
+  /// Placement helper: the first candidate that is alive and not
+  /// degraded; falls back to the first alive candidate when every
+  /// survivor is degraded (degraded beats dead), and throws
+  /// Errc::device_lost when no candidate is alive. Counts a steered
+  /// placement whenever the answer differs from the first candidate.
+  [[nodiscard]] DomainId pick_healthy(std::span<const DomainId> candidates);
 
   // --- Buffers -----------------------------------------------------------
   /// Wraps user memory [base, base+size) as a buffer in the proxy space.
@@ -324,11 +356,19 @@ class Runtime {
   /// Called by executors when a task body threw; captures the error for
   /// the next synchronization point and completes the action.
   void fail_action(ActionId id, std::exception_ptr error);
-  /// Decides the fate of the next transfer attempt targeting `domain`
-  /// (consults the FaultInjector, counts injected faults).
-  [[nodiscard]] FaultDecision next_transfer_fault(DomainId domain);
-  /// Counts one backoff retry of a transient transfer failure.
-  void note_transfer_retry();
+  /// Decides the fate of attempt `attempt` of the transfer with stable
+  /// per-domain id `transfer` targeting `domain` (consults the
+  /// FaultInjector, counts injected faults, feeds the link-health EWMA).
+  /// Executors pass ActionRecord::transfer_seq as the id.
+  [[nodiscard]] FaultDecision next_transfer_fault(DomainId domain,
+                                                  std::uint64_t transfer,
+                                                  int attempt);
+  /// Counts one backoff retry of a transient transfer failure on the
+  /// link to `domain`.
+  void note_transfer_retry(DomainId domain);
+  /// Counts one graph-based partial recovery that re-admitted
+  /// `reexecuted` actions (graph/replay.cpp).
+  void note_partial_recovery(std::uint64_t reexecuted);
   [[nodiscard]] const RetryPolicy& retry_policy() const noexcept {
     return config_.retry;
   }
@@ -389,6 +429,10 @@ class Runtime {
   /// Throws Errc::device_lost unless the domain is alive (lock held).
   void require_domain_alive(DomainId id) const;
 
+  /// Folds one transfer-attempt outcome into `domain`'s health EWMA
+  /// (lock held); counts degradation transitions.
+  void health_sample(DomainId id, double outcome);
+
   RuntimeConfig config_;
   std::unique_ptr<Executor> executor_;
   Topology topology_;
@@ -398,6 +442,11 @@ class Runtime {
   std::condition_variable cv_;
 
   std::vector<Domain> domains_;
+  /// Per-domain link health, indexed by domain id (host entry unused).
+  std::vector<LinkHealth> health_;
+  /// Per-domain enqueue-order transfer ids (the FaultInjector identity
+  /// key), indexed by domain id.
+  std::vector<std::uint64_t> next_transfer_seq_;
   std::vector<std::unique_ptr<StreamState>> streams_;
   BufferTable buffers_;
   /// Bytes charged against each (domain, kind) budget.

@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstring>
+#include <vector>
 
 #include "core/runtime.hpp"
 
@@ -18,6 +19,70 @@ ThreadedExecutor::~ThreadedExecutor() = default;
 void ThreadedExecutor::attach(Runtime& runtime) {
   runtime_ = &runtime;
   copiers_ = std::make_unique<ThreadPool>(config_.transfer_workers);
+  retry_timer_ = std::make_unique<RetryTimer>();
+}
+
+// --- RetryTimer --------------------------------------------------------------
+
+ThreadedExecutor::RetryTimer::~RetryTimer() {
+  std::vector<std::function<void()>> leftovers;
+  {
+    const std::scoped_lock lock(mutex_);
+    stop_ = true;
+    // Deadlines no longer matter: hand every pending retry back now so
+    // held resources (in-flight claims, completion callbacks) unwind
+    // through the normal attempt path.
+    for (auto& [deadline, fn] : pending_) {
+      leftovers.push_back(std::move(fn));
+    }
+    pending_.clear();
+    cv_.notify_all();
+  }
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  for (auto& fn : leftovers) {
+    fn();
+  }
+}
+
+void ThreadedExecutor::RetryTimer::schedule_after(double delay_s,
+                                                  std::function<void()> fn) {
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(delay_s));
+  {
+    const std::scoped_lock lock(mutex_);
+    require(!stop_, "RetryTimer used after shutdown", Errc::internal);
+    pending_.emplace(deadline, std::move(fn));
+    if (!thread_.joinable()) {
+      thread_ = std::thread([this] { timer_main(); });
+    }
+  }
+  cv_.notify_all();
+}
+
+void ThreadedExecutor::RetryTimer::timer_main() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    if (stop_) {
+      return;
+    }
+    if (pending_.empty()) {
+      cv_.wait(lock, [this] { return stop_ || !pending_.empty(); });
+      continue;
+    }
+    const auto next = pending_.begin()->first;
+    if (Clock::now() < next) {
+      cv_.wait_until(lock, next);
+      continue;
+    }
+    auto fn = std::move(pending_.begin()->second);
+    pending_.erase(pending_.begin());
+    lock.unlock();
+    fn();
+    lock.lock();
+  }
 }
 
 double ThreadedExecutor::now() const {
@@ -143,47 +208,59 @@ void ThreadedExecutor::run_transfer(const std::shared_ptr<ActionRecord>& action,
     done();
     return;
   }
+  begin_work();
+  submit_transfer_attempt(action, domain, 0, std::move(done));
+}
+
+void ThreadedExecutor::submit_transfer_attempt(
+    std::shared_ptr<ActionRecord> action, DomainId domain, int failures,
+    CompletionFn done) {
   const std::size_t copier =
       next_copier_.fetch_add(1, std::memory_order_relaxed) %
       copiers_->worker_count();
-  begin_work();
-  copiers_->submit(copier, [this, action, domain, done = std::move(done)] {
-    const RetryPolicy& retry = runtime_->retry_policy();
-    int failures = 0;
-    for (;;) {
-      if (!runtime_->domain_alive(domain)) {
-        // Lost while we were queued or backing off; the runtime already
-        // failed the action.
-        end_work();
-        done();
-        return;
-      }
-      const FaultDecision fault = runtime_->next_transfer_fault(domain);
-      if (fault.kind == FaultKind::device_loss) {
+  copiers_->submit(copier, [this, action = std::move(action), domain, failures,
+                            done = std::move(done)]() mutable {
+    if (!runtime_->domain_alive(domain)) {
+      // Lost while we were queued or backing off; the runtime already
+      // failed the action.
+      end_work();
+      done();
+      return;
+    }
+    const FaultDecision fault = runtime_->next_transfer_fault(
+        domain, action->transfer_seq, failures);
+    if (fault.kind == FaultKind::device_loss) {
+      end_work();
+      runtime_->mark_domain_lost(domain);
+      return;
+    }
+    if (fault.kind == FaultKind::transient_error) {
+      const RetryPolicy& retry = runtime_->retry_policy();
+      ++failures;
+      if (failures >= retry.max_attempts) {
+        // Retry budget exhausted: treat the link as gone for good.
         end_work();
         runtime_->mark_domain_lost(domain);
         return;
       }
-      if (fault.kind == FaultKind::transient_error) {
-        ++failures;
-        if (failures >= retry.max_attempts) {
-          // Retry budget exhausted: treat the link as gone for good.
-          end_work();
-          runtime_->mark_domain_lost(domain);
-          return;
-        }
-        runtime_->note_transfer_retry();
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(retry.backoff_seconds(failures)));
-        continue;
-      }
-      if (fault.kind == FaultKind::link_stall) {
-        // The attempt succeeds, just late: pay the added latency in wall
-        // time, then proceed with the copy.
-        std::this_thread::sleep_for(
-            std::chrono::duration<double>(fault.stall_s));
-      }
-      break;
+      runtime_->note_transfer_retry(domain);
+      // Requeue instead of sleeping: the copier stays free for other
+      // domains' transfers while this one waits out its backoff (a
+      // sleeping copier would head-of-line block everything sharing it).
+      // The in-flight claim stays held so quiesce() outwaits the retry.
+      retry_timer_->schedule_after(
+          retry.backoff_seconds(failures),
+          [this, action = std::move(action), domain, failures,
+           done = std::move(done)]() mutable {
+            submit_transfer_attempt(std::move(action), domain, failures,
+                                    std::move(done));
+          });
+      return;
+    }
+    if (fault.kind == FaultKind::link_stall) {
+      // The attempt succeeds, just late: pay the added latency in wall
+      // time, then proceed with the copy.
+      std::this_thread::sleep_for(std::chrono::duration<double>(fault.stall_s));
     }
     const TransferPayload& t = action->transfer;
     std::byte* host_side =

@@ -14,7 +14,9 @@
 // leader) while bounding oversubscription.
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
+#include <functional>
 #include <map>
 #include <memory>
 #include <thread>
@@ -60,6 +62,14 @@ class ThreadedExecutor final : public Executor {
                    CompletionFn done);
   void run_transfer(const std::shared_ptr<ActionRecord>& action,
                     CompletionFn done);
+  /// One copier-side transfer attempt. `failures` counts transient
+  /// failures so far; a further transient schedules a timed resubmit via
+  /// the retry timer instead of sleeping the copier (which would
+  /// head-of-line block unrelated transfers sharing it). The in-flight
+  /// claim (begin_work) is held across resubmits.
+  void submit_transfer_attempt(std::shared_ptr<ActionRecord> action,
+                               DomainId domain, int failures,
+                               CompletionFn done);
 
   // In-flight work accounting for quiesce(): a claimed-failed action's
   // body may still be running on a pool thread after its window entry
@@ -67,12 +77,35 @@ class ThreadedExecutor final : public Executor {
   void begin_work();
   void end_work();
 
+  /// Timer thread for transfer-retry backoffs: closures run after their
+  /// deadline on the timer thread (which immediately hands the attempt
+  /// back to a copier). Keeping backoffs here instead of sleeping in the
+  /// copier keeps copiers available for unrelated transfers.
+  class RetryTimer {
+   public:
+    ~RetryTimer();
+    void schedule_after(double delay_s, std::function<void()> fn);
+
+   private:
+    void timer_main();
+
+    using Clock = std::chrono::steady_clock;
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::multimap<Clock::time_point, std::function<void()>> pending_;
+    bool stop_ = false;
+    std::thread thread_;  // started lazily on first schedule
+  };
+
   ThreadedExecutorConfig config_;
   Runtime* runtime_ = nullptr;
   std::mutex setup_mutex_;  // guards lazily-built pools/teams
   std::map<DomainId, std::unique_ptr<ThreadPool>> pools_;
   std::map<StreamId, TeamEntry> teams_;
   std::unique_ptr<ThreadPool> copiers_;
+  // Declared after copiers_: destroyed first, so a late-firing retry can
+  // still resubmit into a live copier pool during teardown.
+  std::unique_ptr<RetryTimer> retry_timer_;
   std::atomic<std::size_t> next_copier_{0};
   std::chrono::steady_clock::time_point epoch_;
   std::mutex work_mutex_;

@@ -255,4 +255,129 @@ std::string to_string(const CriticalPathReport& report,
   return os.str();
 }
 
+// --- Partial re-execution planning ------------------------------------------
+
+RecoveryPlan plan_recovery(const TaskGraph& graph,
+                           const std::function<bool(std::uint32_t)>& lost) {
+  graph.validate();
+  const std::size_t n = graph.nodes.size();
+
+  // Forward adjacency over the captured edges (preds + in-graph waits).
+  std::vector<std::vector<std::uint32_t>> successors(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const GraphNode& node = graph.nodes[i];
+    for (const std::uint32_t pred : node.preds) {
+      successors[pred].push_back(i);
+    }
+    if (node.wait_node != kNoNode) {
+      successors[node.wait_node].push_back(i);
+    }
+  }
+
+  // Per-buffer writer index: (node, written range). Alloc nodes are
+  // excluded — their whole-buffer zero-fill is not a value co-writers
+  // need rolled back (rule 2 in the header).
+  struct Writer {
+    std::uint32_t node;
+    std::size_t offset;
+    std::size_t length;
+  };
+  std::unordered_map<std::uint32_t, std::vector<Writer>> writers;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const GraphNode& node = graph.nodes[i];
+    if (node.type == ActionType::alloc) {
+      continue;
+    }
+    for (const Operand& op : node.operands) {
+      if (writes(op.access)) {
+        writers[op.buffer.value].push_back({i, op.offset, op.length});
+      }
+    }
+  }
+
+  std::vector<char> member(n, 0);
+  std::vector<std::uint32_t> worklist;
+  const auto add = [&](std::uint32_t i) {
+    if (!member[i]) {
+      member[i] = 1;
+      worklist.push_back(i);
+    }
+  };
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (lost(i)) {
+      add(i);
+    }
+  }
+
+  while (!worklist.empty()) {
+    const std::uint32_t i = worklist.back();
+    worklist.pop_back();
+    for (const std::uint32_t succ : successors[i]) {
+      add(succ);
+    }
+    const GraphNode& node = graph.nodes[i];
+    if (node.type == ActionType::alloc) {
+      continue;
+    }
+    for (const Operand& op : node.operands) {
+      if (!writes(op.access)) {
+        continue;
+      }
+      const auto it = writers.find(op.buffer.value);
+      if (it == writers.end()) {
+        continue;
+      }
+      for (const Writer& w : it->second) {
+        if (w.offset < op.offset + op.length &&
+            op.offset < w.offset + w.length) {
+          add(w.node);
+        }
+      }
+    }
+  }
+
+  RecoveryPlan plan;
+  // Merged written intervals per buffer -> restore list.
+  std::unordered_map<std::uint32_t, std::map<std::size_t, std::size_t>> spans;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (!member[i]) {
+      continue;
+    }
+    plan.rerun.push_back(i);
+    const GraphNode& node = graph.nodes[i];
+    if (node.type == ActionType::alloc) {
+      continue;
+    }
+    for (const Operand& op : node.operands) {
+      if (!writes(op.access) || op.length == 0) {
+        continue;
+      }
+      auto& ranges = spans[op.buffer.value];
+      std::size_t begin = op.offset;
+      std::size_t end = op.offset + op.length;
+      auto it = ranges.lower_bound(begin);
+      if (it != ranges.begin()) {
+        const auto prev = std::prev(it);
+        if (prev->second >= begin) {
+          begin = prev->first;
+          end = std::max(end, prev->second);
+          ranges.erase(prev);
+        }
+      }
+      while (it != ranges.end() && it->first <= end) {
+        end = std::max(end, it->second);
+        it = ranges.erase(it);
+      }
+      ranges[begin] = end;
+    }
+  }
+  for (const auto& [buffer, ranges] : spans) {
+    for (const auto& [begin, end] : ranges) {
+      plan.restore.push_back(
+          Operand{BufferId{buffer}, begin, end - begin, Access::out});
+    }
+  }
+  return plan;
+}
+
 }  // namespace hs::graph

@@ -19,6 +19,7 @@
 //     question a tuner asks first.
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <string>
 #include <vector>
@@ -88,5 +89,44 @@ struct CriticalPathReport {
 [[nodiscard]] std::string to_string(const CriticalPathReport& report,
                                     const TaskGraph& graph,
                                     const CostParams& params = {});
+
+// --- Partial re-execution planning ------------------------------------------
+
+/// What to re-run after a mid-launch failure, computed by plan_recovery.
+struct RecoveryPlan {
+  /// Node indices to re-admit (ascending — launch_subset order).
+  std::vector<std::uint32_t> rerun;
+  /// Byte ranges the rerun nodes write, merged per buffer (access is
+  /// always out). Before relaunching, the caller must roll the *host*
+  /// copy of these ranges back to its pre-launch contents (from its own
+  /// checkpoint): every writer of every listed range is in `rerun`, so
+  /// re-executing from the pre-launch state reproduces the lost values.
+  std::vector<Operand> restore;
+};
+
+/// Computes the minimal sound re-execution set after a partial launch
+/// failure. `lost(i)` says whether node i's effects cannot be trusted —
+/// typically GraphExec::Launch::lost after the launch drained (actions
+/// claimed-failed on a dead domain, or whose bodies threw).
+///
+/// The set is the least fixpoint closed under two rules:
+///   1. *Successors*: every captured edge (preds + in-graph waits) out
+///      of a member joins — any node that could have observed a lost
+///      value re-runs. (Cross-stream data flow is always ordered through
+///      captured wait edges in a well-formed program, so edge closure
+///      subsumes data-flow closure.)
+///   2. *Co-writers*: if a member writes a byte range, every other
+///      writer of an overlapping range joins — the range will be rolled
+///      back to its pre-launch contents (RecoveryPlan::restore), so all
+///      of its history must replay, not just the lost suffix. (Alloc
+///      nodes are exempt: their whole-buffer "write" is a zero-fill, not
+///      a value anyone rolls back.)
+///
+/// Values the set *reads* but does not rewrite are untouched: their
+/// writers all completed, so host (or surviving-incarnation) copies are
+/// current, and the rerun transfers inside the set re-populate whatever
+/// device incarnations the re-homed subgraph needs.
+[[nodiscard]] RecoveryPlan plan_recovery(
+    const TaskGraph& graph, const std::function<bool(std::uint32_t)>& lost);
 
 }  // namespace hs::graph

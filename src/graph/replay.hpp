@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
@@ -33,7 +34,11 @@ class GraphExec {
   GraphExec(Runtime& runtime, TaskGraph graph);
 
   /// Replays nodes captured on `captured` into `replacement` instead.
-  /// Both streams must live on the same domain with the same policy.
+  /// Both streams must live on the same domain with the same policy —
+  /// unless the captured stream's domain has been declared lost, in
+  /// which case the remap may cross domains (same policy still
+  /// required): that is how recovery re-homes a dead card's subgraph
+  /// onto a survivor.
   void map_stream(StreamId captured, StreamId replacement);
 
   /// Rebinds every operand and transfer on buffer `captured` to
@@ -43,12 +48,24 @@ class GraphExec {
   void bind(BufferId captured, BufferId replacement);
   void clear_bindings();
 
-  /// One replayed instance: per-node completion events, in node order.
+  /// One replayed instance: per-node completion events and records, in
+  /// node order (subset launches leave non-member slots null).
   struct Launch {
     std::vector<std::shared_ptr<EventState>> events;
+    /// The per-launch records. Read-only after the launch drains:
+    /// recovery planning inspects the cancelled/failed flags to seed the
+    /// re-execution set.
+    std::vector<std::shared_ptr<ActionRecord>> records;
     [[nodiscard]] const std::shared_ptr<EventState>& event(
         std::uint32_t node) const {
       return events.at(node);
+    }
+    /// True if the node's effects cannot be trusted: it was claimed-
+    /// failed (domain loss / cancellation) or its body threw. Only
+    /// meaningful once the launch has drained.
+    [[nodiscard]] bool lost(std::uint32_t node) const {
+      const auto& record = records.at(node);
+      return record != nullptr && (record->cancelled || record->failed);
     }
   };
 
@@ -59,11 +76,26 @@ class GraphExec {
   /// later ones.
   Launch launch();
 
+  /// Admits only `nodes` (ascending node indices — typically a
+  /// RecoveryPlan::rerun set). Edges between two subset members are
+  /// kept; edges from a non-member are dropped (the non-member completed
+  /// in the prior launch, so the dependence is already satisfied), and
+  /// an in-graph wait on a non-member producer is satisfied immediately.
+  /// Combined with map_stream re-homing dead streams and the caller
+  /// rolling back the written host ranges (RecoveryPlan::restore), this
+  /// is partial re-execution: only the lost subgraph runs again. Counts
+  /// into partial_recoveries / actions_reexecuted.
+  Launch launch_subset(std::span<const std::uint32_t> nodes);
+
   [[nodiscard]] const TaskGraph& graph() const noexcept { return graph_; }
 
  private:
   [[nodiscard]] BufferId mapped(BufferId id) const;
   [[nodiscard]] StreamId mapped(StreamId id) const;
+  /// Fresh per-launch record for one node (stream/buffer maps applied;
+  /// alloc nodes instantiate). Wait events are wired by the callers.
+  [[nodiscard]] std::shared_ptr<ActionRecord> materialize(
+      const GraphNode& node);
 
   Runtime& runtime_;
   TaskGraph graph_;

@@ -8,22 +8,28 @@
 // scheduler above can be exercised against them:
 //
 //   * FaultPlan — construction-time description of which faults occur,
-//     either as seeded per-transfer probabilities or as an explicit
-//     deterministic schedule (domain, transfer-index) -> fault.
+//     either as seeded per-attempt probabilities or as an explicit
+//     deterministic schedule (domain, transfer-id, attempt) -> fault.
 //   * FaultInjector — the runtime-owned decision oracle. Decisions are a
-//     pure function of (seed, domain, per-domain transfer index), so the
-//     same plan produces the same fault sequence on every backend and
-//     every run, regardless of thread interleaving.
+//     pure function of (seed, domain, transfer id, attempt), where the
+//     transfer id is assigned in per-domain *enqueue* order under the
+//     runtime lock — a stable identity that does not depend on which
+//     copier thread happens to run the attempt first. The same plan
+//     therefore produces the same fault *assignment* on every backend
+//     and every run, regardless of thread interleaving. (The injector
+//     log records decisions in consumption order, which on the threaded
+//     backend can be a permutation of the deterministic assignment.)
 //   * RetryPolicy — how executors respond: exponential backoff up to
 //     max_attempts, after which the device is declared lost.
 //
 // Executors honor decisions in their own notion of time: the threaded
-// backend really sleeps through stalls and backoffs, the simulator
-// schedules them in virtual time.
+// backend pays stalls and backoffs in wall time (backoffs via a timed
+// resubmit, so a copier is never parked), the simulator schedules them
+// in virtual time.
 
+#include <algorithm>
 #include <cstdint>
 #include <mutex>
-#include <unordered_map>
 #include <vector>
 
 #include "common/status.hpp"
@@ -49,11 +55,13 @@ enum class FaultKind {
   return "unknown";
 }
 
-/// One explicitly scheduled fault: hits the `transfer_index`-th transfer
-/// attempt (0-based, counted per domain) targeting `domain`.
+/// One explicitly scheduled fault: hits attempt `attempt` (0-based) of
+/// the transfer whose per-domain enqueue-order id is `transfer_index`,
+/// targeting `domain`.
 struct ScheduledFault {
   DomainId domain;
   std::uint64_t transfer_index = 0;
+  int attempt = 0;
   FaultKind kind = FaultKind::transient_error;
   double stall_s = 0.0;  ///< for link_stall; 0 = use the plan default
 };
@@ -103,14 +111,16 @@ struct FaultDecision {
 struct InjectedFault {
   DomainId domain;
   std::uint64_t transfer_index = 0;
+  int attempt = 0;
   FaultKind kind = FaultKind::none;
   double stall_s = 0.0;
 
   friend bool operator==(const InjectedFault&, const InjectedFault&) = default;
 };
 
-/// Runtime-owned fault oracle. Thread-safe; decisions depend only on the
-/// plan and the per-domain attempt index, never on wall time.
+/// Runtime-owned fault oracle. Thread-safe; each decision depends only on
+/// the plan and the attempt's stable identity (domain, transfer id,
+/// attempt ordinal), never on wall time or consumption order.
 class FaultInjector {
  public:
   explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
@@ -118,21 +128,25 @@ class FaultInjector {
   [[nodiscard]] bool enabled() const noexcept { return plan_.enabled(); }
   [[nodiscard]] const FaultPlan& plan() const noexcept { return plan_; }
 
-  /// Decides the fate of the next transfer attempt targeting `domain`.
-  /// Every call consumes one per-domain attempt index.
-  [[nodiscard]] FaultDecision on_transfer(DomainId domain) {
-    const std::scoped_lock lock(mutex_);
-    const std::uint64_t index = attempts_[domain.value]++;
+  /// Decides the fate of attempt `attempt` (0-based) of the transfer with
+  /// per-domain enqueue-order id `transfer` targeting `domain`. Pure in
+  /// its arguments; calling twice with the same identity returns the same
+  /// verdict (only the first call is logged by the runtime's wrapper).
+  [[nodiscard]] FaultDecision on_transfer(DomainId domain,
+                                          std::uint64_t transfer,
+                                          int attempt) {
     FaultDecision decision;
     for (const ScheduledFault& f : plan_.schedule) {
-      if (f.domain == domain && f.transfer_index == index) {
+      if (f.domain == domain && f.transfer_index == transfer &&
+          f.attempt == attempt) {
         decision.kind = f.kind;
         decision.stall_s = f.stall_s > 0.0 ? f.stall_s : plan_.stall_s;
         break;
       }
     }
     if (decision.kind == FaultKind::none) {
-      const double u = hash01(plan_.seed, domain.value, index);
+      const double u = hash01(plan_.seed, domain.value, transfer,
+                              static_cast<std::uint64_t>(attempt));
       if (u < plan_.p_device_loss) {
         decision.kind = FaultKind::device_loss;
       } else if (u < plan_.p_device_loss + plan_.p_transient) {
@@ -143,25 +157,36 @@ class FaultInjector {
       }
     }
     if (decision.kind != FaultKind::none) {
-      log_.push_back({domain, index, decision.kind, decision.stall_s});
+      const std::scoped_lock lock(mutex_);
+      log_.push_back({domain, transfer, attempt, decision.kind,
+                      decision.stall_s});
     }
     return decision;
   }
 
-  /// Snapshot of every fault injected so far, in decision order. Two runs
-  /// of the same deterministic workload must produce identical logs.
+  /// Snapshot of every fault injected so far. Decision *content* is
+  /// deterministic; on the threaded backend the push order can be a
+  /// permutation (compare canonicalized — see canonical_log()).
   [[nodiscard]] std::vector<InjectedFault> log() const {
     const std::scoped_lock lock(mutex_);
     return log_;
   }
 
+  /// The log sorted by (domain, transfer id, attempt): interleaving-
+  /// independent, so it must match exactly between backends and runs for
+  /// the same workload + plan.
+  [[nodiscard]] std::vector<InjectedFault> canonical_log() const;
+
  private:
-  /// SplitMix64-style stateless hash of (seed, domain, index) -> [0, 1).
-  /// Stateless so thread interleaving cannot reorder the random stream.
+  /// SplitMix64-style stateless hash of (seed, domain, transfer, attempt)
+  /// -> [0, 1). Stateless so thread interleaving cannot reorder the
+  /// random stream.
   [[nodiscard]] static double hash01(std::uint64_t seed, std::uint64_t domain,
-                                     std::uint64_t index) noexcept {
-    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (index + 1) +
-                      0xbf58476d1ce4e5b9ULL * (domain + 1);
+                                     std::uint64_t transfer,
+                                     std::uint64_t attempt) noexcept {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (transfer + 1) +
+                      0xbf58476d1ce4e5b9ULL * (domain + 1) +
+                      0x94d049bb133111ebULL * (attempt + 1);
     z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
     z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
     z ^= z >> 31;
@@ -170,8 +195,22 @@ class FaultInjector {
 
   mutable std::mutex mutex_;
   FaultPlan plan_;
-  std::unordered_map<std::uint32_t, std::uint64_t> attempts_;
   std::vector<InjectedFault> log_;
 };
+
+inline std::vector<InjectedFault> FaultInjector::canonical_log() const {
+  std::vector<InjectedFault> out = log();
+  std::sort(out.begin(), out.end(),
+            [](const InjectedFault& a, const InjectedFault& b) {
+              if (a.domain.value != b.domain.value) {
+                return a.domain.value < b.domain.value;
+              }
+              if (a.transfer_index != b.transfer_index) {
+                return a.transfer_index < b.transfer_index;
+              }
+              return a.attempt < b.attempt;
+            });
+  return out;
+}
 
 }  // namespace hs

@@ -1,0 +1,62 @@
+#pragma once
+
+// Link-health tracking for fault-aware placement.
+//
+// The fault model (fault.hpp) tells us *what happened* on each link; this
+// header turns that history into a per-domain health score the scheduler
+// can consult before placing new work. The score is an exponentially
+// weighted moving average over transfer-attempt outcomes: clean attempts
+// pull it toward 1, transient failures toward 0, stalls count as half a
+// failure, and device loss pins it at 0. A hysteresis band converts the
+// continuous score into a stable degraded/healthy verdict so a single
+// transient cannot trigger a placement stampede (work would otherwise
+// slosh between domains on every blip).
+
+#include <cstdint>
+
+namespace hs {
+
+/// Tuning for the health EWMA and its hysteresis band
+/// (RuntimeConfig::health).
+struct HealthPolicy {
+  /// Weight of the newest attempt outcome in the EWMA. Higher = reacts
+  /// faster, forgets faster.
+  double alpha = 0.25;
+  /// A link whose score falls below this is declared degraded...
+  double degrade_below = 0.5;
+  /// ...and only recovers once the score climbs back above this.
+  double recover_above = 0.9;
+};
+
+/// Health state of the link to one domain.
+struct LinkHealth {
+  double score = 1.0;  ///< EWMA over attempt outcomes in [0, 1]; 1 = clean
+  bool degraded = false;  ///< hysteresis verdict; sticky at loss
+  std::uint64_t successes = 0;  ///< clean transfer-attempt decisions
+  std::uint64_t retries = 0;    ///< backoff retries after transients
+  std::uint64_t stalls = 0;     ///< attempts that succeeded late
+  std::uint64_t losses = 0;     ///< device-loss events (0 or 1)
+
+  /// Folds one attempt outcome into the score; returns true when this
+  /// sample flipped the link into the degraded state.
+  bool sample(double outcome, const HealthPolicy& policy) {
+    score += policy.alpha * (outcome - score);
+    if (!degraded && score < policy.degrade_below) {
+      degraded = true;
+      return true;
+    }
+    if (degraded && losses == 0 && score > policy.recover_above) {
+      degraded = false;
+    }
+    return false;
+  }
+
+  /// Device loss: the link is gone for good.
+  void lose() {
+    ++losses;
+    score = 0.0;
+    degraded = true;
+  }
+};
+
+}  // namespace hs

@@ -131,7 +131,8 @@ void SimExecutor::start_transfer_attempt(
     done();
     return;
   }
-  const FaultDecision fault = runtime_->next_transfer_fault(domain);
+  const FaultDecision fault = runtime_->next_transfer_fault(
+      domain, action->transfer_seq, failures);
   if (fault.kind == FaultKind::device_loss) {
     runtime_->mark_domain_lost(domain);
     return;
@@ -144,7 +145,7 @@ void SimExecutor::start_transfer_attempt(
       runtime_->mark_domain_lost(domain);
       return;
     }
-    runtime_->note_transfer_retry();
+    runtime_->note_transfer_retry(domain);
     // Exponential backoff in virtual time, then re-attempt.
     queue_.schedule_after(
         retry.backoff_seconds(failures),

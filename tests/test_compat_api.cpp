@@ -227,9 +227,9 @@ TEST_F(CompatApi, DeviceLossSurfacesAsResultCodeNotException) {
   RuntimeConfig config;
   config.platform = PlatformDesc::host_plus_cards(4, 1, 4);
   config.faults.schedule = {
-      {DomainId{1}, 0, FaultKind::transient_error, 0.0},
-      {DomainId{1}, 1, FaultKind::transient_error, 0.0},
-      {DomainId{1}, 2, FaultKind::transient_error, 0.0}};
+      {DomainId{1}, 0, 0, FaultKind::transient_error},
+      {DomainId{1}, 0, 1, FaultKind::transient_error},
+      {DomainId{1}, 0, 2, FaultKind::transient_error}};
   Runtime runtime(config, std::make_unique<ThreadedExecutor>());
   ASSERT_EQ(hStreams_InitWithRuntime(&runtime, 2), HSTR_RESULT_SUCCESS);
 

@@ -163,7 +163,7 @@ TEST_P(FailureInjection, StreamSynchronizeAlsoReports) {
 
 TEST_P(FailureInjection, TransientFaultIsRetriedThenSucceeds) {
   FaultPlan plan;
-  plan.schedule = {{DomainId{1}, 0, FaultKind::transient_error, 0.0}};
+  plan.schedule = {{DomainId{1}, 0, 0, FaultKind::transient_error}};
   auto rt = make_runtime(GetParam(), 1, plan);
 
   std::vector<double> x(64, 1.0);
@@ -196,7 +196,7 @@ TEST_P(FailureInjection, TransientFaultIsRetriedThenSucceeds) {
 
 TEST_P(FailureInjection, LinkStallDelaysButSucceeds) {
   FaultPlan plan;
-  plan.schedule = {{DomainId{1}, 0, FaultKind::link_stall, 0.005}};
+  plan.schedule = {{DomainId{1}, 0, 0, FaultKind::link_stall, 0.005}};
   auto rt = make_runtime(GetParam(), 1, plan);
 
   std::vector<double> x(64, 3.0);
@@ -218,9 +218,11 @@ TEST_P(FailureInjection, LinkStallDelaysButSucceeds) {
 
 TEST_P(FailureInjection, RetryExhaustionDeclaresDeviceLost) {
   FaultPlan plan;
-  plan.schedule = {{DomainId{1}, 0, FaultKind::transient_error, 0.0},
-                   {DomainId{1}, 1, FaultKind::transient_error, 0.0},
-                   {DomainId{1}, 2, FaultKind::transient_error, 0.0}};
+  // All three attempts of the first transfer fault: attempt-keyed
+  // scheduling pins the retries of one transfer, not three transfers.
+  plan.schedule = {{DomainId{1}, 0, 0, FaultKind::transient_error},
+                   {DomainId{1}, 0, 1, FaultKind::transient_error},
+                   {DomainId{1}, 0, 2, FaultKind::transient_error}};
   auto rt = make_runtime(GetParam(), 1, plan);  // default max_attempts = 3
 
   std::vector<double> x(64, 1.0);
@@ -265,7 +267,7 @@ TEST_P(FailureInjection, RetryExhaustionDeclaresDeviceLost) {
 
 TEST_P(FailureInjection, ScheduledDeviceLossKillsTheDomain) {
   FaultPlan plan;
-  plan.schedule = {{DomainId{1}, 0, FaultKind::device_loss, 0.0}};
+  plan.schedule = {{DomainId{1}, 0, 0, FaultKind::device_loss}};
   auto rt = make_runtime(GetParam(), 1, plan);
 
   std::vector<double> x(64, 1.0);
@@ -320,9 +322,9 @@ TEST_P(FailureInjection, SyncDeadlinesAndStreamCancelUnwedge) {
 
 TEST_P(FailureInjection, EvacuateRestoresTheSurvivorPath) {
   FaultPlan plan;
-  plan.schedule = {{DomainId{2}, 0, FaultKind::transient_error, 0.0},
-                   {DomainId{2}, 1, FaultKind::transient_error, 0.0},
-                   {DomainId{2}, 2, FaultKind::transient_error, 0.0}};
+  plan.schedule = {{DomainId{2}, 0, 0, FaultKind::transient_error},
+                   {DomainId{2}, 0, 1, FaultKind::transient_error},
+                   {DomainId{2}, 0, 2, FaultKind::transient_error}};
   auto rt = make_runtime(GetParam(), 2, plan);
 
   std::vector<double> x(64, 3.0);
@@ -367,7 +369,7 @@ TEST_P(FailureInjection, EvacuateRestoresTheSurvivorPath) {
 
 TEST_P(FailureInjection, CholeskyRecoversFromDeviceLoss) {
   FaultPlan plan;
-  plan.schedule = {{DomainId{2}, 2, FaultKind::device_loss, 0.0}};
+  plan.schedule = {{DomainId{2}, 2, 0, FaultKind::device_loss}};
   auto rt = make_runtime(GetParam(), 2, plan);
 
   Rng rng(42);
@@ -408,7 +410,7 @@ ChaosOutcome run_chaos_once() {
   plan.p_transient = 0.12;
   plan.p_stall = 0.15;
   plan.stall_s = 300e-6;
-  plan.schedule = {{DomainId{2}, 6, FaultKind::device_loss, 0.0}};
+  plan.schedule = {{DomainId{2}, 6, 0, FaultKind::device_loss}};
   auto rt = make_runtime(true, 2, plan);
 
   ChaosOutcome out;

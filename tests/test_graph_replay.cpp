@@ -659,7 +659,7 @@ TEST_P(GraphFault, DeviceLossMidReplaySurfacesAtSynchronize) {
   // runtime must stay usable, and relaunching on the dead domain must be
   // refused the same way an eager enqueue would be.
   FaultPlan plan;
-  plan.schedule = {{DomainId{1}, 0, FaultKind::device_loss, 0.0}};
+  plan.schedule = {{DomainId{1}, 0, 0, FaultKind::device_loss}};
   auto rt = make_runtime(GetParam(), 1, plan);
 
   std::vector<double> x(32, 1.0);
