@@ -9,6 +9,7 @@
 //     matrices that are 4800-10000 elements on a side."
 
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <vector>
 
@@ -181,8 +182,17 @@ void graph_replay_table() {
               "(N independent 3-operand computes, one stream)");
   table.header({"N", "eager us/action", "replay us/action", "speedup"});
   using clock = std::chrono::steady_clock;
-  constexpr int kReps = 25;
-  for (const std::size_t n : {64u, 256u, 512u, 1024u}) {
+  // HS_BENCH_QUICK=1 (the CI perf-smoke job): fewer reps, small-N rows
+  // only. Row keys stay a subset of the full sweep so the regression
+  // check can compare either run against the committed baseline.
+  const char* quick_env = std::getenv("HS_BENCH_QUICK");
+  const bool quick = quick_env != nullptr && quick_env[0] != '\0' &&
+                     !(quick_env[0] == '0' && quick_env[1] == '\0');
+  const int kReps = quick ? 8 : 25;
+  const std::vector<std::size_t> sizes =
+      quick ? std::vector<std::size_t>{64u, 256u}
+            : std::vector<std::size_t>{64u, 256u, 512u, 1024u};
+  for (const std::size_t n : sizes) {
     auto rt = sim_runtime(sim::hsw_plus_knc(1));
     std::vector<double> data(3 * n);
     const BufferId id =

@@ -27,6 +27,7 @@
 #include <memory>
 #include <string>
 
+#include "common/json_report.hpp"
 #include "common/status.hpp"
 #include "common/table.hpp"
 #include "core/runtime.hpp"
@@ -109,11 +110,30 @@ inline RetryPolicy retry_policy_from_env() {
   return retry;
 }
 
+/// Deleter that folds the runtime's admission-path counters into the
+/// JSON report before teardown: every bench's BENCH_*.json carries
+/// dep_scan_steps / dep_index_hits / lock_shard_contention without
+/// per-bench plumbing (benches build runtimes only through
+/// sim_runtime(), and write_json() runs after the last one dies).
+struct CountingRuntimeDeleter {
+  void operator()(Runtime* rt) const {
+    if (rt == nullptr) {
+      return;
+    }
+    const RuntimeStats s = rt->stats();
+    report::note_counter("dep_scan_steps", s.dep_scan_steps);
+    report::note_counter("dep_index_hits", s.dep_index_hits);
+    report::note_counter("lock_shard_contention", s.lock_shard_contention);
+    delete rt;
+  }
+};
+using SimRuntimePtr = std::unique_ptr<Runtime, CountingRuntimeDeleter>;
+
 /// Fresh simulation runtime for one data point. Honours HS_BENCH_FAULTS
 /// and HS_BENCH_RETRY (see the header comment).
-inline std::unique_ptr<Runtime> sim_runtime(const sim::SimPlatform& platform,
-                                            bool transfer_pool = true,
-                                            bool execute_payloads = false) {
+inline SimRuntimePtr sim_runtime(const sim::SimPlatform& platform,
+                                 bool transfer_pool = true,
+                                 bool execute_payloads = false) {
   RuntimeConfig config;
   config.platform = platform.desc;
   config.device_link = platform.link;
@@ -121,9 +141,9 @@ inline std::unique_ptr<Runtime> sim_runtime(const sim::SimPlatform& platform,
   config.transfer_pool_enabled = transfer_pool;
   config.faults = fault_plan_from_env();
   config.retry = retry_policy_from_env();
-  return std::make_unique<Runtime>(
+  return SimRuntimePtr(new Runtime(
       config,
-      std::make_unique<sim::SimExecutor>(platform, execute_payloads));
+      std::make_unique<sim::SimExecutor>(platform, execute_payloads)));
 }
 
 /// "x.xx (paper y)" cell helper for side-by-side reporting.

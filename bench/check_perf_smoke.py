@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Perf-smoke regression gate for the admission path.
+
+Compares the BENCH_overheads.json / BENCH_enqueue_scale.json produced by
+a (quick-mode) bench run in the current directory against the committed
+reference numbers in bench/baselines/BENCH_SUMMARY.json. Fails (exit 1)
+if any tracked per-action enqueue cost regresses by more than the
+baseline's max_regression factor (3x by default: generous enough for
+runner-to-runner variance, tight enough to catch an accidental return to
+O(window) scanning, which shows up as 5-20x at the tracked shapes).
+
+Usage: python3 bench/check_perf_smoke.py [baseline.json]
+(run from the directory holding the BENCH_*.json files).
+"""
+
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def table_rows(report, title_prefix):
+    for table in report["tables"]:
+        if table["title"].startswith(title_prefix):
+            return table["rows"]
+    raise SystemExit(f"no table starting with {title_prefix!r} in report")
+
+
+def main():
+    baseline_path = sys.argv[1] if len(sys.argv) > 1 else \
+        "bench/baselines/BENCH_SUMMARY.json"
+    baseline = load(baseline_path)
+    limit = float(baseline.get("max_regression", 3.0))
+    failures = []
+    checked = 0
+
+    def check(group, key, measured_us):
+        nonlocal checked
+        ref = baseline.get(group, {}).get(key)
+        if ref is None:
+            return
+        checked += 1
+        verdict = "ok" if measured_us <= ref * limit else "REGRESSED"
+        print(f"  {group}[{key}]: {measured_us:.3f} us/action "
+              f"(baseline {ref:.3f}, limit {ref * limit:.3f}) {verdict}")
+        if measured_us > ref * limit:
+            failures.append((group, key, measured_us, ref))
+
+    overheads = load("BENCH_overheads.json")
+    for row in table_rows(overheads, "Enqueue cost: eager vs graph replay"):
+        check("eager_us_per_action", f"N={row[0]}", float(row[1]))
+        check("replay_us_per_action", f"N={row[0]}", float(row[2]))
+
+    scale = load("BENCH_enqueue_scale.json")
+    for row in table_rows(scale, "Per-action enqueue cost"):
+        key = f"streams={row[0]},depth={row[1]},ops={row[2]}"
+        check("legacy_us_per_action", key, float(row[3]))
+        check("index_us_per_action", key, float(row[4]))
+
+    counters = scale.get("counters", {})
+    shapes = counters.get("acceptance_shapes", 0)
+    passed = counters.get("acceptance_shapes_2x", 0)
+    print(f"  enqueue_scale acceptance (>=2x at depth>=64, >=4 streams): "
+          f"{passed}/{shapes} shapes")
+
+    if checked == 0:
+        raise SystemExit("baseline matched no measured rows — "
+                         "baseline and sweep have drifted apart")
+    if failures:
+        for group, key, measured, ref in failures:
+            print(f"FAIL {group}[{key}]: {measured:.3f} us/action vs "
+                  f"baseline {ref:.3f} (> {limit:.1f}x)", file=sys.stderr)
+        raise SystemExit(1)
+    print(f"perf smoke: {checked} tracked costs within {limit:.1f}x "
+          "of baseline")
+
+
+if __name__ == "__main__":
+    main()

@@ -13,17 +13,35 @@
 //     hs::report::write_json("overheads");
 //   }
 //
-// Schema: {"bench": name, "tables": [{"title", "header": [...],
-// "rows": [[...], ...]}, ...]}. Cells stay strings — they are exactly
-// the printed cells, so the JSON can never drift from the ASCII output.
+// Schema: {"bench": name, "counters": {...}, "tables": [{"title",
+// "header": [...], "rows": [[...], ...]}, ...]}. Cells stay strings —
+// they are exactly the printed cells, so the JSON can never drift from
+// the ASCII output. Counters are numeric: runtime statistics
+// (dep_scan_steps, dep_index_hits, lock_shard_contention, ...) noted via
+// note_counter(), typically by bench_util's sim_runtime() wrapper at
+// runtime teardown.
 
+#include <cstdint>
 #include <fstream>
+#include <map>
 #include <string>
 
 #include "common/status.hpp"
 #include "common/table.hpp"
 
 namespace hs::report {
+
+/// Accumulated named counters for the next write_json() (process-global,
+/// like the table snapshots). Repeated notes of the same name sum, so a
+/// bench that builds several runtimes reports totals.
+inline std::map<std::string, std::uint64_t>& counters() {
+  static std::map<std::string, std::uint64_t> store;
+  return store;
+}
+
+inline void note_counter(const std::string& name, std::uint64_t value) {
+  counters()[name] += value;
+}
 
 /// JSON string escaping for table cells (quotes, backslashes, control
 /// characters; everything else passes through).
@@ -54,7 +72,15 @@ inline void write_json(const std::string& name) {
   const std::string path = "BENCH_" + name + ".json";
   std::ofstream os(path);
   require(os.good(), "cannot open " + path, Errc::internal);
-  os << "{\"bench\": \"" << json_escape(name) << "\", \"tables\": [";
+  os << "{\"bench\": \"" << json_escape(name) << "\", \"counters\": {";
+  {
+    std::size_t i = 0;
+    for (const auto& [key, value] : counters()) {
+      os << (i++ != 0 ? ", " : "") << "\"" << json_escape(key)
+         << "\": " << value;
+    }
+  }
+  os << "}, \"tables\": [";
   const auto& tables = snapshots();
   for (std::size_t t = 0; t < tables.size(); ++t) {
     const TableSnapshot& table = tables[t];

@@ -83,7 +83,10 @@ struct ActionRecord {
   bool failed = false;
 
   /// True if this action's operands (or barrier flag) conflict with an
-  /// earlier action's.
+  /// earlier action's. This pairwise test is the *reference* dependence
+  /// semantics: the admission fast path derives the same edge set from
+  /// the per-stream interval index (core/buffer.hpp), and the
+  /// HS_DEP_ORACLE debug mode cross-checks the two on every admission.
   [[nodiscard]] bool conflicts_with(const ActionRecord& earlier) const {
     if (full_barrier || earlier.full_barrier) {
       return true;

@@ -62,4 +62,152 @@ Operand BufferTable::resolve(const void* ptr, std::size_t len, Access access) {
   return Operand{buf.id(), buf.offset_of(ptr), len, access};
 }
 
+// --- BufferDepIndex ----------------------------------------------------------
+
+void BufferDepIndex::split_at(std::size_t at) {
+  auto it = segments_.upper_bound(at);
+  if (it == segments_.begin()) {
+    return;
+  }
+  --it;
+  if (it->first < at && at < it->second.end) {
+    // Clone the covering segment's lists into the right half; entries
+    // spanning the boundary must stay discoverable from both sides.
+    Segment right;
+    right.end = it->second.end;
+    right.writers = it->second.writers;
+    right.readers = it->second.readers;
+    it->second.end = at;
+    segments_.emplace(at, std::move(right));
+  }
+}
+
+void BufferDepIndex::insert(const Operand& op, ActionId action,
+                            std::uint64_t seq) {
+  const std::size_t begin = op.offset;
+  const std::size_t end = op.offset + op.length;
+  require(end > begin, "dep index insert of an empty range", Errc::internal);
+  const DepUse use{action, seq, begin, end, writes(op.access)};
+
+  split_at(begin);
+  split_at(end);
+
+  // Walk [begin, end): append the use to covered segments, create fresh
+  // segments over the gaps.
+  std::size_t cursor = begin;
+  auto it = segments_.lower_bound(begin);
+  while (cursor < end) {
+    if (it == segments_.end() || it->first >= end) {
+      Segment seg;
+      seg.end = end;
+      (use.write ? seg.writers : seg.readers).push_back(use);
+      segments_.emplace(cursor, std::move(seg));
+      break;
+    }
+    if (it->first > cursor) {
+      Segment seg;
+      seg.end = it->first;
+      (use.write ? seg.writers : seg.readers).push_back(use);
+      segments_.emplace(cursor, std::move(seg));
+    }
+    (use.write ? it->second.writers : it->second.readers).push_back(use);
+    cursor = it->second.end;
+    ++it;
+  }
+}
+
+std::size_t BufferDepIndex::collect(const Operand& op,
+                                    std::vector<DepUse>& out) const {
+  const std::size_t begin = op.offset;
+  const std::size_t end = op.offset + op.length;
+  const bool write = writes(op.access);
+  std::size_t steps = 0;
+
+  auto it = segments_.upper_bound(begin);
+  if (it != segments_.begin()) {
+    --it;  // the previous segment may reach into the queried range
+  }
+  for (; it != segments_.end() && it->first < end; ++it) {
+    ++steps;
+    if (it->second.end <= begin) {
+      continue;
+    }
+    // Precise filter: the segment only nominates candidates; the strict
+    // byte-range overlap keeps the edge set identical to the pairwise
+    // scan (an entry split across segments is also deduped upstream).
+    const auto overlap = [begin, end](const DepUse& use) {
+      return use.begin < end && begin < use.end;
+    };
+    for (const DepUse& use : it->second.writers) {
+      ++steps;
+      if (overlap(use)) {
+        out.push_back(use);
+      }
+    }
+    if (write) {
+      for (const DepUse& use : it->second.readers) {
+        ++steps;
+        if (overlap(use)) {
+          out.push_back(use);
+        }
+      }
+    }
+  }
+  return steps;
+}
+
+void BufferDepIndex::erase(const Operand& op, ActionId action) {
+  const std::size_t begin = op.offset;
+  const std::size_t end = op.offset + op.length;
+  auto it = segments_.upper_bound(begin);
+  if (it != segments_.begin()) {
+    --it;
+  }
+  while (it != segments_.end() && it->first < end) {
+    if (it->second.end <= begin) {
+      ++it;
+      continue;
+    }
+    const auto drop = [action](std::vector<DepUse>& uses) {
+      std::erase_if(uses, [action](const DepUse& u) {
+        return u.action == action;
+      });
+    };
+    drop(it->second.writers);
+    drop(it->second.readers);
+    if (it->second.writers.empty() && it->second.readers.empty()) {
+      it = segments_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+// --- StreamDepIndex ----------------------------------------------------------
+
+void StreamDepIndex::insert(const Operand& op, ActionId action,
+                            std::uint64_t seq) {
+  buffers_[op.buffer].insert(op, action, seq);
+}
+
+std::size_t StreamDepIndex::collect(const Operand& op,
+                                    std::vector<DepUse>& out) const {
+  const auto it = buffers_.find(op.buffer);
+  if (it == buffers_.end()) {
+    return 1;
+  }
+  return 1 + it->second.collect(op, out);
+}
+
+void StreamDepIndex::erase(const Operand& op, ActionId action) {
+  const auto it = buffers_.find(op.buffer);
+  if (it == buffers_.end()) {
+    return;
+  }
+  it->second.erase(op, action);
+  if (it->second.empty()) {
+    buffers_.erase(it);
+  }
+}
+
 }  // namespace hs

@@ -17,7 +17,9 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -70,6 +72,7 @@ class Buffer {
   /// freshly allocated card memory), so buffers that are only *scheduled*
   /// against — timing-only simulation runs — never commit physical pages.
   void instantiate(DomainId domain) {
+    const std::scoped_lock lock(mu_);
     incarnations_.try_emplace(domain, nullptr);
   }
 
@@ -78,6 +81,7 @@ class Buffer {
   /// callers that care must sync back (or explicitly discard) first.
   void deinstantiate(DomainId domain) {
     require(domain != kHostDomain, "cannot deinstantiate the host alias");
+    const std::scoped_lock lock(mu_);
     incarnations_.erase(domain);
     dirty_.erase(domain);
     // Owned storage is retained until buffer destruction; incarnation
@@ -86,6 +90,7 @@ class Buffer {
   }
 
   [[nodiscard]] bool instantiated_in(DomainId domain) const noexcept {
+    const std::scoped_lock lock(mu_);
     return incarnations_.contains(domain);
   }
 
@@ -93,6 +98,7 @@ class Buffer {
   /// the incarnation's storage on first touch.
   [[nodiscard]] std::byte* local_address(DomainId domain,
                                          std::size_t offset) {
+    const std::scoped_lock lock(mu_);
     const auto it = incarnations_.find(domain);
     require(it != incarnations_.end(), "buffer not instantiated in domain",
             Errc::buffer_not_instantiated);
@@ -119,6 +125,7 @@ class Buffer {
     if (len == 0 || domain == kHostDomain) {
       return;
     }
+    const std::scoped_lock lock(mu_);
     auto& ranges = dirty_[domain];
     std::size_t begin = offset;
     std::size_t end = offset + len;
@@ -142,6 +149,7 @@ class Buffer {
   /// transfer made host and device agree over the range (either
   /// direction does).
   void clear_dirty(DomainId domain, std::size_t offset, std::size_t len) {
+    const std::scoped_lock lock(mu_);
     const auto dit = dirty_.find(domain);
     if (dit == dirty_.end() || len == 0) {
       return;
@@ -175,9 +183,13 @@ class Buffer {
 
   /// Drops all dirty state of `domain` without syncing (recovery paths
   /// that restore from their own checkpoint).
-  void discard_dirty(DomainId domain) { dirty_.erase(domain); }
+  void discard_dirty(DomainId domain) {
+    const std::scoped_lock lock(mu_);
+    dirty_.erase(domain);
+  }
 
   [[nodiscard]] bool dirty_in(DomainId domain) const noexcept {
+    const std::scoped_lock lock(mu_);
     return dirty_.contains(domain);
   }
 
@@ -185,6 +197,7 @@ class Buffer {
   [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> dirty_ranges(
       DomainId domain) const {
     std::vector<std::pair<std::size_t, std::size_t>> out;
+    const std::scoped_lock lock(mu_);
     const auto it = dirty_.find(domain);
     if (it != dirty_.end()) {
       out.reserve(it->second.size());
@@ -200,6 +213,13 @@ class Buffer {
   std::byte* proxy_base_;
   std::size_t size_;
   BufferProps props_;
+  /// Guards incarnations_, dirty_ and owned_. The identity fields above
+  /// are immutable after construction and read lock-free. Leaf lock in
+  /// the runtime's hierarchy: nothing else is acquired while it is held,
+  /// so executor threads can translate addresses and track dirtiness on
+  /// different buffers (or the same one) without a global serialization
+  /// point.
+  mutable std::mutex mu_;
   std::map<DomainId, std::byte*> incarnations_;
   /// Per-domain dirty intervals, begin -> end (disjoint, merged).
   std::map<DomainId, std::map<std::size_t, std::size_t>> dirty_;
@@ -225,6 +245,88 @@ struct Operand {
     return offset < other.offset + other.length &&
            other.offset < offset + length;
   }
+};
+
+// --- Per-buffer dependence index ------------------------------------------
+//
+// The admission fast path. Legacy dependence analysis intersected every
+// new action's operands against every incomplete action in the stream
+// window — O(window x operands) pairwise work per enqueue, which is
+// exactly the cost the paper's Fig. 3 overhead budget cannot afford at
+// deep windows. The index inverts the scan: each stream keeps, per
+// buffer, an interval map over touched byte ranges whose segments list
+// the *incomplete* writers and readers of that range. Admission then
+// asks "who wrote/read these bytes?" in O(log segments + matches)
+// instead of walking the window. Entries are inserted at admission and
+// removed at completion, both under the owning stream's admission lock.
+//
+// Edge-exactness: every entry carries its original byte range and the
+// final conflict test is the same strict-overlap predicate
+// Operand::conflicts_with uses, so the set of predecessor actions found
+// is *identical* to the legacy pairwise scan (the segments only
+// accelerate candidate discovery). HS_DEP_ORACLE=1 cross-checks this on
+// every admission.
+
+/// One indexed operand use: which action, where in the stream's FIFO
+/// order, the exact byte range, and whether it writes.
+struct DepUse {
+  ActionId action;
+  std::uint64_t seq = 0;
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  bool write = false;
+};
+
+/// Interval-keyed last-writer/live-reader lists over one buffer's byte
+/// ranges (for one stream). Not internally locked: the owning stream's
+/// admission lock serializes all access.
+class BufferDepIndex {
+ public:
+  /// Records an incomplete use of [op.offset, op.offset+op.length).
+  void insert(const Operand& op, ActionId action, std::uint64_t seq);
+
+  /// Appends every recorded use conflicting with `op` (writers always;
+  /// readers only when `op` writes) to `out`. Callers dedup by action.
+  /// Returns the number of elementary steps taken (segments visited plus
+  /// entries examined) — the dep_scan_steps metric.
+  std::size_t collect(const Operand& op, std::vector<DepUse>& out) const;
+
+  /// Removes `action`'s entries over [op.offset, op.offset+op.length)
+  /// (called once per operand at completion).
+  void erase(const Operand& op, ActionId action);
+
+  [[nodiscard]] bool empty() const noexcept { return segments_.empty(); }
+  [[nodiscard]] std::size_t segment_count() const noexcept {
+    return segments_.size();
+  }
+
+ private:
+  /// Entries touching [key, end). Segments are disjoint and sorted; a
+  /// use spanning several segments appears in each.
+  struct Segment {
+    std::size_t end = 0;
+    std::vector<DepUse> writers;
+    std::vector<DepUse> readers;
+  };
+
+  /// Ensures a segment boundary at `at` (splits the covering segment).
+  void split_at(std::size_t at);
+
+  std::map<std::size_t, Segment> segments_;  ///< key = segment begin
+};
+
+/// A stream's whole dependence index: BufferId -> interval index.
+/// Maintained under the stream's admission lock.
+class StreamDepIndex {
+ public:
+  void insert(const Operand& op, ActionId action, std::uint64_t seq);
+  /// See BufferDepIndex::collect; returns steps taken.
+  std::size_t collect(const Operand& op, std::vector<DepUse>& out) const;
+  void erase(const Operand& op, ActionId action);
+  [[nodiscard]] bool empty() const noexcept { return buffers_.empty(); }
+
+ private:
+  std::unordered_map<BufferId, BufferDepIndex> buffers_;
 };
 
 /// Registry mapping proxy pointers to buffers. Lookup is by interval:

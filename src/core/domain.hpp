@@ -6,6 +6,7 @@
 // number, kind and speed of hardware threads and the amount of each kind
 // of memory.
 
+#include <atomic>
 #include <map>
 #include <string>
 #include <vector>
@@ -38,13 +39,17 @@ class Domain {
 
   /// False once the device dropped off the bus (Runtime::mark_domain_lost).
   /// A dead domain refuses new streams and actions with Errc::device_lost.
-  [[nodiscard]] bool alive() const noexcept { return alive_; }
-  void mark_lost() noexcept { alive_ = false; }
+  /// Atomic so enqueue fast paths can check liveness without the runtime
+  /// lock; the loss transition itself is serialized by Runtime.
+  [[nodiscard]] bool alive() const noexcept {
+    return alive_.load(std::memory_order_acquire);
+  }
+  void mark_lost() noexcept { alive_.store(false, std::memory_order_release); }
 
  private:
   DomainId id_;
   DomainDesc desc_;
-  bool alive_ = true;
+  std::atomic<bool> alive_{true};
 };
 
 /// A whole platform: the host plus zero or more device domains.

@@ -52,9 +52,12 @@ class Executor {
   virtual void execute(const std::shared_ptr<ActionRecord>& action,
                        CompletionFn done) = 0;
 
-  /// Blocks the host until `ready()` returns true. `ready` is invoked
-  /// with the runtime lock held; executors that make progress on the
-  /// calling thread (the simulator) advance their clock between polls.
+  /// Blocks the host until `ready()` returns true. `ready` is
+  /// self-synchronizing (the runtime's wait predicates take the locks
+  /// they need); executors hold Runtime::mutex() only to pair the check
+  /// with Runtime::completion_cv() so completion notifications are not
+  /// lost. Executors that make progress on the calling thread (the
+  /// simulator) advance their clock between polls.
   virtual void wait(const std::function<bool()>& ready) = 0;
 
   /// Deadline flavor of wait: returns false if `ready()` still does not

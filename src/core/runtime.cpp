@@ -1,7 +1,9 @@
 #include "core/runtime.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <unordered_map>
 #include <utility>
 
@@ -22,6 +24,15 @@ Topology make_topology(const RuntimeConfig& config) {
   return Topology(config.domain_links);
 }
 
+bool env_flag(const char* name) {
+  const char* value = std::getenv(name);
+  return value != nullptr && value[0] != '\0' &&
+         !(value[0] == '0' && value[1] == '\0');
+}
+
+constexpr std::uint64_t kNoSeqLimit =
+    std::numeric_limits<std::uint64_t>::max();
+
 }  // namespace
 
 Runtime::Runtime(RuntimeConfig config, std::unique_ptr<Executor> executor)
@@ -39,13 +50,15 @@ Runtime::Runtime(RuntimeConfig config, std::unique_ptr<Executor> executor)
   }
   require(config_.platform.domains.front().kind == DomainKind::host,
           "domain 0 must be the host");
-  domains_.reserve(config_.platform.domains.size());
   for (std::size_t i = 0; i < config_.platform.domains.size(); ++i) {
     domains_.emplace_back(DomainId{static_cast<std::uint32_t>(i)},
                           config_.platform.domains[i]);
   }
   health_.resize(domains_.size());
-  next_transfer_seq_.resize(domains_.size(), 0);
+  next_transfer_seq_ =
+      std::vector<std::atomic<std::uint64_t>>(domains_.size());
+  dep_legacy_ = config_.dep_legacy_scan || env_flag("HS_DEP_LEGACY");
+  dep_oracle_ = config_.dep_oracle || env_flag("HS_DEP_ORACLE");
   executor_->attach(*this);
 }
 
@@ -65,6 +78,22 @@ Runtime::~Runtime() {
   executor_.reset();
 }
 
+void Runtime::lock_counted(std::mutex& m) const {
+  if (m.try_lock()) {
+    return;
+  }
+  stats_.lock_shard_contention.fetch_add(1, std::memory_order_relaxed);
+  m.lock();
+}
+
+Runtime::DepState* Runtime::dep_find(ActionId id) {
+  DepShard& shard = shard_for(id);
+  lock_counted(shard.mu);
+  const std::lock_guard<std::mutex> lock(shard.mu, std::adopt_lock);
+  const auto it = shard.map.find(id);
+  return it == shard.map.end() ? nullptr : &it->second;
+}
+
 const Domain& Runtime::domain(DomainId id) const {
   require(id.value < domains_.size(), "unknown domain", Errc::not_found);
   return domains_[id.value];
@@ -81,7 +110,6 @@ std::vector<DomainId> Runtime::domains_of_kind(DomainKind kind) const {
 }
 
 bool Runtime::domain_alive(DomainId id) const {
-  const std::scoped_lock lock(mutex_);
   require(id.value < domains_.size(), "unknown domain", Errc::not_found);
   return domains_[id.value].alive();
 }
@@ -93,7 +121,6 @@ void Runtime::require_domain_alive(DomainId id) const {
 }
 
 void Runtime::mark_domain_lost(DomainId id) {
-  std::vector<ActionId> victims;
   {
     const std::scoped_lock lock(mutex_);
     require(id.value < domains_.size(), "unknown domain", Errc::not_found);
@@ -102,19 +129,32 @@ void Runtime::mark_domain_lost(DomainId id) {
       return;  // already declared; the loss is reported exactly once
     }
     domains_[id.value].mark_lost();
-    ++stats_.domains_lost;
+    stats_.domains_lost.fetch_add(1, std::memory_order_relaxed);
     if (!health_[id.value].degraded) {
-      ++stats_.links_degraded;
+      stats_.links_degraded.fetch_add(1, std::memory_order_relaxed);
     }
     health_[id.value].lose();
-    // Fail every in-flight action on the dead domain's streams. Claiming
-    // under the lock makes this exactly-once: a late `done` from an
-    // executor thread finds the claim and becomes a no-op.
-    for (const auto& s : streams_) {
-      if (!s->alive || s->domain != id) {
+    push_pending_error(std::make_exception_ptr(
+        Error(Errc::device_lost,
+              "domain " + std::to_string(id.value) + " lost (" +
+                  domains_[id.value].desc().name + ")")));
+  }
+  // Fail every in-flight action on the dead domain's streams. Claiming
+  // under each stream's lock makes this exactly-once: a late `done` from
+  // an executor thread finds the claim and becomes a no-op. Enqueues
+  // racing this loop already see the dead domain (alive is atomic and
+  // was cleared above).
+  std::vector<std::shared_ptr<ActionRecord>> victims;
+  {
+    std::shared_lock streams(streams_mutex_);
+    for (const auto& sp : streams_) {
+      StreamState& s = *sp;
+      if (!s.alive.load(std::memory_order_acquire) || s.domain != id) {
         continue;
       }
-      for (const auto& rec : s->window) {
+      lock_counted(s.mu);
+      const std::lock_guard<std::mutex> sl(s.mu, std::adopt_lock);
+      for (const auto& rec : s.window) {
         if (rec->state == ActionRecord::State::done || rec->claimed) {
           continue;
         }
@@ -124,19 +164,15 @@ void Runtime::mark_domain_lost(DomainId id) {
           // Block the successor-unblocking path from dispatching it.
           rec->state = ActionRecord::State::dispatched;
         }
-        ++stats_.actions_failed;
-        victims.push_back(rec->id);
+        stats_.actions_failed.fetch_add(1, std::memory_order_relaxed);
+        victims.push_back(rec);
       }
     }
-    push_pending_error(std::make_exception_ptr(
-        Error(Errc::device_lost,
-              "domain " + std::to_string(id.value) + " lost (" +
-                  domains_[id.value].desc().name + ")")));
   }
   log_error("domain %u declared lost; %zu in-flight actions failed", id.value,
             victims.size());
-  for (const ActionId victim : victims) {
-    finish_action(victim);
+  for (auto& victim : victims) {
+    finish_action(std::move(victim));
   }
 }
 
@@ -148,7 +184,7 @@ Status Runtime::evacuate(BufferId id, DomainId from, DomainId to,
     bool from_alive = false;
     std::vector<std::pair<std::size_t, std::size_t>> dirty;
     {
-      const std::scoped_lock lock(mutex_);
+      std::shared_lock buffers(buffers_mutex_);
       require(from.value < domains_.size() && to.value < domains_.size(),
               "unknown domain", Errc::not_found);
       require(from != to, "evacuate needs distinct source and target");
@@ -191,7 +227,7 @@ Status Runtime::evacuate(BufferId id, DomainId from, DomainId to,
           std::memcpy(host, src, length);
         }
       }
-      const std::scoped_lock lock(mutex_);
+      std::shared_lock buffers(buffers_mutex_);
       buffers_.get(id).discard_dirty(from);
     }
     if (to != kHostDomain) {
@@ -217,12 +253,13 @@ Status Runtime::evacuate(BufferId id, DomainId from, DomainId to,
 
 BufferId Runtime::buffer_create(void* base, std::size_t size,
                                 BufferProps props) {
-  const std::scoped_lock lock(mutex_);
+  const std::unique_lock buffers(buffers_mutex_);
   return buffers_.create(base, size, props);
 }
 
 void Runtime::buffer_instantiate(BufferId id, DomainId domain) {
   const std::scoped_lock lock(mutex_);
+  std::shared_lock buffers(buffers_mutex_);
   require(domain.value < domains_.size(), "unknown domain", Errc::not_found);
   Buffer& buf = buffers_.get(id);
   if (domain == kHostDomain || buf.instantiated_in(domain)) {
@@ -244,6 +281,7 @@ void Runtime::buffer_instantiate(BufferId id, DomainId domain) {
 
 void Runtime::buffer_deinstantiate(BufferId id, DomainId domain) {
   const std::scoped_lock lock(mutex_);
+  std::shared_lock buffers(buffers_mutex_);
   Buffer& buf = buffers_.get(id);
   require(buf.instantiated_in(domain), "buffer not instantiated there",
           Errc::not_found);
@@ -252,7 +290,7 @@ void Runtime::buffer_deinstantiate(BufferId id, DomainId domain) {
 }
 
 std::pair<void*, std::size_t> Runtime::buffer_extent(const void* proxy) {
-  const std::scoped_lock lock(mutex_);
+  std::shared_lock buffers(buffers_mutex_);
   Buffer& buf = buffers_.find_containing(proxy, 1);
   return {buf.proxy_base(), buf.size()};
 }
@@ -260,7 +298,7 @@ std::pair<void*, std::size_t> Runtime::buffer_extent(const void* proxy) {
 void Runtime::buffer_destroy_containing(const void* proxy) {
   BufferId id;
   {
-    const std::scoped_lock lock(mutex_);
+    std::shared_lock buffers(buffers_mutex_);
     id = buffers_.find_containing(proxy, 1).id();
   }
   buffer_destroy(id);
@@ -280,6 +318,7 @@ std::size_t Runtime::memory_available(DomainId domain, MemKind kind) const {
 
 void Runtime::buffer_destroy(BufferId id) {
   const std::scoped_lock lock(mutex_);
+  const std::unique_lock buffers(buffers_mutex_);
   Buffer& buf = buffers_.get(id);
   // Refund every device incarnation's budget.
   for (std::size_t d = 1; d < domains_.size(); ++d) {
@@ -292,19 +331,19 @@ void Runtime::buffer_destroy(BufferId id) {
 }
 
 std::size_t Runtime::buffer_count() const {
-  const std::scoped_lock lock(mutex_);
+  std::shared_lock buffers(buffers_mutex_);
   return buffers_.count();
 }
 
 void* Runtime::translate(const void* proxy, std::size_t len, DomainId domain) {
-  const std::scoped_lock lock(mutex_);
+  std::shared_lock buffers(buffers_mutex_);
   Buffer& buf = buffers_.find_containing(proxy, len);
   return buf.local_address(domain, buf.offset_of(proxy));
 }
 
 std::byte* Runtime::buffer_local(BufferId id, DomainId domain,
                                  std::size_t offset, std::size_t len) {
-  const std::scoped_lock lock(mutex_);
+  std::shared_lock buffers(buffers_mutex_);
   Buffer& buf = buffers_.get(id);
   require(offset + len <= buf.size(), "range escapes buffer",
           Errc::out_of_range);
@@ -319,7 +358,7 @@ const LinkModel& Runtime::link_for(DomainId domain) const {
 }
 
 double Runtime::account_transfer_staging(std::size_t bytes) {
-  const std::scoped_lock lock(mutex_);
+  const std::scoped_lock lock(pool_mutex_);
   const std::size_t block = pool_.block_size();
   const std::size_t blocks = (bytes + block - 1) / block;
   const double before = pool_.stats().modeled_alloc_seconds;
@@ -342,13 +381,13 @@ double Runtime::account_transfer_staging(std::size_t bytes) {
 
 StreamId Runtime::stream_create(DomainId domain, const CpuMask& mask,
                                 std::optional<OrderPolicy> policy) {
-  const std::scoped_lock lock(mutex_);
   require(domain.value < domains_.size(), "unknown domain", Errc::not_found);
   require_domain_alive(domain);
   require(!mask.empty(), "stream mask must be non-empty");
   const auto cpus = mask.cpus();
   require(cpus.back() < domains_[domain.value].hw_threads(),
           "stream mask exceeds domain hardware threads");
+  const std::unique_lock streams(streams_mutex_);
   const StreamId id{static_cast<std::uint32_t>(streams_.size())};
   auto state = std::make_unique<StreamState>();
   state->id = id;
@@ -362,17 +401,18 @@ StreamId Runtime::stream_create(DomainId domain, const CpuMask& mask,
 }
 
 void Runtime::stream_destroy(StreamId id) {
-  const std::scoped_lock lock(mutex_);
   StreamState& s = stream_state(id);
+  const std::scoped_lock lock(s.mu);
   require(s.window.empty(), "stream_destroy on a busy stream");
-  s.alive = false;
+  s.alive.store(false, std::memory_order_release);
 }
 
 std::size_t Runtime::stream_cancel(StreamId id) {
-  std::vector<ActionId> victims;
+  std::vector<std::shared_ptr<ActionRecord>> victims;
   {
-    const std::scoped_lock lock(mutex_);
     StreamState& s = stream_state(id);
+    lock_counted(s.mu);
+    const std::lock_guard<std::mutex> lock(s.mu, std::adopt_lock);
     for (const auto& rec : s.window) {
       if (rec->state == ActionRecord::State::done || rec->claimed) {
         continue;
@@ -393,56 +433,74 @@ std::size_t Runtime::stream_cancel(StreamId id) {
       if (undispatched) {
         rec->state = ActionRecord::State::dispatched;
       }
-      ++stats_.actions_cancelled;
-      victims.push_back(rec->id);
+      stats_.actions_cancelled.fetch_add(1, std::memory_order_relaxed);
+      victims.push_back(rec);
     }
   }
-  for (const ActionId victim : victims) {
-    finish_action(victim);
+  const std::size_t count = victims.size();
+  for (auto& victim : victims) {
+    finish_action(std::move(victim));
   }
-  return victims.size();
+  return count;
 }
 
 std::size_t Runtime::stream_count() const {
-  const std::scoped_lock lock(mutex_);
+  std::shared_lock streams(streams_mutex_);
   return static_cast<std::size_t>(
-      std::count_if(streams_.begin(), streams_.end(),
-                    [](const auto& s) { return s->alive; }));
+      std::count_if(streams_.begin(), streams_.end(), [](const auto& s) {
+        return s->alive.load(std::memory_order_acquire);
+      }));
 }
 
 DomainId Runtime::stream_domain(StreamId id) const {
-  const std::scoped_lock lock(mutex_);
   return stream_state(id).domain;
 }
 
 OrderPolicy Runtime::stream_policy(StreamId id) const {
-  const std::scoped_lock lock(mutex_);
   return stream_state(id).policy;
 }
 
 std::size_t Runtime::buffer_size(BufferId id) const {
-  const std::scoped_lock lock(mutex_);
+  std::shared_lock buffers(buffers_mutex_);
   return buffers_.get(id).size();
 }
 
 CpuMask Runtime::stream_mask(StreamId id) const {
-  const std::scoped_lock lock(mutex_);
   return stream_state(id).mask;
 }
 
-Runtime::StreamState& Runtime::stream_state(StreamId id) {
-  require(id.value < streams_.size() && streams_[id.value]->alive,
+Runtime::StreamState& Runtime::stream_state_unlocked(StreamId id) {
+  require(id.value < streams_.size() &&
+              streams_[id.value]->alive.load(std::memory_order_acquire),
           "unknown stream", Errc::not_found);
   return *streams_[id.value];
+}
+
+const Runtime::StreamState& Runtime::stream_state_unlocked(
+    StreamId id) const {
+  require(id.value < streams_.size() &&
+              streams_[id.value]->alive.load(std::memory_order_acquire),
+          "unknown stream", Errc::not_found);
+  return *streams_[id.value];
+}
+
+Runtime::StreamState& Runtime::stream_state(StreamId id) {
+  std::shared_lock streams(streams_mutex_);
+  return stream_state_unlocked(id);
 }
 
 const Runtime::StreamState& Runtime::stream_state(StreamId id) const {
-  require(id.value < streams_.size() && streams_[id.value]->alive,
-          "unknown stream", Errc::not_found);
-  return *streams_[id.value];
+  std::shared_lock streams(streams_mutex_);
+  return stream_state_unlocked(id);
 }
 
 // --- Enqueue ---------------------------------------------------------------
+//
+// Enqueue front-ends no longer take a runtime-wide lock: stream lookup is
+// a shared read, domain liveness is an atomic, operand resolution takes
+// the buffer table's shared lock, and admission serializes only on the
+// target stream's own mutex. Enqueues on different streams run fully in
+// parallel.
 
 std::shared_ptr<EventState> Runtime::enqueue_compute(
     StreamId stream, ComputePayload payload,
@@ -452,32 +510,33 @@ std::shared_ptr<EventState> Runtime::enqueue_compute(
   record->type = ActionType::compute;
   record->compute = std::move(payload);
 
-  std::unique_lock lock(mutex_);
   StreamState& s = stream_state(stream);
   require_domain_alive(s.domain);
   // Under capture the instantiation check is deferred to replay: a
   // captured alloc node earlier in the graph legalizes this use, and
   // GraphExec instantiates before admitting the launch.
-  const bool capturing = capture_ != nullptr && capture_->captures(stream);
+  CaptureSink* sink = capture_.load(std::memory_order_acquire);
+  const bool capturing = sink != nullptr && sink->captures(stream);
   record->stream = stream;
-  for (const OperandRef& ref : operands) {
-    Operand op = buffers_.resolve(ref.ptr, ref.len, ref.access);
-    const Buffer& buf = buffers_.get(op.buffer);
-    require(capturing || buf.instantiated_in(s.domain),
-            "compute operand buffer not instantiated in sink domain",
-            Errc::buffer_not_instantiated);
-    // Enforce the creator's declared usage property (§II: buffers let
-    // users "declare usage properties, such as whether it's read only").
-    require(!buf.props().read_only || !writes(op.access),
-            "write operand on a read-only buffer");
-    record->operands.push_back(op);
+  {
+    std::shared_lock buffers(buffers_mutex_);
+    for (const OperandRef& ref : operands) {
+      Operand op = buffers_.resolve(ref.ptr, ref.len, ref.access);
+      const Buffer& buf = buffers_.get(op.buffer);
+      require(capturing || buf.instantiated_in(s.domain),
+              "compute operand buffer not instantiated in sink domain",
+              Errc::buffer_not_instantiated);
+      // Enforce the creator's declared usage property (§II: buffers let
+      // users "declare usage properties, such as whether it's read only").
+      require(!buf.props().read_only || !writes(op.access),
+              "write operand on a read-only buffer");
+      record->operands.push_back(op);
+    }
   }
   if (capturing) {
-    lock.unlock();
-    return capture_->record(std::move(record));
+    return sink->record(std::move(record));
   }
-  ++stats_.computes_enqueued;
-  lock.unlock();
+  stats_.computes_enqueued.fetch_add(1, std::memory_order_relaxed);
   return admit(s, std::move(record));
 }
 
@@ -488,37 +547,39 @@ std::shared_ptr<EventState> Runtime::enqueue_transfer(StreamId stream,
   auto record = std::make_shared<ActionRecord>();
   record->type = ActionType::transfer;
 
-  std::unique_lock lock(mutex_);
   StreamState& s = stream_state(stream);
   require_domain_alive(s.domain);
   record->stream = stream;
-  Buffer& buf = buffers_.find_containing(proxy, len);
   const bool aliased = (s.domain == kHostDomain);
   // As in enqueue_compute, capture defers the instantiation check to
   // replay (a captured alloc node may precede this transfer).
-  const bool capturing = capture_ != nullptr && capture_->captures(stream);
-  if (!aliased) {
-    require(capturing || buf.instantiated_in(s.domain),
-            "transfer target buffer not instantiated in sink domain",
-            Errc::buffer_not_instantiated);
+  CaptureSink* sink = capture_.load(std::memory_order_acquire);
+  const bool capturing = sink != nullptr && sink->captures(stream);
+  {
+    std::shared_lock buffers(buffers_mutex_);
+    Buffer& buf = buffers_.find_containing(proxy, len);
+    if (!aliased) {
+      require(capturing || buf.instantiated_in(s.domain),
+              "transfer target buffer not instantiated in sink domain",
+              Errc::buffer_not_instantiated);
+    }
+    record->transfer =
+        TransferPayload{buf.id(), buf.offset_of(proxy), len, dir};
+    // Direction-sensitive dependence encoding: a host->sink transfer writes
+    // the sink incarnation (out); a sink->host transfer only reads it (in),
+    // so it can overlap later sink-side readers of the same range — the
+    // enabling property of the RTM halo pipeline (§V).
+    record->operands.push_back(
+        Operand{buf.id(), record->transfer.offset, len,
+                dir == XferDir::src_to_sink ? Access::out : Access::in});
   }
-  record->transfer = TransferPayload{buf.id(), buf.offset_of(proxy), len, dir};
-  // Direction-sensitive dependence encoding: a host->sink transfer writes
-  // the sink incarnation (out); a sink->host transfer only reads it (in),
-  // so it can overlap later sink-side readers of the same range — the
-  // enabling property of the RTM halo pipeline (§V).
-  record->operands.push_back(
-      Operand{buf.id(), record->transfer.offset, len,
-              dir == XferDir::src_to_sink ? Access::out : Access::in});
   if (capturing) {
-    lock.unlock();
-    return capture_->record(std::move(record));
+    return sink->record(std::move(record));
   }
-  ++stats_.transfers_enqueued;
+  stats_.transfers_enqueued.fetch_add(1, std::memory_order_relaxed);
   if (aliased) {
-    ++stats_.transfers_aliased_away;
+    stats_.transfers_aliased_away.fetch_add(1, std::memory_order_relaxed);
   }
-  lock.unlock();
   return admit(s, std::move(record));
 }
 
@@ -527,28 +588,29 @@ std::shared_ptr<EventState> Runtime::enqueue_alloc(StreamId stream,
   auto record = std::make_shared<ActionRecord>();
   record->type = ActionType::alloc;
 
-  std::unique_lock lock(mutex_);
   StreamState& s = stream_state(stream);
   require_domain_alive(s.domain);
   require(s.domain != kHostDomain,
           "alloc targets a device (the host aliases user memory)");
-  Buffer& buf = buffers_.get(buffer);
-  require(!buf.instantiated_in(s.domain),
-          "buffer already instantiated in sink domain",
-          Errc::already_initialized);
   record->stream = stream;
-  record->transfer =
-      TransferPayload{buffer, 0, buf.size(), XferDir::src_to_sink};
-  record->operands.push_back(
-      Operand{buffer, 0, buf.size(), Access::out});
-  if (capture_ != nullptr && capture_->captures(stream)) {
+  CaptureSink* sink = capture_.load(std::memory_order_acquire);
+  const bool capturing = sink != nullptr && sink->captures(stream);
+  {
+    std::shared_lock buffers(buffers_mutex_);
+    Buffer& buf = buffers_.get(buffer);
+    require(!buf.instantiated_in(s.domain),
+            "buffer already instantiated in sink domain",
+            Errc::already_initialized);
+    record->transfer =
+        TransferPayload{buffer, 0, buf.size(), XferDir::src_to_sink};
+    record->operands.push_back(Operand{buffer, 0, buf.size(), Access::out});
+  }
+  if (capturing) {
     // Budget charge and incarnation bookkeeping are deferred to replay
     // (GraphExec instantiates before admitting the launch).
-    lock.unlock();
-    return capture_->record(std::move(record));
+    return sink->record(std::move(record));
   }
-  ++stats_.syncs_enqueued;
-  lock.unlock();
+  stats_.syncs_enqueued.fetch_add(1, std::memory_order_relaxed);
   // Charge budget and declare the incarnation now (enqueue time); the
   // executor pays the modeled allocation latency in stream order.
   buffer_instantiate(buffer, s.domain);
@@ -563,20 +625,22 @@ std::shared_ptr<EventState> Runtime::enqueue_event_wait(
   record->type = ActionType::event_wait;
   record->wait_event = std::move(event);
 
-  std::unique_lock lock(mutex_);
   StreamState& s = stream_state(stream);
   require_domain_alive(s.domain);
   record->stream = stream;
-  for (const OperandRef& ref : operands) {
-    record->operands.push_back(buffers_.resolve(ref.ptr, ref.len, ref.access));
+  {
+    std::shared_lock buffers(buffers_mutex_);
+    for (const OperandRef& ref : operands) {
+      record->operands.push_back(
+          buffers_.resolve(ref.ptr, ref.len, ref.access));
+    }
   }
   record->full_barrier = record->operands.empty();
-  if (capture_ != nullptr && capture_->captures(stream)) {
-    lock.unlock();
-    return capture_->record(std::move(record));
+  CaptureSink* sink = capture_.load(std::memory_order_acquire);
+  if (sink != nullptr && sink->captures(stream)) {
+    return sink->record(std::move(record));
   }
-  ++stats_.syncs_enqueued;
-  lock.unlock();
+  stats_.syncs_enqueued.fetch_add(1, std::memory_order_relaxed);
   return admit(s, std::move(record));
 }
 
@@ -585,38 +649,132 @@ std::shared_ptr<EventState> Runtime::enqueue_signal(
   auto record = std::make_shared<ActionRecord>();
   record->type = ActionType::event_signal;
 
-  std::unique_lock lock(mutex_);
   StreamState& s = stream_state(stream);
   require_domain_alive(s.domain);
   record->stream = stream;
-  for (const OperandRef& ref : operands) {
-    record->operands.push_back(buffers_.resolve(ref.ptr, ref.len, ref.access));
+  {
+    std::shared_lock buffers(buffers_mutex_);
+    for (const OperandRef& ref : operands) {
+      record->operands.push_back(
+          buffers_.resolve(ref.ptr, ref.len, ref.access));
+    }
   }
   record->full_barrier = record->operands.empty();
-  if (capture_ != nullptr && capture_->captures(stream)) {
-    lock.unlock();
-    return capture_->record(std::move(record));
+  CaptureSink* sink = capture_.load(std::memory_order_acquire);
+  if (sink != nullptr && sink->captures(stream)) {
+    return sink->record(std::move(record));
   }
-  ++stats_.syncs_enqueued;
-  lock.unlock();
+  stats_.syncs_enqueued.fetch_add(1, std::memory_order_relaxed);
   return admit(s, std::move(record));
 }
 
 // --- Scheduling ------------------------------------------------------------
+
+std::vector<ActionId> Runtime::legacy_blockers(const StreamState& stream,
+                                               const ActionRecord& record,
+                                               std::size_t limit) const {
+  // The pre-index pairwise scan, kept verbatim: the oracle reference and
+  // the HS_DEP_LEGACY baseline. Window order == seq order == id order
+  // within a stream, so the result is sorted by id.
+  std::vector<ActionId> out;
+  std::size_t steps = 0;
+  const std::size_t n = std::min(limit, stream.window.size());
+  for (std::size_t j = 0; j < n; ++j) {
+    const auto& earlier = stream.window[j];
+    ++steps;
+    if (earlier->state == ActionRecord::State::done) {
+      continue;
+    }
+    if (record.conflicts_with(*earlier)) {
+      out.push_back(earlier->id);
+    }
+  }
+  stats_.dep_scan_steps.fetch_add(steps, std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<ActionId> Runtime::indexed_blockers(
+    const StreamState& stream, const ActionRecord& record,
+    std::uint64_t seq_limit, std::size_t window_limit) const {
+  std::vector<ActionId> out;
+  if (record.full_barrier) {
+    // A barrier conflicts with everything: the window residue itself is
+    // the blocker set; the index cannot beat a linear walk here.
+    std::size_t steps = 0;
+    const std::size_t n = std::min(window_limit, stream.window.size());
+    for (std::size_t j = 0; j < n; ++j) {
+      const auto& earlier = stream.window[j];
+      ++steps;
+      if (earlier->state != ActionRecord::State::done) {
+        out.push_back(earlier->id);
+      }
+    }
+    stats_.dep_scan_steps.fetch_add(steps, std::memory_order_relaxed);
+  } else {
+    std::vector<DepUse>& uses = stream.scratch_uses;  // guarded by stream.mu
+    uses.clear();
+    std::size_t steps = 0;
+    for (const Operand& op : record.operands) {
+      steps += stream.index.collect(op, uses);
+    }
+    // Live stream-wide barriers conflict with every later action but
+    // carry no operands, so they ride alongside the byte-range index.
+    for (const BarrierRef& barrier : stream.barriers) {
+      ++steps;
+      if (barrier.seq < seq_limit) {
+        out.push_back(barrier.action);
+      }
+    }
+    for (const DepUse& use : uses) {
+      if (use.seq < seq_limit) {
+        out.push_back(use.action);
+      }
+    }
+    stats_.dep_scan_steps.fetch_add(steps, std::memory_order_relaxed);
+    // One edge per conflicting predecessor no matter how many operand
+    // pairs overlap — exactly the legacy scan's semantics. Id order ==
+    // admission order within a stream.
+    if (out.size() > 1) {
+      std::sort(out.begin(), out.end(),
+                [](ActionId a, ActionId b) { return a.value < b.value; });
+      out.erase(std::unique(out.begin(), out.end()), out.end());
+    }
+    stats_.dep_index_hits.fetch_add(out.size(), std::memory_order_relaxed);
+  }
+  if (dep_oracle_) {
+    stats_.dep_oracle_checks.fetch_add(1, std::memory_order_relaxed);
+    const std::vector<ActionId> reference =
+        legacy_blockers(stream, record, window_limit);
+    if (reference != out) {
+      log_error("dep oracle mismatch on stream %u: index found %zu "
+                "blockers, legacy scan found %zu",
+                stream.id.value, out.size(), reference.size());
+      throw Error(Errc::internal,
+                  "dependence-index oracle mismatch (HS_DEP_ORACLE)");
+    }
+  }
+  return out;
+}
 
 std::shared_ptr<EventState> Runtime::admit(
     StreamState& stream, std::shared_ptr<ActionRecord> record) {
   auto completion = record->completion;
   bool ready = false;
   {
-    const std::scoped_lock lock(mutex_);
-    record->id = ActionId{next_action_id_++};
+    lock_counted(stream.mu);
+    const std::lock_guard<std::mutex> lock(stream.mu, std::adopt_lock);
+    // The global atomic keeps ids in enqueue order across streams while
+    // the per-stream lock keeps them monotone within each window.
+    record->id =
+        ActionId{next_action_id_.fetch_add(1, std::memory_order_relaxed)};
     record->seq = stream.next_seq++;
     if (record->type == ActionType::transfer && stream.domain != kHostDomain) {
       // Enqueue-order identity for fault decisions: assigned under the
-      // lock, so it is the same on every backend and every run no matter
-      // which copier thread later runs the attempt.
-      record->transfer_seq = next_transfer_seq_[stream.domain.value]++;
+      // stream lock, so it is the same on every backend and every run no
+      // matter which copier thread later runs the attempt.
+      record->transfer_seq =
+          next_transfer_seq_[stream.domain.value].fetch_add(
+              1, std::memory_order_relaxed);
     }
 
     DepState dep;
@@ -626,35 +784,57 @@ std::shared_ptr<EventState> Runtime::admit(
     if (stream.policy == OrderPolicy::strict_fifo) {
       // Strict FIFO forms a chain: block on the most recent incomplete
       // action only (completion order is FIFO under this policy).
+      std::size_t steps = 0;
       for (auto it = stream.window.rbegin(); it != stream.window.rend();
            ++it) {
+        ++steps;
         if ((*it)->state != ActionRecord::State::done) {
-          deps_.at((*it)->id).successors.push_back(record->id);
+          DepState* prev = dep_find((*it)->id);
+          require(prev != nullptr, "missing strict-chain predecessor",
+                  Errc::internal);
+          prev->successors.push_back(record->id);
           dep.blockers = 1;
           break;
         }
       }
+      stats_.dep_scan_steps.fetch_add(steps, std::memory_order_relaxed);
     } else {
-      for (const auto& earlier : stream.window) {
-        if (earlier->state == ActionRecord::State::done) {
-          continue;
-        }
-        if (record->conflicts_with(*earlier)) {
-          deps_.at(earlier->id).successors.push_back(record->id);
-          ++dep.blockers;
-        }
+      const std::vector<ActionId> blockers =
+          dep_legacy_
+              ? legacy_blockers(stream, *record, stream.window.size())
+              : indexed_blockers(stream, *record, kNoSeqLimit,
+                                 stream.window.size());
+      for (const ActionId pred : blockers) {
+        DepState* pd = dep_find(pred);
+        require(pd != nullptr, "missing predecessor dep entry",
+                Errc::internal);
+        pd->successors.push_back(record->id);
       }
+      dep.blockers = blockers.size();
     }
 
     stream.window.push_back(record);
+    if (!dep_legacy_ && stream.policy != OrderPolicy::strict_fifo) {
+      for (const Operand& op : record->operands) {
+        stream.index.insert(op, record->id, record->seq);
+      }
+      if (record->full_barrier) {
+        stream.barriers.push_back(BarrierRef{record->id, record->seq});
+      }
+    }
     if (dep.blockers == 0) {
       record->state = ActionRecord::State::dispatched;
       if (record != stream.window.front()) {
-        ++stats_.ooo_dispatches;
+        stats_.ooo_dispatches.fetch_add(1, std::memory_order_relaxed);
       }
       ready = true;
     }
-    deps_.emplace(record->id, std::move(dep));
+    {
+      DepShard& shard = shard_for(record->id);
+      lock_counted(shard.mu);
+      const std::lock_guard<std::mutex> sl(shard.mu, std::adopt_lock);
+      shard.map.emplace(record->id, std::move(dep));
+    }
     if (trace_ != nullptr) {
       TraceRecorder::Record tr;
       tr.action = record->id;
@@ -684,45 +864,79 @@ std::shared_ptr<EventState> Runtime::admit(
 
 void Runtime::set_capture(CaptureSink* sink) {
   const std::scoped_lock lock(mutex_);
-  require(sink == nullptr || capture_ == nullptr,
+  require(sink == nullptr || capture_.load(std::memory_order_relaxed) == nullptr,
           "a graph capture is already active", Errc::already_initialized);
-  capture_ = sink;
+  capture_.store(sink, std::memory_order_release);
 }
 
 std::uint32_t Runtime::note_graph_captured() {
-  const std::scoped_lock lock(mutex_);
-  ++stats_.graphs_captured;
-  return next_graph_id_++;
+  stats_.graphs_captured.fetch_add(1, std::memory_order_relaxed);
+  return next_graph_id_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void Runtime::note_transfers_coalesced(std::uint64_t count) {
-  const std::scoped_lock lock(mutex_);
-  stats_.transfers_coalesced += count;
+  stats_.transfers_coalesced.fetch_add(count, std::memory_order_relaxed);
 }
 
 void Runtime::admit_prelinked(std::span<const PrelinkedAction> batch,
                               std::uint32_t graph_id) {
   std::vector<std::shared_ptr<ActionRecord>> ready;
+  // Collect the batch's streams and lock them all in ascending-id order
+  // (deadlock-free against concurrent batches). Holding every involved
+  // stream lock for the whole batch preserves the prelinked invariant:
+  // an in-batch pred cannot complete while later entries are wired to it.
+  std::vector<StreamState*> order;
   {
-    const std::scoped_lock lock(mutex_);
-    // Window size per stream at the moment the batch arrives: actions
-    // already in a window are *residue* (typically eager uploads or a
-    // previous replay) and still need a conflict scan — only edges among
-    // batch members are pre-resolved.
-    std::unordered_map<StreamId, std::size_t> boundary;
+    std::shared_lock streams(streams_mutex_);
     for (const PrelinkedAction& entry : batch) {
-      StreamState& s = stream_state(entry.record->stream);
-      boundary.emplace(s.id, s.window.size());
+      StreamState& s = stream_state_unlocked(entry.record->stream);
+      if (std::find(order.begin(), order.end(), &s) == order.end()) {
+        order.push_back(&s);
+      }
+    }
+  }
+  std::sort(order.begin(), order.end(),
+            [](const StreamState* a, const StreamState* b) {
+              return a->id.value < b->id.value;
+            });
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(order.size());
+  for (StreamState* s : order) {
+    std::unique_lock<std::mutex> l(s->mu, std::try_to_lock);
+    if (!l.owns_lock()) {
+      stats_.lock_shard_contention.fetch_add(1, std::memory_order_relaxed);
+      l.lock();
+    }
+    locks.push_back(std::move(l));
+  }
+  {
+    // Pre-batch boundary per stream: actions already in a window are
+    // *residue* (typically eager uploads or a previous replay) and still
+    // need a conflict scan — only edges among batch members are
+    // pre-resolved. The boundary is equivalently a window index (legacy
+    // residue scan) and a seq threshold (index residue lookup).
+    struct Boundary {
+      std::size_t window = 0;
+      std::uint64_t seq = 0;
+    };
+    std::unordered_map<std::uint32_t, Boundary> boundary;
+    std::unordered_map<std::uint32_t, StreamState*> by_id;
+    for (StreamState* s : order) {
+      boundary.emplace(s->id.value, Boundary{s->window.size(), s->next_seq});
+      by_id.emplace(s->id.value, s);
     }
     for (const PrelinkedAction& entry : batch) {
       const std::shared_ptr<ActionRecord>& record = entry.record;
-      StreamState& s = stream_state(record->stream);
+      StreamState& s = *by_id.at(record->stream.value);
       require_domain_alive(s.domain);
-      record->id = ActionId{next_action_id_++};
+      record->id =
+          ActionId{next_action_id_.fetch_add(1, std::memory_order_relaxed)};
       record->seq = s.next_seq++;
       record->graph = graph_id;
       if (record->type == ActionType::transfer && s.domain != kHostDomain) {
-        record->transfer_seq = next_transfer_seq_[s.domain.value]++;
+        record->transfer_seq =
+            next_transfer_seq_[s.domain.value].fetch_add(
+                1, std::memory_order_relaxed);
       }
 
       DepState dep;
@@ -730,58 +944,85 @@ void Runtime::admit_prelinked(std::span<const PrelinkedAction> batch,
       dep.stream = &s;
 
       if (s.policy == OrderPolicy::strict_fifo) {
+        std::size_t steps = 0;
         for (auto it = s.window.rbegin(); it != s.window.rend(); ++it) {
+          ++steps;
           if ((*it)->state != ActionRecord::State::done) {
-            deps_.at((*it)->id).successors.push_back(record->id);
+            DepState* prev = dep_find((*it)->id);
+            require(prev != nullptr, "missing strict-chain predecessor",
+                    Errc::internal);
+            prev->successors.push_back(record->id);
             dep.blockers = 1;
             break;
           }
         }
+        stats_.dep_scan_steps.fetch_add(steps, std::memory_order_relaxed);
       } else {
-        // Residue scan: pairwise intersection against pre-batch window
-        // entries only. Edges within the batch come from the capture.
-        const std::size_t limit = boundary.at(s.id);
-        for (std::size_t j = 0; j < limit && j < s.window.size(); ++j) {
-          const auto& earlier = s.window[j];
-          if (earlier->state == ActionRecord::State::done) {
-            continue;
-          }
-          if (record->conflicts_with(*earlier)) {
-            deps_.at(earlier->id).successors.push_back(record->id);
-            ++dep.blockers;
-          }
+        // Residue analysis against pre-batch window entries only; edges
+        // within the batch come from the capture.
+        const Boundary bound = boundary.at(s.id.value);
+        const std::vector<ActionId> blockers =
+            dep_legacy_ ? legacy_blockers(s, *record, bound.window)
+                        : indexed_blockers(s, *record, bound.seq,
+                                           bound.window);
+        for (const ActionId pred : blockers) {
+          DepState* pd = dep_find(pred);
+          require(pd != nullptr, "missing predecessor dep entry",
+                  Errc::internal);
+          pd->successors.push_back(record->id);
         }
+        dep.blockers = blockers.size();
         for (const std::uint32_t pred : entry.preds) {
           // In-batch preds were admitted earlier in this loop and cannot
-          // have completed: the lock is held for the whole batch.
-          deps_.at(batch[pred].record->id).successors.push_back(record->id);
+          // have completed: their stream locks are held for the whole
+          // batch. Their seqs are >= the boundary, so captured edges
+          // never collide with residue edges.
+          DepState* pd = dep_find(batch[pred].record->id);
+          require(pd != nullptr, "missing in-batch predecessor",
+                  Errc::internal);
+          pd->successors.push_back(record->id);
           ++dep.blockers;
         }
-        stats_.deps_reused += entry.preds.size();
+        stats_.deps_reused.fetch_add(entry.preds.size(),
+                                     std::memory_order_relaxed);
       }
 
       s.window.push_back(record);
+      if (!dep_legacy_ && s.policy != OrderPolicy::strict_fifo) {
+        for (const Operand& op : record->operands) {
+          s.index.insert(op, record->id, record->seq);
+        }
+        if (record->full_barrier) {
+          s.barriers.push_back(BarrierRef{record->id, record->seq});
+        }
+      }
       if (dep.blockers == 0) {
         record->state = ActionRecord::State::dispatched;
         if (record != s.window.front()) {
-          ++stats_.ooo_dispatches;
+          stats_.ooo_dispatches.fetch_add(1, std::memory_order_relaxed);
         }
         ready.push_back(record);
       }
-      deps_.emplace(record->id, std::move(dep));
+      {
+        DepShard& shard = shard_for(record->id);
+        lock_counted(shard.mu);
+        const std::lock_guard<std::mutex> sl(shard.mu, std::adopt_lock);
+        shard.map.emplace(record->id, std::move(dep));
+      }
 
       switch (record->type) {
         case ActionType::compute:
-          ++stats_.computes_enqueued;
+          stats_.computes_enqueued.fetch_add(1, std::memory_order_relaxed);
           break;
         case ActionType::transfer:
-          ++stats_.transfers_enqueued;
+          stats_.transfers_enqueued.fetch_add(1, std::memory_order_relaxed);
           if (s.domain == kHostDomain) {
-            ++stats_.transfers_aliased_away;
+            stats_.transfers_aliased_away.fetch_add(
+                1, std::memory_order_relaxed);
           }
           break;
         default:
-          ++stats_.syncs_enqueued;
+          stats_.syncs_enqueued.fetch_add(1, std::memory_order_relaxed);
           break;
       }
 
@@ -805,8 +1046,9 @@ void Runtime::admit_prelinked(std::span<const PrelinkedAction> batch,
         trace_->on_enqueue(tr);
       }
     }
-    ++stats_.graph_replays;
+    stats_.graph_replays.fetch_add(1, std::memory_order_relaxed);
   }
+  locks.clear();
   for (const auto& record : ready) {
     dispatch(record);
   }
@@ -827,54 +1069,107 @@ void Runtime::dispatch(const std::shared_ptr<ActionRecord>& record) {
 void Runtime::complete_action(ActionId id) {
   // Claim gate: an action can race between its executor `done` callback
   // and an early completion by stream_cancel/mark_domain_lost. Whoever
-  // sets `claimed` first (under the lock) delivers the completion; the
-  // loser becomes a no-op here.
+  // sets `claimed` first (under the action's stream lock) delivers the
+  // completion; the loser becomes a no-op here.
+  //
+  // Lock order note: the shard lookup copies the record out and drops
+  // the shard lock *before* taking the stream lock — a shard lock is
+  // never held while acquiring a stream lock.
+  std::shared_ptr<ActionRecord> record;
   {
-    const std::scoped_lock lock(mutex_);
-    const auto it = deps_.find(id);
-    if (it == deps_.end() || it->second.record->claimed) {
+    DepShard& shard = shard_for(id);
+    lock_counted(shard.mu);
+    const std::lock_guard<std::mutex> lock(shard.mu, std::adopt_lock);
+    const auto it = shard.map.find(id);
+    if (it == shard.map.end()) {
       return;
     }
-    it->second.record->claimed = true;
+    record = it->second.record;
   }
-  finish_action(id);
+  {
+    StreamState* stream = nullptr;
+    {
+      std::shared_lock streams(streams_mutex_);
+      stream = streams_[record->stream.value].get();
+    }
+    lock_counted(stream->mu);
+    const std::lock_guard<std::mutex> lock(stream->mu, std::adopt_lock);
+    // claimed==false implies the dep entry still exists: erasure only
+    // happens after a claim, under this same stream lock.
+    if (record->claimed) {
+      return;
+    }
+    record->claimed = true;
+  }
+  finish_action(std::move(record));
 }
 
-void Runtime::finish_action(ActionId id) {
-  // Trampoline: executors may complete actions synchronously from within
-  // dispatch (aliased transfers, signals); queueing bounds the recursion
-  // depth for long chains of instant actions. The queue is per *thread*
-  // but tags each entry with its runtime: event callbacks may chain a
-  // completion in one runtime into an enqueue/completion in another
-  // (events are runtime-agnostic), and each entry must drain against the
-  // runtime that produced it.
-  static thread_local std::vector<std::pair<Runtime*, ActionId>> queue;
-  static thread_local bool draining = false;
-  queue.emplace_back(this, id);
-  if (draining) {
-    return;
+void Runtime::finish_action(std::shared_ptr<ActionRecord> record) {
+  // MPSC completion queue: any thread may push; the first pusher becomes
+  // the drainer and applies completions one at a time in push (FIFO)
+  // order — a single unblocking pass, so successor wakeups stay
+  // deterministic, and recursion through completion callbacks (which may
+  // chain into another enqueue or another runtime) stays bounded: a
+  // callback that re-enters finish_action while a drain is active just
+  // enqueues and returns.
+  {
+    const std::scoped_lock lock(completion_mutex_);
+    completion_queue_.push_back(std::move(record));
+    if (completion_draining_) {
+      return;
+    }
+    completion_draining_ = true;
   }
-  draining = true;
-  while (!queue.empty()) {
-    const auto [runtime, next] = queue.front();
-    queue.erase(queue.begin());
-    runtime->process_completion(next);
+  for (;;) {
+    std::shared_ptr<ActionRecord> next;
+    {
+      const std::scoped_lock lock(completion_mutex_);
+      if (completion_queue_.empty()) {
+        completion_draining_ = false;
+        return;
+      }
+      next = std::move(completion_queue_.front());
+      completion_queue_.pop_front();
+    }
+    process_completion(next);
   }
-  draining = false;
 }
 
-void Runtime::process_completion(ActionId id) {
+void Runtime::notify_waiters() {
+  // The empty critical section is the fence against lost wakeups: a host
+  // waiter evaluates its (self-locking) predicate while holding mutex_,
+  // so we cannot complete-and-notify entirely between its predicate
+  // check and its cv wait.
+  { const std::scoped_lock lock(mutex_); }
+  cv_.notify_all();
+}
+
+void Runtime::process_completion(const std::shared_ptr<ActionRecord>& record) {
   std::shared_ptr<EventState> completion;
   std::vector<std::shared_ptr<ActionRecord>> ready;
+  const ActionId id = record->id;
+  StreamState* stream_ptr = nullptr;
   {
-    const std::scoped_lock lock(mutex_);
-    const auto it = deps_.find(id);
-    require(it != deps_.end(), "completion of unknown action",
-            Errc::internal);
-    DepState dep = std::move(it->second);
-    deps_.erase(it);
+    std::shared_lock streams(streams_mutex_);
+    stream_ptr = streams_[record->stream.value].get();
+  }
+  StreamState& stream = *stream_ptr;
+  {
+    lock_counted(stream.mu);
+    const std::lock_guard<std::mutex> lock(stream.mu, std::adopt_lock);
+    DepState dep;
+    {
+      DepShard& shard = shard_for(id);
+      lock_counted(shard.mu);
+      const std::lock_guard<std::mutex> sl(shard.mu, std::adopt_lock);
+      const auto it = shard.map.find(id);
+      require(it != shard.map.end(), "completion of unknown action",
+              Errc::internal);
+      dep = std::move(it->second);
+      shard.map.erase(it);
+    }
 
-    ActionRecord& rec = *dep.record;
+    ActionRecord& rec = *record;
     rec.state = ActionRecord::State::done;
     completion = rec.completion;
     // Cancelled and failed actions were already counted when they were
@@ -882,12 +1177,13 @@ void Runtime::process_completion(ActionId id) {
     // them here again would break the completed+failed+cancelled ==
     // enqueued invariant the loss-stress tests pin down.
     if (!rec.cancelled && !rec.failed) {
-      ++stats_.actions_completed;
+      stats_.actions_completed.fetch_add(1, std::memory_order_relaxed);
     }
-    const DomainId completion_domain = dep.stream->domain;
+    const DomainId completion_domain = stream.domain;
     if (rec.type == ActionType::transfer && !rec.cancelled &&
         completion_domain != kHostDomain) {
-      stats_.bytes_transferred += rec.transfer.length;
+      stats_.bytes_transferred.fetch_add(rec.transfer.length,
+                                         std::memory_order_relaxed);
     }
     // Dirty-range bookkeeping (see Buffer): a device compute that ran to
     // completion makes its written ranges newer than the host copy; a
@@ -895,6 +1191,7 @@ void Runtime::process_completion(ActionId id) {
     // over its range. Cancelled actions had no effects; a failed body's
     // partial effects are garbage, not data worth preserving.
     if (!rec.cancelled && !rec.failed && completion_domain != kHostDomain) {
+      std::shared_lock buffers(buffers_mutex_);
       try {
         if (rec.type == ActionType::compute) {
           for (const Operand& op : rec.operands) {
@@ -914,27 +1211,43 @@ void Runtime::process_completion(ActionId id) {
       }
     }
 
-    auto& window = dep.stream->window;
+    // Retire the action from the dependence index before unblocking
+    // successors (they recompute nothing, but the invariant "the index
+    // holds exactly the incomplete window" keeps later admissions exact).
+    if (!dep_legacy_ && stream.policy != OrderPolicy::strict_fifo) {
+      for (const Operand& op : rec.operands) {
+        stream.index.erase(op, id);
+      }
+      if (rec.full_barrier) {
+        std::erase_if(stream.barriers, [id](const BarrierRef& b) {
+          return b.action == id;
+        });
+      }
+    }
+
+    auto& window = stream.window;
     while (!window.empty() &&
            window.front()->state == ActionRecord::State::done) {
       window.pop_front();
     }
 
     for (const ActionId succ_id : dep.successors) {
-      const auto sit = deps_.find(succ_id);
-      if (sit == deps_.end()) {
+      // Successors are same-stream (dependences are intra-stream), so
+      // this stream's lock covers their DepState fields and the entries
+      // cannot be erased from under us.
+      DepState* succ = dep_find(succ_id);
+      if (succ == nullptr) {
         continue;
       }
-      DepState& succ = sit->second;
-      require(succ.blockers > 0, "dependence underflow", Errc::internal);
-      if (--succ.blockers == 0 &&
-          succ.record->state == ActionRecord::State::pending) {
-        succ.record->state = ActionRecord::State::dispatched;
-        if (!succ.stream->window.empty() &&
-            succ.record != succ.stream->window.front()) {
-          ++stats_.ooo_dispatches;
+      require(succ->blockers > 0, "dependence underflow", Errc::internal);
+      if (--succ->blockers == 0 &&
+          succ->record->state == ActionRecord::State::pending) {
+        succ->record->state = ActionRecord::State::dispatched;
+        if (!succ->stream->window.empty() &&
+            succ->record != succ->stream->window.front()) {
+          stats_.ooo_dispatches.fetch_add(1, std::memory_order_relaxed);
         }
-        ready.push_back(succ.record);
+        ready.push_back(succ->record);
       }
     }
   }
@@ -947,27 +1260,46 @@ void Runtime::process_completion(ActionId id) {
   for (auto& callback : completion->fire()) {
     callback();
   }
-  cv_.notify_all();
-  for (const auto& record : ready) {
-    dispatch(record);
+  notify_waiters();
+  for (const auto& r : ready) {
+    dispatch(r);
   }
 }
 
 // --- Host-side synchronization ----------------------------------------------
 
 void Runtime::fail_action(ActionId id, std::exception_ptr error) {
+  std::shared_ptr<ActionRecord> record;
   {
-    const std::scoped_lock lock(mutex_);
-    const auto it = deps_.find(id);
-    if (it == deps_.end() || it->second.record->claimed) {
+    DepShard& shard = shard_for(id);
+    lock_counted(shard.mu);
+    const std::lock_guard<std::mutex> lock(shard.mu, std::adopt_lock);
+    const auto it = shard.map.find(id);
+    if (it == shard.map.end()) {
       return;  // already failed by cancellation or domain loss
     }
-    it->second.record->claimed = true;
-    it->second.record->failed = true;
-    ++stats_.actions_failed;
+    record = it->second.record;
+  }
+  {
+    StreamState* stream = nullptr;
+    {
+      std::shared_lock streams(streams_mutex_);
+      stream = streams_[record->stream.value].get();
+    }
+    lock_counted(stream->mu);
+    const std::lock_guard<std::mutex> lock(stream->mu, std::adopt_lock);
+    if (record->claimed) {
+      return;
+    }
+    record->claimed = true;
+    record->failed = true;
+  }
+  stats_.actions_failed.fetch_add(1, std::memory_order_relaxed);
+  {
+    const std::scoped_lock lock(mutex_);
     push_pending_error(std::move(error));
   }
-  finish_action(id);
+  finish_action(std::move(record));
 }
 
 void Runtime::push_pending_error(std::exception_ptr error) {
@@ -1038,20 +1370,32 @@ void rethrow_pending(std::mutex& mutex,
 
 }  // namespace
 
+bool Runtime::stream_idle(StreamId stream) const {
+  const StreamState& s = stream_state(stream);
+  const std::scoped_lock lock(s.mu);
+  return s.window.empty();
+}
+
+bool Runtime::all_streams_idle() const {
+  std::shared_lock streams(streams_mutex_);
+  for (const auto& s : streams_) {
+    const std::scoped_lock lock(s->mu);
+    if (!s->window.empty()) {
+      return false;
+    }
+  }
+  return true;
+}
+
 void Runtime::stream_synchronize(StreamId stream) {
-  executor_->wait([this, stream] {
-    // mutex_ is held by the executor's wait implementation.
-    return stream_state(stream).window.empty();
-  });
+  // The predicate self-synchronizes (shared stream lookup + stream
+  // lock); the executor's wait only supplies the cv rendezvous.
+  executor_->wait([this, stream] { return stream_idle(stream); });
   rethrow_pending(mutex_, pending_errors_);
 }
 
 void Runtime::synchronize() {
-  executor_->wait([this] {
-    return std::all_of(streams_.begin(), streams_.end(), [](const auto& s) {
-      return s->window.empty();
-    });
-  });
+  executor_->wait([this] { return all_streams_idle(); });
   rethrow_pending(mutex_, pending_errors_);
 }
 
@@ -1069,8 +1413,7 @@ void Runtime::event_wait_host(
 
 Status Runtime::stream_synchronize(StreamId stream, double timeout_s) {
   const bool drained = executor_->wait_for(
-      [this, stream] { return stream_state(stream).window.empty(); },
-      timeout_s);
+      [this, stream] { return stream_idle(stream); }, timeout_s);
   if (!drained) {
     return Status::error(Errc::timed_out, "stream_synchronize deadline");
   }
@@ -1078,12 +1421,8 @@ Status Runtime::stream_synchronize(StreamId stream, double timeout_s) {
 }
 
 Status Runtime::synchronize(double timeout_s) {
-  const bool drained = executor_->wait_for(
-      [this] {
-        return std::all_of(streams_.begin(), streams_.end(),
-                           [](const auto& s) { return s->window.empty(); });
-      },
-      timeout_s);
+  const bool drained =
+      executor_->wait_for([this] { return all_streams_idle(); }, timeout_s);
   if (!drained) {
     return Status::error(Errc::timed_out, "synchronize deadline");
   }
@@ -1127,16 +1466,16 @@ FaultDecision Runtime::next_transfer_fault(DomainId domain,
         health_sample(domain, 1.0);
         break;
       case FaultKind::transient_error:
-        ++stats_.faults_injected;
+        stats_.faults_injected.fetch_add(1, std::memory_order_relaxed);
         health_sample(domain, 0.0);
         break;
       case FaultKind::link_stall:
-        ++stats_.faults_injected;
+        stats_.faults_injected.fetch_add(1, std::memory_order_relaxed);
         ++health_[domain.value].stalls;
         health_sample(domain, 0.5);  // succeeded, but late
         break;
       case FaultKind::device_loss:
-        ++stats_.faults_injected;
+        stats_.faults_injected.fetch_add(1, std::memory_order_relaxed);
         // mark_domain_lost (which the executor calls next) pins the
         // health at zero; nothing to sample here.
         break;
@@ -1147,19 +1486,18 @@ FaultDecision Runtime::next_transfer_fault(DomainId domain,
 
 void Runtime::note_transfer_retry(DomainId domain) {
   const std::scoped_lock lock(mutex_);
-  ++stats_.transfers_retried;
+  stats_.transfers_retried.fetch_add(1, std::memory_order_relaxed);
   ++health_[domain.value].retries;
 }
 
 void Runtime::note_partial_recovery(std::uint64_t reexecuted) {
-  const std::scoped_lock lock(mutex_);
-  ++stats_.partial_recoveries;
-  stats_.actions_reexecuted += reexecuted;
+  stats_.partial_recoveries.fetch_add(1, std::memory_order_relaxed);
+  stats_.actions_reexecuted.fetch_add(reexecuted, std::memory_order_relaxed);
 }
 
 void Runtime::health_sample(DomainId id, double outcome) {
   if (health_[id.value].sample(outcome, config_.health)) {
-    ++stats_.links_degraded;
+    stats_.links_degraded.fetch_add(1, std::memory_order_relaxed);
     log_error("link to domain %u degraded (health %.3f); steering new work "
               "away", id.value, health_[id.value].score);
   }
@@ -1189,7 +1527,7 @@ DomainId Runtime::pick_healthy(std::span<const DomainId> candidates) {
     }
     if (!health_[c.value].degraded) {
       if (c != preferred) {
-        ++stats_.placements_steered;
+        stats_.placements_steered.fetch_add(1, std::memory_order_relaxed);
       }
       return c;
     }
@@ -1199,7 +1537,7 @@ DomainId Runtime::pick_healthy(std::span<const DomainId> candidates) {
   }
   if (fallback != nullptr) {
     if (*fallback != preferred) {
-      ++stats_.placements_steered;
+      stats_.placements_steered.fetch_add(1, std::memory_order_relaxed);
     }
     return *fallback;
   }
@@ -1207,8 +1545,35 @@ DomainId Runtime::pick_healthy(std::span<const DomainId> candidates) {
 }
 
 RuntimeStats Runtime::stats() const {
-  const std::scoped_lock lock(mutex_);
-  return stats_;
+  RuntimeStats out;
+  const auto get = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  out.computes_enqueued = get(stats_.computes_enqueued);
+  out.transfers_enqueued = get(stats_.transfers_enqueued);
+  out.syncs_enqueued = get(stats_.syncs_enqueued);
+  out.actions_completed = get(stats_.actions_completed);
+  out.actions_failed = get(stats_.actions_failed);
+  out.transfers_aliased_away = get(stats_.transfers_aliased_away);
+  out.bytes_transferred = get(stats_.bytes_transferred);
+  out.ooo_dispatches = get(stats_.ooo_dispatches);
+  out.faults_injected = get(stats_.faults_injected);
+  out.transfers_retried = get(stats_.transfers_retried);
+  out.actions_cancelled = get(stats_.actions_cancelled);
+  out.domains_lost = get(stats_.domains_lost);
+  out.graphs_captured = get(stats_.graphs_captured);
+  out.graph_replays = get(stats_.graph_replays);
+  out.deps_reused = get(stats_.deps_reused);
+  out.transfers_coalesced = get(stats_.transfers_coalesced);
+  out.links_degraded = get(stats_.links_degraded);
+  out.placements_steered = get(stats_.placements_steered);
+  out.partial_recoveries = get(stats_.partial_recoveries);
+  out.actions_reexecuted = get(stats_.actions_reexecuted);
+  out.dep_index_hits = get(stats_.dep_index_hits);
+  out.dep_scan_steps = get(stats_.dep_scan_steps);
+  out.lock_shard_contention = get(stats_.lock_shard_contention);
+  out.dep_oracle_checks = get(stats_.dep_oracle_checks);
+  return out;
 }
 
 // --- TaskContext -------------------------------------------------------------

@@ -18,11 +18,14 @@
 // Execution itself — threads and time — is delegated to an Executor
 // backend (threaded or simulated).
 
+#include <array>
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <span>
 #include <vector>
 
@@ -74,6 +77,17 @@ struct RuntimeStats {
                                          ///< a degraded (or dead) choice
   std::uint64_t partial_recoveries = 0;  ///< graph-based subset re-launches
   std::uint64_t actions_reexecuted = 0;  ///< actions re-admitted by recovery
+  std::uint64_t dep_index_hits = 0;   ///< dependence edges found via the
+                                      ///< per-buffer interval index
+  std::uint64_t dep_scan_steps = 0;   ///< elementary dependence-analysis
+                                      ///< steps: index segments/entries
+                                      ///< visited plus window entries
+                                      ///< scanned on legacy/strict/barrier
+                                      ///< paths
+  std::uint64_t lock_shard_contention = 0;  ///< contended acquisitions of a
+                                            ///< stream or dep-shard lock
+  std::uint64_t dep_oracle_checks = 0;  ///< admissions cross-checked against
+                                        ///< the legacy pairwise scan
 };
 
 /// Construction-time configuration.
@@ -96,6 +110,15 @@ struct RuntimeConfig {
   /// Link-health EWMA tuning for fault-aware placement
   /// (interconnect/health.hpp).
   HealthPolicy health;
+  /// Use the pre-index pairwise window scan for dependence analysis
+  /// instead of the per-buffer interval index (DESIGN.md "Scalable
+  /// admission path"). Kept as the reference implementation and the
+  /// honest baseline for bench_enqueue_scale. Env: HS_DEP_LEGACY=1.
+  bool dep_legacy_scan = false;
+  /// Debug oracle: run the index *and* the legacy scan on every relaxed
+  /// admission and throw Errc::internal if the blocker sets differ.
+  /// Env: HS_DEP_ORACLE=1.
+  bool dep_oracle = false;
 };
 
 /// Where enqueues go during graph capture: instead of being admitted into
@@ -373,25 +396,55 @@ class Runtime {
     return config_.retry;
   }
   [[nodiscard]] FaultInjector& fault_injector() noexcept { return injector_; }
-  /// Runtime lock + condition variable, used by ThreadedExecutor::wait.
+  /// Host-wait rendezvous lock + condition variable, used by
+  /// Executor::wait implementations. Since the sharded-locking refactor
+  /// this mutex no longer guards stream/dependence state — wait
+  /// predicates are self-synchronizing — it only pairs with the
+  /// condition variable so completion notifications are not lost.
   [[nodiscard]] std::mutex& mutex() noexcept { return mutex_; }
   [[nodiscard]] std::condition_variable& completion_cv() noexcept {
     return cv_;
   }
 
  private:
+  /// An incomplete stream-wide barrier (event wait/signal with no
+  /// operands): it conflicts with every action, so it cannot live in the
+  /// byte-range index and is tracked by seq alongside it.
+  struct BarrierRef {
+    ActionId action;
+    std::uint64_t seq = 0;
+  };
+
+  /// Per-stream admission state. `mu` serializes admissions into and
+  /// completions out of this one stream; enqueues on different streams
+  /// do not contend. Lock order: below streams_mutex_, above the dep
+  /// shards (see DESIGN.md "Locking protocol").
   struct StreamState {
     StreamId id;
     DomainId domain;
     CpuMask mask;
     OrderPolicy policy;
+    mutable std::mutex mu;
     std::uint64_t next_seq = 0;
     /// Incomplete actions in FIFO order (pending or dispatched).
     std::deque<std::shared_ptr<ActionRecord>> window;
-    bool alive = true;
+    /// Byte-range dependence index over the incomplete window (relaxed
+    /// streams on the index path only).
+    StreamDepIndex index;
+    /// Incomplete full-barrier actions, in seq order.
+    std::vector<BarrierRef> barriers;
+    /// Admission scratch (candidate uses), reused across admissions to
+    /// keep the index fast path allocation-free. Guarded by `mu` like
+    /// the index itself.
+    mutable std::vector<DepUse> scratch_uses;
+    /// Atomic so stream lookups need only the shared streams_mutex_.
+    std::atomic<bool> alive{true};
   };
 
-  // Dependence bookkeeping attached per action, keyed by id.
+  // Dependence bookkeeping attached per action, keyed by id. The owning
+  // shard's lock guards only the map's insert/find/erase; the fields are
+  // mutated under the action's stream lock (values are pointer-stable
+  // across rehash, and erasure happens only under that same stream lock).
   struct DepState {
     std::shared_ptr<ActionRecord> record;
     std::size_t blockers = 0;
@@ -399,26 +452,74 @@ class Runtime {
     StreamState* stream = nullptr;
   };
 
+  /// One stripe of the action table. Striping by id keeps completions of
+  /// unrelated actions off each other's locks.
+  struct DepShard {
+    std::mutex mu;
+    std::unordered_map<ActionId, DepState> map;
+  };
+  static constexpr std::size_t kDepShards = 16;
+
+  /// Self-locking lookups (shared streams_mutex_ inside); the returned
+  /// reference stays valid for the runtime's lifetime (entries are
+  /// pointer-stable and never erased).
   [[nodiscard]] StreamState& stream_state(StreamId id);
   [[nodiscard]] const StreamState& stream_state(StreamId id) const;
+  /// Variants for callers already holding streams_mutex_ (shared_mutex
+  /// acquisition is not recursive).
+  [[nodiscard]] StreamState& stream_state_unlocked(StreamId id);
+  [[nodiscard]] const StreamState& stream_state_unlocked(StreamId id) const;
+
+  /// Locks `m`, counting a contended acquisition (try_lock miss) into
+  /// lock_shard_contention.
+  void lock_counted(std::mutex& m) const;
+
+  [[nodiscard]] DepShard& shard_for(ActionId id) {
+    return shards_[id.value % kDepShards];
+  }
+  /// Shard lookup; returns nullptr if absent. The returned pointer stays
+  /// valid while the caller holds the action's stream lock (which blocks
+  /// the only erasure path).
+  [[nodiscard]] DepState* dep_find(ActionId id);
 
   /// Inserts a fully-formed record into its stream window, wires
-  /// dependence edges, and dispatches it if already ready. Takes the lock.
+  /// dependence edges, and dispatches it if already ready. Takes the
+  /// stream's lock.
   std::shared_ptr<EventState> admit(StreamState& stream,
                                     std::shared_ptr<ActionRecord> record);
+
+  /// Computes this record's blockers among earlier incomplete window
+  /// entries by the legacy pairwise scan (stream lock held). `limit`
+  /// bounds the scan to the first `limit` window entries (the pre-batch
+  /// residue for prelinked admission; the full window otherwise).
+  [[nodiscard]] std::vector<ActionId> legacy_blockers(
+      const StreamState& stream, const ActionRecord& record,
+      std::size_t limit) const;
+
+  /// Computes blockers via the per-buffer interval index + live-barrier
+  /// list (stream lock held), deduped and in admission (seq) order. Only
+  /// uses with seq < `seq_limit` participate (UINT64_MAX = all; the
+  /// residue filter for prelinked admission). Cross-checks against
+  /// legacy_blockers when the oracle is on.
+  [[nodiscard]] std::vector<ActionId> indexed_blockers(
+      const StreamState& stream, const ActionRecord& record,
+      std::uint64_t seq_limit, std::size_t window_limit) const;
 
   /// Hands a ready action to the executor (no lock held).
   void dispatch(const std::shared_ptr<ActionRecord>& record);
 
-  /// Trampoline entry for an action whose completion is already claimed:
-  /// queues it on the thread-local completion queue (bounding recursion
-  /// depth for chains of instantly-completing actions).
-  void finish_action(ActionId id);
+  /// Entry for an action whose completion is already claimed: pushes it
+  /// onto the MPSC completion queue; the first pusher becomes the
+  /// drainer and applies queued completions in FIFO order (single
+  /// unblocking pass — deterministic, and recursion through completion
+  /// callbacks stays bounded).
+  void finish_action(std::shared_ptr<ActionRecord> record);
 
-  /// Applies one completion: window drain, successor unblocking.
-  void process_completion(ActionId id);
+  /// Applies one completion: index/window maintenance, successor
+  /// unblocking, completion-event fire, waiter notification.
+  void process_completion(const std::shared_ptr<ActionRecord>& record);
 
-  /// Queues a captured sink error (lock held). The queue is bounded;
+  /// Queues a captured sink error (mutex_ held). The queue is bounded;
   /// overflow drops the newest error after logging it.
   void push_pending_error(std::exception_ptr error);
 
@@ -426,36 +527,103 @@ class Runtime {
   /// held on entry).
   [[nodiscard]] Status take_pending_status();
 
-  /// Throws Errc::device_lost unless the domain is alive (lock held).
+  /// Throws Errc::device_lost unless the domain is alive (lock-free).
   void require_domain_alive(DomainId id) const;
 
   /// Folds one transfer-attempt outcome into `domain`'s health EWMA
-  /// (lock held); counts degradation transitions.
+  /// (mutex_ held); counts degradation transitions.
   void health_sample(DomainId id, double outcome);
+
+  /// True when every stream's window is empty (self-locking).
+  [[nodiscard]] bool all_streams_idle() const;
+  /// True when `stream`'s window is empty (self-locking).
+  [[nodiscard]] bool stream_idle(StreamId stream) const;
+
+  /// Wakes host waiters after a state change, with the mutex_ fence that
+  /// prevents lost wakeups (waiters re-check predicates under mutex_).
+  void notify_waiters();
+
+  /// Mirrors RuntimeStats as relaxed atomics so hot paths never take a
+  /// lock to count. stats() snapshots it.
+  struct AtomicStats {
+    std::atomic<std::uint64_t> computes_enqueued{0};
+    std::atomic<std::uint64_t> transfers_enqueued{0};
+    std::atomic<std::uint64_t> syncs_enqueued{0};
+    std::atomic<std::uint64_t> actions_completed{0};
+    std::atomic<std::uint64_t> actions_failed{0};
+    std::atomic<std::uint64_t> transfers_aliased_away{0};
+    std::atomic<std::uint64_t> bytes_transferred{0};
+    std::atomic<std::uint64_t> ooo_dispatches{0};
+    std::atomic<std::uint64_t> faults_injected{0};
+    std::atomic<std::uint64_t> transfers_retried{0};
+    std::atomic<std::uint64_t> actions_cancelled{0};
+    std::atomic<std::uint64_t> domains_lost{0};
+    std::atomic<std::uint64_t> graphs_captured{0};
+    std::atomic<std::uint64_t> graph_replays{0};
+    std::atomic<std::uint64_t> deps_reused{0};
+    std::atomic<std::uint64_t> transfers_coalesced{0};
+    std::atomic<std::uint64_t> links_degraded{0};
+    std::atomic<std::uint64_t> placements_steered{0};
+    std::atomic<std::uint64_t> partial_recoveries{0};
+    std::atomic<std::uint64_t> actions_reexecuted{0};
+    std::atomic<std::uint64_t> dep_index_hits{0};
+    std::atomic<std::uint64_t> dep_scan_steps{0};
+    std::atomic<std::uint64_t> lock_shard_contention{0};
+    std::atomic<std::uint64_t> dep_oracle_checks{0};
+  };
 
   RuntimeConfig config_;
   std::unique_ptr<Executor> executor_;
   Topology topology_;
   BufferPool pool_;
 
+  /// Host-wait rendezvous only (see mutex()); also guards the cold state
+  /// below that is not worth its own lock: health_, memory_used_,
+  /// pending_errors_, injector decisions, and domain-loss transitions.
   mutable std::mutex mutex_;
   std::condition_variable cv_;
+  /// Guards the BufferPool's accounting (executor threads stage
+  /// transfers concurrently).
+  std::mutex pool_mutex_;
 
-  std::vector<Domain> domains_;
+  /// Deque, not vector: Domain holds an atomic and never relocates.
+  std::deque<Domain> domains_;
   /// Per-domain link health, indexed by domain id (host entry unused).
   std::vector<LinkHealth> health_;
   /// Per-domain enqueue-order transfer ids (the FaultInjector identity
-  /// key), indexed by domain id.
-  std::vector<std::uint64_t> next_transfer_seq_;
+  /// key), indexed by domain id. Sized once at construction.
+  std::vector<std::atomic<std::uint64_t>> next_transfer_seq_;
+
+  /// Guards the streams_ vector itself (create/destroy take it
+  /// exclusively; lookups shared). Entries are pointer-stable.
+  mutable std::shared_mutex streams_mutex_;
   std::vector<std::unique_ptr<StreamState>> streams_;
+
+  /// Guards the BufferTable's structure (create/destroy exclusive,
+  /// lookups shared); each Buffer's own state has a leaf lock.
+  mutable std::shared_mutex buffers_mutex_;
   BufferTable buffers_;
-  /// Bytes charged against each (domain, kind) budget.
+  /// Bytes charged against each (domain, kind) budget (mutex_).
   std::map<std::pair<std::uint32_t, MemKind>, std::size_t> memory_used_;
-  std::unordered_map<ActionId, DepState> deps_;
-  std::uint32_t next_action_id_ = 0;
-  std::uint32_t next_graph_id_ = 1;  ///< 0 is reserved for eager actions
-  CaptureSink* capture_ = nullptr;
-  RuntimeStats stats_;
+
+  /// The striped action table (formerly one `deps_` map).
+  std::array<DepShard, kDepShards> shards_;
+
+  /// MPSC completion queue: producers are executor threads and
+  /// cancellation paths; the first pusher drains (completion_draining_).
+  std::mutex completion_mutex_;
+  std::deque<std::shared_ptr<ActionRecord>> completion_queue_;
+  bool completion_draining_ = false;
+
+  /// One global atomic keeps ActionIds in enqueue order (ids assigned
+  /// under the stream lock stay monotone within each stream's window).
+  std::atomic<std::uint32_t> next_action_id_{0};
+  std::atomic<std::uint32_t> next_graph_id_{1};  ///< 0 marks eager actions
+  std::atomic<CaptureSink*> capture_{nullptr};
+  /// Mutable: const introspection paths still count scan steps.
+  mutable AtomicStats stats_;
+  bool dep_legacy_ = false;  ///< resolved config ∪ HS_DEP_LEGACY
+  bool dep_oracle_ = false;  ///< resolved config ∪ HS_DEP_ORACLE
   /// Unreported sink errors, oldest first (bounded; see push_pending_error).
   std::deque<std::exception_ptr> pending_errors_;
   FaultInjector injector_;

@@ -285,6 +285,11 @@ void ThreadedExecutor::submit_transfer_attempt(
 }
 
 void ThreadedExecutor::wait(const std::function<bool()>& ready) {
+  // mutex() is the cv rendezvous only: the predicate takes the stream /
+  // buffer locks it needs itself. Completers enter an empty mutex()
+  // critical section before notifying (Runtime::notify_waiters), so a
+  // completion cannot slip wholly between our predicate check and the cv
+  // wait — the lost-wakeup fence survives the sharded-locking refactor.
   std::unique_lock lock(runtime_->mutex());
   runtime_->completion_cv().wait(lock, ready);
 }

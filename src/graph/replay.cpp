@@ -67,6 +67,10 @@ std::shared_ptr<ActionRecord> GraphExec::materialize(const GraphNode& node) {
 }
 
 GraphExec::Launch GraphExec::launch() {
+  // The whole batch goes through Runtime::admit_prelinked, which locks
+  // only the streams the graph touches (in ascending-id order) and wires
+  // the captured edges verbatim; only the residue against pre-batch
+  // window entries is re-analyzed, via the per-stream dependence index.
   const std::size_t n = graph_.nodes.size();
   std::vector<PrelinkedAction> batch(n);
   Launch out;

@@ -183,12 +183,12 @@ void SimExecutor::start_transfer_attempt(
 }
 
 void SimExecutor::wait(const std::function<bool()>& ready) {
+  // No lock around the poll: wait predicates are self-synchronizing
+  // (see Executor::wait), and the simulator is single-threaded — all
+  // completions happen inside queue_.step() on this thread.
   for (;;) {
-    {
-      const std::scoped_lock lock(runtime_->mutex());
-      if (ready()) {
-        return;
-      }
+    if (ready()) {
+      return;
     }
     require(queue_.step(),
             "simulation deadlock: host is waiting but no events are pending "
@@ -202,11 +202,8 @@ bool SimExecutor::wait_for(const std::function<bool()>& ready,
                            double timeout_s) {
   const double deadline = queue_.now() + timeout_s;
   for (;;) {
-    {
-      const std::scoped_lock lock(runtime_->mutex());
-      if (ready()) {
-        return true;
-      }
+    if (ready()) {
+      return true;
     }
     // Timeout when the simulation cannot make `ready` true by the
     // deadline: either nothing is pending at all (a wedged stream) or the

@@ -138,5 +138,42 @@ int main(int argc, char** argv) {
               "multiplier=%g\n",
               retry.max_attempts, retry.base_backoff_s * 1e6,
               retry.multiplier);
+
+  // Admission-path probe: a short multi-stream enqueue burst through the
+  // per-buffer dependence index, so the discovery tool also reports what
+  // dependence analysis costs on this build (HS_DEP_LEGACY / HS_DEP_ORACLE
+  // change these numbers; see DESIGN.md "Scalable admission path").
+  {
+    constexpr std::size_t kStreams = 4;
+    constexpr std::size_t kActionsPerStream = 64;
+    static double burst_data[kStreams * kActionsPerStream];
+    (void)runtime.buffer_create(burst_data, sizeof burst_data);
+    for (std::size_t s = 0; s < kStreams; ++s) {
+      const StreamId stream =
+          runtime.stream_create(kHostDomain, CpuMask::first_n(1));
+      for (std::size_t a = 0; a < kActionsPerStream; ++a) {
+        // One private write plus one read of the stream's slot 0: every
+        // action depends on the first, exercising both index paths.
+        const OperandRef ops[] = {
+            {&burst_data[s * kActionsPerStream + a], sizeof(double),
+             Access::out},
+            {&burst_data[s * kActionsPerStream], sizeof(double), Access::in},
+        };
+        ComputePayload payload;
+        payload.body = [](TaskContext&) {};
+        (void)runtime.enqueue_compute(stream, std::move(payload), ops);
+      }
+    }
+    runtime.synchronize();
+    const RuntimeStats stats = runtime.stats();
+    std::printf("\nadmission path (%zu streams x %zu actions):\n", kStreams,
+                kActionsPerStream);
+    std::printf("  dep_index_hits=%llu dep_scan_steps=%llu "
+                "lock_shard_contention=%llu dep_oracle_checks=%llu\n",
+                static_cast<unsigned long long>(stats.dep_index_hits),
+                static_cast<unsigned long long>(stats.dep_scan_steps),
+                static_cast<unsigned long long>(stats.lock_shard_contention),
+                static_cast<unsigned long long>(stats.dep_oracle_checks));
+  }
   return 0;
 }
