@@ -124,6 +124,12 @@ struct CountingRuntimeDeleter {
     report::note_counter("dep_scan_steps", s.dep_scan_steps);
     report::note_counter("dep_index_hits", s.dep_index_hits);
     report::note_counter("lock_shard_contention", s.lock_shard_contention);
+    report::note_counter("bytes_transferred", s.bytes_transferred);
+    report::note_counter("transfers_elided", s.transfers_elided);
+    report::note_counter("bytes_elided", s.bytes_elided);
+    report::note_counter("transfer_chunks", s.transfer_chunks);
+    report::note_counter("pipeline_serial_us", s.pipeline_serial_us);
+    report::note_counter("pipeline_actual_us", s.pipeline_actual_us);
     delete rt;
   }
 };

@@ -1,13 +1,19 @@
 #!/usr/bin/env python3
-"""Perf-smoke regression gate for the admission path.
+"""Perf-smoke regression gate for the admission and transfer paths.
 
-Compares the BENCH_overheads.json / BENCH_enqueue_scale.json produced by
-a (quick-mode) bench run in the current directory against the committed
-reference numbers in bench/baselines/BENCH_SUMMARY.json. Fails (exit 1)
-if any tracked per-action enqueue cost regresses by more than the
-baseline's max_regression factor (3x by default: generous enough for
+Compares the BENCH_overheads.json / BENCH_enqueue_scale.json /
+BENCH_transfer_pipeline.json produced by a (quick-mode) bench run in the
+current directory against the committed reference numbers in
+bench/baselines/BENCH_SUMMARY.json. Fails (exit 1) if any tracked
+per-action enqueue cost regresses by more than the baseline's
+max_regression factor (3x by default: generous enough for
 runner-to-runner variance, tight enough to catch an accidental return to
 O(window) scanning, which shows up as 5-20x at the tracked shapes).
+
+Transfer-pipeline rows are simulated virtual time — deterministic — so
+they are held to the tighter virtual_regression bound, and the bench's
+own acceptance counters (chunked two-hop >= 1.7x, CG bytes-moved
+reduction >= 30% with bit-identical iterates) fail the gate outright.
 
 Usage: python3 bench/check_perf_smoke.py [baseline.json]
 (run from the directory holding the BENCH_*.json files).
@@ -37,17 +43,18 @@ def main():
     failures = []
     checked = 0
 
-    def check(group, key, measured_us):
+    def check(group, key, measured, unit="us/action", bound=None):
         nonlocal checked
         ref = baseline.get(group, {}).get(key)
         if ref is None:
             return
         checked += 1
-        verdict = "ok" if measured_us <= ref * limit else "REGRESSED"
-        print(f"  {group}[{key}]: {measured_us:.3f} us/action "
-              f"(baseline {ref:.3f}, limit {ref * limit:.3f}) {verdict}")
-        if measured_us > ref * limit:
-            failures.append((group, key, measured_us, ref))
+        cap = limit if bound is None else bound
+        verdict = "ok" if measured <= ref * cap else "REGRESSED"
+        print(f"  {group}[{key}]: {measured:.3f} {unit} "
+              f"(baseline {ref:.3f}, limit {ref * cap:.3f}) {verdict}")
+        if measured > ref * cap:
+            failures.append((group, key, measured, ref, cap))
 
     overheads = load("BENCH_overheads.json")
     for row in table_rows(overheads, "Enqueue cost: eager vs graph replay"):
@@ -66,13 +73,40 @@ def main():
     print(f"  enqueue_scale acceptance (>=2x at depth>=64, >=4 streams): "
           f"{passed}/{shapes} shapes")
 
+    # Virtual-time rows are deterministic, so any drift past the tight
+    # bound is a real change to the transfer scheduler or link model.
+    virtual_limit = float(baseline.get("virtual_regression", 1.2))
+    pipeline = load("BENCH_transfer_pipeline.json")
+    for row in table_rows(pipeline, "Transfer pipeline"):
+        key = f"size={row[0]}MiB,hops={row[1]},chunk=" + \
+            (row[2] if row[2] == "unchunked" else f"{row[2]}MiB")
+        check("transfer_pipeline_virtual_ms", key, float(row[3]),
+              unit="virtual ms", bound=virtual_limit)
+
+    pc = pipeline.get("counters", {})
+    points = pc.get("pipeline_64mib_points", 0)
+    points_ok = pc.get("pipeline_64mib_points_17x", 0)
+    reduction = pc.get("cg_bytes_reduction_pct", 0)
+    identical = pc.get("cg_iterates_bit_identical", 0)
+    print(f"  pipeline acceptance (>=1.7x at 64 MiB, 2 MiB chunk): "
+          f"{points_ok}/{points} points")
+    print(f"  cg elision acceptance: {reduction}% bytes-moved reduction "
+          f"(>= 30), iterates bit-identical: {'yes' if identical else 'NO'}")
+    if points == 0 or points_ok < points:
+        failures.append(("pipeline_acceptance", "64MiB>=1.7x",
+                         points_ok, points, 1.0))
+    if reduction < 30:
+        failures.append(("cg_elision", "reduction_pct", reduction, 30, 1.0))
+    if not identical:
+        failures.append(("cg_elision", "bit_identical", 0, 1, 1.0))
+
     if checked == 0:
         raise SystemExit("baseline matched no measured rows — "
                          "baseline and sweep have drifted apart")
     if failures:
-        for group, key, measured, ref in failures:
-            print(f"FAIL {group}[{key}]: {measured:.3f} us/action vs "
-                  f"baseline {ref:.3f} (> {limit:.1f}x)", file=sys.stderr)
+        for group, key, measured, ref, cap in failures:
+            print(f"FAIL {group}[{key}]: {measured:.3f} vs "
+                  f"baseline {ref:.3f} (> {cap:.1f}x)", file=sys.stderr)
         raise SystemExit(1)
     print(f"perf smoke: {checked} tracked costs within {limit:.1f}x "
           "of baseline")

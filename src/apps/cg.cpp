@@ -165,9 +165,19 @@ struct CgDriver {
       if (dom == kHostDomain) {
         continue;
       }
-      bcast[dom.value] = runtime.enqueue_transfer(
-          streams[dom.value].front(), p.data(), n * sizeof(double),
-          XferDir::src_to_sink);
+      const StreamId s0 = streams[dom.value].front();
+      // Per-block uploads instead of one monolithic p transfer: validity
+      // is tracked by byte range, so the blocks this card itself computed
+      // (and shipped home) in the previous p-update elide to no-ops and
+      // only the blocks other domains own actually move.
+      for (std::size_t i = 0; i < nt; ++i) {
+        (void)runtime.enqueue_transfer(s0, p.data() + i * tile,
+                                       a.tile_rows(i) * sizeof(double),
+                                       XferDir::src_to_sink);
+      }
+      // One barrier signal stands in for "all of p landed" so sibling
+      // streams keep waiting on a single event.
+      bcast[dom.value] = runtime.enqueue_signal(s0);
     }
     for (std::size_t i = 0; i < nt; ++i) {
       const StreamId st = block_stream(i);

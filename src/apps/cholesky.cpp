@@ -413,6 +413,9 @@ CholeskyStats run_cholesky_partial(Runtime& runtime,
     const auto* snap = reinterpret_cast<const std::byte*>(snapshot.data());
     for (const Operand& op : recovery.restore) {
       std::memcpy(base + op.offset, snap + op.offset, op.length);
+      // Out-of-band host write: tell the coherence layer the surviving
+      // device incarnations no longer match this range.
+      runtime.note_host_write(base + op.offset, op.length);
     }
 
     // Re-home the dead domain's streams onto the healthiest survivor
@@ -499,6 +502,11 @@ CholeskyStats run_cholesky(Runtime& runtime, const CholeskyConfig& config,
 
   // Roll back the half-updated matrix and rerun on the survivors.
   std::copy(snapshot.begin(), snapshot.end(), a.data());
+  if (buffer.has_value()) {
+    // Out-of-band host write: the rollback invalidates every surviving
+    // device incarnation of the matrix for the coherence layer.
+    runtime.note_host_write(a.data(), a.size_bytes());
+  }
   CholeskyStats stats = run_cholesky_attempt(runtime, config, a, buffer);
   stats.recoveries = 1;
   return stats;

@@ -27,12 +27,18 @@ struct ComputePayload {
 };
 
 /// Transfer payload: moves `length` bytes of one buffer region between
-/// the host incarnation and the sink-domain incarnation.
+/// the host incarnation and the sink-domain incarnation — or, when
+/// `peer` names a device, from the peer incarnation to the sink
+/// incarnation, staged through the host (the star topology's two-hop
+/// device<->device path, pipelined in chunks by the executors).
 struct TransferPayload {
   BufferId buffer;
   std::size_t offset = 0;
   std::size_t length = 0;
   XferDir dir = XferDir::src_to_sink;
+  /// Source domain for device->device transfers; kHostDomain for the
+  /// ordinary host<->sink forms.
+  DomainId peer = kHostDomain;
 };
 
 /// One enqueued action. Owned by the runtime until completion.
@@ -81,6 +87,11 @@ struct ActionRecord {
   /// suspect). Recovery planning treats failed and cancelled records as
   /// seeds of the re-execution set.
   bool failed = false;
+  /// Set by the runtime's online transfer elision: the destination range
+  /// was already byte-identical to the source, so the transfer completed
+  /// as a zero-cost no-op (never reached an executor; FIFO and event
+  /// semantics unchanged).
+  bool elided = false;
 
   /// True if this action's operands (or barrier flag) conflict with an
   /// earlier action's. This pairwise test is the *reference* dependence

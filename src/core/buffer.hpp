@@ -36,6 +36,126 @@ struct BufferProps {
   bool read_only = false;  ///< sink-side code promises not to write
 };
 
+/// A set of disjoint, merged byte intervals [begin, end) over a buffer.
+/// The unit of the coherence protocol: each incarnation's validity and
+/// the derived dirty ranges are interval sets. Not internally locked —
+/// the owning Buffer's leaf mutex serializes access.
+class IntervalSet {
+ public:
+  /// Adds [begin, end), merging with overlapping/adjacent intervals.
+  void add(std::size_t begin, std::size_t end) {
+    if (begin >= end) {
+      return;
+    }
+    auto it = ranges_.lower_bound(begin);
+    if (it != ranges_.begin()) {
+      const auto prev = std::prev(it);
+      if (prev->second >= begin) {
+        begin = prev->first;
+        end = std::max(end, prev->second);
+        ranges_.erase(prev);
+      }
+    }
+    while (it != ranges_.end() && it->first <= end) {
+      end = std::max(end, it->second);
+      it = ranges_.erase(it);
+    }
+    ranges_[begin] = end;
+  }
+
+  /// Removes [begin, end), splitting intervals that straddle the window.
+  void subtract(std::size_t begin, std::size_t end) {
+    if (begin >= end) {
+      return;
+    }
+    auto it = ranges_.lower_bound(begin);
+    if (it != ranges_.begin()) {
+      --it;  // the previous interval may reach into the window
+    }
+    while (it != ranges_.end() && it->first < end) {
+      const std::size_t rb = it->first;
+      const std::size_t re = it->second;
+      if (re <= begin) {
+        ++it;
+        continue;
+      }
+      it = ranges_.erase(it);
+      if (rb < begin) {
+        ranges_[rb] = begin;
+      }
+      if (re > end) {
+        ranges_[end] = re;
+      }
+    }
+  }
+
+  /// Replaces this set's contents over [begin, end) with `src`'s contents
+  /// over the same window (the transfer rule: the destination's bytes
+  /// become the source's bytes, so its validity becomes the source's).
+  void assign_window(std::size_t begin, std::size_t end,
+                     const IntervalSet& src) {
+    subtract(begin, end);
+    for (const auto& [rb, re] : src.ranges_) {
+      const std::size_t b = std::max(rb, begin);
+      const std::size_t e = std::min(re, end);
+      if (b < e) {
+        add(b, e);
+      }
+    }
+  }
+
+  /// True if [begin, end) lies entirely within one interval.
+  [[nodiscard]] bool covers(std::size_t begin, std::size_t end) const {
+    if (begin >= end) {
+      return true;
+    }
+    auto it = ranges_.upper_bound(begin);
+    if (it == ranges_.begin()) {
+      return false;
+    }
+    --it;
+    return it->second >= end;
+  }
+
+  /// True if [begin, end) overlaps any interval.
+  [[nodiscard]] bool intersects(std::size_t begin, std::size_t end) const {
+    if (begin >= end) {
+      return false;
+    }
+    auto it = ranges_.upper_bound(begin);
+    if (it != ranges_.begin() && std::prev(it)->second > begin) {
+      return true;
+    }
+    return it != ranges_.end() && it->first < end;
+  }
+
+  /// This set minus `other`, as (offset, length) pairs, ascending.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> minus(
+      const IntervalSet& other) const {
+    IntervalSet diff = *this;
+    for (const auto& [rb, re] : other.ranges_) {
+      diff.subtract(rb, re);
+    }
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    out.reserve(diff.ranges_.size());
+    for (const auto& [rb, re] : diff.ranges_) {
+      out.emplace_back(rb, re - rb);
+    }
+    return out;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return ranges_.empty(); }
+  void clear() noexcept { ranges_.clear(); }
+  /// begin -> end, disjoint and merged.
+  [[nodiscard]] const std::map<std::size_t, std::size_t>& ranges()
+      const noexcept {
+    return ranges_;
+  }
+
+ private:
+  std::map<std::size_t, std::size_t> ranges_;
+};
+
 /// One buffer: a range of the proxy address space plus its per-domain
 /// incarnations.
 class Buffer {
@@ -45,8 +165,10 @@ class Buffer {
       : id_(id), proxy_base_(proxy_base), size_(size), props_(props) {
     require(proxy_base != nullptr, "buffer proxy base may not be null");
     require(size > 0, "buffer size must be positive");
-    // The host incarnation aliases the user allocation.
+    // The host incarnation aliases the user allocation and starts valid
+    // over the whole buffer (user memory is the initial logical value).
     incarnations_[kHostDomain] = proxy_base;
+    validity_[kHostDomain].add(0, size);
   }
 
   [[nodiscard]] BufferId id() const noexcept { return id_; }
@@ -77,13 +199,13 @@ class Buffer {
   }
 
   /// Drops the incarnation in `domain` (host incarnation cannot be
-  /// dropped: it aliases user memory). Any dirty state goes with it —
-  /// callers that care must sync back (or explicitly discard) first.
+  /// dropped: it aliases user memory). Any validity/dirty state goes with
+  /// it — callers that care must sync back (or explicitly discard) first.
   void deinstantiate(DomainId domain) {
     require(domain != kHostDomain, "cannot deinstantiate the host alias");
     const std::scoped_lock lock(mu_);
     incarnations_.erase(domain);
-    dirty_.erase(domain);
+    validity_.erase(domain);
     // Owned storage is retained until buffer destruction; incarnation
     // maps drive translation, so a dropped domain can no longer be
     // addressed even though its bytes linger until then.
@@ -111,118 +233,142 @@ class Buffer {
     return it->second + offset;
   }
 
-  // --- Dirty-range tracking --------------------------------------------
-  // A device incarnation is "dirty" over a byte range when a sink-side
-  // compute wrote it and nothing has synced it back: the device then
-  // holds the only current copy, and the host alias is stale over that
-  // range. Runtime::evacuate consults this so it never resurrects stale
-  // host data over newer device data (and can fail loudly when the only
-  // current copy died with its domain).
+  // --- Byte-range coherence (validity intervals) ------------------------
+  // MOESI-lite over incarnations: an incarnation is *valid* over a byte
+  // range when its bytes equal the logical current value of that range.
+  // The host starts valid over the whole buffer (it aliases the user's
+  // initialized memory); device incarnations start entirely invalid. A
+  // completed compute validates the ranges it wrote in its own domain and
+  // invalidates every other incarnation there; a completed transfer makes
+  // the destination's validity over the moved range a copy of the
+  // source's. Two incarnations both valid over a range therefore hold
+  // byte-identical data — the condition the runtime's online transfer
+  // elision tests. Dirty ranges ("device newer than host", the PR 3
+  // evacuate contract) fall out as valid(device) minus valid(host).
 
-  /// Marks [offset, offset+len) of `domain`'s incarnation as newer than
-  /// the host copy. Overlapping/adjacent ranges merge.
-  void mark_dirty(DomainId domain, std::size_t offset, std::size_t len) {
-    if (len == 0 || domain == kHostDomain) {
+  /// A completed compute in `domain` wrote [offset, offset+len): `domain`
+  /// now holds the only current copy, every other incarnation is stale.
+  void note_compute_write(DomainId domain, std::size_t offset,
+                          std::size_t len) {
+    if (len == 0) {
       return;
     }
     const std::scoped_lock lock(mu_);
-    auto& ranges = dirty_[domain];
-    std::size_t begin = offset;
-    std::size_t end = offset + len;
-    auto it = ranges.lower_bound(begin);
-    if (it != ranges.begin()) {
-      const auto prev = std::prev(it);
-      if (prev->second >= begin) {
-        begin = prev->first;
-        end = std::max(end, prev->second);
-        ranges.erase(prev);
+    for (auto& [d, valid] : validity_) {
+      if (d != domain) {
+        valid.subtract(offset, offset + len);
       }
     }
-    while (it != ranges.end() && it->first <= end) {
-      end = std::max(end, it->second);
-      it = ranges.erase(it);
-    }
-    ranges[begin] = end;
+    validity_[domain].add(offset, offset + len);
   }
 
-  /// Clears dirty state over [offset, offset+len) of `domain` — a
-  /// transfer made host and device agree over the range (either
-  /// direction does).
-  void clear_dirty(DomainId domain, std::size_t offset, std::size_t len) {
+  /// A failed compute body in `domain` may have partially written
+  /// [offset, offset+len): the range holds garbage there. Only `domain`'s
+  /// validity is lost; other incarnations are untouched.
+  void note_write_garbage(DomainId domain, std::size_t offset,
+                          std::size_t len) {
     const std::scoped_lock lock(mu_);
-    const auto dit = dirty_.find(domain);
-    if (dit == dirty_.end() || len == 0) {
+    const auto it = validity_.find(domain);
+    if (it != validity_.end()) {
+      it->second.subtract(offset, offset + len);
+    }
+  }
+
+  /// A completed transfer copied [offset, offset+len) from `from`'s
+  /// incarnation into `to`'s: `to`'s bytes over the range are now exactly
+  /// `from`'s, so its validity over the window becomes `from`'s.
+  void note_transfer(DomainId from, DomainId to, std::size_t offset,
+                     std::size_t len) {
+    if (len == 0 || from == to) {
       return;
     }
-    auto& ranges = dit->second;
-    const std::size_t begin = offset;
-    const std::size_t end = offset + len;
-    auto it = ranges.lower_bound(begin);
-    if (it != ranges.begin()) {
-      --it;  // the previous range may reach into the cleared window
-    }
-    while (it != ranges.end() && it->first < end) {
-      const std::size_t rb = it->first;
-      const std::size_t re = it->second;
-      if (re <= begin) {
-        ++it;
-        continue;
-      }
-      it = ranges.erase(it);
-      if (rb < begin) {
-        ranges[rb] = begin;
-      }
-      if (re > end) {
-        ranges[end] = re;
-      }
-    }
-    if (ranges.empty()) {
-      dirty_.erase(dit);
-    }
-  }
-
-  /// Drops all dirty state of `domain` without syncing (recovery paths
-  /// that restore from their own checkpoint).
-  void discard_dirty(DomainId domain) {
     const std::scoped_lock lock(mu_);
-    dirty_.erase(domain);
+    static const IntervalSet kEmpty;
+    const auto src = validity_.find(from);
+    validity_[to].assign_window(offset, offset + len,
+                                src == validity_.end() ? kEmpty : src->second);
   }
 
-  [[nodiscard]] bool dirty_in(DomainId domain) const noexcept {
+  /// True when `domain`'s incarnation is valid over the whole range.
+  [[nodiscard]] bool valid_over(DomainId domain, std::size_t offset,
+                                std::size_t len) const {
     const std::scoped_lock lock(mu_);
-    return dirty_.contains(domain);
+    const auto it = validity_.find(domain);
+    return it != validity_.end() && it->second.covers(offset, offset + len);
   }
 
-  /// Dirty (offset, length) ranges of `domain`, ascending, disjoint.
-  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> dirty_ranges(
-      DomainId domain) const {
+  /// Valid (offset, length) ranges of `domain`, ascending, disjoint.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+  valid_ranges(DomainId domain) const {
     std::vector<std::pair<std::size_t, std::size_t>> out;
     const std::scoped_lock lock(mu_);
-    const auto it = dirty_.find(domain);
-    if (it != dirty_.end()) {
-      out.reserve(it->second.size());
-      for (const auto& [begin, end] : it->second) {
+    const auto it = validity_.find(domain);
+    if (it != validity_.end()) {
+      out.reserve(it->second.ranges().size());
+      for (const auto& [begin, end] : it->second.ranges()) {
         out.emplace_back(begin, end - begin);
       }
     }
     return out;
   }
 
+  /// Drops all validity of `domain` without syncing — recovery paths that
+  /// restore from their own checkpoint. (Dirty state goes with it: a
+  /// domain with no validity can be newer than the host nowhere.)
+  void discard_dirty(DomainId domain) {
+    if (domain == kHostDomain) {
+      return;
+    }
+    const std::scoped_lock lock(mu_);
+    validity_.erase(domain);
+  }
+
+  /// True when `domain` holds ranges newer than the host copy.
+  [[nodiscard]] bool dirty_in(DomainId domain) const noexcept {
+    const std::scoped_lock lock(mu_);
+    return !dirty_minus_host(domain).empty();
+  }
+
+  /// Dirty (offset, length) ranges of `domain` — ranges where the device
+  /// incarnation is valid and the host alias is not, i.e. where a sink
+  /// compute wrote and nothing synced back. Ascending, disjoint.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> dirty_ranges(
+      DomainId domain) const {
+    const std::scoped_lock lock(mu_);
+    return dirty_minus_host(domain);
+  }
+
  private:
+  /// valid(domain) - valid(host), mu_ held.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+  dirty_minus_host(DomainId domain) const {
+    if (domain == kHostDomain) {
+      return {};
+    }
+    const auto it = validity_.find(domain);
+    if (it == validity_.end()) {
+      return {};
+    }
+    static const IntervalSet kEmpty;
+    const auto host = validity_.find(kHostDomain);
+    return it->second.minus(host == validity_.end() ? kEmpty : host->second);
+  }
+
   BufferId id_;
   std::byte* proxy_base_;
   std::size_t size_;
   BufferProps props_;
-  /// Guards incarnations_, dirty_ and owned_. The identity fields above
-  /// are immutable after construction and read lock-free. Leaf lock in
-  /// the runtime's hierarchy: nothing else is acquired while it is held,
-  /// so executor threads can translate addresses and track dirtiness on
-  /// different buffers (or the same one) without a global serialization
-  /// point.
+  /// Guards incarnations_, validity_ and owned_. The identity fields
+  /// above are immutable after construction and read lock-free. Leaf lock
+  /// in the runtime's hierarchy: nothing else is acquired while it is
+  /// held, so executor threads can translate addresses and track
+  /// coherence on different buffers (or the same one) without a global
+  /// serialization point.
   mutable std::mutex mu_;
   std::map<DomainId, std::byte*> incarnations_;
-  /// Per-domain dirty intervals, begin -> end (disjoint, merged).
-  std::map<DomainId, std::map<std::size_t, std::size_t>> dirty_;
+  /// Per-incarnation validity intervals. Host seeded whole-buffer valid
+  /// at construction; absent entry == entirely invalid.
+  std::map<DomainId, IntervalSet> validity_;
   std::vector<std::unique_ptr<std::byte[]>> owned_;
 };
 

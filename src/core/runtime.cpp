@@ -59,6 +59,11 @@ Runtime::Runtime(RuntimeConfig config, std::unique_ptr<Executor> executor)
       std::vector<std::atomic<std::uint64_t>>(domains_.size());
   dep_legacy_ = config_.dep_legacy_scan || env_flag("HS_DEP_LEGACY");
   dep_oracle_ = config_.dep_oracle || env_flag("HS_DEP_ORACLE");
+  coherence_track_ = config_.coherence.track && !env_flag("HS_COHERENCE_OFF");
+  coherence_elide_ = coherence_track_ && config_.coherence.elide &&
+                     !env_flag("HS_NO_ELIDE");
+  coherence_oracle_ = config_.coherence.oracle ||
+                      env_flag("HS_COHERENCE_ORACLE");
   executor_->attach(*this);
 }
 
@@ -217,14 +222,23 @@ Status Runtime::evacuate(BufferId id, DomainId from, DomainId to,
                 std::to_string(id.value) + " had their only current copy on "
                 "lost domain " + std::to_string(from.value));
       }
-      if (from_alive && executor_->executes_payloads()) {
+      if (from_alive) {
         // The source is alive and newer than the host over these ranges:
         // sync them home first, so the host copy we are about to treat
-        // as authoritative actually is.
+        // as authoritative actually is. Validity follows the copies
+        // (as-if, in timing-only runs) so elision decisions stay
+        // identical whether payloads execute or not.
+        if (executor_->executes_payloads()) {
+          for (const auto& [offset, length] : dirty) {
+            std::byte* host = buffer_local(id, kHostDomain, offset, length);
+            std::byte* src = buffer_local(id, from, offset, length);
+            std::memcpy(host, src, length);
+          }
+        }
+        std::shared_lock buffers(buffers_mutex_);
+        Buffer& buf = buffers_.get(id);
         for (const auto& [offset, length] : dirty) {
-          std::byte* host = buffer_local(id, kHostDomain, offset, length);
-          std::byte* src = buffer_local(id, from, offset, length);
-          std::memcpy(host, src, length);
+          buf.note_transfer(from, kHostDomain, offset, length);
         }
       }
       std::shared_lock buffers(buffers_mutex_);
@@ -239,6 +253,8 @@ Status Runtime::evacuate(BufferId id, DomainId from, DomainId to,
         std::byte* sink = buffer_local(id, to, 0, size);
         std::memcpy(sink, host, size);
       }
+      std::shared_lock buffers(buffers_mutex_);
+      buffers_.get(id).note_transfer(kHostDomain, to, 0, size);
     }
     if (have_from) {
       buffer_deinstantiate(id, from);
@@ -583,6 +599,49 @@ std::shared_ptr<EventState> Runtime::enqueue_transfer(StreamId stream,
   return admit(s, std::move(record));
 }
 
+std::shared_ptr<EventState> Runtime::enqueue_transfer_from(StreamId stream,
+                                                           const void* proxy,
+                                                           std::size_t len,
+                                                           DomainId peer) {
+  if (peer == kHostDomain) {
+    return enqueue_transfer(stream, proxy, len, XferDir::src_to_sink);
+  }
+  require(peer.value < domains_.size(), "unknown peer domain",
+          Errc::not_found);
+  auto record = std::make_shared<ActionRecord>();
+  record->type = ActionType::transfer;
+
+  StreamState& s = stream_state(stream);
+  require_domain_alive(s.domain);
+  require(s.domain != kHostDomain,
+          "device->device transfer needs a device sink stream "
+          "(use enqueue_transfer for device->host)");
+  require(peer != s.domain, "peer equals the sink domain");
+  record->stream = stream;
+  CaptureSink* sink = capture_.load(std::memory_order_acquire);
+  const bool capturing = sink != nullptr && sink->captures(stream);
+  {
+    std::shared_lock buffers(buffers_mutex_);
+    Buffer& buf = buffers_.find_containing(proxy, len);
+    require(capturing || buf.instantiated_in(s.domain),
+            "transfer target buffer not instantiated in sink domain",
+            Errc::buffer_not_instantiated);
+    require(capturing || buf.instantiated_in(peer),
+            "transfer source buffer not instantiated in peer domain",
+            Errc::buffer_not_instantiated);
+    record->transfer = TransferPayload{buf.id(), buf.offset_of(proxy), len,
+                                       XferDir::src_to_sink, peer};
+    // Writes the sink incarnation (and, through staging, the host).
+    record->operands.push_back(
+        Operand{buf.id(), record->transfer.offset, len, Access::out});
+  }
+  if (capturing) {
+    return sink->record(std::move(record));
+  }
+  stats_.transfers_enqueued.fetch_add(1, std::memory_order_relaxed);
+  return admit(s, std::move(record));
+}
+
 std::shared_ptr<EventState> Runtime::enqueue_alloc(StreamId stream,
                                                    BufferId buffer) {
   auto record = std::make_shared<ActionRecord>();
@@ -846,8 +905,10 @@ std::shared_ptr<EventState> Runtime::admit(
         tr.label = record->compute.kernel;
         tr.flops = record->compute.flops;
       } else if (record->type == ActionType::transfer) {
-        tr.label = record->transfer.dir == XferDir::src_to_sink ? "xfer h2d"
-                                                                : "xfer d2h";
+        tr.label = record->transfer.peer != kHostDomain ? "xfer d2d"
+                   : record->transfer.dir == XferDir::src_to_sink
+                       ? "xfer h2d"
+                       : "xfer d2h";
         tr.bytes = record->transfer.length;
       }
       tr.enqueue_s = executor_->now();
@@ -1037,7 +1098,8 @@ void Runtime::admit_prelinked(std::span<const PrelinkedAction> batch,
           tr.label = record->compute.kernel;
           tr.flops = record->compute.flops;
         } else if (record->type == ActionType::transfer) {
-          tr.label = record->transfer.dir == XferDir::src_to_sink
+          tr.label = record->transfer.peer != kHostDomain ? "xfer d2d"
+                     : record->transfer.dir == XferDir::src_to_sink
                          ? "xfer h2d"
                          : "xfer d2h";
           tr.bytes = record->transfer.length;
@@ -1059,11 +1121,82 @@ void Runtime::dispatch(const std::shared_ptr<ActionRecord>& record) {
             record->id.value, record->stream.value,
             static_cast<unsigned long long>(record->seq),
             static_cast<int>(record->type));
+  if (try_elide(record)) {
+    // Zero-cost completion through the normal path: the completion event
+    // fires, the window/index retire, successors unblock — FIFO and
+    // event semantics are exactly those of a real transfer. The executor
+    // is never involved, and crucially next_transfer_fault is never
+    // consulted: fault decisions stay keyed to the transfers that
+    // actually attempt the link, so a ScheduledFault aimed at this
+    // transfer id is not consumed by a no-op.
+    if (trace_ != nullptr) {
+      trace_->on_dispatch(record->id, executor_->now());
+      trace_->on_elide(record->id);
+    }
+    complete_action(record->id);
+    return;
+  }
   if (trace_ != nullptr) {
     trace_->on_dispatch(record->id, executor_->now());
   }
   executor_->execute(record,
                      [this, id = record->id] { complete_action(id); });
+}
+
+bool Runtime::try_elide(const std::shared_ptr<ActionRecord>& record) {
+  if (!coherence_elide_ || record->type != ActionType::transfer) {
+    return false;
+  }
+  const DomainId sink = stream_domain(record->stream);
+  if (sink == kHostDomain) {
+    return false;  // host streams alias transfers away already
+  }
+  const TransferPayload& t = record->transfer;
+  if (t.length == 0) {
+    return false;
+  }
+  std::shared_lock buffers(buffers_mutex_);
+  Buffer* buf = nullptr;
+  try {
+    buf = &buffers_.get(t.buffer);
+  } catch (const Error&) {
+    return false;  // destroyed while queued; let the executor's path cope
+  }
+  // Both endpoints valid over the range => byte-identical data. For a
+  // device->device move the staging would also rewrite the host copy, so
+  // the host must be valid too for the elision to be effect-free.
+  if (!buf->valid_over(kHostDomain, t.offset, t.length) ||
+      !buf->valid_over(sink, t.offset, t.length) ||
+      (t.peer != kHostDomain &&
+       !buf->valid_over(t.peer, t.offset, t.length))) {
+    return false;
+  }
+  if (coherence_oracle_ && executor_->executes_payloads()) {
+    stats_.coherence_oracle_checks.fetch_add(1, std::memory_order_relaxed);
+    const std::byte* host = buf->local_address(kHostDomain, t.offset);
+    const std::byte* dev = buf->local_address(sink, t.offset);
+    bool match = std::memcmp(host, dev, t.length) == 0;
+    if (match && t.peer != kHostDomain) {
+      const std::byte* peer = buf->local_address(t.peer, t.offset);
+      match = std::memcmp(peer, dev, t.length) == 0;
+    }
+    if (!match) {
+      log_error("coherence oracle: elision of action %u (buffer %u offset "
+                "%zu len %zu) would have changed bytes",
+                record->id.value, t.buffer.value, t.offset, t.length);
+      throw Error(Errc::internal,
+                  "transfer-elision oracle mismatch (HS_COHERENCE_ORACLE): "
+                  "an incarnation marked valid holds different bytes — "
+                  "likely an untracked host write (see "
+                  "Runtime::note_host_write)");
+    }
+  }
+  record->elided = true;
+  const std::uint64_t moved =
+      t.peer != kHostDomain ? 2 * t.length : t.length;
+  stats_.transfers_elided.fetch_add(1, std::memory_order_relaxed);
+  stats_.bytes_elided.fetch_add(moved, std::memory_order_relaxed);
+  return true;
 }
 
 void Runtime::complete_action(ActionId id) {
@@ -1180,30 +1313,54 @@ void Runtime::process_completion(const std::shared_ptr<ActionRecord>& record) {
       stats_.actions_completed.fetch_add(1, std::memory_order_relaxed);
     }
     const DomainId completion_domain = stream.domain;
-    if (rec.type == ActionType::transfer && !rec.cancelled &&
+    if (rec.type == ActionType::transfer && !rec.cancelled && !rec.elided &&
         completion_domain != kHostDomain) {
-      stats_.bytes_transferred.fetch_add(rec.transfer.length,
-                                         std::memory_order_relaxed);
+      // A device->device move is two physical hops through the host.
+      const std::uint64_t moved = rec.transfer.peer != kHostDomain
+                                      ? 2 * rec.transfer.length
+                                      : rec.transfer.length;
+      stats_.bytes_transferred.fetch_add(moved, std::memory_order_relaxed);
     }
-    // Dirty-range bookkeeping (see Buffer): a device compute that ran to
-    // completion makes its written ranges newer than the host copy; a
-    // completed transfer in either direction makes host and device agree
-    // over its range. Cancelled actions had no effects; a failed body's
-    // partial effects are garbage, not data worth preserving.
-    if (!rec.cancelled && !rec.failed && completion_domain != kHostDomain) {
+    // Coherence bookkeeping (see Buffer): a compute that ran to
+    // completion validates the ranges it wrote in its own domain and
+    // invalidates every other incarnation there; a completed transfer
+    // copies the source's validity onto the destination over the moved
+    // range. Cancelled actions had no effects; a failed body's partial
+    // effects are garbage and cost the writer its own validity. Elided
+    // transfers moved nothing and change nothing (both ends were already
+    // valid). Dirty ranges — the evacuate contract — derive from the
+    // same intervals as valid(device) - valid(host).
+    if (coherence_track_ && !rec.cancelled) {
       std::shared_lock buffers(buffers_mutex_);
       try {
         if (rec.type == ActionType::compute) {
           for (const Operand& op : rec.operands) {
-            if (writes(op.access)) {
-              buffers_.get(op.buffer).mark_dirty(completion_domain, op.offset,
-                                                 op.length);
+            if (!writes(op.access)) {
+              continue;
+            }
+            Buffer& buf = buffers_.get(op.buffer);
+            if (rec.failed) {
+              buf.note_write_garbage(completion_domain, op.offset,
+                                     op.length);
+            } else {
+              buf.note_compute_write(completion_domain, op.offset,
+                                     op.length);
             }
           }
-        } else if (rec.type == ActionType::transfer) {
-          buffers_.get(rec.transfer.buffer)
-              .clear_dirty(completion_domain, rec.transfer.offset,
-                           rec.transfer.length);
+        } else if (rec.type == ActionType::transfer && !rec.failed &&
+                   !rec.elided && completion_domain != kHostDomain) {
+          Buffer& buf = buffers_.get(rec.transfer.buffer);
+          const std::size_t off = rec.transfer.offset;
+          const std::size_t len = rec.transfer.length;
+          if (rec.transfer.peer != kHostDomain) {
+            // Two hops: peer -> host staging, then host -> sink.
+            buf.note_transfer(rec.transfer.peer, kHostDomain, off, len);
+            buf.note_transfer(kHostDomain, completion_domain, off, len);
+          } else if (rec.transfer.dir == XferDir::src_to_sink) {
+            buf.note_transfer(kHostDomain, completion_domain, off, len);
+          } else {
+            buf.note_transfer(completion_domain, kHostDomain, off, len);
+          }
         }
       } catch (const Error&) {
         // The buffer was destroyed while this action drained; nothing
@@ -1495,6 +1652,34 @@ void Runtime::note_partial_recovery(std::uint64_t reexecuted) {
   stats_.actions_reexecuted.fetch_add(reexecuted, std::memory_order_relaxed);
 }
 
+void Runtime::note_transfer_chunks(std::uint64_t count) {
+  stats_.transfer_chunks.fetch_add(count, std::memory_order_relaxed);
+}
+
+void Runtime::note_pipeline_span(double serial_s, double actual_s) {
+  const auto us = [](double s) {
+    return static_cast<std::uint64_t>(std::max(0.0, s) * 1e6);
+  };
+  stats_.pipeline_serial_us.fetch_add(us(serial_s),
+                                      std::memory_order_relaxed);
+  stats_.pipeline_actual_us.fetch_add(us(actual_s),
+                                      std::memory_order_relaxed);
+}
+
+void Runtime::note_host_write(const void* proxy, std::size_t len) {
+  if (!coherence_track_ || len == 0) {
+    return;
+  }
+  std::shared_lock buffers(buffers_mutex_);
+  try {
+    Buffer& buf = buffers_.find_containing(proxy, len);
+    buf.note_compute_write(kHostDomain, buf.offset_of(proxy), len);
+  } catch (const Error&) {
+    // Writes to memory no registered buffer covers are not the coherence
+    // layer's business.
+  }
+}
+
 void Runtime::health_sample(DomainId id, double outcome) {
   if (health_[id.value].sample(outcome, config_.health)) {
     stats_.links_degraded.fetch_add(1, std::memory_order_relaxed);
@@ -1573,6 +1758,12 @@ RuntimeStats Runtime::stats() const {
   out.dep_scan_steps = get(stats_.dep_scan_steps);
   out.lock_shard_contention = get(stats_.lock_shard_contention);
   out.dep_oracle_checks = get(stats_.dep_oracle_checks);
+  out.transfers_elided = get(stats_.transfers_elided);
+  out.bytes_elided = get(stats_.bytes_elided);
+  out.transfer_chunks = get(stats_.transfer_chunks);
+  out.pipeline_serial_us = get(stats_.pipeline_serial_us);
+  out.pipeline_actual_us = get(stats_.pipeline_actual_us);
+  out.coherence_oracle_checks = get(stats_.coherence_oracle_checks);
   return out;
 }
 

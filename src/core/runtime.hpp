@@ -88,6 +88,41 @@ struct RuntimeStats {
                                             ///< stream or dep-shard lock
   std::uint64_t dep_oracle_checks = 0;  ///< admissions cross-checked against
                                         ///< the legacy pairwise scan
+  std::uint64_t transfers_elided = 0;  ///< transfers completed as no-ops:
+                                       ///< destination range already valid
+  std::uint64_t bytes_elided = 0;      ///< bytes those no-ops did not move
+  std::uint64_t transfer_chunks = 0;   ///< chunks of pipelined multi-hop
+                                       ///< transfers submitted by executors
+  std::uint64_t pipeline_serial_us = 0;  ///< modeled serial (unchunked
+                                         ///< two-hop) micros of pipelined
+                                         ///< transfers
+  std::uint64_t pipeline_actual_us = 0;  ///< observed micros of the same
+                                         ///< transfers; serial/actual is
+                                         ///< the hop-overlap ratio
+  std::uint64_t coherence_oracle_checks = 0;  ///< elisions cross-checked
+                                              ///< byte-for-byte
+                                              ///< (HS_COHERENCE_ORACLE)
+};
+
+/// Byte-range coherence knobs: validity tracking, online transfer
+/// elision, and the chunked multi-hop transfer pipeline.
+struct CoherenceConfig {
+  /// Maintain per-incarnation validity interval maps (Buffer). The
+  /// substrate for elision and derived dirty ranges; cheap, on by
+  /// default. Env: HS_COHERENCE_OFF=1 disables tracking AND elision.
+  bool track = true;
+  /// Complete transfers whose destination range is already byte-identical
+  /// to the source as zero-cost no-ops. Env: HS_NO_ELIDE=1 disables.
+  bool elide = true;
+  /// Debug oracle: memcmp source vs destination on every elision (when
+  /// the executor executes payloads) and throw Errc::internal on any
+  /// mismatch. Env: HS_COHERENCE_ORACLE=1.
+  bool oracle = false;
+  /// Device->device transfers longer than this are split into chunks so
+  /// the device->host and host->device hops overlap.
+  std::size_t pipeline_threshold = 8u << 20;
+  /// Chunk size for the pipelined hops.
+  std::size_t pipeline_chunk = 2u << 20;
 };
 
 /// Construction-time configuration.
@@ -119,6 +154,9 @@ struct RuntimeConfig {
   /// admission and throw Errc::internal if the blocker sets differ.
   /// Env: HS_DEP_ORACLE=1.
   bool dep_oracle = false;
+  /// Byte-range coherence: validity tracking, transfer elision, chunked
+  /// multi-hop pipeline (see CoherenceConfig).
+  CoherenceConfig coherence;
 };
 
 /// Where enqueues go during graph capture: instead of being admitted into
@@ -284,6 +322,26 @@ class Runtime {
                                                const void* proxy,
                                                std::size_t len, XferDir dir);
 
+  /// Enqueues a device->device transfer: [proxy, proxy+len) moves from
+  /// `peer`'s incarnation into the stream's sink incarnation, staged
+  /// through the host (the star topology has no direct device links).
+  /// Executors pipeline the two hops in chunks above
+  /// CoherenceConfig::pipeline_threshold, so large moves approach 2x the
+  /// serial two-hop time. The host incarnation is refreshed as a side
+  /// effect of the staging. `peer == kHostDomain` degenerates to a plain
+  /// host->sink transfer.
+  std::shared_ptr<EventState> enqueue_transfer_from(StreamId stream,
+                                                    const void* proxy,
+                                                    std::size_t len,
+                                                    DomainId peer);
+
+  /// Declares that host code wrote [proxy, proxy+len) directly (outside
+  /// any enqueued action): device incarnations of the range are
+  /// invalidated so later uploads are not elided against stale validity.
+  /// Host writes that precede any device upload of the range need no
+  /// declaration; writes *between* transfers of the same range do.
+  void note_host_write(const void* proxy, std::size_t len);
+
   /// Enqueues an asynchronous sink-side allocation of `buffer`'s
   /// incarnation in the stream's domain (the §VII "forthcoming" feature:
   /// allocation pipelines behind other work instead of blocking the
@@ -389,6 +447,23 @@ class Runtime {
   /// Counts one backoff retry of a transient transfer failure on the
   /// link to `domain`.
   void note_transfer_retry(DomainId domain);
+  /// Counts `count` chunks of a pipelined multi-hop transfer submitted
+  /// by an executor.
+  void note_transfer_chunks(std::uint64_t count);
+  /// Records one pipelined transfer's modeled serial two-hop duration
+  /// vs. its observed duration (both in seconds; accumulated as micros —
+  /// the pipeline overlap ratio is serial/actual at report time).
+  void note_pipeline_span(double serial_s, double actual_s);
+  /// Resolved coherence settings (config ∪ env overrides).
+  [[nodiscard]] bool coherence_tracking() const noexcept {
+    return coherence_track_;
+  }
+  [[nodiscard]] bool coherence_eliding() const noexcept {
+    return coherence_elide_;
+  }
+  [[nodiscard]] bool coherence_oracle() const noexcept {
+    return coherence_oracle_;
+  }
   /// Counts one graph-based partial recovery that re-admitted
   /// `reexecuted` actions (graph/replay.cpp).
   void note_partial_recovery(std::uint64_t reexecuted);
@@ -508,6 +583,15 @@ class Runtime {
   /// Hands a ready action to the executor (no lock held).
   void dispatch(const std::shared_ptr<ActionRecord>& record);
 
+  /// Online transfer elision, decided at dispatch time (every conflicting
+  /// predecessor has completed, so the validity state of the range is
+  /// settled). Returns true — after marking the record elided and
+  /// counting stats — when source and destination incarnations are both
+  /// valid over the transferred range (plus the host for device->device
+  /// moves), i.e. the copy would move byte-identical data. Under the
+  /// coherence oracle the claim is verified with memcmp first.
+  [[nodiscard]] bool try_elide(const std::shared_ptr<ActionRecord>& record);
+
   /// Entry for an action whose completion is already claimed: pushes it
   /// onto the MPSC completion queue; the first pusher becomes the
   /// drainer and applies queued completions in FIFO order (single
@@ -570,6 +654,12 @@ class Runtime {
     std::atomic<std::uint64_t> dep_scan_steps{0};
     std::atomic<std::uint64_t> lock_shard_contention{0};
     std::atomic<std::uint64_t> dep_oracle_checks{0};
+    std::atomic<std::uint64_t> transfers_elided{0};
+    std::atomic<std::uint64_t> bytes_elided{0};
+    std::atomic<std::uint64_t> transfer_chunks{0};
+    std::atomic<std::uint64_t> pipeline_serial_us{0};
+    std::atomic<std::uint64_t> pipeline_actual_us{0};
+    std::atomic<std::uint64_t> coherence_oracle_checks{0};
   };
 
   RuntimeConfig config_;
@@ -624,6 +714,9 @@ class Runtime {
   mutable AtomicStats stats_;
   bool dep_legacy_ = false;  ///< resolved config ∪ HS_DEP_LEGACY
   bool dep_oracle_ = false;  ///< resolved config ∪ HS_DEP_ORACLE
+  bool coherence_track_ = true;   ///< resolved coherence.track minus env off
+  bool coherence_elide_ = true;   ///< resolved coherence.elide minus env off
+  bool coherence_oracle_ = false;  ///< resolved ∪ HS_COHERENCE_ORACLE
   /// Unreported sink errors, oldest first (bounded; see push_pending_error).
   std::deque<std::exception_ptr> pending_errors_;
   FaultInjector injector_;

@@ -209,7 +209,130 @@ void ThreadedExecutor::run_transfer(const std::shared_ptr<ActionRecord>& action,
     return;
   }
   begin_work();
-  submit_transfer_attempt(action, domain, 0, std::move(done));
+  if (action->transfer.peer != kHostDomain) {
+    submit_peer_attempt(action, domain, 0, std::move(done));
+  } else {
+    submit_transfer_attempt(action, domain, 0, std::move(done));
+  }
+}
+
+void ThreadedExecutor::submit_peer_attempt(
+    std::shared_ptr<ActionRecord> action, DomainId sink, int failures,
+    CompletionFn done) {
+  const std::size_t copier =
+      next_copier_.fetch_add(1, std::memory_order_relaxed) %
+      copiers_->worker_count();
+  copiers_->submit(copier, [this, copier, action = std::move(action), sink,
+                            failures, done = std::move(done)]() mutable {
+    if (!runtime_->domain_alive(sink)) {
+      end_work();
+      done();
+      return;
+    }
+    const DomainId peer = action->transfer.peer;
+    if (!runtime_->domain_alive(peer)) {
+      // The source incarnation is gone; without its bytes the transfer
+      // cannot run. Surfaces at the next sync like any device loss.
+      end_work();
+      runtime_->fail_action(
+          action->id,
+          std::make_exception_ptr(
+              Error(Errc::device_lost,
+                    "device->device transfer: source (peer) domain lost")));
+      return;
+    }
+    // One fault decision per attempt, keyed by the sink domain and the
+    // admission-time transfer id — chunking must not multiply the
+    // injector's decision stream.
+    const FaultDecision fault =
+        runtime_->next_transfer_fault(sink, action->transfer_seq, failures);
+    if (fault.kind == FaultKind::device_loss) {
+      end_work();
+      runtime_->mark_domain_lost(sink);
+      return;
+    }
+    if (fault.kind == FaultKind::transient_error) {
+      const RetryPolicy& retry = runtime_->retry_policy();
+      ++failures;
+      if (failures >= retry.max_attempts) {
+        end_work();
+        runtime_->mark_domain_lost(sink);
+        return;
+      }
+      runtime_->note_transfer_retry(sink);
+      retry_timer_->schedule_after(
+          retry.backoff_seconds(failures),
+          [this, action = std::move(action), sink, failures,
+           done = std::move(done)]() mutable {
+            submit_peer_attempt(std::move(action), sink, failures,
+                                std::move(done));
+          });
+      return;
+    }
+    if (fault.kind == FaultKind::link_stall) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(fault.stall_s));
+    }
+    const TransferPayload t = action->transfer;
+    const CoherenceConfig& coh = runtime_->config().coherence;
+    const std::size_t chunk =
+        (t.length > coh.pipeline_threshold && coh.pipeline_chunk > 0)
+            ? std::min(coh.pipeline_chunk, t.length)
+            : t.length;
+    const std::size_t count = (t.length + chunk - 1) / chunk;
+    if (count > 1) {
+      runtime_->note_transfer_chunks(count);
+    }
+    struct Joint {
+      std::atomic<std::size_t> remaining{0};
+      CompletionFn done;
+    };
+    auto joint = std::make_shared<Joint>();
+    joint->remaining.store(count, std::memory_order_relaxed);
+    joint->done = std::move(done);
+    // Per-copier FIFO keeps hop 2 serial and in chunk order; picking the
+    // *next* copier makes the two hops run on different threads when the
+    // pool has more than one, which is where the overlap comes from.
+    const std::size_t hop2_copier = (copier + 1) % copiers_->worker_count();
+    for (std::size_t i = 0; i < count; ++i) {
+      const std::size_t off = i * chunk;
+      const std::size_t len = std::min(chunk, t.length - off);
+      // Hop 1: peer -> host staging row, serial on this copier.
+      runtime_->account_transfer_staging(len);
+      if (runtime_->domain_alive(peer)) {
+        std::byte* host = runtime_->buffer_local(t.buffer, kHostDomain,
+                                                 t.offset + off, len);
+        std::byte* src =
+            runtime_->buffer_local(t.buffer, peer, t.offset + off, len);
+        std::memcpy(host, src, len);
+      }
+      if (config_.time_dilation > 0.0) {
+        const double modeled = runtime_->link_for(peer).transfer_seconds(len);
+        std::this_thread::sleep_for(
+            std::chrono::duration<double>(modeled * config_.time_dilation));
+      }
+      // Hop 2: host staging row -> sink, chased chunk by chunk.
+      copiers_->submit(hop2_copier, [this, action, sink, off, len, joint] {
+        const TransferPayload& tp = action->transfer;
+        if (runtime_->domain_alive(sink)) {
+          std::byte* host = runtime_->buffer_local(tp.buffer, kHostDomain,
+                                                   tp.offset + off, len);
+          std::byte* dst =
+              runtime_->buffer_local(tp.buffer, sink, tp.offset + off, len);
+          std::memcpy(dst, host, len);
+        }
+        if (config_.time_dilation > 0.0) {
+          const double modeled =
+              runtime_->link_for(sink).transfer_seconds(len);
+          std::this_thread::sleep_for(
+              std::chrono::duration<double>(modeled * config_.time_dilation));
+        }
+        if (joint->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          end_work();
+          joint->done();
+        }
+      });
+    }
+  });
 }
 
 void ThreadedExecutor::submit_transfer_attempt(

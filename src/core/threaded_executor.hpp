@@ -70,6 +70,16 @@ class ThreadedExecutor final : public Executor {
   void submit_transfer_attempt(std::shared_ptr<ActionRecord> action,
                                DomainId domain, int failures,
                                CompletionFn done);
+  /// Device->device (peer) transfer attempt: the two-hop staging path,
+  /// pipelined for real across copiers. The peer->host hop runs its
+  /// chunks serially on the attempt's copier; each landed chunk enqueues
+  /// its host->sink hop onto the *next* copier (per-copier FIFO keeps
+  /// hop 2 serial and ordered), so with >= 2 copiers the hops overlap.
+  /// One fault decision per attempt, keyed by the sink domain, exactly
+  /// like the single-hop path. Completion fires when the last hop-2
+  /// chunk lands.
+  void submit_peer_attempt(std::shared_ptr<ActionRecord> action,
+                           DomainId sink, int failures, CompletionFn done);
 
   // In-flight work accounting for quiesce(): a claimed-failed action's
   // body may still be running on a pool thread after its window entry

@@ -31,6 +31,13 @@ void TraceRecorder::on_complete(ActionId id, double now) {
   records_[by_action_[id.value]].complete_s = now;
 }
 
+void TraceRecorder::on_elide(ActionId id) {
+  const std::scoped_lock lock(mutex_);
+  require(id.value < by_action_.size(), "trace: unknown action",
+          Errc::not_found);
+  records_[by_action_[id.value]].elided = true;
+}
+
 std::vector<TraceRecorder::Record> TraceRecorder::records() const {
   const std::scoped_lock lock(mutex_);
   return records_;
@@ -89,6 +96,9 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
        << ",\"flops\":" << r.flops << ",\"bytes\":" << r.bytes;
     if (r.graph != 0) {
       os << ",\"graph\":" << r.graph;
+    }
+    if (r.elided) {
+      os << ",\"elided\":1";
     }
     os << "}}";
     // Blocked span (enqueue -> dispatch), if the action waited.

@@ -33,11 +33,17 @@ class TraceRecorder {
     double complete_s = 0.0; ///< effects visible
     double flops = 0.0;
     std::size_t bytes = 0;
+    /// Transfer completed as a zero-cost no-op: the coherence layer
+    /// proved the destination range already valid (see runtime.cpp).
+    bool elided = false;
   };
 
   void on_enqueue(const Record& partial);
   void on_dispatch(ActionId id, double now);
   void on_complete(ActionId id, double now);
+  /// Marks a transfer record as elided; its span collapses to zero width
+  /// and its chrome event carries an "elided":1 arg.
+  void on_elide(ActionId id);
 
   /// Snapshot of all records (completed and in flight).
   [[nodiscard]] std::vector<Record> records() const;

@@ -25,6 +25,9 @@ std::string GraphNode::label() const {
     case ActionType::compute:
       return compute.kernel;
     case ActionType::transfer:
+      if (transfer.peer != kHostDomain) {
+        return "xfer d2d";
+      }
       return transfer.dir == XferDir::src_to_sink ? "xfer h2d" : "xfer d2h";
     case ActionType::event_wait:
       return "wait";

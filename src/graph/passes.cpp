@@ -1,6 +1,7 @@
 #include "graph/passes.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <sstream>
 #include <unordered_map>
 #include <utility>
@@ -90,37 +91,54 @@ std::size_t drop_redundant_transfers(TaskGraph& graph, Runtime* runtime) {
   std::vector<std::uint32_t> remap(graph.nodes.size(), kNoNode);
   std::size_t dropped = 0;
 
-  // For each candidate, scan backward for an identical h2d transfer on
-  // the same stream with no intervening writer of the range anywhere.
-  // O(n^2) worst case over a captured iteration — capture-time cost,
-  // paid once.
+  // Live "synchronized" entries: domain D's incarnation of `buffer` is
+  // byte-identical to the host's over [offset, offset+length) — the
+  // offline mirror of the runtime's validity intervals (core/buffer.hpp),
+  // so this pass and online elision prove redundancy with the same logic.
+  // An entry dies when either side of the equality is overwritten; a
+  // partial overwrite conservatively kills the whole entry.
+  struct SyncEntry {
+    std::uint32_t node;  ///< post-remap index of the establishing transfer
+    StreamId stream;
+    DomainId domain;
+    BufferId buffer;
+    std::size_t offset;
+    std::size_t length;
+  };
+  std::vector<SyncEntry> live;
+  const auto overlaps = [](const SyncEntry& e, BufferId buffer,
+                           std::size_t off, std::size_t len) {
+    return e.buffer == buffer && e.offset < off + len &&
+           off < e.offset + e.length;
+  };
+  // domain == nullopt means the *host* side of the range changed, which
+  // kills every domain's entries over it.
+  const auto kill = [&](BufferId buffer, std::size_t off, std::size_t len,
+                        std::optional<DomainId> domain) {
+    std::erase_if(live, [&](const SyncEntry& e) {
+      return overlaps(e, buffer, off, len) && (!domain || e.domain == *domain);
+    });
+  };
+
   for (std::uint32_t i = 0; i < graph.nodes.size(); ++i) {
     GraphNode node = graph.nodes[i];
+    const DomainId dom = graph.stream_info(node.stream).domain;
     bool redundant = false;
-    if (node.type == ActionType::transfer &&
-        node.transfer.dir == XferDir::src_to_sink) {
-      for (std::uint32_t j = i; j-- > 0 && !redundant;) {
-        const GraphNode& earlier = graph.nodes[j];
-        const bool writes_range = std::any_of(
-            earlier.operands.begin(), earlier.operands.end(),
-            [&node](const Operand& op) {
-              return op.buffer == node.transfer.buffer && writes(op.access) &&
-                     op.offset < node.transfer.offset + node.transfer.length &&
-                     node.transfer.offset < op.offset + op.length;
-            });
-        if (earlier.type == ActionType::transfer &&
-            earlier.stream == node.stream &&
-            earlier.transfer.buffer == node.transfer.buffer &&
-            earlier.transfer.dir == XferDir::src_to_sink &&
-            earlier.transfer.offset == node.transfer.offset &&
-            earlier.transfer.length == node.transfer.length) {
-          // Identical earlier upload with nothing writing the range in
-          // between (the scan below this index never ran into a
-          // writer): the sink bytes are provably current.
-          remap[i] = remap[j];
+    if (node.type == ActionType::transfer && dom != kHostDomain &&
+        node.transfer.peer == kHostDomain) {
+      // A host<->device move whose range a live same-stream entry covers
+      // is a provable no-op in either direction: both sides already hold
+      // the same bytes. (Same-stream keeps the drop a pure FIFO shortcut;
+      // cross-stream redundancy is the online elider's job, which can
+      // preserve event semantics.)
+      const TransferPayload& t = node.transfer;
+      for (const SyncEntry& e : live) {
+        if (e.stream == node.stream && e.domain == dom &&
+            e.buffer == t.buffer && e.offset <= t.offset &&
+            t.offset + t.length <= e.offset + e.length) {
+          remap[i] = e.node;
           redundant = true;
-        } else if (writes_range) {
-          break;  // the range changed since any earlier upload
+          break;
         }
       }
     }
@@ -130,6 +148,49 @@ std::size_t drop_redundant_transfers(TaskGraph& graph, Runtime* runtime) {
     }
     const auto index = static_cast<std::uint32_t>(out.size());
     remap[i] = index;
+    switch (node.type) {
+      case ActionType::transfer: {
+        const TransferPayload& t = node.transfer;
+        if (dom == kHostDomain) {
+          break;  // host-stream transfers are aliased away (§V): no bytes move
+        }
+        if (t.peer != kHostDomain) {
+          // Two-hop d2d: the staging hop rewrites the host range, the
+          // second hop the sink range; afterwards peer == host == sink.
+          kill(t.buffer, t.offset, t.length, std::nullopt);
+          live.push_back(
+              {index, node.stream, t.peer, t.buffer, t.offset, t.length});
+          live.push_back(
+              {index, node.stream, dom, t.buffer, t.offset, t.length});
+        } else if (t.dir == XferDir::src_to_sink) {
+          kill(t.buffer, t.offset, t.length, dom);
+          live.push_back(
+              {index, node.stream, dom, t.buffer, t.offset, t.length});
+        } else {
+          // Download: the host side of the range changes.
+          kill(t.buffer, t.offset, t.length, std::nullopt);
+          live.push_back(
+              {index, node.stream, dom, t.buffer, t.offset, t.length});
+        }
+        break;
+      }
+      case ActionType::compute:
+        for (const Operand& op : node.operands) {
+          if (writes(op.access)) {
+            kill(op.buffer, op.offset, op.length,
+                 dom == kHostDomain ? std::nullopt
+                                    : std::optional<DomainId>(dom));
+          }
+        }
+        break;
+      case ActionType::alloc:
+        // (Re)instantiation resets the incarnation's contents.
+        kill(node.transfer.buffer, 0, static_cast<std::size_t>(-1), dom);
+        break;
+      case ActionType::event_wait:
+      case ActionType::event_signal:
+        break;  // pure ordering: no bytes change hands
+    }
     remap_edges(node, index, remap);
     out.push_back(std::move(node));
   }

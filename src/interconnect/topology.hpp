@@ -59,7 +59,9 @@ class Topology {
 
   /// Link for traffic between two nodes of the platform. node 0 is the
   /// host; nodes >= 1 are devices. Device-device returns the *first* hop
-  /// (device -> host); the runtime stages such transfers in two hops.
+  /// (device -> host); the runtime stages such transfers in two hops,
+  /// chunk-pipelined above `CoherenceConfig::pipeline_threshold` so the
+  /// hops overlap instead of running back to back.
   [[nodiscard]] const LinkModel& link_between(NodeIndex a, NodeIndex b) const {
     require(a != b || a == 0, "no self link between device and itself");
     if (a == b) {

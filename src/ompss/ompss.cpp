@@ -122,9 +122,22 @@ std::size_t OmpssRuntime::stage_region(Region& region, DomainId domain,
     return 0;
   }
   const std::size_t edges_before = pending_edges_;
+  if (region.valid_on != kHostDomain && domain != kHostDomain) {
+    // Device-to-device: one staged two-hop transfer on the target stream
+    // (the executors pipeline its chunks), ordered after the holder's
+    // last write. The staging hop refreshes the host copy as a side
+    // effect, so the region is home on the host too afterwards.
+    add_edge(stream, region.last_write, region.last_write_stream, region);
+    region.last_write = runtime_.enqueue_transfer_from(
+        stream, region.base, region.bytes, region.valid_on);
+    region.last_write_stream = stream;
+    ++stats_.transfers;
+    region.valid_on = domain;
+    return pending_edges_ - edges_before;
+  }
   if (region.valid_on != kHostDomain) {
-    // Write back from the holder to the host first (device-to-device is
-    // staged through the host on these platforms).
+    // Write back from the holder to the host (the consumer is the host
+    // itself).
     auto home = runtime_.enqueue_transfer(region.last_write_stream,
                                           region.base, region.bytes,
                                           XferDir::sink_to_src);

@@ -1,6 +1,8 @@
 #include "sim/sim_executor.hpp"
 
+#include <algorithm>
 #include <cstring>
+#include <functional>
 
 #include "core/runtime.hpp"
 
@@ -99,7 +101,11 @@ void SimExecutor::execute(const std::shared_ptr<ActionRecord>& action,
         done();  // aliased away (§V)
         return;
       }
-      start_transfer_attempt(action, domain, 0, std::move(done));
+      if (action->transfer.peer != kHostDomain) {
+        start_peer_attempt(action, domain, 0, std::move(done));
+      } else {
+        start_transfer_attempt(action, domain, 0, std::move(done));
+      }
       return;
     }
     case ActionType::event_wait:
@@ -180,6 +186,177 @@ void SimExecutor::start_transfer_attempt(
                 }
               },
               std::move(done));
+}
+
+namespace {
+
+/// Shared state of one chunked device->device move. The two hop lambdas
+/// (stored as std::functions so they can resubmit themselves) form a
+/// reference cycle through the owning shared_ptr; completion breaks it.
+struct PeerPipeline {
+  std::shared_ptr<ActionRecord> action;
+  DomainId sink{0};
+  DomainId peer{0};
+  std::size_t chunk = 0;      ///< chunk size in bytes (== total when K = 1)
+  std::size_t total = 0;
+  std::size_t count = 0;      ///< K, the number of chunks
+  std::size_t hop1_next = 0;  ///< next chunk to submit on the peer->host hop
+  std::size_t hop1_done = 0;  ///< chunks landed in the host staging row
+  std::size_t hop2_next = 0;  ///< next chunk to submit on the host->sink hop
+  std::size_t hop2_done = 0;
+  bool hop2_busy = false;     ///< hop 2 serialized within the action
+  double start_s = 0.0;
+  double stall_s = 0.0;       ///< link_stall fault, charged to the first chunk
+  CompletionFn done;
+  std::function<void()> advance_hop1;
+  std::function<void()> try_hop2;
+
+  [[nodiscard]] std::size_t len_of(std::size_t i) const {
+    return std::min(chunk, total - i * chunk);
+  }
+};
+
+}  // namespace
+
+void SimExecutor::start_peer_attempt(
+    const std::shared_ptr<ActionRecord>& action, DomainId sink, int failures,
+    CompletionFn done) {
+  if (!runtime_->domain_alive(sink)) {
+    done();
+    return;
+  }
+  const DomainId peer = action->transfer.peer;
+  if (!runtime_->domain_alive(peer)) {
+    // The source incarnation is gone; without its bytes the transfer
+    // cannot run. Surfaces at the next sync like any device loss.
+    runtime_->fail_action(
+        action->id,
+        std::make_exception_ptr(
+            Error(Errc::device_lost,
+                  "device->device transfer: source (peer) domain lost")));
+    return;
+  }
+  // One fault decision per attempt, keyed by the sink domain and the
+  // admission-time transfer id, exactly like the single-hop path:
+  // chunking must not multiply the injector's decision stream.
+  const FaultDecision fault =
+      runtime_->next_transfer_fault(sink, action->transfer_seq, failures);
+  if (fault.kind == FaultKind::device_loss) {
+    runtime_->mark_domain_lost(sink);
+    return;
+  }
+  if (fault.kind == FaultKind::transient_error) {
+    const RetryPolicy& retry = runtime_->retry_policy();
+    ++failures;
+    if (failures >= retry.max_attempts) {
+      runtime_->mark_domain_lost(sink);
+      return;
+    }
+    runtime_->note_transfer_retry(sink);
+    queue_.schedule_after(
+        retry.backoff_seconds(failures),
+        [this, action, sink, failures, done = std::move(done)]() mutable {
+          start_peer_attempt(action, sink, failures, std::move(done));
+        });
+    return;
+  }
+  const TransferPayload& t = action->transfer;
+  const CoherenceConfig& coh = runtime_->config().coherence;
+  auto p = std::make_shared<PeerPipeline>();
+  p->action = action;
+  p->sink = sink;
+  p->peer = peer;
+  p->total = t.length;
+  p->chunk = (t.length > coh.pipeline_threshold && coh.pipeline_chunk > 0)
+                 ? std::min(coh.pipeline_chunk, t.length)
+                 : t.length;
+  p->count = (t.length + p->chunk - 1) / p->chunk;
+  p->start_s = queue_.now();
+  p->stall_s = fault.kind == FaultKind::link_stall ? fault.stall_s : 0.0;
+  p->done = std::move(done);
+  if (p->count > 1) {
+    runtime_->note_transfer_chunks(p->count);
+  }
+  // Hop 1 (peer -> host staging), chunks chained serially.
+  p->advance_hop1 = [this, p] {
+    if (p->hop1_next >= p->count) {
+      return;
+    }
+    const std::size_t i = p->hop1_next++;
+    const std::size_t off = i * p->chunk;
+    const std::size_t len = p->len_of(i);
+    double duration = runtime_->link_for(p->peer).transfer_seconds(len) +
+                      runtime_->account_transfer_staging(len);
+    if (i == 0) {
+      duration += p->stall_s;
+    }
+    dma_resource(p->peer, XferDir::sink_to_src)
+        .submit(duration,
+                [this, p, off, len] {
+                  if (!config_.execute_payloads ||
+                      !runtime_->domain_alive(p->peer)) {
+                    return;
+                  }
+                  const TransferPayload& tp = p->action->transfer;
+                  std::byte* host = runtime_->buffer_local(
+                      tp.buffer, kHostDomain, tp.offset + off, len);
+                  std::byte* src = runtime_->buffer_local(
+                      tp.buffer, p->peer, tp.offset + off, len);
+                  std::memcpy(host, src, len);
+                },
+                [p] {
+                  ++p->hop1_done;
+                  p->advance_hop1();
+                  p->try_hop2();
+                });
+  };
+  // Hop 2 (host staging -> sink): starts as soon as a chunk has landed,
+  // serialized within the action so a multi-engine link cannot give one
+  // logical transfer more than one engine's bandwidth per hop.
+  p->try_hop2 = [this, p] {
+    if (p->hop2_busy || p->hop2_next >= p->hop1_done) {
+      return;
+    }
+    const std::size_t i = p->hop2_next++;
+    p->hop2_busy = true;
+    const std::size_t off = i * p->chunk;
+    const std::size_t len = p->len_of(i);
+    dma_resource(p->sink, XferDir::src_to_sink)
+        .submit(runtime_->link_for(p->sink).transfer_seconds(len),
+                [this, p, off, len] {
+                  if (!config_.execute_payloads ||
+                      !runtime_->domain_alive(p->sink)) {
+                    return;
+                  }
+                  const TransferPayload& tp = p->action->transfer;
+                  std::byte* host = runtime_->buffer_local(
+                      tp.buffer, kHostDomain, tp.offset + off, len);
+                  std::byte* dst = runtime_->buffer_local(
+                      tp.buffer, p->sink, tp.offset + off, len);
+                  std::memcpy(dst, host, len);
+                },
+                [this, p] {
+                  p->hop2_busy = false;
+                  if (++p->hop2_done == p->count) {
+                    if (p->count > 1) {
+                      const double serial =
+                          runtime_->link_for(p->peer).transfer_seconds(
+                              p->total) +
+                          runtime_->link_for(p->sink).transfer_seconds(
+                              p->total);
+                      runtime_->note_pipeline_span(serial,
+                                                   queue_.now() - p->start_s);
+                    }
+                    auto finish = std::move(p->done);
+                    p->advance_hop1 = nullptr;  // break the shared_ptr cycle
+                    p->try_hop2 = nullptr;
+                    finish();
+                  } else {
+                    p->try_hop2();
+                  }
+                });
+  };
+  p->advance_hop1();
 }
 
 void SimExecutor::wait(const std::function<bool()>& ready) {

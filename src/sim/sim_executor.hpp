@@ -73,6 +73,18 @@ class SimExecutor final : public Executor {
                               DomainId domain, int failures,
                               CompletionFn done);
 
+  /// Device->device (peer) transfer attempt: the star topology's two-hop
+  /// staging path, pipelined. Above CoherenceConfig::pipeline_threshold
+  /// the move is split into pipeline_chunk-sized pieces so chunk i's
+  /// host->sink hop overlaps chunk i+1's peer->host hop; each hop stays
+  /// serial within the action (one engine's bandwidth), so the speedup
+  /// asymptote is 2x over the unchunked two-hop baseline (which is the
+  /// K=1 degenerate case of the same code path). One fault decision per
+  /// attempt, keyed by the sink domain — identical to the single-hop path
+  /// so injector decision streams stay stable.
+  void start_peer_attempt(const std::shared_ptr<ActionRecord>& action,
+                          DomainId sink, int failures, CompletionFn done);
+
   SimExecutorConfig config_;
   Runtime* runtime_ = nullptr;
   EventQueue queue_;

@@ -1,0 +1,414 @@
+// Randomized coherence/elision torture tests (src/core byte-range
+// validity protocol, DESIGN.md "Byte-range coherence").
+//
+// The headline claims checked here:
+//  * transfer elision is *invisible*: with the same seed, an elide-on run
+//    produces bit-identical host bytes to an elide-off run, on both the
+//    threaded and the simulated backend, while moving strictly fewer
+//    bytes;
+//  * the simulator stays deterministic with elision on: two identical
+//    runs agree on the virtual clock and on every counter;
+//  * chunked device->device transfers overlap their two hops (the 64 MiB
+//    acceptance case from bench_transfer_pipeline, asserted on virtual
+//    time);
+//  * an elided transfer never consumes a ScheduledFault keyed to its
+//    transfer id, so fault plans stay stable when elision removes work;
+//  * replay residues elide: the second launch of a captured upload whose
+//    bytes did not change is a no-op.
+//
+// Every sequence is generated from a seeded Rng so failures reproduce.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/runtime.hpp"
+#include "core/threaded_executor.hpp"
+#include "graph/capture.hpp"
+#include "graph/replay.hpp"
+#include "interconnect/fault.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace hs {
+namespace {
+
+std::unique_ptr<Runtime> make_runtime(bool simulated, std::size_t cards,
+                                      CoherenceConfig coherence,
+                                      FaultPlan faults = {}) {
+  RuntimeConfig config;
+  config.coherence = coherence;
+  config.faults = std::move(faults);
+  if (simulated) {
+    const sim::SimPlatform platform = sim::hsw_plus_knc(cards);
+    config.platform = platform.desc;
+    config.device_link = platform.link;
+    return std::make_unique<Runtime>(
+        config, std::make_unique<sim::SimExecutor>(platform, true));
+  }
+  config.platform = PlatformDesc::host_plus_cards(4, cards, 8);
+  return std::make_unique<Runtime>(config,
+                                   std::make_unique<ThreadedExecutor>());
+}
+
+// ---- Random op-sequence harness --------------------------------------------
+
+constexpr std::size_t kBlocks = 16;
+constexpr std::size_t kBlockDoubles = 128;
+constexpr std::size_t kBlockBytes = kBlockDoubles * sizeof(double);
+
+struct FuzzOutcome {
+  std::vector<double> host;  ///< final host bytes
+  double now = 0.0;          ///< virtual clock (simulated backend)
+  RuntimeStats stats;
+};
+
+/// Runs a seeded random sequence of uploads, downloads, device->device
+/// copies, device computes, direct host writes, and signal->scoped-wait
+/// chains over a 16-block buffer shared by two cards. The generated
+/// sequence depends only on `seed`, never on the coherence knobs, so an
+/// elide-on and an elide-off run replay the exact same workload.
+///
+/// Race discipline: each round picks *distinct* blocks, drives each block
+/// from a single stream (FIFO covers intra-block ordering), and ends with
+/// synchronize(); direct host writes only open a block's round, so they
+/// never race an in-flight download of the same range. Elision is only
+/// required to be invisible for race-free programs — a dispatch-time
+/// validity check cannot (and need not) defend against unordered
+/// cross-stream writes to the same range.
+///
+/// Pass `oplog` to record the generated sequence (one line per op) when
+/// shrinking a failure by hand.
+FuzzOutcome run_fuzz(bool simulated, bool elide, std::uint64_t seed,
+                     bool oracle = false,
+                     std::vector<std::string>* oplog = nullptr) {
+  auto log_op = [oplog](int round, std::size_t block, const std::string& what) {
+    if (oplog != nullptr) {
+      char line[160];
+      std::snprintf(line, sizeof line, "r%d b%zu %s", round, block,
+                    what.c_str());
+      oplog->emplace_back(line);
+    }
+  };
+  CoherenceConfig coherence;
+  coherence.elide = elide;
+  coherence.oracle = oracle;
+  auto rt = make_runtime(simulated, 2, coherence);
+
+  FuzzOutcome out;
+  out.host.resize(kBlocks * kBlockDoubles);
+  for (std::size_t i = 0; i < out.host.size(); ++i) {
+    out.host[i] = 0.25 * static_cast<double>(seed % 97) +
+                  0.5 * static_cast<double>(i);
+  }
+  const BufferId buf =
+      rt->buffer_create(out.host.data(), out.host.size() * sizeof(double));
+  rt->buffer_instantiate(buf, DomainId{1});
+  rt->buffer_instantiate(buf, DomainId{2});
+
+  // Two streams per card; the second exercises signal -> scoped-wait
+  // chains against elided work.
+  StreamId streams[2][2];
+  for (std::uint32_t c = 1; c <= 2; ++c) {
+    streams[c - 1][0] = rt->stream_create(DomainId{c}, CpuMask::first_n(2));
+    streams[c - 1][1] = rt->stream_create(DomainId{c}, CpuMask::first_n(2));
+  }
+
+  // Which incarnations hold defined (deterministically written) bytes.
+  // Reads are only generated against defined incarnations, so payload
+  // execution never copies uninitialized device memory around.
+  bool defined[kBlocks][3] = {};
+  for (std::size_t b = 0; b < kBlocks; ++b) {
+    defined[b][0] = true;  // the host proxy is initialized above
+  }
+
+  Rng rng(seed);
+  std::vector<std::size_t> order(kBlocks);
+  std::iota(order.begin(), order.end(), 0);
+
+  for (int round = 0; round < 30; ++round) {
+    std::shuffle(order.begin(), order.end(), rng);
+    const std::size_t picks = 1 + rng.bounded(4);
+    for (std::size_t p = 0; p < picks; ++p) {
+      const std::size_t block = order[p];
+      double* ptr = out.host.data() + block * kBlockDoubles;
+      const std::uint32_t card = 1 + static_cast<std::uint32_t>(rng.bounded(2));
+      const StreamId s = streams[card - 1][rng.bounded(2)];
+      const OperandRef ops[] = {{ptr, kBlockBytes, Access::inout}};
+
+      const std::size_t op_count = 1 + rng.bounded(3);
+      for (std::size_t o = 0; o < op_count; ++o) {
+        switch (rng.bounded(6)) {
+          case 0:
+          case 1:  // upload (weighted: the elision bread-and-butter)
+            log_op(round, block, "h2d card" + std::to_string(card));
+            (void)rt->enqueue_transfer(s, ptr, kBlockBytes,
+                                       XferDir::src_to_sink);
+            defined[block][card] = true;
+            break;
+          case 2:  // download
+            if (defined[block][card]) {
+              log_op(round, block, "d2h card" + std::to_string(card));
+              (void)rt->enqueue_transfer(s, ptr, kBlockBytes,
+                                         XferDir::sink_to_src);
+            }
+            break;
+          case 3: {  // device->device from the other card
+            const std::uint32_t peer = 3 - card;
+            if (defined[block][peer]) {
+              log_op(round, block,
+                     "d2d card" + std::to_string(peer) + "->card" +
+                         std::to_string(card));
+              (void)rt->enqueue_transfer_from(s, ptr, kBlockBytes,
+                                              DomainId{peer});
+              defined[block][card] = true;
+            }
+            break;
+          }
+          case 4:  // device compute (exactly representable constants so
+                   // the FP trajectory is bit-stable)
+            if (defined[block][card]) {
+              log_op(round, block, "compute card" + std::to_string(card));
+              ComputePayload work;
+              work.body = [ptr](TaskContext& ctx) {
+                double* local = ctx.translate(ptr, kBlockDoubles);
+                for (std::size_t i = 0; i < kBlockDoubles; ++i) {
+                  local[i] = local[i] * 1.0009765625 + 0.5;
+                }
+              };
+              (void)rt->enqueue_compute(s, std::move(work), ops);
+            }
+            break;
+          case 5:  // direct host write; only as a block's opening op (a
+                   // later slot could race an in-flight download)
+            if (o == 0) {
+              log_op(round, block, "hostwrite");
+              for (std::size_t i = 0; i < kBlockDoubles; ++i) {
+                ptr[i] += 0.125;
+              }
+              rt->note_host_write(ptr, kBlockBytes);
+            }
+            break;
+        }
+      }
+
+      // Occasionally fence the block through a signal consumed by a
+      // scoped wait on the sibling stream, then download from there:
+      // elided transfers must still satisfy event waiters.
+      if (defined[block][card] && rng.uniform() < 0.25) {
+        log_op(round, block, "sig+wait+d2h card" + std::to_string(card));
+        auto sig = rt->enqueue_signal(s, ops);
+        const StreamId sibling = streams[card - 1][0] == s
+                                     ? streams[card - 1][1]
+                                     : streams[card - 1][0];
+        (void)rt->enqueue_event_wait(sibling, std::move(sig), ops);
+        (void)rt->enqueue_transfer(sibling, ptr, kBlockBytes,
+                                   XferDir::sink_to_src);
+      }
+    }
+    const Status st = rt->synchronize(10.0);
+    if (oplog != nullptr && !static_cast<bool>(st)) {
+      oplog->push_back("SYNC FAIL r" + std::to_string(round) + ": " +
+                       std::string(st.message()));
+    }
+  }
+
+  // Final readback sweep (card 1 drains fully before card 2 starts, so
+  // the last writer of each host block is well-defined): covers
+  // device-resident state in the comparison and exercises elision of
+  // already-clean downloads. The inter-card synchronize matters — two
+  // unordered downloads of the same range on different streams are a
+  // data race under hStreams semantics, and elision is only required to
+  // be invisible for race-free programs.
+  for (std::uint32_t c = 1; c <= 2; ++c) {
+    for (std::size_t b = 0; b < kBlocks; ++b) {
+      if (defined[b][c]) {
+        (void)rt->enqueue_transfer(streams[c - 1][0],
+                                   out.host.data() + b * kBlockDoubles,
+                                   kBlockBytes, XferDir::sink_to_src);
+      }
+    }
+    rt->synchronize();
+  }
+
+  out.now = rt->now();
+  out.stats = rt->stats();
+  return out;
+}
+
+// ---- Elision invisibility ---------------------------------------------------
+
+TEST(CoherenceFuzz, SimulatedElisionIsInvisibleAndMovesFewerBytes) {
+  for (const std::uint64_t seed : {1ull, 7ull, 42ull}) {
+    const FuzzOutcome off = run_fuzz(true, false, seed);
+    const FuzzOutcome on = run_fuzz(true, true, seed, /*oracle=*/true);
+    EXPECT_EQ(off.host, on.host) << "seed " << seed;
+    EXPECT_EQ(off.stats.transfers_elided, 0u);
+    EXPECT_GT(on.stats.transfers_elided, 0u) << "seed " << seed;
+    EXPECT_GT(on.stats.bytes_elided, 0u);
+    EXPECT_LT(on.stats.bytes_transferred, off.stats.bytes_transferred)
+        << "seed " << seed;
+    // The oracle byte-checked the elisions (simulated executor runs
+    // payloads here, so every elision is checkable).
+    EXPECT_GT(on.stats.coherence_oracle_checks, 0u);
+  }
+}
+
+TEST(CoherenceFuzz, ThreadedElisionIsInvisible) {
+  for (const std::uint64_t seed : {3ull, 11ull}) {
+    const FuzzOutcome off = run_fuzz(false, false, seed);
+    const FuzzOutcome on = run_fuzz(false, true, seed, /*oracle=*/true);
+    EXPECT_EQ(off.host, on.host) << "seed " << seed;
+    EXPECT_GT(on.stats.transfers_elided, 0u) << "seed " << seed;
+    EXPECT_LT(on.stats.bytes_transferred, off.stats.bytes_transferred);
+  }
+}
+
+TEST(CoherenceFuzz, SimulatedVirtualTimeIsDeterministicWithElision) {
+  const FuzzOutcome a = run_fuzz(true, true, 1234);
+  const FuzzOutcome b = run_fuzz(true, true, 1234);
+  EXPECT_EQ(a.host, b.host);
+  EXPECT_DOUBLE_EQ(a.now, b.now);
+  EXPECT_EQ(a.stats.transfers_elided, b.stats.transfers_elided);
+  EXPECT_EQ(a.stats.bytes_elided, b.stats.bytes_elided);
+  EXPECT_EQ(a.stats.bytes_transferred, b.stats.bytes_transferred);
+  EXPECT_EQ(a.stats.actions_completed, b.stats.actions_completed);
+}
+
+// ---- Chunked multi-hop pipeline --------------------------------------------
+
+TEST(CoherenceFuzz, PeerPipelineOverlapsHopsOnLargeTransfers) {
+  // The bench_transfer_pipeline acceptance case, pinned on virtual time:
+  // a 64 MiB device->device move with the default 2 MiB chunking must
+  // beat the unchunked (serial two-hop) baseline by >= 1.7x.
+  const std::size_t bytes = 64u << 20;
+  const std::size_t doubles = bytes / sizeof(double);
+
+  struct Run {
+    double seconds = 0.0;
+    RuntimeStats stats;
+  };
+  auto run = [&](std::size_t threshold) {
+    CoherenceConfig coherence;
+    coherence.pipeline_threshold = threshold;  // chunk stays the 2 MiB default
+    auto rt = make_runtime(true, 2, coherence);
+    std::vector<double> x(doubles);
+    for (std::size_t i = 0; i < doubles; ++i) {
+      x[i] = static_cast<double>(i % 1021);
+    }
+    const BufferId buf = rt->buffer_create(x.data(), bytes);
+    rt->buffer_instantiate(buf, DomainId{1});
+    rt->buffer_instantiate(buf, DomainId{2});
+    const StreamId s1 = rt->stream_create(DomainId{1}, CpuMask::first_n(2));
+    const StreamId s2 = rt->stream_create(DomainId{2}, CpuMask::first_n(2));
+    (void)rt->enqueue_transfer(s1, x.data(), bytes, XferDir::src_to_sink);
+    rt->synchronize();
+
+    const double t0 = rt->now();
+    (void)rt->enqueue_transfer_from(s2, x.data(), bytes, DomainId{1});
+    rt->synchronize();
+    Run r;
+    r.seconds = rt->now() - t0;
+    r.stats = rt->stats();
+    // The staging hop refreshed the host with card 1's (identical) bytes.
+    EXPECT_DOUBLE_EQ(x[1021], 0.0);
+    EXPECT_DOUBLE_EQ(x[doubles - 1], static_cast<double>((doubles - 1) % 1021));
+    return r;
+  };
+
+  const Run serial = run(std::numeric_limits<std::size_t>::max());
+  const Run chunked = run(1u << 20);
+  EXPECT_EQ(serial.stats.transfer_chunks, 0u);  // K = 1: no pipeline
+  EXPECT_EQ(chunked.stats.transfer_chunks, 64u / 2u);
+  EXPECT_GT(chunked.stats.pipeline_serial_us, chunked.stats.pipeline_actual_us);
+  ASSERT_GT(chunked.seconds, 0.0);
+  EXPECT_GE(serial.seconds / chunked.seconds, 1.7)
+      << "serial " << serial.seconds << " s vs chunked " << chunked.seconds
+      << " s";
+}
+
+// ---- Elision vs the fault plan ---------------------------------------------
+
+TEST(CoherenceFuzz, ElidedTransferDoesNotConsumeItsScheduledFault) {
+  // A transient fault keyed to transfer id 1 (the re-upload). With
+  // elision on, the re-upload completes as a no-op and the fault must
+  // never fire; with elision off it fires exactly once. Transfer ids are
+  // assigned at admission, so the id spaces line up either way.
+  FaultPlan plan;
+  plan.schedule = {{DomainId{1}, 1, 0, FaultKind::transient_error}};
+
+  auto pump = [&](bool elide) {
+    CoherenceConfig coherence;
+    coherence.elide = elide;
+    auto rt = make_runtime(true, 1, coherence, plan);
+    std::vector<double> x(kBlockDoubles, 2.5);
+    const BufferId buf = rt->buffer_create(x.data(), kBlockBytes);
+    rt->buffer_instantiate(buf, DomainId{1});
+    const StreamId s = rt->stream_create(DomainId{1}, CpuMask::first_n(2));
+    (void)rt->enqueue_transfer(s, x.data(), kBlockBytes, XferDir::src_to_sink);
+    rt->synchronize();
+    (void)rt->enqueue_transfer(s, x.data(), kBlockBytes, XferDir::src_to_sink);
+    rt->synchronize();
+    struct {
+      RuntimeStats stats;
+      std::vector<InjectedFault> log;
+      std::vector<double> host;
+    } out{rt->stats(), rt->fault_injector().canonical_log(), std::move(x)};
+    return out;
+  };
+
+  const auto on = pump(true);
+  const auto off = pump(false);
+  EXPECT_EQ(on.stats.transfers_elided, 1u);
+  EXPECT_EQ(on.stats.transfers_retried, 0u);
+  EXPECT_EQ(on.stats.faults_injected, 0u);
+  EXPECT_TRUE(on.log.empty());
+  EXPECT_EQ(off.stats.transfers_elided, 0u);
+  EXPECT_EQ(off.stats.transfers_retried, 1u);
+  EXPECT_EQ(off.log.size(), 1u);
+  EXPECT_EQ(on.host, off.host);
+}
+
+// ---- Replay residues --------------------------------------------------------
+
+TEST(CoherenceFuzz, ReplayedUploadElidesWhenBytesAreClean) {
+  auto rt = make_runtime(true, 1, CoherenceConfig{});
+  std::vector<double> x(kBlockDoubles, 1.5);
+  const BufferId buf = rt->buffer_create(x.data(), kBlockBytes);
+  rt->buffer_instantiate(buf, DomainId{1});
+  const StreamId s = rt->stream_create(DomainId{1}, CpuMask::first_n(2));
+
+  const StreamId streams[] = {s};
+  graph::GraphBuilder b(*rt, streams);
+  (void)b.transfer(s, x.data(), kBlockBytes, XferDir::src_to_sink);
+  graph::TaskGraph g = b.finish();
+  graph::GraphExec exec(*rt, std::move(g));
+
+  (void)exec.launch();
+  rt->synchronize();
+  EXPECT_EQ(rt->stats().transfers_elided, 0u);  // first upload does the work
+
+  (void)exec.launch();
+  rt->synchronize();
+  EXPECT_EQ(rt->stats().transfers_elided, 1u);  // residue: bytes unchanged
+
+  // A host write between launches makes the third upload real again.
+  x[0] = 9.0;
+  rt->note_host_write(x.data(), sizeof(double));
+  (void)exec.launch();
+  rt->synchronize();
+  EXPECT_EQ(rt->stats().transfers_elided, 1u);
+  EXPECT_EQ(rt->stats().graph_replays, 3u);
+}
+
+}  // namespace
+}  // namespace hs

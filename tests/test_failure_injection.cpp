@@ -27,10 +27,15 @@ struct TaskBoom : std::runtime_error {
 
 std::unique_ptr<Runtime> make_runtime(bool simulated, std::size_t cards = 1,
                                       FaultPlan faults = {},
-                                      RetryPolicy retry = {}) {
+                                      RetryPolicy retry = {},
+                                      bool elide = true) {
   RuntimeConfig config;
   config.faults = std::move(faults);
   config.retry = retry;
+  // The chaos tests replay the same bytes over and over; they disable
+  // transfer elision so every enqueued transfer consumes its slot in the
+  // fault plan exactly as scheduled.
+  config.coherence.elide = elide;
   if (simulated) {
     const sim::SimPlatform platform = sim::hsw_plus_knc(cards);
     config.platform = platform.desc;
@@ -411,7 +416,7 @@ ChaosOutcome run_chaos_once() {
   plan.p_stall = 0.15;
   plan.stall_s = 300e-6;
   plan.schedule = {{DomainId{2}, 6, 0, FaultKind::device_loss}};
-  auto rt = make_runtime(true, 2, plan);
+  auto rt = make_runtime(true, 2, plan, {}, /*elide=*/false);
 
   ChaosOutcome out;
   out.x1.assign(128, 1.0);

@@ -42,10 +42,15 @@ namespace {
 std::unique_ptr<Runtime> make_runtime(bool simulated, std::size_t cards = 1,
                                       FaultPlan faults = {},
                                       RetryPolicy retry = {},
-                                      ThreadedExecutorConfig texec = {}) {
+                                      ThreadedExecutorConfig texec = {},
+                                      bool elide = true) {
   RuntimeConfig config;
   config.faults = std::move(faults);
   config.retry = retry;
+  // The determinism/chaos tests below pump the same bytes repeatedly and
+  // need every enqueued transfer to actually hit the wire so the fault
+  // plan is consumed as written; they opt out of transfer elision.
+  config.coherence.elide = elide;
   if (simulated) {
     const sim::SimPlatform platform = sim::hsw_plus_knc(cards);
     config.platform = platform.desc;
@@ -112,6 +117,13 @@ void degrade_d1(Runtime& rt, std::vector<double>& x) {
   rt.buffer_instantiate(id, DomainId{1});
   const StreamId s = rt.stream_create(DomainId{1}, CpuMask::first_n(2));
   for (int i = 0; i < 3; ++i) {
+    if (i > 0) {
+      // Each upload must carry fresh bytes, or the coherence layer elides
+      // the re-send and the storm's scheduled faults go unconsumed.
+      rt.synchronize();
+      x[0] += 1.0;
+      rt.note_host_write(x.data(), sizeof(double));
+    }
     (void)rt.enqueue_transfer(s, x.data(), x.size() * sizeof(double),
                               XferDir::src_to_sink);
   }
@@ -229,9 +241,9 @@ TEST(FaultDeterminism, CanonicalLogMatchesAcrossBackends) {
 
   std::vector<InjectedFault> threaded_log;
   std::vector<InjectedFault> sim_log;
-  auto threaded = make_runtime(false, 2, plan);
+  auto threaded = make_runtime(false, 2, plan, {}, {}, /*elide=*/false);
   const RuntimeStats ts = pump_transfers(*threaded, threaded_log);
-  auto simulated = make_runtime(true, 2, plan);
+  auto simulated = make_runtime(true, 2, plan, {}, {}, /*elide=*/false);
   const RuntimeStats ss = pump_transfers(*simulated, sim_log);
 
   // Same plan + same workload -> the same transfers fault, with the same
@@ -253,8 +265,10 @@ TEST(FaultDeterminism, ThreadedRunsAreRepeatable) {
   plan.p_transient = 0.12;
   std::vector<InjectedFault> first;
   std::vector<InjectedFault> second;
-  (void)pump_transfers(*make_runtime(false, 2, plan), first);
-  (void)pump_transfers(*make_runtime(false, 2, plan), second);
+  (void)pump_transfers(*make_runtime(false, 2, plan, {}, {}, /*elide=*/false),
+                       first);
+  (void)pump_transfers(*make_runtime(false, 2, plan, {}, {}, /*elide=*/false),
+                       second);
   EXPECT_GT(first.size(), 0u);
   EXPECT_EQ(first, second);
 }
@@ -301,6 +315,9 @@ TEST(ThreadedRetry, BackoffDoesNotHeadOfLineBlockOtherDomains) {
 }
 
 // ---- Dirty-range tracking & evacuation --------------------------------------
+// Dirty ranges are now derived from the validity intervals (dirty =
+// valid(device) - valid(host)): device compute writes create dirtiness,
+// device->host transfers clear it.
 
 TEST(DirtyRanges, MarkMergesAndClearSplits) {
   std::vector<std::byte> mem(256);
@@ -310,19 +327,64 @@ TEST(DirtyRanges, MarkMergesAndClearSplits) {
   EXPECT_FALSE(buf.dirty_in(d));
 
   using Ranges = std::vector<std::pair<std::size_t, std::size_t>>;
-  buf.mark_dirty(d, 0, 64);
-  buf.mark_dirty(d, 64, 64);  // adjacent: merges
+  buf.note_compute_write(d, 0, 64);
+  buf.note_compute_write(d, 64, 64);  // adjacent: merges
   EXPECT_EQ(buf.dirty_ranges(d), (Ranges{{0, 128}}));
-  buf.clear_dirty(d, 32, 32);  // interior: splits
+  buf.note_transfer(d, kHostDomain, 32, 32);  // interior sync home: splits
   EXPECT_EQ(buf.dirty_ranges(d), (Ranges{{0, 32}, {64, 64}}));
-  buf.mark_dirty(d, 16, 64);  // bridges the hole
+  buf.note_compute_write(d, 16, 64);  // bridges the hole
   EXPECT_EQ(buf.dirty_ranges(d), (Ranges{{0, 128}}));
-  buf.clear_dirty(d, 0, 256);
+  buf.note_transfer(d, kHostDomain, 0, 256);
   EXPECT_FALSE(buf.dirty_in(d));
 
-  buf.mark_dirty(d, 8, 8);
+  buf.note_compute_write(d, 8, 8);
   buf.discard_dirty(d);
   EXPECT_FALSE(buf.dirty_in(d));
+}
+
+TEST(DirtyRanges, ValidityFollowsTransfersAndWrites) {
+  std::vector<std::byte> mem(256);
+  Buffer buf(BufferId{1}, mem.data(), mem.size(), BufferProps{});
+  const DomainId d1{1};
+  const DomainId d2{2};
+  buf.instantiate(d1);
+  buf.instantiate(d2);
+
+  // Fresh device incarnations are entirely invalid; the host alias is
+  // valid over the whole buffer.
+  EXPECT_TRUE(buf.valid_over(kHostDomain, 0, 256));
+  EXPECT_FALSE(buf.valid_over(d1, 0, 1));
+
+  // Upload: the device copies the (valid) host range and becomes valid.
+  buf.note_transfer(kHostDomain, d1, 0, 128);
+  EXPECT_TRUE(buf.valid_over(d1, 0, 128));
+  EXPECT_FALSE(buf.valid_over(d1, 0, 129));
+  EXPECT_FALSE(buf.dirty_in(d1));  // agrees with host: not dirty
+
+  // A device write invalidates every other incarnation over the range.
+  buf.note_compute_write(d1, 32, 32);
+  EXPECT_TRUE(buf.valid_over(d1, 0, 128));
+  EXPECT_FALSE(buf.valid_over(kHostDomain, 32, 32));
+  EXPECT_TRUE(buf.valid_over(kHostDomain, 64, 192));
+
+  // Transferring from a partially-valid source propagates only the valid
+  // part: d2 copies d1's bytes over [16, 48) but d1 itself is the logical
+  // owner only where valid — here everywhere, so d2 becomes valid there.
+  buf.note_transfer(d1, d2, 16, 32);
+  EXPECT_TRUE(buf.valid_over(d2, 16, 32));
+
+  // A host write invalidates both devices over the range.
+  buf.note_compute_write(kHostDomain, 0, 256);
+  EXPECT_FALSE(buf.valid_over(d1, 0, 1));
+  EXPECT_FALSE(buf.valid_over(d2, 16, 1));
+  EXPECT_FALSE(buf.dirty_in(d1));
+
+  // A failed body loses its own validity only.
+  buf.note_transfer(kHostDomain, d1, 0, 64);
+  buf.note_write_garbage(d1, 0, 16);
+  EXPECT_FALSE(buf.valid_over(d1, 0, 16));
+  EXPECT_TRUE(buf.valid_over(d1, 16, 48));
+  EXPECT_TRUE(buf.valid_over(kHostDomain, 0, 256));
 }
 
 TEST_P(FaultRecovery, EvacuateSyncsDirtyRangesBackFromLiveSource) {
@@ -460,7 +522,7 @@ TEST(DomainLossStress, SimulatedChaosClaimsEachActionOnce) {
   plan.p_transient = 0.1;
   plan.p_stall = 0.1;
   plan.schedule = {{DomainId{1}, 9, 0, FaultKind::device_loss}};
-  auto rt = make_runtime(true, 2, plan);
+  auto rt = make_runtime(true, 2, plan, {}, {}, /*elide=*/false);
 
   std::vector<double> x1(256, 1.0);
   std::vector<double> x2(256, 1.0);

@@ -175,5 +175,47 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(stats.lock_shard_contention),
                 static_cast<unsigned long long>(stats.dep_oracle_checks));
   }
+
+  // Byte-range coherence: config echo (HS_COHERENCE_OFF / HS_NO_ELIDE /
+  // HS_COHERENCE_ORACLE change these; see DESIGN.md "Byte-range
+  // coherence") plus a probe — the same upload twice, where the second
+  // is provably redundant and should be elided.
+  {
+    const CoherenceConfig& coh = runtime.config().coherence;
+    std::printf("\nbyte-range coherence: track=%s elide=%s oracle=%s\n",
+                coh.track ? "on" : "off", coh.elide ? "on" : "off",
+                coh.oracle ? "on" : "off");
+    std::printf("  pipeline_threshold=%zuKiB pipeline_chunk=%zuKiB "
+                "(device->device transfers above the threshold are "
+                "chunked and hop-overlapped)\n",
+                coh.pipeline_threshold >> 10, coh.pipeline_chunk >> 10);
+
+    static double probe_data[512];
+    const BufferId probe =
+        runtime.buffer_create(probe_data, sizeof probe_data);
+    const DomainId card{1};
+    if (runtime.domain_count() > 1) {
+      runtime.buffer_instantiate(probe, card);
+      const StreamId stream =
+          runtime.stream_create(card, CpuMask::first_n(1));
+      const RuntimeStats before = runtime.stats();
+      (void)runtime.enqueue_transfer(stream, probe_data, sizeof probe_data,
+                                     XferDir::src_to_sink);
+      (void)runtime.enqueue_transfer(stream, probe_data, sizeof probe_data,
+                                     XferDir::src_to_sink);
+      runtime.synchronize();
+      const RuntimeStats after = runtime.stats();
+      std::printf("  probe (same %zu-byte upload twice): "
+                  "transfers_elided=%llu bytes_elided=%llu "
+                  "bytes_transferred=%llu\n",
+                  sizeof probe_data,
+                  static_cast<unsigned long long>(after.transfers_elided -
+                                                  before.transfers_elided),
+                  static_cast<unsigned long long>(after.bytes_elided -
+                                                  before.bytes_elided),
+                  static_cast<unsigned long long>(after.bytes_transferred -
+                                                  before.bytes_transferred));
+    }
+  }
   return 0;
 }
