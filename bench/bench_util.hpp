@@ -130,6 +130,12 @@ struct CountingRuntimeDeleter {
     report::note_counter("transfer_chunks", s.transfer_chunks);
     report::note_counter("pipeline_serial_us", s.pipeline_serial_us);
     report::note_counter("pipeline_actual_us", s.pipeline_actual_us);
+    report::note_counter("checkpoints_taken", s.checkpoints_taken);
+    report::note_counter("checkpoint_bytes_written",
+                         s.checkpoint_bytes_written);
+    report::note_counter("checkpoint_bytes_skipped_clean",
+                         s.checkpoint_bytes_skipped_clean);
+    report::note_counter("restores_performed", s.restores_performed);
     delete rt;
   }
 };

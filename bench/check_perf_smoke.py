@@ -15,6 +15,11 @@ they are held to the tighter virtual_regression bound, and the bench's
 own acceptance counters (chunked two-hop >= 1.7x, CG bytes-moved
 reduction >= 30% with bit-identical iterates) fail the gate outright.
 
+Checkpoint rows (BENCH_checkpoint.json) are validity-map-driven byte
+counts — also deterministic, also held to virtual_regression — and the
+checkpoint_incremental_lt_full acceptance counter (incremental epochs
+write strictly fewer bytes than full snapshots) fails the gate outright.
+
 Usage: python3 bench/check_perf_smoke.py [baseline.json]
 (run from the directory holding the BENCH_*.json files).
 """
@@ -99,6 +104,20 @@ def main():
         failures.append(("cg_elision", "reduction_pct", reduction, 30, 1.0))
     if not identical:
         failures.append(("cg_elision", "bit_identical", 0, 1, 1.0))
+
+    ckpt = load("BENCH_checkpoint.json")
+    for row in table_rows(ckpt, "Checkpoint write amplification"):
+        check("checkpoint_bytes_written", row[0], float(row[2]),
+              unit="bytes", bound=virtual_limit)
+    kc = ckpt.get("counters", {})
+    inc_bytes = kc.get("checkpoint_incremental_bytes", 0)
+    full_bytes = kc.get("checkpoint_full_bytes", 0)
+    inc_lt_full = kc.get("checkpoint_incremental_lt_full", 0)
+    print(f"  checkpoint acceptance: incremental wrote {inc_bytes} vs full "
+          f"{full_bytes} bytes ({'ok' if inc_lt_full else 'NOT fewer'})")
+    if not inc_lt_full:
+        failures.append(("checkpoint", "incremental_lt_full",
+                         inc_bytes, full_bytes, 1.0))
 
     if checked == 0:
         raise SystemExit("baseline matched no measured rows — "

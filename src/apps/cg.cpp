@@ -1,7 +1,10 @@
 #include "apps/cg.hpp"
 
+#include <array>
 #include <cmath>
+#include <utility>
 
+#include "checkpoint/checkpoint.hpp"
 #include "graph/capture.hpp"
 #include "graph/replay.hpp"
 #include "hsblas/kernels.hpp"
@@ -51,6 +54,11 @@ struct CgDriver {
   std::vector<BufferId> ids;
   double alpha = 0.0;
   double beta = 0.0;
+  /// Durable-checkpoint recurrence scalars, {||r||^2, completed
+  /// iterations}: persisted alongside x/r/p so a resumed run re-enters
+  /// the loop with the exact residual norm of the cut.
+  std::array<double, 2> scalars{};
+  BufferId id_p{}, id_r{}, id_x{}, id_scalars{};
 
   [[nodiscard]] DomainId owner(std::size_t i) const {
     return domains[i % domains.size()];
@@ -110,13 +118,27 @@ struct CgDriver {
         }
       }
       ids.push_back(id);
+      return id;
     };
     reg(const_cast<double*>(a.tile_ptr(0, 0)), a.size_bytes());
-    reg(p.data(), n * sizeof(double));
+    id_p = reg(p.data(), n * sizeof(double));
     reg(q.data(), n * sizeof(double));
-    reg(r.data(), n * sizeof(double));
-    reg(x.data(), n * sizeof(double));
+    id_r = reg(r.data(), n * sizeof(double));
+    id_x = reg(x.data(), n * sizeof(double));
     reg(partial.data(), nt * sizeof(double));
+  }
+
+  /// Registers the persisted state with the checkpoint manager: the
+  /// recurrence vectors x, r, p plus the scalar pair. q and the partials
+  /// are rebuilt from scratch every iteration, and the matrix and b are
+  /// inputs the resumed program re-supplies.
+  void track_for_checkpoint(ckpt::CheckpointManager& manager) {
+    id_scalars = runtime.buffer_create(scalars.data(), sizeof scalars);
+    ids.push_back(id_scalars);
+    manager.track("cg_x", id_x);
+    manager.track("cg_r", id_r);
+    manager.track("cg_p", id_p);
+    manager.track("cg_scalars", id_scalars);
   }
 
   /// One-time uploads: the matrix (whole) to each card, plus each card's
@@ -375,23 +397,23 @@ double cg_init(CgDriver& drv, const std::vector<double>& b,
   return rr;
 }
 
-}  // namespace
+/// The eager iteration loop, shared by run_cg and resume_cg. Enters with
+/// `iterations` already completed and residual norm `rr`; when `manager`
+/// is set, cuts an epoch after every checkpoint_interval-th iteration
+/// (at the loop bottom, after the p-update — the point where x, r, p and
+/// rr form one consistent recurrence state). Returns the updated
+/// (iterations, rr).
+std::pair<std::size_t, double> run_cg_loop(CgDriver& drv,
+                                           ckpt::CheckpointManager* manager,
+                                           std::size_t iterations, double rr,
+                                           double threshold) {
+  Runtime& runtime = drv.runtime;
+  const CgConfig& config = drv.config;
+  const std::size_t interval =
+      std::max<std::size_t>(std::size_t{1}, config.checkpoint_interval);
 
-CgStats run_cg(Runtime& runtime, const CgConfig& config, const TiledMatrix& a,
-               const std::vector<double>& b, std::vector<double>& x) {
-  require(a.rows() == a.cols(), "cg needs a square matrix");
-  require(b.size() == a.rows() && x.size() == a.rows(), "cg vector sizes");
-  CgDriver drv{runtime, config, a, x};
-  drv.setup();
-  double threshold = 0.0;
-  double rr = cg_init(drv, b, threshold);
-
-  const double t0 = runtime.now();
-  drv.uploads();
-
-  std::size_t iterations = 0;
-  for (std::size_t iter = 0; iter < config.max_iterations && rr > threshold;
-       ++iter) {
+  for (std::size_t iter = iterations;
+       iter < config.max_iterations && rr > threshold; ++iter) {
     auto partial_evs = drv.phase_spmv();
     runtime.event_wait_host(partial_evs);
     double pq_sum = 0.0;
@@ -415,9 +437,76 @@ CgStats run_cg(Runtime& runtime, const CgConfig& config, const TiledMatrix& a,
 
     auto p_evs = drv.phase_pupdate();
     runtime.event_wait_host(p_evs);
-  }
 
+    if (manager != nullptr &&
+        (iterations % interval == 0 || manager->due())) {
+      drv.scalars[0] = rr;
+      drv.scalars[1] = static_cast<double>(iterations);
+      runtime.note_host_write(drv.scalars.data(), sizeof drv.scalars);
+      const ckpt::GraphCursor cursor{
+          0, 0, static_cast<std::uint64_t>(iterations)};
+      manager->checkpoint(cursor).expect("cg: checkpoint epoch");
+    }
+  }
+  return {iterations, rr};
+}
+
+}  // namespace
+
+CgStats run_cg(Runtime& runtime, const CgConfig& config, const TiledMatrix& a,
+               const std::vector<double>& b, std::vector<double>& x) {
+  require(a.rows() == a.cols(), "cg needs a square matrix");
+  require(b.size() == a.rows() && x.size() == a.rows(), "cg vector sizes");
+  CgDriver drv{runtime, config, a, x};
+  drv.setup();
+  if (config.checkpoint != nullptr) {
+    drv.track_for_checkpoint(*config.checkpoint);
+  }
+  double threshold = 0.0;
+  const double rr0 = cg_init(drv, b, threshold);
+
+  const double t0 = runtime.now();
+  drv.uploads();
+  const auto [iterations, rr] =
+      run_cg_loop(drv, config.checkpoint, 0, rr0, threshold);
+  if (config.checkpoint != nullptr) {
+    // Drain the async writer before finish() drops the tracked buffers.
+    config.checkpoint->flush().expect("cg: checkpoint flush");
+  }
   return drv.finish(t0, iterations, rr, threshold);
+}
+
+CgStats resume_cg(Runtime& runtime, const CgConfig& config,
+                  const TiledMatrix& a, const std::vector<double>& b,
+                  std::vector<double>& x) {
+  require(config.checkpoint != nullptr, "resume_cg needs a checkpoint manager");
+  require(a.rows() == a.cols(), "cg needs a square matrix");
+  require(b.size() == a.rows() && x.size() == a.rows(), "cg vector sizes");
+  CgDriver drv{runtime, config, a, x};
+  drv.setup();
+  drv.track_for_checkpoint(*config.checkpoint);
+
+  ckpt::RestoreInfo info;
+  runtime.restore_from_checkpoint(*config.checkpoint, &info)
+      .expect("resume_cg: restore");
+  const double rr0 = drv.scalars[0];
+  const auto iterations = static_cast<std::size_t>(info.cursor.user);
+  // The threshold is input-derived, not iterate state: recompute from b.
+  double bb = 0.0;
+  for (const double v : b) {
+    bb += v * v;
+  }
+  const double threshold = config.tolerance * (bb > 0.0 ? bb : 1.0);
+
+  const double t0 = runtime.now();
+  // The restore invalidated every device incarnation; the one-time
+  // uploads re-seed the cards from the restored host state (the per-
+  // iteration p broadcast and the q/partial writes cover the rest).
+  drv.uploads();
+  const auto [done, rr] =
+      run_cg_loop(drv, config.checkpoint, iterations, rr0, threshold);
+  config.checkpoint->flush().expect("cg: checkpoint flush");
+  return drv.finish(t0, done, rr, threshold);
 }
 
 CgStats run_cg_graph(Runtime& runtime, const CgConfig& config,

@@ -24,6 +24,17 @@ struct CgConfig {
   std::size_t host_streams = 1;  ///< 0 = pure offload
   std::size_t max_iterations = 200;
   double tolerance = 1e-10;  ///< on ||r||^2 / ||b||^2
+  /// Durable checkpoint/restart: when set, run_cg cuts an epoch after
+  /// every `checkpoint_interval`-th iteration, persisting the recurrence
+  /// state — x, r, p (tracked as "cg_x"/"cg_r"/"cg_p") plus the residual
+  /// norm and iteration count ("cg_scalars"). q and the reduction
+  /// partials are recomputed every iteration and are not persisted. A
+  /// killed run resumes with resume_cg on a fresh runtime pointing at
+  /// the same directory. The caller owns the manager, which must be
+  /// bound to the same runtime. (run_cg_graph does not checkpoint.)
+  ckpt::CheckpointManager* checkpoint = nullptr;
+  /// Iterations between epochs (checkpointing runs only).
+  std::size_t checkpoint_interval = 1;
 };
 
 struct CgStats {
@@ -49,5 +60,17 @@ CgStats run_cg(Runtime& runtime, const CgConfig& config,
 CgStats run_cg_graph(Runtime& runtime, const CgConfig& config,
                      const TiledMatrix& a, const std::vector<double>& b,
                      std::vector<double>& x);
+
+/// Resumes a checkpointed solve that was killed mid-run: on a fresh
+/// runtime, restores the last durable epoch (config.checkpoint must
+/// point at the original directory), re-seeds the cards from the
+/// restored host state, and iterates to convergence from the saved
+/// iteration — continuing to checkpoint at the configured interval. The
+/// iterate sequence (and final x) is bit-identical to an uninterrupted
+/// run. Restore failures surface as hs::Error with the manifest layer's
+/// code (not_found, data_loss, ...).
+CgStats resume_cg(Runtime& runtime, const CgConfig& config,
+                  const TiledMatrix& a, const std::vector<double>& b,
+                  std::vector<double>& x);
 
 }  // namespace hs::apps

@@ -4,10 +4,12 @@
 #include <cmath>
 #include <cstddef>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <optional>
 #include <utility>
 
+#include "checkpoint/checkpoint.hpp"
 #include "graph/capture.hpp"
 #include "graph/passes.hpp"
 #include "graph/replay.hpp"
@@ -103,9 +105,12 @@ Placement make_placement(Runtime& runtime, const CholeskyConfig& config,
 /// by construction, the exact action stream eager enqueue produces).
 /// Performs no synchronization of its own unless bulk_synchronous asks
 /// for the step-wise barrier (which is incompatible with capture).
+/// `on_step`, when set, fires after each step k's actions are enqueued —
+/// the checkpointed driver uses it to record per-step graph cut points.
 void enqueue_factorization(Runtime& runtime, const CholeskyConfig& config,
                            TiledMatrix& a, AppApi& app,
-                           const Placement& placement) {
+                           const Placement& placement,
+                           const std::function<void(std::size_t)>& on_step = {}) {
   const std::size_t nt = a.row_tiles();
   auto owner_domain = [&](std::size_t i) {
     return placement.compute_domains[placement.row_owner[i]];
@@ -287,6 +292,9 @@ void enqueue_factorization(Runtime& runtime, const CholeskyConfig& config,
     if (config.bulk_synchronous) {
       runtime.synchronize();
     }
+    if (on_step) {
+      on_step(k);
+    }
   }
 }
 
@@ -451,11 +459,176 @@ CholeskyStats run_cholesky_partial(Runtime& runtime,
   return stats;
 }
 
+// --- Durable checkpoint/restart driver --------------------------------------
+
+/// The name the matrix buffer is tracked under in the checkpoint
+/// directory; restore matches manifests against it.
+constexpr const char* kCholeskyBufferName = "cholesky_a";
+
+/// The factorization graph plus the per-step cut points the checkpointed
+/// driver launches between: step k is nodes [step_end[k-1], step_end[k])
+/// (step 0 starts at node 0 and includes the initial uploads).
+struct CapturedFactorization {
+  graph::TaskGraph graph;
+  std::vector<std::size_t> step_end;
+};
+
+CapturedFactorization capture_factorization(Runtime& runtime,
+                                            const CholeskyConfig& config,
+                                            TiledMatrix& a, AppApi& app,
+                                            const Placement& placement) {
+  std::vector<StreamId> captured;
+  captured.push_back(placement.panel_stream);
+  for (std::size_t s = 0; s < app.stream_count(); ++s) {
+    captured.push_back(app.stream(s));
+  }
+  CapturedFactorization out;
+  out.step_end.resize(a.row_tiles());
+  graph::GraphCapture capture(runtime, captured);
+  enqueue_factorization(runtime, config, a, app, placement,
+                        [&](std::size_t k) { out.step_end[k] = capture.size(); });
+  out.graph = capture.finish();
+  return out;
+}
+
+/// Runs steps [first_step, nt) as per-step graph segments with an epoch
+/// cut after every `checkpoint_interval`-th step. Each segment drains
+/// before the next launches, so a cursor recorded at a step boundary is
+/// always a dependence-closed program-order prefix.
+void run_checkpointed_steps(Runtime& runtime, const CholeskyConfig& config,
+                            ckpt::CheckpointManager& manager,
+                            graph::GraphExec& exec,
+                            const std::vector<std::size_t>& step_end,
+                            std::size_t first_step) {
+  const std::size_t nt = step_end.size();
+  const std::size_t total = exec.graph().size();
+  const std::size_t interval =
+      std::max<std::size_t>(std::size_t{1}, config.checkpoint_interval);
+  std::size_t begin = first_step == 0 ? 0 : step_end[first_step - 1];
+  for (std::size_t k = first_step; k < nt; ++k) {
+    const std::size_t end = step_end[k];
+    std::vector<std::uint32_t> segment;
+    segment.reserve(end - begin);
+    for (std::size_t i = begin; i < end; ++i) {
+      segment.push_back(static_cast<std::uint32_t>(i));
+    }
+    if (!segment.empty()) {
+      // A scheduled segment, not a recovery — keep the recovery stats
+      // clean for the fault-tolerance paths.
+      (void)exec.launch_subset(segment, /*count_recovery=*/false);
+    }
+    runtime.synchronize();
+    begin = end;
+
+    const ckpt::GraphCursor cursor{
+        static_cast<std::uint64_t>(end), static_cast<std::uint64_t>(total),
+        static_cast<std::uint64_t>(k + 1)};
+    if ((k + 1) % interval == 0 && k + 1 < nt) {
+      manager.checkpoint(cursor).expect("cholesky: checkpoint epoch");
+    } else {
+      manager.maybe_checkpoint(cursor).expect("cholesky: checkpoint epoch");
+    }
+  }
+}
+
+CholeskyStats run_cholesky_checkpointed(Runtime& runtime,
+                                        const CholeskyConfig& config,
+                                        TiledMatrix& a) {
+  require(a.rows() == a.cols(), "cholesky needs a square matrix");
+  require(!config.bulk_synchronous,
+          "cholesky: checkpointing needs the asynchronous pipeline");
+  ckpt::CheckpointManager& manager = *config.checkpoint;
+
+  AppApi app(runtime, AppConfig{.streams_per_device = config.streams_per_device,
+                                .host_streams = config.host_streams});
+  const BufferId buffer = app.create_buf(a.data(), a.size_bytes());
+  manager.track(kCholeskyBufferName, buffer);
+  const Placement placement =
+      make_placement(runtime, config, app, a.row_tiles());
+
+  const double t0 = runtime.now();
+  CapturedFactorization captured =
+      capture_factorization(runtime, config, a, app, placement);
+  graph::GraphExec exec(runtime, std::move(captured.graph));
+
+  CholeskyStats stats;
+  stats.graph_actions = exec.graph().size();
+  run_checkpointed_steps(runtime, config, manager, exec, captured.step_end,
+                         /*first_step=*/0);
+  manager.flush().expect("cholesky: checkpoint flush");
+  finish_stats(runtime, a, placement, t0, stats);
+  return stats;
+}
+
 }  // namespace
+
+CholeskyStats resume_cholesky(Runtime& runtime, const CholeskyConfig& config,
+                              TiledMatrix& a) {
+  require(config.checkpoint != nullptr,
+          "resume_cholesky needs a checkpoint manager");
+  require(a.rows() == a.cols(), "cholesky needs a square matrix");
+  require(!config.bulk_synchronous,
+          "cholesky: checkpointing needs the asynchronous pipeline");
+  ckpt::CheckpointManager& manager = *config.checkpoint;
+
+  // Re-register and re-capture exactly as the original run did: the
+  // placement and capture are deterministic functions of the config and
+  // the (fresh, all-healthy) runtime, so node indices line up with the
+  // checkpointed cursor.
+  AppApi app(runtime, AppConfig{.streams_per_device = config.streams_per_device,
+                                .host_streams = config.host_streams});
+  const BufferId buffer = app.create_buf(a.data(), a.size_bytes());
+  manager.track(kCholeskyBufferName, buffer);
+  const Placement placement =
+      make_placement(runtime, config, app, a.row_tiles());
+
+  const double t0 = runtime.now();
+  CapturedFactorization captured =
+      capture_factorization(runtime, config, a, app, placement);
+  graph::GraphExec exec(runtime, std::move(captured.graph));
+
+  ckpt::RestoreInfo info;
+  runtime.restore_from_checkpoint(manager, &info)
+      .expect("resume_cholesky: restore");
+  require(info.cursor.total_nodes == exec.graph().size(),
+          "resume_cholesky: checkpoint cursor belongs to a different graph",
+          Errc::invalid_argument);
+
+  // The restore made the host copy authoritative and invalidated every
+  // device incarnation; re-upload exactly the device ranges the suffix
+  // reads before rewriting them, then barrier so the suffix cannot race
+  // its own inputs.
+  const graph::RestartPlan plan =
+      graph::plan_restart(exec.graph(), info.cursor.nodes_completed);
+  auto* base = reinterpret_cast<std::byte*>(a.data());
+  for (const graph::RestartRefresh& refresh : plan.refresh) {
+    require(refresh.range.buffer == buffer,
+            "resume_cholesky: refresh names a foreign buffer", Errc::internal);
+    const std::vector<std::size_t> pool = app.streams_on(refresh.domain);
+    require(!pool.empty(), "resume_cholesky: refresh domain has no streams",
+            Errc::internal);
+    (void)app.xfer_memory(pool.front(), base + refresh.range.offset,
+                          refresh.range.length, XferDir::src_to_sink);
+  }
+  runtime.synchronize();
+
+  CholeskyStats stats;
+  stats.graph_actions = exec.graph().size();
+  stats.recoveries = 1;
+  stats.recomputed_actions = plan.rerun.size();
+  run_checkpointed_steps(runtime, config, manager, exec, captured.step_end,
+                         static_cast<std::size_t>(info.cursor.user));
+  manager.flush().expect("resume_cholesky: checkpoint flush");
+  finish_stats(runtime, a, placement, t0, stats);
+  return stats;
+}
 
 CholeskyStats run_cholesky(Runtime& runtime, const CholeskyConfig& config,
                            TiledMatrix& a) {
   std::optional<BufferId> buffer;
+  if (config.checkpoint != nullptr) {
+    return run_cholesky_checkpointed(runtime, config, a);
+  }
   if (!config.recover_from_device_loss) {
     return run_cholesky_attempt(runtime, config, a, buffer);
   }

@@ -55,6 +55,17 @@ struct CholeskyConfig {
   /// Per-synchronize deadline used while draining after a loss (wall
   /// seconds threaded, virtual seconds simulated).
   double drain_timeout_s = 0.05;
+  /// Durable checkpoint/restart: when set, run_cholesky uses the
+  /// checkpointed driver — the factorization is captured as a task
+  /// graph, launched step by step, and the manager cuts an epoch every
+  /// `checkpoint_interval` steps (the matrix buffer is tracked under
+  /// the name "cholesky_a"). A run killed mid-factorization resumes
+  /// with resume_cholesky on a fresh runtime pointing at the same
+  /// checkpoint directory. Needs !bulk_synchronous. The caller owns
+  /// the manager, which must be bound to the same runtime.
+  ckpt::CheckpointManager* checkpoint = nullptr;
+  /// Steps between epochs (checkpointed driver only).
+  std::size_t checkpoint_interval = 1;
 };
 
 struct CholeskyStats {
@@ -76,5 +87,17 @@ struct CholeskyStats {
 /// (upper-triangle tiles are untouched). Returns timing stats.
 CholeskyStats run_cholesky(Runtime& runtime, const CholeskyConfig& config,
                            TiledMatrix& a);
+
+/// Resumes a checkpointed factorization that was killed mid-run: on a
+/// fresh runtime, re-registers and re-captures deterministically,
+/// restores the last durable epoch (config.checkpoint must point at the
+/// original directory), refreshes the device ranges the remaining
+/// suffix reads (graph::plan_restart), and runs the suffix to
+/// completion — continuing to checkpoint at the configured interval.
+/// The result in `a` is bit-identical to an uninterrupted run. Restore
+/// failures (no epoch, corrupt chunks) surface as hs::Error with the
+/// manifest layer's code (not_found, data_loss, ...).
+CholeskyStats resume_cholesky(Runtime& runtime, const CholeskyConfig& config,
+                              TiledMatrix& a);
 
 }  // namespace hs::apps

@@ -1,0 +1,199 @@
+#pragma once
+
+// Durable incremental checkpoint/restart (the ROADMAP's "periodic
+// durable snapshots" item; see DESIGN.md "Durable checkpoint &
+// restart").
+//
+// A CheckpointManager is used *with* a Runtime: the application
+// registers the buffers that constitute its restartable state under
+// stable names (track), then cuts epochs at its own safe points
+// (checkpoint / maybe_checkpoint). An epoch is *incremental*: for each
+// tracked buffer only the byte ranges whose logical value changed since
+// the previous epoch are persisted — computed from the byte-range
+// coherence layer's bookkeeping (Buffer's epoch-dirty interval set, fed
+// by the same note_compute_write path that maintains the PR 5 validity
+// maps), with device-newer ranges pulled home first through the
+// evacuate sync-home path. Clean ranges cost nothing but the interval
+// arithmetic.
+//
+// Durability is the manifest layer's job (manifest.hpp): chunk files +
+// a self-contained manifest committed by one atomic rename, so a death
+// at any instruction of the persistence path restores to the previous
+// committed epoch. The CrashInjector (crash.hpp) exists to prove that
+// claim at every kill point.
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "checkpoint/crash.hpp"
+#include "checkpoint/manifest.hpp"
+#include "common/status.hpp"
+#include "core/runtime.hpp"
+
+namespace hs::ckpt {
+
+/// Construction-time checkpoint configuration.
+struct CheckpointConfig {
+  /// Directory the epochs land in. Created on first use.
+  std::string directory;
+  /// Cut an epoch (via maybe_checkpoint) once this many actions
+  /// completed since the last one. 0 = never due by action count.
+  std::uint64_t interval_actions = 0;
+  /// Cut an epoch once this many seconds of Runtime::now() passed since
+  /// the last one — virtual seconds under the simulated executor, wall
+  /// seconds under the threaded one. 0 = never due by time.
+  double interval_seconds = 0.0;
+  /// Persist epochs on a dedicated writer thread: checkpoint() returns
+  /// after staging (memcpy of the dirty bytes) and the disk I/O
+  /// overlaps resumed execution. flush() drains. Persist failures and
+  /// injected crashes surface at the next checkpoint()/flush().
+  bool async_writer = false;
+  /// Persist only changed-since-last-epoch ranges. Off (or when the
+  /// runtime's coherence tracking is off, which leaves the epoch-dirty
+  /// sets unfed by host writes): every epoch persists whole buffers.
+  bool incremental = true;
+  /// Crash injection for the persistence path (tests).
+  CrashPlan crash;
+};
+
+/// What restore_from_checkpoint found and rebound.
+struct RestoreInfo {
+  std::uint64_t epoch = 0;             ///< the epoch restored
+  std::uint64_t actions_completed = 0; ///< runtime action count at the cut
+  double checkpoint_time = 0.0;        ///< Runtime::now() at the cut
+  GraphCursor cursor;                  ///< where to resume
+  RecoveryOutcome outcome = RecoveryOutcome::clean;
+};
+
+/// The checkpoint service. Thread-compatible: the enqueueing thread owns
+/// track/checkpoint/restore; the async writer (if any) is internal.
+class CheckpointManager {
+ public:
+  CheckpointManager(Runtime& runtime, CheckpointConfig config);
+  ~CheckpointManager();
+
+  CheckpointManager(const CheckpointManager&) = delete;
+  CheckpointManager& operator=(const CheckpointManager&) = delete;
+
+  [[nodiscard]] Runtime& runtime() noexcept { return runtime_; }
+  [[nodiscard]] const CheckpointConfig& config() const noexcept {
+    return config_;
+  }
+  [[nodiscard]] CrashInjector& crash() noexcept { return crash_; }
+
+  /// Registers `id` as part of the restartable state under `name` (the
+  /// stable identity buffers are rebound by on restart; also the chunk
+  /// file prefix, so no whitespace or '/'). The whole buffer is marked
+  /// epoch-dirty: its first epoch is a full snapshot. Names and ids must
+  /// be unique.
+  void track(std::string name, BufferId id);
+
+  /// True when the configured interval (actions or time) has elapsed
+  /// since the last cut.
+  [[nodiscard]] bool due() const;
+
+  /// checkpoint() if due(), otherwise ok() without cutting.
+  Status maybe_checkpoint(const GraphCursor& cursor = {});
+
+  /// Cuts one epoch at a quiescent point: synchronizes the runtime,
+  /// syncs device-newer ranges home, drains each tracked buffer's
+  /// epoch-dirty set, stages those bytes, and persists them (inline, or
+  /// on the writer thread under async_writer). `cursor` is the
+  /// application's progress statement, stored verbatim for restart.
+  /// Injected crashes (CrashError) unwind out of here in sync mode.
+  Status checkpoint(const GraphCursor& cursor = {});
+
+  /// Drains the async writer. Rethrows a CrashError the writer caught
+  /// (the simulated process death must unwind in the caller, as it
+  /// would have inline); returns the writer's stored failure otherwise.
+  Status flush();
+
+  /// Loads the newest restorable epoch from the directory, validates the
+  /// tracked buffer set against the manifest (names and sizes must match
+  /// exactly), replays chunk bytes into the host incarnations, declares
+  /// them via note_host_write (device validity over restored ranges is
+  /// invalidated, so nothing stale survives), and resets the epoch-dirty
+  /// sets (the restored content *is* the last epoch's content). The
+  /// manager resumes epoch numbering after the restored epoch, so a
+  /// resumed run keeps checkpointing into the same directory. Call
+  /// through Runtime::restore_from_checkpoint.
+  Status restore(RestoreInfo& info);
+
+  /// The newest epoch this manager has durably committed (or restored
+  /// from); 0 before the first.
+  [[nodiscard]] std::uint64_t last_epoch() const;
+
+ private:
+  struct Tracked {
+    std::string name;
+    BufferId id;
+    std::size_t size = 0;
+  };
+
+  /// One staged (not yet durable) epoch: the dirty bytes were memcpy'd
+  /// out at the cut, so the writer needs no further access to runtime
+  /// state except the stats counters.
+  struct StagedChunk {
+    std::string buffer;
+    std::size_t offset = 0;
+    std::vector<std::byte> bytes;
+  };
+  struct StagedEpoch {
+    std::uint64_t epoch = 0;
+    double time = 0.0;
+    std::uint64_t actions_completed = 0;
+    GraphCursor cursor;
+    /// Tracked set at the cut (manifest `buffer` lines).
+    std::map<std::string, std::size_t> buffers;
+    std::vector<StagedChunk> chunks;
+    std::uint64_t bytes_skipped = 0;
+  };
+
+  /// Writes one staged epoch's chunks and manifest. On success appends
+  /// to committed_chunks_, advances last_epoch_ and counts the stats.
+  /// CrashError propagates (after poisoning the manager).
+  Status persist(StagedEpoch epoch);
+
+  /// Rethrows a stored CrashError / returns a stored failure. A manager
+  /// whose persistence path failed stays failed: disk state may trail
+  /// memory state, so pretending later epochs committed would be a lie.
+  Status check_poisoned();
+
+  void writer_main();
+
+  Runtime& runtime_;
+  CheckpointConfig config_;
+  CrashInjector crash_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Tracked> tracked_;
+  /// Every chunk committed so far, in epoch order — the self-contained
+  /// chunk list the next manifest embeds.
+  std::vector<ChunkRef> committed_chunks_;
+  std::uint64_t next_epoch_ = 1;
+  std::uint64_t last_epoch_ = 0;
+  /// Interval bookkeeping: action count / time at the last cut.
+  std::uint64_t actions_at_mark_ = 0;
+  double time_at_mark_ = 0.0;
+  bool poisoned_ = false;
+  Status failure_ = Status::ok();
+  std::exception_ptr crash_error_;
+
+  /// Async writer state (all under mu_).
+  std::deque<StagedEpoch> queue_;
+  bool writer_busy_ = false;
+  bool stop_ = false;
+  std::thread writer_;
+};
+
+}  // namespace hs::ckpt

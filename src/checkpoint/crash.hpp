@@ -1,0 +1,220 @@
+#pragma once
+
+// Crash injection for the checkpoint writer.
+//
+// The durability claim of the checkpoint subsystem is exactly this: a
+// process may die at *any* instruction of the persistence path and the
+// on-disk state still restores to the last committed epoch. That claim
+// is only worth anything if it is tested at every interleaving, so the
+// writer threads a kill-point hook through every file-system boundary
+// it crosses — before a chunk file is created, mid-write (a torn
+// prefix lands), after its fsync, around the manifest temp file, and on
+// both sides of the atomic rename that commits the epoch.
+//
+// CrashInjector is modeled on interconnect/fault.hpp's FaultInjector:
+// a construction-time CrashPlan names crashes either as an explicit
+// deterministic schedule ((kill point, hit ordinal) -> crash) or as a
+// seeded per-hit probability decided by a stateless hash, so a fuzz
+// seed reproduces the same death on every run. A delivered crash is a
+// CrashError exception: tests catch it, abandon the dying runtime the
+// way a real process death would, and restart from disk.
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hs::ckpt {
+
+/// Where the checkpoint writer can die. One value per file-system
+/// boundary the persistence path crosses, in path order.
+enum class KillPoint {
+  chunk_begin,     ///< before a chunk file is created
+  chunk_write,     ///< mid chunk write: a torn prefix lands, then death
+  chunk_end,       ///< after the chunk is flushed and closed
+  manifest_begin,  ///< before the manifest temp file is created
+  manifest_write,  ///< mid manifest write: a torn prefix lands
+  pre_rename,      ///< manifest temp durable, before the atomic rename
+  post_rename,     ///< after the rename: the epoch is already committed
+};
+
+inline constexpr std::array<KillPoint, 7> kAllKillPoints = {
+    KillPoint::chunk_begin,    KillPoint::chunk_write,
+    KillPoint::chunk_end,      KillPoint::manifest_begin,
+    KillPoint::manifest_write, KillPoint::pre_rename,
+    KillPoint::post_rename,
+};
+
+[[nodiscard]] constexpr std::string_view to_string(KillPoint p) noexcept {
+  switch (p) {
+    case KillPoint::chunk_begin: return "chunk_begin";
+    case KillPoint::chunk_write: return "chunk_write";
+    case KillPoint::chunk_end: return "chunk_end";
+    case KillPoint::manifest_begin: return "manifest_begin";
+    case KillPoint::manifest_write: return "manifest_write";
+    case KillPoint::pre_rename: return "pre_rename";
+    case KillPoint::post_rename: return "post_rename";
+  }
+  return "unknown";
+}
+
+/// One explicitly scheduled death: the `hit`-th time (0-based) the
+/// writer reaches `point`, it dies there.
+struct ScheduledCrash {
+  KillPoint point = KillPoint::chunk_begin;
+  std::uint64_t hit = 0;
+  /// For the *_write points: fraction of the payload written before the
+  /// death — the torn prefix a real power cut leaves behind.
+  double tear_fraction = 0.5;
+};
+
+/// Construction-time crash configuration (CheckpointConfig::crash).
+struct CrashPlan {
+  std::uint64_t seed = 0;
+  double p_crash = 0.0;  ///< per kill-point-hit death probability
+  std::vector<ScheduledCrash> schedule;
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return p_crash > 0.0 || !schedule.empty();
+  }
+};
+
+/// The simulated process death. Deliberately NOT an hs::Error subclass:
+/// nothing in the runtime may catch-and-handle it the way Status-shaped
+/// failures are handled — it must unwind clean out of the checkpoint
+/// call, like the SIGKILL it stands in for.
+class CrashError : public std::runtime_error {
+ public:
+  CrashError(KillPoint point, std::uint64_t hit)
+      : std::runtime_error("injected crash at " + std::string(to_string(
+                               point)) + " (hit " + std::to_string(hit) + ")"),
+        point_(point),
+        hit_(hit) {}
+
+  [[nodiscard]] KillPoint point() const noexcept { return point_; }
+  [[nodiscard]] std::uint64_t hit() const noexcept { return hit_; }
+
+ private:
+  KillPoint point_;
+  std::uint64_t hit_;
+};
+
+/// One delivered crash, as recorded in the injector's log.
+struct InjectedCrash {
+  KillPoint point = KillPoint::chunk_begin;
+  std::uint64_t hit = 0;
+
+  friend bool operator==(const InjectedCrash&, const InjectedCrash&) = default;
+};
+
+/// Kill-point decision oracle. Thread-safe (the async writer thread and
+/// the caller's thread both cross kill points); each decision is a pure
+/// function of the plan and the (point, per-point hit ordinal) identity.
+class CrashInjector {
+ public:
+  explicit CrashInjector(CrashPlan plan) : plan_(std::move(plan)) {}
+
+  [[nodiscard]] bool enabled() const noexcept { return plan_.enabled(); }
+  [[nodiscard]] const CrashPlan& plan() const noexcept { return plan_; }
+
+  /// Non-tearing kill point: counts the hit and throws CrashError when
+  /// this hit is scheduled (or drawn by the seeded probability).
+  void at(KillPoint point) {
+    const auto [hit, crash] = decide(point);
+    if (crash.has_value()) {
+      throw CrashError(point, hit);
+    }
+  }
+
+  /// Tearing kill point for a `len`-byte payload write: returns the torn
+  /// prefix length to write before dying, or nullopt to proceed. The
+  /// caller writes (and flushes) the prefix, then calls die() — the torn
+  /// bytes must land on disk exactly as an interrupted write would leave
+  /// them.
+  [[nodiscard]] std::optional<std::size_t> tear(KillPoint point,
+                                                std::size_t len) {
+    const auto [hit, crash] = decide(point);
+    if (!crash.has_value()) {
+      return std::nullopt;
+    }
+    {
+      const std::scoped_lock lock(mutex_);
+      pending_ = InjectedCrash{point, hit};
+    }
+    const double fraction = std::min(std::max(*crash, 0.0), 1.0);
+    // Strictly shorter than the payload: a complete write is not torn.
+    const auto prefix = static_cast<std::size_t>(
+        fraction * static_cast<double>(len));
+    return std::min(prefix, len > 0 ? len - 1 : 0);
+  }
+
+  /// Delivers the death a preceding tear() armed.
+  [[noreturn]] void die() {
+    std::optional<InjectedCrash> armed;
+    {
+      const std::scoped_lock lock(mutex_);
+      armed.swap(pending_);
+    }
+    require(armed.has_value(), "die() without an armed tear()",
+            Errc::internal);
+    throw CrashError(armed->point, armed->hit);
+  }
+
+  /// Every delivered crash so far, in delivery order.
+  [[nodiscard]] std::vector<InjectedCrash> log() const {
+    const std::scoped_lock lock(mutex_);
+    return log_;
+  }
+
+ private:
+  /// Counts the hit and decides its fate: (hit ordinal, tear fraction if
+  /// the writer dies here). Logs decided deaths.
+  std::pair<std::uint64_t, std::optional<double>> decide(KillPoint point) {
+    const std::scoped_lock lock(mutex_);
+    const std::uint64_t hit = hits_[static_cast<std::size_t>(point)]++;
+    std::optional<double> crash;
+    for (const ScheduledCrash& s : plan_.schedule) {
+      if (s.point == point && s.hit == hit) {
+        crash = s.tear_fraction;
+        break;
+      }
+    }
+    if (!crash.has_value() && plan_.p_crash > 0.0 &&
+        hash01(plan_.seed, static_cast<std::uint64_t>(point), hit) <
+            plan_.p_crash) {
+      // Seeded deaths tear at a hash-derived fraction so fuzz runs cover
+      // the prefix space, not just one split.
+      crash = hash01(plan_.seed ^ 0x5bf03635ULL,
+                     static_cast<std::uint64_t>(point), hit);
+    }
+    if (crash.has_value()) {
+      log_.push_back({point, hit});
+    }
+    return {hit, crash};
+  }
+
+  /// SplitMix64-style stateless hash of (seed, point, hit) -> [0, 1) —
+  /// the same construction FaultInjector uses, so thread interleaving
+  /// cannot reorder the random stream.
+  [[nodiscard]] static double hash01(std::uint64_t seed, std::uint64_t point,
+                                     std::uint64_t hit) noexcept {
+    std::uint64_t z = seed + 0x9e3779b97f4a7c15ULL * (hit + 1) +
+                      0xbf58476d1ce4e5b9ULL * (point + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    return static_cast<double>(z >> 11) * 0x1.0p-53;
+  }
+
+  mutable std::mutex mutex_;
+  CrashPlan plan_;
+  std::array<std::uint64_t, kAllKillPoints.size()> hits_{};
+  std::vector<InjectedCrash> log_;
+  std::optional<InjectedCrash> pending_;
+};
+
+}  // namespace hs::ckpt

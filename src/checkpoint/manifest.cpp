@@ -1,0 +1,432 @@
+#include "checkpoint/manifest.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <array>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <sstream>
+#include <system_error>
+
+namespace hs::ckpt {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// CRC-64/XZ table (reflected ECMA-182 polynomial), built once.
+const std::array<std::uint64_t, 256>& crc64_table() {
+  static const std::array<std::uint64_t, 256> table = [] {
+    std::array<std::uint64_t, 256> t{};
+    constexpr std::uint64_t poly = 0xc96c5795d7870f42ULL;
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint64_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) != 0 ? (crc >> 1) ^ poly : crc >> 1;
+      }
+      t[i] = crc;
+    }
+    return t;
+  }();
+  return table;
+}
+
+[[nodiscard]] std::string errno_message(const char* what,
+                                        const std::string& path) {
+  return std::string(what) + " " + path + ": " + std::strerror(errno);
+}
+
+/// RAII fd so kill-point exceptions never leak descriptors.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) {
+      ::close(fd);
+    }
+  }
+  [[nodiscard]] bool ok() const noexcept { return fd >= 0; }
+};
+
+/// Writes all of [data, data+len) (retrying short writes) and fsyncs.
+Status write_all_sync(int fd, const void* data, std::size_t len,
+                      const std::string& path) {
+  const auto* p = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::write(fd, p + done, len - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::error(Errc::internal, errno_message("write", path));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    return Status::error(Errc::internal, errno_message("fsync", path));
+  }
+  return Status::ok();
+}
+
+/// fsyncs a directory so freshly created/renamed dirents are durable.
+Status sync_dir(const std::string& path) {
+  Fd dir{::open(path.c_str(), O_RDONLY | O_DIRECTORY)};
+  if (!dir.ok()) {
+    return Status::error(Errc::internal, errno_message("open dir", path));
+  }
+  if (::fsync(dir.fd) != 0) {
+    return Status::error(Errc::internal, errno_message("fsync dir", path));
+  }
+  return Status::ok();
+}
+
+[[nodiscard]] std::string epoch_dir_name(std::uint64_t epoch) {
+  char name[32];
+  std::snprintf(name, sizeof name, "epoch_%06" PRIu64, epoch);
+  return name;
+}
+
+[[nodiscard]] std::string manifest_name(std::uint64_t epoch) {
+  char name[32];
+  std::snprintf(name, sizeof name, "manifest_%06" PRIu64, epoch);
+  return name;
+}
+
+constexpr char kMagic[] = "hetstream-checkpoint";
+constexpr int kVersion = 1;
+
+}  // namespace
+
+std::uint64_t crc64(const void* data, std::size_t len, std::uint64_t seed) {
+  const auto& table = crc64_table();
+  std::uint64_t crc = ~seed;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+std::string Manifest::serialize() const {
+  std::ostringstream out;
+  out << kMagic << ' ' << kVersion << '\n';
+  out << "epoch " << epoch << '\n';
+  char time_hex[48];
+  std::snprintf(time_hex, sizeof time_hex, "%a", time);
+  out << "time " << time_hex << '\n';
+  out << "actions " << actions_completed << '\n';
+  out << "cursor " << cursor.nodes_completed << ' ' << cursor.total_nodes
+      << ' ' << cursor.user << '\n';
+  for (const auto& [name, size] : buffers) {
+    out << "buffer " << name << ' ' << size << '\n';
+  }
+  for (const ChunkRef& c : chunks) {
+    char crc_hex[24];
+    std::snprintf(crc_hex, sizeof crc_hex, "%016" PRIx64, c.crc);
+    out << "chunk " << c.buffer << ' ' << c.epoch << ' ' << c.file << ' '
+        << c.offset << ' ' << c.length << ' ' << crc_hex << '\n';
+  }
+  const std::string body = out.str();
+  char end_hex[24];
+  std::snprintf(end_hex, sizeof end_hex, "%016" PRIx64,
+                crc64(body.data(), body.size()));
+  return body + "end " + end_hex + "\n";
+}
+
+Status Manifest::parse(const std::string& text, Manifest& out) {
+  // The `end` line must be present, last, and match the CRC of every
+  // byte before it — a torn tail fails here, not in field parsing.
+  const std::size_t end_at = text.rfind("end ");
+  if (end_at == std::string::npos ||
+      (end_at != 0 && text[end_at - 1] != '\n')) {
+    return Status::error(Errc::data_loss, "manifest: missing end line");
+  }
+  std::uint64_t claimed = 0;
+  if (std::sscanf(text.c_str() + end_at, "end %16" SCNx64, &claimed) != 1 ||
+      text.back() != '\n') {
+    return Status::error(Errc::data_loss, "manifest: malformed end line");
+  }
+  if (crc64(text.data(), end_at) != claimed) {
+    return Status::error(Errc::data_loss, "manifest: body checksum mismatch");
+  }
+
+  Manifest m;
+  std::istringstream in(text.substr(0, end_at));
+  std::string line;
+  bool saw_magic = false;
+  while (std::getline(in, line)) {
+    std::istringstream fields(line);
+    std::string key;
+    fields >> key;
+    if (!saw_magic) {
+      int version = 0;
+      if (key != kMagic || !(fields >> version)) {
+        return Status::error(Errc::data_loss, "manifest: bad magic");
+      }
+      if (version != kVersion) {
+        return Status::error(Errc::invalid_argument,
+                             "manifest: unsupported version " +
+                                 std::to_string(version));
+      }
+      saw_magic = true;
+      continue;
+    }
+    bool ok = true;
+    if (key == "epoch") {
+      ok = static_cast<bool>(fields >> m.epoch);
+    } else if (key == "time") {
+      std::string hex;
+      ok = static_cast<bool>(fields >> hex);
+      if (ok) {
+        m.time = std::strtod(hex.c_str(), nullptr);
+      }
+    } else if (key == "actions") {
+      ok = static_cast<bool>(fields >> m.actions_completed);
+    } else if (key == "cursor") {
+      ok = static_cast<bool>(fields >> m.cursor.nodes_completed >>
+                             m.cursor.total_nodes >> m.cursor.user);
+    } else if (key == "buffer") {
+      std::string name;
+      std::size_t size = 0;
+      ok = static_cast<bool>(fields >> name >> size);
+      if (ok) {
+        m.buffers[name] = size;
+      }
+    } else if (key == "chunk") {
+      ChunkRef c;
+      std::string crc_hex;
+      ok = static_cast<bool>(fields >> c.buffer >> c.epoch >> c.file >>
+                             c.offset >> c.length >> crc_hex);
+      ok = ok && std::sscanf(crc_hex.c_str(), "%16" SCNx64, &c.crc) == 1;
+      if (ok) {
+        m.chunks.push_back(std::move(c));
+      }
+    } else {
+      return Status::error(Errc::data_loss,
+                           "manifest: unknown key '" + key + "'");
+    }
+    if (!ok) {
+      return Status::error(Errc::data_loss,
+                           "manifest: malformed line '" + line + "'");
+    }
+  }
+  if (!saw_magic || m.epoch == 0) {
+    return Status::error(Errc::data_loss, "manifest: missing header fields");
+  }
+  out = std::move(m);
+  return Status::ok();
+}
+
+Status write_chunk(const std::string& dir, const std::string& file,
+                   const std::string& buffer, std::uint64_t epoch,
+                   std::size_t offset, const std::byte* bytes,
+                   std::size_t length, ChunkRef& out, CrashInjector* crash) {
+  const fs::path path = fs::path(dir) / file;
+  std::error_code ec;
+  fs::create_directories(path.parent_path(), ec);
+  if (ec) {
+    return Status::error(Errc::internal,
+                         "mkdir " + path.parent_path().string() + ": " +
+                             ec.message());
+  }
+  if (crash != nullptr) {
+    crash->at(KillPoint::chunk_begin);
+  }
+  Fd fd{::open(path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644)};
+  if (!fd.ok()) {
+    return Status::error(Errc::internal, errno_message("open", path.string()));
+  }
+  if (crash != nullptr) {
+    if (const auto torn = crash->tear(KillPoint::chunk_write, length)) {
+      // A real interrupted write leaves a durable prefix; reproduce that
+      // exactly, then die.
+      (void)write_all_sync(fd.fd, bytes, *torn, path.string());
+      crash->die();
+    }
+  }
+  if (Status st = write_all_sync(fd.fd, bytes, length, path.string()); !st) {
+    return st;
+  }
+  if (crash != nullptr) {
+    crash->at(KillPoint::chunk_end);
+  }
+  out = ChunkRef{buffer, epoch, file, offset, length, crc64(bytes, length)};
+  return Status::ok();
+}
+
+Status write_manifest(const std::string& dir, const Manifest& manifest,
+                      CrashInjector* crash) {
+  // The dirents of this epoch's chunk files must be durable before the
+  // manifest that references them commits.
+  const fs::path epoch_dir = fs::path(dir) / epoch_dir_name(manifest.epoch);
+  if (fs::exists(epoch_dir)) {
+    if (Status st = sync_dir(epoch_dir.string()); !st) {
+      return st;
+    }
+  }
+
+  if (crash != nullptr) {
+    crash->at(KillPoint::manifest_begin);
+  }
+  const std::string text = manifest.serialize();
+  const fs::path final_path = fs::path(dir) / manifest_name(manifest.epoch);
+  const fs::path tmp_path = final_path.string() + ".tmp";
+  {
+    Fd fd{::open(tmp_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644)};
+    if (!fd.ok()) {
+      return Status::error(Errc::internal,
+                           errno_message("open", tmp_path.string()));
+    }
+    if (crash != nullptr) {
+      if (const auto torn =
+              crash->tear(KillPoint::manifest_write, text.size())) {
+        (void)write_all_sync(fd.fd, text.data(), *torn, tmp_path.string());
+        crash->die();
+      }
+    }
+    if (Status st =
+            write_all_sync(fd.fd, text.data(), text.size(), tmp_path.string());
+        !st) {
+      return st;
+    }
+  }
+  if (crash != nullptr) {
+    crash->at(KillPoint::pre_rename);
+  }
+  if (::rename(tmp_path.c_str(), final_path.c_str()) != 0) {
+    return Status::error(Errc::internal,
+                         errno_message("rename", final_path.string()));
+  }
+  if (Status st = sync_dir(dir); !st) {
+    return st;
+  }
+  if (crash != nullptr) {
+    crash->at(KillPoint::post_rename);
+  }
+  return Status::ok();
+}
+
+Status read_chunk(const std::string& dir, const ChunkRef& ref,
+                  std::byte* dest) {
+  const fs::path path = fs::path(dir) / ref.file;
+  Fd fd{::open(path.c_str(), O_RDONLY)};
+  if (!fd.ok()) {
+    return Status::error(Errc::data_loss,
+                         errno_message("open chunk", path.string()));
+  }
+  std::size_t done = 0;
+  while (done < ref.length) {
+    const ssize_t n =
+        ::read(fd.fd, reinterpret_cast<char*>(dest) + done, ref.length - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return Status::error(Errc::data_loss,
+                           errno_message("read chunk", path.string()));
+    }
+    if (n == 0) {
+      return Status::error(Errc::data_loss,
+                           "chunk truncated: " + path.string() + " has " +
+                               std::to_string(done) + " of " +
+                               std::to_string(ref.length) + " bytes");
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  // A trailing byte means the file does not match the manifest either.
+  char extra = 0;
+  if (::read(fd.fd, &extra, 1) != 0) {
+    return Status::error(Errc::data_loss,
+                         "chunk longer than manifest claims: " +
+                             path.string());
+  }
+  if (crc64(dest, ref.length) != ref.crc) {
+    return Status::error(Errc::data_loss,
+                         "chunk checksum mismatch: " + path.string());
+  }
+  return Status::ok();
+}
+
+Status verify_chunks(const std::string& dir, const Manifest& manifest) {
+  std::size_t scratch_size = 0;
+  for (const ChunkRef& c : manifest.chunks) {
+    scratch_size = std::max(scratch_size, c.length);
+  }
+  const auto scratch = std::make_unique<std::byte[]>(
+      scratch_size > 0 ? scratch_size : 1);
+  for (const ChunkRef& c : manifest.chunks) {
+    if (Status st = read_chunk(dir, c, scratch.get()); !st) {
+      return st;
+    }
+  }
+  return Status::ok();
+}
+
+std::vector<std::uint64_t> committed_epochs(const std::string& dir) {
+  std::vector<std::uint64_t> epochs;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    std::uint64_t epoch = 0;
+    char trailing = 0;
+    if (std::sscanf(name.c_str(), "manifest_%" SCNu64 "%c", &epoch,
+                    &trailing) == 1 &&
+        epoch > 0) {
+      epochs.push_back(epoch);
+    }
+  }
+  std::sort(epochs.begin(), epochs.end());
+  return epochs;
+}
+
+Status load_latest(const std::string& dir, Manifest& out,
+                   RecoveryOutcome* outcome) {
+  std::vector<std::uint64_t> epochs = committed_epochs(dir);
+  bool fell_back = false;
+  for (auto it = epochs.rbegin(); it != epochs.rend(); ++it) {
+    const fs::path path = fs::path(dir) / manifest_name(*it);
+    std::string text;
+    {
+      std::FILE* f = std::fopen(path.c_str(), "rb");
+      if (f == nullptr) {
+        fell_back = true;
+        continue;
+      }
+      char buf[4096];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+        text.append(buf, n);
+      }
+      std::fclose(f);
+    }
+    Manifest m;
+    if (!Manifest::parse(text, m)) {
+      // Torn or unreadable: the commit rename raced the death. Older
+      // epochs are still intact — fall back.
+      fell_back = true;
+      continue;
+    }
+    // Committed manifests must reference intact chunks: failures here
+    // are bit rot under a durable epoch, and falling back would mask
+    // silent corruption. Surface data_loss instead.
+    if (Status st = verify_chunks(dir, m); !st) {
+      return st;
+    }
+    if (outcome != nullptr) {
+      *outcome = fell_back ? RecoveryOutcome::fell_back
+                           : RecoveryOutcome::clean;
+    }
+    out = std::move(m);
+    return Status::ok();
+  }
+  return Status::error(Errc::not_found,
+                       "no restorable checkpoint epoch under " + dir);
+}
+
+}  // namespace hs::ckpt

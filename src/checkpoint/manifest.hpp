@@ -1,0 +1,151 @@
+#pragma once
+
+// On-disk checkpoint format: per-epoch chunk files plus a manifest,
+// committed by atomic rename.
+//
+// Layout of a checkpoint directory:
+//
+//   <dir>/epoch_000001/<buffer>.0.chunk      raw bytes of one dirty range
+//   <dir>/epoch_000001/<buffer>.1.chunk
+//   <dir>/manifest_000001                    commits epoch 1
+//   <dir>/epoch_000002/...
+//   <dir>/manifest_000002                    commits epoch 2
+//
+// A manifest is a line-based text file that is *self-contained*: it
+// lists every chunk (across all epochs up to its own) needed to
+// reconstruct every buffer, so restoring from manifest E never looks at
+// any newer file. Each chunk line carries the chunk's byte range and
+// CRC-64 and the last line carries the CRC-64 of the whole manifest
+// body, so both torn writes and bit rot are detected, and attributed to
+// the right failure class (see load_latest).
+//
+// Crash-consistency argument (the short version; DESIGN.md has the full
+// one): chunk files and the manifest are written to names no reader
+// looks at (epoch subdirectory + manifest temp name), fsynced, and the
+// epoch becomes visible in exactly one atomic step — rename(2) of the
+// manifest to its committed name. A death before the rename leaves the
+// previous manifest as the newest committed epoch; a death after it
+// leaves the new epoch fully durable. There is no interleaving in
+// between.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.hpp"
+#include "checkpoint/crash.hpp"
+
+namespace hs::ckpt {
+
+/// CRC-64/XZ (ECMA-182 polynomial, reflected). Table-driven; `seed`
+/// chains incremental updates: crc64(b, crc64(a)) == crc64(a + b).
+[[nodiscard]] std::uint64_t crc64(const void* data, std::size_t len,
+                                  std::uint64_t seed = 0);
+
+/// One persisted dirty range of one buffer.
+struct ChunkRef {
+  std::string buffer;     ///< registered buffer name
+  std::uint64_t epoch = 0;
+  std::string file;       ///< path relative to the checkpoint directory
+  std::size_t offset = 0; ///< byte range within the buffer
+  std::size_t length = 0;
+  std::uint64_t crc = 0;  ///< CRC-64 of the chunk file's bytes
+
+  friend bool operator==(const ChunkRef&, const ChunkRef&) = default;
+};
+
+/// Graph progress cursor persisted with each epoch: how far the
+/// application's captured graph (or iteration loop) had durably
+/// progressed when the snapshot was cut.
+struct GraphCursor {
+  /// Completed program-order prefix of the captured graph's node array
+  /// (0 = nothing ran; graph::plan_restart turns this into the rerun
+  /// suffix). 0 for applications that do not replay a graph.
+  std::uint64_t nodes_completed = 0;
+  /// Node count of the graph the cursor refers to; restore validates it
+  /// against the recaptured graph before re-running anything.
+  std::uint64_t total_nodes = 0;
+  /// Application-defined progress (CG stores completed iterations).
+  std::uint64_t user = 0;
+
+  friend bool operator==(const GraphCursor&, const GraphCursor&) = default;
+};
+
+/// One committed epoch's metadata.
+struct Manifest {
+  std::uint64_t epoch = 0;
+  double time = 0.0;  ///< Runtime::now() when the snapshot was cut
+  std::uint64_t actions_completed = 0;
+  GraphCursor cursor;
+  /// Buffer name -> size. Every tracked buffer appears (even if clean
+  /// in this epoch); restore validates names and sizes against the
+  /// re-registered buffers.
+  std::map<std::string, std::size_t> buffers;
+  /// Every chunk needed to reconstruct the buffers at this epoch, in
+  /// (buffer, epoch, offset) order. Replaying them in order — later
+  /// epochs overwrite earlier ones — yields the epoch's bytes.
+  std::vector<ChunkRef> chunks;
+
+  /// Serializes to the line-based text form, ending with the `end`
+  /// checksum line.
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parses a serialized manifest, verifying the trailing whole-file
+  /// checksum. Errors: data_loss for torn/corrupt bytes,
+  /// invalid_argument for version mismatches.
+  [[nodiscard]] static Status parse(const std::string& text, Manifest& out);
+};
+
+/// How load_latest classified the newest on-disk epoch.
+enum class RecoveryOutcome {
+  clean,       ///< newest committed manifest validated end to end
+  fell_back,   ///< newest manifest was torn/unreadable; an older epoch won
+};
+
+/// Writes `manifest` under `dir` crash-consistently: temp file, fsync,
+/// atomic rename to manifest_<epoch>. Chunk files must already be
+/// durable (write_chunk). Crosses the manifest_* and *_rename kill
+/// points of `crash` when given.
+Status write_manifest(const std::string& dir, const Manifest& manifest,
+                      CrashInjector* crash = nullptr);
+
+/// Writes one chunk file (raw bytes, fsynced) under `dir`, returning its
+/// ChunkRef. `file` is the directory-relative path (epoch subdirectories
+/// are created as needed). Crosses the chunk_* kill points of `crash`.
+Status write_chunk(const std::string& dir, const std::string& file,
+                   const std::string& buffer, std::uint64_t epoch,
+                   std::size_t offset, const std::byte* bytes,
+                   std::size_t length, ChunkRef& out,
+                   CrashInjector* crash = nullptr);
+
+/// Reads chunk `ref` back and verifies length and CRC. data_loss on any
+/// mismatch (a committed manifest referenced it, so damage is bit rot,
+/// not a torn epoch).
+Status read_chunk(const std::string& dir, const ChunkRef& ref,
+                  std::byte* dest);
+
+/// Verifies `manifest`'s chunk files on disk (length + CRC) without
+/// reading buffer contents into anything. data_loss on the first
+/// mismatch.
+Status verify_chunks(const std::string& dir, const Manifest& manifest);
+
+/// Committed epoch numbers present under `dir` (parsed from
+/// manifest_NNNNNN names), ascending. Temp files are ignored.
+[[nodiscard]] std::vector<std::uint64_t> committed_epochs(
+    const std::string& dir);
+
+/// Loads the newest restorable epoch: scans committed manifests newest
+/// first, skipping any that fail to parse or checksum (a torn epoch —
+/// the death raced the commit, fall back) until one parses clean. That
+/// manifest's *chunks* are then verified: a chunk failure there is NOT
+/// fallen back from — the epoch was durably committed, so damaged
+/// chunks mean silent data corruption and surface as Errc::data_loss.
+/// not_found when no manifest parses; `outcome` (optional) reports
+/// whether a fallback happened.
+Status load_latest(const std::string& dir, Manifest& out,
+                   RecoveryOutcome* outcome = nullptr);
+
+}  // namespace hs::ckpt

@@ -260,6 +260,11 @@ class Buffer {
       }
     }
     validity_[domain].add(offset, offset + len);
+    // A compute (or host) write changes the buffer's logical value, so
+    // the range is dirty relative to the last checkpoint epoch. Transfers
+    // deliberately do not land here: they move bytes between incarnations
+    // without changing the logical content.
+    ckpt_dirty_.add(offset, offset + len);
   }
 
   /// A failed compute body in `domain` may have partially written
@@ -338,6 +343,38 @@ class Buffer {
     return dirty_minus_host(domain);
   }
 
+  // --- Checkpoint epoch-dirty tracking ----------------------------------
+  // A second interval set, orthogonal to per-domain validity: which byte
+  // ranges have had their *logical value* change since the last
+  // checkpoint epoch. Fed by note_compute_write (device and host writes
+  // alike — note_host_write routes through it); drained atomically by the
+  // checkpoint layer when a snapshot is cut.
+
+  /// Marks [offset, offset+len) changed-since-last-epoch. The checkpoint
+  /// layer seeds the whole buffer this way when tracking begins, and
+  /// callers without coherence tracking use it to force full snapshots.
+  void mark_ckpt_dirty(std::size_t offset, std::size_t len) {
+    if (len == 0) {
+      return;
+    }
+    const std::scoped_lock lock(mu_);
+    ckpt_dirty_.add(offset, offset + len);
+  }
+
+  /// Returns the changed-since-last-epoch (offset, length) ranges,
+  /// ascending and disjoint, and clears them — the epoch boundary.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+  take_ckpt_dirty() {
+    const std::scoped_lock lock(mu_);
+    std::vector<std::pair<std::size_t, std::size_t>> out;
+    out.reserve(ckpt_dirty_.ranges().size());
+    for (const auto& [begin, end] : ckpt_dirty_.ranges()) {
+      out.emplace_back(begin, end - begin);
+    }
+    ckpt_dirty_.clear();
+    return out;
+  }
+
  private:
   /// valid(domain) - valid(host), mu_ held.
   [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
@@ -369,6 +406,8 @@ class Buffer {
   /// Per-incarnation validity intervals. Host seeded whole-buffer valid
   /// at construction; absent entry == entirely invalid.
   std::map<DomainId, IntervalSet> validity_;
+  /// Ranges whose logical value changed since the last checkpoint epoch.
+  IntervalSet ckpt_dirty_;
   std::vector<std::unique_ptr<std::byte[]>> owned_;
 };
 

@@ -1680,6 +1680,88 @@ void Runtime::note_host_write(const void* proxy, std::size_t len) {
   }
 }
 
+Status Runtime::sync_home(BufferId id) {
+  try {
+    // Let executor threads finish in-flight bodies that may still touch
+    // incarnation storage; callers have already synchronized, so this is
+    // a cheap fence, not a drain.
+    executor_->quiesce();
+    std::size_t domain_count = 0;
+    {
+      const std::scoped_lock lock(mutex_);
+      domain_count = domains_.size();
+    }
+    for (std::size_t d = 1; d < domain_count; ++d) {
+      const DomainId domain{static_cast<std::uint32_t>(d)};
+      std::vector<std::pair<std::size_t, std::size_t>> dirty;
+      bool alive = false;
+      {
+        std::shared_lock buffers(buffers_mutex_);
+        Buffer& buf = buffers_.get(id);
+        if (!buf.instantiated_in(domain)) {
+          continue;
+        }
+        dirty = buf.dirty_ranges(domain);
+        alive = domains_[d].alive();
+      }
+      if (dirty.empty()) {
+        continue;
+      }
+      if (!alive) {
+        std::size_t bytes = 0;
+        for (const auto& [offset, length] : dirty) {
+          bytes += length;
+        }
+        return Status::error(
+            Errc::data_loss,
+            "sync_home: " + std::to_string(bytes) + " dirty bytes of buffer " +
+                std::to_string(id.value) + " had their only current copy on "
+                "lost domain " + std::to_string(d));
+      }
+      if (executor_->executes_payloads()) {
+        for (const auto& [offset, length] : dirty) {
+          std::byte* host = buffer_local(id, kHostDomain, offset, length);
+          std::byte* src = buffer_local(id, domain, offset, length);
+          std::memcpy(host, src, length);
+        }
+      }
+      std::shared_lock buffers(buffers_mutex_);
+      Buffer& buf = buffers_.get(id);
+      for (const auto& [offset, length] : dirty) {
+        buf.note_transfer(domain, kHostDomain, offset, length);
+      }
+    }
+    return Status::ok();
+  } catch (const Error& e) {
+    return Status::error(e.code(), e.what());
+  }
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Runtime::take_ckpt_dirty(
+    BufferId id) {
+  std::shared_lock buffers(buffers_mutex_);
+  return buffers_.get(id).take_ckpt_dirty();
+}
+
+void Runtime::mark_ckpt_dirty(BufferId id, std::size_t offset,
+                              std::size_t len) {
+  std::shared_lock buffers(buffers_mutex_);
+  buffers_.get(id).mark_ckpt_dirty(offset, len);
+}
+
+void Runtime::note_checkpoint(std::uint64_t bytes_written,
+                              std::uint64_t bytes_skipped) {
+  stats_.checkpoints_taken.fetch_add(1, std::memory_order_relaxed);
+  stats_.checkpoint_bytes_written.fetch_add(bytes_written,
+                                            std::memory_order_relaxed);
+  stats_.checkpoint_bytes_skipped_clean.fetch_add(bytes_skipped,
+                                                  std::memory_order_relaxed);
+}
+
+void Runtime::note_restore() {
+  stats_.restores_performed.fetch_add(1, std::memory_order_relaxed);
+}
+
 void Runtime::health_sample(DomainId id, double outcome) {
   if (health_[id.value].sample(outcome, config_.health)) {
     stats_.links_degraded.fetch_add(1, std::memory_order_relaxed);
@@ -1764,6 +1846,11 @@ RuntimeStats Runtime::stats() const {
   out.pipeline_serial_us = get(stats_.pipeline_serial_us);
   out.pipeline_actual_us = get(stats_.pipeline_actual_us);
   out.coherence_oracle_checks = get(stats_.coherence_oracle_checks);
+  out.checkpoints_taken = get(stats_.checkpoints_taken);
+  out.checkpoint_bytes_written = get(stats_.checkpoint_bytes_written);
+  out.checkpoint_bytes_skipped_clean =
+      get(stats_.checkpoint_bytes_skipped_clean);
+  out.restores_performed = get(stats_.restores_performed);
   return out;
 }
 

@@ -44,6 +44,11 @@
 
 namespace hs {
 
+namespace ckpt {
+class CheckpointManager;
+struct RestoreInfo;
+}  // namespace ckpt
+
 /// A memory operand reference in proxy address terms, as passed by users.
 struct OperandRef {
   const void* ptr = nullptr;
@@ -102,6 +107,14 @@ struct RuntimeStats {
   std::uint64_t coherence_oracle_checks = 0;  ///< elisions cross-checked
                                               ///< byte-for-byte
                                               ///< (HS_COHERENCE_ORACLE)
+  std::uint64_t checkpoints_taken = 0;   ///< durable epochs committed
+  std::uint64_t checkpoint_bytes_written = 0;  ///< chunk payload bytes
+                                               ///< persisted across epochs
+  std::uint64_t checkpoint_bytes_skipped_clean = 0;  ///< bytes the validity
+                                                     ///< maps proved unchanged
+                                                     ///< since the last epoch
+  std::uint64_t restores_performed = 0;  ///< restore_from_checkpoint calls
+                                         ///< that rebound buffer contents
 };
 
 /// Byte-range coherence knobs: validity tracking, online transfer
@@ -406,6 +419,38 @@ class Runtime {
       std::span<const std::shared_ptr<EventState>> events, WaitMode mode,
       double timeout_s);
 
+  // --- Checkpoint support (checkpoint/) ------------------------------------
+  /// Pulls every dirty range of `id` (device incarnations newer than the
+  /// host) home through the evacuate sync-home path, without dropping any
+  /// incarnation: after it returns ok, the host copy is the buffer's
+  /// logical value over its whole extent. Quiesces the executor first;
+  /// callers synchronize before asking (the checkpoint layer does).
+  /// Errc::data_loss when a *dead* domain holds dirty ranges — the only
+  /// current copy died with it; not_found for unknown ids.
+  Status sync_home(BufferId id);
+  /// Drains the buffer's changed-since-last-epoch ranges (see
+  /// Buffer::take_ckpt_dirty). The epoch boundary: a subsequent call
+  /// returns only changes made after this one.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+  take_ckpt_dirty(BufferId id);
+  /// Marks [offset, offset+len) changed-since-last-epoch (whole-buffer
+  /// seeding when tracking begins; forced full snapshots when coherence
+  /// tracking is off).
+  void mark_ckpt_dirty(BufferId id, std::size_t offset, std::size_t len);
+  /// Rebinds the tracked buffers of `manager` to this runtime's
+  /// registered buffers, replays the last durable epoch's bytes into the
+  /// host incarnations (declared via note_host_write, so device validity
+  /// is invalidated and later uploads are not elided against stale
+  /// state), and reports where execution should resume. Defined in
+  /// checkpoint/checkpoint.cpp.
+  Status restore_from_checkpoint(ckpt::CheckpointManager& manager,
+                                 ckpt::RestoreInfo* info = nullptr);
+  /// Counts one committed epoch: `bytes_written` chunk payload bytes
+  /// persisted, `bytes_skipped` proven clean and skipped.
+  void note_checkpoint(std::uint64_t bytes_written, std::uint64_t bytes_skipped);
+  /// Counts one completed restore.
+  void note_restore();
+
   // --- Introspection -------------------------------------------------------
   [[nodiscard]] RuntimeStats stats() const;
   [[nodiscard]] double now() const { return executor_->now(); }
@@ -660,6 +705,10 @@ class Runtime {
     std::atomic<std::uint64_t> pipeline_serial_us{0};
     std::atomic<std::uint64_t> pipeline_actual_us{0};
     std::atomic<std::uint64_t> coherence_oracle_checks{0};
+    std::atomic<std::uint64_t> checkpoints_taken{0};
+    std::atomic<std::uint64_t> checkpoint_bytes_written{0};
+    std::atomic<std::uint64_t> checkpoint_bytes_skipped_clean{0};
+    std::atomic<std::uint64_t> restores_performed{0};
   };
 
   RuntimeConfig config_;

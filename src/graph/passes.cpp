@@ -441,4 +441,100 @@ RecoveryPlan plan_recovery(const TaskGraph& graph,
   return plan;
 }
 
+// --- Restart-from-checkpoint planning ---------------------------------------
+
+RestartPlan plan_restart(const TaskGraph& graph,
+                         std::uint64_t nodes_completed) {
+  graph.validate();
+  const std::size_t n = graph.nodes.size();
+  require(nodes_completed <= n, "plan_restart: cursor beyond graph",
+          Errc::out_of_range);
+
+  RestartPlan plan;
+  plan.rerun.reserve(n - static_cast<std::size_t>(nodes_completed));
+  for (std::size_t i = static_cast<std::size_t>(nodes_completed); i < n;
+       ++i) {
+    plan.rerun.push_back(static_cast<std::uint32_t>(i));
+  }
+
+  // Per-(domain, buffer) interval sets: `written` retires ranges an
+  // in-suffix action (re)produces in that domain; `need` accumulates
+  // device reads of not-yet-retired ranges — the refresh set. Host
+  // entries never arise: the restored host copy is authoritative.
+  using Key = std::pair<std::uint32_t, std::uint32_t>;
+  std::map<Key, IntervalSet> written;
+  std::map<Key, IntervalSet> need;
+  const auto demand = [&](DomainId domain, BufferId buffer,
+                          std::size_t offset, std::size_t length) {
+    if (length == 0 || domain == kHostDomain) {
+      return;
+    }
+    const Key key{domain.value, buffer.value};
+    IntervalSet want;
+    want.add(offset, offset + length);
+    for (const auto& [begin, len] : want.minus(written[key])) {
+      need[key].add(begin, begin + len);
+    }
+  };
+  const auto retire = [&](DomainId domain, BufferId buffer,
+                          std::size_t offset, std::size_t length) {
+    if (length == 0 || domain == kHostDomain) {
+      return;
+    }
+    written[{domain.value, buffer.value}].add(offset, offset + length);
+  };
+
+  for (const std::uint32_t i : plan.rerun) {
+    const GraphNode& node = graph.nodes[i];
+    const DomainId sink = graph.stream_info(node.stream).domain;
+    switch (node.type) {
+      case ActionType::compute:
+        // Reads see the domain incarnation; demand before retiring so an
+        // inout operand's old value is refreshed.
+        for (const Operand& op : node.operands) {
+          if (op.access != Access::out) {
+            demand(sink, op.buffer, op.offset, op.length);
+          }
+        }
+        for (const Operand& op : node.operands) {
+          if (writes(op.access)) {
+            retire(sink, op.buffer, op.offset, op.length);
+          }
+        }
+        break;
+      case ActionType::transfer:
+        if (node.transfer.dir == XferDir::src_to_sink) {
+          // Reads the peer incarnation (device->device staging) or the
+          // authoritative host; writes the sink incarnation.
+          demand(node.transfer.peer, node.transfer.buffer,
+                 node.transfer.offset, node.transfer.length);
+          retire(sink, node.transfer.buffer, node.transfer.offset,
+                 node.transfer.length);
+        } else {
+          // sink_to_src reads the sink incarnation into the host.
+          demand(sink, node.transfer.buffer, node.transfer.offset,
+                 node.transfer.length);
+        }
+        break;
+      case ActionType::alloc:
+        // Re-launch no-ops on an already-instantiated buffer; it neither
+        // reads nor produces values.
+        break;
+      case ActionType::event_wait:
+      case ActionType::event_signal:
+        // Ordering only; operands scope the wait, they move no bytes.
+        break;
+    }
+  }
+
+  for (const auto& [key, ranges] : need) {
+    for (const auto& [begin, end] : ranges.ranges()) {
+      plan.refresh.push_back(RestartRefresh{
+          DomainId{key.first},
+          Operand{BufferId{key.second}, begin, end - begin, Access::in}});
+    }
+  }
+  return plan;
+}
+
 }  // namespace hs::graph

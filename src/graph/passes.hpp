@@ -129,4 +129,42 @@ struct RecoveryPlan {
 [[nodiscard]] RecoveryPlan plan_recovery(
     const TaskGraph& graph, const std::function<bool(std::uint32_t)>& lost);
 
+// --- Restart-from-checkpoint planning ---------------------------------------
+
+/// One device range the restart path must re-upload before re-running
+/// the suffix: `range`'s bytes of its buffer, into `domain`'s
+/// incarnation, from the (restored, authoritative) host copy.
+struct RestartRefresh {
+  DomainId domain;
+  Operand range;  ///< access is always Access::in (a read the suffix does)
+};
+
+/// What to run after restoring a checkpoint cut at a program-order
+/// prefix of `graph`.
+struct RestartPlan {
+  /// The suffix [nodes_completed, size) — every node the checkpointed
+  /// run had not completed, ascending (launch_subset order).
+  std::vector<std::uint32_t> rerun;
+  /// Device refreshes that must complete (enqueue + synchronize) before
+  /// the rerun launches, merged per (domain, buffer) and disjoint.
+  std::vector<RestartRefresh> refresh;
+};
+
+/// Plans resumption after Runtime::restore_from_checkpoint: the restore
+/// replayed epoch bytes into the *host* incarnations and invalidated all
+/// device validity, but suffix nodes read device incarnations the
+/// completed prefix had populated (uploads, producer computes). The plan
+/// therefore pairs the rerun suffix with the device ranges the suffix
+/// *reads before any in-suffix action writes them in that domain* — the
+/// exact set whose pre-cut values live only in the restored host copy.
+/// Walking the suffix in capture order with per-(domain, buffer) written
+/// interval sets computes it: compute reads and device-peer/sink-to-src
+/// transfer sources demand ranges not yet written; compute writes and
+/// incoming transfers retire them. Host-domain nodes never appear (the
+/// restored host copy is authoritative). `nodes_completed` must be a
+/// dependence-closed program-order prefix — which per-step segment
+/// launching guarantees — and at most graph.size().
+[[nodiscard]] RestartPlan plan_restart(const TaskGraph& graph,
+                                       std::uint64_t nodes_completed);
+
 }  // namespace hs::graph

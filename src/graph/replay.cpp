@@ -95,7 +95,7 @@ GraphExec::Launch GraphExec::launch() {
 }
 
 GraphExec::Launch GraphExec::launch_subset(
-    std::span<const std::uint32_t> nodes) {
+    std::span<const std::uint32_t> nodes, bool count_recovery) {
   const std::size_t n = graph_.nodes.size();
   Launch out;
   out.events.resize(n);
@@ -150,7 +150,9 @@ GraphExec::Launch GraphExec::launch_subset(
     out.records[nodes[i]] = std::move(record);
   }
 
-  runtime_.note_partial_recovery(nodes.size());
+  if (count_recovery) {
+    runtime_.note_partial_recovery(nodes.size());
+  }
   runtime_.admit_prelinked(batch, graph_.id);
   return out;
 }

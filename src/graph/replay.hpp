@@ -84,8 +84,11 @@ class GraphExec {
   /// Combined with map_stream re-homing dead streams and the caller
   /// rolling back the written host ranges (RecoveryPlan::restore), this
   /// is partial re-execution: only the lost subgraph runs again. Counts
-  /// into partial_recoveries / actions_reexecuted.
-  Launch launch_subset(std::span<const std::uint32_t> nodes);
+  /// into partial_recoveries / actions_reexecuted unless `count_recovery`
+  /// is false (checkpointed drivers launch planned per-step segments
+  /// through here; a scheduled segment is not a recovery).
+  Launch launch_subset(std::span<const std::uint32_t> nodes,
+                       bool count_recovery = true);
 
   [[nodiscard]] const TaskGraph& graph() const noexcept { return graph_; }
 

@@ -1,0 +1,906 @@
+// Durable incremental checkpoint/restart.
+//
+//   * Manifest format: CRC-64/XZ known answer + chaining, text
+//     round-trip, tamper/truncation rejection, chunk file round-trip
+//     and checksum detection.
+//   * CheckpointManager: validity-map-driven incremental epochs (only
+//     bytes dirtied since the previous epoch are written), restore
+//     round-trips bytes + cursor + stats, the tracked-set restart
+//     contract, corrupted-chunk-under-committed-manifest -> data_loss
+//     (bit rot is never silently "recovered" by falling back), torn
+//     committed manifest -> fall back to the previous durable epoch.
+//   * Kill-point matrix: a seeded CrashInjector dies at every
+//     file-system boundary of the persistence path; restore must land
+//     on the last durable epoch (the pre-crash epoch for every point
+//     before the atomic rename, the new epoch after it).
+//   * plan_restart: the suffix to rerun plus exactly the device ranges
+//     the suffix reads but does not first write.
+//   * Apps: Cholesky and CG runs killed mid-flight restart from the
+//     checkpoint directory and finish bit-identical to an uninterrupted
+//     run, on both the simulated and threaded backends, including a
+//     randomized crash/restore fuzz loop.
+//
+// All checkpoint directories live under mkdtemp scratch and are removed
+// on scope exit; nothing is written into the source tree.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <system_error>
+#include <vector>
+
+#include "apps/cg.hpp"
+#include "apps/cholesky.hpp"
+#include "apps/tiled_matrix.hpp"
+#include "checkpoint/checkpoint.hpp"
+#include "checkpoint/crash.hpp"
+#include "checkpoint/manifest.hpp"
+#include "common/rng.hpp"
+#include "core/buffer.hpp"
+#include "core/runtime.hpp"
+#include "core/threaded_executor.hpp"
+#include "graph/capture.hpp"
+#include "graph/passes.hpp"
+#include "hsblas/matrix.hpp"
+#include "hsblas/reference.hpp"
+#include "sim/platform.hpp"
+#include "sim/sim_executor.hpp"
+
+namespace hs {
+namespace {
+
+std::unique_ptr<Runtime> make_runtime(bool simulated, std::size_t cards = 1) {
+  RuntimeConfig config;
+  if (simulated) {
+    const sim::SimPlatform platform = sim::hsw_plus_knc(cards);
+    config.platform = platform.desc;
+    return std::make_unique<Runtime>(
+        config, std::make_unique<sim::SimExecutor>(platform, true));
+  }
+  config.platform = PlatformDesc::host_plus_cards(4, cards, 4);
+  return std::make_unique<Runtime>(
+      config, std::make_unique<ThreadedExecutor>(ThreadedExecutorConfig{}));
+}
+
+/// Scratch checkpoint directory, removed on scope exit.
+struct TempDir {
+  std::string path;
+  TempDir() {
+    char tmpl[] = "/tmp/hs_test_ckpt_XXXXXX";
+    char* made = mkdtemp(tmpl);
+    EXPECT_NE(made, nullptr);
+    path = made != nullptr ? made : "/tmp/hs_test_ckpt_fallback";
+  }
+  ~TempDir() {
+    std::error_code ec;
+    std::filesystem::remove_all(path, ec);
+  }
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+};
+
+/// Flips one byte of a committed file in place (models bit rot).
+void corrupt_byte(const std::string& path, std::size_t offset) {
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.good()) << path;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char c = 0;
+  f.read(&c, 1);
+  c = static_cast<char>(c ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&c, 1);
+  f.flush();
+  ASSERT_TRUE(f.good()) << "corruption write did not land in " << path;
+}
+
+/// Truncates a committed file to `keep` bytes (models a torn write that
+/// somehow reached a committed name — bit rot or an unsafe copy).
+void truncate_file(const std::string& path, std::size_t keep) {
+  std::error_code ec;
+  std::filesystem::resize_file(path, keep, ec);
+  ASSERT_FALSE(ec) << path;
+}
+
+std::string manifest_path(const std::string& dir, std::uint64_t epoch) {
+  char name[32];
+  std::snprintf(name, sizeof name, "/manifest_%06llu",
+                static_cast<unsigned long long>(epoch));
+  return dir + name;
+}
+
+// ---- CRC-64 and the manifest text format ------------------------------------
+
+TEST(Crc64, KnownAnswerAndChaining) {
+  const char msg[] = "123456789";
+  // CRC-64/XZ check value for the standard 9-byte test vector.
+  EXPECT_EQ(ckpt::crc64(msg, 9), 0x995dc9bbdf1939faULL);
+  // Seed-chaining: feeding the halves through the seed parameter must
+  // equal one pass over the whole message (the incremental writer
+  // checksums chunk payloads in pieces).
+  const std::uint64_t first = ckpt::crc64(msg, 4);
+  EXPECT_EQ(ckpt::crc64(msg + 4, 5, first), ckpt::crc64(msg, 9));
+  EXPECT_NE(ckpt::crc64(msg, 8), ckpt::crc64(msg, 9));
+}
+
+ckpt::Manifest sample_manifest() {
+  ckpt::Manifest m;
+  m.epoch = 3;
+  m.time = 1.25;
+  m.actions_completed = 42;
+  m.cursor = {17, 40, 2};
+  m.buffers = {{"a", 8192}, {"b", 64}};
+  m.chunks.push_back({"a", 1, "epoch_000001/a.0.chunk", 0, 8192,
+                      0x1122334455667788ULL});
+  m.chunks.push_back({"a", 3, "epoch_000003/a.0.chunk", 256, 512,
+                      0x99aabbccddeeff00ULL});
+  m.chunks.push_back({"b", 3, "epoch_000003/b.1.chunk", 0, 64, 7});
+  return m;
+}
+
+TEST(ManifestFormat, SerializeParseRoundTrip) {
+  const ckpt::Manifest m = sample_manifest();
+  ckpt::Manifest parsed;
+  ASSERT_TRUE(ckpt::Manifest::parse(m.serialize(), parsed));
+  EXPECT_EQ(parsed.epoch, m.epoch);
+  EXPECT_EQ(parsed.time, m.time);
+  EXPECT_EQ(parsed.actions_completed, m.actions_completed);
+  EXPECT_EQ(parsed.cursor, m.cursor);
+  EXPECT_EQ(parsed.buffers, m.buffers);
+  EXPECT_EQ(parsed.chunks, m.chunks);
+}
+
+TEST(ManifestFormat, ParseRejectsTamperedOrTruncatedText) {
+  std::string text = sample_manifest().serialize();
+  // Whole-manifest CRC covers every byte above the trailer: flipping one
+  // character anywhere must fail the parse with data_loss.
+  std::string tampered = text;
+  tampered[text.size() / 2] ^= 0x01;
+  ckpt::Manifest out;
+  Status s = ckpt::Manifest::parse(tampered, out);
+  EXPECT_FALSE(s);
+  EXPECT_EQ(s.code(), Errc::data_loss);
+  // A torn prefix (the trailer line never landed) is also data_loss —
+  // this is exactly what load_latest probes before trusting an epoch.
+  s = ckpt::Manifest::parse(text.substr(0, text.size() - 10), out);
+  EXPECT_FALSE(s);
+  EXPECT_EQ(s.code(), Errc::data_loss);
+  EXPECT_FALSE(ckpt::Manifest::parse("", out));
+}
+
+TEST(ManifestIo, ChunkRoundTripAndCorruptionDetection) {
+  TempDir dir;
+  std::vector<double> payload(512);
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<double>(i) * 0.5;
+  }
+  ckpt::ChunkRef ref;
+  ASSERT_TRUE(ckpt::write_chunk(
+      dir.path, "epoch_000001/buf.0.chunk", "buf", 1, 128,
+      reinterpret_cast<const std::byte*>(payload.data()),
+      payload.size() * sizeof(double), ref));
+  EXPECT_EQ(ref.offset, 128u);
+  EXPECT_EQ(ref.length, payload.size() * sizeof(double));
+
+  std::vector<double> back(payload.size(), 0.0);
+  ASSERT_TRUE(ckpt::read_chunk(dir.path, ref,
+                               reinterpret_cast<std::byte*>(back.data())));
+  EXPECT_EQ(std::memcmp(back.data(), payload.data(), ref.length), 0);
+
+  ckpt::Manifest m;
+  m.epoch = 1;
+  m.buffers = {{"buf", 8192}};
+  m.chunks = {ref};
+  EXPECT_TRUE(ckpt::verify_chunks(dir.path, m));
+
+  corrupt_byte(dir.path + "/" + ref.file, 100);
+  Status s = ckpt::read_chunk(dir.path, ref,
+                              reinterpret_cast<std::byte*>(back.data()));
+  EXPECT_FALSE(s);
+  EXPECT_EQ(s.code(), Errc::data_loss);
+  s = ckpt::verify_chunks(dir.path, m);
+  EXPECT_FALSE(s);
+  EXPECT_EQ(s.code(), Errc::data_loss);
+}
+
+TEST(ManifestIo, LoadLatestWithoutEpochsIsNotFound) {
+  TempDir dir;
+  ckpt::Manifest out;
+  Status s = ckpt::load_latest(dir.path, out);
+  EXPECT_FALSE(s);
+  EXPECT_EQ(s.code(), Errc::not_found);
+  s = ckpt::load_latest(dir.path + "/never_created", out);
+  EXPECT_FALSE(s);
+  EXPECT_EQ(s.code(), Errc::not_found);
+}
+
+// ---- CrashInjector ----------------------------------------------------------
+
+TEST(CrashInjectorTest, ScheduledHitDeliversAtExactOrdinal) {
+  ckpt::CrashPlan plan;
+  plan.schedule = {{ckpt::KillPoint::chunk_begin, 2, 0.5}};
+  ckpt::CrashInjector injector(plan);
+  EXPECT_TRUE(injector.enabled());
+  injector.at(ckpt::KillPoint::chunk_begin);  // hit 0
+  injector.at(ckpt::KillPoint::manifest_begin);
+  injector.at(ckpt::KillPoint::chunk_begin);  // hit 1
+  try {
+    injector.at(ckpt::KillPoint::chunk_begin);  // hit 2 -> dies
+    FAIL() << "scheduled crash was not delivered";
+  } catch (const ckpt::CrashError& e) {
+    EXPECT_EQ(e.point(), ckpt::KillPoint::chunk_begin);
+    EXPECT_EQ(e.hit(), 2u);
+  }
+  const std::vector<ckpt::InjectedCrash> log = injector.log();
+  ASSERT_EQ(log.size(), 1u);
+  EXPECT_EQ(log[0], (ckpt::InjectedCrash{ckpt::KillPoint::chunk_begin, 2}));
+}
+
+TEST(CrashInjectorTest, TearReturnsStrictPrefixThenDies) {
+  ckpt::CrashPlan plan;
+  plan.schedule = {{ckpt::KillPoint::chunk_write, 0, 0.5},
+                   {ckpt::KillPoint::manifest_write, 0, 1.0}};
+  ckpt::CrashInjector injector(plan);
+  const auto torn = injector.tear(ckpt::KillPoint::chunk_write, 100);
+  ASSERT_TRUE(torn.has_value());
+  EXPECT_EQ(*torn, 50u);
+  EXPECT_THROW(injector.die(), ckpt::CrashError);
+  // tear_fraction 1.0 still tears: a complete write is not a torn write.
+  const auto full = injector.tear(ckpt::KillPoint::manifest_write, 100);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_LT(*full, 100u);
+  EXPECT_THROW(injector.die(), ckpt::CrashError);
+  // An unscheduled hit proceeds without arming anything.
+  EXPECT_FALSE(injector.tear(ckpt::KillPoint::chunk_write, 100).has_value());
+}
+
+// ---- CheckpointManager on a plain buffer ------------------------------------
+
+TEST(CheckpointManagerTest, IncrementalEpochsWriteOnlyDirtyBytes) {
+  TempDir dir;
+  auto rt = make_runtime(true);
+  std::vector<double> data(1024, 1.0);
+  const BufferId id = rt->buffer_create(data.data(),
+                                        data.size() * sizeof(double));
+  ckpt::CheckpointConfig cc;
+  cc.directory = dir.path;
+  ckpt::CheckpointManager manager(*rt, cc);
+  manager.track("data", id);
+
+  // Epoch 1 is a full snapshot: tracking marks the whole buffer dirty.
+  ASSERT_TRUE(manager.checkpoint());
+  RuntimeStats stats = rt->stats();
+  EXPECT_EQ(stats.checkpoints_taken, 1u);
+  EXPECT_EQ(stats.checkpoint_bytes_written, data.size() * sizeof(double));
+  EXPECT_EQ(stats.checkpoint_bytes_skipped_clean, 0u);
+
+  // Epoch 2 persists exactly the 16 doubles dirtied since epoch 1.
+  for (std::size_t i = 100; i < 116; ++i) {
+    data[i] = 2.0;
+  }
+  rt->note_host_write(data.data() + 100, 16 * sizeof(double));
+  ASSERT_TRUE(manager.checkpoint());
+  stats = rt->stats();
+  EXPECT_EQ(stats.checkpoints_taken, 2u);
+  EXPECT_EQ(stats.checkpoint_bytes_written,
+            (data.size() + 16) * sizeof(double));
+  EXPECT_EQ(stats.checkpoint_bytes_skipped_clean,
+            (data.size() - 16) * sizeof(double));
+  EXPECT_EQ(manager.last_epoch(), 2u);
+
+  // A clean epoch writes no chunk bytes but still commits a manifest
+  // (the epoch cursor must advance even when no bytes changed).
+  ASSERT_TRUE(manager.checkpoint());
+  stats = rt->stats();
+  EXPECT_EQ(stats.checkpoints_taken, 3u);
+  EXPECT_EQ(stats.checkpoint_bytes_written,
+            (data.size() + 16) * sizeof(double));
+  EXPECT_EQ(manager.last_epoch(), 3u);
+}
+
+TEST(CheckpointManagerTest, MaybeCheckpointIsGatedOnDue) {
+  TempDir dir;
+  auto rt = make_runtime(true);
+  std::vector<double> data(64, 0.0);
+  const BufferId id = rt->buffer_create(data.data(),
+                                        data.size() * sizeof(double));
+  ckpt::CheckpointConfig cc;
+  cc.directory = dir.path;  // no interval configured -> never due
+  ckpt::CheckpointManager manager(*rt, cc);
+  manager.track("data", id);
+  EXPECT_FALSE(manager.due());
+  ASSERT_TRUE(manager.maybe_checkpoint());
+  EXPECT_EQ(manager.last_epoch(), 0u);  // gate held: nothing committed
+  ASSERT_TRUE(manager.checkpoint());    // explicit cut always commits
+  EXPECT_EQ(manager.last_epoch(), 1u);
+}
+
+TEST(CheckpointManagerTest, RestoreRoundTripsBytesCursorAndStats) {
+  TempDir dir;
+  std::vector<double> data(256);
+  {
+    auto rt = make_runtime(true);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<double>(i);
+    }
+    const BufferId id = rt->buffer_create(data.data(),
+                                          data.size() * sizeof(double));
+    ckpt::CheckpointConfig cc;
+    cc.directory = dir.path;
+    ckpt::CheckpointManager manager(*rt, cc);
+    manager.track("data", id);
+    ASSERT_TRUE(manager.checkpoint({3, 7, 42}));
+  }
+  // "New process": fresh runtime, same tracked contract, garbage memory.
+  auto rt = make_runtime(true);
+  std::vector<double> fresh(256, -1.0);
+  const BufferId id = rt->buffer_create(fresh.data(),
+                                        fresh.size() * sizeof(double));
+  ckpt::CheckpointConfig cc;
+  cc.directory = dir.path;
+  ckpt::CheckpointManager manager(*rt, cc);
+  manager.track("data", id);
+  ckpt::RestoreInfo info;
+  ASSERT_TRUE(rt->restore_from_checkpoint(manager, &info));
+  EXPECT_EQ(info.epoch, 1u);
+  EXPECT_EQ(info.cursor, (ckpt::GraphCursor{3, 7, 42}));
+  EXPECT_EQ(info.outcome, ckpt::RecoveryOutcome::clean);
+  EXPECT_EQ(std::memcmp(fresh.data(), data.data(),
+                        data.size() * sizeof(double)), 0);
+  EXPECT_EQ(rt->stats().restores_performed, 1u);
+  // The restored state is the new epoch baseline: the next epoch after a
+  // restore has nothing dirty.
+  ASSERT_TRUE(manager.checkpoint());
+  EXPECT_EQ(manager.last_epoch(), 2u);
+  EXPECT_EQ(rt->stats().checkpoint_bytes_written, 0u);
+}
+
+TEST(CheckpointManagerTest, RestoreContractViolationsAreInvalidArgument) {
+  TempDir dir;
+  std::vector<double> data(64, 1.0);
+  {
+    auto rt = make_runtime(true);
+    const BufferId id = rt->buffer_create(data.data(),
+                                          data.size() * sizeof(double));
+    ckpt::CheckpointConfig cc;
+    cc.directory = dir.path;
+    ckpt::CheckpointManager manager(*rt, cc);
+    manager.track("data", id);
+    ASSERT_TRUE(manager.checkpoint());
+  }
+  auto rt = make_runtime(true);
+  ckpt::CheckpointConfig cc;
+  cc.directory = dir.path;
+  ckpt::RestoreInfo info;
+  {
+    // Nothing tracked: there is nowhere to land the chunks.
+    ckpt::CheckpointManager manager(*rt, cc);
+    Status s = manager.restore(info);
+    EXPECT_FALSE(s);
+    EXPECT_EQ(s.code(), Errc::invalid_argument);
+  }
+  {
+    // Same size, wrong name.
+    std::vector<double> fresh(64);
+    const BufferId id = rt->buffer_create(fresh.data(),
+                                          fresh.size() * sizeof(double));
+    ckpt::CheckpointManager manager(*rt, cc);
+    manager.track("renamed", id);
+    Status s = manager.restore(info);
+    EXPECT_FALSE(s);
+    EXPECT_EQ(s.code(), Errc::invalid_argument);
+  }
+  {
+    // Right name, wrong size: the chunk ranges would mean nothing.
+    std::vector<double> fresh(32);
+    const BufferId id = rt->buffer_create(fresh.data(),
+                                          fresh.size() * sizeof(double));
+    ckpt::CheckpointManager manager(*rt, cc);
+    manager.track("data", id);
+    Status s = manager.restore(info);
+    EXPECT_FALSE(s);
+    EXPECT_EQ(s.code(), Errc::invalid_argument);
+  }
+}
+
+TEST(CheckpointManagerTest, CorruptedChunkUnderCommittedManifestIsDataLoss) {
+  TempDir dir;
+  std::vector<double> data(128, 1.0);
+  {
+    auto rt = make_runtime(true);
+    const BufferId id = rt->buffer_create(data.data(),
+                                          data.size() * sizeof(double));
+    ckpt::CheckpointConfig cc;
+    cc.directory = dir.path;
+    ckpt::CheckpointManager manager(*rt, cc);
+    manager.track("data", id);
+    ASSERT_TRUE(manager.checkpoint());
+    for (std::size_t i = 5; i < 21; ++i) {
+      data[i] = 9.0;
+    }
+    rt->note_host_write(data.data() + 5, 16 * sizeof(double));
+    ASSERT_TRUE(manager.checkpoint());
+  }
+  // Bit rot in the *committed* epoch-2 chunk. The manifest is intact, so
+  // this is not a torn commit to fall back from — the epoch claims these
+  // bytes and cannot deliver them. Restore must refuse loudly rather
+  // than silently resurrect epoch 1 under a committed epoch 2.
+  corrupt_byte(dir.path + "/epoch_000002/data.0.chunk", 40);
+  auto rt = make_runtime(true);
+  std::vector<double> fresh(128);
+  const BufferId id = rt->buffer_create(fresh.data(),
+                                        fresh.size() * sizeof(double));
+  ckpt::CheckpointConfig cc;
+  cc.directory = dir.path;
+  ckpt::CheckpointManager manager(*rt, cc);
+  manager.track("data", id);
+  ckpt::RestoreInfo info;
+  Status s = manager.restore(info);
+  EXPECT_FALSE(s);
+  EXPECT_EQ(s.code(), Errc::data_loss);
+}
+
+TEST(CheckpointManagerTest, TornCommittedManifestFallsBackToPreviousEpoch) {
+  TempDir dir;
+  std::vector<double> data(128);
+  {
+    auto rt = make_runtime(true);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      data[i] = static_cast<double>(i);
+    }
+    const BufferId id = rt->buffer_create(data.data(),
+                                          data.size() * sizeof(double));
+    ckpt::CheckpointConfig cc;
+    cc.directory = dir.path;
+    ckpt::CheckpointManager manager(*rt, cc);
+    manager.track("data", id);
+    ASSERT_TRUE(manager.checkpoint({1, 2, 0}));
+    data[0] = -1.0;
+    rt->note_host_write(data.data(), sizeof(double));
+    ASSERT_TRUE(manager.checkpoint({2, 2, 0}));
+  }
+  // Tear the newest committed manifest in place. Its trailer CRC line is
+  // gone, so load_latest must distrust epoch 2 entirely and land on the
+  // last epoch whose manifest checks out.
+  truncate_file(manifest_path(dir.path, 2), 30);
+  auto rt = make_runtime(true);
+  std::vector<double> fresh(128, 0.0);
+  const BufferId id = rt->buffer_create(fresh.data(),
+                                        fresh.size() * sizeof(double));
+  ckpt::CheckpointConfig cc;
+  cc.directory = dir.path;
+  ckpt::CheckpointManager manager(*rt, cc);
+  manager.track("data", id);
+  ckpt::RestoreInfo info;
+  ASSERT_TRUE(manager.restore(info));
+  EXPECT_EQ(info.epoch, 1u);
+  EXPECT_EQ(info.outcome, ckpt::RecoveryOutcome::fell_back);
+  EXPECT_EQ(info.cursor, (ckpt::GraphCursor{1, 2, 0}));
+  EXPECT_EQ(fresh[0], 0.0);  // epoch-1 value, not epoch 2's -1.0
+  EXPECT_EQ(fresh[100], 100.0);
+}
+
+TEST(CheckpointManagerTest, AsyncWriterPersistsEpochsOnFlush) {
+  TempDir dir;
+  std::vector<double> data(256, 3.0);
+  {
+    auto rt = make_runtime(true);
+    const BufferId id = rt->buffer_create(data.data(),
+                                          data.size() * sizeof(double));
+    ckpt::CheckpointConfig cc;
+    cc.directory = dir.path;
+    cc.async_writer = true;
+    ckpt::CheckpointManager manager(*rt, cc);
+    manager.track("data", id);
+    ASSERT_TRUE(manager.checkpoint({1, 4, 0}));
+    data[7] = 4.0;
+    rt->note_host_write(data.data() + 7, sizeof(double));
+    ASSERT_TRUE(manager.checkpoint({2, 4, 0}));
+    // flush() is the durability point: both staged epochs are on disk
+    // (and the staging copies mean later host writes cannot leak into
+    // an earlier epoch's bytes).
+    ASSERT_TRUE(manager.flush());
+    EXPECT_EQ(manager.last_epoch(), 2u);
+  }
+  auto rt = make_runtime(true);
+  std::vector<double> fresh(256, 0.0);
+  const BufferId id = rt->buffer_create(fresh.data(),
+                                        fresh.size() * sizeof(double));
+  ckpt::CheckpointConfig cc;
+  cc.directory = dir.path;
+  ckpt::CheckpointManager manager(*rt, cc);
+  manager.track("data", id);
+  ckpt::RestoreInfo info;
+  ASSERT_TRUE(manager.restore(info));
+  EXPECT_EQ(info.epoch, 2u);
+  EXPECT_EQ(fresh[7], 4.0);
+  EXPECT_EQ(fresh[8], 3.0);
+}
+
+// ---- Kill-point matrix ------------------------------------------------------
+
+// One scheduled death per file-system boundary of the persistence path.
+// Epoch 1 (one tracked buffer, fully dirty -> exactly one chunk)
+// consumes hit 0 of every kill point, so {point, hit 1} dies during
+// epoch 2. Every point before the atomic rename must leave epoch 1 as
+// the restored state; post_rename means epoch 2 already committed.
+TEST(KillPointMatrix, EveryBoundaryRestoresLastDurableEpoch) {
+  for (const ckpt::KillPoint point : ckpt::kAllKillPoints) {
+    SCOPED_TRACE(std::string(ckpt::to_string(point)));
+    TempDir dir;
+    std::vector<double> data(128);
+    {
+      auto rt = make_runtime(true);
+      for (std::size_t i = 0; i < data.size(); ++i) {
+        data[i] = static_cast<double>(i);
+      }
+      const BufferId id = rt->buffer_create(data.data(),
+                                            data.size() * sizeof(double));
+      ckpt::CheckpointConfig cc;
+      cc.directory = dir.path;
+      cc.crash.schedule = {{point, 1, 0.4}};
+      ckpt::CheckpointManager manager(*rt, cc);
+      manager.track("data", id);
+      ASSERT_TRUE(manager.checkpoint({1, 2, 0}));
+      for (std::size_t i = 0; i < 8; ++i) {
+        data[i] = -static_cast<double>(i);
+      }
+      rt->note_host_write(data.data(), 8 * sizeof(double));
+      try {
+        (void)manager.checkpoint({2, 2, 0});
+        FAIL() << "scheduled crash was not delivered";
+      } catch (const ckpt::CrashError& e) {
+        EXPECT_EQ(e.point(), point);
+        EXPECT_EQ(e.hit(), 1u);
+      }
+      // The manager is poisoned: its memory state now trails disk, so no
+      // later epoch may pretend to commit. The stored death resurfaces.
+      EXPECT_THROW((void)manager.checkpoint({3, 2, 0}), ckpt::CrashError);
+    }
+    // Process restart: fresh runtime, garbage memory, same directory.
+    auto rt = make_runtime(true);
+    std::vector<double> fresh(128, 999.0);
+    const BufferId id = rt->buffer_create(fresh.data(),
+                                          fresh.size() * sizeof(double));
+    ckpt::CheckpointConfig cc;
+    cc.directory = dir.path;
+    ckpt::CheckpointManager manager(*rt, cc);
+    manager.track("data", id);
+    ckpt::RestoreInfo info;
+    ASSERT_TRUE(manager.restore(info));
+    // Torn epoch-2 leftovers live only under uncommitted names, so the
+    // newest *committed* manifest is intact — no fallback involved.
+    EXPECT_EQ(info.outcome, ckpt::RecoveryOutcome::clean);
+    if (point == ckpt::KillPoint::post_rename) {
+      EXPECT_EQ(info.epoch, 2u);
+      EXPECT_EQ(info.cursor, (ckpt::GraphCursor{2, 2, 0}));
+      EXPECT_EQ(fresh[3], -3.0);
+    } else {
+      EXPECT_EQ(info.epoch, 1u);
+      EXPECT_EQ(info.cursor, (ckpt::GraphCursor{1, 2, 0}));
+      EXPECT_EQ(fresh[3], 3.0);
+    }
+    EXPECT_EQ(fresh[100], 100.0);  // untouched tail restored either way
+  }
+}
+
+TEST(KillPointMatrix, AsyncWriterCrashSurfacesAtFlush) {
+  TempDir dir;
+  auto rt = make_runtime(true);
+  std::vector<double> data(128, 5.0);
+  const BufferId id = rt->buffer_create(data.data(),
+                                        data.size() * sizeof(double));
+  ckpt::CheckpointConfig cc;
+  cc.directory = dir.path;
+  cc.async_writer = true;
+  cc.crash.schedule = {{ckpt::KillPoint::manifest_write, 1, 0.5}};
+  ckpt::CheckpointManager manager(*rt, cc);
+  manager.track("data", id);
+  ASSERT_TRUE(manager.checkpoint());
+  ASSERT_TRUE(manager.flush());  // epoch 1 durable
+  data[0] = 6.0;
+  rt->note_host_write(data.data(), sizeof(double));
+  // The staging copy happens on the caller's thread; the death happens
+  // on the writer's. checkpoint() itself succeeds — the crash surfaces
+  // at the next durability point, exactly like an async fsync failure.
+  ASSERT_TRUE(manager.checkpoint());
+  EXPECT_THROW((void)manager.flush(), ckpt::CrashError);
+  EXPECT_EQ(manager.last_epoch(), 1u);
+}
+
+// ---- plan_restart -----------------------------------------------------------
+
+// Three-node chain on one device stream: upload [0,256), compute reads
+// [0,256) and writes [256,512), ship [256,512) home. The refresh list
+// must contain exactly the device ranges the suffix reads that no
+// in-suffix node writes first.
+TEST(RestartPlanTest, RefreshesExactlyTheDeviceRangesTheSuffixReads) {
+  auto rt = make_runtime(true);
+  std::vector<double> data(64, 0.0);
+  const BufferId id = rt->buffer_create(data.data(),
+                                        data.size() * sizeof(double));
+  rt->buffer_instantiate(id, DomainId{1});
+  const StreamId s = rt->stream_create(DomainId{1}, CpuMask::first_n(4));
+  const StreamId streams[] = {s};
+  graph::GraphBuilder builder(*rt, streams);
+  constexpr std::size_t kHalf = 32 * sizeof(double);
+  (void)builder.transfer(s, data.data(), kHalf, XferDir::src_to_sink);
+  ComputePayload payload;
+  payload.body = [](TaskContext&) {};
+  const OperandRef ops[] = {{data.data(), kHalf, Access::in},
+                            {data.data() + 32, kHalf, Access::out}};
+  (void)builder.compute(s, std::move(payload), ops);
+  (void)builder.transfer(s, data.data() + 32, kHalf, XferDir::sink_to_src);
+  const graph::TaskGraph graph = builder.finish();
+  ASSERT_EQ(graph.size(), 3u);
+
+  // Cut after the upload: the compute's read of [0,256) was produced by
+  // the (already completed) prefix, so it must be refreshed. The
+  // shipment's read of [256,512) is written by the in-suffix compute.
+  graph::RestartPlan plan = graph::plan_restart(graph, 1);
+  EXPECT_EQ(plan.rerun, (std::vector<std::uint32_t>{1, 2}));
+  ASSERT_EQ(plan.refresh.size(), 1u);
+  EXPECT_EQ(plan.refresh[0].domain, DomainId{1});
+  EXPECT_EQ(plan.refresh[0].range.buffer, id);
+  EXPECT_EQ(plan.refresh[0].range.offset, 0u);
+  EXPECT_EQ(plan.refresh[0].range.length, kHalf);
+
+  // Cut after the compute: only the shipment remains, and the range it
+  // reads was produced by the prefix.
+  plan = graph::plan_restart(graph, 2);
+  EXPECT_EQ(plan.rerun, (std::vector<std::uint32_t>{2}));
+  ASSERT_EQ(plan.refresh.size(), 1u);
+  EXPECT_EQ(plan.refresh[0].range.offset, kHalf);
+  EXPECT_EQ(plan.refresh[0].range.length, kHalf);
+
+  // Cut at the start: the suffix's own upload covers the compute's read.
+  plan = graph::plan_restart(graph, 0);
+  EXPECT_EQ(plan.rerun.size(), 3u);
+  EXPECT_TRUE(plan.refresh.empty());
+
+  // Cut at the end: nothing to rerun, nothing to refresh.
+  plan = graph::plan_restart(graph, 3);
+  EXPECT_TRUE(plan.rerun.empty());
+  EXPECT_TRUE(plan.refresh.empty());
+
+  EXPECT_THROW((void)graph::plan_restart(graph, 4), Error);
+}
+
+// ---- Apps: crash mid-run, restart, bit-identical ----------------------------
+
+class CheckpointRestart : public ::testing::TestWithParam<bool> {};
+
+void make_spd(blas::Matrix& dense) {
+  Rng rng(42);
+  dense.make_spd(rng);
+}
+
+/// Uninterrupted factorization on a fresh runtime: the bit-identity
+/// reference every crashed-and-restarted run must reproduce.
+blas::Matrix cholesky_reference(bool simulated, const blas::Matrix& dense) {
+  auto rt = make_runtime(simulated, 2);
+  apps::TiledMatrix a = apps::TiledMatrix::from_dense(dense, 24);
+  apps::CholeskyConfig config;
+  config.streams_per_device = 2;
+  config.host_streams = 2;
+  (void)apps::run_cholesky(*rt, config, a);
+  return a.to_dense();
+}
+
+TEST_P(CheckpointRestart, CholeskyCheckpointedRunMatchesPlain) {
+  const bool simulated = GetParam();
+  blas::Matrix dense(96, 96);
+  make_spd(dense);
+  const blas::Matrix expected = cholesky_reference(simulated, dense);
+
+  TempDir dir;
+  auto rt = make_runtime(simulated, 2);
+  apps::TiledMatrix a = apps::TiledMatrix::from_dense(dense, 24);
+  ckpt::CheckpointConfig cc;
+  cc.directory = dir.path;
+  ckpt::CheckpointManager manager(*rt, cc);
+  apps::CholeskyConfig config;
+  config.streams_per_device = 2;
+  config.host_streams = 2;
+  config.checkpoint = &manager;
+  config.checkpoint_interval = 2;
+  (void)apps::run_cholesky(*rt, config, a);
+
+  EXPECT_EQ(blas::max_abs_diff(a.to_dense().view(), expected.view()), 0.0);
+  const RuntimeStats stats = rt->stats();
+  EXPECT_GE(stats.checkpoints_taken, 1u);
+  EXPECT_GT(stats.checkpoint_bytes_written, 0u);
+  // Step segments launched by the checkpointed driver are normal
+  // forward progress, not recovery re-execution.
+  EXPECT_EQ(stats.partial_recoveries, 0u);
+}
+
+TEST_P(CheckpointRestart, CholeskyKilledAtEveryKillPointRestartsBitIdentical) {
+  const bool simulated = GetParam();
+  blas::Matrix dense(96, 96);
+  make_spd(dense);
+  const blas::Matrix expected = cholesky_reference(simulated, dense);
+
+  // Epoch 1 (whole matrix dirty -> one chunk) consumes hit 0 of every
+  // kill point, so {point, hit 1} dies during epoch 2 — mid-run, with
+  // one durable epoch behind it (or two, for post_rename).
+  for (const ckpt::KillPoint point : ckpt::kAllKillPoints) {
+    SCOPED_TRACE(std::string(ckpt::to_string(point)));
+    TempDir dir;
+    {
+      auto rt = make_runtime(simulated, 2);
+      apps::TiledMatrix a = apps::TiledMatrix::from_dense(dense, 24);
+      ckpt::CheckpointConfig cc;
+      cc.directory = dir.path;
+      cc.crash.schedule = {{point, 1, 0.3}};
+      ckpt::CheckpointManager manager(*rt, cc);
+      apps::CholeskyConfig config;
+      config.streams_per_device = 2;
+      config.host_streams = 2;
+      config.checkpoint = &manager;
+      config.checkpoint_interval = 1;
+      bool crashed = false;
+      try {
+        (void)apps::run_cholesky(*rt, config, a);
+      } catch (const ckpt::CrashError& e) {
+        crashed = true;
+        EXPECT_EQ(e.point(), point);
+      }
+      EXPECT_TRUE(crashed);
+    }
+    // Restart: fresh runtime and a fresh copy of the *input* (the dying
+    // run's half-factored matrix is gone with its process).
+    auto rt = make_runtime(simulated, 2);
+    apps::TiledMatrix a = apps::TiledMatrix::from_dense(dense, 24);
+    ckpt::CheckpointConfig cc;
+    cc.directory = dir.path;
+    ckpt::CheckpointManager manager(*rt, cc);
+    apps::CholeskyConfig config;
+    config.streams_per_device = 2;
+    config.host_streams = 2;
+    config.checkpoint = &manager;
+    config.checkpoint_interval = 1;
+    const apps::CholeskyStats stats = apps::resume_cholesky(*rt, config, a);
+    EXPECT_EQ(blas::max_abs_diff(a.to_dense().view(), expected.view()), 0.0);
+    EXPECT_EQ(stats.recoveries, 1u);
+    EXPECT_GT(stats.recomputed_actions, 0u);
+    EXPECT_LT(stats.recomputed_actions, stats.graph_actions);
+    EXPECT_EQ(rt->stats().restores_performed, 1u);
+  }
+}
+
+TEST_P(CheckpointRestart, CgKilledMidSolveResumesBitIdentical) {
+  const bool simulated = GetParam();
+  const std::size_t n = 96;
+  Rng rng(17);
+  blas::Matrix dense(n, n);
+  dense.make_spd(rng);
+  std::vector<double> solution(n);
+  for (auto& v : solution) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  std::vector<double> b(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    for (std::size_t i = 0; i < n; ++i) {
+      b[i] += dense(i, j) * solution[j];
+    }
+  }
+  const apps::TiledMatrix a = apps::TiledMatrix::from_dense(dense, 24);
+  apps::CgConfig config;
+  config.streams_per_device = 2;
+  config.host_streams = 1;
+  config.max_iterations = 40;
+  config.tolerance = 1e-12;
+
+  std::vector<double> x_ref(n, 0.0);
+  apps::CgStats ref;
+  {
+    auto rt = make_runtime(simulated, 1);
+    ref = apps::run_cg(*rt, config, a, b, x_ref);
+    ASSERT_TRUE(ref.converged);
+    ASSERT_GE(ref.iterations, 4u);
+  }
+
+  TempDir dir;
+  {
+    // Die creating epoch 3's manifest: iterations 1..2 are durable,
+    // iteration 3's epoch is lost mid-commit.
+    auto rt = make_runtime(simulated, 1);
+    std::vector<double> x(n, 0.0);
+    ckpt::CheckpointConfig cc;
+    cc.directory = dir.path;
+    cc.crash.schedule = {{ckpt::KillPoint::manifest_begin, 2, 0.5}};
+    ckpt::CheckpointManager manager(*rt, cc);
+    apps::CgConfig crashed_config = config;
+    crashed_config.checkpoint = &manager;
+    crashed_config.checkpoint_interval = 1;
+    EXPECT_THROW((void)apps::run_cg(*rt, crashed_config, a, b, x),
+                 ckpt::CrashError);
+  }
+  auto rt = make_runtime(simulated, 1);
+  std::vector<double> x(n, -7.0);  // garbage guess: restore overwrites it
+  ckpt::CheckpointConfig cc;
+  cc.directory = dir.path;
+  ckpt::CheckpointManager manager(*rt, cc);
+  apps::CgConfig resumed_config = config;
+  resumed_config.checkpoint = &manager;
+  resumed_config.checkpoint_interval = 1;
+  const apps::CgStats resumed = apps::resume_cg(*rt, resumed_config, a, b, x);
+  EXPECT_TRUE(resumed.converged);
+  // The resumed iterate sequence continues the recurrence exactly: same
+  // total iteration count, same residual, bit-identical solution.
+  EXPECT_EQ(resumed.iterations, ref.iterations);
+  EXPECT_EQ(resumed.residual, ref.residual);
+  ASSERT_EQ(x.size(), x_ref.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(x[i], x_ref[i]) << "x[" << i << "]";
+  }
+}
+
+// Seeded fuzz: every persistence-path hit may kill the process. Keep
+// restarting (each attempt with a fresh seed, as wall-clock entropy
+// would provide) until a run completes; the final factor must be
+// bit-identical to the uninterrupted reference no matter where the
+// deaths landed. A death before the first durable epoch surfaces as
+// not_found on restore — restart from the original input.
+TEST_P(CheckpointRestart, RandomizedCrashRestoreFuzz) {
+  const bool simulated = GetParam();
+  blas::Matrix dense(96, 96);
+  make_spd(dense);
+  const blas::Matrix expected = cholesky_reference(simulated, dense);
+
+  for (const std::uint64_t fuzz_seed : {7ULL, 21ULL}) {
+    SCOPED_TRACE("fuzz_seed=" + std::to_string(fuzz_seed));
+    TempDir dir;
+    bool completed = false;
+    bool resuming = false;
+    int crashes = 0;
+    for (int attempt = 0; attempt < 40 && !completed; ++attempt) {
+      auto rt = make_runtime(simulated, 2);
+      apps::TiledMatrix a = apps::TiledMatrix::from_dense(dense, 24);
+      ckpt::CheckpointConfig cc;
+      cc.directory = dir.path;
+      cc.crash.seed = fuzz_seed * 97 + static_cast<std::uint64_t>(attempt);
+      cc.crash.p_crash = 0.15;
+      ckpt::CheckpointManager manager(*rt, cc);
+      apps::CholeskyConfig config;
+      config.streams_per_device = 2;
+      config.host_streams = 2;
+      config.checkpoint = &manager;
+      config.checkpoint_interval = 1;
+      try {
+        if (resuming) {
+          (void)apps::resume_cholesky(*rt, config, a);
+        } else {
+          (void)apps::run_cholesky(*rt, config, a);
+        }
+        completed = true;
+        EXPECT_EQ(blas::max_abs_diff(a.to_dense().view(), expected.view()),
+                  0.0);
+      } catch (const ckpt::CrashError&) {
+        ++crashes;
+        resuming = true;  // something may be durable now; try restoring
+      } catch (const Error& e) {
+        // The death predated the first durable epoch: nothing on disk.
+        ASSERT_EQ(e.code(), Errc::not_found);
+        resuming = false;
+      }
+    }
+    EXPECT_TRUE(completed) << "no attempt survived the crash plan";
+    EXPECT_GT(crashes, 0) << "fuzz plan never fired; p_crash too low";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, CheckpointRestart,
+                         ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& pinfo) {
+                           return pinfo.param ? "simulated" : "threaded";
+                         });
+
+}  // namespace
+}  // namespace hs
