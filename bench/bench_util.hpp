@@ -136,6 +136,26 @@ struct CountingRuntimeDeleter {
     report::note_counter("checkpoint_bytes_skipped_clean",
                          s.checkpoint_bytes_skipped_clean);
     report::note_counter("restores_performed", s.restores_performed);
+    // Multi-tenant runs: fold each tenant's stats slice into the report
+    // so every bench JSON carries per-tenant attribution (tenant-free
+    // benches register no tenants and emit nothing here).
+    for (std::uint32_t t = 1; t <= rt->tenant_count(); ++t) {
+      const TenantStatsSlice slice = rt->tenant_slice(t);
+      const std::string prefix = "tenant" + std::to_string(t) + "_";
+      report::note_counter(prefix + "computes_enqueued",
+                           slice.computes_enqueued);
+      report::note_counter(prefix + "transfers_enqueued",
+                           slice.transfers_enqueued);
+      report::note_counter(prefix + "actions_completed",
+                           slice.actions_completed);
+      report::note_counter(prefix + "bytes_transferred",
+                           slice.bytes_transferred);
+      report::note_counter(prefix + "transfers_elided",
+                           slice.transfers_elided);
+      report::note_counter(prefix + "bytes_elided", slice.bytes_elided);
+      report::note_counter(prefix + "placements_steered",
+                           slice.placements_steered);
+    }
     delete rt;
   }
 };

@@ -119,6 +119,34 @@ def main():
         failures.append(("checkpoint", "incremental_lt_full",
                          inc_bytes, full_bytes, 1.0))
 
+    # Multi-tenant isolation runs in deterministic gate slots, so the
+    # victim-p99 numbers are exact; the acceptance counters (weighted-DRR
+    # holds the 10x-flood p99 shift under 2x, the FIFO baseline does not,
+    # and the soak's per-tenant stat slices reconcile with the global
+    # totals) fail the gate outright.
+    mt = load("BENCH_multitenant.json")
+    mc = mt.get("counters", {})
+    for key in ("isolation_p99_alone_slots", "isolation_p99_wdrr_slots"):
+        check("multitenant", key, float(mc.get(key, 0)), unit="slots",
+              bound=virtual_limit)
+    wdrr_ok = mc.get("isolation_wdrr_under_2x", 0)
+    fifo_bad = mc.get("isolation_fifo_exceeds_2x", 0)
+    reconciled = mc.get("soak_reconcile_ok", 0)
+    print(f"  multitenant acceptance: wdrr p99 shift "
+          f"{mc.get('isolation_wdrr_shift_x100', 0) / 100:.2f}x "
+          f"({'ok' if wdrr_ok else 'NOT under 2x'}), fifo shift "
+          f"{mc.get('isolation_fifo_shift_x100', 0) / 100:.2f}x "
+          f"({'ok' if fifo_bad else 'did NOT exceed 2x'}), soak slices "
+          f"{'reconcile' if reconciled else 'do NOT reconcile'}")
+    if not wdrr_ok:
+        failures.append(("multitenant", "wdrr_under_2x",
+                         mc.get("isolation_wdrr_shift_x100", 0) / 100, 2, 1.0))
+    if not fifo_bad:
+        failures.append(("multitenant", "fifo_exceeds_2x",
+                         mc.get("isolation_fifo_shift_x100", 0) / 100, 2, 1.0))
+    if not reconciled:
+        failures.append(("multitenant", "soak_reconcile_ok", 0, 1, 1.0))
+
     if checked == 0:
         raise SystemExit("baseline matched no measured rows — "
                          "baseline and sweep have drifted apart")

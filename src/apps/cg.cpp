@@ -98,7 +98,11 @@ struct CgDriver {
                                       : config.streams_per_device,
                    threads);
       for (const CpuMask& mask : CpuMask::partition(threads, count)) {
-        streams[dom.value].push_back(runtime.stream_create(dom, mask));
+        const StreamId sid = runtime.stream_create(dom, mask);
+        if (config.tenant != 0) {
+          runtime.stream_bind_tenant(sid, config.tenant, config.session);
+        }
+        streams[dom.value].push_back(sid);
       }
     }
 

@@ -35,6 +35,10 @@ struct CgConfig {
   ckpt::CheckpointManager* checkpoint = nullptr;
   /// Iterations between epochs (checkpointing runs only).
   std::size_t checkpoint_interval = 1;
+  /// Service mode: non-zero tenant binds every stream this run creates
+  /// to (tenant, session). Session::bound(CgConfig{...}) fills these.
+  std::uint32_t tenant = 0;
+  std::uint32_t session = 0;
 };
 
 struct CgStats {

@@ -59,7 +59,9 @@ MatmulStats run_matmul(Runtime& runtime, const MatmulConfig& config,
           "matmul: tile sizes differ");
 
   AppApi app(runtime, AppConfig{.streams_per_device = config.streams_per_device,
-                                .host_streams = config.host_streams});
+                                .host_streams = config.host_streams,
+                                .tenant = config.tenant,
+                                .session = config.session});
 
   // Domains that actually compute: host first (if it has streams), then
   // every card with streams.

@@ -25,6 +25,10 @@ struct MatmulConfig {
   /// domains proportionally. Empty = equal weights (the "no load
   /// balancing" configuration of Fig 6).
   std::vector<double> domain_weights;
+  /// Service mode: non-zero tenant binds every stream this run creates
+  /// to (tenant, session). Session::bound(MatmulConfig{...}) fills these.
+  std::uint32_t tenant = 0;
+  std::uint32_t session = 0;
 };
 
 struct MatmulStats {

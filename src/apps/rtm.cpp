@@ -143,6 +143,10 @@ RtmSetup rtm_setup(Runtime& runtime, const RtmConfig& config) {
         const std::size_t width = std::min(share, threads - begin);
         setup.rank_stream[ranks_here[k]] = runtime.stream_create(
             dom, CpuMask::range(begin, begin + width));
+        if (config.tenant != 0) {
+          runtime.stream_bind_tenant(setup.rank_stream[ranks_here[k]],
+                                     config.tenant, config.session);
+        }
       }
     }
   }
@@ -151,6 +155,10 @@ RtmSetup rtm_setup(Runtime& runtime, const RtmConfig& config) {
   setup.exchange_stream = runtime.stream_create(
       kHostDomain,
       CpuMask::first_n(runtime.domain(kHostDomain).hw_threads()));
+  if (config.tenant != 0) {
+    runtime.stream_bind_tenant(setup.exchange_stream, config.tenant,
+                               config.session);
+  }
 
   // Allocate and initialize fields (Gaussian pulse, analytic, so ghost
   // planes start consistent without an initial exchange).

@@ -42,6 +42,10 @@ struct RtmConfig {
   bool optimized_kernel = true;
   /// Threads per rank's stream on its domain (0 = even share).
   std::size_t threads_per_rank = 0;
+  /// Service mode: non-zero tenant binds every stream this run creates
+  /// to (tenant, session). Session::bound(RtmConfig{...}) fills these.
+  std::uint32_t tenant = 0;
+  std::uint32_t session = 0;
 };
 
 struct RtmStats {

@@ -32,6 +32,8 @@ enum class Errc {
   device_lost,  ///< domain dropped off the bus; no further work accepted
   cancelled,    ///< action drained by stream_cancel without executing
   data_loss,    ///< the only current copy of data died with its domain
+  quota_exceeded,  ///< tenant quota breached (streams, bytes in flight,
+                   ///< device residency) in fail-fast mode
 };
 
 /// Human-readable name for an error code.
@@ -52,6 +54,7 @@ enum class Errc {
     case Errc::device_lost: return "device_lost";
     case Errc::cancelled: return "cancelled";
     case Errc::data_loss: return "data_loss";
+    case Errc::quota_exceeded: return "quota_exceeded";
   }
   return "unknown";
 }

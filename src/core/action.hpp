@@ -55,6 +55,15 @@ struct ActionRecord {
   /// Id of the TaskGraph this action was replayed from (0 = eager
   /// enqueue). Carried into the trace so replayed spans are attributable.
   std::uint32_t graph = 0;
+  /// Tenant and session that enqueued this action (0 = untagged: work
+  /// outside the service layer). Stamped at admission from the stream's
+  /// binding; carried into the trace so per-tenant timelines separate.
+  std::uint32_t tenant = 0;
+  std::uint32_t session = 0;
+  /// True when an AdmissionHook::before_admit accepted this action; its
+  /// on_complete is owed exactly once at completion (including
+  /// cancellation and failure, so gate permits never leak).
+  bool gated = false;
 
   /// Declared memory operands; the dependence analysis domain.
   std::vector<Operand> operands;

@@ -48,6 +48,12 @@ AppApi::AppApi(Runtime& runtime, AppConfig config) : runtime_(runtime) {
     }
   }
   buffer_domains_.push_back(kHostDomain);
+
+  if (config.tenant != 0) {
+    for (const StreamId stream : streams_) {
+      runtime.stream_bind_tenant(stream, config.tenant, config.session);
+    }
+  }
 }
 
 StreamId AppApi::stream(std::size_t index) const {

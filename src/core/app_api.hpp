@@ -29,6 +29,12 @@ struct AppConfig {
   std::size_t host_streams = 0;
   /// Host threads kept back for the source endpoint (enqueueing thread).
   std::size_t host_threads_reserved = 1;
+  /// Multi-tenant service mode: when `tenant` is non-zero, every stream
+  /// this AppApi creates is bound to (tenant, session), so the app runs
+  /// as a client of that tenant — tagged, counted into its stats slice,
+  /// and admission-gated. Session::bound(AppConfig{...}) fills these.
+  std::uint32_t tenant = 0;
+  std::uint32_t session = 0;
 };
 
 class AppApi {

@@ -101,6 +101,7 @@ HSTR_RESULT hStreams_ResultFromErrc(Errc code) {
     case Errc::device_lost: return HSTR_RESULT_DEVICE_NOT_AVAILABLE;
     case Errc::cancelled: return HSTR_RESULT_EVENT_CANCELED;
     case Errc::data_loss: return HSTR_RESULT_REMOTE_ERROR;
+    case Errc::quota_exceeded: return HSTR_RESULT_OUT_OF_MEMORY;
     default: return HSTR_RESULT_INTERNAL_ERROR;
   }
 }

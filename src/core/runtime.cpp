@@ -552,7 +552,11 @@ std::shared_ptr<EventState> Runtime::enqueue_compute(
   if (capturing) {
     return sink->record(std::move(record));
   }
+  tag_and_gate(s, *record, 0);
   stats_.computes_enqueued.fetch_add(1, std::memory_order_relaxed);
+  if (TenantCounters* tc = slice_of(s)) {
+    tc->computes_enqueued.fetch_add(1, std::memory_order_relaxed);
+  }
   return admit(s, std::move(record));
 }
 
@@ -592,7 +596,11 @@ std::shared_ptr<EventState> Runtime::enqueue_transfer(StreamId stream,
   if (capturing) {
     return sink->record(std::move(record));
   }
+  tag_and_gate(s, *record, len);
   stats_.transfers_enqueued.fetch_add(1, std::memory_order_relaxed);
+  if (TenantCounters* tc = slice_of(s)) {
+    tc->transfers_enqueued.fetch_add(1, std::memory_order_relaxed);
+  }
   if (aliased) {
     stats_.transfers_aliased_away.fetch_add(1, std::memory_order_relaxed);
   }
@@ -638,7 +646,11 @@ std::shared_ptr<EventState> Runtime::enqueue_transfer_from(StreamId stream,
   if (capturing) {
     return sink->record(std::move(record));
   }
+  tag_and_gate(s, *record, len);
   stats_.transfers_enqueued.fetch_add(1, std::memory_order_relaxed);
+  if (TenantCounters* tc = slice_of(s)) {
+    tc->transfers_enqueued.fetch_add(1, std::memory_order_relaxed);
+  }
   return admit(s, std::move(record));
 }
 
@@ -669,7 +681,11 @@ std::shared_ptr<EventState> Runtime::enqueue_alloc(StreamId stream,
     // (GraphExec instantiates before admitting the launch).
     return sink->record(std::move(record));
   }
+  tag_and_gate(s, *record, 0);
   stats_.syncs_enqueued.fetch_add(1, std::memory_order_relaxed);
+  if (TenantCounters* tc = slice_of(s)) {
+    tc->syncs_enqueued.fetch_add(1, std::memory_order_relaxed);
+  }
   // Charge budget and declare the incarnation now (enqueue time); the
   // executor pays the modeled allocation latency in stream order.
   buffer_instantiate(buffer, s.domain);
@@ -699,7 +715,11 @@ std::shared_ptr<EventState> Runtime::enqueue_event_wait(
   if (sink != nullptr && sink->captures(stream)) {
     return sink->record(std::move(record));
   }
+  tag_and_gate(s, *record, 0);
   stats_.syncs_enqueued.fetch_add(1, std::memory_order_relaxed);
+  if (TenantCounters* tc = slice_of(s)) {
+    tc->syncs_enqueued.fetch_add(1, std::memory_order_relaxed);
+  }
   return admit(s, std::move(record));
 }
 
@@ -723,7 +743,11 @@ std::shared_ptr<EventState> Runtime::enqueue_signal(
   if (sink != nullptr && sink->captures(stream)) {
     return sink->record(std::move(record));
   }
+  tag_and_gate(s, *record, 0);
   stats_.syncs_enqueued.fetch_add(1, std::memory_order_relaxed);
+  if (TenantCounters* tc = slice_of(s)) {
+    tc->syncs_enqueued.fetch_add(1, std::memory_order_relaxed);
+  }
   return admit(s, std::move(record));
 }
 
@@ -901,6 +925,8 @@ std::shared_ptr<EventState> Runtime::admit(
       tr.domain = stream.domain;
       tr.type = record->type;
       tr.graph = record->graph;
+      tr.tenant = record->tenant;
+      tr.session = record->session;
       if (record->type == ActionType::compute) {
         tr.label = record->compute.kernel;
         tr.flops = record->compute.flops;
@@ -913,6 +939,15 @@ std::shared_ptr<EventState> Runtime::admit(
       }
       tr.enqueue_s = executor_->now();
       trace_->on_enqueue(tr);
+    }
+  }
+  // Fair-turn permit release: the admission is done (the record sits in
+  // its window), so the gate can hand the turn to the next tenant before
+  // this action dispatches or executes.
+  if (record->gated) {
+    if (AdmissionHook* hook =
+            admission_hook_.load(std::memory_order_acquire)) {
+      hook->after_admit(record->tenant, record->type);
     }
   }
   if (ready) {
@@ -942,6 +977,28 @@ void Runtime::note_transfers_coalesced(std::uint64_t count) {
 void Runtime::admit_prelinked(std::span<const PrelinkedAction> batch,
                               std::uint32_t graph_id) {
   std::vector<std::shared_ptr<ActionRecord>> ready;
+  // Service gating runs before any stream lock is taken: a tenant blocked
+  // on its fair turn or a byte quota must hold nothing another tenant's
+  // admission or a completion needs. One before_admit per record keeps
+  // replayed work gate-equivalent to the eager enqueue path.
+  for (const PrelinkedAction& entry : batch) {
+    StreamState& s = stream_state(entry.record->stream);
+    tag_and_gate(s, *entry.record,
+                 entry.record->type == ActionType::transfer
+                     ? entry.record->transfer.length
+                     : 0);
+    // The gate permit is released per record, not held across the batch:
+    // one thread admitting an N-record batch while permits < N would
+    // self-deadlock waiting on its own earlier acquires. Fair pacing and
+    // quota charging already happened inside tag_and_gate; `gated` stays
+    // set so completion still releases the byte budget.
+    if (entry.record->gated) {
+      if (AdmissionHook* hook =
+              admission_hook_.load(std::memory_order_acquire)) {
+        hook->after_admit(entry.record->tenant, entry.record->type);
+      }
+    }
+  }
   // Collect the batch's streams and lock them all in ascending-id order
   // (deadlock-free against concurrent batches). Holding every involved
   // stream lock for the whole batch preserves the prelinked invariant:
@@ -1071,12 +1128,19 @@ void Runtime::admit_prelinked(std::span<const PrelinkedAction> batch,
         shard.map.emplace(record->id, std::move(dep));
       }
 
+      TenantCounters* tc = slice_of(s);
       switch (record->type) {
         case ActionType::compute:
           stats_.computes_enqueued.fetch_add(1, std::memory_order_relaxed);
+          if (tc != nullptr) {
+            tc->computes_enqueued.fetch_add(1, std::memory_order_relaxed);
+          }
           break;
         case ActionType::transfer:
           stats_.transfers_enqueued.fetch_add(1, std::memory_order_relaxed);
+          if (tc != nullptr) {
+            tc->transfers_enqueued.fetch_add(1, std::memory_order_relaxed);
+          }
           if (s.domain == kHostDomain) {
             stats_.transfers_aliased_away.fetch_add(
                 1, std::memory_order_relaxed);
@@ -1084,6 +1148,9 @@ void Runtime::admit_prelinked(std::span<const PrelinkedAction> batch,
           break;
         default:
           stats_.syncs_enqueued.fetch_add(1, std::memory_order_relaxed);
+          if (tc != nullptr) {
+            tc->syncs_enqueued.fetch_add(1, std::memory_order_relaxed);
+          }
           break;
       }
 
@@ -1094,6 +1161,8 @@ void Runtime::admit_prelinked(std::span<const PrelinkedAction> batch,
         tr.domain = s.domain;
         tr.type = record->type;
         tr.graph = graph_id;
+        tr.tenant = record->tenant;
+        tr.session = record->session;
         if (record->type == ActionType::compute) {
           tr.label = record->compute.kernel;
           tr.flops = record->compute.flops;
@@ -1147,7 +1216,8 @@ bool Runtime::try_elide(const std::shared_ptr<ActionRecord>& record) {
   if (!coherence_elide_ || record->type != ActionType::transfer) {
     return false;
   }
-  const DomainId sink = stream_domain(record->stream);
+  const StreamState& estream = stream_state(record->stream);
+  const DomainId sink = estream.domain;
   if (sink == kHostDomain) {
     return false;  // host streams alias transfers away already
   }
@@ -1196,6 +1266,10 @@ bool Runtime::try_elide(const std::shared_ptr<ActionRecord>& record) {
       t.peer != kHostDomain ? 2 * t.length : t.length;
   stats_.transfers_elided.fetch_add(1, std::memory_order_relaxed);
   stats_.bytes_elided.fetch_add(moved, std::memory_order_relaxed);
+  if (TenantCounters* tc = slice_of(estream)) {
+    tc->transfers_elided.fetch_add(1, std::memory_order_relaxed);
+    tc->bytes_elided.fetch_add(moved, std::memory_order_relaxed);
+  }
   return true;
 }
 
@@ -1309,8 +1383,12 @@ void Runtime::process_completion(const std::shared_ptr<ActionRecord>& record) {
     // claimed (stream_cancel / mark_domain_lost / fail_action); counting
     // them here again would break the completed+failed+cancelled ==
     // enqueued invariant the loss-stress tests pin down.
+    TenantCounters* tc = slice_of(stream);
     if (!rec.cancelled && !rec.failed) {
       stats_.actions_completed.fetch_add(1, std::memory_order_relaxed);
+      if (tc != nullptr) {
+        tc->actions_completed.fetch_add(1, std::memory_order_relaxed);
+      }
     }
     const DomainId completion_domain = stream.domain;
     if (rec.type == ActionType::transfer && !rec.cancelled && !rec.elided &&
@@ -1320,6 +1398,9 @@ void Runtime::process_completion(const std::shared_ptr<ActionRecord>& record) {
                                       ? 2 * rec.transfer.length
                                       : rec.transfer.length;
       stats_.bytes_transferred.fetch_add(moved, std::memory_order_relaxed);
+      if (tc != nullptr) {
+        tc->bytes_transferred.fetch_add(moved, std::memory_order_relaxed);
+      }
     }
     // Coherence bookkeeping (see Buffer): a compute that ran to
     // completion validates the ranges it wrote in its own domain and
@@ -1410,6 +1491,19 @@ void Runtime::process_completion(const std::shared_ptr<ActionRecord>& record) {
   }
   if (trace_ != nullptr) {
     trace_->on_complete(id, executor_->now());
+  }
+  // Release the admission gate outside every lock (the hook may take its
+  // own mutex and wake enqueuers blocked in before_admit). Exactly once
+  // per gated action — completion, cancellation, failure, and elision all
+  // drain through here behind the claim gate.
+  if (record->gated) {
+    if (AdmissionHook* hook =
+            admission_hook_.load(std::memory_order_acquire)) {
+      hook->on_complete(record->tenant, record->type,
+                        record->type == ActionType::transfer
+                            ? record->transfer.length
+                            : 0);
+    }
   }
   // Fire the completion event *before* waking host waiters: a host
   // blocked in event_wait_host re-checks fired() on wakeup, so the event
@@ -1809,6 +1903,80 @@ DomainId Runtime::pick_healthy(std::span<const DomainId> candidates) {
     return *fallback;
   }
   throw Error(Errc::device_lost, "pick_healthy: no candidate domain alive");
+}
+
+// --- Multi-tenant service mode ----------------------------------------------
+
+std::uint32_t Runtime::tenant_register() {
+  const std::unique_lock lock(tenants_mutex_);
+  tenant_slices_.emplace_back();
+  return static_cast<std::uint32_t>(tenant_slices_.size());
+}
+
+std::size_t Runtime::tenant_count() const {
+  const std::shared_lock lock(tenants_mutex_);
+  return tenant_slices_.size();
+}
+
+TenantStatsSlice Runtime::tenant_slice(std::uint32_t tenant) const {
+  const std::shared_lock lock(tenants_mutex_);
+  require(tenant >= 1 && tenant <= tenant_slices_.size(),
+          "unknown tenant id", Errc::not_found);
+  const TenantCounters& c = tenant_slices_[tenant - 1];
+  const auto get = [](const std::atomic<std::uint64_t>& v) {
+    return v.load(std::memory_order_relaxed);
+  };
+  TenantStatsSlice out;
+  out.computes_enqueued = get(c.computes_enqueued);
+  out.transfers_enqueued = get(c.transfers_enqueued);
+  out.syncs_enqueued = get(c.syncs_enqueued);
+  out.actions_completed = get(c.actions_completed);
+  out.bytes_transferred = get(c.bytes_transferred);
+  out.transfers_elided = get(c.transfers_elided);
+  out.bytes_elided = get(c.bytes_elided);
+  out.placements_steered = get(c.placements_steered);
+  return out;
+}
+
+void Runtime::note_tenant_placement(std::uint32_t tenant) {
+  const std::shared_lock lock(tenants_mutex_);
+  require(tenant >= 1 && tenant <= tenant_slices_.size(),
+          "unknown tenant id", Errc::not_found);
+  tenant_slices_[tenant - 1].placements_steered.fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+void Runtime::stream_bind_tenant(StreamId stream, std::uint32_t tenant,
+                                 std::uint32_t session) {
+  StreamState& s = stream_state(stream);
+  TenantCounters* slice = nullptr;
+  if (tenant != 0) {
+    const std::shared_lock lock(tenants_mutex_);
+    require(tenant <= tenant_slices_.size(), "unknown tenant id",
+            Errc::not_found);
+    slice = &tenant_slices_[tenant - 1];
+  }
+  s.tenant.store(tenant, std::memory_order_relaxed);
+  s.session.store(session, std::memory_order_relaxed);
+  s.slice.store(slice, std::memory_order_release);
+}
+
+std::uint32_t Runtime::stream_tenant(StreamId stream) const {
+  return stream_state(stream).tenant.load(std::memory_order_relaxed);
+}
+
+void Runtime::tag_and_gate(const StreamState& stream, ActionRecord& record,
+                           std::size_t bytes) {
+  const std::uint32_t tenant = stream.tenant.load(std::memory_order_relaxed);
+  if (tenant == 0) {
+    return;
+  }
+  record.tenant = tenant;
+  record.session = stream.session.load(std::memory_order_relaxed);
+  if (AdmissionHook* hook = admission_hook_.load(std::memory_order_acquire)) {
+    hook->before_admit(tenant, record.type, bytes);
+    record.gated = true;
+  }
 }
 
 RuntimeStats Runtime::stats() const {

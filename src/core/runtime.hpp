@@ -117,6 +117,22 @@ struct RuntimeStats {
                                          ///< that rebound buffer contents
 };
 
+/// Per-tenant slice of the runtime counters (service mode). Counted at
+/// exactly the same sites as the matching RuntimeStats fields whenever
+/// the enqueuing stream carries a tenant binding, so for a run where
+/// every stream is bound, sum-of-slices == the global totals.
+struct TenantStatsSlice {
+  std::uint64_t computes_enqueued = 0;
+  std::uint64_t transfers_enqueued = 0;
+  std::uint64_t syncs_enqueued = 0;
+  std::uint64_t actions_completed = 0;
+  std::uint64_t bytes_transferred = 0;
+  std::uint64_t transfers_elided = 0;
+  std::uint64_t bytes_elided = 0;
+  std::uint64_t placements_steered = 0;  ///< counted by the service layer
+                                         ///< (stream placement decisions)
+};
+
 /// Byte-range coherence knobs: validity tracking, online transfer
 /// elision, and the chunked multi-hop transfer pipeline.
 struct CoherenceConfig {
@@ -186,6 +202,29 @@ class CaptureSink {
   /// the sink resolves into graph edges.
   virtual std::shared_ptr<EventState> record(
       std::shared_ptr<ActionRecord> record) = 0;
+};
+
+/// Admission gating for service mode. When installed, every enqueue that
+/// lands in a tenant-bound stream calls before_admit *before* the action
+/// enters its stream window — outside all stream/shard locks, so an
+/// implementation may block (weighted-fair turn taking, blocking quotas)
+/// or throw (Errc::quota_exceeded in fail-fast mode). Each admitted
+/// gated action owes exactly one on_complete at completion — including
+/// cancellation, failure, and elision — so permits and in-flight byte
+/// accounting never leak. on_complete runs on completion paths
+/// (executor threads, the completion drainer) and must not block or
+/// throw.
+class AdmissionHook {
+ public:
+  virtual ~AdmissionHook() = default;
+  virtual void before_admit(std::uint32_t tenant, ActionType type,
+                            std::size_t bytes) = 0;
+  /// Called once the admission itself finished (the record is in its
+  /// stream window) — the release point for a fair-turn permit acquired
+  /// in before_admit. Runs outside all runtime locks; must not block.
+  virtual void after_admit(std::uint32_t tenant, ActionType type) noexcept = 0;
+  virtual void on_complete(std::uint32_t tenant, ActionType type,
+                           std::size_t bytes) noexcept = 0;
 };
 
 /// One entry of a pre-linked (captured-graph) launch batch: a fresh record
@@ -451,6 +490,31 @@ class Runtime {
   /// Counts one completed restore.
   void note_restore();
 
+  // --- Multi-tenant service mode (service/) --------------------------------
+  /// Registers a tenant counter slice and returns its id (ids start at
+  /// 1; 0 marks untagged work). Slices live for the runtime's lifetime.
+  [[nodiscard]] std::uint32_t tenant_register();
+  /// Number of registered tenants.
+  [[nodiscard]] std::size_t tenant_count() const;
+  /// Snapshot of one tenant's counter slice.
+  [[nodiscard]] TenantStatsSlice tenant_slice(std::uint32_t tenant) const;
+  /// Counts a service-layer placement decision into `tenant`'s slice.
+  void note_tenant_placement(std::uint32_t tenant);
+  /// Binds `stream` to (`tenant`, `session`): subsequent enqueues are
+  /// stamped with the ids, counted into the tenant's slice, and gated by
+  /// the admission hook. Bind before enqueuing (the binding is read
+  /// without the stream lock on enqueue fast paths); tenant 0 unbinds.
+  void stream_bind_tenant(StreamId stream, std::uint32_t tenant,
+                          std::uint32_t session);
+  /// The tenant a stream is bound to (0 = unbound).
+  [[nodiscard]] std::uint32_t stream_tenant(StreamId stream) const;
+  /// Installs the admission gate (nullptr detaches). The caller keeps
+  /// ownership; the hook must outlive all runtime activity. Install
+  /// before the first gated enqueue and detach only when idle.
+  void set_admission_hook(AdmissionHook* hook) noexcept {
+    admission_hook_.store(hook, std::memory_order_release);
+  }
+
   // --- Introspection -------------------------------------------------------
   [[nodiscard]] RuntimeStats stats() const;
   [[nodiscard]] double now() const { return executor_->now(); }
@@ -535,6 +599,20 @@ class Runtime {
     std::uint64_t seq = 0;
   };
 
+  /// Atomic mirror of TenantStatsSlice (same fields, same counting
+  /// sites as AtomicStats): one per registered tenant, pointer-stable in
+  /// tenant_slices_, bumped lock-free through StreamState::slice.
+  struct TenantCounters {
+    std::atomic<std::uint64_t> computes_enqueued{0};
+    std::atomic<std::uint64_t> transfers_enqueued{0};
+    std::atomic<std::uint64_t> syncs_enqueued{0};
+    std::atomic<std::uint64_t> actions_completed{0};
+    std::atomic<std::uint64_t> bytes_transferred{0};
+    std::atomic<std::uint64_t> transfers_elided{0};
+    std::atomic<std::uint64_t> bytes_elided{0};
+    std::atomic<std::uint64_t> placements_steered{0};
+  };
+
   /// Per-stream admission state. `mu` serializes admissions into and
   /// completions out of this one stream; enqueues on different streams
   /// do not contend. Lock order: below streams_mutex_, above the dep
@@ -559,6 +637,13 @@ class Runtime {
     mutable std::vector<DepUse> scratch_uses;
     /// Atomic so stream lookups need only the shared streams_mutex_.
     std::atomic<bool> alive{true};
+    /// Service-mode binding (stream_bind_tenant). Written while the
+    /// stream is quiescent, read lock-free on enqueue paths; `slice`
+    /// points into tenant_slices_ (pointer-stable deque) so hot paths
+    /// bump per-tenant counters without any tenant-table lock.
+    std::atomic<std::uint32_t> tenant{0};
+    std::atomic<std::uint32_t> session{0};
+    std::atomic<TenantCounters*> slice{nullptr};
   };
 
   // Dependence bookkeeping attached per action, keyed by id. The owning
@@ -624,6 +709,22 @@ class Runtime {
   [[nodiscard]] std::vector<ActionId> indexed_blockers(
       const StreamState& stream, const ActionRecord& record,
       std::uint64_t seq_limit, std::size_t window_limit) const;
+
+  /// Service-mode pre-admission: stamps the stream's tenant/session
+  /// binding onto `record` and, when an admission hook is installed,
+  /// runs before_admit (which may block for a fair-turn or throw
+  /// quota_exceeded). Called on every enqueue front-end *before* any
+  /// stream/shard lock is taken, so a blocked tenant holds nothing
+  /// another tenant's enqueue or completion needs. `bytes` is the
+  /// transfer length (0 for computes/syncs).
+  void tag_and_gate(const StreamState& stream, ActionRecord& record,
+                    std::size_t bytes);
+
+  /// The per-tenant counter slice for `stream`'s binding (nullptr when
+  /// unbound). Lock-free.
+  [[nodiscard]] TenantCounters* slice_of(const StreamState& stream) const {
+    return stream.slice.load(std::memory_order_acquire);
+  }
 
   /// Hands a ready action to the executor (no lock held).
   void dispatch(const std::shared_ptr<ActionRecord>& record);
@@ -759,6 +860,12 @@ class Runtime {
   std::atomic<std::uint32_t> next_action_id_{0};
   std::atomic<std::uint32_t> next_graph_id_{1};  ///< 0 marks eager actions
   std::atomic<CaptureSink*> capture_{nullptr};
+  /// Tenant counter slices, indexed by tenant id - 1. Deque: entries are
+  /// pointer-stable, so StreamState::slice and hot paths never take
+  /// tenants_mutex_ (which guards only registration and snapshots).
+  std::deque<TenantCounters> tenant_slices_;
+  mutable std::shared_mutex tenants_mutex_;
+  std::atomic<AdmissionHook*> admission_hook_{nullptr};
   /// Mutable: const introspection paths still count scan steps.
   mutable AtomicStats stats_;
   bool dep_legacy_ = false;  ///< resolved config ∪ HS_DEP_LEGACY

@@ -97,6 +97,9 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
     if (r.graph != 0) {
       os << ",\"graph\":" << r.graph;
     }
+    if (r.tenant != 0) {
+      os << ",\"tenant\":" << r.tenant << ",\"session\":" << r.session;
+    }
     if (r.elided) {
       os << ",\"elided\":1";
     }

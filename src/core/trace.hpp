@@ -27,6 +27,8 @@ class TraceRecorder {
     DomainId domain;
     ActionType type = ActionType::compute;
     std::uint32_t graph = 0; ///< TaskGraph id for replayed actions (0 = eager)
+    std::uint32_t tenant = 0;  ///< service-layer tenant id (0 = untagged)
+    std::uint32_t session = 0; ///< service-layer session id (0 = untagged)
     std::string label;       ///< kernel name / "xfer h2d" / ...
     double enqueue_s = 0.0;  ///< admitted into the stream window
     double dispatch_s = 0.0; ///< dependence-ready, handed to the executor

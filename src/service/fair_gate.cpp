@@ -1,0 +1,157 @@
+#include "service/fair_gate.hpp"
+
+namespace hs::service {
+
+GateCore::GateCore(FairPolicy policy, std::uint64_t quantum)
+    : policy_(policy), quantum_(quantum) {
+  require(quantum_ > 0, "gate quantum must be positive");
+}
+
+void GateCore::add_tenant(std::uint32_t tenant, std::uint32_t weight) {
+  require(tenant == tenants_.size() + 1,
+          "gate tenants register in id order (1-based)");
+  require(weight > 0, "tenant weight must be positive");
+  tenants_.push_back(TenantQ{weight, 0, {}, false});
+}
+
+void GateCore::push(std::uint32_t tenant, std::uint64_t ticket,
+                    std::uint64_t cost) {
+  require(tenant >= 1 && tenant <= tenants_.size(), "unknown gate tenant",
+          Errc::not_found);
+  ++size_;
+  if (policy_ == FairPolicy::fifo) {
+    fifo_.emplace_back(tenant, Ticket{ticket, cost});
+    return;
+  }
+  TenantQ& q = tenants_[tenant - 1];
+  q.queue.push_back(Ticket{ticket, cost});
+  if (!q.in_ring) {
+    // Re-activation starts with a clean deficit: an idle tenant earns no
+    // credit while it has nothing queued (standard DRR — otherwise a
+    // long-idle tenant could burst past everyone on return).
+    q.in_ring = true;
+    q.deficit = 0;
+    q.fresh = true;
+    ring_.push_back(tenant);
+  }
+}
+
+std::optional<GateCore::Grant> GateCore::pop() {
+  if (size_ == 0) {
+    return std::nullopt;
+  }
+  if (policy_ == FairPolicy::fifo) {
+    const auto [tenant, ticket] = fifo_.front();
+    fifo_.pop_front();
+    --size_;
+    return Grant{tenant, ticket.ticket};
+  }
+  for (;;) {
+    const std::uint32_t tenant = ring_.front();
+    TenantQ& q = tenants_[tenant - 1];
+    if (q.queue.empty()) {
+      q.in_ring = false;
+      q.deficit = 0;
+      ring_.pop_front();
+      continue;
+    }
+    if (q.fresh) {
+      q.deficit += quantum_ * q.weight;  // one top-up per ring visit
+      q.fresh = false;
+    }
+    if (q.deficit < q.queue.front().cost) {
+      // This visit's credit is spent: rotate on, keeping the accumulated
+      // deficit — the head ticket is granted after at most
+      // ceil(cost/(q*w)) visits, which is the starvation-freedom bound.
+      q.fresh = true;
+      ring_.push_back(tenant);
+      ring_.pop_front();
+      continue;
+    }
+    const Ticket t = q.queue.front();
+    q.queue.pop_front();
+    q.deficit -= t.cost;
+    --size_;
+    if (q.queue.empty()) {
+      q.in_ring = false;
+      q.deficit = 0;
+      ring_.pop_front();
+    }
+    return Grant{tenant, t.ticket};
+  }
+}
+
+std::size_t GateCore::backlog(std::uint32_t tenant) const {
+  require(tenant >= 1 && tenant <= tenants_.size(), "unknown gate tenant",
+          Errc::not_found);
+  if (policy_ == FairPolicy::fifo) {
+    std::size_t n = 0;
+    for (const auto& [t, ticket] : fifo_) {
+      n += t == tenant ? 1 : 0;
+    }
+    return n;
+  }
+  return tenants_[tenant - 1].queue.size();
+}
+
+FairGate::FairGate(FairPolicy policy, std::uint64_t quantum,
+                   std::size_t permits)
+    : core_(policy, quantum), permits_(permits) {
+  require(permits_ > 0, "gate needs at least one permit");
+}
+
+void FairGate::add_tenant(std::uint32_t tenant, std::uint32_t weight) {
+  const std::scoped_lock lock(mu_);
+  core_.add_tenant(tenant, weight);
+}
+
+bool FairGate::acquire(std::uint32_t tenant, std::uint64_t cost) {
+  std::unique_lock lock(mu_);
+  if (in_service_ < permits_ && core_.empty()) {
+    ++in_service_;
+    return false;  // uncontended fast path: no queue, no fairness needed
+  }
+  const std::uint64_t ticket = next_ticket_++;
+  core_.push(tenant, ticket, cost);
+  const bool granted_others = serve_locked();
+  if (granted_.erase(ticket) != 0) {
+    // serve_locked picked us immediately (a permit was free).
+    if (granted_others) {
+      lock.unlock();
+      cv_.notify_all();
+    }
+    return false;
+  }
+  if (granted_others) {
+    cv_.notify_all();
+  }
+  cv_.wait(lock, [&] { return granted_.count(ticket) != 0; });
+  granted_.erase(ticket);
+  return true;
+}
+
+void FairGate::release() {
+  bool granted = false;
+  {
+    const std::scoped_lock lock(mu_);
+    require(in_service_ > 0, "gate release without acquire", Errc::internal);
+    --in_service_;
+    granted = serve_locked();
+  }
+  if (granted) {
+    cv_.notify_all();
+  }
+}
+
+bool FairGate::serve_locked() {
+  bool any = false;
+  while (in_service_ < permits_ && !core_.empty()) {
+    const std::optional<GateCore::Grant> g = core_.pop();
+    ++in_service_;
+    granted_.insert(g->ticket);
+    any = true;
+  }
+  return any;
+}
+
+}  // namespace hs::service

@@ -1,0 +1,128 @@
+#pragma once
+
+// Weighted-fair admission gate for multi-tenant service mode.
+//
+// Two layers, deliberately separated:
+//
+//   * GateCore is the pure scheduler: a deterministic, single-threaded
+//     weighted-deficit-round-robin (or FIFO, the unfair baseline) queue
+//     of admission tickets. No locks, no time — push tickets, pop grants.
+//     Its determinism is what makes fairness *testable*: the unit tests
+//     and the bench_multitenant isolation experiment drive it directly
+//     in logical service slots, so the CI gate on victim-p99 shift is
+//     exact, not a wall-clock race.
+//   * FairGate wraps a GateCore in a mutex/condvar and a bounded permit
+//     count. A tenant's enqueue holds a permit only across the runtime
+//     admission call itself (Runtime::admit — bounded, never blocks on
+//     other admissions or on completions), so the gate is deadlock-free
+//     by construction on both executors: permit holders always release
+//     in finite time without needing runtime progress.
+//
+// Starvation freedom (the DESIGN.md argument, summarized): each ring
+// visit adds quantum*weight to a backlogged tenant's deficit, so its
+// head ticket of cost c is granted after at most ceil(c / (q*w)) visits,
+// and between two consecutive visits every other tenant serves at most
+// q*w_i + c_max cost units. A victim's wait is therefore bounded by a
+// constant independent of any aggressor's backlog depth — the property
+// the FIFO policy lacks (its wait grows linearly with the flood).
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.hpp"
+
+namespace hs::service {
+
+enum class FairPolicy {
+  fifo,          ///< single arrival-order queue (the unfair baseline)
+  weighted_drr,  ///< weighted deficit round robin across tenants
+};
+
+/// Deterministic admission scheduler. Not thread-safe: callers (FairGate,
+/// tests, the bench's logical-slot experiment) serialize access.
+class GateCore {
+ public:
+  /// `quantum` is the deficit added per ring visit per unit of tenant
+  /// weight, in cost units (see Service: cost = 1 + bytes/4096).
+  explicit GateCore(FairPolicy policy, std::uint64_t quantum = 8);
+
+  /// Registers a tenant (ids are 1-based and must arrive in order).
+  void add_tenant(std::uint32_t tenant, std::uint32_t weight);
+
+  /// Queues one admission ticket of `cost` units for `tenant`.
+  void push(std::uint32_t tenant, std::uint64_t ticket, std::uint64_t cost);
+
+  struct Grant {
+    std::uint32_t tenant = 0;
+    std::uint64_t ticket = 0;
+  };
+  /// Grants the next ticket in policy order; nullopt when empty.
+  [[nodiscard]] std::optional<Grant> pop();
+
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  /// Queued tickets of one tenant.
+  [[nodiscard]] std::size_t backlog(std::uint32_t tenant) const;
+
+ private:
+  struct Ticket {
+    std::uint64_t ticket = 0;
+    std::uint64_t cost = 0;
+  };
+  struct TenantQ {
+    std::uint32_t weight = 1;
+    std::uint64_t deficit = 0;
+    std::deque<Ticket> queue;
+    bool in_ring = false;
+    /// True until this ring visit's quantum top-up has been applied —
+    /// exactly one top-up per visit is what makes the shares weighted
+    /// (topping up whenever the deficit runs dry would let the front
+    /// tenant monopolize the ring, collapsing DRR into FIFO).
+    bool fresh = false;
+  };
+
+  FairPolicy policy_;
+  std::uint64_t quantum_;
+  std::vector<TenantQ> tenants_;                        // by tenant id - 1
+  std::deque<std::uint32_t> ring_;                      // active tenants
+  std::deque<std::pair<std::uint32_t, Ticket>> fifo_;   // fifo policy
+  std::size_t size_ = 0;
+};
+
+/// Thread-safe blocking gate: acquire() waits for the caller's fair turn
+/// (bounded by `permits` concurrent admissions), release() hands the
+/// permit to the next grant. See the header comment for why holding a
+/// permit only across Runtime::admit keeps this deadlock-free.
+class FairGate {
+ public:
+  FairGate(FairPolicy policy, std::uint64_t quantum, std::size_t permits);
+
+  void add_tenant(std::uint32_t tenant, std::uint32_t weight);
+
+  /// Blocks until this tenant's ticket is granted. Returns true when the
+  /// caller had to queue (a contended pass), false on the fast path.
+  bool acquire(std::uint32_t tenant, std::uint64_t cost);
+
+  /// Releases the permit taken by a matching acquire().
+  void release();
+
+ private:
+  /// Grants queued tickets while permits are free (mu_ held). Returns
+  /// whether any ticket was granted (callers then notify).
+  bool serve_locked();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  GateCore core_;
+  std::size_t permits_;
+  std::size_t in_service_ = 0;
+  std::uint64_t next_ticket_ = 0;
+  std::unordered_set<std::uint64_t> granted_;
+};
+
+}  // namespace hs::service

@@ -1,0 +1,270 @@
+#include "service/session.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hs::service {
+
+Session::Session(Service& service, std::uint32_t tenant, std::uint32_t id)
+    : service_(service), tenant_(tenant), id_(id) {}
+
+Session::~Session() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor backstop: close() already swallows per-resource drain
+    // errors; anything else must not escape a destructor.
+  }
+}
+
+const std::string& Session::tenant_name() const {
+  return service_.tenant_config(tenant_).name;
+}
+
+// --- Streams ---------------------------------------------------------------
+
+StreamId Session::stream_create(DomainId domain, const CpuMask& mask,
+                                std::optional<OrderPolicy> policy) {
+  require(!closed_, "session is closed", Errc::not_initialized);
+  Service::TenantState& t = service_.state(tenant_);
+  service_.charge_stream(t);
+  StreamId stream;
+  try {
+    stream = runtime().stream_create(domain, mask, policy);
+  } catch (...) {
+    service_.release_stream(t);
+    throw;
+  }
+  runtime().stream_bind_tenant(stream, tenant_, id_);
+  streams_.push_back(stream);
+  owned_.insert(stream);
+  return stream;
+}
+
+void Session::adopt_stream(StreamId stream) {
+  require(!closed_, "session is closed", Errc::not_initialized);
+  require(owned_.count(stream) == 0, "stream already owned by this session");
+  require(runtime().stream_tenant(stream) == 0,
+          "stream is already bound to a tenant", Errc::already_initialized);
+  Service::TenantState& t = service_.state(tenant_);
+  service_.charge_stream(t);
+  runtime().stream_bind_tenant(stream, tenant_, id_);
+  streams_.push_back(stream);
+  owned_.insert(stream);
+}
+
+void Session::stream_destroy(StreamId stream) {
+  require_owned(stream);
+  runtime().stream_destroy(stream);  // throws if not idle; ownership kept
+  owned_.erase(stream);
+  std::erase(streams_, stream);
+  service_.release_stream(service_.state(tenant_));
+}
+
+// --- Named buffer namespace ------------------------------------------------
+
+BufferId Session::buffer_create(std::string name, void* base,
+                                std::size_t size, BufferProps props) {
+  require(!closed_, "session is closed", Errc::not_initialized);
+  require(!name.empty(), "buffer name must be non-empty");
+  require(buffers_.find(name) == buffers_.end(),
+          "buffer name already in use in this session",
+          Errc::already_initialized);
+  const BufferId id = runtime().buffer_create(base, size, props);
+  buffers_.emplace(std::move(name), id);
+  return id;
+}
+
+BufferId Session::buffer(std::string_view name) const { return named(name); }
+
+bool Session::has_buffer(std::string_view name) const noexcept {
+  return buffers_.find(name) != buffers_.end();
+}
+
+void Session::buffer_instantiate(std::string_view name, DomainId domain) {
+  const BufferId id = named(name);
+  if (domain == kHostDomain) {
+    runtime().buffer_instantiate(id, domain);
+    return;
+  }
+  Service::TenantState& t = service_.state(tenant_);
+  const std::size_t size = runtime().buffer_size(id);
+  service_.charge_device_bytes(t, size);
+  try {
+    runtime().buffer_instantiate(id, domain);
+  } catch (...) {
+    service_.release_device_bytes(t, size);
+    throw;
+  }
+  resident_[id].push_back(domain);
+}
+
+void Session::buffer_deinstantiate(std::string_view name, DomainId domain) {
+  const BufferId id = named(name);
+  runtime().buffer_deinstantiate(id, domain);
+  if (domain == kHostDomain) {
+    return;
+  }
+  service_.release_device_bytes(service_.state(tenant_),
+                                runtime().buffer_size(id));
+  if (const auto it = resident_.find(id); it != resident_.end()) {
+    if (const auto pos =
+            std::find(it->second.begin(), it->second.end(), domain);
+        pos != it->second.end()) {
+      it->second.erase(pos);
+    }
+    if (it->second.empty()) {
+      resident_.erase(it);
+    }
+  }
+}
+
+void Session::buffer_destroy(std::string_view name) {
+  const BufferId id = named(name);
+  if (const auto it = resident_.find(id); it != resident_.end()) {
+    Service::TenantState& t = service_.state(tenant_);
+    const std::size_t size = runtime().buffer_size(id);
+    for (std::size_t i = 0; i < it->second.size(); ++i) {
+      service_.release_device_bytes(t, size);
+    }
+    resident_.erase(it);
+  }
+  runtime().buffer_destroy(id);  // releases the runtime incarnations
+  buffers_.erase(buffers_.find(name));
+}
+
+// --- Actions ---------------------------------------------------------------
+
+std::shared_ptr<EventState> Session::enqueue_compute(
+    StreamId stream, ComputePayload payload,
+    std::span<const OperandRef> operands) {
+  require_owned(stream);
+  return runtime().enqueue_compute(stream, std::move(payload), operands);
+}
+
+std::shared_ptr<EventState> Session::enqueue_transfer(StreamId stream,
+                                                      const void* proxy,
+                                                      std::size_t len,
+                                                      XferDir dir) {
+  require_owned(stream);
+  return runtime().enqueue_transfer(stream, proxy, len, dir);
+}
+
+std::shared_ptr<EventState> Session::enqueue_transfer_from(StreamId stream,
+                                                           const void* proxy,
+                                                           std::size_t len,
+                                                           DomainId peer) {
+  require_owned(stream);
+  return runtime().enqueue_transfer_from(stream, proxy, len, peer);
+}
+
+std::shared_ptr<EventState> Session::enqueue_event_wait(
+    StreamId stream, std::shared_ptr<EventState> event,
+    std::span<const OperandRef> operands) {
+  require_owned(stream);
+  return runtime().enqueue_event_wait(stream, std::move(event), operands);
+}
+
+std::shared_ptr<EventState> Session::enqueue_signal(
+    StreamId stream, std::span<const OperandRef> operands) {
+  require_owned(stream);
+  return runtime().enqueue_signal(stream, operands);
+}
+
+void Session::synchronize() {
+  for (const StreamId stream : streams_) {
+    runtime().stream_synchronize(stream);
+  }
+}
+
+// --- Capture ---------------------------------------------------------------
+
+std::unique_ptr<graph::GraphCapture> Session::begin_capture() {
+  return begin_capture(std::span<const StreamId>(streams_));
+}
+
+std::unique_ptr<graph::GraphCapture> Session::begin_capture(
+    std::span<const StreamId> streams) {
+  require(!closed_, "session is closed", Errc::not_initialized);
+  require(!streams.empty(), "capture needs at least one stream");
+  for (const StreamId stream : streams) {
+    require_owned(stream);
+  }
+  return std::make_unique<graph::GraphCapture>(runtime(), streams);
+}
+
+// --- Teardown --------------------------------------------------------------
+
+void Session::close() {
+  if (closed_) {
+    return;
+  }
+  closed_ = true;
+  // Drain first. A pending async error on one stream (device loss, link
+  // failure) must not abandon the teardown of the rest.
+  for (const StreamId stream : streams_) {
+    try {
+      runtime().stream_synchronize(stream);
+    } catch (...) {
+    }
+  }
+  Service::TenantState& t = service_.state(tenant_);
+  for (const StreamId stream : streams_) {
+    try {
+      runtime().stream_destroy(stream);
+    } catch (...) {
+    }
+    service_.release_stream(t);
+  }
+  streams_.clear();
+  owned_.clear();
+  for (const auto& [name, id] : buffers_) {
+    if (const auto it = resident_.find(id); it != resident_.end()) {
+      std::size_t size = 0;
+      try {
+        size = runtime().buffer_size(id);
+      } catch (...) {
+      }
+      for (std::size_t i = 0; i < it->second.size(); ++i) {
+        service_.release_device_bytes(t, size);
+      }
+    }
+    try {
+      runtime().buffer_destroy(id);
+    } catch (...) {
+    }
+  }
+  buffers_.clear();
+  resident_.clear();
+  t.sessions_closed.fetch_add(1, std::memory_order_relaxed);
+  service_.open_sessions_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+std::size_t Session::abort() {
+  std::size_t cancelled = 0;
+  if (!closed_) {
+    for (const StreamId stream : streams_) {
+      cancelled += runtime().stream_cancel(stream);
+    }
+  }
+  close();
+  return cancelled;
+}
+
+// --- Helpers ---------------------------------------------------------------
+
+void Session::require_owned(StreamId stream) const {
+  require(!closed_, "session is closed", Errc::not_initialized);
+  require(owned_.count(stream) != 0, "stream is not owned by this session",
+          Errc::not_found);
+}
+
+BufferId Session::named(std::string_view name) const {
+  const auto it = buffers_.find(name);
+  require(it != buffers_.end(),
+          "no buffer named '" + std::string(name) + "' in this session",
+          Errc::not_found);
+  return it->second;
+}
+
+}  // namespace hs::service

@@ -1,0 +1,142 @@
+#pragma once
+
+// Session: one client context inside a tenant.
+//
+// A Session owns logical streams and a named buffer namespace of its
+// own; nothing it creates is visible to (or destroyable by) another
+// session. All of a tenant's sessions share the tenant's quotas and its
+// fair-share weight — the session is the unit of client *state*, the
+// tenant is the unit of *policy*. Every stream a session creates is
+// bound to (tenant, session) in the runtime, so enqueues through any
+// API layer — these wrappers, AppApi apps handed a bound AppConfig,
+// graph replay of a session capture — are tagged, counted into the
+// tenant's stats slice, and pass the service's admission hook.
+//
+// Sessions are single-client objects: one session is driven by one
+// thread at a time (many sessions concurrently is the multi-tenant
+// point). close() drains the session's streams and releases everything
+// it owns; the destructor closes as a backstop.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/runtime.hpp"
+#include "graph/capture.hpp"
+#include "service/service.hpp"
+
+namespace hs::service {
+
+class Session final {
+ public:
+  ~Session();  ///< closes if close() was never called
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  [[nodiscard]] std::uint32_t id() const noexcept { return id_; }
+  [[nodiscard]] std::uint32_t tenant() const noexcept { return tenant_; }
+  [[nodiscard]] const std::string& tenant_name() const;
+  [[nodiscard]] Runtime& runtime() noexcept { return service_.runtime(); }
+  [[nodiscard]] Service& service() noexcept { return service_; }
+
+  // --- Streams ------------------------------------------------------------
+  /// Creates a stream owned by this session (counted against the
+  /// tenant's max_streams quota) and binds it to (tenant, session).
+  StreamId stream_create(DomainId domain, const CpuMask& mask,
+                         std::optional<OrderPolicy> policy = std::nullopt);
+  /// Brings an externally created stream into the session: quota-charged,
+  /// bound, owned (destroyed at close). Used by AppApi-driven clients.
+  void adopt_stream(StreamId stream);
+  void stream_destroy(StreamId stream);  ///< must be owned and idle
+  [[nodiscard]] const std::vector<StreamId>& streams() const noexcept {
+    return streams_;
+  }
+
+  // --- Named buffer namespace --------------------------------------------
+  /// Registers [base, base+size) under `name` in this session's private
+  /// namespace. Distinct sessions may reuse the same name freely.
+  BufferId buffer_create(std::string name, void* base, std::size_t size,
+                         BufferProps props = {});
+  [[nodiscard]] BufferId buffer(std::string_view name) const;
+  [[nodiscard]] bool has_buffer(std::string_view name) const noexcept;
+  /// Instantiates the named buffer in `domain`; non-host incarnations are
+  /// charged against the tenant's max_device_resident_bytes quota.
+  void buffer_instantiate(std::string_view name, DomainId domain);
+  void buffer_deinstantiate(std::string_view name, DomainId domain);
+  void buffer_destroy(std::string_view name);
+
+  // --- Actions (ownership-checked passthroughs) --------------------------
+  std::shared_ptr<EventState> enqueue_compute(
+      StreamId stream, ComputePayload payload,
+      std::span<const OperandRef> operands);
+  std::shared_ptr<EventState> enqueue_transfer(StreamId stream,
+                                               const void* proxy,
+                                               std::size_t len, XferDir dir);
+  std::shared_ptr<EventState> enqueue_transfer_from(StreamId stream,
+                                                    const void* proxy,
+                                                    std::size_t len,
+                                                    DomainId peer);
+  std::shared_ptr<EventState> enqueue_event_wait(
+      StreamId stream, std::shared_ptr<EventState> event,
+      std::span<const OperandRef> operands = {});
+  std::shared_ptr<EventState> enqueue_signal(
+      StreamId stream, std::span<const OperandRef> operands = {});
+
+  /// Drains this session's streams only (not the whole runtime).
+  void synchronize();
+
+  // --- Capture ------------------------------------------------------------
+  /// Starts a graph capture over a subset of this session's own streams
+  /// (all of them by default). Ownership is validated so one session can
+  /// never record another session's enqueues; the runtime's
+  /// one-active-capture rule still applies across sessions. Replay of the
+  /// finished graph through these streams is tagged and admission-gated
+  /// exactly like eager enqueues.
+  [[nodiscard]] std::unique_ptr<graph::GraphCapture> begin_capture();
+  [[nodiscard]] std::unique_ptr<graph::GraphCapture> begin_capture(
+      std::span<const StreamId> streams);
+
+  /// Fills a config struct's tenant/session fields (AppConfig,
+  /// MatmulConfig, ...) so apps run as clients of this session.
+  template <class Config>
+  [[nodiscard]] Config bound(Config config) const {
+    config.tenant = tenant_;
+    config.session = id_;
+    return config;
+  }
+
+  /// Drains in-flight work, destroys owned streams and buffers, and
+  /// releases the quotas they held. Idempotent.
+  void close();
+  /// Cancels undispatched work on every owned stream (stream_cancel),
+  /// then closes. Returns the number of actions cancelled.
+  std::size_t abort();
+
+ private:
+  friend class Service;
+  Session(Service& service, std::uint32_t tenant, std::uint32_t id);
+
+  void require_owned(StreamId stream) const;
+  [[nodiscard]] BufferId named(std::string_view name) const;
+
+  Service& service_;
+  std::uint32_t tenant_ = 0;
+  std::uint32_t id_ = 0;
+  bool closed_ = false;
+  std::vector<StreamId> streams_;
+  std::unordered_set<StreamId> owned_;
+  std::map<std::string, BufferId, std::less<>> buffers_;
+  /// Device domains each named buffer is instantiated in via this
+  /// session (what we charged, so close() can release exactly that).
+  std::unordered_map<BufferId, std::vector<DomainId>> resident_;
+};
+
+}  // namespace hs::service

@@ -13,6 +13,7 @@
 // workers (a tuner "can map multiple streams onto a common set of
 // resources" in hStreams).
 
+#include <atomic>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -62,7 +63,9 @@ class ThreadPool {
 
   std::vector<std::unique_ptr<WorkerState>> states_;
   std::vector<std::thread> workers_;
-  bool stopping_ = false;  // guarded by every state's mutex at stop time
+  std::atomic<bool> stopping_{false};  // set once at stop time; atomic
+      // because the dtor publishes it under each state's mutex in turn
+      // while later workers' wait predicates read it under their own
 };
 
 }  // namespace hs
