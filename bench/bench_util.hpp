@@ -136,6 +136,11 @@ struct CountingRuntimeDeleter {
     report::note_counter("checkpoint_bytes_skipped_clean",
                          s.checkpoint_bytes_skipped_clean);
     report::note_counter("restores_performed", s.restores_performed);
+    report::note_counter("evictions", s.evictions);
+    report::note_counter("spill_bytes_written", s.spill_bytes_written);
+    report::note_counter("spill_bytes_dropped_clean",
+                         s.spill_bytes_dropped_clean);
+    report::note_counter("refetches", s.refetches);
     // Multi-tenant runs: fold each tenant's stats slice into the report
     // so every bench JSON carries per-tenant attribution (tenant-free
     // benches register no tenants and emit nothing here).

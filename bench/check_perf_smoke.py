@@ -147,6 +147,31 @@ def main():
     if not reconciled:
         failures.append(("multitenant", "soak_reconcile_ok", 0, 1, 1.0))
 
+    # Out-of-core budget sweep runs in sim virtual time — deterministic —
+    # so the per-fraction factor times gate at the tight bound, and the
+    # acceptance counters (the 4x over-committed Cholesky completed, it
+    # actually spilled and re-fetched, and no data_loss error surfaced)
+    # fail the gate outright.
+    oom = load("BENCH_oom.json")
+    for row in table_rows(oom, "Out-of-core Cholesky — budget sweep"):
+        check("oom_virtual_ms", f"budget={row[0]}x", float(row[2]),
+              unit="virtual ms", bound=virtual_limit)
+    oc = oom.get("counters", {})
+    completed = oc.get("oom_overbudget_completed", 0)
+    evictions = oc.get("oom_evictions", 0)
+    refetches = oc.get("oom_refetches", 0)
+    data_loss = oc.get("oom_data_loss_errors", 0)
+    print(f"  oom acceptance: 4x over-budget Cholesky "
+          f"{'completed' if completed else 'DID NOT complete'}, "
+          f"{evictions} evictions / {refetches} refetches, "
+          f"{data_loss} data-loss errors")
+    if not completed:
+        failures.append(("oom", "overbudget_completed", 0, 1, 1.0))
+    if evictions == 0 or refetches == 0:
+        failures.append(("oom", "spill_traffic", evictions, refetches, 1.0))
+    if data_loss != 0:
+        failures.append(("oom", "data_loss_errors", data_loss, 0, 1.0))
+
     if checked == 0:
         raise SystemExit("baseline matched no measured rows — "
                          "baseline and sweep have drifted apart")

@@ -326,7 +326,29 @@ CholeskyStats run_cholesky_attempt(Runtime& runtime,
 
   AppApi app(runtime, AppConfig{.streams_per_device = config.streams_per_device,
                                 .host_streams = config.host_streams});
-  if (io_buffer.has_value()) {
+  if (config.tile_buffers) {
+    // One buffer per lower-triangle tile: the governor's eviction and
+    // refetch unit. Instantiated on every card up front — when the
+    // triangle overshoots a card's budget the governor spills cold tiles
+    // instead of failing, which is exactly the out-of-core scenario this
+    // mode exists for.
+    std::vector<DomainId> cards;
+    for (std::size_t d = 1; d < runtime.domain_count(); ++d) {
+      const DomainId dom{static_cast<std::uint32_t>(d)};
+      if (!app.streams_on(dom).empty()) {
+        cards.push_back(dom);
+      }
+    }
+    for (std::size_t i = 0; i < a.row_tiles(); ++i) {
+      for (std::size_t j = 0; j <= i; ++j) {
+        const BufferId id =
+            runtime.buffer_create(a.tile_ptr(i, j), a.tile_bytes(i, j));
+        for (const DomainId dom : cards) {
+          runtime.buffer_instantiate(id, dom);
+        }
+      }
+    }
+  } else if (io_buffer.has_value()) {
     app.adopt_buf(*io_buffer);
   } else {
     io_buffer = app.create_buf(a.data(), a.size_bytes());
@@ -625,6 +647,10 @@ CholeskyStats resume_cholesky(Runtime& runtime, const CholeskyConfig& config,
 
 CholeskyStats run_cholesky(Runtime& runtime, const CholeskyConfig& config,
                            TiledMatrix& a) {
+  require(!config.tile_buffers ||
+              (!config.recover_from_device_loss && config.checkpoint == nullptr),
+          "cholesky: tile_buffers is incompatible with the recovery and "
+          "checkpoint drivers (they track the single matrix buffer)");
   std::optional<BufferId> buffer;
   if (config.checkpoint != nullptr) {
     return run_cholesky_checkpointed(runtime, config, a);

@@ -66,6 +66,13 @@ struct CholeskyConfig {
   ckpt::CheckpointManager* checkpoint = nullptr;
   /// Steps between epochs (checkpointed driver only).
   std::size_t checkpoint_interval = 1;
+  /// Register one buffer per lower-triangle tile instead of one
+  /// whole-matrix buffer. Tiles are the memory governor's eviction and
+  /// refetch unit, so this is what lets a factorization larger than a
+  /// card's memory budget run out-of-core (bench_oom) — a spilled tile
+  /// re-uploads just itself on demand. Incompatible with the recovery
+  /// and checkpoint drivers, which track the single matrix buffer.
+  bool tile_buffers = false;
 };
 
 struct CholeskyStats {

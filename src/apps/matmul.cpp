@@ -89,14 +89,26 @@ MatmulStats run_matmul(Runtime& runtime, const MatmulConfig& config,
   const std::size_t nt = c.col_tiles();
   const std::vector<std::size_t> owner = assign_panels(nt, weights);
 
-  // A is broadcast to every card, so it uses app_create_buf's
-  // instantiate-everywhere registration. B and C are panel-partitioned:
-  // each panel (one tile column — contiguous in the tile-packed layout)
-  // becomes its own buffer, instantiated only on the domain that owns it
-  // — hStreams' Alloc1DEx-style selective placement. With whole-matrix
-  // buffers on every card, three N=28000 matrices (3 x 6.3 GB each) blew
-  // the 16 GiB card budget even though each card only touches its share.
-  (void)app.create_buf(a.data(), a.size_bytes());
+  // Every matrix is panel-partitioned: each panel (one tile column —
+  // contiguous in the tile-packed layout) becomes its own buffer —
+  // hStreams' Alloc1DEx-style selective placement. B and C panels live
+  // only on the domain that owns them; A panels are broadcast to every
+  // card. Panel-granular buffers matter twice over: whole-matrix buffers
+  // on every card blew the card budget outright (3 x 6.3 GB at N=28000),
+  // and under the memory governor they are also the eviction unit — a
+  // spilled panel re-fetches just itself, not the whole matrix.
+  for (std::size_t k = 0; k < kt; ++k) {
+    std::size_t bytes = 0;
+    for (std::size_t i = 0; i < mt; ++i) {
+      bytes += a.tile_bytes(i, k);
+    }
+    const BufferId id = runtime.buffer_create(a.tile_ptr(0, k), bytes);
+    for (const DomainId dom : compute_domains) {
+      if (dom != kHostDomain) {
+        runtime.buffer_instantiate(id, dom);
+      }
+    }
+  }
   const auto register_panels = [&](TiledMatrix& m) {
     for (std::size_t p = 0; p < m.col_tiles(); ++p) {
       std::size_t bytes = 0;

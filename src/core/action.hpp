@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/buffer.hpp"
@@ -101,6 +102,20 @@ struct ActionRecord {
   /// as a zero-cost no-op (never reached an executor; FIFO and event
   /// semantics unchanged).
   bool elided = false;
+
+  /// Residency pins taken at dispatch (Runtime::prepare_residency):
+  /// (buffer, domain) incarnations that must not be evicted while this
+  /// action is in flight. Released exactly once in process_completion —
+  /// on success, failure, cancellation, and elision alike. One entry per
+  /// pin call, so duplicates (a compute with two operands on one buffer)
+  /// balance.
+  std::vector<std::pair<BufferId, DomainId>> pins;
+  /// Modeled seconds of out-of-core work charged to this action at
+  /// dispatch: victim writeback performed to admit its operands plus
+  /// demand re-fetch uploads of spilled ranges. Simulated executors add
+  /// it to the action's virtual duration; threaded execution pays the
+  /// real memcpy cost on the dispatching thread and ignores this field.
+  double ooc_stall_s = 0.0;
 
   /// True if this action's operands (or barrier flag) conflict with an
   /// earlier action's. This pairwise test is the *reference* dependence

@@ -19,6 +19,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <set>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -196,6 +197,12 @@ class Buffer {
   void instantiate(DomainId domain) {
     const std::scoped_lock lock(mu_);
     incarnations_.try_emplace(domain, nullptr);
+    if (spilled_.erase(domain) > 0) {
+      // Rebuilt after a governor spill: the fresh incarnation is invalid
+      // over ranges the eviction dropped, so readers must demand-page
+      // them back from the host copy (prepare_residency).
+      demand_paged_.insert(domain);
+    }
   }
 
   /// Drops the incarnation in `domain` (host incarnation cannot be
@@ -206,9 +213,64 @@ class Buffer {
     const std::scoped_lock lock(mu_);
     incarnations_.erase(domain);
     validity_.erase(domain);
+    spilled_.erase(domain);
+    demand_paged_.erase(domain);
     // Owned storage is retained until buffer destruction; incarnation
     // maps drive translation, so a dropped domain can no longer be
     // addressed even though its bytes linger until then.
+  }
+
+  // --- Governor spill marks ---------------------------------------------
+  // A spilled incarnation was dropped by the memory governor to make
+  // room under a budget (its dirty ranges synced home first). The mark
+  // keeps the buffer eligible for enqueue checks and demand re-fetch in
+  // that domain — the incarnation reappears transparently when an action
+  // needs it. instantiate()/deinstantiate() clear the mark.
+
+  void mark_spilled(DomainId domain) {
+    const std::scoped_lock lock(mu_);
+    spilled_.insert(domain);
+  }
+
+  /// Eviction's transition — drop the incarnation (and its validity) and
+  /// set the spill mark — in ONE leaf-lock critical section, so readers
+  /// of usable_in() can never observe the buffer as neither instantiated
+  /// nor spilled mid-eviction.
+  void spill(DomainId domain) {
+    require(domain != kHostDomain, "cannot spill the host alias");
+    const std::scoped_lock lock(mu_);
+    incarnations_.erase(domain);
+    validity_.erase(domain);
+    spilled_.insert(domain);
+  }
+
+  /// True when `domain` holds a live incarnation or a governor spill
+  /// mark. Both states are read under one leaf-lock acquisition: the
+  /// spill()/instantiate() transitions swap them atomically, so separate
+  /// instantiated_in() + spilled_from() calls could race into a bogus
+  /// "neither" — enqueue-time operand checks must use this instead.
+  [[nodiscard]] bool usable_in(DomainId domain) const noexcept {
+    const std::scoped_lock lock(mu_);
+    return incarnations_.contains(domain) || spilled_.contains(domain);
+  }
+
+  void clear_spilled(DomainId domain) {
+    const std::scoped_lock lock(mu_);
+    spilled_.erase(domain);
+  }
+
+  [[nodiscard]] bool spilled_from(DomainId domain) const noexcept {
+    const std::scoped_lock lock(mu_);
+    return spilled_.contains(domain);
+  }
+
+  /// True once the incarnation has been rebuilt after a governor spill.
+  /// Readers of such an incarnation restore missing ranges from the host
+  /// before executing; never-spilled incarnations skip that work (and
+  /// keep the pre-governor semantics for ranges the app never uploaded).
+  [[nodiscard]] bool demand_paged(DomainId domain) const noexcept {
+    const std::scoped_lock lock(mu_);
+    return demand_paged_.contains(domain);
   }
 
   [[nodiscard]] bool instantiated_in(DomainId domain) const noexcept {
@@ -328,6 +390,24 @@ class Buffer {
     validity_.erase(domain);
   }
 
+  /// The demand re-fetch set for a read window: ranges of
+  /// [offset, offset+len) the host can restore into `domain`'s
+  /// incarnation that are not already valid there —
+  /// (valid(host) ∩ window) − valid(domain). Ascending, disjoint.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>>
+  refetch_ranges(DomainId domain, std::size_t offset, std::size_t len) const {
+    const std::scoped_lock lock(mu_);
+    const auto host = validity_.find(kHostDomain);
+    if (host == validity_.end() || len == 0) {
+      return {};
+    }
+    IntervalSet want;
+    want.assign_window(offset, offset + len, host->second);
+    static const IntervalSet kEmpty;
+    const auto dev = validity_.find(domain);
+    return want.minus(dev == validity_.end() ? kEmpty : dev->second);
+  }
+
   /// True when `domain` holds ranges newer than the host copy.
   [[nodiscard]] bool dirty_in(DomainId domain) const noexcept {
     const std::scoped_lock lock(mu_);
@@ -408,6 +488,13 @@ class Buffer {
   std::map<DomainId, IntervalSet> validity_;
   /// Ranges whose logical value changed since the last checkpoint epoch.
   IntervalSet ckpt_dirty_;
+  /// Domains whose incarnation the memory governor spilled (demand
+  /// re-fetch eligible); cleared by instantiate/deinstantiate.
+  std::set<DomainId> spilled_;
+  /// Domains whose incarnation was rebuilt after a spill — readers
+  /// demand-page missing ranges from the host (prepare_residency);
+  /// cleared by deinstantiate.
+  std::set<DomainId> demand_paged_;
   std::vector<std::unique_ptr<std::byte[]>> owned_;
 };
 

@@ -64,6 +64,7 @@ Runtime::Runtime(RuntimeConfig config, std::unique_ptr<Executor> executor)
                      !env_flag("HS_NO_ELIDE");
   coherence_oracle_ = config_.coherence.oracle ||
                       env_flag("HS_COHERENCE_ORACLE");
+  evict_enabled_ = config_.eviction && !env_flag("HS_NO_EVICT");
   executor_->attach(*this);
 }
 
@@ -274,35 +275,76 @@ BufferId Runtime::buffer_create(void* base, std::size_t size,
 }
 
 void Runtime::buffer_instantiate(BufferId id, DomainId domain) {
-  const std::scoped_lock lock(mutex_);
-  std::shared_lock buffers(buffers_mutex_);
   require(domain.value < domains_.size(), "unknown domain", Errc::not_found);
-  Buffer& buf = buffers_.get(id);
-  if (domain == kHostDomain || buf.instantiated_in(domain)) {
-    return;  // host incarnation aliases user memory; re-instantiation no-op
+  MemKind kind;
+  std::size_t size = 0;
+  {
+    std::shared_lock buffers(buffers_mutex_);
+    Buffer& buf = buffers_.get(id);
+    if (domain == kHostDomain || buf.instantiated_in(domain)) {
+      // Host incarnation aliases user memory; re-instantiation is a
+      // recency touch for the governor's LRU.
+      if (domain != kHostDomain) {
+        const std::scoped_lock gov(gov_mu_);
+        governor_.touch(domain, id);
+      }
+      return;
+    }
+    kind = buf.props().mem_kind;
+    size = buf.size();
   }
-  // Charge the domain's budget for the buffer's memory kind.
-  const MemKind kind = buf.props().mem_kind;
-  const auto& budgets = domains_[domain.value].desc().memory_bytes;
-  const auto budget_it = budgets.find(kind);
-  require(budget_it != budgets.end(),
-          "domain has no memory of the requested kind",
-          Errc::resource_exhausted);
-  std::size_t& used = memory_used_[{domain.value, kind}];
-  require(used + buf.size() <= budget_it->second,
-          "domain memory budget exhausted", Errc::resource_exhausted);
-  used += buf.size();
-  buf.instantiate(domain);
+  // Admission and instantiation must be one governor critical section:
+  // otherwise a racing eviction could victimize the fresh (pins == 0)
+  // ledger entry before the incarnation exists, leaking the charge.
+  const std::scoped_lock gov(gov_mu_);
+  govern_admit_locked(id, domain, kind, size, /*pins=*/0, nullptr);
+  try {
+    std::shared_lock buffers(buffers_mutex_);
+    buffers_.get(id).instantiate(domain);
+  } catch (...) {
+    governor_.release(domain, id);
+    throw;
+  }
 }
 
-void Runtime::buffer_deinstantiate(BufferId id, DomainId domain) {
-  const std::scoped_lock lock(mutex_);
-  std::shared_lock buffers(buffers_mutex_);
-  Buffer& buf = buffers_.get(id);
-  require(buf.instantiated_in(domain), "buffer not instantiated there",
-          Errc::not_found);
-  buf.deinstantiate(domain);
-  memory_used_[{domain.value, buf.props().mem_kind}] -= buf.size();
+void Runtime::buffer_deinstantiate(BufferId id, DomainId domain,
+                                   bool discard_dirty) {
+  {
+    const std::scoped_lock gov(gov_mu_);
+    std::shared_lock buffers(buffers_mutex_);
+    Buffer& buf = buffers_.get(id);
+    if (!buf.instantiated_in(domain)) {
+      if (domain != kHostDomain && buf.spilled_from(domain)) {
+        // The governor already dropped the incarnation (dirty ranges went
+        // home at eviction); deinstantiation just withdraws its demand
+        // re-fetch eligibility.
+        buf.clear_spilled(domain);
+        return;
+      }
+      require(false, "buffer not instantiated there", Errc::not_found);
+    }
+    if (domain != kHostDomain && !discard_dirty) {
+      const auto dirty = buf.dirty_ranges(domain);
+      if (!dirty.empty()) {
+        std::size_t bytes = 0;
+        for (const auto& [offset, length] : dirty) {
+          bytes += length;
+        }
+        // Mirror of evacuate's contract: dropping device-newer ranges must
+        // be explicit. Callers sync_home first or pass discard_dirty.
+        throw Error(
+            Errc::data_loss,
+            "buffer_deinstantiate: " + std::to_string(bytes) +
+                " dirty bytes of buffer " + std::to_string(id.value) +
+                " exist only on domain " + std::to_string(domain.value) +
+                "; sync_home first or pass discard_dirty");
+      }
+    }
+    buf.deinstantiate(domain);
+    governor_.release(domain, id);
+  }
+  // The refund may be the capacity a backpressured dispatch is waiting on.
+  retry_deferred();
 }
 
 std::pair<void*, std::size_t> Runtime::buffer_extent(const void* proxy) {
@@ -321,29 +363,363 @@ void Runtime::buffer_destroy_containing(const void* proxy) {
 }
 
 std::size_t Runtime::memory_available(DomainId domain, MemKind kind) const {
-  const std::scoped_lock lock(mutex_);
   require(domain.value < domains_.size(), "unknown domain", Errc::not_found);
   const auto& budgets = domains_[domain.value].desc().memory_bytes;
   const auto it = budgets.find(kind);
   if (it == budgets.end()) {
     return 0;
   }
-  const auto used_it = memory_used_.find({domain.value, kind});
-  return it->second - (used_it == memory_used_.end() ? 0 : used_it->second);
+  const std::scoped_lock gov(gov_mu_);
+  return it->second - governor_.used(domain, kind);
 }
 
 void Runtime::buffer_destroy(BufferId id) {
-  const std::scoped_lock lock(mutex_);
-  const std::unique_lock buffers(buffers_mutex_);
-  Buffer& buf = buffers_.get(id);
-  // Refund every device incarnation's budget.
-  for (std::size_t d = 1; d < domains_.size(); ++d) {
-    const DomainId domain{static_cast<std::uint32_t>(d)};
-    if (buf.instantiated_in(domain)) {
-      memory_used_[{domain.value, buf.props().mem_kind}] -= buf.size();
+  {
+    // gov_mu_ before the exclusive buffers lock (the governor's eviction
+    // path holds gov_mu_ while taking buffers_mutex_ shared).
+    const std::scoped_lock gov(gov_mu_);
+    const std::unique_lock buffers(buffers_mutex_);
+    Buffer& buf = buffers_.get(id);
+    // Refund every device incarnation's budget.
+    for (std::size_t d = 1; d < domains_.size(); ++d) {
+      const DomainId domain{static_cast<std::uint32_t>(d)};
+      if (buf.instantiated_in(domain)) {
+        governor_.release(domain, id);
+      }
+    }
+    buffers_.destroy(id);
+  }
+  // The refund may be the capacity a backpressured dispatch is waiting on.
+  retry_deferred();
+}
+
+// --- Out-of-core memory governor -------------------------------------------
+
+namespace {
+
+/// Thrown (and caught) only inside this translation unit: dispatch-time
+/// admission found the budget full with every victim pinned by *other*
+/// in-flight actions. Not an error — Runtime::dispatch parks the action
+/// in ooc_deferred_ and retry_deferred() re-dispatches it when those
+/// pins release.
+struct DeferDispatch {
+  BufferId buffer;
+  DomainId domain;
+  MemKind kind = MemKind::ddr;
+  std::size_t bytes = 0;
+};
+
+}  // namespace
+
+void Runtime::govern_admit_locked(
+    BufferId id, DomainId domain, MemKind kind, std::size_t bytes,
+    std::uint32_t pins, double* stall_s,
+    const std::vector<std::pair<BufferId, DomainId>>* defer_pins) {
+  if (governor_.resident(domain, id)) {
+    for (std::uint32_t i = 0; i < pins; ++i) {
+      governor_.pin(domain, id);
+    }
+    if (pins == 0) {
+      governor_.touch(domain, id);
+    }
+    return;
+  }
+  const auto& budgets = domains_[domain.value].desc().memory_bytes;
+  const auto budget_it = budgets.find(kind);
+  require(budget_it != budgets.end(),
+          "domain has no memory of the requested kind",
+          Errc::resource_exhausted);
+  // A buffer that exceeds the entire budget can never be made to fit, no
+  // matter how much is evicted.
+  require(bytes <= budget_it->second,
+          "buffer larger than the domain's entire memory budget",
+          Errc::resource_exhausted);
+  while (governor_.used(domain, kind) + bytes > budget_it->second) {
+    require(evict_enabled_, "domain memory budget exhausted",
+            Errc::resource_exhausted);
+    if (defer_pins != nullptr &&
+        !governor_.pick_victim(domain, kind).has_value() &&
+        governor_.has_external_pins(domain, kind, *defer_pins)) {
+      // Backpressure instead of failure: another action's completion
+      // will unpin a victim, so parking this dispatch makes progress.
+      // (If the only pins in the way are our own, fall through to
+      // evict_one_locked's throw — waiting could never help.)
+      throw DeferDispatch{id, domain, kind, bytes};
+    }
+    const double stall = evict_one_locked(domain, kind);
+    if (stall_s != nullptr) {
+      *stall_s += stall;
     }
   }
-  buffers_.destroy(id);
+  governor_.admit(domain, id, kind, bytes, pins);
+}
+
+double Runtime::evict_one_locked(DomainId domain, MemKind kind) {
+  const std::optional<BufferId> victim = governor_.pick_victim(domain, kind);
+  require(victim.has_value(),
+          "domain memory budget exhausted and every resident buffer is "
+          "pinned by in-flight actions",
+          Errc::resource_exhausted);
+  const std::size_t victim_bytes = governor_.bytes_of(domain, *victim);
+  std::size_t written = 0;
+  std::size_t dropped = 0;
+  double stall_s = 0.0;
+  {
+    std::shared_lock buffers(buffers_mutex_);
+    Buffer* buf = nullptr;
+    try {
+      buf = &buffers_.get(*victim);
+    } catch (const Error&) {
+      buf = nullptr;  // destroyed with a stale ledger entry; just refund
+    }
+    if (buf != nullptr) {
+      // Validity-map-minimized spill: only device-newer (dirty) ranges
+      // cost a writeback; everything else the host already has, so the
+      // incarnation drops free. No executor quiesce here — the victim is
+      // unpinned, so no in-flight body targets it, and a claimed-failed
+      // straggler writes into owned storage that lingers until buffer
+      // destruction (and whose validity is already garbage).
+      const auto dirty = buf->dirty_ranges(domain);
+      for (const auto& [offset, length] : dirty) {
+        if (executor_->executes_payloads()) {
+          std::byte* host = buf->local_address(kHostDomain, offset);
+          std::byte* src = buf->local_address(domain, offset);
+          std::memcpy(host, src, length);
+        }
+        written += length;
+        stall_s += link_for(domain).transfer_seconds(length);
+      }
+      for (const auto& [offset, length] : dirty) {
+        buf->note_transfer(domain, kHostDomain, offset, length);
+      }
+      for (const auto& [offset, length] : buf->valid_ranges(domain)) {
+        dropped += length;
+      }
+      dropped -= written > dropped ? dropped : written;
+      buf->spill(domain);
+    }
+  }
+  governor_.release(domain, *victim);
+  stats_.evictions.fetch_add(1, std::memory_order_relaxed);
+  stats_.spill_bytes_written.fetch_add(written, std::memory_order_relaxed);
+  stats_.spill_bytes_dropped_clean.fetch_add(dropped,
+                                             std::memory_order_relaxed);
+  log_debug("evicted buffer %u from domain %u (%zu dirty bytes home, %zu "
+            "clean bytes dropped)",
+            victim->value, domain.value, written, dropped);
+  if (trace_ != nullptr) {
+    trace_->on_ooc("evict", *victim, domain, written, executor_->now());
+  }
+  if (AdmissionHook* hook = admission_hook_.load(std::memory_order_acquire)) {
+    hook->on_evict(*victim, domain, victim_bytes);
+  }
+  return stall_s;
+}
+
+void Runtime::govern_release_locked(BufferId id, DomainId domain) {
+  governor_.release(domain, id);
+}
+
+bool Runtime::release_pins(const std::shared_ptr<ActionRecord>& record) {
+  if (record->pins.empty()) {
+    return false;
+  }
+  const std::scoped_lock gov(gov_mu_);
+  for (const auto& [buffer, domain] : record->pins) {
+    governor_.unpin(domain, buffer);
+  }
+  record->pins.clear();
+  return true;
+}
+
+void Runtime::retry_deferred() {
+  std::vector<std::shared_ptr<ActionRecord>> parked;
+  {
+    const std::scoped_lock gov(gov_mu_);
+    if (ooc_deferred_.empty()) {
+      return;
+    }
+    parked.swap(ooc_deferred_);
+  }
+  for (const auto& record : parked) {
+    // An action cancelled (or failed by domain loss) while parked has
+    // already been completed by its claimant; re-dispatching it would
+    // run a body whose completion nobody owns.
+    bool stale;
+    {
+      const std::scoped_lock lock(stream_state(record->stream).mu);
+      stale = record->claimed || record->state == ActionRecord::State::done;
+    }
+    if (stale) {
+      continue;
+    }
+    // Each retry either admits (dispatches), re-parks (still blocked on
+    // another action's pins), or fails the action (can never fit).
+    dispatch(record);
+  }
+}
+
+void Runtime::prepare_residency(const std::shared_ptr<ActionRecord>& record) {
+  // Residency targets: every incarnation this action's effects touch.
+  struct Target {
+    BufferId buffer;
+    DomainId domain;
+    std::size_t offset = 0;
+    std::size_t length = 0;
+    bool reads = false;  ///< restore host-valid ranges before executing
+  };
+  std::vector<Target> targets;
+  const DomainId sink = stream_state(record->stream).domain;
+  switch (record->type) {
+    case ActionType::compute:
+      if (sink == kHostDomain) {
+        return;  // host operands alias user memory, never governed
+      }
+      for (const Operand& op : record->operands) {
+        const bool reads =
+            op.access == Access::in || op.access == Access::inout;
+        targets.push_back({op.buffer, sink, op.offset, op.length, reads});
+      }
+      break;
+    case ActionType::transfer: {
+      if (sink == kHostDomain) {
+        return;  // aliased away at enqueue
+      }
+      const TransferPayload& t = record->transfer;
+      // d2h reads the sink incarnation; h2d and d2d write it. A d2d
+      // additionally reads the peer incarnation over the same range.
+      const bool sink_reads =
+          t.peer == kHostDomain && t.dir == XferDir::sink_to_src;
+      targets.push_back({t.buffer, sink, t.offset, t.length, sink_reads});
+      if (t.peer != kHostDomain) {
+        targets.push_back({t.buffer, t.peer, t.offset, t.length, true});
+      }
+      break;
+    }
+    case ActionType::alloc:
+      // The incarnation must exist (re-admitting it if evicted since
+      // enqueue); nothing is read.
+      targets.push_back({record->transfer.buffer, sink, 0, 0, false});
+      break;
+    case ActionType::event_wait:
+    case ActionType::event_signal:
+      return;  // no incarnation storage touched
+  }
+  for (const Target& t : targets) {
+    if (t.domain == kHostDomain) {
+      continue;
+    }
+    MemKind kind;
+    std::size_t size = 0;
+    {
+      std::shared_lock buffers(buffers_mutex_);
+      Buffer* buf = nullptr;
+      try {
+        buf = &buffers_.get(t.buffer);
+      } catch (const Error&) {
+        continue;  // destroyed while queued; the executor's path copes
+      }
+      kind = buf->props().mem_kind;
+      size = buf->size();
+    }
+    bool admitted = false;
+    {
+      const std::scoped_lock gov(gov_mu_);
+      if (governor_.resident(t.domain, t.buffer)) {
+        governor_.pin(t.domain, t.buffer);
+      } else {
+        // Spilled (or dropped) since enqueue: re-admit with an initial
+        // pin so a concurrent dispatch's eviction cannot victimize it
+        // before this action completes. Passing our own pin list arms
+        // the backpressure path: if the budget is full of operands
+        // pinned by *other* in-flight actions, this throws
+        // DeferDispatch and the whole dispatch parks instead of
+        // failing.
+        govern_admit_locked(t.buffer, t.domain, kind, size, /*pins=*/1,
+                            &record->ooc_stall_s, &record->pins);
+        std::shared_lock buffers(buffers_mutex_);
+        buffers_.get(t.buffer).instantiate(t.domain);
+        admitted = true;
+      }
+    }
+    record->pins.emplace_back(t.buffer, t.domain);
+    if (admitted) {
+      if (AdmissionHook* hook =
+              admission_hook_.load(std::memory_order_acquire)) {
+        try {
+          hook->on_refetch(t.buffer, t.domain, size);
+        } catch (...) {
+          // Vetoed (e.g. residency quota): unwind the fresh admission so
+          // the runtime and the hook agree the incarnation is still out.
+          const std::scoped_lock gov(gov_mu_);
+          {
+            std::shared_lock buffers(buffers_mutex_);
+            try {
+              Buffer& buf = buffers_.get(t.buffer);
+              buf.spill(t.domain);
+            } catch (const Error&) {
+            }
+          }
+          governor_.release(t.domain, t.buffer);
+          record->pins.pop_back();
+          throw;
+        }
+      }
+      stats_.refetches.fetch_add(1, std::memory_order_relaxed);
+    }
+    // Demand re-fetch: restore the ranges this action reads that the
+    // host has and the incarnation does not. Ranges the action only
+    // writes stay invalid — and a d2h over a restored range now
+    // legitimately elides (both endpoints valid), so the "download"
+    // degenerates to the upload we just performed instead of copying
+    // garbage over good host data.
+    //
+    // This runs even when the incarnation was already resident, if it
+    // was ever rebuilt after a spill: a write-only action (e.g. a beta=0
+    // gemm) re-admits a spilled buffer restoring nothing, leaving a
+    // resident incarnation that is invalid over everything it didn't
+    // write — the next reader must pull its ranges back from the host
+    // copy the eviction synced them to. Never-spilled incarnations skip
+    // this (reading a range the app never uploaded keeps pre-governor
+    // semantics and costs no virtual stall time).
+    bool paged = admitted;
+    if (!paged && t.reads && t.length > 0) {
+      std::shared_lock buffers(buffers_mutex_);
+      paged = buffers_.get(t.buffer).demand_paged(t.domain);
+    }
+    std::size_t restored = 0;
+    if (paged && t.reads && t.length > 0) {
+      std::vector<std::pair<std::size_t, std::size_t>> need;
+      {
+        std::shared_lock buffers(buffers_mutex_);
+        need = buffers_.get(t.buffer)
+                   .refetch_ranges(t.domain, t.offset, t.length);
+      }
+      for (const auto& [offset, length] : need) {
+        if (executor_->executes_payloads()) {
+          std::byte* dst = buffer_local(t.buffer, t.domain, offset, length);
+          std::byte* src =
+              buffer_local(t.buffer, kHostDomain, offset, length);
+          std::memcpy(dst, src, length);
+        }
+        {
+          std::shared_lock buffers(buffers_mutex_);
+          buffers_.get(t.buffer)
+              .note_transfer(kHostDomain, t.domain, offset, length);
+        }
+        record->ooc_stall_s += link_for(t.domain).transfer_seconds(length);
+        restored += length;
+      }
+    }
+    if (admitted || restored > 0) {
+      log_debug("refetched buffer %u into domain %u (%zu bytes restored)",
+                t.buffer.value, t.domain.value, restored);
+      if (trace_ != nullptr) {
+        trace_->on_ooc("refetch", t.buffer, t.domain, restored,
+                       executor_->now());
+      }
+    }
+  }
 }
 
 std::size_t Runtime::buffer_count() const {
@@ -539,7 +915,11 @@ std::shared_ptr<EventState> Runtime::enqueue_compute(
     for (const OperandRef& ref : operands) {
       Operand op = buffers_.resolve(ref.ptr, ref.len, ref.access);
       const Buffer& buf = buffers_.get(op.buffer);
-      require(capturing || buf.instantiated_in(s.domain),
+      // A governor-spilled incarnation still passes: dispatch re-admits
+      // and re-uploads it on demand (prepare_residency). usable_in reads
+      // both states under one lock so a concurrent eviction can't be
+      // observed mid-transition.
+      require(capturing || buf.usable_in(s.domain),
               "compute operand buffer not instantiated in sink domain",
               Errc::buffer_not_instantiated);
       // Enforce the creator's declared usage property (§II: buffers let
@@ -579,7 +959,7 @@ std::shared_ptr<EventState> Runtime::enqueue_transfer(StreamId stream,
     std::shared_lock buffers(buffers_mutex_);
     Buffer& buf = buffers_.find_containing(proxy, len);
     if (!aliased) {
-      require(capturing || buf.instantiated_in(s.domain),
+      require(capturing || buf.usable_in(s.domain),
               "transfer target buffer not instantiated in sink domain",
               Errc::buffer_not_instantiated);
     }
@@ -631,10 +1011,10 @@ std::shared_ptr<EventState> Runtime::enqueue_transfer_from(StreamId stream,
   {
     std::shared_lock buffers(buffers_mutex_);
     Buffer& buf = buffers_.find_containing(proxy, len);
-    require(capturing || buf.instantiated_in(s.domain),
+    require(capturing || buf.usable_in(s.domain),
             "transfer target buffer not instantiated in sink domain",
             Errc::buffer_not_instantiated);
-    require(capturing || buf.instantiated_in(peer),
+    require(capturing || buf.usable_in(peer),
             "transfer source buffer not instantiated in peer domain",
             Errc::buffer_not_instantiated);
     record->transfer = TransferPayload{buf.id(), buf.offset_of(proxy), len,
@@ -1190,6 +1570,61 @@ void Runtime::dispatch(const std::shared_ptr<ActionRecord>& record) {
             record->id.value, record->stream.value,
             static_cast<unsigned long long>(record->seq),
             static_cast<int>(record->type));
+  // Pin (and, where spilled, re-admit + re-upload) every incarnation the
+  // action touches, before the elision decision — a refetch validates
+  // exactly the ranges elision then tests. Failure (budget cannot hold
+  // the operands, quota veto) fails the action like a thrown task body.
+  for (;;) {
+    try {
+      prepare_residency(record);
+      break;
+    } catch (const DeferDispatch& defer) {
+      // Out-of-core backpressure: the operands cannot be admitted while
+      // other in-flight actions pin every victim. Drop the pins taken so
+      // far (holding them across the wait would deadlock two parked
+      // actions against each other — parked actions hold no pins, so the
+      // pins blocking us always belong to executor-submitted work whose
+      // completion will call retry_deferred) and park. The park and the
+      // blocked-recheck share one governor critical section: a release
+      // sneaking in between the defer decision and the push would
+      // otherwise retry an empty list and strand this action forever.
+      bool parked = false;
+      {
+        const std::scoped_lock gov(gov_mu_);
+        for (const auto& [buffer, domain] : record->pins) {
+          governor_.unpin(domain, buffer);
+        }
+        record->pins.clear();
+        // Park iff an externally-pinned resident remains: its release is
+        // the wakeup that will retry us, so parking is safe, and retrying
+        // before it releases cannot help — the operand set already failed
+        // to fit around those pins once, and with our own pins dropped
+        // the partial-admit/defer cycle would otherwise spin forever,
+        // evicting our own operands to re-admit each other.
+        const bool still_blocked =
+            governor_.has_external_pins(defer.domain, defer.kind,
+                                        record->pins);
+        if (still_blocked) {
+          ooc_deferred_.push_back(record);
+          parked = true;
+        }
+      }
+      if (!parked) {
+        continue;  // capacity freed in the race window — redo now
+      }
+      log_debug("deferred action %u (buffer %u needs %zu bytes on domain %u)",
+                record->id.value, defer.buffer.value, defer.bytes,
+                defer.domain.value);
+      if (trace_ != nullptr) {
+        trace_->on_ooc("defer", defer.buffer, defer.domain, defer.bytes,
+                       executor_->now());
+      }
+      return;
+    } catch (...) {
+      fail_action(record->id, std::current_exception());
+      return;
+    }
+  }
   if (try_elide(record)) {
     // Zero-cost completion through the normal path: the completion event
     // fires, the window/index retire, successors unblock — FIFO and
@@ -1491,6 +1926,14 @@ void Runtime::process_completion(const std::shared_ptr<ActionRecord>& record) {
   }
   if (trace_ != nullptr) {
     trace_->on_complete(id, executor_->now());
+  }
+  // Residency pins drop exactly once here — completion, cancellation,
+  // failure, and elision all drain through this claim-gated path — so
+  // the operands become eviction-eligible again. Freshly unpinned
+  // victims are exactly what a backpressure-parked dispatch waits for,
+  // so give the deferred queue first claim on the capacity.
+  if (release_pins(record)) {
+    retry_deferred();
   }
   // Release the admission gate outside every lock (the hook may take its
   // own mutex and wake enqueuers blocked in before_admit). Exactly once
@@ -2019,6 +2462,10 @@ RuntimeStats Runtime::stats() const {
   out.checkpoint_bytes_skipped_clean =
       get(stats_.checkpoint_bytes_skipped_clean);
   out.restores_performed = get(stats_.restores_performed);
+  out.evictions = get(stats_.evictions);
+  out.spill_bytes_written = get(stats_.spill_bytes_written);
+  out.spill_bytes_dropped_clean = get(stats_.spill_bytes_dropped_clean);
+  out.refetches = get(stats_.refetches);
   return out;
 }
 

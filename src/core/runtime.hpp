@@ -33,6 +33,7 @@
 #include "core/buffer.hpp"
 #include "core/domain.hpp"
 #include "core/executor.hpp"
+#include "core/memory_governor.hpp"
 #include "core/task_context.hpp"
 #include "core/trace.hpp"
 #include "core/types.hpp"
@@ -115,6 +116,17 @@ struct RuntimeStats {
                                                      ///< since the last epoch
   std::uint64_t restores_performed = 0;  ///< restore_from_checkpoint calls
                                          ///< that rebound buffer contents
+  std::uint64_t evictions = 0;  ///< incarnations spilled by the memory
+                                ///< governor to make room under a budget
+  std::uint64_t spill_bytes_written = 0;  ///< dirty bytes synced home by
+                                          ///< evictions (validity-map
+                                          ///< minimized writeback)
+  std::uint64_t spill_bytes_dropped_clean = 0;  ///< valid-but-clean bytes
+                                                ///< evictions dropped without
+                                                ///< any copy
+  std::uint64_t refetches = 0;  ///< spilled incarnations re-admitted on
+                                ///< demand at dispatch (read ranges
+                                ///< re-uploaded from the home copy)
 };
 
 /// Per-tenant slice of the runtime counters (service mode). Counted at
@@ -186,6 +198,13 @@ struct RuntimeConfig {
   /// Byte-range coherence: validity tracking, transfer elision, chunked
   /// multi-hop pipeline (see CoherenceConfig).
   CoherenceConfig coherence;
+  /// Out-of-core execution: when an instantiation would exceed a domain's
+  /// memory budget, evict idle (unpinned) incarnations — dirty ranges sync
+  /// home, clean ranges drop free — instead of throwing
+  /// Errc::resource_exhausted. Spilled operands are transparently
+  /// re-admitted and re-uploaded at dispatch. Env: HS_NO_EVICT=1 restores
+  /// the old throw-on-exhaustion behavior.
+  bool eviction = true;
 };
 
 /// Where enqueues go during graph capture: instead of being admitted into
@@ -225,6 +244,26 @@ class AdmissionHook {
   virtual void after_admit(std::uint32_t tenant, ActionType type) noexcept = 0;
   virtual void on_complete(std::uint32_t tenant, ActionType type,
                            std::size_t bytes) noexcept = 0;
+  /// The memory governor spilled `buffer`'s incarnation in `domain` (its
+  /// dirty ranges are already home). Runs under the governor lock on
+  /// whatever thread triggered the eviction; must not block, throw, or
+  /// call back into the runtime.
+  virtual void on_evict(BufferId buffer, DomainId domain,
+                        std::size_t bytes) noexcept {
+    (void)buffer;
+    (void)domain;
+    (void)bytes;
+  }
+  /// A spilled (or dispatch-time) incarnation of `buffer` is being
+  /// re-admitted into `domain`. May throw (e.g. Errc::quota_exceeded) to
+  /// veto the re-admission, which fails the triggering action; must not
+  /// block on runtime progress (it runs on dispatch paths).
+  virtual void on_refetch(BufferId buffer, DomainId domain,
+                          std::size_t bytes) {
+    (void)buffer;
+    (void)domain;
+    (void)bytes;
+  }
 };
 
 /// One entry of a pre-linked (captured-graph) launch batch: a fresh record
@@ -307,11 +346,20 @@ class Runtime {
   /// hStreams: "buffers currently need to be allocated before the data
   /// can be transferred"). Charges the buffer's size against the
   /// domain's budget for the buffer's memory kind; throws
-  /// Errc::resource_exhausted when the kind is absent or full.
+  /// Errc::resource_exhausted when the kind is absent, or when it is full
+  /// and eviction is disabled (or every resident incarnation is pinned).
+  /// With eviction enabled (RuntimeConfig::eviction, the default), a full
+  /// budget spills idle incarnations to make room instead of throwing.
   void buffer_instantiate(BufferId id, DomainId domain);
   /// Releases the incarnation in `domain` and refunds its budget. The
   /// buffer must have no in-flight actions (callers synchronize first).
-  void buffer_deinstantiate(BufferId id, DomainId domain);
+  /// Fails with Errc::data_loss if the incarnation holds dirty ranges the
+  /// host does not have (device-newer data) unless `discard_dirty` is set
+  /// — mirror of evacuate's escape hatch; call sync_home first to keep
+  /// the data. Deinstantiating a governor-spilled incarnation just clears
+  /// its refetch eligibility.
+  void buffer_deinstantiate(BufferId id, DomainId domain,
+                            bool discard_dirty = false);
   void buffer_destroy(BufferId id);
   /// Remaining budget of `kind` memory in `domain` (domain discovery,
   /// §II: properties include "the amount of each kind of memory").
@@ -773,6 +821,48 @@ class Runtime {
   /// prevents lost wakeups (waiters re-check predicates under mutex_).
   void notify_waiters();
 
+  // --- Out-of-core memory governor (DESIGN.md "Out-of-core eviction") ---
+  /// Admits (id, domain) into the budget for `kind`, evicting idle
+  /// incarnations while the budget is exceeded (gov_mu_ held). No-op if
+  /// already resident (touches LRU recency; pins when `pins` > 0). A
+  /// non-null `stall_s` accumulates the modeled seconds of victim
+  /// writeback so simulated executors can charge it to the triggering
+  /// action. A non-null `defer_pins` (the calling action's own pins)
+  /// switches the every-victim-pinned failure mode from throwing to a
+  /// DeferDispatch signal — but only when some pin in the way belongs to
+  /// *another* in-flight action, whose completion will free capacity;
+  /// an action whose own operand set can never fit still throws.
+  void govern_admit_locked(
+      BufferId id, DomainId domain, MemKind kind, std::size_t bytes,
+      std::uint32_t pins, double* stall_s,
+      const std::vector<std::pair<BufferId, DomainId>>* defer_pins = nullptr);
+  /// Spills one idle incarnation of (domain, kind): dirty ranges sync
+  /// home (validity-map minimized), clean ranges drop free, the Buffer is
+  /// deinstantiated and marked spilled for demand re-fetch. Throws
+  /// Errc::resource_exhausted when every resident incarnation is pinned.
+  /// Returns the modeled writeback seconds (gov_mu_ held).
+  double evict_one_locked(DomainId domain, MemKind kind);
+  /// Drops (id, domain) from the governor ledger, refunding its budget
+  /// charge (gov_mu_ held; no-op if absent).
+  void govern_release_locked(BufferId id, DomainId domain);
+  /// Pins every incarnation `record` touches (sink-domain operands,
+  /// transfer sink + d2d peer) so in-flight actions' operands are never
+  /// eviction victims, re-admitting and re-uploading spilled read ranges
+  /// on demand. Called from dispatch, before try_elide, outside all
+  /// locks; pins are recorded in record->pins and released exactly once
+  /// in process_completion. Throws to fail the action (budget cannot fit
+  /// all pinned operands, or the admission hook vetoed a refetch).
+  void prepare_residency(const std::shared_ptr<ActionRecord>& record);
+  /// Releases the pins recorded in `record->pins` (outside all locks).
+  /// Returns true when pins were actually released — capacity that a
+  /// deferred dispatch may now be able to claim.
+  bool release_pins(const std::shared_ptr<ActionRecord>& record);
+  /// Re-dispatches actions parked by out-of-core backpressure (their
+  /// operands could not be admitted because other in-flight actions
+  /// pinned every victim). Called outside all locks whenever pins drop
+  /// or budget capacity frees (completion, deinstantiate, destroy).
+  void retry_deferred();
+
   /// Mirrors RuntimeStats as relaxed atomics so hot paths never take a
   /// lock to count. stats() snapshots it.
   struct AtomicStats {
@@ -810,6 +900,10 @@ class Runtime {
     std::atomic<std::uint64_t> checkpoint_bytes_written{0};
     std::atomic<std::uint64_t> checkpoint_bytes_skipped_clean{0};
     std::atomic<std::uint64_t> restores_performed{0};
+    std::atomic<std::uint64_t> evictions{0};
+    std::atomic<std::uint64_t> spill_bytes_written{0};
+    std::atomic<std::uint64_t> spill_bytes_dropped_clean{0};
+    std::atomic<std::uint64_t> refetches{0};
   };
 
   RuntimeConfig config_;
@@ -818,8 +912,8 @@ class Runtime {
   BufferPool pool_;
 
   /// Host-wait rendezvous only (see mutex()); also guards the cold state
-  /// below that is not worth its own lock: health_, memory_used_,
-  /// pending_errors_, injector decisions, and domain-loss transitions.
+  /// below that is not worth its own lock: health_, pending_errors_,
+  /// injector decisions, and domain-loss transitions.
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   /// Guards the BufferPool's accounting (executor threads stage
@@ -843,8 +937,21 @@ class Runtime {
   /// lookups shared); each Buffer's own state has a leaf lock.
   mutable std::shared_mutex buffers_mutex_;
   BufferTable buffers_;
-  /// Bytes charged against each (domain, kind) budget (mutex_).
-  std::map<std::pair<std::uint32_t, MemKind>, std::size_t> memory_used_;
+  /// Serializes budget admission and eviction. Sits ABOVE buffers_mutex_
+  /// in the lock order (gov_mu_ -> buffers_mutex_ shared -> Buffer::mu_):
+  /// eviction writes dirty ranges home and deinstantiates victims while
+  /// holding it, so residency decisions are atomic with the spill.
+  /// Never taken while holding a stream, shard, or buffer lock.
+  mutable std::mutex gov_mu_;
+  /// Per-(domain, kind) budget ledger + resident-incarnation LRU/pin
+  /// bookkeeping (gov_mu_).
+  MemoryGovernor governor_;
+  bool evict_enabled_ = true;  ///< resolved config.eviction minus HS_NO_EVICT
+  /// Actions parked by out-of-core backpressure: their dispatch-time
+  /// admission found every victim pinned by *other* in-flight actions.
+  /// retry_deferred() re-dispatches them when pins or capacity free
+  /// (gov_mu_ guards the list; dispatch happens outside it).
+  std::vector<std::shared_ptr<ActionRecord>> ooc_deferred_;
 
   /// The striped action table (formerly one `deps_` map).
   std::array<DepShard, kDepShards> shards_;

@@ -38,9 +38,20 @@ void TraceRecorder::on_elide(ActionId id) {
   records_[by_action_[id.value]].elided = true;
 }
 
+void TraceRecorder::on_ooc(std::string kind, BufferId buffer, DomainId domain,
+                           std::size_t bytes, double now) {
+  const std::scoped_lock lock(mutex_);
+  ooc_.push_back(OocEvent{std::move(kind), buffer, domain, bytes, now});
+}
+
 std::vector<TraceRecorder::Record> TraceRecorder::records() const {
   const std::scoped_lock lock(mutex_);
   return records_;
+}
+
+std::vector<TraceRecorder::OocEvent> TraceRecorder::ooc_events() const {
+  const std::scoped_lock lock(mutex_);
+  return ooc_;
 }
 
 std::size_t TraceRecorder::size() const {
@@ -112,6 +123,20 @@ void TraceRecorder::write_chrome_trace(std::ostream& os) const {
          << ",\"tid\":" << r.stream.value << ",\"ts\":" << r.enqueue_s * 1e6
          << ",\"dur\":" << (r.dispatch_s - r.enqueue_s) * 1e6 << "}";
     }
+  }
+  // Out-of-core instants: one marker per evict/refetch on the domain's
+  // process row (tid 0 keeps them off the stream rows).
+  for (const OocEvent& e : ooc_) {
+    if (!first) {
+      os << ",";
+    }
+    first = false;
+    os << "\n{\"ph\":\"i\",\"s\":\"p\",\"name\":\"";
+    write_escaped(os, e.kind);
+    os << " buf " << e.buffer.value << "\",\"cat\":\"ooc\",\"pid\":"
+       << e.domain.value << ",\"tid\":0,\"ts\":" << e.when_s * 1e6
+       << ",\"args\":{\"buffer\":" << e.buffer.value
+       << ",\"bytes\":" << e.bytes << "}}";
   }
   os << "\n]\n";
 }

@@ -40,16 +40,34 @@ class TraceRecorder {
     bool elided = false;
   };
 
+  /// Out-of-core instant event: the memory governor spilled ("evict") or
+  /// re-admitted ("refetch") a buffer incarnation. Not tied to an action
+  /// record — evictions happen on whatever dispatch or instantiate call
+  /// needed the room.
+  struct OocEvent {
+    std::string kind;  ///< "evict" | "refetch"
+    BufferId buffer;
+    DomainId domain;
+    std::size_t bytes = 0;  ///< evict: dirty bytes written back;
+                            ///< refetch: bytes re-uploaded
+    double when_s = 0.0;
+  };
+
   void on_enqueue(const Record& partial);
   void on_dispatch(ActionId id, double now);
   void on_complete(ActionId id, double now);
   /// Marks a transfer record as elided; its span collapses to zero width
   /// and its chrome event carries an "elided":1 arg.
   void on_elide(ActionId id);
+  /// Records an out-of-core instant event (evict/refetch).
+  void on_ooc(std::string kind, BufferId buffer, DomainId domain,
+              std::size_t bytes, double now);
 
   /// Snapshot of all records (completed and in flight).
   [[nodiscard]] std::vector<Record> records() const;
   [[nodiscard]] std::size_t size() const;
+  /// Snapshot of the out-of-core events, in occurrence order.
+  [[nodiscard]] std::vector<OocEvent> ooc_events() const;
 
   /// Writes Chrome trace-event JSON. Timestamps are microseconds;
   /// "pid" = domain, "tid" = stream. Each action emits a complete event
@@ -61,6 +79,7 @@ class TraceRecorder {
   mutable std::mutex mutex_;
   std::vector<Record> records_;        // indexed by insertion
   std::vector<std::size_t> by_action_; // action id -> index (dense ids)
+  std::vector<OocEvent> ooc_;          // evict/refetch instants, in order
 };
 
 }  // namespace hs

@@ -1,5 +1,6 @@
 #include "service/service.hpp"
 
+#include <cassert>
 #include <string>
 #include <utility>
 
@@ -209,11 +210,82 @@ void Service::charge_device_bytes(TenantState& t, std::size_t bytes) {
   t.device_resident_bytes += bytes;
 }
 
-void Service::release_device_bytes(TenantState& t,
-                                   std::size_t bytes) noexcept {
+void Service::release_device_bytes(TenantState& t, std::size_t bytes) {
   const std::scoped_lock lock(t.mu);
-  t.device_resident_bytes -=
-      bytes <= t.device_resident_bytes ? bytes : t.device_resident_bytes;
+  // An over-refund is always an accounting bug (double release, or a
+  // release for an incarnation whose quota was already refunded at
+  // eviction). The old clamp hid it and let the tenant mint free quota.
+  assert(bytes <= t.device_resident_bytes &&
+         "device-resident refund exceeds the tenant's charged total");
+  require(bytes <= t.device_resident_bytes,
+          "tenant '" + t.config.name + "' device-resident refund of " +
+              std::to_string(bytes) + " bytes exceeds the " +
+              std::to_string(t.device_resident_bytes) +
+              " bytes charged (double release or unbalanced accounting)",
+          Errc::internal);
+  t.device_resident_bytes -= bytes;
+}
+
+// --- Device-residency registry ---------------------------------------------
+
+bool Service::charge_resident(std::uint32_t tenant, BufferId buffer,
+                              DomainId domain, std::size_t bytes) {
+  const std::scoped_lock lock(residency_mutex_);
+  const auto key = std::make_pair(buffer.value, domain.value);
+  if (const auto it = residency_.find(key);
+      it != residency_.end() && !it->second.spilled) {
+    return false;  // re-instantiate of a live incarnation: already charged
+  }
+  charge_device_bytes(state(tenant), bytes);  // may throw quota_exceeded
+  residency_[key] = ResidentEntry{tenant, bytes, false};
+  return true;
+}
+
+void Service::forget_resident(BufferId buffer, DomainId domain) {
+  ResidentEntry entry;
+  {
+    const std::scoped_lock lock(residency_mutex_);
+    const auto it = residency_.find({buffer.value, domain.value});
+    if (it == residency_.end()) {
+      return;  // not a session-charged incarnation (or already forgotten)
+    }
+    entry = it->second;
+    residency_.erase(it);
+  }
+  if (!entry.spilled) {
+    release_device_bytes(state(entry.tenant), entry.bytes);
+  }
+}
+
+void Service::on_evict(BufferId buffer, DomainId domain,
+                       std::size_t /*bytes*/) noexcept {
+  // Runs under the runtime's governor lock: must not block or reenter the
+  // runtime. Refund what was actually charged, not the governor's view.
+  const std::scoped_lock lock(residency_mutex_);
+  const auto it = residency_.find({buffer.value, domain.value});
+  if (it == residency_.end() || it->second.spilled) {
+    return;  // not session-charged, or a double notification
+  }
+  it->second.spilled = true;
+  try {
+    release_device_bytes(state(it->second.tenant), it->second.bytes);
+  } catch (...) {
+    // The ledger is already guarded by Errc::internal elsewhere; an evict
+    // notification must not throw through the governor.
+  }
+}
+
+void Service::on_refetch(BufferId buffer, DomainId domain,
+                         std::size_t /*bytes*/) {
+  const std::scoped_lock lock(residency_mutex_);
+  const auto it = residency_.find({buffer.value, domain.value});
+  if (it == residency_.end() || !it->second.spilled) {
+    return;  // not session-charged, or never evicted: nothing to re-charge
+  }
+  // Throwing here (quota_exceeded) vetoes the refetch and fails the action
+  // that demanded it — a spilled tenant cannot sneak back over its quota.
+  charge_device_bytes(state(it->second.tenant), it->second.bytes);
+  it->second.spilled = false;
 }
 
 }  // namespace hs::service

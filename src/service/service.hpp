@@ -18,10 +18,12 @@
 
 #include <cstdint>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <shared_mutex>
 #include <string_view>
+#include <utility>
 
 #include "core/runtime.hpp"
 #include "service/fair_gate.hpp"
@@ -104,6 +106,15 @@ class Service final : private AdmissionHook {
   // Returns in-flight bytes at action completion.
   void on_complete(std::uint32_t tenant, ActionType type,
                    std::size_t bytes) noexcept override;
+  // Out-of-core callbacks from the runtime's memory governor. An evicted
+  // incarnation stops counting against its tenant's device-resident quota
+  // (the refund lands here, at eviction time, so the quota tracks what is
+  // actually resident); a demand refetch re-charges the quota and may veto
+  // by throwing quota_exceeded, which fails the triggering action.
+  void on_evict(BufferId buffer, DomainId domain,
+                std::size_t bytes) noexcept override;
+  void on_refetch(BufferId buffer, DomainId domain,
+                  std::size_t bytes) override;
 
   /// Whether this action type takes a gate turn (computes and transfers:
   /// the actions that occupy device time. Syncs pass ungated — they are
@@ -121,12 +132,37 @@ class Service final : private AdmissionHook {
   void charge_stream(TenantState& t);          ///< throws quota_exceeded
   void release_stream(TenantState& t) noexcept;
   void charge_device_bytes(TenantState& t, std::size_t bytes);
-  void release_device_bytes(TenantState& t, std::size_t bytes) noexcept;
+  /// Throws Errc::internal (asserts in debug) if the refund exceeds the
+  /// tenant's charged total: that is always an accounting bug, and the
+  /// old silent clamp let double-releases mint free quota.
+  void release_device_bytes(TenantState& t, std::size_t bytes);
+
+  /// Device-residency registry entry, keyed (buffer, domain), so eviction
+  /// refunds and refetch re-charges land on the owning tenant. `spilled`
+  /// entries have already been refunded at eviction time.
+  struct ResidentEntry {
+    std::uint32_t tenant = 0;
+    std::size_t bytes = 0;
+    bool spilled = false;
+  };
+  /// Charges the tenant's quota and records residency; returns false (no
+  /// charge taken) when the incarnation is already charged. May throw
+  /// quota_exceeded.
+  bool charge_resident(std::uint32_t tenant, BufferId buffer, DomainId domain,
+                       std::size_t bytes);
+  /// Drops the registry entry, refunding the quota unless the incarnation
+  /// was spilled (its refund already happened in on_evict).
+  void forget_resident(BufferId buffer, DomainId domain);
 
   Runtime& runtime_;
   ServiceConfig config_;
   mutable std::shared_mutex tenants_mutex_;  ///< guards the deque + names
   std::deque<TenantState> tenants_;          ///< by tenant id - 1
+  /// Guards residency_. Order: below the runtime's governor lock (on_evict
+  /// and on_refetch run with it held), above tenants_mutex_ and t.mu.
+  mutable std::mutex residency_mutex_;
+  std::map<std::pair<std::uint32_t, std::uint32_t>, ResidentEntry>
+      residency_;  ///< keyed (buffer.value, domain.value)
   std::unique_ptr<FairGate> gate_;           ///< null when fair_admission off
   std::atomic<std::uint32_t> next_session_{1};
   std::atomic<std::size_t> open_sessions_{0};

@@ -87,26 +87,34 @@ void Session::buffer_instantiate(std::string_view name, DomainId domain) {
     runtime().buffer_instantiate(id, domain);
     return;
   }
-  Service::TenantState& t = service_.state(tenant_);
   const std::size_t size = runtime().buffer_size(id);
-  service_.charge_device_bytes(t, size);
+  // charge_resident is a no-op (returns false) when the incarnation is
+  // already charged — re-instantiating a live incarnation must not charge
+  // twice, and re-instantiating a spilled one charges exactly once.
+  const bool charged = service_.charge_resident(tenant_, id, domain, size);
   try {
     runtime().buffer_instantiate(id, domain);
   } catch (...) {
-    service_.release_device_bytes(t, size);
+    if (charged) {
+      service_.forget_resident(id, domain);
+    }
     throw;
   }
-  resident_[id].push_back(domain);
+  auto& domains = resident_[id];
+  if (std::find(domains.begin(), domains.end(), domain) == domains.end()) {
+    domains.push_back(domain);
+  }
 }
 
 void Session::buffer_deinstantiate(std::string_view name, DomainId domain) {
   const BufferId id = named(name);
+  // May throw data_loss if dirty bytes exist only there — the quota must
+  // not be refunded for an incarnation the runtime refused to drop.
   runtime().buffer_deinstantiate(id, domain);
   if (domain == kHostDomain) {
     return;
   }
-  service_.release_device_bytes(service_.state(tenant_),
-                                runtime().buffer_size(id));
+  service_.forget_resident(id, domain);
   if (const auto it = resident_.find(id); it != resident_.end()) {
     if (const auto pos =
             std::find(it->second.begin(), it->second.end(), domain);
@@ -122,10 +130,8 @@ void Session::buffer_deinstantiate(std::string_view name, DomainId domain) {
 void Session::buffer_destroy(std::string_view name) {
   const BufferId id = named(name);
   if (const auto it = resident_.find(id); it != resident_.end()) {
-    Service::TenantState& t = service_.state(tenant_);
-    const std::size_t size = runtime().buffer_size(id);
-    for (std::size_t i = 0; i < it->second.size(); ++i) {
-      service_.release_device_bytes(t, size);
+    for (const DomainId domain : it->second) {
+      service_.forget_resident(id, domain);
     }
     resident_.erase(it);
   }
@@ -220,13 +226,13 @@ void Session::close() {
   owned_.clear();
   for (const auto& [name, id] : buffers_) {
     if (const auto it = resident_.find(id); it != resident_.end()) {
-      std::size_t size = 0;
-      try {
-        size = runtime().buffer_size(id);
-      } catch (...) {
-      }
-      for (std::size_t i = 0; i < it->second.size(); ++i) {
-        service_.release_device_bytes(t, size);
+      for (const DomainId domain : it->second) {
+        try {
+          service_.forget_resident(id, domain);
+        } catch (...) {
+          // A refund mismatch is reported as Errc::internal on the normal
+          // paths; teardown presses on so the rest is still released.
+        }
       }
     }
     try {

@@ -63,9 +63,13 @@ void SimExecutor::execute(const std::shared_ptr<ActionRecord>& action,
       const DomainId domain = runtime_->stream_domain(action->stream);
       const std::size_t width = runtime_->stream_mask(action->stream).count();
       const DeviceModel& dev = model(domain);
+      // ooc_stall_s: modeled victim-writeback + demand-refetch seconds
+      // charged at dispatch (out-of-core). Virtual time must pay for the
+      // data movement that execute_payloads=false runs never perform.
       const double duration =
           dev.task_seconds(action->compute.kernel, action->compute.flops,
-                           width, action->compute.layered_overhead_s);
+                           width, action->compute.layered_overhead_s) +
+          action->ooc_stall_s;
       // A throwing payload is contained: the action is marked failed and
       // the error surfaces at the next synchronization point. The
       // completion callback must not also run, so it is disarmed.
@@ -121,7 +125,8 @@ void SimExecutor::execute(const std::shared_ptr<ActionRecord>& action,
       // in-flight work instead of stalling the enqueueing host.
       constexpr double kAllocCostPerByte = 250e-6 / (1024.0 * 1024.0);
       const double duration =
-          kAllocCostPerByte * static_cast<double>(action->transfer.length);
+          kAllocCostPerByte * static_cast<double>(action->transfer.length) +
+          action->ooc_stall_s;
       stream_resource(action->stream).submit(duration, [] {}, std::move(done));
       return;
     }
@@ -166,6 +171,9 @@ void SimExecutor::start_transfer_attempt(
       runtime_->link_for(domain).transfer_seconds(t.length) + staging;
   if (fault.kind == FaultKind::link_stall) {
     duration += fault.stall_s;  // the attempt succeeds, just late
+  }
+  if (failures == 0) {
+    duration += action->ooc_stall_s;  // out-of-core spill/refetch time
   }
   dma_resource(domain, t.dir)
       .submit(duration,
@@ -273,6 +281,9 @@ void SimExecutor::start_peer_attempt(
   p->count = (t.length + p->chunk - 1) / p->chunk;
   p->start_s = queue_.now();
   p->stall_s = fault.kind == FaultKind::link_stall ? fault.stall_s : 0.0;
+  if (failures == 0) {
+    p->stall_s += action->ooc_stall_s;  // out-of-core spill/refetch time
+  }
   p->done = std::move(done);
   if (p->count > 1) {
     runtime_->note_transfer_chunks(p->count);

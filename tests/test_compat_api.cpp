@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <numeric>
 
 #include "core/hstreams_compat.hpp"
@@ -168,10 +169,17 @@ TEST_F(CompatApi, EventStreamWaitScopesDependence) {
 }
 
 TEST_F(CompatApi, DeAllocReleasesBudget) {
+  // Legacy hStreams semantics: with the eviction governor off, an
+  // over-budget create fails hard and DeAlloc is the only way to get
+  // the bytes back. (With eviction on — the default — the second create
+  // would simply evict the idle first buffer and succeed.)
+  setenv("HS_NO_EVICT", "1", 1);
   PlatformDesc platform = PlatformDesc::host_plus_cards(4, 1, 8);
   platform.domains[1].memory_bytes[MemKind::ddr] = 1 << 20;  // 1 MB card
   ASSERT_EQ(hStreams_SetPlatform(platform), HSTR_RESULT_SUCCESS);
-  ASSERT_EQ(hStreams_app_init(2), HSTR_RESULT_SUCCESS);
+  const HSTR_RESULT init = hStreams_app_init(2);
+  unsetenv("HS_NO_EVICT");
+  ASSERT_EQ(init, HSTR_RESULT_SUCCESS);
 
   std::vector<double> big(96 * 1024);  // 768 KB
   ASSERT_EQ(hStreams_app_create_buf(big.data(),
@@ -285,17 +293,45 @@ TEST(MemoryBudget, InstantiationChargesAndRefunds) {
 
   rt->buffer_instantiate(ba, card);
   EXPECT_EQ(rt->memory_available(card, MemKind::ddr), 1096u);
-  EXPECT_THROW(rt->buffer_instantiate(bb, card), Error);  // over budget
+  // Over budget: the governor spills the idle incarnation of ba (clean —
+  // nothing device-newer — so zero writeback) instead of throwing.
+  rt->buffer_instantiate(bb, card);
+  EXPECT_EQ(rt->memory_available(card, MemKind::ddr), 1096u);
+  EXPECT_EQ(rt->stats().evictions, 1u);
+  EXPECT_EQ(rt->stats().spill_bytes_written, 0u);
   // HBM is a separate pool.
   rt->buffer_instantiate(bh, card);
   EXPECT_EQ(rt->memory_available(card, MemKind::hbm), 512u);
-  // Deinstantiate refunds; now bb fits.
+  // Deinstantiating the spilled incarnation is a no-op refund-wise (its
+  // charge was already released at eviction).
   rt->buffer_deinstantiate(ba, card);
-  EXPECT_EQ(rt->memory_available(card, MemKind::ddr), 4096u);
-  rt->buffer_instantiate(bb, card);
-  // Destroy refunds too.
+  EXPECT_EQ(rt->memory_available(card, MemKind::ddr), 1096u);
+  // Destroy refunds the resident incarnation.
   rt->buffer_destroy(bb);
   EXPECT_EQ(rt->memory_available(card, MemKind::ddr), 4096u);
+}
+
+TEST(MemoryBudget, EvictionDisabledRestoresThrowOnExhaustion) {
+  PlatformDesc platform = PlatformDesc::host_plus_cards(2, 1, 4);
+  platform.domains[1].memory_bytes = {{MemKind::ddr, 4096}};
+  RuntimeConfig config;
+  config.platform = std::move(platform);
+  config.eviction = false;
+  auto rt = std::make_unique<Runtime>(config,
+                                      std::make_unique<ThreadedExecutor>());
+  const DomainId card{1};
+  std::vector<std::byte> a(3000);
+  std::vector<std::byte> b(3000);
+  const BufferId ba = rt->buffer_create(a.data(), a.size());
+  const BufferId bb = rt->buffer_create(b.data(), b.size());
+  rt->buffer_instantiate(ba, card);
+  try {
+    rt->buffer_instantiate(bb, card);
+    FAIL() << "over-budget instantiation must throw with eviction off";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), Errc::resource_exhausted);
+  }
+  EXPECT_EQ(rt->stats().evictions, 0u);
 }
 
 TEST(MemoryBudget, MissingKindRejected) {
